@@ -1,0 +1,456 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) and runs Bechamel micro-benchmarks over the pipeline
+   stages plus the design-choice ablations called out in DESIGN.md.
+
+   Absolute numbers differ from the paper (the agents are OCaml models on
+   this machine, not 55–80K LoC of C on the authors' testbed); the claims
+   reproduced are the *shapes*: orderings between tests and agents, the
+   grouping reduction, the 5/7 detection result, the rediscovered §5.1.2
+   behaviour classes, and the concretization trade-offs.
+
+   Environment knobs:
+     SOFT_BENCH_PATHS=<n>   per-run path budget (default 4000)
+     SOFT_BENCH_FULL=1      raise the budget to 100000 (long run)
+     SOFT_BENCH_SKIP_MICRO=1  skip the Bechamel section *)
+
+module Runner = Harness.Runner
+module Spec = Harness.Test_spec
+module Engine = Symexec.Engine
+module Coverage = Symexec.Coverage
+
+let budget =
+  match Sys.getenv_opt "SOFT_BENCH_PATHS" with
+  | Some s -> int_of_string s
+  | None -> if Sys.getenv_opt "SOFT_BENCH_FULL" <> None then 100_000 else 4_000
+
+let agents =
+  [
+    ("Reference Switch", Switches.Reference_switch.agent);
+    ("Modified Switch", Switches.Modified_switch.agent);
+    ("Open vSwitch", Switches.Open_vswitch.agent);
+  ]
+
+let line () = print_endline (String.make 100 '-')
+
+let header title =
+  print_newline ();
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+(* one shared cache of phase-1 runs: (test id, agent name) -> run *)
+let run_cache : (string * string, Runner.run) Hashtbl.t = Hashtbl.create 64
+
+let get_run ?(max_paths = budget) (spec : Spec.t) (name, agent) =
+  let key = (spec.Spec.id, name) in
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+    (* clear the solver's query cache so per-agent CPU times are not
+       flattered by a previous agent's warm-up on the same test *)
+    Smt.Solver.clear_cache ();
+    let r = Runner.execute ~max_paths agent spec in
+    Hashtbl.replace run_cache key r;
+    r
+
+(* ---------------------------------------------------------------------- *)
+(* Table 1: the test suite *)
+
+let table1 () =
+  header "Table 1: Tests used in the evaluation";
+  Printf.printf "%-14s %s\n" "Test" "Description";
+  List.iter
+    (fun (t : Spec.t) -> Printf.printf "%-14s %s\n" t.Spec.label t.description)
+    (Spec.all ())
+
+(* ---------------------------------------------------------------------- *)
+(* Table 2: symbolic execution statistics per test and agent *)
+
+let table2 () =
+  header
+    (Printf.sprintf
+       "Table 2: Symbolic execution statistics (path budget %d; time = CPU seconds;\n\
+        constraint size = boolean operations, avg/max)" budget);
+  Printf.printf "%-14s %5s | %32s | %32s | %32s\n" "Test" "#msgs" "Reference Switch"
+    "Modified Switch" "Open vSwitch";
+  Printf.printf "%-14s %5s | %8s %7s %7s %7s" "" "" "time" "paths" "avg" "max";
+  Printf.printf " | %8s %7s %7s %7s" "time" "paths" "avg" "max";
+  Printf.printf " | %8s %7s %7s %7s\n" "time" "paths" "avg" "max";
+  List.iter
+    (fun (spec : Spec.t) ->
+      Printf.printf "%-14s %5d" spec.Spec.label spec.message_count;
+      List.iter
+        (fun agent ->
+          let r = get_run spec agent in
+          let avg, mx = Runner.constraint_sizes r in
+          Printf.printf " | %7.2fs %7d %7.1f %7d%!" r.Runner.run_stats.Engine.cpu_time
+            (List.length r.run_paths) avg mx)
+        agents;
+      Printf.printf "\n%!")
+    (Spec.all ())
+
+(* ---------------------------------------------------------------------- *)
+(* Table 3: grouping and inconsistency checking (Reference vs Open vSwitch) *)
+
+(* FlowMod is excluded, as in the paper's Table 3 (its intersection stage
+   is the >28h outlier there). *)
+let table3_tests () =
+  [
+    Spec.packet_out (); Spec.stats_request (); Spec.set_config (); Spec.eth_flow_mod ();
+    Spec.cs_flow_mods (); Spec.short_symb ();
+  ]
+
+let table3 () =
+  header
+    "Table 3: Grouping time / #distinct results (Reference, OVS) and inconsistency checking";
+  Printf.printf "%-14s | %18s | %18s | %18s\n" "Test" "Reference grouping" "OVS grouping"
+    "Inconsist. checking";
+  Printf.printf "%-14s | %10s %7s | %10s %7s | %10s %7s\n" "" "time" "#res" "time" "#res"
+    "time" "#found";
+  List.iter
+    (fun (spec : Spec.t) ->
+      let ra = get_run spec (List.nth agents 0) in
+      let rb = get_run spec (List.nth agents 2) in
+      let ga = Soft.Grouping.of_run ra in
+      let gb = Soft.Grouping.of_run rb in
+      let outcome = Soft.Crosscheck.check ga gb in
+      Printf.printf "%-14s | %9.3fs %7d | %9.3fs %7d | %9.2fs %7d\n%!" spec.Spec.label
+        ga.Soft.Grouping.gr_group_time
+        (Soft.Grouping.distinct_results ga)
+        gb.Soft.Grouping.gr_group_time
+        (Soft.Grouping.distinct_results gb)
+        outcome.Soft.Crosscheck.o_check_time (Soft.Crosscheck.count outcome))
+    (table3_tests ())
+
+(* ---------------------------------------------------------------------- *)
+(* Table 4: instruction and branch coverage *)
+
+let no_message_spec =
+  {
+    Spec.id = "no_message";
+    label = "No Message";
+    description = "connection setup only";
+    message_count = 0;
+    inputs = [];
+  }
+
+let table4 () =
+  header "Table 4: Instruction and branch coverage per test (percent)";
+  Printf.printf "%-14s | %19s | %19s\n" "Test" "Reference Switch" "Open vSwitch";
+  Printf.printf "%-14s | %9s %9s | %9s %9s\n" "" "Inst.(%)" "Branch(%)" "Inst.(%)" "Branch(%)";
+  let tests = no_message_spec :: Spec.all () in
+  let cumulative = Hashtbl.create 4 in
+  List.iter
+    (fun (spec : Spec.t) ->
+      Printf.printf "%-14s" spec.Spec.label;
+      List.iter
+        (fun ((name, _) as agent) ->
+          let r = get_run spec agent in
+          let rep = Runner.coverage_report r in
+          (let prev =
+             match Hashtbl.find_opt cumulative name with
+             | Some s -> s
+             | None -> Coverage.empty_set ()
+           in
+           Hashtbl.replace cumulative name (Coverage.union prev r.Runner.run_coverage));
+          Printf.printf " | %8.2f%% %8.2f%%" (Coverage.instr_pct rep) (Coverage.branch_pct rep))
+        [ List.nth agents 0; List.nth agents 2 ];
+      Printf.printf "\n%!")
+    tests;
+  Printf.printf "%-14s" "Cumulative";
+  List.iter
+    (fun (name, _) ->
+      let set = try Hashtbl.find cumulative name with Not_found -> Coverage.empty_set () in
+      let rep = Coverage.report (if name = "Reference Switch" then "reference" else "ovs") set in
+      Printf.printf " | %8.2f%% %8.2f%%" (Coverage.instr_pct rep) (Coverage.branch_pct rep))
+    [ List.nth agents 0; List.nth agents 2 ];
+  Printf.printf "\n";
+  Printf.printf
+    "(the remaining cumulative gap is code unreachable through the control channel:\n\
+    \ timer-driven expiry, async port events, teardown — the paper's ~75%% observation)\n"
+
+(* ---------------------------------------------------------------------- *)
+(* Table 5: effects of concretizing inputs *)
+
+let table5 () =
+  header "Table 5: Effects of concretizing on execution time, paths and instruction coverage";
+  Printf.printf "%-18s %10s %8s %10s\n" "Test" "Time" "Paths" "Coverage";
+  let reference = List.nth agents 0 in
+  let row label (spec : Spec.t) =
+    let r = get_run spec reference in
+    let rep = Runner.coverage_report r in
+    Printf.printf "%-18s %9.2fs %8d %9.2f%%\n%!" label r.Runner.run_stats.Engine.cpu_time
+      (List.length r.run_paths) (Coverage.instr_pct rep)
+  in
+  row "Fully Symbolic" (Spec.fully_symbolic ());
+  row "Concrete Match" (Spec.concrete_match ());
+  row "Concrete Action" (Spec.concrete_action ());
+  row "Concrete Probe" (Spec.probe_ablation ~symbolic_probe:false ());
+  row "Symbolic Probe" (Spec.probe_ablation ~symbolic_probe:true ())
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 4: coverage as a function of the number of symbolic messages *)
+
+let figure4 () =
+  header "Figure 4: Reference switch code coverage vs number of symbolic messages";
+  Printf.printf "%-10s %10s %10s %8s %9s\n" "#messages" "Inst.(%)" "Branch(%)" "paths" "time";
+  List.iter
+    (fun n ->
+      let spec = Spec.figure4_sequence ~messages:n () in
+      let r = get_run spec (List.nth agents 0) in
+      let rep = Runner.coverage_report r in
+      Printf.printf "%-10d %9.2f%% %9.2f%% %8d %8.2fs\n%!" n (Coverage.instr_pct rep)
+        (Coverage.branch_pct rep)
+        (List.length r.Runner.run_paths)
+        r.run_stats.Engine.cpu_time)
+    [ 1; 2; 3 ]
+
+(* ---------------------------------------------------------------------- *)
+(* Section 5.1.1: Modified Switch vs Reference Switch (5/7 detection) *)
+
+let section_5_1_1 () =
+  header "Section 5.1.1: Modified Switch vs Reference Switch (injected differences)";
+  let tests = [ Spec.packet_out (); Spec.stats_request (); Spec.set_config (); Spec.cs_flow_mods () ] in
+  let detected = Hashtbl.create 8 in
+  List.iter
+    (fun (spec : Spec.t) ->
+      let ra = get_run spec (List.nth agents 0) in
+      let rb = get_run spec (List.nth agents 1) in
+      let outcome = Soft.Crosscheck.check (Soft.Grouping.of_run ra) (Soft.Grouping.of_run rb) in
+      Printf.printf "%-14s %4d inconsistencies\n%!" spec.Spec.label
+        (Soft.Crosscheck.count outcome);
+      List.iter
+        (fun (inc : Soft.Crosscheck.inconsistency) ->
+          match
+            Switches.Modified_switch.attribute_inconsistency ~test:spec.Spec.id
+              ~key_a:(Openflow.Trace.result_key inc.Soft.Crosscheck.i_result_a)
+              ~key_b:(Openflow.Trace.result_key inc.i_result_b)
+          with
+          | Some m -> Hashtbl.replace detected m ()
+          | None -> ())
+        outcome.Soft.Crosscheck.o_inconsistencies)
+    tests;
+  let found = ref 0 in
+  List.iter
+    (fun (m : Switches.Modified_switch.injected) ->
+      let hit = Hashtbl.mem detected m.Switches.Modified_switch.inj_id in
+      if hit then incr found;
+      Printf.printf "  %s %s: %s\n"
+        (if hit then "[FOUND] " else "[MISSED]")
+        m.inj_id m.inj_description)
+    Switches.Modified_switch.injected_modifications;
+  Printf.printf "=> SOFT pinpointed %d of 7 injected modifications (paper: 5 of 7)\n" !found
+
+(* ---------------------------------------------------------------------- *)
+(* Section 5.1.2: Reference vs Open vSwitch behaviour classes *)
+
+let section_5_1_2 () =
+  header "Section 5.1.2: Open vSwitch vs Reference Switch (root-cause classes)";
+  let tests =
+    [ Spec.packet_out (); Spec.stats_request (); Spec.eth_flow_mod (); Spec.short_symb () ]
+  in
+  let class_table : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (spec : Spec.t) ->
+      let ra = get_run spec (List.nth agents 0) in
+      let rb = get_run spec (List.nth agents 2) in
+      let outcome = Soft.Crosscheck.check (Soft.Grouping.of_run ra) (Soft.Grouping.of_run rb) in
+      Printf.printf "%-14s %4d inconsistencies, %d root-cause classes\n%!" spec.Spec.label
+        (Soft.Crosscheck.count outcome)
+        (List.length (Soft.Report.summarize outcome));
+      List.iter
+        (fun (s : Soft.Report.summary) ->
+          let name = Soft.Report.class_name s.Soft.Report.s_class in
+          Hashtbl.replace class_table name
+            (s.s_count + try Hashtbl.find class_table name with Not_found -> 0))
+        (Soft.Report.summarize outcome))
+    tests;
+  Printf.printf "\nfindings across tests (cf. the paper's narrative):\n";
+  Hashtbl.iter (fun name count -> Printf.printf "  %4d x %s\n" count name) class_table;
+  print_newline ();
+  Printf.printf "expected classes present:\n";
+  let have name = Hashtbl.mem class_table name in
+  List.iter
+    (fun cls ->
+      Printf.printf "  [%s] %s\n" (if have (Soft.Report.class_name cls) then "x" else " ")
+        (Soft.Report.class_name cls))
+    Soft.Report.
+      [ Agent_crash; Missing_error; Different_errors; Rejected_vs_applied;
+        Forwarding_difference ]
+
+(* ---------------------------------------------------------------------- *)
+(* Design-choice ablations (DESIGN.md §5) *)
+
+let ablation_interval_filter () =
+  header "Ablation: interval pre-filter on/off (symbolic execution of Packet Out, reference)";
+  let spec = Spec.packet_out () in
+  let time use_interval =
+    Smt.Solver.clear_cache ();
+    let t0 = Sys.time () in
+    let r = Runner.execute ~max_paths:600 ~use_interval Switches.Reference_switch.agent spec in
+    (Sys.time () -. t0, List.length r.Runner.run_paths)
+  in
+  let t_on, p_on = time true in
+  let t_off, p_off = time false in
+  Printf.printf "with interval filter:    %6.2fs (%d paths)\n" t_on p_on;
+  Printf.printf "without interval filter: %6.2fs (%d paths)\n" t_off p_off;
+  assert (p_on = p_off)
+
+let ablation_balanced_disjunction () =
+  header "Ablation: balanced vs linear or-trees in grouped conditions (solver time)";
+  let spec = Spec.packet_out () in
+  let run = get_run spec (List.nth agents 0) in
+  let conds = List.map (fun (p : Runner.path_record) -> p.Runner.pr_cond) run.run_paths in
+  let some_other = match conds with c :: _ -> Smt.Expr.not_ c | [] -> Smt.Expr.tru in
+  let time build =
+    let cond = build conds in
+    Smt.Solver.clear_cache ();
+    let t0 = Sys.time () in
+    ignore (Smt.Solver.check ~use_cache:false [ cond; some_other ]);
+    Sys.time () -. t0
+  in
+  let balanced = time Smt.Expr.balanced_disj in
+  let linear = time (fun cs -> List.fold_left Smt.Expr.or_ Smt.Expr.fls cs) in
+  Printf.printf "balanced or-tree: %6.3fs    linear or-chain: %6.3fs  (%d disjuncts)\n"
+    balanced linear (List.length conds)
+
+let ablation_group_splitting () =
+  header "Ablation: monolithic vs chunked group intersection (future-work remedy)";
+  (* the smaller CS FlowMods keeps this ablation cheap; the outcome is the
+     same on every test: identical findings, and with this solver the
+     monolithic or-tree is the faster side — chunking only pays off when
+     the single query diverges, as the paper's STP did *)
+  let spec = Spec.cs_flow_mods () in
+  let a = Soft.Grouping.of_run (get_run spec (List.nth agents 0)) in
+  let b = Soft.Grouping.of_run (get_run spec (List.nth agents 2)) in
+  let time split =
+    Smt.Solver.clear_cache ();
+    let outcome = Soft.Crosscheck.check ?split a b in
+    (outcome.Soft.Crosscheck.o_check_time, Soft.Crosscheck.count outcome)
+  in
+  let t_whole, n_whole = time None in
+  let t_split, n_split = time (Some 4) in
+  Printf.printf "monolithic disjunctions: %6.2fs (%d found)\n" t_whole n_whole;
+  Printf.printf "chunks of <= 4 paths:    %6.2fs (%d found)\n" t_split n_split;
+  assert (n_whole = n_split)
+
+let ablation_structured_inputs () =
+  header "Ablation: structured vs raw symbolic inputs (paths per covered instruction)";
+  let reference = List.nth agents 0 in
+  let structured = get_run (Spec.packet_out ()) reference in
+  let raw = get_run (Spec.short_symb ()) reference in
+  let ratio (r : Runner.run) =
+    let rep = Runner.coverage_report r in
+    (List.length r.Runner.run_paths, rep.Coverage.instr_covered)
+  in
+  let sp, sc = ratio structured and rp, rc = ratio raw in
+  Printf.printf "structured (Packet Out): %5d paths covering %d instructions\n" sp sc;
+  Printf.printf "raw 10-byte (Short Symb): %4d paths covering %d instructions\n" rp rc;
+  Printf.printf
+    "(raw bytes spend their paths on framing errors; structured inputs reach deep handlers)\n"
+
+(* ---------------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks of the pipeline stages *)
+
+let microbenchmarks () =
+  header "Bechamel micro-benchmarks (ns per run, OLS estimate)";
+  let open Bechamel in
+  let spec = Spec.packet_out () in
+  let run_ref = get_run spec (List.nth agents 0) in
+  let run_ovs = get_run spec (List.nth agents 2) in
+  let paths =
+    List.map
+      (fun (p : Runner.path_record) -> (p.Runner.pr_result, p.Runner.pr_cond))
+      run_ref.Runner.run_paths
+  in
+  let grouped_ref = Soft.Grouping.of_run run_ref in
+  let grouped_ovs = Soft.Grouping.of_run run_ovs in
+  let ga = List.hd grouped_ref.Soft.Grouping.gr_groups in
+  let gb =
+    List.find
+      (fun g -> g.Soft.Grouping.g_key <> ga.Soft.Grouping.g_key)
+      grouped_ovs.Soft.Grouping.gr_groups
+  in
+  let x = Smt.Expr.var ~width:16 "bench.x" in
+  let small_query =
+    [
+      Smt.Expr.ult x (Smt.Expr.const ~width:16 25L);
+      Smt.Expr.eq
+        (Smt.Expr.logand x (Smt.Expr.const ~width:16 0xfL))
+        (Smt.Expr.const ~width:16 5L);
+    ]
+  in
+  let tests =
+    [
+      Test.make ~name:"table2.symexec_packet_out_50paths"
+        (Staged.stage (fun () ->
+             ignore (Runner.execute ~max_paths:50 Switches.Reference_switch.agent spec)));
+      Test.make ~name:"table3.grouping_packet_out"
+        (Staged.stage (fun () -> ignore (Soft.Grouping.group_paths paths)));
+      Test.make ~name:"table3.crosscheck_one_pair"
+        (Staged.stage (fun () ->
+             ignore
+               (Smt.Solver.check ~use_cache:false
+                  [ ga.Soft.Grouping.g_cond; gb.Soft.Grouping.g_cond ])));
+      Test.make ~name:"solver.small_bitvector_query"
+        (Staged.stage (fun () -> ignore (Smt.Solver.check ~use_cache:false small_query)));
+      Test.make ~name:"wire.flow_mod_roundtrip"
+        (Staged.stage
+           (let fm =
+              {
+                Openflow.Types.fm_match = Openflow.Types.match_all;
+                cookie = 1L;
+                command = 0;
+                idle_timeout = 0;
+                hard_timeout = 0;
+                priority = 1;
+                fm_buffer_id = 0xffffffffl;
+                out_port = 0xffff;
+                flags = 0;
+                fm_actions = [ Openflow.Types.Output { port = 1; max_len = 0 } ];
+              }
+            in
+            fun () ->
+              ignore
+                (Openflow.Wire.parse
+                   (Openflow.Wire.serialize
+                      { Openflow.Types.xid = 0l; payload = Openflow.Types.Flow_mod fm }))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-40s %14.0f ns/run\n%!" name est
+          | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ---------------------------------------------------------------------- *)
+
+let () =
+  Printf.printf "SOFT evaluation harness (path budget per run: %d)\n" budget;
+  Printf.printf "reproducing: Tables 1-5, Figure 4, sections 5.1.1 and 5.1.2\n";
+  let t0 = Unix.gettimeofday () in
+  table1 ();
+  table2 ();
+  table3 ();
+  table4 ();
+  table5 ();
+  figure4 ();
+  section_5_1_1 ();
+  section_5_1_2 ();
+  ablation_interval_filter ();
+  ablation_balanced_disjunction ();
+  ablation_group_splitting ();
+  ablation_structured_inputs ();
+  if Sys.getenv_opt "SOFT_BENCH_SKIP_MICRO" = None then microbenchmarks ();
+  header "Summary";
+  Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  Format.printf "solver totals: %a@." Smt.Solver.pp_stats ()

@@ -1,0 +1,173 @@
+(* The `soft` command-line tool, mirroring SOFT's decoupled workflow
+   (paper §2.4 and §4.2):
+
+     soft run    --agent ref --test packet_out --out ref.run
+         phase 1, run privately by each vendor: symbolic execution of one
+         agent on one test; writes path conditions + normalized results.
+
+     soft group  ref.run
+         the grouping tool: report the distinct output results.
+
+     soft check  ref.run ovs.run
+         the inconsistency finder: crosscheck two phase-1 outputs.
+
+     soft compare --agent-a ref --agent-b ovs --test packet_out
+         both phases in one process, with reproducer test cases.
+
+     soft list
+         available agents and tests. *)
+
+let agents =
+  [
+    ("ref", Switches.Reference_switch.agent);
+    ("reference", Switches.Reference_switch.agent);
+    ("ovs", Switches.Open_vswitch.agent);
+    ("modified", Switches.Modified_switch.agent);
+  ]
+
+let lookup_agent name =
+  match List.assoc_opt (String.lowercase_ascii name) agents with
+  | Some a -> Ok a
+  | None ->
+    Error
+      (Printf.sprintf "unknown agent %s (available: ref, ovs, modified)" name)
+
+let lookup_test id =
+  match Harness.Test_spec.by_id id with
+  | Some t -> Ok t
+  | None ->
+    Error
+      (Printf.sprintf "unknown test %s (available: %s)" id
+         (String.concat ", "
+            (List.map (fun (t : Harness.Test_spec.t) -> t.id) (Harness.Test_spec.all ()))))
+
+open Cmdliner
+
+let agent_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (lookup_agent s) in
+  let print fmt a = Format.fprintf fmt "%s" (Switches.Agent_intf.name a) in
+  Arg.conv (parse, print)
+
+let test_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (lookup_test s) in
+  let print fmt (t : Harness.Test_spec.t) = Format.fprintf fmt "%s" t.id in
+  Arg.conv (parse, print)
+
+let max_paths =
+  Arg.(
+    value
+    & opt int Harness.Runner.default_max_paths
+    & info [ "max-paths" ] ~doc:"Path exploration budget per run.")
+
+let strategy =
+  let strategy_conv =
+    Arg.conv ~docv:"STRATEGY"
+      ( (fun s ->
+          match Symexec.Strategy.of_string s with
+          | Some st -> Ok st
+          | None -> Error (`Msg ("unknown strategy " ^ s))),
+        fun fmt s -> Format.fprintf fmt "%s" (Symexec.Strategy.to_string s) )
+  in
+  Arg.(
+    value
+    & opt strategy_conv Symexec.Strategy.default
+    & info [ "strategy" ] ~doc:"Search strategy: dfs, bfs, random, interleave.")
+
+(* --- run ------------------------------------------------------------- *)
+
+let run_cmd =
+  let agent =
+    Arg.(required & opt (some agent_conv) None & info [ "agent" ] ~doc:"Agent under test.")
+  in
+  let test = Arg.(required & opt (some test_conv) None & info [ "test" ] ~doc:"Test id.") in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file.")
+  in
+  let run agent test out max_paths strategy =
+    let r = Harness.Runner.execute ~max_paths ~strategy agent test in
+    Harness.Serialize.save out (Harness.Serialize.of_run r);
+    Format.printf "%s on %s: %a@." r.Harness.Runner.run_agent r.run_test
+      Symexec.Engine.pp_stats r.run_stats;
+    Format.printf "coverage: %a@." Symexec.Coverage.pp_report (Harness.Runner.coverage_report r);
+    Format.printf "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Phase 1: symbolically execute one agent on one test.")
+    Term.(const run $ agent $ test $ out $ max_paths $ strategy)
+
+(* --- group ----------------------------------------------------------- *)
+
+let group_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"RUN_FILE") in
+  let run file =
+    let saved = Harness.Serialize.load file in
+    let g = Soft.Grouping.of_saved saved in
+    Format.printf "%a@." Soft.Grouping.pp g
+  in
+  Cmd.v
+    (Cmd.info "group" ~doc:"Group path conditions of a phase-1 run by output result.")
+    Term.(const run $ file)
+
+(* --- check ----------------------------------------------------------- *)
+
+let check_cmd =
+  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"RUN_A") in
+  let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"RUN_B") in
+  let run file_a file_b =
+    let a = Soft.Grouping.of_saved (Harness.Serialize.load file_a) in
+    let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
+    let outcome = Soft.Crosscheck.check a b in
+    Format.printf "%a@." Soft.Crosscheck.pp outcome;
+    Format.printf "root causes:@.%a@." Soft.Report.pp_summary (Soft.Report.summarize outcome)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Phase 2: crosscheck two phase-1 runs for inconsistencies.")
+    Term.(const run $ file_a $ file_b)
+
+(* --- compare --------------------------------------------------------- *)
+
+let compare_cmd =
+  let agent_a =
+    Arg.(required & opt (some agent_conv) None & info [ "agent-a"; "a" ] ~doc:"First agent.")
+  in
+  let agent_b =
+    Arg.(required & opt (some agent_conv) None & info [ "agent-b"; "b" ] ~doc:"Second agent.")
+  in
+  let test = Arg.(required & opt (some test_conv) None & info [ "test" ] ~doc:"Test id.") in
+  let cases =
+    Arg.(value & flag & info [ "cases" ] ~doc:"Print a concrete reproducer per inconsistency.")
+  in
+  let run agent_a agent_b test cases max_paths strategy =
+    let c = Soft.Pipeline.compare_agents ~max_paths ~strategy agent_a agent_b test in
+    Format.printf "%a@." Soft.Pipeline.pp_comparison c;
+    if cases then
+      List.iteri
+        (fun i tc -> Format.printf "@.=== reproducer %d ===@.%a@." i Soft.Testcase.pp tc)
+        (Soft.Pipeline.test_cases c)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run both phases: find inconsistencies between two agents.")
+    Term.(const run $ agent_a $ agent_b $ test $ cases $ max_paths $ strategy)
+
+(* --- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Format.printf "agents:@.";
+    Format.printf "  ref       - OpenFlow 1.0 Reference Switch model@.";
+    Format.printf "  ovs       - Open vSwitch 1.0.0 model@.";
+    Format.printf "  modified  - Reference Switch with 7 injected differences@.";
+    Format.printf "@.tests (Table 1):@.";
+    List.iter
+      (fun (t : Harness.Test_spec.t) -> Format.printf "  %-14s %s@." t.id t.description)
+      (Harness.Test_spec.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available agents and tests.") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "soft" ~version:"1.0.0"
+       ~doc:"Systematic OpenFlow Testing: crosscheck OpenFlow agent implementations.")
+    [ run_cmd; group_cmd; check_cmd; compare_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

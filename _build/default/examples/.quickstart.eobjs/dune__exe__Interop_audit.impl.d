@@ -1,0 +1,1 @@
+examples/interop_audit.ml: Array Format Harness List Soft Switches Sys

@@ -1,0 +1,1 @@
+examples/interop_audit.mli:

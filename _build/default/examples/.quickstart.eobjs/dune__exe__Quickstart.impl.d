@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Harness List Openflow Soft Switches Symexec

@@ -1,0 +1,1 @@
+examples/regression_hunt.ml: Format Harness Hashtbl List Openflow Soft Switches

@@ -1,0 +1,1 @@
+examples/time_travel.ml: Format Harness List Smt Soft Switches

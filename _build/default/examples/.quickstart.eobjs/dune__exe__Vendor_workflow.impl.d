@@ -1,0 +1,1 @@
+examples/vendor_workflow.ml: Filename Format Harness List Printf Smt Soft String Switches Sys Unix

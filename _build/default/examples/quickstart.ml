@@ -1,0 +1,54 @@
+(* Quickstart: the paper's running example (Figures 1 and 2).
+
+   A single Packet Out message instructs the agent to send a packet on
+   port [p].  Symbolically executing each agent partitions the input space
+   of [p] into equivalence classes; grouping by output result and
+   intersecting differing classes across agents yields the inconsistencies
+   — here including the reference switch crash at p = OFPP_CONTROLLER.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  Format.printf "SOFT quickstart: Packet Out with a symbolic output port@.@.";
+
+  (* 1. the test input (Table 1, first row) *)
+  let spec = Harness.Test_spec.packet_out () in
+  Format.printf "test: %s@." spec.Harness.Test_spec.description;
+
+  (* 2. phase 1 on each agent: input-space partition + output per class *)
+  let run_ref = Harness.Runner.execute ~max_paths:1500 Switches.Reference_switch.agent spec in
+  let run_ovs = Harness.Runner.execute ~max_paths:1500 Switches.Open_vswitch.agent spec in
+  Format.printf "@.reference: %a@." Symexec.Engine.pp_stats run_ref.Harness.Runner.run_stats;
+  Format.printf "ovs:       %a@." Symexec.Engine.pp_stats run_ovs.Harness.Runner.run_stats;
+
+  (* 3. group paths by result (the colors of Figure 2) *)
+  let g_ref = Soft.Grouping.of_run run_ref in
+  let g_ovs = Soft.Grouping.of_run run_ovs in
+  Format.printf "@.input-space partition, grouped by output result:@.";
+  Format.printf "  reference: %d classes -> %d distinct results@."
+    (List.length run_ref.run_paths)
+    (Soft.Grouping.distinct_results g_ref);
+  Format.printf "  ovs:       %d classes -> %d distinct results@."
+    (List.length run_ovs.run_paths)
+    (Soft.Grouping.distinct_results g_ovs);
+
+  (* 4. crosscheck: intersect differing result classes *)
+  let outcome = Soft.Crosscheck.check g_ref g_ovs in
+  Format.printf "@.inconsistencies found: %d@." (Soft.Crosscheck.count outcome);
+  Format.printf "@.root causes:@.%a@." Soft.Report.pp_summary (Soft.Report.summarize outcome);
+
+  (* 5. show the crash inconsistency with its concrete reproducer, as in
+     the Figure 2 example where p = OFPP_CTRL is derived *)
+  let crash =
+    List.find_opt
+      (fun (i : Soft.Crosscheck.inconsistency) ->
+        i.Soft.Crosscheck.i_result_a.Openflow.Trace.crash <> None
+        || i.i_result_b.Openflow.Trace.crash <> None)
+      outcome.Soft.Crosscheck.o_inconsistencies
+  in
+  match crash with
+  | None -> Format.printf "no crash-class inconsistency in this budget@."
+  | Some inc ->
+    let tc = Soft.Testcase.of_inconsistency spec ~agent_a:"reference" ~agent_b:"ovs" inc in
+    Format.printf "@.a crash-revealing reproducer (cf. Figure 2, p = OFPP_CTRL):@.%a@."
+      Soft.Testcase.pp tc

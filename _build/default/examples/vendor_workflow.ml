@@ -1,0 +1,56 @@
+(* The decoupled vendor workflow of §2.4: each vendor runs symbolic
+   execution on its own agent *privately* and ships only the intermediate
+   results (path conditions + normalized output results); a third party —
+   an interoperability event or the ONF — crosschecks the files without
+   ever seeing agent code.
+
+   Run with:  dune exec examples/vendor_workflow.exe *)
+
+let () =
+  let dir = Filename.temp_file "soft_workflow" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let spec = Harness.Test_spec.packet_out () in
+
+  (* vendor A, in its own lab *)
+  Format.printf "[vendor A] symbolic execution of the reference agent...@.";
+  let run_a = Harness.Runner.execute ~max_paths:1500 Switches.Reference_switch.agent spec in
+  let file_a = Filename.concat dir "vendorA.run" in
+  Harness.Serialize.save file_a (Harness.Serialize.of_run run_a);
+  Format.printf "[vendor A] shipped %s (%d paths; no source code inside)@.@." file_a
+    (List.length run_a.Harness.Runner.run_paths);
+
+  (* vendor B, in its own lab *)
+  Format.printf "[vendor B] symbolic execution of the ovs agent...@.";
+  let run_b = Harness.Runner.execute ~max_paths:1500 Switches.Open_vswitch.agent spec in
+  let file_b = Filename.concat dir "vendorB.run" in
+  Harness.Serialize.save file_b (Harness.Serialize.of_run run_b);
+  Format.printf "[vendor B] shipped %s (%d paths)@.@." file_b
+    (List.length run_b.Harness.Runner.run_paths);
+
+  (* the interoperability event: only the two files are available *)
+  Format.printf "[interop event] loading intermediate results...@.";
+  let a = Soft.Grouping.of_saved (Harness.Serialize.load file_a) in
+  let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
+  Format.printf "[interop event] %s: %d result groups, %s: %d result groups@."
+    a.Soft.Grouping.gr_agent
+    (Soft.Grouping.distinct_results a)
+    b.Soft.Grouping.gr_agent
+    (Soft.Grouping.distinct_results b);
+  let outcome = Soft.Crosscheck.check a b in
+  Format.printf "[interop event] %d inconsistencies (%d solver queries, %.2fs)@."
+    (Soft.Crosscheck.count outcome) outcome.Soft.Crosscheck.o_pairs_checked
+    outcome.o_check_time;
+  Format.printf "@.%a@." Soft.Report.pp_summary (Soft.Report.summarize outcome);
+
+  (* each inconsistency comes with concrete witness inputs both vendors can
+     replay *)
+  (match outcome.o_inconsistencies with
+   | inc :: _ ->
+     Format.printf "first witness: %s@."
+       (String.concat "; "
+          (List.map
+             (fun (v, value) -> Printf.sprintf "%s=0x%Lx" (Smt.Expr.var_name v) value)
+             (Smt.Model.bindings inc.Soft.Crosscheck.i_witness)))
+   | [] -> ());
+  Format.printf "@.(intermediate files kept in %s)@." dir

@@ -1,0 +1,1 @@
+lib/harness/normalize.ml: Expr List Openflow Option Smt

@@ -1,0 +1,1 @@
+lib/harness/normalize.mli: Openflow

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Expr Int64 List Normalize Openflow Smt Switches Symexec Test_spec

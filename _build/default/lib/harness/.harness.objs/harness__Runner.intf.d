@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Openflow Smt Switches Symexec Test_spec

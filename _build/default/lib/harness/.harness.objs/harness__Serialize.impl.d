@@ -1,0 +1,1 @@
+lib/harness/serialize.ml: Fun List Openflow Printf Runner Smt String

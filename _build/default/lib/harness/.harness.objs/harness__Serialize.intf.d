@@ -1,0 +1,1 @@
+lib/harness/serialize.mli: Openflow Runner Smt

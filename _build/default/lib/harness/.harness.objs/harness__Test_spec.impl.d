@@ -1,0 +1,1 @@
+lib/harness/test_spec.ml: Expr Int32 Int64 List Openflow Packet Printf Smt

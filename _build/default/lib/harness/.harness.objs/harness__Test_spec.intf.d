@@ -1,0 +1,1 @@
+lib/harness/test_spec.mli: Openflow Packet

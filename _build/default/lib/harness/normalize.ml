@@ -1,0 +1,33 @@
+(* Output-result normalization (paper §3.3): scrub data whose differences
+   between agents are expected and meaningless — buffer identifiers,
+   transaction ids (never recorded in events in the first place), and the
+   free-text bodies of description statistics. *)
+
+open Smt
+module Trace = Openflow.Trace
+
+let canonical_buffer = Trace.Buffer_id { braw = Expr.const ~width:32 0L }
+
+let msg_out = function
+  | Trace.O_packet_in { o_pi_in_port; o_pi_reason; o_pi_buffer; o_pi_pkt; o_pi_data_len } ->
+    let o_pi_buffer =
+      match o_pi_buffer with Trace.No_buffer -> Trace.No_buffer | Trace.Buffer_id _ -> canonical_buffer
+    in
+    Trace.O_packet_in { o_pi_in_port; o_pi_reason; o_pi_buffer; o_pi_pkt; o_pi_data_len }
+  | Trace.O_stats_reply { o_stats_type; _ }
+    when o_stats_type = Openflow.Constants.Stats_type.desc ->
+    (* the description body is vendor free-text by definition *)
+    Trace.O_stats_reply { o_stats_type; o_stats_body = "<desc>" }
+  | m -> m
+
+let event = function
+  | Trace.Msg_out m -> Trace.Msg_out (msg_out m)
+  | e -> e
+
+let events evs = List.map event evs
+
+(* A crash is observable (the control connection drops) but the message is
+   implementation internal: normalize to the fact itself. *)
+let crash = Option.map (fun (_ : string) -> "connection lost")
+
+let result ?crash:c evs = Trace.result_of ?crash:(crash c) (events evs)

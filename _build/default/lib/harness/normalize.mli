@@ -1,0 +1,11 @@
+(** Output-result normalization (paper §3.3): scrub data whose differences
+    between agents are expected and meaningless — buffer identifiers,
+    crash-message internals, the free-text bodies of description
+    statistics.  Transaction ids never enter events in the first place. *)
+
+val event : Openflow.Trace.event -> Openflow.Trace.event
+val events : Openflow.Trace.event list -> Openflow.Trace.event list
+
+val result : ?crash:string -> Openflow.Trace.event list -> Openflow.Trace.result
+(** Normalize a path's raw events (and optional crash) into the comparable
+    result used by grouping and crosschecking. *)

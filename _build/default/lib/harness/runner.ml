@@ -1,0 +1,84 @@
+(* SOFT phase 1: drive one agent over one test spec under the symbolic
+   execution engine — the "test driver" of §4.1.  The emulated controller
+   establishes the connection, injects each symbolic message and probe, and
+   the engine delivers every explored path's condition and normalized
+   output trace. *)
+
+open Smt
+module Engine = Symexec.Engine
+module Coverage = Symexec.Coverage
+module Strategy = Symexec.Strategy
+module Trace = Openflow.Trace
+module Agent_intf = Switches.Agent_intf
+
+type path_record = {
+  pr_result : Trace.result; (* normalized output trace *)
+  pr_cond : Expr.boolean; (* the path condition, as a balanced conjunction *)
+  pr_constraints : Expr.boolean list; (* individual conjuncts, in order *)
+  pr_size : int; (* boolean operations in [pr_cond] (Table 2 metric) *)
+}
+
+type run = {
+  run_agent : string;
+  run_test : string;
+  run_paths : path_record list;
+  run_stats : Engine.run_stats;
+  run_coverage : Coverage.set;
+}
+
+(* Default per-test path budget.  The authors' testbed let the largest
+   tests run to hundreds of thousands of paths over days; the budget keeps
+   the reproduction interactive while preserving relative orderings.  SOFT
+   explicitly tolerates partial path coverage (paper §4.1). *)
+let default_max_paths = 20000
+
+let drive (module A : Agent_intf.S) (spec : Test_spec.t) env =
+  let st = A.init () in
+  let st = A.connection_setup env st in
+  let final =
+    List.fold_left
+      (fun st input ->
+        match input with
+        | Test_spec.Msg m -> A.handle_message env st m
+        | Test_spec.Probe { pr_id; pr_in_port; pr_packet } ->
+          A.handle_packet env st ~probe_id:pr_id
+            ~in_port:(Expr.const ~width:16 (Int64.of_int pr_in_port))
+            pr_packet
+        | Test_spec.Advance_time seconds -> A.advance_time env st ~seconds)
+      st spec.Test_spec.inputs
+  in
+  ignore final
+
+let execute ?(max_paths = default_max_paths) ?(strategy = Strategy.default)
+    ?(use_interval = true) (agent : Agent_intf.t) (spec : Test_spec.t) =
+  let (module A) = agent in
+  let result = Engine.run ~strategy ~max_paths ~use_interval (drive agent spec) in
+  let paths =
+    List.map
+      (fun (r : Trace.event Engine.path_result) ->
+        {
+          pr_result = Normalize.result ?crash:r.Engine.crashed r.Engine.events;
+          pr_cond = r.Engine.path_cond;
+          pr_constraints = r.Engine.pc;
+          pr_size = Expr.bool_size r.Engine.path_cond;
+        })
+      result.Engine.results
+  in
+  {
+    run_agent = A.name;
+    run_test = spec.Test_spec.id;
+    run_paths = paths;
+    run_stats = result.Engine.stats;
+    run_coverage = result.Engine.coverage;
+  }
+
+let coverage_report (r : run) = Coverage.report r.run_agent r.run_coverage
+
+(* Constraint-size statistics for Table 2. *)
+let constraint_sizes (r : run) =
+  let sizes = List.map (fun p -> p.pr_size) r.run_paths in
+  match sizes with
+  | [] -> (0.0, 0)
+  | _ ->
+    let total = List.fold_left ( + ) 0 sizes in
+    (float_of_int total /. float_of_int (List.length sizes), List.fold_left max 0 sizes)

@@ -1,0 +1,108 @@
+(* On-disk interchange format for phase-1 results.  A vendor runs
+   [Runner.execute] privately and ships this file; the crosscheck phase
+   consumes only these files — never agent code (paper §2.4).
+
+   Line-oriented format:
+     soft-run 1
+     agent NAME
+     test ID
+     path
+     T trace-line          (zero or more)
+     X crash-message       (optional)
+     P sexp-path-condition
+     ... repeated per path
+*)
+
+module Trace = Openflow.Trace
+
+type saved = {
+  sv_agent : string;
+  sv_test : string;
+  sv_paths : (Trace.result * Smt.Expr.boolean) list;
+}
+
+let of_run (r : Runner.run) =
+  {
+    sv_agent = r.Runner.run_agent;
+    sv_test = r.Runner.run_test;
+    sv_paths = List.map (fun (p : Runner.path_record) -> (p.pr_result, p.pr_cond)) r.Runner.run_paths;
+  }
+
+let write_channel oc (s : saved) =
+  output_string oc "soft-run 1\n";
+  Printf.fprintf oc "agent %s\n" s.sv_agent;
+  Printf.fprintf oc "test %s\n" s.sv_test;
+  List.iter
+    (fun ((res : Trace.result), cond) ->
+      output_string oc "path\n";
+      List.iter (fun line -> Printf.fprintf oc "T %s\n" line) res.Trace.trace;
+      (match res.Trace.crash with
+       | Some m -> Printf.fprintf oc "X %s\n" m
+       | None -> ());
+      Printf.fprintf oc "P %s\n" (Smt.Serial.bool_to_string cond))
+    s.sv_paths
+
+let save path (s : saved) =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc s)
+
+exception Format_error of string
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line () = try Some (input_line ic) with End_of_file -> None in
+      let expect_prefix p l =
+        if String.length l >= String.length p && String.sub l 0 (String.length p) = p then
+          String.sub l (String.length p) (String.length l - String.length p)
+        else raise (Format_error (Printf.sprintf "%s: expected '%s...', got '%s'" path p l))
+      in
+      (match line () with
+       | Some "soft-run 1" -> ()
+       | _ -> raise (Format_error (path ^ ": bad magic")));
+      let agent =
+        match line () with
+        | Some l -> expect_prefix "agent " l
+        | None -> raise (Format_error (path ^ ": truncated"))
+      in
+      let test =
+        match line () with
+        | Some l -> expect_prefix "test " l
+        | None -> raise (Format_error (path ^ ": truncated"))
+      in
+      let paths = ref [] in
+      let cur_trace = ref [] in
+      let cur_crash = ref None in
+      let in_path = ref false in
+      let flush_path cond =
+        paths :=
+          ({ Trace.trace = List.rev !cur_trace; crash = !cur_crash }, cond) :: !paths;
+        cur_trace := [];
+        cur_crash := None;
+        in_path := false
+      in
+      let rec go () =
+        match line () with
+        | None ->
+          if !in_path then raise (Format_error (path ^ ": path without condition"))
+        | Some "path" ->
+          if !in_path then raise (Format_error (path ^ ": nested path"));
+          in_path := true;
+          go ()
+        | Some l when String.length l >= 2 && l.[0] = 'T' && l.[1] = ' ' ->
+          cur_trace := String.sub l 2 (String.length l - 2) :: !cur_trace;
+          go ()
+        | Some l when String.length l >= 2 && l.[0] = 'X' && l.[1] = ' ' ->
+          cur_crash := Some (String.sub l 2 (String.length l - 2));
+          go ()
+        | Some l when String.length l >= 2 && l.[0] = 'P' && l.[1] = ' ' ->
+          let cond = Smt.Serial.bool_of_string (String.sub l 2 (String.length l - 2)) in
+          flush_path cond;
+          go ()
+        | Some "" -> go ()
+        | Some l -> raise (Format_error (path ^ ": unexpected line: " ^ l))
+      in
+      go ();
+      { sv_agent = agent; sv_test = test; sv_paths = List.rev !paths })

@@ -1,0 +1,382 @@
+(* The test inputs of the evaluation (Table 1), plus the concretization
+   ablations of Table 5 and the message-count sweep of Figure 4.
+
+   Input construction follows §3.2: structure (message type, lengths,
+   action counts) is concrete; field contents are symbolic variables.
+   Variable names are deterministic per test, and the expression layer
+   interns variables globally — so running two agents on the same spec
+   feeds them literally the same symbolic inputs, which is what makes the
+   crosscheck phase sound. *)
+
+open Smt
+module Sym_msg = Openflow.Sym_msg
+module SP = Packet.Sym_packet
+
+type input =
+  | Msg of Sym_msg.t
+  | Probe of { pr_id : int; pr_in_port : int; pr_packet : SP.t }
+  | Advance_time of int
+      (* virtual-time extension (the paper's future work): let the agent's
+         clock progress, firing flow timeouts *)
+
+type t = {
+  id : string;
+  label : string; (* row label as printed in the paper's tables *)
+  description : string;
+  message_count : int; (* "Message count" column of Table 2 *)
+  inputs : input list;
+}
+
+let v16 n = Expr.var ~width:16 n
+let v32 n = Expr.var ~width:32 n
+let c32 v = Expr.const ~width:32 (Int64.of_int v)
+
+let tcp_probe ~id ~in_port =
+  Probe { pr_id = id; pr_in_port = in_port; pr_packet = SP.of_concrete (Packet.Headers.tcp_probe ()) }
+
+let eth_probe ~id ~in_port =
+  Probe { pr_id = id; pr_in_port = in_port; pr_packet = SP.of_concrete (Packet.Headers.eth_probe ()) }
+
+(* --- Table 1 -------------------------------------------------------------- *)
+
+(* A single Packet Out with one symbolic action and one symbolic output
+   action; buffer_id and in_port symbolic, carrying a concrete packet. *)
+let packet_out () =
+  let p = "po" in
+  let po =
+    {
+      Sym_msg.spo_buffer_id = v32 (p ^ ".buffer_id");
+      spo_in_port = v16 (p ^ ".in_port");
+      spo_actions =
+        [ Sym_msg.sym_action ~prefix:(p ^ ".act0") (); Sym_msg.sym_output_action ~prefix:(p ^ ".act1") () ];
+      spo_data = Some (SP.of_concrete (Packet.Headers.tcp_probe ()));
+    }
+  in
+  {
+    id = "packet_out";
+    label = "Packet Out";
+    description =
+      "A single Packet Out message containing a symbolic action and a symbolic output action.";
+    message_count = 1;
+    inputs = [ Msg (Sym_msg.packet_out po) ];
+  }
+
+(* A single symbolic Stats Request covering all possible statistics
+   requests. *)
+let stats_request () =
+  {
+    id = "stats_request";
+    label = "Stats Request";
+    description = "A single symbolic Stats Req. It covers all possible statistics requests.";
+    message_count = 1;
+    inputs = [ Msg (Sym_msg.sym_stats_request ~prefix:"sr" ()) ];
+  }
+
+(* A symbolic Set Config followed by a probing TCP packet. *)
+let set_config () =
+  let sc =
+    { Sym_msg.scfg_flags = v16 "sc.flags"; smiss_send_len = v16 "sc.miss_send_len" }
+  in
+  {
+    id = "set_config";
+    label = "Set Config";
+    description = "A symbolic Set Config message followed by a probing TCP packet.";
+    message_count = 2;
+    inputs = [ Msg (Sym_msg.set_config sc); tcp_probe ~id:1 ~in_port:1 ];
+  }
+
+let sym_flow_mod ~prefix ~match_ ~actions () =
+  {
+    Sym_msg.sfm_match = match_;
+    sfm_cookie = Expr.var ~width:64 (prefix ^ ".cookie");
+    sfm_command = v16 (prefix ^ ".command");
+    sfm_idle_timeout = v16 (prefix ^ ".idle");
+    sfm_hard_timeout = v16 (prefix ^ ".hard");
+    sfm_priority = v16 (prefix ^ ".priority");
+    sfm_buffer_id = v32 (prefix ^ ".buffer_id");
+    sfm_out_port = v16 (prefix ^ ".out_port");
+    sfm_flags = v16 (prefix ^ ".flags");
+    sfm_actions = actions;
+  }
+
+(* A symbolic Flow Mod with 1 symbolic action and a symbolic output action
+   followed by a probing TCP packet. *)
+let flow_mod () =
+  let p = "fm" in
+  let fm =
+    sym_flow_mod ~prefix:p
+      ~match_:(Sym_msg.sym_match ~prefix:(p ^ ".match") ())
+      ~actions:
+        [ Sym_msg.sym_action ~prefix:(p ^ ".act0") (); Sym_msg.sym_output_action ~prefix:(p ^ ".act1") () ]
+      ()
+  in
+  {
+    id = "flow_mod";
+    label = "FlowMod";
+    description =
+      "A symbolic Flow Mod with 1 symbolic action and a symbolic output action followed by a \
+       probing TCP packet.";
+    message_count = 2;
+    inputs = [ Msg (Sym_msg.flow_mod fm); tcp_probe ~id:1 ~in_port:1 ];
+  }
+
+(* Flow Mod with only Ethernet-related fields symbolic, probed with an
+   Ethernet packet. *)
+let eth_flow_mod () =
+  let p = "efm" in
+  let fm =
+    sym_flow_mod ~prefix:p
+      ~match_:(Sym_msg.sym_match_eth ~prefix:(p ^ ".match") ())
+      ~actions:
+        [ Sym_msg.sym_action ~prefix:(p ^ ".act0") (); Sym_msg.sym_output_action ~prefix:(p ^ ".act1") () ]
+      ()
+  in
+  {
+    id = "eth_flow_mod";
+    label = "Eth FlowMod";
+    description =
+      "Symbolic Flow Mod with 1 symbolic action and a symbolic output action. Fields not \
+       related to Ethernet are concretized. The message is followed by a probing Ethernet \
+       packet.";
+    message_count = 2;
+    inputs = [ Msg (Sym_msg.flow_mod fm); eth_probe ~id:1 ~in_port:1 ];
+  }
+
+(* Two Flow Mods: the first concrete, the second symbolic. *)
+let cs_flow_mods () =
+  let concrete_fm =
+    let m =
+      Sym_msg.of_match
+        {
+          Openflow.Types.match_all with
+          Openflow.Types.wildcards =
+            Int32.of_int
+              (Openflow.Constants.Wildcards.all land lnot Openflow.Constants.Wildcards.in_port);
+          in_port = 1;
+        }
+    in
+    {
+      Sym_msg.sfm_match = m;
+      sfm_cookie = Expr.const ~width:64 7L;
+      sfm_command = Expr.const ~width:16 (Int64.of_int Openflow.Constants.Flow_mod_command.add);
+      sfm_idle_timeout = Expr.const ~width:16 0L;
+      sfm_hard_timeout = Expr.const ~width:16 0L;
+      sfm_priority = Expr.const ~width:16 100L;
+      sfm_buffer_id = c32 0xffffffff;
+      sfm_out_port = Expr.const ~width:16 (Int64.of_int Openflow.Constants.Port.none);
+      sfm_flags = Expr.const ~width:16 0L;
+      sfm_actions = [ Sym_msg.of_action (Openflow.Types.Output { port = 2; max_len = 0 }) ];
+    }
+  in
+  let p = "csfm" in
+  let symbolic_fm =
+    sym_flow_mod ~prefix:p
+      ~match_:(Sym_msg.sym_match ~prefix:(p ^ ".match") ())
+      ~actions:[ Sym_msg.sym_output_action ~prefix:(p ^ ".act0") () ]
+      ()
+  in
+  {
+    id = "cs_flow_mods";
+    label = "CS FlowMods";
+    description = "2 Flow Mod. The first one is concrete, the second is symbolic.";
+    message_count = 2;
+    inputs = [ Msg (Sym_msg.flow_mod concrete_fm); Msg (Sym_msg.flow_mod symbolic_fm) ];
+  }
+
+(* Four concrete 8-byte messages (no variable fields). *)
+let concrete () =
+  {
+    id = "concrete";
+    label = "Concrete";
+    description = "4 concrete 8-byte messages. These are the messages that do not have variable fields.";
+    message_count = 4;
+    inputs =
+      [
+        Msg (Sym_msg.echo_request ?xid:None [||]);
+        Msg (Sym_msg.features_request ());
+        Msg (Sym_msg.get_config_request ());
+        Msg (Sym_msg.barrier_request ());
+      ];
+  }
+
+(* A 10-byte symbolic message; only the version field is concrete. *)
+let short_symb () =
+  {
+    id = "short_symb";
+    label = "Short Symb";
+    description = "A 10-byte symbolic message. Only the OpenFlow version field is concrete.";
+    message_count = 1;
+    inputs = [ Msg (Sym_msg.short_symbolic ~prefix:"ss" ()) ];
+  }
+
+(* The eight tests of Table 1, in the paper's order. *)
+let all () =
+  [
+    packet_out (); stats_request (); set_config (); flow_mod (); eth_flow_mod ();
+    cs_flow_mods (); concrete (); short_symb ();
+  ]
+
+let by_id id =
+  List.find_opt (fun t -> t.id = id) (all ())
+
+(* --- Table 5: concretization ablations ------------------------------------ *)
+
+(* Baseline: a single symbolic Flow Mod with 2 symbolic actions and 2
+   symbolic output actions, followed by a TCP probe. *)
+let ablation_baseline ~variant ~match_ ~actions () =
+  let p = "abl_" ^ variant in
+  let fm = sym_flow_mod ~prefix:p ~match_ ~actions () in
+  {
+    id = "ablation_" ^ variant;
+    label = variant;
+    description = "Table 5 ablation variant: " ^ variant;
+    message_count = 2;
+    inputs = [ Msg (Sym_msg.flow_mod fm); tcp_probe ~id:1 ~in_port:1 ];
+  }
+
+let fully_symbolic () =
+  let p = "abl_full" in
+  ablation_baseline ~variant:"full"
+    ~match_:(Sym_msg.sym_match ~prefix:(p ^ ".match") ())
+    ~actions:
+      [
+        Sym_msg.sym_action ~prefix:(p ^ ".a0") ();
+        Sym_msg.sym_action ~prefix:(p ^ ".a1") ();
+        Sym_msg.sym_output_action ~prefix:(p ^ ".o0") ();
+        Sym_msg.sym_output_action ~prefix:(p ^ ".o1") ();
+      ]
+    ()
+
+let concrete_match () =
+  let p = "abl_cmatch" in
+  ablation_baseline ~variant:"concrete_match"
+    ~match_:(Sym_msg.wildcard_match ())
+    ~actions:
+      [
+        Sym_msg.sym_action ~prefix:(p ^ ".a0") ();
+        Sym_msg.sym_action ~prefix:(p ^ ".a1") ();
+        Sym_msg.sym_output_action ~prefix:(p ^ ".o0") ();
+        Sym_msg.sym_output_action ~prefix:(p ^ ".o1") ();
+      ]
+    ()
+
+let concrete_action () =
+  let p = "abl_cact" in
+  ablation_baseline ~variant:"concrete_action"
+    ~match_:(Sym_msg.sym_match ~prefix:(p ^ ".match") ())
+    ~actions:[ Sym_msg.of_action (Openflow.Types.Output { port = 2; max_len = 0 }) ]
+    ()
+
+(* Probe ablation: a partially symbolic Flow Mod that applies actions to
+   Ethernet packets, probed with a concrete or fully symbolic packet. *)
+let probe_ablation ~symbolic_probe () =
+  let variant = if symbolic_probe then "symbolic_probe" else "concrete_probe" in
+  let p = "abl_" ^ variant in
+  let fm =
+    sym_flow_mod ~prefix:p
+      ~match_:(Sym_msg.sym_match_eth ~prefix:(p ^ ".match") ())
+      ~actions:[ Sym_msg.sym_output_action ~prefix:(p ^ ".o0") () ]
+      ()
+  in
+  let probe =
+    if symbolic_probe then
+      Probe { pr_id = 1; pr_in_port = 1; pr_packet = SP.symbolic_eth ~prefix:(p ^ ".probe") () }
+    else eth_probe ~id:1 ~in_port:1
+  in
+  {
+    id = "ablation_" ^ variant;
+    label = variant;
+    description = "Table 5 probe ablation variant: " ^ variant;
+    message_count = 2;
+    inputs = [ Msg (Sym_msg.flow_mod fm); probe ];
+  }
+
+(* --- Figure 4: coverage vs number of symbolic messages -------------------- *)
+
+let figure4_sequence ~messages () =
+  let mk i =
+    let p = Printf.sprintf "f4m%d" i in
+    Msg
+      (Sym_msg.flow_mod
+         (sym_flow_mod ~prefix:p
+            ~match_:(Sym_msg.sym_match ~prefix:(p ^ ".match") ())
+            ~actions:[ Sym_msg.sym_output_action ~prefix:(p ^ ".o0") () ]
+            ()))
+  in
+  let rec build i = if i > messages then [] else mk i :: build (i + 1) in
+  {
+    id = Printf.sprintf "figure4_%d" messages;
+    label = Printf.sprintf "%d symbolic message(s)" messages;
+    description = "Figure 4 sweep: symbolic Flow Mod sequence";
+    message_count = messages;
+    inputs = build 1;
+  }
+
+(* --- virtual-time extension ------------------------------------------------ *)
+
+(* A concrete flow mod with a 10s idle timeout, the clock advanced to one
+   second before expiry, then a probe.  An agent whose rules expire early
+   (the Modified Switch's M2 injection) diverges observably here — the
+   difference the standard suite cannot reach (paper §5.1.1). *)
+let timed_flow_mod () =
+  let m =
+    Sym_msg.of_match
+      {
+        Openflow.Types.match_all with
+        Openflow.Types.wildcards =
+          Int32.of_int
+            (Openflow.Constants.Wildcards.all land lnot Openflow.Constants.Wildcards.in_port);
+        in_port = 1;
+      }
+  in
+  let fm =
+    {
+      Sym_msg.sfm_match = m;
+      sfm_cookie = Expr.const ~width:64 0L;
+      sfm_command = Expr.const ~width:16 (Int64.of_int Openflow.Constants.Flow_mod_command.add);
+      sfm_idle_timeout = Expr.const ~width:16 10L;
+      sfm_hard_timeout = Expr.const ~width:16 0L;
+      sfm_priority = Expr.const ~width:16 100L;
+      sfm_buffer_id = c32 0xffffffff;
+      sfm_out_port = Expr.const ~width:16 (Int64.of_int Openflow.Constants.Port.none);
+      sfm_flags = Expr.const ~width:16 0L;
+      sfm_actions = [ Sym_msg.of_action (Openflow.Types.Output { port = 2; max_len = 0 }) ];
+    }
+  in
+  {
+    id = "timed_flow_mod";
+    label = "Timed FlowMod";
+    description =
+      "A concrete Flow Mod with idle_timeout=10, the virtual clock advanced by 9 seconds, \
+       then a probing TCP packet (time extension).";
+    message_count = 2;
+    inputs = [ Msg (Sym_msg.flow_mod fm); Advance_time 9; tcp_probe ~id:1 ~in_port:1 ];
+  }
+
+(* Same, with a symbolic idle timeout: partitions the timeout space around
+   the advanced clock. *)
+let timed_flow_mod_symbolic () =
+  let p = "tfms" in
+  let fm =
+    {
+      (sym_flow_mod ~prefix:p
+         ~match_:(Sym_msg.wildcard_match ())
+         ~actions:[ Sym_msg.of_action (Openflow.Types.Output { port = 2; max_len = 0 }) ]
+         ())
+      with
+      Sym_msg.sfm_command =
+        Expr.const ~width:16 (Int64.of_int Openflow.Constants.Flow_mod_command.add);
+      sfm_buffer_id = c32 0xffffffff;
+      sfm_flags = Expr.const ~width:16 0L;
+      sfm_hard_timeout = Expr.const ~width:16 0L;
+    }
+  in
+  {
+    id = "timed_flow_mod_symbolic";
+    label = "Timed FlowMod (sym)";
+    description =
+      "A Flow Mod with a symbolic idle timeout, the virtual clock advanced by 9 seconds, \
+       then a probing TCP packet (time extension).";
+    message_count = 2;
+    inputs = [ Msg (Sym_msg.flow_mod fm); Advance_time 9; tcp_probe ~id:1 ~in_port:1 ];
+  }

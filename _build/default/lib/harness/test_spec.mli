@@ -1,0 +1,80 @@
+(** The test inputs of the paper's evaluation (Table 1), the concretization
+    ablations of Table 5, the message-count sweep of Figure 4, and the
+    virtual-time extension tests.
+
+    Input construction follows §3.2: structure (message type, lengths,
+    action counts) is concrete while field contents are symbolic.
+    Variable names are deterministic per test and interned globally, so
+    running two agents on the same spec feeds them literally the same
+    symbolic inputs — the soundness prerequisite of the crosscheck phase. *)
+
+type input =
+  | Msg of Openflow.Sym_msg.t
+  | Probe of { pr_id : int; pr_in_port : int; pr_packet : Packet.Sym_packet.t }
+      (** a concrete (or symbolic) data-plane packet used to observe state *)
+  | Advance_time of int
+      (** virtual-time extension: advance the agent's clock by this many
+          seconds, firing flow timeouts *)
+
+type t = {
+  id : string;
+  label : string;  (** row label as printed in the paper's tables *)
+  description : string;
+  message_count : int;  (** the "Message count" column of Table 2 *)
+  inputs : input list;
+}
+
+(** {1 Table 1} *)
+
+val packet_out : unit -> t
+val stats_request : unit -> t
+val set_config : unit -> t
+val flow_mod : unit -> t
+val eth_flow_mod : unit -> t
+val cs_flow_mods : unit -> t
+val concrete : unit -> t
+val short_symb : unit -> t
+
+val all : unit -> t list
+(** The eight tests, in the paper's order. *)
+
+val by_id : string -> t option
+
+(** {1 Building blocks} *)
+
+val sym_flow_mod :
+  prefix:string ->
+  match_:Openflow.Sym_msg.smatch ->
+  actions:Openflow.Sym_msg.saction list ->
+  unit ->
+  Openflow.Sym_msg.sflow_mod
+(** A flow mod whose scalar fields (command, timeouts, priority, buffer,
+    out_port, flags, cookie) are fresh symbolic variables under [prefix]. *)
+
+val tcp_probe : id:int -> in_port:int -> input
+val eth_probe : id:int -> in_port:int -> input
+
+(** {1 Table 5 ablations} *)
+
+val fully_symbolic : unit -> t
+(** The §5.3 baseline: 2 symbolic actions + 2 symbolic output actions,
+    fully symbolic match, TCP probe. *)
+
+val concrete_match : unit -> t
+val concrete_action : unit -> t
+val probe_ablation : symbolic_probe:bool -> unit -> t
+
+(** {1 Figure 4} *)
+
+val figure4_sequence : messages:int -> unit -> t
+(** A sequence of [messages] symbolic flow mods (no probe). *)
+
+(** {1 Virtual-time extension} *)
+
+val timed_flow_mod : unit -> t
+(** Concrete rule with idle_timeout 10s, clock advanced by 9s, TCP probe —
+    exposes off-by-one expiry differences (the Modified Switch's M2). *)
+
+val timed_flow_mod_symbolic : unit -> t
+(** Same with a symbolic idle timeout: partitions the timeout space around
+    the advanced clock. *)

@@ -1,0 +1,1 @@
+lib/openflow/constants.ml: Printf

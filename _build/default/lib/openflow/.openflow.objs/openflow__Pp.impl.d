@@ -1,0 +1,1 @@
+lib/openflow/pp.ml: Constants Format Int32 Int64 List String Types Wire

@@ -1,0 +1,1 @@
+lib/openflow/pp.mli: Format Types

@@ -1,0 +1,1 @@
+lib/openflow/sym_msg.ml: Array Char Constants Expr Int64 List Model Packet Printf Smt String Types

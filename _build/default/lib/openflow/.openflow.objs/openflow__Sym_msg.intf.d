@@ -1,0 +1,1 @@
+lib/openflow/sym_msg.mli: Expr Model Packet Smt Types

@@ -1,0 +1,1 @@
+lib/openflow/trace.ml: Constants Expr Format List Packet Printf Smt String

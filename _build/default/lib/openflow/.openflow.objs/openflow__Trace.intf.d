@@ -1,0 +1,1 @@
+lib/openflow/trace.mli: Expr Format Packet Smt

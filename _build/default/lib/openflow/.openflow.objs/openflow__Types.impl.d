@@ -1,0 +1,1 @@
+lib/openflow/types.ml: Constants Int32

@@ -1,0 +1,1 @@
+lib/openflow/wire.ml: Buffer Char Constants Int32 Int64 List Printf String Types

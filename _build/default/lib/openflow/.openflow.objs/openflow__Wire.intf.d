@@ -1,0 +1,1 @@
+lib/openflow/wire.mli: Types

@@ -1,0 +1,337 @@
+(* OpenFlow 1.0.0 protocol constants, transcribed from openflow.h of the
+   v1.0 specification.  Names follow the spec (OFPT_*, OFPP_*, ...) with the
+   prefix dropped and lowercased. *)
+
+let version = 0x01
+
+(* ofp_type: message type codes *)
+module Msg_type = struct
+  let hello = 0
+  let error = 1
+  let echo_request = 2
+  let echo_reply = 3
+  let vendor = 4
+  let features_request = 5
+  let features_reply = 6
+  let get_config_request = 7
+  let get_config_reply = 8
+  let set_config = 9
+  let packet_in = 10
+  let flow_removed = 11
+  let port_status = 12
+  let packet_out = 13
+  let flow_mod = 14
+  let port_mod = 15
+  let stats_request = 16
+  let stats_reply = 17
+  let barrier_request = 18
+  let barrier_reply = 19
+  let queue_get_config_request = 20
+  let queue_get_config_reply = 21
+
+  let max = 21
+
+  let all =
+    [
+      hello; error; echo_request; echo_reply; vendor; features_request;
+      features_reply; get_config_request; get_config_reply; set_config;
+      packet_in; flow_removed; port_status; packet_out; flow_mod; port_mod;
+      stats_request; stats_reply; barrier_request; barrier_reply;
+      queue_get_config_request; queue_get_config_reply;
+    ]
+
+  let name t =
+    match t with
+    | 0 -> "HELLO"
+    | 1 -> "ERROR"
+    | 2 -> "ECHO_REQUEST"
+    | 3 -> "ECHO_REPLY"
+    | 4 -> "VENDOR"
+    | 5 -> "FEATURES_REQUEST"
+    | 6 -> "FEATURES_REPLY"
+    | 7 -> "GET_CONFIG_REQUEST"
+    | 8 -> "GET_CONFIG_REPLY"
+    | 9 -> "SET_CONFIG"
+    | 10 -> "PACKET_IN"
+    | 11 -> "FLOW_REMOVED"
+    | 12 -> "PORT_STATUS"
+    | 13 -> "PACKET_OUT"
+    | 14 -> "FLOW_MOD"
+    | 15 -> "PORT_MOD"
+    | 16 -> "STATS_REQUEST"
+    | 17 -> "STATS_REPLY"
+    | 18 -> "BARRIER_REQUEST"
+    | 19 -> "BARRIER_REPLY"
+    | 20 -> "QUEUE_GET_CONFIG_REQUEST"
+    | 21 -> "QUEUE_GET_CONFIG_REPLY"
+    | n -> Printf.sprintf "UNKNOWN(%d)" n
+end
+
+(* ofp_port: special port numbers (16-bit) *)
+module Port = struct
+  let max = 0xff00 (* maximum number of physical ports *)
+  let in_port = 0xfff8 (* send back out the input port *)
+  let table = 0xfff9 (* perform actions in the flow table (packet-out only) *)
+  let normal = 0xfffa (* traditional L2/L3 processing *)
+  let flood = 0xfffb (* all ports except input and flood-disabled *)
+  let all = 0xfffc (* all ports except input *)
+  let controller = 0xfffd (* encapsulate and send to controller *)
+  let local = 0xfffe (* local openflow "port" *)
+  let none = 0xffff (* not associated with any port *)
+
+  let specials = [ in_port; table; normal; flood; all; controller; local; none ]
+
+  let name p =
+    if p = in_port then "IN_PORT"
+    else if p = table then "TABLE"
+    else if p = normal then "NORMAL"
+    else if p = flood then "FLOOD"
+    else if p = all then "ALL"
+    else if p = controller then "CONTROLLER"
+    else if p = local then "LOCAL"
+    else if p = none then "NONE"
+    else string_of_int p
+end
+
+(* ofp_action_type *)
+module Action_type = struct
+  let output = 0
+  let set_vlan_vid = 1
+  let set_vlan_pcp = 2
+  let strip_vlan = 3
+  let set_dl_src = 4
+  let set_dl_dst = 5
+  let set_nw_src = 6
+  let set_nw_dst = 7
+  let set_nw_tos = 8
+  let set_tp_src = 9
+  let set_tp_dst = 10
+  let enqueue = 11
+  let vendor = 0xffff
+
+  let all_standard =
+    [
+      output; set_vlan_vid; set_vlan_pcp; strip_vlan; set_dl_src; set_dl_dst;
+      set_nw_src; set_nw_dst; set_nw_tos; set_tp_src; set_tp_dst; enqueue;
+    ]
+
+  (* wire length in bytes of each standard action structure *)
+  let wire_len t =
+    if t = output || t = set_vlan_vid || t = set_vlan_pcp || t = strip_vlan
+       || t = set_nw_src || t = set_nw_dst || t = set_nw_tos || t = set_tp_src
+       || t = set_tp_dst
+    then 8
+    else if t = set_dl_src || t = set_dl_dst || t = enqueue then 16
+    else 8
+
+  let name t =
+    match t with
+    | 0 -> "OUTPUT"
+    | 1 -> "SET_VLAN_VID"
+    | 2 -> "SET_VLAN_PCP"
+    | 3 -> "STRIP_VLAN"
+    | 4 -> "SET_DL_SRC"
+    | 5 -> "SET_DL_DST"
+    | 6 -> "SET_NW_SRC"
+    | 7 -> "SET_NW_DST"
+    | 8 -> "SET_NW_TOS"
+    | 9 -> "SET_TP_SRC"
+    | 10 -> "SET_TP_DST"
+    | 11 -> "ENQUEUE"
+    | 0xffff -> "VENDOR"
+    | n -> Printf.sprintf "ACTION(%d)" n
+end
+
+(* ofp_flow_mod_command *)
+module Flow_mod_command = struct
+  let add = 0
+  let modify = 1
+  let modify_strict = 2
+  let delete = 3
+  let delete_strict = 4
+
+  let all = [ add; modify; modify_strict; delete; delete_strict ]
+
+  let name c =
+    match c with
+    | 0 -> "ADD"
+    | 1 -> "MODIFY"
+    | 2 -> "MODIFY_STRICT"
+    | 3 -> "DELETE"
+    | 4 -> "DELETE_STRICT"
+    | n -> Printf.sprintf "CMD(%d)" n
+end
+
+(* ofp_flow_mod_flags *)
+module Flow_mod_flags = struct
+  let send_flow_rem = 1 lsl 0
+  let check_overlap = 1 lsl 1
+  let emerg = 1 lsl 2
+end
+
+(* ofp_flow_wildcards *)
+module Wildcards = struct
+  let in_port = 1 lsl 0
+  let dl_vlan = 1 lsl 1
+  let dl_src = 1 lsl 2
+  let dl_dst = 1 lsl 3
+  let dl_type = 1 lsl 4
+  let nw_proto = 1 lsl 5
+  let tp_src = 1 lsl 6
+  let tp_dst = 1 lsl 7
+  let nw_src_shift = 8
+  let nw_src_bits = 6
+  let nw_src_mask = 0x3f lsl 8
+  let nw_src_all = 32 lsl 8
+  let nw_dst_shift = 14
+  let nw_dst_bits = 6
+  let nw_dst_mask = 0x3f lsl 14
+  let nw_dst_all = 32 lsl 14
+  let dl_vlan_pcp = 1 lsl 20
+  let nw_tos = 1 lsl 21
+  let all = (1 lsl 22) - 1
+end
+
+(* ofp_error_type *)
+module Error_type = struct
+  let hello_failed = 0
+  let bad_request = 1
+  let bad_action = 2
+  let flow_mod_failed = 3
+  let port_mod_failed = 4
+  let queue_op_failed = 5
+
+  let name t =
+    match t with
+    | 0 -> "HELLO_FAILED"
+    | 1 -> "BAD_REQUEST"
+    | 2 -> "BAD_ACTION"
+    | 3 -> "FLOW_MOD_FAILED"
+    | 4 -> "PORT_MOD_FAILED"
+    | 5 -> "QUEUE_OP_FAILED"
+    | n -> Printf.sprintf "ERRTYPE(%d)" n
+end
+
+(* ofp_bad_request_code *)
+module Bad_request = struct
+  let bad_version = 0
+  let bad_type = 1
+  let bad_stat = 2
+  let bad_vendor = 3
+  let bad_subtype = 4
+  let eperm = 5
+  let bad_len = 6
+  let buffer_empty = 7
+  let buffer_unknown = 8
+end
+
+(* ofp_bad_action_code *)
+module Bad_action = struct
+  let bad_type = 0
+  let bad_len = 1
+  let bad_vendor = 2
+  let bad_vendor_type = 3
+  let bad_out_port = 4
+  let bad_argument = 5
+  let eperm = 6
+  let too_many = 7
+  let bad_queue = 8
+end
+
+(* ofp_flow_mod_failed_code *)
+module Flow_mod_failed = struct
+  let all_tables_full = 0
+  let overlap = 1
+  let eperm = 2
+  let bad_emerg_timeout = 3
+  let bad_command = 4
+  let unsupported = 5
+end
+
+(* ofp_queue_op_failed_code *)
+module Queue_op_failed = struct
+  let bad_port = 0
+  let bad_queue = 1
+  let eperm = 2
+end
+
+(* ofp_stats_types *)
+module Stats_type = struct
+  let desc = 0
+  let flow = 1
+  let aggregate = 2
+  let table = 3
+  let port = 4
+  let queue = 5
+  let vendor = 0xffff
+
+  let all_standard = [ desc; flow; aggregate; table; port; queue ]
+
+  let name t =
+    match t with
+    | 0 -> "DESC"
+    | 1 -> "FLOW"
+    | 2 -> "AGGREGATE"
+    | 3 -> "TABLE"
+    | 4 -> "PORT"
+    | 5 -> "QUEUE"
+    | 0xffff -> "VENDOR"
+    | n -> Printf.sprintf "STATS(%d)" n
+end
+
+(* ofp_config_flags: fragment handling *)
+module Config_flags = struct
+  let frag_normal = 0
+  let frag_drop = 1
+  let frag_reasm = 2
+  let frag_mask = 3
+end
+
+(* ofp_packet_in_reason *)
+module Packet_in_reason = struct
+  let no_match = 0
+  let action = 1
+end
+
+(* ofp_flow_removed_reason *)
+module Flow_removed_reason = struct
+  let idle_timeout = 0
+  let hard_timeout = 1
+  let delete = 2
+end
+
+(* structure sizes on the wire (bytes) *)
+module Sizes = struct
+  let header = 8
+  let of_match = 40
+  let flow_mod = 72 (* includes header and match, excludes actions *)
+  let packet_out = 16 (* includes header, excludes actions and data *)
+  let stats_request = 12 (* includes header, excludes body *)
+  let stats_reply = 12
+  let flow_stats_request = 44 (* match + table_id + pad + out_port *)
+  let switch_config = 12
+  let phy_port = 48
+  let features_reply = 32 (* excludes ports *)
+  let queue_get_config_request = 12
+  let error_msg = 12 (* excludes data *)
+  let port_mod = 32
+  let packet_in = 18 (* excludes data *)
+  let flow_removed = 88
+end
+
+let buffer_none = 0xffffffffl
+
+(* Ethernet / IP constants used in matching and validation *)
+module Eth = struct
+  let type_ip = 0x0800
+  let type_arp = 0x0806
+  let type_vlan = 0x8100
+end
+
+module Ip_proto = struct
+  let icmp = 1
+  let tcp = 6
+  let udp = 17
+end
+
+let vlan_none = 0xffff (* OFP_VLAN_NONE: match packets without a VLAN tag *)

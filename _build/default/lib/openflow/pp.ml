@@ -1,0 +1,111 @@
+(* Human-readable printers for concrete OpenFlow values (reports, examples,
+   debugging).  Kept separate from [Types] so the data definitions stay
+   dependency-free. *)
+
+open Types
+module C = Constants
+
+let mac fmt (m : mac) =
+  Format.fprintf fmt "%02Lx:%02Lx:%02Lx:%02Lx:%02Lx:%02Lx"
+    (Int64.logand (Int64.shift_right_logical m 40) 0xffL)
+    (Int64.logand (Int64.shift_right_logical m 32) 0xffL)
+    (Int64.logand (Int64.shift_right_logical m 24) 0xffL)
+    (Int64.logand (Int64.shift_right_logical m 16) 0xffL)
+    (Int64.logand (Int64.shift_right_logical m 8) 0xffL)
+    (Int64.logand m 0xffL)
+
+let ipv4 fmt (a : int32) =
+  let b i = Int32.to_int (Int32.logand (Int32.shift_right_logical a (8 * i)) 0xffl) in
+  Format.fprintf fmt "%d.%d.%d.%d" (b 3) (b 2) (b 1) (b 0)
+
+let action fmt = function
+  | Output { port; max_len } ->
+    Format.fprintf fmt "output(port=%s,max_len=%d)" (C.Port.name port) max_len
+  | Set_vlan_vid v -> Format.fprintf fmt "set_vlan_vid(%d)" v
+  | Set_vlan_pcp v -> Format.fprintf fmt "set_vlan_pcp(%d)" v
+  | Strip_vlan -> Format.fprintf fmt "strip_vlan"
+  | Set_dl_src m -> Format.fprintf fmt "set_dl_src(%a)" mac m
+  | Set_dl_dst m -> Format.fprintf fmt "set_dl_dst(%a)" mac m
+  | Set_nw_src a -> Format.fprintf fmt "set_nw_src(%a)" ipv4 a
+  | Set_nw_dst a -> Format.fprintf fmt "set_nw_dst(%a)" ipv4 a
+  | Set_nw_tos t -> Format.fprintf fmt "set_nw_tos(%d)" t
+  | Set_tp_src p -> Format.fprintf fmt "set_tp_src(%d)" p
+  | Set_tp_dst p -> Format.fprintf fmt "set_tp_dst(%d)" p
+  | Enqueue { port; queue_id } -> Format.fprintf fmt "enqueue(port=%d,q=%ld)" port queue_id
+  | Vendor_action { vendor; _ } -> Format.fprintf fmt "vendor_action(0x%lx)" vendor
+  | Unknown_action { typ; _ } -> Format.fprintf fmt "unknown_action(%d)" typ
+
+let of_match fmt (m : of_match) =
+  let wc = Int32.to_int m.wildcards in
+  let field bit name pr =
+    if wc land bit = 0 then Format.fprintf fmt "%s=%t," name pr
+  in
+  Format.fprintf fmt "{";
+  field C.Wildcards.in_port "in_port" (fun f -> Format.fprintf f "%d" m.in_port);
+  field C.Wildcards.dl_src "dl_src" (fun f -> mac f m.dl_src);
+  field C.Wildcards.dl_dst "dl_dst" (fun f -> mac f m.dl_dst);
+  field C.Wildcards.dl_vlan "dl_vlan" (fun f -> Format.fprintf f "%d" m.dl_vlan);
+  field C.Wildcards.dl_vlan_pcp "dl_vlan_pcp" (fun f -> Format.fprintf f "%d" m.dl_vlan_pcp);
+  field C.Wildcards.dl_type "dl_type" (fun f -> Format.fprintf f "0x%04x" m.dl_type);
+  field C.Wildcards.nw_tos "nw_tos" (fun f -> Format.fprintf f "%d" m.nw_tos);
+  field C.Wildcards.nw_proto "nw_proto" (fun f -> Format.fprintf f "%d" m.nw_proto);
+  let nw_src_bits = (wc lsr C.Wildcards.nw_src_shift) land 0x3f in
+  if nw_src_bits < 32 then Format.fprintf fmt "nw_src=%a/%d," ipv4 m.nw_src (32 - nw_src_bits);
+  let nw_dst_bits = (wc lsr C.Wildcards.nw_dst_shift) land 0x3f in
+  if nw_dst_bits < 32 then Format.fprintf fmt "nw_dst=%a/%d," ipv4 m.nw_dst (32 - nw_dst_bits);
+  field C.Wildcards.tp_src "tp_src" (fun f -> Format.fprintf f "%d" m.tp_src);
+  field C.Wildcards.tp_dst "tp_dst" (fun f -> Format.fprintf f "%d" m.tp_dst);
+  Format.fprintf fmt "}"
+
+let actions fmt l =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") action)
+    l
+
+let message fmt = function
+  | Hello -> Format.fprintf fmt "HELLO"
+  | Error_msg { err_type; err_code; _ } ->
+    Format.fprintf fmt "ERROR(%s,code=%d)" (C.Error_type.name err_type) err_code
+  | Echo_request _ -> Format.fprintf fmt "ECHO_REQUEST"
+  | Echo_reply _ -> Format.fprintf fmt "ECHO_REPLY"
+  | Vendor { vendor; _ } -> Format.fprintf fmt "VENDOR(0x%lx)" vendor
+  | Features_request -> Format.fprintf fmt "FEATURES_REQUEST"
+  | Features_reply f ->
+    Format.fprintf fmt "FEATURES_REPLY(dpid=0x%Lx,ports=%d)" f.datapath_id
+      (List.length f.ports)
+  | Get_config_request -> Format.fprintf fmt "GET_CONFIG_REQUEST"
+  | Get_config_reply c ->
+    Format.fprintf fmt "GET_CONFIG_REPLY(flags=%d,miss=%d)" c.cfg_flags c.miss_send_len
+  | Set_config c ->
+    Format.fprintf fmt "SET_CONFIG(flags=%d,miss=%d)" c.cfg_flags c.miss_send_len
+  | Packet_in p ->
+    Format.fprintf fmt "PACKET_IN(in_port=%d,reason=%d,len=%d)" p.pi_in_port p.pi_reason
+      (String.length p.pi_data)
+  | Flow_removed f ->
+    Format.fprintf fmt "FLOW_REMOVED(%a,reason=%d)" of_match f.fr_match f.fr_reason
+  | Port_status p -> Format.fprintf fmt "PORT_STATUS(reason=%d)" p.ps_reason
+  | Packet_out p ->
+    Format.fprintf fmt "PACKET_OUT(buf=%ld,in_port=%d,%a)" p.po_buffer_id p.po_in_port
+      actions p.po_actions
+  | Flow_mod f ->
+    Format.fprintf fmt "FLOW_MOD(%s,%a,prio=%d,%a)"
+      (C.Flow_mod_command.name f.command)
+      of_match f.fm_match f.priority actions f.fm_actions
+  | Port_mod p -> Format.fprintf fmt "PORT_MOD(port=%d)" p.pm_port_no
+  | Stats_request { sreq; _ } ->
+    Format.fprintf fmt "STATS_REQUEST(%s)"
+      (C.Stats_type.name (Wire.stats_type_of_request sreq))
+  | Stats_reply { srep; _ } ->
+    Format.fprintf fmt "STATS_REPLY(%s)" (C.Stats_type.name (Wire.stats_type_of_reply srep))
+  | Barrier_request -> Format.fprintf fmt "BARRIER_REQUEST"
+  | Barrier_reply -> Format.fprintf fmt "BARRIER_REPLY"
+  | Queue_get_config_request { qgc_port } ->
+    Format.fprintf fmt "QUEUE_GET_CONFIG_REQUEST(port=%d)" qgc_port
+  | Queue_get_config_reply { qgr_port; qgr_queues } ->
+    Format.fprintf fmt "QUEUE_GET_CONFIG_REPLY(port=%d,queues=%d)" qgr_port
+      (List.length qgr_queues)
+
+let msg fmt (m : msg) = Format.fprintf fmt "xid=%ld %a" m.xid message m.payload
+
+let message_to_string m = Format.asprintf "%a" message m
+let msg_to_string m = Format.asprintf "%a" msg m

@@ -1,0 +1,15 @@
+(** Human-readable printers for concrete OpenFlow values (used by
+    reproducer test cases, the CLI and examples). *)
+
+val mac : Format.formatter -> Types.mac -> unit
+val ipv4 : Format.formatter -> int32 -> unit
+val action : Format.formatter -> Types.action -> unit
+val actions : Format.formatter -> Types.action list -> unit
+
+val of_match : Format.formatter -> Types.of_match -> unit
+(** Prints only the non-wildcarded fields. *)
+
+val message : Format.formatter -> Types.message -> unit
+val msg : Format.formatter -> Types.msg -> unit
+val message_to_string : Types.message -> string
+val msg_to_string : Types.msg -> string

@@ -1,0 +1,110 @@
+(* Observable outputs of an OpenFlow agent: messages back to the controller
+   and packets on the data plane (paper §3.3).  Events may embed symbolic
+   expressions — the harness feeds both agents identically-named symbolic
+   inputs, so hash-consing makes symbolic outputs comparable by id.
+
+   [key] renders an event to a stable string; a path's *result* is the
+   concatenation of its event keys, which is what grouping and
+   crosschecking compare.  Normalization (buffer ids, xids) happens in
+   [Harness.Normalize] before keys are taken. *)
+
+open Smt
+module C = Constants
+
+type buffer_ref =
+  | No_buffer
+  | Buffer_id of sbuf
+
+and sbuf = { braw : Expr.bv (* 32 *) }
+
+type msg_out =
+  | O_hello
+  | O_echo_reply of { payload_len : Expr.bv (* 16 *) }
+  | O_error of { o_err_type : int; o_err_code : int }
+  | O_features_reply of { o_n_ports : int }
+  | O_get_config_reply of { o_flags : Expr.bv; o_miss_send_len : Expr.bv }
+  | O_packet_in of {
+      o_pi_in_port : Expr.bv;
+      o_pi_reason : int;
+      o_pi_buffer : buffer_ref;
+      o_pi_pkt : Packet.Sym_packet.t option;
+      o_pi_data_len : Expr.bv; (* 16; bytes of packet data included *)
+    }
+  | O_stats_reply of { o_stats_type : int; o_stats_body : string (* digest *) }
+  | O_barrier_reply
+  | O_queue_config_reply of { o_q_port : Expr.bv; o_n_queues : int }
+  | O_flow_removed of { o_fr_reason : int }
+
+type event =
+  | Msg_out of msg_out
+  | Pkt_out of { out_port : Expr.bv; out_pkt : Packet.Sym_packet.t }
+  | Probe_response of { probe_id : int; response : probe_response }
+
+and probe_response =
+  | Forwarded of { fwd_port : Expr.bv; fwd_pkt : Packet.Sym_packet.t }
+  | Sent_to_controller of { stc_reason : int }
+  | Probe_dropped
+
+(* --- stable keys -------------------------------------------------------- *)
+
+let bv_key (e : Expr.bv) =
+  match Expr.const_value e with
+  | Some v -> Printf.sprintf "#%Lx" v
+  | None -> Printf.sprintf "e%d" e.Expr.id
+
+let buffer_key = function
+  | No_buffer -> "nobuf"
+  | Buffer_id { braw } -> "buf:" ^ bv_key braw
+
+let pkt_key (p : Packet.Sym_packet.t) = Packet.Sym_packet.digest p
+
+let msg_out_key = function
+  | O_hello -> "hello"
+  | O_echo_reply { payload_len } -> Printf.sprintf "echo_reply(%s)" (bv_key payload_len)
+  | O_error { o_err_type; o_err_code } ->
+    Printf.sprintf "error(%s,%d)" (C.Error_type.name o_err_type) o_err_code
+  | O_features_reply { o_n_ports } -> Printf.sprintf "features_reply(%d)" o_n_ports
+  | O_get_config_reply { o_flags; o_miss_send_len } ->
+    Printf.sprintf "get_config_reply(%s,%s)" (bv_key o_flags) (bv_key o_miss_send_len)
+  | O_packet_in { o_pi_in_port; o_pi_reason; o_pi_buffer; o_pi_pkt; o_pi_data_len } ->
+    Printf.sprintf "packet_in(%s,%d,%s,%s,len=%s)" (bv_key o_pi_in_port) o_pi_reason
+      (buffer_key o_pi_buffer)
+      (match o_pi_pkt with Some p -> pkt_key p | None -> "-")
+      (bv_key o_pi_data_len)
+  | O_stats_reply { o_stats_type; o_stats_body } ->
+    Printf.sprintf "stats_reply(%s,%s)" (C.Stats_type.name o_stats_type) o_stats_body
+  | O_barrier_reply -> "barrier_reply"
+  | O_queue_config_reply { o_q_port; o_n_queues } ->
+    Printf.sprintf "queue_config_reply(%s,%d)" (bv_key o_q_port) o_n_queues
+  | O_flow_removed { o_fr_reason } -> Printf.sprintf "flow_removed(%d)" o_fr_reason
+
+let probe_response_key = function
+  | Forwarded { fwd_port; fwd_pkt } ->
+    Printf.sprintf "fwd(%s,%s)" (bv_key fwd_port) (pkt_key fwd_pkt)
+  | Sent_to_controller { stc_reason } -> Printf.sprintf "to_ctrl(%d)" stc_reason
+  | Probe_dropped -> "dropped"
+
+let event_key = function
+  | Msg_out m -> "of:" ^ msg_out_key m
+  | Pkt_out { out_port; out_pkt } ->
+    Printf.sprintf "dp:tx(%s,%s)" (bv_key out_port) (pkt_key out_pkt)
+  | Probe_response { probe_id; response } ->
+    Printf.sprintf "probe%d:%s" probe_id (probe_response_key response)
+
+(* The normalized result of a path: what SOFT compares across agents.  A
+   crash is part of the observable result (the connection drops). *)
+type result = { trace : string list; crash : string option }
+
+let result_of ?crash events = { trace = List.map event_key events; crash }
+
+let result_key r =
+  String.concat ";" r.trace
+  ^ match r.crash with Some m -> ";CRASH(" ^ m ^ ")" | None -> ""
+
+let equal_result a b = result_key a = result_key b
+
+let pp_result fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun k -> Format.fprintf fmt "%s@ " k) r.trace;
+  (match r.crash with Some m -> Format.fprintf fmt "CRASH: %s@ " m | None -> ());
+  Format.fprintf fmt "@]"

@@ -1,0 +1,56 @@
+(** Observable outputs of an OpenFlow agent: messages back to the
+    controller and packets on the data plane (paper §3.3).  Events may
+    embed symbolic expressions — the harness feeds both agents
+    identically-named symbolic inputs, so hash-consing makes symbolic
+    outputs comparable by expression identity.
+
+    {!event_key} renders an event to a stable string; a path's *result* is
+    the list of its event keys plus the crash flag — exactly what grouping
+    and crosschecking compare.  Normalization (buffer ids, vendor strings)
+    happens in [Harness.Normalize] before keys are taken. *)
+
+open Smt
+
+type buffer_ref = No_buffer | Buffer_id of sbuf
+and sbuf = { braw : Expr.bv (* 32 *) }
+
+type msg_out =
+  | O_hello
+  | O_echo_reply of { payload_len : Expr.bv (* 16 *) }
+  | O_error of { o_err_type : int; o_err_code : int }
+  | O_features_reply of { o_n_ports : int }
+  | O_get_config_reply of { o_flags : Expr.bv; o_miss_send_len : Expr.bv }
+  | O_packet_in of {
+      o_pi_in_port : Expr.bv;
+      o_pi_reason : int;
+      o_pi_buffer : buffer_ref;
+      o_pi_pkt : Packet.Sym_packet.t option;
+      o_pi_data_len : Expr.bv;  (** bytes of packet data included *)
+    }
+  | O_stats_reply of { o_stats_type : int; o_stats_body : string (* digest *) }
+  | O_barrier_reply
+  | O_queue_config_reply of { o_q_port : Expr.bv; o_n_queues : int }
+  | O_flow_removed of { o_fr_reason : int }
+
+type event =
+  | Msg_out of msg_out  (** OpenFlow message to the controller *)
+  | Pkt_out of { out_port : Expr.bv; out_pkt : Packet.Sym_packet.t }
+      (** data-plane transmission *)
+  | Probe_response of { probe_id : int; response : probe_response }
+
+and probe_response =
+  | Forwarded of { fwd_port : Expr.bv; fwd_pkt : Packet.Sym_packet.t }
+  | Sent_to_controller of { stc_reason : int }
+  | Probe_dropped  (** the explicit empty probe response of §3.3 *)
+
+val event_key : event -> string
+val msg_out_key : msg_out -> string
+
+type result = { trace : string list; crash : string option }
+(** The normalized result of a path.  A crash is observable (the control
+    connection drops) and is part of the result. *)
+
+val result_of : ?crash:string -> event list -> result
+val result_key : result -> string
+val equal_result : result -> result -> bool
+val pp_result : Format.formatter -> result -> unit

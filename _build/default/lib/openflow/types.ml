@@ -1,0 +1,236 @@
+(* Concrete OpenFlow 1.0 message structures.  These mirror the wire
+   structures one-to-one; [Wire] serializes/parses them, and the harness
+   uses them for reproducer test cases.  Symbolic counterparts live in
+   [Sym_msg]. *)
+
+type mac = int64 (* low 48 bits *)
+
+type of_match = {
+  wildcards : int32;
+  in_port : int;
+  dl_src : mac;
+  dl_dst : mac;
+  dl_vlan : int;
+  dl_vlan_pcp : int;
+  dl_type : int;
+  nw_tos : int;
+  nw_proto : int;
+  nw_src : int32;
+  nw_dst : int32;
+  tp_src : int;
+  tp_dst : int;
+}
+
+let match_all =
+  {
+    wildcards = Int32.of_int Constants.Wildcards.all;
+    in_port = 0;
+    dl_src = 0L;
+    dl_dst = 0L;
+    dl_vlan = 0;
+    dl_vlan_pcp = 0;
+    dl_type = 0;
+    nw_tos = 0;
+    nw_proto = 0;
+    nw_src = 0l;
+    nw_dst = 0l;
+    tp_src = 0;
+    tp_dst = 0;
+  }
+
+type action =
+  | Output of { port : int; max_len : int }
+  | Set_vlan_vid of int
+  | Set_vlan_pcp of int
+  | Strip_vlan
+  | Set_dl_src of mac
+  | Set_dl_dst of mac
+  | Set_nw_src of int32
+  | Set_nw_dst of int32
+  | Set_nw_tos of int
+  | Set_tp_src of int
+  | Set_tp_dst of int
+  | Enqueue of { port : int; queue_id : int32 }
+  | Vendor_action of { vendor : int32; body : string }
+  | Unknown_action of { typ : int; len : int; body : string }
+
+type flow_mod = {
+  fm_match : of_match;
+  cookie : int64;
+  command : int;
+  idle_timeout : int;
+  hard_timeout : int;
+  priority : int;
+  fm_buffer_id : int32;
+  out_port : int;
+  flags : int;
+  fm_actions : action list;
+}
+
+type packet_out = {
+  po_buffer_id : int32;
+  po_in_port : int;
+  po_actions : action list;
+  po_data : string; (* raw packet bytes; empty when buffer_id is used *)
+}
+
+type switch_config = { cfg_flags : int; miss_send_len : int }
+
+type phy_port = {
+  port_no : int;
+  hw_addr : mac;
+  port_name : string; (* up to 16 bytes *)
+  config : int32;
+  state : int32;
+  curr : int32;
+  advertised : int32;
+  supported : int32;
+  peer : int32;
+}
+
+type switch_features = {
+  datapath_id : int64;
+  n_buffers : int32;
+  n_tables : int;
+  capabilities : int32;
+  supported_actions : int32;
+  ports : phy_port list;
+}
+
+type packet_in = {
+  pi_buffer_id : int32;
+  pi_total_len : int;
+  pi_in_port : int;
+  pi_reason : int;
+  pi_data : string;
+}
+
+type flow_removed = {
+  fr_match : of_match;
+  fr_cookie : int64;
+  fr_priority : int;
+  fr_reason : int;
+  fr_duration_sec : int32;
+  fr_duration_nsec : int32;
+  fr_idle_timeout : int;
+  fr_packet_count : int64;
+  fr_byte_count : int64;
+}
+
+type port_status = { ps_reason : int; ps_desc : phy_port }
+
+type port_mod = {
+  pm_port_no : int;
+  pm_hw_addr : mac;
+  pm_config : int32;
+  pm_mask : int32;
+  pm_advertise : int32;
+}
+
+type flow_stats_request = { fsr_match : of_match; fsr_table_id : int; fsr_out_port : int }
+
+type stats_request =
+  | Desc_request
+  | Flow_stats_request of flow_stats_request
+  | Aggregate_request of flow_stats_request
+  | Table_stats_request
+  | Port_stats_request of { psr_port_no : int }
+  | Queue_stats_request of { qsr_port_no : int; qsr_queue_id : int32 }
+  | Vendor_stats_request of { vsr_vendor : int32; vsr_body : string }
+  | Unknown_stats_request of { usr_type : int; usr_body : string }
+
+type flow_stats = {
+  fs_table_id : int;
+  fs_match : of_match;
+  fs_duration_sec : int32;
+  fs_duration_nsec : int32;
+  fs_priority : int;
+  fs_idle_timeout : int;
+  fs_hard_timeout : int;
+  fs_cookie : int64;
+  fs_packet_count : int64;
+  fs_byte_count : int64;
+  fs_actions : action list;
+}
+
+type table_stats = {
+  ts_table_id : int;
+  ts_name : string;
+  ts_wildcards : int32;
+  ts_max_entries : int32;
+  ts_active_count : int32;
+  ts_lookup_count : int64;
+  ts_matched_count : int64;
+}
+
+type port_stats = {
+  pst_port_no : int;
+  pst_rx_packets : int64;
+  pst_tx_packets : int64;
+  pst_rx_bytes : int64;
+  pst_tx_bytes : int64;
+  pst_rx_dropped : int64;
+  pst_tx_dropped : int64;
+  pst_rx_errors : int64;
+  pst_tx_errors : int64;
+}
+
+type stats_reply =
+  | Desc_reply of { mfr : string; hw : string; sw : string; serial : string; dp : string }
+  | Flow_stats_reply of flow_stats list
+  | Aggregate_reply of { agg_packet_count : int64; agg_byte_count : int64; agg_flow_count : int32 }
+  | Table_stats_reply of table_stats list
+  | Port_stats_reply of port_stats list
+  | Queue_stats_reply of { qs_entries : (int * int32 * int64 * int64 * int64) list }
+
+type error_msg = { err_type : int; err_code : int; err_data : string }
+
+type message =
+  | Hello
+  | Error_msg of error_msg
+  | Echo_request of string
+  | Echo_reply of string
+  | Vendor of { vendor : int32; vendor_body : string }
+  | Features_request
+  | Features_reply of switch_features
+  | Get_config_request
+  | Get_config_reply of switch_config
+  | Set_config of switch_config
+  | Packet_in of packet_in
+  | Flow_removed of flow_removed
+  | Port_status of port_status
+  | Packet_out of packet_out
+  | Flow_mod of flow_mod
+  | Port_mod of port_mod
+  | Stats_request of { sreq_flags : int; sreq : stats_request }
+  | Stats_reply of { srep_flags : int; srep : stats_reply }
+  | Barrier_request
+  | Barrier_reply
+  | Queue_get_config_request of { qgc_port : int }
+  | Queue_get_config_reply of { qgr_port : int; qgr_queues : (int32 * int) list }
+
+type msg = { xid : int32; payload : message }
+
+let msg_type_of_message = function
+  | Hello -> Constants.Msg_type.hello
+  | Error_msg _ -> Constants.Msg_type.error
+  | Echo_request _ -> Constants.Msg_type.echo_request
+  | Echo_reply _ -> Constants.Msg_type.echo_reply
+  | Vendor _ -> Constants.Msg_type.vendor
+  | Features_request -> Constants.Msg_type.features_request
+  | Features_reply _ -> Constants.Msg_type.features_reply
+  | Get_config_request -> Constants.Msg_type.get_config_request
+  | Get_config_reply _ -> Constants.Msg_type.get_config_reply
+  | Set_config _ -> Constants.Msg_type.set_config
+  | Packet_in _ -> Constants.Msg_type.packet_in
+  | Flow_removed _ -> Constants.Msg_type.flow_removed
+  | Port_status _ -> Constants.Msg_type.port_status
+  | Packet_out _ -> Constants.Msg_type.packet_out
+  | Flow_mod _ -> Constants.Msg_type.flow_mod
+  | Port_mod _ -> Constants.Msg_type.port_mod
+  | Stats_request _ -> Constants.Msg_type.stats_request
+  | Stats_reply _ -> Constants.Msg_type.stats_reply
+  | Barrier_request -> Constants.Msg_type.barrier_request
+  | Barrier_reply -> Constants.Msg_type.barrier_reply
+  | Queue_get_config_request _ -> Constants.Msg_type.queue_get_config_request
+  | Queue_get_config_reply _ -> Constants.Msg_type.queue_get_config_reply

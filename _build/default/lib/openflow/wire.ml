@@ -1,0 +1,823 @@
+(* OpenFlow 1.0 wire codec: big-endian serialization and parsing of the
+   concrete message structures in [Types].  Round-tripping is checked by
+   property-based tests.  Reproducer test cases produced by the crosscheck
+   phase are emitted as real wire bytes through this module. *)
+
+open Types
+module C = Constants
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- writer --------------------------------------------------------- *)
+
+module W = struct
+  let create () = Buffer.create 64
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u16 b v =
+    u8 b (v lsr 8);
+    u8 b v
+
+  let u32 b (v : int32) =
+    let v = Int32.to_int v land 0xffffffff in
+    u8 b (v lsr 24);
+    u8 b (v lsr 16);
+    u8 b (v lsr 8);
+    u8 b v
+
+  let u64 b (v : int64) =
+    u32 b (Int64.to_int32 (Int64.shift_right_logical v 32));
+    u32 b (Int64.to_int32 v)
+
+  let mac b (v : mac) =
+    for i = 5 downto 0 do
+      u8 b (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+    done
+
+  let pad b n = for _ = 1 to n do u8 b 0 done
+
+  let fixed_string b s n =
+    let len = min (String.length s) n in
+    Buffer.add_substring b s 0 len;
+    pad b (n - len)
+
+  let raw b s = Buffer.add_string b s
+  let contents b = Buffer.contents b
+end
+
+(* --- reader --------------------------------------------------------- *)
+
+module R = struct
+  type t = { data : string; mutable pos : int; limit : int }
+
+  let create ?limit data =
+    let limit = match limit with Some l -> l | None -> String.length data in
+    { data; pos = 0; limit }
+
+  let remaining r = r.limit - r.pos
+
+  let need r n = if remaining r < n then fail "truncated: need %d bytes, have %d" n (remaining r)
+
+  let u8 r =
+    need r 1;
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    let hi = u8 r in
+    let lo = u8 r in
+    (hi lsl 8) lor lo
+
+  let u32 r =
+    let a = u16 r and b = u16 r in
+    Int32.logor (Int32.shift_left (Int32.of_int a) 16) (Int32.of_int b)
+
+  let u64 r =
+    let hi = u32 r and lo = u32 r in
+    Int64.logor
+      (Int64.shift_left (Int64.of_int32 hi) 32)
+      (Int64.logand (Int64.of_int32 lo) 0xffffffffL)
+
+  let mac r =
+    let v = ref 0L in
+    for _ = 1 to 6 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 r))
+    done;
+    !v
+
+  let skip r n =
+    need r n;
+    r.pos <- r.pos + n
+
+  let fixed_string r n =
+    need r n;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    (* trim trailing NULs *)
+    let len = ref n in
+    while !len > 0 && s.[!len - 1] = '\000' do
+      decr len
+    done;
+    String.sub s 0 !len
+
+  let rest r =
+    let s = String.sub r.data r.pos (remaining r) in
+    r.pos <- r.limit;
+    s
+
+  let sub_reader r n =
+    need r n;
+    let s = { data = r.data; pos = r.pos; limit = r.pos + n } in
+    r.pos <- r.pos + n;
+    s
+end
+
+(* --- match ---------------------------------------------------------- *)
+
+let write_match b (m : of_match) =
+  W.u32 b m.wildcards;
+  W.u16 b m.in_port;
+  W.mac b m.dl_src;
+  W.mac b m.dl_dst;
+  W.u16 b m.dl_vlan;
+  W.u8 b m.dl_vlan_pcp;
+  W.pad b 1;
+  W.u16 b m.dl_type;
+  W.u8 b m.nw_tos;
+  W.u8 b m.nw_proto;
+  W.pad b 2;
+  W.u32 b m.nw_src;
+  W.u32 b m.nw_dst;
+  W.u16 b m.tp_src;
+  W.u16 b m.tp_dst
+
+let read_match r =
+  let wildcards = R.u32 r in
+  let in_port = R.u16 r in
+  let dl_src = R.mac r in
+  let dl_dst = R.mac r in
+  let dl_vlan = R.u16 r in
+  let dl_vlan_pcp = R.u8 r in
+  R.skip r 1;
+  let dl_type = R.u16 r in
+  let nw_tos = R.u8 r in
+  let nw_proto = R.u8 r in
+  R.skip r 2;
+  let nw_src = R.u32 r in
+  let nw_dst = R.u32 r in
+  let tp_src = R.u16 r in
+  let tp_dst = R.u16 r in
+  {
+    wildcards; in_port; dl_src; dl_dst; dl_vlan; dl_vlan_pcp; dl_type; nw_tos;
+    nw_proto; nw_src; nw_dst; tp_src; tp_dst;
+  }
+
+(* --- actions -------------------------------------------------------- *)
+
+let action_wire_len = function
+  | Output _ | Set_vlan_vid _ | Set_vlan_pcp _ | Strip_vlan | Set_nw_src _
+  | Set_nw_dst _ | Set_nw_tos _ | Set_tp_src _ | Set_tp_dst _ -> 8
+  | Set_dl_src _ | Set_dl_dst _ | Enqueue _ -> 16
+  | Vendor_action { body; _ } -> 8 + String.length body
+  | Unknown_action { len; _ } -> len
+
+let write_action b a =
+  let len = action_wire_len a in
+  match a with
+  | Output { port; max_len } ->
+    W.u16 b C.Action_type.output;
+    W.u16 b len;
+    W.u16 b port;
+    W.u16 b max_len
+  | Set_vlan_vid vid ->
+    W.u16 b C.Action_type.set_vlan_vid;
+    W.u16 b len;
+    W.u16 b vid;
+    W.pad b 2
+  | Set_vlan_pcp pcp ->
+    W.u16 b C.Action_type.set_vlan_pcp;
+    W.u16 b len;
+    W.u8 b pcp;
+    W.pad b 3
+  | Strip_vlan ->
+    W.u16 b C.Action_type.strip_vlan;
+    W.u16 b len;
+    W.pad b 4
+  | Set_dl_src addr ->
+    W.u16 b C.Action_type.set_dl_src;
+    W.u16 b len;
+    W.mac b addr;
+    W.pad b 6
+  | Set_dl_dst addr ->
+    W.u16 b C.Action_type.set_dl_dst;
+    W.u16 b len;
+    W.mac b addr;
+    W.pad b 6
+  | Set_nw_src addr ->
+    W.u16 b C.Action_type.set_nw_src;
+    W.u16 b len;
+    W.u32 b addr
+  | Set_nw_dst addr ->
+    W.u16 b C.Action_type.set_nw_dst;
+    W.u16 b len;
+    W.u32 b addr
+  | Set_nw_tos tos ->
+    W.u16 b C.Action_type.set_nw_tos;
+    W.u16 b len;
+    W.u8 b tos;
+    W.pad b 3
+  | Set_tp_src port ->
+    W.u16 b C.Action_type.set_tp_src;
+    W.u16 b len;
+    W.u16 b port;
+    W.pad b 2
+  | Set_tp_dst port ->
+    W.u16 b C.Action_type.set_tp_dst;
+    W.u16 b len;
+    W.u16 b port;
+    W.pad b 2
+  | Enqueue { port; queue_id } ->
+    W.u16 b C.Action_type.enqueue;
+    W.u16 b len;
+    W.u16 b port;
+    W.pad b 6;
+    W.u32 b queue_id
+  | Vendor_action { vendor; body } ->
+    W.u16 b C.Action_type.vendor;
+    W.u16 b len;
+    W.u32 b vendor;
+    W.raw b body
+  | Unknown_action { typ; len; body } ->
+    W.u16 b typ;
+    W.u16 b len;
+    W.raw b body
+
+let read_action r =
+  let typ = R.u16 r in
+  let len = R.u16 r in
+  if len < 8 then fail "action length %d < 8" len;
+  if len mod 8 <> 0 then fail "action length %d not multiple of 8" len;
+  let body = R.sub_reader r (len - 4) in
+  let a =
+    if typ = C.Action_type.output then
+      let port = R.u16 body in
+      let max_len = R.u16 body in
+      Output { port; max_len }
+    else if typ = C.Action_type.set_vlan_vid then Set_vlan_vid (R.u16 body)
+    else if typ = C.Action_type.set_vlan_pcp then Set_vlan_pcp (R.u8 body)
+    else if typ = C.Action_type.strip_vlan then Strip_vlan
+    else if typ = C.Action_type.set_dl_src then Set_dl_src (R.mac body)
+    else if typ = C.Action_type.set_dl_dst then Set_dl_dst (R.mac body)
+    else if typ = C.Action_type.set_nw_src then Set_nw_src (R.u32 body)
+    else if typ = C.Action_type.set_nw_dst then Set_nw_dst (R.u32 body)
+    else if typ = C.Action_type.set_nw_tos then Set_nw_tos (R.u8 body)
+    else if typ = C.Action_type.set_tp_src then Set_tp_src (R.u16 body)
+    else if typ = C.Action_type.set_tp_dst then Set_tp_dst (R.u16 body)
+    else if typ = C.Action_type.enqueue then begin
+      let port = R.u16 body in
+      R.skip body 6;
+      Enqueue { port; queue_id = R.u32 body }
+    end
+    else if typ = C.Action_type.vendor then begin
+      let vendor = R.u32 body in
+      Vendor_action { vendor; body = R.rest body }
+    end
+    else Unknown_action { typ; len; body = R.rest body }
+  in
+  a
+
+let read_actions r nbytes =
+  let sub = R.sub_reader r nbytes in
+  let rec go acc = if R.remaining sub = 0 then List.rev acc else go (read_action sub :: acc) in
+  go []
+
+(* --- stats bodies ---------------------------------------------------- *)
+
+let write_flow_stats_request b (f : flow_stats_request) =
+  write_match b f.fsr_match;
+  W.u8 b f.fsr_table_id;
+  W.pad b 1;
+  W.u16 b f.fsr_out_port
+
+let read_flow_stats_request r =
+  let fsr_match = read_match r in
+  let fsr_table_id = R.u8 r in
+  R.skip r 1;
+  let fsr_out_port = R.u16 r in
+  { fsr_match; fsr_table_id; fsr_out_port }
+
+let write_stats_request_body b = function
+  | Desc_request -> ()
+  | Flow_stats_request f | Aggregate_request f -> write_flow_stats_request b f
+  | Table_stats_request -> ()
+  | Port_stats_request { psr_port_no } ->
+    W.u16 b psr_port_no;
+    W.pad b 6
+  | Queue_stats_request { qsr_port_no; qsr_queue_id } ->
+    W.u16 b qsr_port_no;
+    W.pad b 2;
+    W.u32 b qsr_queue_id
+  | Vendor_stats_request { vsr_vendor; vsr_body } ->
+    W.u32 b vsr_vendor;
+    W.raw b vsr_body
+  | Unknown_stats_request { usr_body; _ } -> W.raw b usr_body
+
+let stats_type_of_request = function
+  | Desc_request -> C.Stats_type.desc
+  | Flow_stats_request _ -> C.Stats_type.flow
+  | Aggregate_request _ -> C.Stats_type.aggregate
+  | Table_stats_request -> C.Stats_type.table
+  | Port_stats_request _ -> C.Stats_type.port
+  | Queue_stats_request _ -> C.Stats_type.queue
+  | Vendor_stats_request _ -> C.Stats_type.vendor
+  | Unknown_stats_request { usr_type; _ } -> usr_type
+
+let read_stats_request_body r typ =
+  if typ = C.Stats_type.desc then Desc_request
+  else if typ = C.Stats_type.flow then Flow_stats_request (read_flow_stats_request r)
+  else if typ = C.Stats_type.aggregate then Aggregate_request (read_flow_stats_request r)
+  else if typ = C.Stats_type.table then Table_stats_request
+  else if typ = C.Stats_type.port then begin
+    let psr_port_no = R.u16 r in
+    R.skip r 6;
+    Port_stats_request { psr_port_no }
+  end
+  else if typ = C.Stats_type.queue then begin
+    let qsr_port_no = R.u16 r in
+    R.skip r 2;
+    let qsr_queue_id = R.u32 r in
+    Queue_stats_request { qsr_port_no; qsr_queue_id }
+  end
+  else if typ = C.Stats_type.vendor then
+    let vsr_vendor = R.u32 r in
+    Vendor_stats_request { vsr_vendor; vsr_body = R.rest r }
+  else Unknown_stats_request { usr_type = typ; usr_body = R.rest r }
+
+let write_flow_stats b (f : flow_stats) =
+  let actions_buf = W.create () in
+  List.iter (write_action actions_buf) f.fs_actions;
+  let actions = W.contents actions_buf in
+  W.u16 b (88 + String.length actions);
+  W.u8 b f.fs_table_id;
+  W.pad b 1;
+  write_match b f.fs_match;
+  W.u32 b f.fs_duration_sec;
+  W.u32 b f.fs_duration_nsec;
+  W.u16 b f.fs_priority;
+  W.u16 b f.fs_idle_timeout;
+  W.u16 b f.fs_hard_timeout;
+  W.pad b 6;
+  W.u64 b f.fs_cookie;
+  W.u64 b f.fs_packet_count;
+  W.u64 b f.fs_byte_count;
+  W.raw b actions
+
+let read_flow_stats r =
+  let len = R.u16 r in
+  let fs_table_id = R.u8 r in
+  R.skip r 1;
+  let fs_match = read_match r in
+  let fs_duration_sec = R.u32 r in
+  let fs_duration_nsec = R.u32 r in
+  let fs_priority = R.u16 r in
+  let fs_idle_timeout = R.u16 r in
+  let fs_hard_timeout = R.u16 r in
+  R.skip r 6;
+  let fs_cookie = R.u64 r in
+  let fs_packet_count = R.u64 r in
+  let fs_byte_count = R.u64 r in
+  let fs_actions = read_actions r (len - 88) in
+  {
+    fs_table_id; fs_match; fs_duration_sec; fs_duration_nsec; fs_priority;
+    fs_idle_timeout; fs_hard_timeout; fs_cookie; fs_packet_count; fs_byte_count;
+    fs_actions;
+  }
+
+let write_table_stats b (t : table_stats) =
+  W.u8 b t.ts_table_id;
+  W.pad b 3;
+  W.fixed_string b t.ts_name 32;
+  W.u32 b t.ts_wildcards;
+  W.u32 b t.ts_max_entries;
+  W.u32 b t.ts_active_count;
+  W.u64 b t.ts_lookup_count;
+  W.u64 b t.ts_matched_count
+
+let read_table_stats r =
+  let ts_table_id = R.u8 r in
+  R.skip r 3;
+  let ts_name = R.fixed_string r 32 in
+  let ts_wildcards = R.u32 r in
+  let ts_max_entries = R.u32 r in
+  let ts_active_count = R.u32 r in
+  let ts_lookup_count = R.u64 r in
+  let ts_matched_count = R.u64 r in
+  { ts_table_id; ts_name; ts_wildcards; ts_max_entries; ts_active_count;
+    ts_lookup_count; ts_matched_count }
+
+let write_port_stats b (p : port_stats) =
+  W.u16 b p.pst_port_no;
+  W.pad b 6;
+  W.u64 b p.pst_rx_packets;
+  W.u64 b p.pst_tx_packets;
+  W.u64 b p.pst_rx_bytes;
+  W.u64 b p.pst_tx_bytes;
+  W.u64 b p.pst_rx_dropped;
+  W.u64 b p.pst_tx_dropped;
+  W.u64 b p.pst_rx_errors;
+  W.u64 b p.pst_tx_errors;
+  (* rx_frame_err, rx_over_err, rx_crc_err, collisions: not modeled *)
+  W.u64 b 0L;
+  W.u64 b 0L;
+  W.u64 b 0L;
+  W.u64 b 0L
+
+let read_port_stats r =
+  let pst_port_no = R.u16 r in
+  R.skip r 6;
+  let pst_rx_packets = R.u64 r in
+  let pst_tx_packets = R.u64 r in
+  let pst_rx_bytes = R.u64 r in
+  let pst_tx_bytes = R.u64 r in
+  let pst_rx_dropped = R.u64 r in
+  let pst_tx_dropped = R.u64 r in
+  let pst_rx_errors = R.u64 r in
+  let pst_tx_errors = R.u64 r in
+  R.skip r 32;
+  { pst_port_no; pst_rx_packets; pst_tx_packets; pst_rx_bytes; pst_tx_bytes;
+    pst_rx_dropped; pst_tx_dropped; pst_rx_errors; pst_tx_errors }
+
+let stats_type_of_reply = function
+  | Desc_reply _ -> C.Stats_type.desc
+  | Flow_stats_reply _ -> C.Stats_type.flow
+  | Aggregate_reply _ -> C.Stats_type.aggregate
+  | Table_stats_reply _ -> C.Stats_type.table
+  | Port_stats_reply _ -> C.Stats_type.port
+  | Queue_stats_reply _ -> C.Stats_type.queue
+
+let write_stats_reply_body b = function
+  | Desc_reply { mfr; hw; sw; serial; dp } ->
+    W.fixed_string b mfr 256;
+    W.fixed_string b hw 256;
+    W.fixed_string b sw 256;
+    W.fixed_string b serial 32;
+    W.fixed_string b dp 256
+  | Flow_stats_reply fss -> List.iter (write_flow_stats b) fss
+  | Aggregate_reply { agg_packet_count; agg_byte_count; agg_flow_count } ->
+    W.u64 b agg_packet_count;
+    W.u64 b agg_byte_count;
+    W.u32 b agg_flow_count;
+    W.pad b 4
+  | Table_stats_reply tss -> List.iter (write_table_stats b) tss
+  | Port_stats_reply pss -> List.iter (write_port_stats b) pss
+  | Queue_stats_reply { qs_entries } ->
+    List.iter
+      (fun (port, qid, tx_bytes, tx_packets, tx_errors) ->
+        W.u16 b port;
+        W.pad b 2;
+        W.u32 b qid;
+        W.u64 b tx_bytes;
+        W.u64 b tx_packets;
+        W.u64 b tx_errors)
+      qs_entries
+
+let read_stats_reply_body r typ =
+  if typ = C.Stats_type.desc then
+    let mfr = R.fixed_string r 256 in
+    let hw = R.fixed_string r 256 in
+    let sw = R.fixed_string r 256 in
+    let serial = R.fixed_string r 32 in
+    let dp = R.fixed_string r 256 in
+    Desc_reply { mfr; hw; sw; serial; dp }
+  else if typ = C.Stats_type.flow then begin
+    let rec go acc = if R.remaining r = 0 then List.rev acc else go (read_flow_stats r :: acc) in
+    Flow_stats_reply (go [])
+  end
+  else if typ = C.Stats_type.aggregate then begin
+    let agg_packet_count = R.u64 r in
+    let agg_byte_count = R.u64 r in
+    let agg_flow_count = R.u32 r in
+    R.skip r 4;
+    Aggregate_reply { agg_packet_count; agg_byte_count; agg_flow_count }
+  end
+  else if typ = C.Stats_type.table then begin
+    let rec go acc = if R.remaining r = 0 then List.rev acc else go (read_table_stats r :: acc) in
+    Table_stats_reply (go [])
+  end
+  else if typ = C.Stats_type.port then begin
+    let rec go acc = if R.remaining r = 0 then List.rev acc else go (read_port_stats r :: acc) in
+    Port_stats_reply (go [])
+  end
+  else if typ = C.Stats_type.queue then begin
+    let rec go acc =
+      if R.remaining r = 0 then List.rev acc
+      else begin
+        let port = R.u16 r in
+        R.skip r 2;
+        let qid = R.u32 r in
+        let tx_bytes = R.u64 r in
+        let tx_packets = R.u64 r in
+        let tx_errors = R.u64 r in
+        go ((port, qid, tx_bytes, tx_packets, tx_errors) :: acc)
+      end
+    in
+    Queue_stats_reply { qs_entries = go [] }
+  end
+  else fail "unsupported stats reply type %d" typ
+
+(* --- ports ----------------------------------------------------------- *)
+
+let write_phy_port b (p : phy_port) =
+  W.u16 b p.port_no;
+  W.mac b p.hw_addr;
+  W.fixed_string b p.port_name 16;
+  W.u32 b p.config;
+  W.u32 b p.state;
+  W.u32 b p.curr;
+  W.u32 b p.advertised;
+  W.u32 b p.supported;
+  W.u32 b p.peer
+
+let read_phy_port r =
+  let port_no = R.u16 r in
+  let hw_addr = R.mac r in
+  let port_name = R.fixed_string r 16 in
+  let config = R.u32 r in
+  let state = R.u32 r in
+  let curr = R.u32 r in
+  let advertised = R.u32 r in
+  let supported = R.u32 r in
+  let peer = R.u32 r in
+  { port_no; hw_addr; port_name; config; state; curr; advertised; supported; peer }
+
+(* --- top level -------------------------------------------------------- *)
+
+let write_body b = function
+  | Hello | Features_request | Get_config_request | Barrier_request | Barrier_reply -> ()
+  | Echo_request s | Echo_reply s -> W.raw b s
+  | Error_msg { err_type; err_code; err_data } ->
+    W.u16 b err_type;
+    W.u16 b err_code;
+    W.raw b err_data
+  | Vendor { vendor; vendor_body } ->
+    W.u32 b vendor;
+    W.raw b vendor_body
+  | Features_reply f ->
+    W.u64 b f.datapath_id;
+    W.u32 b f.n_buffers;
+    W.u8 b f.n_tables;
+    W.pad b 3;
+    W.u32 b f.capabilities;
+    W.u32 b f.supported_actions;
+    List.iter (write_phy_port b) f.ports
+  | Get_config_reply c | Set_config c ->
+    W.u16 b c.cfg_flags;
+    W.u16 b c.miss_send_len
+  | Packet_in p ->
+    W.u32 b p.pi_buffer_id;
+    W.u16 b p.pi_total_len;
+    W.u16 b p.pi_in_port;
+    W.u8 b p.pi_reason;
+    W.pad b 1;
+    W.raw b p.pi_data
+  | Flow_removed f ->
+    write_match b f.fr_match;
+    W.u64 b f.fr_cookie;
+    W.u16 b f.fr_priority;
+    W.u8 b f.fr_reason;
+    W.pad b 1;
+    W.u32 b f.fr_duration_sec;
+    W.u32 b f.fr_duration_nsec;
+    W.u16 b f.fr_idle_timeout;
+    W.pad b 2;
+    W.u64 b f.fr_packet_count;
+    W.u64 b f.fr_byte_count
+  | Port_status { ps_reason; ps_desc } ->
+    W.u8 b ps_reason;
+    W.pad b 7;
+    write_phy_port b ps_desc
+  | Packet_out p ->
+    let actions_buf = W.create () in
+    List.iter (write_action actions_buf) p.po_actions;
+    let actions = W.contents actions_buf in
+    W.u32 b p.po_buffer_id;
+    W.u16 b p.po_in_port;
+    W.u16 b (String.length actions);
+    W.raw b actions;
+    W.raw b p.po_data
+  | Flow_mod f ->
+    write_match b f.fm_match;
+    W.u64 b f.cookie;
+    W.u16 b f.command;
+    W.u16 b f.idle_timeout;
+    W.u16 b f.hard_timeout;
+    W.u16 b f.priority;
+    W.u32 b f.fm_buffer_id;
+    W.u16 b f.out_port;
+    W.u16 b f.flags;
+    List.iter (write_action b) f.fm_actions
+  | Port_mod p ->
+    W.u16 b p.pm_port_no;
+    W.mac b p.pm_hw_addr;
+    W.u32 b p.pm_config;
+    W.u32 b p.pm_mask;
+    W.u32 b p.pm_advertise;
+    W.pad b 4
+  | Stats_request { sreq_flags; sreq } ->
+    W.u16 b (stats_type_of_request sreq);
+    W.u16 b sreq_flags;
+    write_stats_request_body b sreq
+  | Stats_reply { srep_flags; srep } ->
+    W.u16 b (stats_type_of_reply srep);
+    W.u16 b srep_flags;
+    write_stats_reply_body b srep
+  | Queue_get_config_request { qgc_port } ->
+    W.u16 b qgc_port;
+    W.pad b 2
+  | Queue_get_config_reply { qgr_port; qgr_queues } ->
+    W.u16 b qgr_port;
+    W.pad b 6;
+    List.iter
+      (fun (qid, min_rate) ->
+        W.u32 b qid;
+        (* queue descriptor with one min-rate property (16 bytes) *)
+        W.u16 b (8 + 16);
+        W.pad b 2;
+        W.u16 b 1 (* OFPQT_MIN_RATE *);
+        W.u16 b 16;
+        W.pad b 4;
+        W.u16 b min_rate;
+        W.pad b 6)
+      qgr_queues
+
+let serialize ({ xid; payload } : msg) =
+  let body = W.create () in
+  write_body body payload;
+  let body = W.contents body in
+  let b = W.create () in
+  W.u8 b C.version;
+  W.u8 b (msg_type_of_message payload);
+  W.u16 b (C.Sizes.header + String.length body);
+  W.u32 b xid;
+  W.raw b body;
+  W.contents b
+
+let read_body r typ len =
+  let body_len = len - C.Sizes.header in
+  let body = R.sub_reader r body_len in
+  let module T = C.Msg_type in
+  if typ = T.hello then Hello
+  else if typ = T.error then begin
+    let err_type = R.u16 body in
+    let err_code = R.u16 body in
+    Error_msg { err_type; err_code; err_data = R.rest body }
+  end
+  else if typ = T.echo_request then Echo_request (R.rest body)
+  else if typ = T.echo_reply then Echo_reply (R.rest body)
+  else if typ = T.vendor then begin
+    let vendor = R.u32 body in
+    Vendor { vendor; vendor_body = R.rest body }
+  end
+  else if typ = T.features_request then Features_request
+  else if typ = T.features_reply then begin
+    let datapath_id = R.u64 body in
+    let n_buffers = R.u32 body in
+    let n_tables = R.u8 body in
+    R.skip body 3;
+    let capabilities = R.u32 body in
+    let supported_actions = R.u32 body in
+    let rec ports acc =
+      if R.remaining body < C.Sizes.phy_port then List.rev acc
+      else ports (read_phy_port body :: acc)
+    in
+    Features_reply
+      { datapath_id; n_buffers; n_tables; capabilities; supported_actions; ports = ports [] }
+  end
+  else if typ = T.get_config_request then Get_config_request
+  else if typ = T.get_config_reply then begin
+    let cfg_flags = R.u16 body in
+    let miss_send_len = R.u16 body in
+    Get_config_reply { cfg_flags; miss_send_len }
+  end
+  else if typ = T.set_config then begin
+    let cfg_flags = R.u16 body in
+    let miss_send_len = R.u16 body in
+    Set_config { cfg_flags; miss_send_len }
+  end
+  else if typ = T.packet_in then begin
+    let pi_buffer_id = R.u32 body in
+    let pi_total_len = R.u16 body in
+    let pi_in_port = R.u16 body in
+    let pi_reason = R.u8 body in
+    R.skip body 1;
+    Packet_in { pi_buffer_id; pi_total_len; pi_in_port; pi_reason; pi_data = R.rest body }
+  end
+  else if typ = T.flow_removed then begin
+    let fr_match = read_match body in
+    let fr_cookie = R.u64 body in
+    let fr_priority = R.u16 body in
+    let fr_reason = R.u8 body in
+    R.skip body 1;
+    let fr_duration_sec = R.u32 body in
+    let fr_duration_nsec = R.u32 body in
+    let fr_idle_timeout = R.u16 body in
+    R.skip body 2;
+    let fr_packet_count = R.u64 body in
+    let fr_byte_count = R.u64 body in
+    Flow_removed
+      { fr_match; fr_cookie; fr_priority; fr_reason; fr_duration_sec; fr_duration_nsec;
+        fr_idle_timeout; fr_packet_count; fr_byte_count }
+  end
+  else if typ = T.port_status then begin
+    let ps_reason = R.u8 body in
+    R.skip body 7;
+    Port_status { ps_reason; ps_desc = read_phy_port body }
+  end
+  else if typ = T.packet_out then begin
+    let po_buffer_id = R.u32 body in
+    let po_in_port = R.u16 body in
+    let actions_len = R.u16 body in
+    let po_actions = read_actions body actions_len in
+    Packet_out { po_buffer_id; po_in_port; po_actions; po_data = R.rest body }
+  end
+  else if typ = T.flow_mod then begin
+    let fm_match = read_match body in
+    let cookie = R.u64 body in
+    let command = R.u16 body in
+    let idle_timeout = R.u16 body in
+    let hard_timeout = R.u16 body in
+    let priority = R.u16 body in
+    let fm_buffer_id = R.u32 body in
+    let out_port = R.u16 body in
+    let flags = R.u16 body in
+    let fm_actions = read_actions body (R.remaining body) in
+    Flow_mod
+      { fm_match; cookie; command; idle_timeout; hard_timeout; priority; fm_buffer_id;
+        out_port; flags; fm_actions }
+  end
+  else if typ = T.port_mod then begin
+    let pm_port_no = R.u16 body in
+    let pm_hw_addr = R.mac body in
+    let pm_config = R.u32 body in
+    let pm_mask = R.u32 body in
+    let pm_advertise = R.u32 body in
+    R.skip body 4;
+    Port_mod { pm_port_no; pm_hw_addr; pm_config; pm_mask; pm_advertise }
+  end
+  else if typ = T.stats_request then begin
+    let styp = R.u16 body in
+    let sreq_flags = R.u16 body in
+    Stats_request { sreq_flags; sreq = read_stats_request_body body styp }
+  end
+  else if typ = T.stats_reply then begin
+    let styp = R.u16 body in
+    let srep_flags = R.u16 body in
+    Stats_reply { srep_flags; srep = read_stats_reply_body body styp }
+  end
+  else if typ = T.barrier_request then Barrier_request
+  else if typ = T.barrier_reply then Barrier_reply
+  else if typ = T.queue_get_config_request then begin
+    let qgc_port = R.u16 body in
+    R.skip body 2;
+    Queue_get_config_request { qgc_port }
+  end
+  else if typ = T.queue_get_config_reply then begin
+    let qgr_port = R.u16 body in
+    R.skip body 6;
+    let rec queues acc =
+      if R.remaining body < 8 then List.rev acc
+      else begin
+        let qid = R.u32 body in
+        let qlen = R.u16 body in
+        R.skip body 2;
+        let props = R.sub_reader body (qlen - 8) in
+        let min_rate = ref 0 in
+        while R.remaining props >= 8 do
+          let ptyp = R.u16 props in
+          let plen = R.u16 props in
+          R.skip props 4;
+          let pbody = R.sub_reader props (plen - 8) in
+          if ptyp = 1 then begin
+            min_rate := R.u16 pbody;
+            R.skip pbody 6
+          end
+        done;
+        queues ((qid, !min_rate) :: acc)
+      end
+    in
+    Queue_get_config_reply { qgr_port; qgr_queues = queues [] }
+  end
+  else fail "unknown message type %d" typ
+
+(* Parse one message from the given string offset; returns the message and
+   the number of bytes consumed. *)
+let parse_at data offset =
+  let r = R.create data in
+  r.R.pos <- offset;
+  let version = R.u8 r in
+  if version <> C.version then fail "bad version 0x%02x" version;
+  let typ = R.u8 r in
+  let len = R.u16 r in
+  if len < C.Sizes.header then fail "length %d < header size" len;
+  let xid = R.u32 r in
+  let payload = read_body r typ len in
+  ({ xid; payload }, offset + len)
+
+let parse data =
+  let msg, consumed = parse_at data 0 in
+  if consumed <> String.length data then
+    fail "trailing bytes: parsed %d of %d" consumed (String.length data);
+  msg
+
+(* Parse a back-to-back stream of messages. *)
+let parse_stream data =
+  let rec go offset acc =
+    if offset >= String.length data then List.rev acc
+    else
+      let msg, next = parse_at data offset in
+      go next (msg :: acc)
+  in
+  go 0 []

@@ -1,0 +1,1 @@
+lib/packet/constants_pkt.ml:

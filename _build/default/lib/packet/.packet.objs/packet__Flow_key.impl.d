@@ -1,0 +1,1 @@
+lib/packet/flow_key.ml: Constants_pkt Expr Int64 Smt Sym_packet Symexec

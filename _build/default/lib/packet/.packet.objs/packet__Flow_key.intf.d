@@ -1,0 +1,1 @@
+lib/packet/flow_key.mli: Expr Smt Sym_packet Symexec

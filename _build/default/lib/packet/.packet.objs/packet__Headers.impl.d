@@ -1,0 +1,1 @@
+lib/packet/headers.ml: Buffer Char Constants_pkt Format Int32 Int64 String

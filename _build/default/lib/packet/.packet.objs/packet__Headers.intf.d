@@ -1,0 +1,1 @@
+lib/packet/headers.mli: Format

@@ -1,0 +1,1 @@
+lib/packet/sym_packet.ml: Expr Format Headers Int64 Model Option Printf Smt

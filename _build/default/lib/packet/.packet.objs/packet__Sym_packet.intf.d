@@ -1,0 +1,1 @@
+lib/packet/sym_packet.mli: Expr Format Headers Model Smt

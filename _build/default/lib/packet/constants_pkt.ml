@@ -1,0 +1,9 @@
+(* Ethernet and IP protocol numbers used across the packet library. *)
+
+let eth_type_ip = 0x0800
+let eth_type_arp = 0x0806
+let eth_type_vlan = 0x8100
+
+let proto_icmp = 1
+let proto_tcp = 6
+let proto_udp = 17

@@ -1,0 +1,77 @@
+(* Extraction of the OpenFlow 1.0 12-tuple flow key from a (possibly
+   symbolic) packet.  Mirrors flow_extract() in the reference switch: the
+   parser dispatches on the ethertype and IP protocol, so extraction
+   *branches* when those fields are symbolic — exactly the forks a real
+   agent's parser would exhibit under symbolic execution. *)
+
+open Smt
+module Engine = Symexec.Engine
+
+type t = {
+  fk_in_port : Expr.bv; (* 16 *)
+  fk_dl_src : Expr.bv; (* 48 *)
+  fk_dl_dst : Expr.bv; (* 48 *)
+  fk_dl_vlan : Expr.bv; (* 16; OFP_VLAN_NONE when untagged *)
+  fk_dl_vlan_pcp : Expr.bv; (* 8 *)
+  fk_dl_type : Expr.bv; (* 16 *)
+  fk_nw_tos : Expr.bv; (* 8 *)
+  fk_nw_proto : Expr.bv; (* 8 *)
+  fk_nw_src : Expr.bv; (* 32 *)
+  fk_nw_dst : Expr.bv; (* 32 *)
+  fk_tp_src : Expr.bv; (* 16 *)
+  fk_tp_dst : Expr.bv; (* 16 *)
+}
+
+let c8 v = Expr.const ~width:8 (Int64.of_int v)
+let c16 v = Expr.const ~width:16 (Int64.of_int v)
+let c32z = Expr.const ~width:32 0L
+
+let vlan_none = c16 0xffff (* OFP_VLAN_NONE *)
+
+let extract env ~in_port (p : Sym_packet.t) =
+  let open Sym_packet in
+  let dl_vlan, dl_vlan_pcp =
+    match p.svlan with
+    | Some { svid; spcp } -> (Expr.logand svid (c16 0xfff), spcp)
+    | None -> (vlan_none, c8 0)
+  in
+  let zero_nw = (c8 0, c8 0, c32z, c32z, c16 0, c16 0) in
+  let nw_tos, nw_proto, nw_src, nw_dst, tp_src, tp_dst =
+    match p.snet with
+    | Sother_net -> zero_nw
+    | Sipv4 ip ->
+      if Engine.branch_eq env p.sdl_type (Int64.of_int Constants_pkt.eth_type_ip) then begin
+        let tp_src, tp_dst =
+          match ip.stransport with
+          | Stcp { stcp_src; stcp_dst } ->
+            if Engine.branch_eq env ip.sproto (Int64.of_int Constants_pkt.proto_tcp) then
+              (stcp_src, stcp_dst)
+            else (c16 0, c16 0)
+          | Sudp { sudp_src; sudp_dst } ->
+            if Engine.branch_eq env ip.sproto (Int64.of_int Constants_pkt.proto_udp) then
+              (sudp_src, sudp_dst)
+            else (c16 0, c16 0)
+          | Sicmp { sicmp_type; sicmp_code } ->
+            if Engine.branch_eq env ip.sproto (Int64.of_int Constants_pkt.proto_icmp) then
+              (Expr.zext ~width:16 sicmp_type, Expr.zext ~width:16 sicmp_code)
+            else (c16 0, c16 0)
+          | Sother_transport -> (c16 0, c16 0)
+        in
+        (ip.stos, ip.sproto, ip.ssrc, ip.sdst, tp_src, tp_dst)
+      end
+      else zero_nw
+  in
+  {
+    fk_in_port = in_port;
+    fk_dl_src = p.sdl_src;
+    fk_dl_dst = p.sdl_dst;
+    fk_dl_vlan = dl_vlan;
+    fk_dl_vlan_pcp = dl_vlan_pcp;
+    fk_dl_type = p.sdl_type;
+    fk_nw_tos = nw_tos;
+    fk_nw_proto = nw_proto;
+    fk_nw_src = nw_src;
+    fk_nw_dst = nw_dst;
+    fk_tp_src = tp_src;
+    fk_tp_dst = tp_dst;
+  }

@@ -1,0 +1,28 @@
+(** Extraction of the OpenFlow 1.0 12-tuple flow key from a (possibly
+    symbolic) packet, mirroring flow_extract() in the reference switch:
+    the parser dispatches on ethertype and IP protocol, so extraction
+    *branches* when those fields are symbolic — the same forks a real
+    agent's parser exhibits under symbolic execution. *)
+
+open Smt
+
+type t = {
+  fk_in_port : Expr.bv;  (** 16 *)
+  fk_dl_src : Expr.bv;  (** 48 *)
+  fk_dl_dst : Expr.bv;  (** 48 *)
+  fk_dl_vlan : Expr.bv;  (** 16; OFP_VLAN_NONE (0xffff) when untagged *)
+  fk_dl_vlan_pcp : Expr.bv;  (** 8 *)
+  fk_dl_type : Expr.bv;  (** 16 *)
+  fk_nw_tos : Expr.bv;  (** 8 *)
+  fk_nw_proto : Expr.bv;  (** 8 *)
+  fk_nw_src : Expr.bv;  (** 32 *)
+  fk_nw_dst : Expr.bv;  (** 32 *)
+  fk_tp_src : Expr.bv;  (** 16 *)
+  fk_tp_dst : Expr.bv;  (** 16 *)
+}
+
+val extract :
+  'ev Symexec.Engine.env -> in_port:Expr.bv -> Sym_packet.t -> t
+(** Parse the packet into its flow key, branching on symbolic dispatch
+    fields.  Non-IP packets read zero network/transport fields, per the
+    1.0 specification. *)

@@ -1,0 +1,257 @@
+(* Concrete data-plane packets: Ethernet (optionally 802.1Q-tagged) frames
+   carrying IPv4/TCP/UDP/ICMP, ARP, or opaque payloads.  Checksums are
+   written as zero — SOFT's Cloud9 environment stubs checksum functions to
+   identities (paper §4.1), and we keep the same convention end to end. *)
+
+type mac = int64
+
+type tcp = { tcp_src : int; tcp_dst : int }
+type udp = { udp_src : int; udp_dst : int }
+type icmp = { icmp_type : int; icmp_code : int }
+
+type transport =
+  | Tcp of tcp
+  | Udp of udp
+  | Icmp of icmp
+  | Other_transport of string
+
+type ipv4 = {
+  ip_tos : int;
+  ip_proto : int;
+  ip_src : int32;
+  ip_dst : int32;
+  ip_payload : transport;
+}
+
+type arp = { arp_op : int; arp_sha : mac; arp_spa : int32; arp_tha : mac; arp_tpa : int32 }
+
+type net = Ipv4 of ipv4 | Arp of arp | Other_net of string
+
+type vlan = { vid : int; pcp : int }
+
+type t = {
+  dl_src : mac;
+  dl_dst : mac;
+  vlan : vlan option;
+  dl_type : int; (* ethertype of the encapsulated payload *)
+  net : net;
+}
+
+let proto_of_transport = function
+  | Tcp _ -> Constants_pkt.proto_tcp
+  | Udp _ -> Constants_pkt.proto_udp
+  | Icmp _ -> Constants_pkt.proto_icmp
+  | Other_transport _ -> 0xfd (* "use for experimentation" protocol number *)
+
+(* A canonical concrete TCP probe, the packet the harness injects after
+   state-changing messages (paper §3.3). *)
+let tcp_probe
+    ?(dl_src = 0x00_00_00_00_00_01L)
+    ?(dl_dst = 0x00_00_00_00_00_02L)
+    ?(vlan = None)
+    ?(tos = 0)
+    ?(src = 0x0a000001l) (* 10.0.0.1 *)
+    ?(dst = 0x0a000002l)
+    ?(sport = 1234)
+    ?(dport = 80)
+    () =
+  {
+    dl_src;
+    dl_dst;
+    vlan;
+    dl_type = Constants_pkt.eth_type_ip;
+    net =
+      Ipv4
+        {
+          ip_tos = tos;
+          ip_proto = Constants_pkt.proto_tcp;
+          ip_src = src;
+          ip_dst = dst;
+          ip_payload = Tcp { tcp_src = sport; tcp_dst = dport };
+        };
+  }
+
+let eth_probe ?(dl_src = 0x00_00_00_00_00_01L) ?(dl_dst = 0x00_00_00_00_00_02L)
+    ?(dl_type = 0x88b5) ?(payload = "soft-probe") () =
+  { dl_src; dl_dst; vlan = None; dl_type; net = Other_net payload }
+
+(* --- serialization --------------------------------------------------- *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u16 b v =
+  add_u8 b (v lsr 8);
+  add_u8 b v
+
+let add_u32 b (v : int32) =
+  add_u16 b (Int32.to_int (Int32.shift_right_logical v 16));
+  add_u16 b (Int32.to_int (Int32.logand v 0xffffl))
+
+let add_mac b (m : mac) =
+  for i = 5 downto 0 do
+    add_u8 b (Int64.to_int (Int64.shift_right_logical m (8 * i)))
+  done
+
+let transport_bytes tp =
+  let b = Buffer.create 20 in
+  (match tp with
+   | Tcp { tcp_src; tcp_dst } ->
+     add_u16 b tcp_src;
+     add_u16 b tcp_dst;
+     add_u32 b 0l (* seq *);
+     add_u32 b 0l (* ack *);
+     add_u8 b 0x50 (* data offset 5 *);
+     add_u8 b 0x02 (* SYN *);
+     add_u16 b 0xffff (* window *);
+     add_u16 b 0 (* checksum: stubbed *);
+     add_u16 b 0 (* urgent *)
+   | Udp { udp_src; udp_dst } ->
+     add_u16 b udp_src;
+     add_u16 b udp_dst;
+     add_u16 b 8 (* length *);
+     add_u16 b 0 (* checksum: stubbed *)
+   | Icmp { icmp_type; icmp_code } ->
+     add_u8 b icmp_type;
+     add_u8 b icmp_code;
+     add_u16 b 0 (* checksum: stubbed *);
+     add_u32 b 0l
+   | Other_transport s -> Buffer.add_string b s);
+  Buffer.contents b
+
+let to_bytes (p : t) =
+  let b = Buffer.create 64 in
+  add_mac b p.dl_dst;
+  add_mac b p.dl_src;
+  (match p.vlan with
+   | Some { vid; pcp } ->
+     add_u16 b Constants_pkt.eth_type_vlan;
+     add_u16 b (((pcp land 0x7) lsl 13) lor (vid land 0xfff))
+   | None -> ());
+  add_u16 b p.dl_type;
+  (match p.net with
+   | Ipv4 ip ->
+     let payload = transport_bytes ip.ip_payload in
+     add_u8 b 0x45 (* version 4, IHL 5 *);
+     add_u8 b ip.ip_tos;
+     add_u16 b (20 + String.length payload);
+     add_u16 b 0 (* id *);
+     add_u16 b 0 (* flags/frag *);
+     add_u8 b 64 (* ttl *);
+     add_u8 b ip.ip_proto;
+     add_u16 b 0 (* checksum: stubbed *);
+     add_u32 b ip.ip_src;
+     add_u32 b ip.ip_dst;
+     Buffer.add_string b payload
+   | Arp a ->
+     add_u16 b 1 (* htype ethernet *);
+     add_u16 b Constants_pkt.eth_type_ip;
+     add_u8 b 6;
+     add_u8 b 4;
+     add_u16 b a.arp_op;
+     add_mac b a.arp_sha;
+     add_u32 b a.arp_spa;
+     add_mac b a.arp_tha;
+     add_u32 b a.arp_tpa
+   | Other_net s -> Buffer.add_string b s);
+  Buffer.contents b
+
+(* --- parsing ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let get_u8 s pos =
+  if pos >= String.length s then raise (Parse_error "truncated");
+  Char.code s.[pos]
+
+let get_u16 s pos = (get_u8 s pos lsl 8) lor get_u8 s (pos + 1)
+
+let get_u32 s pos =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (get_u16 s pos)) 16)
+    (Int32.of_int (get_u16 s (pos + 2)))
+
+let get_mac s pos =
+  let v = ref 0L in
+  for i = 0 to 5 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 s (pos + i)))
+  done;
+  !v
+
+let parse_transport proto s pos =
+  if proto = Constants_pkt.proto_tcp && String.length s - pos >= 20 then
+    Tcp { tcp_src = get_u16 s pos; tcp_dst = get_u16 s (pos + 2) }
+  else if proto = Constants_pkt.proto_udp && String.length s - pos >= 8 then
+    Udp { udp_src = get_u16 s pos; udp_dst = get_u16 s (pos + 2) }
+  else if proto = Constants_pkt.proto_icmp && String.length s - pos >= 4 then
+    Icmp { icmp_type = get_u8 s pos; icmp_code = get_u8 s (pos + 1) }
+  else Other_transport (String.sub s pos (String.length s - pos))
+
+let of_bytes s =
+  if String.length s < 14 then raise (Parse_error "frame too short");
+  let dl_dst = get_mac s 0 in
+  let dl_src = get_mac s 6 in
+  let tpid = get_u16 s 12 in
+  let vlan, dl_type, off =
+    if tpid = Constants_pkt.eth_type_vlan then begin
+      let tci = get_u16 s 14 in
+      (Some { vid = tci land 0xfff; pcp = (tci lsr 13) land 0x7 }, get_u16 s 16, 18)
+    end
+    else (None, tpid, 14)
+  in
+  let net =
+    if dl_type = Constants_pkt.eth_type_ip && String.length s - off >= 20 then begin
+      let ihl = (get_u8 s off land 0xf) * 4 in
+      let ip_tos = get_u8 s (off + 1) in
+      let ip_proto = get_u8 s (off + 9) in
+      let ip_src = get_u32 s (off + 12) in
+      let ip_dst = get_u32 s (off + 16) in
+      Ipv4 { ip_tos; ip_proto; ip_src; ip_dst;
+             ip_payload = parse_transport ip_proto s (off + ihl) }
+    end
+    else if dl_type = Constants_pkt.eth_type_arp && String.length s - off >= 28 then
+      Arp
+        {
+          arp_op = get_u16 s (off + 6);
+          arp_sha = get_mac s (off + 8);
+          arp_spa = get_u32 s (off + 14);
+          arp_tha = get_mac s (off + 18);
+          arp_tpa = get_u32 s (off + 24);
+        }
+    else Other_net (String.sub s off (String.length s - off))
+  in
+  { dl_src; dl_dst; vlan; dl_type; net }
+
+(* --- printing ---------------------------------------------------------- *)
+
+let pp_mac fmt (m : mac) =
+  Format.fprintf fmt "%02Lx:%02Lx:%02Lx:%02Lx:%02Lx:%02Lx"
+    (Int64.logand (Int64.shift_right_logical m 40) 0xffL)
+    (Int64.logand (Int64.shift_right_logical m 32) 0xffL)
+    (Int64.logand (Int64.shift_right_logical m 24) 0xffL)
+    (Int64.logand (Int64.shift_right_logical m 16) 0xffL)
+    (Int64.logand (Int64.shift_right_logical m 8) 0xffL)
+    (Int64.logand m 0xffL)
+
+let pp_ipv4_addr fmt (a : int32) =
+  let byte i = Int32.to_int (Int32.logand (Int32.shift_right_logical a (8 * i)) 0xffl) in
+  Format.fprintf fmt "%d.%d.%d.%d" (byte 3) (byte 2) (byte 1) (byte 0)
+
+let pp fmt (p : t) =
+  Format.fprintf fmt "eth{%a->%a" pp_mac p.dl_src pp_mac p.dl_dst;
+  (match p.vlan with
+   | Some { vid; pcp } -> Format.fprintf fmt ",vlan=%d/%d" vid pcp
+   | None -> ());
+  Format.fprintf fmt ",type=0x%04x}" p.dl_type;
+  match p.net with
+  | Ipv4 ip -> (
+    Format.fprintf fmt " ip{%a->%a,tos=%d,proto=%d}" pp_ipv4_addr ip.ip_src pp_ipv4_addr
+      ip.ip_dst ip.ip_tos ip.ip_proto;
+    match ip.ip_payload with
+    | Tcp t -> Format.fprintf fmt " tcp{%d->%d}" t.tcp_src t.tcp_dst
+    | Udp u -> Format.fprintf fmt " udp{%d->%d}" u.udp_src u.udp_dst
+    | Icmp i -> Format.fprintf fmt " icmp{%d/%d}" i.icmp_type i.icmp_code
+    | Other_transport _ -> Format.fprintf fmt " tp{?}")
+  | Arp a -> Format.fprintf fmt " arp{op=%d}" a.arp_op
+  | Other_net _ -> Format.fprintf fmt " raw"
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,63 @@
+(** Concrete data-plane packets: Ethernet (optionally 802.1Q-tagged)
+    frames carrying IPv4/TCP/UDP/ICMP, ARP, or opaque payloads, with a
+    byte-level codec.  Checksums are written as zero — SOFT's Cloud9
+    environment stubs checksum functions (paper §4.1), and this codec
+    keeps the convention end to end. *)
+
+type mac = int64
+
+type tcp = { tcp_src : int; tcp_dst : int }
+type udp = { udp_src : int; udp_dst : int }
+type icmp = { icmp_type : int; icmp_code : int }
+
+type transport = Tcp of tcp | Udp of udp | Icmp of icmp | Other_transport of string
+
+type ipv4 = {
+  ip_tos : int;
+  ip_proto : int;
+  ip_src : int32;
+  ip_dst : int32;
+  ip_payload : transport;
+}
+
+type arp = { arp_op : int; arp_sha : mac; arp_spa : int32; arp_tha : mac; arp_tpa : int32 }
+
+type net = Ipv4 of ipv4 | Arp of arp | Other_net of string
+
+type vlan = { vid : int; pcp : int }
+
+type t = {
+  dl_src : mac;
+  dl_dst : mac;
+  vlan : vlan option;
+  dl_type : int;  (** ethertype of the encapsulated payload *)
+  net : net;
+}
+
+exception Parse_error of string
+
+val proto_of_transport : transport -> int
+
+val tcp_probe :
+  ?dl_src:mac ->
+  ?dl_dst:mac ->
+  ?vlan:vlan option ->
+  ?tos:int ->
+  ?src:int32 ->
+  ?dst:int32 ->
+  ?sport:int ->
+  ?dport:int ->
+  unit ->
+  t
+(** The canonical concrete TCP probe the harness injects after
+    state-changing messages (paper §3.3). *)
+
+val eth_probe : ?dl_src:mac -> ?dl_dst:mac -> ?dl_type:int -> ?payload:string -> unit -> t
+
+val to_bytes : t -> string
+val of_bytes : string -> t
+
+val pp : Format.formatter -> t -> unit
+val pp_mac : Format.formatter -> mac -> unit
+val pp_ipv4_addr : Format.formatter -> int32 -> unit
+val to_string : t -> string

@@ -1,0 +1,196 @@
+(* Symbolic data-plane packets.  Header fields are bitvector expressions;
+   the structural shape (VLAN tag present, IPv4 vs ARP vs opaque) is fixed
+   by the builder, while field *values* may be symbolic.  This mirrors how
+   SOFT constructs inputs: structure concrete, contents symbolic
+   (paper §3.2.1). *)
+
+open Smt
+
+type sym_vlan = { svid : Expr.bv (* 16, low 12 used *); spcp : Expr.bv (* 8 *) }
+
+type sym_transport =
+  | Stcp of { stcp_src : Expr.bv; stcp_dst : Expr.bv } (* 16 each *)
+  | Sudp of { sudp_src : Expr.bv; sudp_dst : Expr.bv }
+  | Sicmp of { sicmp_type : Expr.bv; sicmp_code : Expr.bv } (* 8 each *)
+  | Sother_transport
+
+type sym_ipv4 = {
+  stos : Expr.bv; (* 8 *)
+  sproto : Expr.bv; (* 8 *)
+  ssrc : Expr.bv; (* 32 *)
+  sdst : Expr.bv; (* 32 *)
+  stransport : sym_transport;
+}
+
+type sym_net = Sipv4 of sym_ipv4 | Sother_net
+
+type t = {
+  sdl_src : Expr.bv; (* 48 *)
+  sdl_dst : Expr.bv; (* 48 *)
+  svlan : sym_vlan option;
+  sdl_type : Expr.bv; (* 16 *)
+  snet : sym_net;
+}
+
+let c8 v = Expr.const ~width:8 (Int64.of_int v)
+let c16 v = Expr.const ~width:16 (Int64.of_int v)
+let c32 v = Expr.const ~width:32 (Int64.logand (Int64.of_int32 v) 0xffffffffL)
+let c48 v = Expr.const ~width:48 v
+
+(* --- conversion from concrete packets -------------------------------- *)
+
+let of_concrete (p : Headers.t) =
+  let transport tp =
+    match tp with
+    | Headers.Tcp { tcp_src; tcp_dst } -> Stcp { stcp_src = c16 tcp_src; stcp_dst = c16 tcp_dst }
+    | Headers.Udp { udp_src; udp_dst } -> Sudp { sudp_src = c16 udp_src; sudp_dst = c16 udp_dst }
+    | Headers.Icmp { icmp_type; icmp_code } ->
+      Sicmp { sicmp_type = c8 icmp_type; sicmp_code = c8 icmp_code }
+    | Headers.Other_transport _ -> Sother_transport
+  in
+  {
+    sdl_src = c48 p.Headers.dl_src;
+    sdl_dst = c48 p.Headers.dl_dst;
+    svlan =
+      Option.map
+        (fun (v : Headers.vlan) -> { svid = c16 v.vid; spcp = c8 v.pcp })
+        p.Headers.vlan;
+    sdl_type = c16 p.Headers.dl_type;
+    snet =
+      (match p.Headers.net with
+       | Headers.Ipv4 ip ->
+         Sipv4
+           {
+             stos = c8 ip.ip_tos;
+             sproto = c8 ip.ip_proto;
+             ssrc = c32 ip.ip_src;
+             sdst = c32 ip.ip_dst;
+             stransport = transport ip.ip_payload;
+           }
+       | Headers.Arp _ | Headers.Other_net _ -> Sother_net);
+  }
+
+(* --- symbolic builders ------------------------------------------------ *)
+
+let v name width = Expr.var ~width name
+
+(* A fully symbolic Ethernet+IPv4+TCP packet: every header field is a fresh
+   variable named under [prefix].  Used by the Symbolic-Probe ablation
+   (Table 5). *)
+let symbolic_tcp ~prefix () =
+  let f n = prefix ^ "." ^ n in
+  {
+    sdl_src = v (f "dl_src") 48;
+    sdl_dst = v (f "dl_dst") 48;
+    svlan = None;
+    sdl_type = v (f "dl_type") 16;
+    snet =
+      Sipv4
+        {
+          stos = v (f "nw_tos") 8;
+          sproto = v (f "nw_proto") 8;
+          ssrc = v (f "nw_src") 32;
+          sdst = v (f "nw_dst") 32;
+          stransport = Stcp { stcp_src = v (f "tp_src") 16; stcp_dst = v (f "tp_dst") 16 };
+        };
+  }
+
+(* A short symbolic Ethernet frame (no IP payload): symbolic addresses and
+   ethertype. Used by the Eth FlowMod test's probing. *)
+let symbolic_eth ~prefix () =
+  let f n = prefix ^ "." ^ n in
+  {
+    sdl_src = v (f "dl_src") 48;
+    sdl_dst = v (f "dl_dst") 48;
+    svlan = None;
+    sdl_type = v (f "dl_type") 16;
+    snet = Sother_net;
+  }
+
+(* --- concretization ---------------------------------------------------- *)
+
+let eval_u m e = Model.eval_bv m e
+
+let to_concrete m (p : t) : Headers.t =
+  let i v = Int64.to_int (eval_u m v) in
+  let i32 v = Int64.to_int32 (eval_u m v) in
+  {
+    Headers.dl_src = eval_u m p.sdl_src;
+    dl_dst = eval_u m p.sdl_dst;
+    vlan =
+      Option.map
+        (fun sv -> { Headers.vid = i sv.svid land 0xfff; pcp = i sv.spcp land 0x7 })
+        p.svlan;
+    dl_type = i p.sdl_type;
+    net =
+      (match p.snet with
+       | Sipv4 ip ->
+         Headers.Ipv4
+           {
+             ip_tos = i ip.stos;
+             ip_proto = i ip.sproto;
+             ip_src = i32 ip.ssrc;
+             ip_dst = i32 ip.sdst;
+             ip_payload =
+               (match ip.stransport with
+                | Stcp { stcp_src; stcp_dst } ->
+                  Headers.Tcp { tcp_src = i stcp_src; tcp_dst = i stcp_dst }
+                | Sudp { sudp_src; sudp_dst } ->
+                  Headers.Udp { udp_src = i sudp_src; udp_dst = i sudp_dst }
+                | Sicmp { sicmp_type; sicmp_code } ->
+                  Headers.Icmp { icmp_type = i sicmp_type; icmp_code = i sicmp_code }
+                | Sother_transport -> Headers.Other_transport "");
+           }
+       | Sother_net -> Headers.Other_net "");
+  }
+
+(* --- structural equality (for trace comparison) ----------------------- *)
+
+let equal_transport a b =
+  match (a, b) with
+  | Stcp x, Stcp y -> x.stcp_src == y.stcp_src && x.stcp_dst == y.stcp_dst
+  | Sudp x, Sudp y -> x.sudp_src == y.sudp_src && x.sudp_dst == y.sudp_dst
+  | Sicmp x, Sicmp y -> x.sicmp_type == y.sicmp_type && x.sicmp_code == y.sicmp_code
+  | Sother_transport, Sother_transport -> true
+  | _ -> false
+
+let equal a b =
+  a.sdl_src == b.sdl_src && a.sdl_dst == b.sdl_dst && a.sdl_type == b.sdl_type
+  && (match (a.svlan, b.svlan) with
+      | None, None -> true
+      | Some x, Some y -> x.svid == y.svid && x.spcp == y.spcp
+      | _ -> false)
+  &&
+  match (a.snet, b.snet) with
+  | Sipv4 x, Sipv4 y ->
+    x.stos == y.stos && x.sproto == y.sproto && x.ssrc == y.ssrc && x.sdst == y.sdst
+    && equal_transport x.stransport y.stransport
+  | Sother_net, Sother_net -> true
+  | _ -> false
+
+(* Stable structural digest used when normalizing output traces: two
+   packets with identical expression structure produce the same digest. *)
+let digest (p : t) =
+  let id (e : Expr.bv) = string_of_int e.Expr.id in
+  let vlan =
+    match p.svlan with
+    | None -> "-"
+    | Some sv -> Printf.sprintf "%s/%s" (id sv.svid) (id sv.spcp)
+  in
+  let net =
+    match p.snet with
+    | Sother_net -> "raw"
+    | Sipv4 ip ->
+      let tp =
+        match ip.stransport with
+        | Stcp t -> Printf.sprintf "tcp:%s:%s" (id t.stcp_src) (id t.stcp_dst)
+        | Sudp u -> Printf.sprintf "udp:%s:%s" (id u.sudp_src) (id u.sudp_dst)
+        | Sicmp i -> Printf.sprintf "icmp:%s:%s" (id i.sicmp_type) (id i.sicmp_code)
+        | Sother_transport -> "tp?"
+      in
+      Printf.sprintf "ip:%s:%s:%s:%s:%s" (id ip.stos) (id ip.sproto) (id ip.ssrc)
+        (id ip.sdst) tp
+  in
+  Printf.sprintf "pkt{%s>%s,%s,%s,%s}" (id p.sdl_src) (id p.sdl_dst) vlan (id p.sdl_type) net
+
+let pp fmt p = Format.fprintf fmt "%s" (digest p)

@@ -1,0 +1,54 @@
+(** Symbolic data-plane packets.  Header fields are bitvector expressions;
+    the structural shape (VLAN tag present, IPv4 vs opaque payload) is
+    fixed by the builder while field values may be symbolic — mirroring
+    SOFT's input structuring (paper §3.2.1). *)
+
+open Smt
+
+type sym_vlan = { svid : Expr.bv (* 16, low 12 used *); spcp : Expr.bv (* 8 *) }
+
+type sym_transport =
+  | Stcp of { stcp_src : Expr.bv; stcp_dst : Expr.bv }
+  | Sudp of { sudp_src : Expr.bv; sudp_dst : Expr.bv }
+  | Sicmp of { sicmp_type : Expr.bv; sicmp_code : Expr.bv }
+  | Sother_transport
+
+type sym_ipv4 = {
+  stos : Expr.bv;  (** 8 *)
+  sproto : Expr.bv;  (** 8 *)
+  ssrc : Expr.bv;  (** 32 *)
+  sdst : Expr.bv;  (** 32 *)
+  stransport : sym_transport;
+}
+
+type sym_net = Sipv4 of sym_ipv4 | Sother_net
+
+type t = {
+  sdl_src : Expr.bv;  (** 48 *)
+  sdl_dst : Expr.bv;  (** 48 *)
+  svlan : sym_vlan option;
+  sdl_type : Expr.bv;  (** 16 *)
+  snet : sym_net;
+}
+
+val of_concrete : Headers.t -> t
+(** Embed a concrete packet (all fields become constants). *)
+
+val symbolic_tcp : prefix:string -> unit -> t
+(** A fully symbolic Ethernet+IPv4+TCP packet; every field a fresh variable
+    under [prefix] (the Symbolic-Probe ablation of Table 5). *)
+
+val symbolic_eth : prefix:string -> unit -> t
+(** A symbolic Ethernet frame with no typed payload. *)
+
+val to_concrete : Model.t -> t -> Headers.t
+(** Evaluate every field under a model: the concrete reproducer packet. *)
+
+val equal : t -> t -> bool
+(** Structural equality by expression identity. *)
+
+val digest : t -> string
+(** Stable structural digest used in normalized output traces: packets
+    with identical expression structure share the digest. *)
+
+val pp : Format.formatter -> t -> unit

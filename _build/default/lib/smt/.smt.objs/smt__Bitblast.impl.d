@@ -1,0 +1,1 @@
+lib/smt/bitblast.ml: Array Expr Hashtbl Int64 Model Sat

@@ -1,0 +1,1 @@
+lib/smt/expr.ml: Array Format Hashtbl Int64 List Printf

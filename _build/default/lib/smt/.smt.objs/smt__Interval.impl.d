@@ -1,0 +1,1 @@
+lib/smt/interval.ml: Expr Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/smt/interval.mli: Expr

@@ -1,0 +1,1 @@
+lib/smt/model.ml: Expr Format Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/smt/sat.ml: Array Bytes List

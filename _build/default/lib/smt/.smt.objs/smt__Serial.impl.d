@@ -1,0 +1,1 @@
+lib/smt/serial.ml: Buffer Expr Int64 Printf String

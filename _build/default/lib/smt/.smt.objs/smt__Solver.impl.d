@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Bitblast Expr Format Hashtbl Interval List Model Sat Unix

@@ -1,0 +1,25 @@
+(** A cheap, sound, UNSAT-only pre-filter for feasibility queries.
+
+    Tracks per-variable unsigned ranges, known-bit masks and forbidden
+    values.  Constraint shapes it does not recognize are ignored, keeping
+    the domain an over-approximation: {!verdict} [Unsat] is definitive,
+    [Unknown] means "ask the SAT solver".  Most OpenFlow-agent branch
+    conditions are single-field validations, which this domain decides
+    instantly. *)
+
+type t
+
+type verdict = Unsat | Unknown
+
+val create : unit -> t
+val copy : t -> t
+
+val add : t -> Expr.boolean -> verdict
+(** Refine the domain with one constraint and report whether the
+    accumulated domain became definitely empty. *)
+
+val check : Expr.boolean list -> verdict
+(** One-shot check of a conjunction with a fresh domain. *)
+
+val suggest : t -> Expr.var -> int64 option
+(** Best-effort: a value consistent with the variable's current domain. *)

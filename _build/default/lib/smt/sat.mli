@@ -1,0 +1,33 @@
+(** CDCL SAT solver: two-watched literals, VSIDS decisions, first-UIP
+    conflict learning, phase saving and Luby restarts.  One instance per
+    satisfiability query (no incrementality is needed by SOFT).
+
+    Literal encoding: variable [v] yields literal [2*v] (positive) and
+    [2*v+1] (negated). *)
+
+type result = Sat | Unsat
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its index. *)
+
+val add_clause : t -> int list -> unit
+(** Add a problem clause (list of literals).  Must be called before
+    {!solve}.  Tautologies are dropped; an empty clause makes the instance
+    trivially unsatisfiable. *)
+
+val solve : t -> result
+
+val model_value : t -> int -> bool
+(** After [Sat]: the assignment of a variable (unassigned vars read as
+    false). *)
+
+val lit_var : int -> int
+val lit_neg : int -> int
+val lit_sign : int -> bool
+
+val stats : t -> int * int * int * int
+(** [(conflicts, propagations, nvars, nclauses)]. *)

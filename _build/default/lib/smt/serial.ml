@@ -1,0 +1,291 @@
+(* S-expression serialization of expressions.  SOFT's two phases run
+   decoupled (paper §2.4): each vendor ships the *output* of symbolic
+   execution — path conditions and result traces — not source code.  This
+   module is the interchange format for those path conditions.
+
+   Grammar:
+     bv   ::= (c W HEX) | (v NAME W) | (u OP bv) | (b OP bv bv)
+            | (ite bool bv bv) | (ex HI LO bv) | (cat bv bv)
+            | (zx W bv) | (sx W bv)
+     bool ::= t | f | (cmp OP bv bv) | (not bool)
+            | (and bool bool) | (or bool bool)
+
+   Variable names are quoted with '|' to allow arbitrary characters except
+   '|' and newline. *)
+
+exception Parse_error of string
+
+let unop_name = function Expr.Bnot -> "bnot" | Expr.Neg -> "neg"
+
+let unop_of_name = function
+  | "bnot" -> Expr.Bnot
+  | "neg" -> Expr.Neg
+  | s -> raise (Parse_error ("unop " ^ s))
+
+let binop_name = function
+  | Expr.Add -> "add"
+  | Expr.Sub -> "sub"
+  | Expr.Mul -> "mul"
+  | Expr.Andb -> "and"
+  | Expr.Orb -> "or"
+  | Expr.Xorb -> "xor"
+  | Expr.Shl -> "shl"
+  | Expr.Lshr -> "lshr"
+
+let binop_of_name = function
+  | "add" -> Expr.Add
+  | "sub" -> Expr.Sub
+  | "mul" -> Expr.Mul
+  | "and" -> Expr.Andb
+  | "or" -> Expr.Orb
+  | "xor" -> Expr.Xorb
+  | "shl" -> Expr.Shl
+  | "lshr" -> Expr.Lshr
+  | s -> raise (Parse_error ("binop " ^ s))
+
+let cmp_name = function
+  | Expr.Eq -> "eq"
+  | Expr.Ult -> "ult"
+  | Expr.Ule -> "ule"
+  | Expr.Slt -> "slt"
+  | Expr.Sle -> "sle"
+
+let cmp_of_name = function
+  | "eq" -> Expr.Eq
+  | "ult" -> Expr.Ult
+  | "ule" -> Expr.Ule
+  | "slt" -> Expr.Slt
+  | "sle" -> Expr.Sle
+  | s -> raise (Parse_error ("cmp " ^ s))
+
+(* --- writing ------------------------------------------------------------ *)
+
+let rec write_bv buf (e : Expr.bv) =
+  match e.Expr.node with
+  | Expr.Const c -> Printf.bprintf buf "(c %d %Lx)" e.Expr.width c
+  | Expr.Var v -> Printf.bprintf buf "(v |%s| %d)" (Expr.var_name v) (Expr.var_width v)
+  | Expr.Unop (op, a) ->
+    Printf.bprintf buf "(u %s " (unop_name op);
+    write_bv buf a;
+    Buffer.add_char buf ')'
+  | Expr.Binop (op, a, b) ->
+    Printf.bprintf buf "(b %s " (binop_name op);
+    write_bv buf a;
+    Buffer.add_char buf ' ';
+    write_bv buf b;
+    Buffer.add_char buf ')'
+  | Expr.Ite (c, a, b) ->
+    Buffer.add_string buf "(ite ";
+    write_bool buf c;
+    Buffer.add_char buf ' ';
+    write_bv buf a;
+    Buffer.add_char buf ' ';
+    write_bv buf b;
+    Buffer.add_char buf ')'
+  | Expr.Extract (a, hi, lo) ->
+    Printf.bprintf buf "(ex %d %d " hi lo;
+    write_bv buf a;
+    Buffer.add_char buf ')'
+  | Expr.Concat (a, b) ->
+    Buffer.add_string buf "(cat ";
+    write_bv buf a;
+    Buffer.add_char buf ' ';
+    write_bv buf b;
+    Buffer.add_char buf ')'
+  | Expr.Zext a ->
+    Printf.bprintf buf "(zx %d " e.Expr.width;
+    write_bv buf a;
+    Buffer.add_char buf ')'
+  | Expr.Sext a ->
+    Printf.bprintf buf "(sx %d " e.Expr.width;
+    write_bv buf a;
+    Buffer.add_char buf ')'
+
+and write_bool buf (b : Expr.boolean) =
+  match b.Expr.bnode with
+  | Expr.True -> Buffer.add_char buf 't'
+  | Expr.False -> Buffer.add_char buf 'f'
+  | Expr.Cmp (op, x, y) ->
+    Printf.bprintf buf "(cmp %s " (cmp_name op);
+    write_bv buf x;
+    Buffer.add_char buf ' ';
+    write_bv buf y;
+    Buffer.add_char buf ')'
+  | Expr.Not x ->
+    Buffer.add_string buf "(not ";
+    write_bool buf x;
+    Buffer.add_char buf ')'
+  | Expr.And (x, y) ->
+    Buffer.add_string buf "(and ";
+    write_bool buf x;
+    Buffer.add_char buf ' ';
+    write_bool buf y;
+    Buffer.add_char buf ')'
+  | Expr.Or (x, y) ->
+    Buffer.add_string buf "(or ";
+    write_bool buf x;
+    Buffer.add_char buf ' ';
+    write_bool buf y;
+    Buffer.add_char buf ')'
+
+let bool_to_string b =
+  let buf = Buffer.create 256 in
+  write_bool buf b;
+  Buffer.contents buf
+
+let bv_to_string e =
+  let buf = Buffer.create 256 in
+  write_bv buf e;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let skip_ws cur =
+  while cur.pos < String.length cur.s && (cur.s.[cur.pos] = ' ' || cur.s.[cur.pos] = '\n') do
+    cur.pos <- cur.pos + 1
+  done
+
+let expect cur c =
+  skip_ws cur;
+  match peek cur with
+  | Some x when x = c -> cur.pos <- cur.pos + 1
+  | Some x -> raise (Parse_error (Printf.sprintf "expected '%c', got '%c' at %d" c x cur.pos))
+  | None -> raise (Parse_error (Printf.sprintf "expected '%c', got end of input" c))
+
+let atom cur =
+  skip_ws cur;
+  let start = cur.pos in
+  while
+    cur.pos < String.length cur.s
+    &&
+    match cur.s.[cur.pos] with ' ' | '(' | ')' | '\n' -> false | _ -> true
+  do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then raise (Parse_error (Printf.sprintf "expected atom at %d" start));
+  String.sub cur.s start (cur.pos - start)
+
+let quoted_name cur =
+  skip_ws cur;
+  expect cur '|';
+  let start = cur.pos in
+  while cur.pos < String.length cur.s && cur.s.[cur.pos] <> '|' do
+    cur.pos <- cur.pos + 1
+  done;
+  let name = String.sub cur.s start (cur.pos - start) in
+  expect cur '|';
+  name
+
+let int_atom cur =
+  let a = atom cur in
+  match int_of_string_opt a with
+  | Some n -> n
+  | None -> raise (Parse_error ("expected integer, got " ^ a))
+
+let rec parse_bv cur : Expr.bv =
+  expect cur '(';
+  let tag = atom cur in
+  let e =
+    match tag with
+    | "c" ->
+      let w = int_atom cur in
+      let hex = atom cur in
+      let v =
+        try Int64.of_string ("0x" ^ hex)
+        with _ -> raise (Parse_error ("bad constant " ^ hex))
+      in
+      Expr.const ~width:w v
+    | "v" -> (
+      let name = quoted_name cur in
+      let w = int_atom cur in
+      (* a corrupted file can redeclare a known variable at a bogus width;
+         report it as a parse error, not an internal exception *)
+      try Expr.var ~width:w name with
+      | Expr.Width_mismatch m -> raise (Parse_error m)
+      | Invalid_argument m -> raise (Parse_error m))
+    | "u" ->
+      let op = unop_of_name (atom cur) in
+      Expr.unop op (parse_bv cur)
+    | "b" ->
+      let op = binop_of_name (atom cur) in
+      let a = parse_bv cur in
+      let b = parse_bv cur in
+      Expr.binop op a b
+    | "ite" ->
+      let c = parse_bool cur in
+      let a = parse_bv cur in
+      let b = parse_bv cur in
+      Expr.ite c a b
+    | "ex" ->
+      let hi = int_atom cur in
+      let lo = int_atom cur in
+      Expr.extract ~hi ~lo (parse_bv cur)
+    | "cat" ->
+      let a = parse_bv cur in
+      let b = parse_bv cur in
+      Expr.concat a b
+    | "zx" ->
+      let w = int_atom cur in
+      Expr.zext ~width:w (parse_bv cur)
+    | "sx" ->
+      let w = int_atom cur in
+      Expr.sext ~width:w (parse_bv cur)
+    | t -> raise (Parse_error ("unknown bv tag " ^ t))
+  in
+  expect cur ')';
+  e
+
+and parse_bool cur : Expr.boolean =
+  skip_ws cur;
+  match peek cur with
+  | Some 't' ->
+    cur.pos <- cur.pos + 1;
+    Expr.tru
+  | Some 'f' ->
+    cur.pos <- cur.pos + 1;
+    Expr.fls
+  | Some '(' ->
+    expect cur '(';
+    let tag = atom cur in
+    let b =
+      match tag with
+      | "cmp" ->
+        let op = cmp_of_name (atom cur) in
+        let x = parse_bv cur in
+        let y = parse_bv cur in
+        Expr.cmp op x y
+      | "not" -> Expr.not_ (parse_bool cur)
+      | "and" ->
+        let x = parse_bool cur in
+        let y = parse_bool cur in
+        Expr.and_ x y
+      | "or" ->
+        let x = parse_bool cur in
+        let y = parse_bool cur in
+        Expr.or_ x y
+      | t -> raise (Parse_error ("unknown bool tag " ^ t))
+    in
+    expect cur ')';
+    b
+  | _ -> raise (Parse_error "expected boolean expression")
+
+(* Structurally corrupted input can also surface as width or argument
+   errors from the smart constructors (bad extract ranges, mismatched
+   operand widths); fold them all into [Parse_error]. *)
+let guarded parse s =
+  let cur = { s; pos = 0 } in
+  let v =
+    try parse cur with
+    | Expr.Width_mismatch m -> raise (Parse_error m)
+    | Invalid_argument m -> raise (Parse_error m)
+  in
+  skip_ws cur;
+  if cur.pos <> String.length s then raise (Parse_error "trailing garbage");
+  v
+
+let bool_of_string s = guarded parse_bool s
+let bv_of_string s = guarded parse_bv s

@@ -1,0 +1,16 @@
+(** S-expression serialization of expressions — the interchange format for
+    path conditions in SOFT's decoupled two-phase workflow (paper §2.4):
+    vendors ship the *outputs* of symbolic execution, never source code.
+
+    Parsing re-applies the smart constructors, so a round trip returns the
+    physically identical hash-consed term. *)
+
+exception Parse_error of string
+
+val bool_to_string : Expr.boolean -> string
+val bv_to_string : Expr.bv -> string
+
+val bool_of_string : string -> Expr.boolean
+(** @raise Parse_error on malformed input. *)
+
+val bv_of_string : string -> Expr.bv

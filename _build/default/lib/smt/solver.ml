@@ -1,0 +1,113 @@
+(* Solver frontend: the STP-shaped API that the rest of SOFT talks to.
+
+   A query is a conjunction of boolean expressions.  The pipeline is:
+   1. constant-level short-circuit (hash-consing already folded constants),
+   2. the interval/bit-mask pre-filter (sound UNSAT-only),
+   3. bit-blast + CDCL SAT, with model extraction on SAT.
+
+   Results are memoized on the multiset of constraint ids; this pays off
+   because path exploration re-checks shared path-condition prefixes. *)
+
+type result = Sat of Model.t | Unsat
+
+type stats = {
+  mutable queries : int;
+  mutable const_hits : int;
+  mutable interval_hits : int;
+  mutable cache_hits : int;
+  mutable sat_calls : int;
+  mutable sat_results : int;
+  mutable unsat_results : int;
+  mutable solver_time : float;
+}
+
+let stats = {
+  queries = 0;
+  const_hits = 0;
+  interval_hits = 0;
+  cache_hits = 0;
+  sat_calls = 0;
+  sat_results = 0;
+  unsat_results = 0;
+  solver_time = 0.0;
+}
+
+let reset_stats () =
+  stats.queries <- 0;
+  stats.const_hits <- 0;
+  stats.interval_hits <- 0;
+  stats.cache_hits <- 0;
+  stats.sat_calls <- 0;
+  stats.sat_results <- 0;
+  stats.unsat_results <- 0;
+  stats.solver_time <- 0.0
+
+(* cache: sorted constraint-id list -> result *)
+let cache : (int list, result) Hashtbl.t = Hashtbl.create 4096
+
+let clear_cache () = Hashtbl.reset cache
+
+let cache_key conds = List.sort_uniq compare (List.map (fun (b : Expr.boolean) -> b.Expr.bid) conds)
+
+let run_sat conds =
+  stats.sat_calls <- stats.sat_calls + 1;
+  let t0 = Unix.gettimeofday () in
+  let ctx = Bitblast.create () in
+  List.iter (Bitblast.assert_bool ctx) conds;
+  let r =
+    match Sat.solve ctx.Bitblast.sat with
+    | Sat.Sat -> Sat (Bitblast.extract_model ctx)
+    | Sat.Unsat -> Unsat
+  in
+  stats.solver_time <- stats.solver_time +. (Unix.gettimeofday () -. t0);
+  r
+
+let check ?(use_interval = true) ?(use_cache = true) conds =
+  stats.queries <- stats.queries + 1;
+  (* drop trivially-true conjuncts; answer immediately on any false *)
+  let conds = List.filter (fun c -> not (Expr.is_true c)) conds in
+  if List.exists Expr.is_false conds then begin
+    stats.const_hits <- stats.const_hits + 1;
+    Unsat
+  end
+  else if conds = [] then begin
+    stats.const_hits <- stats.const_hits + 1;
+    Sat (Model.empty ())
+  end
+  else
+    let key = if use_cache then cache_key conds else [] in
+    match if use_cache then Hashtbl.find_opt cache key else None with
+    | Some r ->
+      stats.cache_hits <- stats.cache_hits + 1;
+      r
+    | None ->
+      let r =
+        if use_interval && Interval.check conds = Interval.Unsat then begin
+          stats.interval_hits <- stats.interval_hits + 1;
+          Unsat
+        end
+        else run_sat conds
+      in
+      (match r with
+       | Sat m ->
+         stats.sat_results <- stats.sat_results + 1;
+         (* sanity: the model must actually satisfy the query *)
+         assert (Model.satisfies m conds)
+       | Unsat -> stats.unsat_results <- stats.unsat_results + 1);
+      if use_cache then Hashtbl.replace cache key r;
+      r
+
+let is_sat ?use_interval ?use_cache conds =
+  match check ?use_interval ?use_cache conds with Sat _ -> true | Unsat -> false
+
+let get_model ?use_interval ?use_cache conds =
+  match check ?use_interval ?use_cache conds with Sat m -> Some m | Unsat -> None
+
+(* Validity of an implication: pc ⊨ c  iff  pc ∧ ¬c is unsat. *)
+let entails pc c = not (is_sat (Expr.not_ c :: pc))
+
+let pp_stats fmt () =
+  Format.fprintf fmt
+    "queries=%d const=%d interval=%d cache=%d sat_calls=%d (sat=%d unsat=%d) time=%.3fs"
+    stats.queries stats.const_hits stats.interval_hits stats.cache_hits stats.sat_calls
+    stats.sat_results stats.unsat_results stats.solver_time

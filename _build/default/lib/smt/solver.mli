@@ -1,0 +1,43 @@
+(** Solver frontend: the STP-shaped interface the rest of SOFT uses.
+
+    A query is a conjunction of boolean expressions.  The pipeline is
+    constant short-circuiting, then the sound UNSAT-only interval filter,
+    then bit-blasting to the CDCL SAT core with model extraction.
+    Results are memoized on the multiset of constraint ids. *)
+
+type result =
+  | Sat of Model.t  (** satisfiable, with a concrete witness *)
+  | Unsat
+
+type stats = {
+  mutable queries : int;
+  mutable const_hits : int;  (** answered by constant folding *)
+  mutable interval_hits : int;  (** answered by the interval filter *)
+  mutable cache_hits : int;
+  mutable sat_calls : int;  (** queries reaching the SAT core *)
+  mutable sat_results : int;
+  mutable unsat_results : int;
+  mutable solver_time : float;  (** wall seconds inside the SAT core *)
+}
+
+val stats : stats
+(** Global counters, cumulative since start or the last {!reset_stats}. *)
+
+val reset_stats : unit -> unit
+
+val clear_cache : unit -> unit
+(** Drop the query-result memo table (benchmarks use this to measure cold
+    costs). *)
+
+val check : ?use_interval:bool -> ?use_cache:bool -> Expr.boolean list -> result
+(** [check conds] decides the conjunction of [conds].  [use_interval]
+    (default true) enables the interval pre-filter; [use_cache] (default
+    true) the memo table. *)
+
+val is_sat : ?use_interval:bool -> ?use_cache:bool -> Expr.boolean list -> bool
+val get_model : ?use_interval:bool -> ?use_cache:bool -> Expr.boolean list -> Model.t option
+
+val entails : Expr.boolean list -> Expr.boolean -> bool
+(** [entails pc c] iff [pc ∧ ¬c] is unsatisfiable. *)
+
+val pp_stats : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/soft/crosscheck.ml: Expr Format Grouping List Model Openflow Printf Smt Solver String Unix

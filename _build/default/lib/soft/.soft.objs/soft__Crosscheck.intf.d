@@ -1,0 +1,1 @@
+lib/soft/crosscheck.mli: Format Grouping Openflow Smt

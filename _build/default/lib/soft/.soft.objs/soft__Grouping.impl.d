@@ -1,0 +1,1 @@
+lib/soft/grouping.ml: Expr Format Harness Hashtbl List Openflow Smt Unix

@@ -1,0 +1,1 @@
+lib/soft/grouping.mli: Format Harness Openflow Smt

@@ -1,0 +1,1 @@
+lib/soft/pipeline.ml: Crosscheck Format Grouping Harness List Report Testcase

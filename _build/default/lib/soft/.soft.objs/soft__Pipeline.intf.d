@@ -1,0 +1,1 @@
+lib/soft/pipeline.mli: Crosscheck Format Grouping Harness Report Switches Symexec Testcase

@@ -1,0 +1,1 @@
+lib/soft/report.ml: Crosscheck Format Hashtbl List Openflow String

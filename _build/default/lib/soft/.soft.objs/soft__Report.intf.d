@@ -1,0 +1,1 @@
+lib/soft/report.mli: Crosscheck Format

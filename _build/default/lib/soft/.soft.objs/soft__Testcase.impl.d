@@ -1,0 +1,1 @@
+lib/soft/testcase.ml: Buffer Char Crosscheck Format Harness List Model Openflow Packet Printf Smt String

@@ -1,0 +1,1 @@
+lib/soft/testcase.mli: Crosscheck Format Harness Openflow Packet

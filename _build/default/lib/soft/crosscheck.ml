@@ -1,0 +1,130 @@
+(* SOFT's inconsistency finder (paper §3.4, §4.2): given two agents'
+   grouped results, consider every pair of *different* results, and ask the
+   solver whether some common input reaches both — i.e. whether
+   C_A(i) ∧ C_B(j) is satisfiable.  Each satisfiable pair is an
+   inconsistency, and the solver's model is a concrete witness input.
+
+   The number of solver queries is |RES_A| · |RES_B| minus the equal pairs,
+   which grouping has already reduced by orders of magnitude relative to
+   raw path counts. *)
+
+open Smt
+module Trace = Openflow.Trace
+
+type inconsistency = {
+  i_result_a : Trace.result;
+  i_result_b : Trace.result;
+  i_witness : Model.t; (* concrete input values exhibiting the divergence *)
+  i_cond : Expr.boolean; (* the satisfiable conjunction *)
+  i_paths_a : int;
+  i_paths_b : int;
+}
+
+type outcome = {
+  o_agent_a : string;
+  o_agent_b : string;
+  o_test : string;
+  o_inconsistencies : inconsistency list;
+  o_pairs_checked : int;
+  o_pairs_equal : int; (* pairs skipped because the results were identical *)
+  o_check_time : float; (* seconds in the intersection stage (Table 3) *)
+}
+
+(* Split a group's disjuncts into chunks of at most [n] path conditions.
+   SAT(A ∧ B) iff some chunk pair is satisfiable, so checking chunk pairs
+   with an early exit trades more (but much smaller) queries for the one
+   monolithic conjunction — the paper's proposed remedy for the solver
+   blow-up on CS FlowMods (§5.2, future work). *)
+let chunk_conds n conds =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else Expr.balanced_disj (List.rev cur) :: acc)
+    | c :: rest ->
+      if k = n then go (Expr.balanced_disj (List.rev cur) :: acc) [ c ] 1 rest
+      else go acc (c :: cur) (k + 1) rest
+  in
+  go [] [] 0 conds
+
+let sat_pair ?split (ga : Grouping.group) (gb : Grouping.group) =
+  match split with
+  | None -> (
+    match Solver.check [ ga.Grouping.g_cond; gb.Grouping.g_cond ] with
+    | Solver.Sat witness -> Some witness
+    | Solver.Unsat -> None)
+  | Some n ->
+    let chunks_a = chunk_conds n ga.Grouping.g_member_conds in
+    let chunks_b = chunk_conds n gb.Grouping.g_member_conds in
+    let rec pairs = function
+      | [] -> None
+      | ca :: rest_a ->
+        let rec inner = function
+          | [] -> pairs rest_a
+          | cb :: rest_b -> (
+            match Solver.check [ ca; cb ] with
+            | Solver.Sat witness -> Some witness
+            | Solver.Unsat -> inner rest_b)
+        in
+        inner chunks_b
+    in
+    pairs chunks_a
+
+let check ?split ?(on_found = fun (_ : inconsistency) -> ()) (a : Grouping.grouped)
+    (b : Grouping.grouped) =
+  if a.Grouping.gr_test <> b.Grouping.gr_test then
+    invalid_arg "Crosscheck.check: runs of different tests";
+  let t0 = Unix.gettimeofday () in
+  let pairs_checked = ref 0 in
+  let pairs_equal = ref 0 in
+  let found = ref [] in
+  List.iter
+    (fun (ga : Grouping.group) ->
+      List.iter
+        (fun (gb : Grouping.group) ->
+          if ga.Grouping.g_key = gb.Grouping.g_key then incr pairs_equal
+          else begin
+            incr pairs_checked;
+            match sat_pair ?split ga gb with
+            | None -> ()
+            | Some witness ->
+              let inc =
+                {
+                  i_result_a = ga.g_result;
+                  i_result_b = gb.Grouping.g_result;
+                  i_witness = witness;
+                  i_cond = Expr.and_ ga.g_cond gb.Grouping.g_cond;
+                  i_paths_a = ga.g_path_count;
+                  i_paths_b = gb.Grouping.g_path_count;
+                }
+              in
+              on_found inc;
+              found := inc :: !found
+          end)
+        b.Grouping.gr_groups)
+    a.Grouping.gr_groups;
+  {
+    o_agent_a = a.Grouping.gr_agent;
+    o_agent_b = b.Grouping.gr_agent;
+    o_test = a.Grouping.gr_test;
+    o_inconsistencies = List.rev !found;
+    o_pairs_checked = !pairs_checked;
+    o_pairs_equal = !pairs_equal;
+    o_check_time = Unix.gettimeofday () -. t0;
+  }
+
+let count o = List.length o.o_inconsistencies
+
+let pp fmt o =
+  Format.fprintf fmt "@[<v>%s vs %s on %s: %d inconsistencies (%d pairs checked, %.2fs)@ "
+    o.o_agent_a o.o_agent_b o.o_test (count o) o.o_pairs_checked o.o_check_time;
+  List.iteri
+    (fun i inc ->
+      Format.fprintf fmt "--- inconsistency %d ---@ %s:@   %s@ %s:@   %s@ witness:@   %s@ " i
+        o.o_agent_a
+        (Trace.result_key inc.i_result_a)
+        o.o_agent_b
+        (Trace.result_key inc.i_result_b)
+        (String.concat "; "
+           (List.map
+              (fun (v, value) -> Printf.sprintf "%s=0x%Lx" (Expr.var_name v) value)
+              (Model.bindings inc.i_witness))))
+    o.o_inconsistencies;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,41 @@
+(** SOFT's inconsistency finder (paper §3.4, §4.2): for every pair of
+    *different* grouped results across two agents, ask the solver whether
+    [C_A(i) ∧ C_B(j)] is satisfiable.  Each satisfiable pair is an
+    inconsistency and its model a concrete witness input. *)
+
+type inconsistency = {
+  i_result_a : Openflow.Trace.result;
+  i_result_b : Openflow.Trace.result;
+  i_witness : Smt.Model.t;  (** concrete inputs exhibiting the divergence *)
+  i_cond : Smt.Expr.boolean;  (** the satisfiable conjunction *)
+  i_paths_a : int;
+  i_paths_b : int;
+}
+
+type outcome = {
+  o_agent_a : string;
+  o_agent_b : string;
+  o_test : string;
+  o_inconsistencies : inconsistency list;
+  o_pairs_checked : int;
+  o_pairs_equal : int;  (** pairs skipped: identical results *)
+  o_check_time : float;  (** seconds in the intersection stage (Table 3) *)
+}
+
+val check :
+  ?split:int ->
+  ?on_found:(inconsistency -> unit) ->
+  Grouping.grouped ->
+  Grouping.grouped ->
+  outcome
+(** Crosscheck two agents' grouped phase-1 results for the same test.
+
+    [split]: check chunk pairs of at most [n] member conditions instead of
+    one monolithic disjunction pair — the paper's proposed remedy for
+    solver blow-ups on huge groups; same answers, more but smaller queries
+    with an early exit.
+
+    @raise Invalid_argument if the two runs are of different tests. *)
+
+val count : outcome -> int
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,69 @@
+(* The end-to-end SOFT pipeline (Figure 3): symbolically execute each agent
+   on a test, group path conditions by output result, and crosscheck the
+   groups through the solver.  [compare_agents] runs both phases in one
+   process; the [run]/[group]/[check] pieces are also exposed separately so
+   the CLI can exercise the decoupled vendor workflow of §2.4. *)
+
+module Runner = Harness.Runner
+module Test_spec = Harness.Test_spec
+
+type comparison = {
+  c_test : Test_spec.t;
+  c_run_a : Runner.run;
+  c_run_b : Runner.run;
+  c_grouped_a : Grouping.grouped;
+  c_grouped_b : Grouping.grouped;
+  c_outcome : Crosscheck.outcome;
+}
+
+let compare_runs spec run_a run_b =
+  let grouped_a = Grouping.of_run run_a in
+  let grouped_b = Grouping.of_run run_b in
+  let outcome = Crosscheck.check grouped_a grouped_b in
+  {
+    c_test = spec;
+    c_run_a = run_a;
+    c_run_b = run_b;
+    c_grouped_a = grouped_a;
+    c_grouped_b = grouped_b;
+    c_outcome = outcome;
+  }
+
+let compare_agents ?max_paths ?strategy agent_a agent_b (spec : Test_spec.t) =
+  let run_a = Runner.execute ?max_paths ?strategy agent_a spec in
+  let run_b = Runner.execute ?max_paths ?strategy agent_b spec in
+  compare_runs spec run_a run_b
+
+(* Run a whole suite of tests between two agents. *)
+let compare_suite ?max_paths ?strategy agent_a agent_b specs =
+  List.map (compare_agents ?max_paths ?strategy agent_a agent_b) specs
+
+(* Concrete reproducers for every inconsistency found in a comparison. *)
+let test_cases (c : comparison) =
+  List.map
+    (Testcase.of_inconsistency c.c_test
+       ~agent_a:c.c_outcome.Crosscheck.o_agent_a
+       ~agent_b:c.c_outcome.Crosscheck.o_agent_b)
+    c.c_outcome.Crosscheck.o_inconsistencies
+
+let inconsistency_count c = Crosscheck.count c.c_outcome
+
+let summaries c = Report.summarize c.c_outcome
+
+let pp_comparison fmt c =
+  Format.fprintf fmt "@[<v>== %s: %s vs %s ==@ " c.c_test.Test_spec.label
+    c.c_outcome.Crosscheck.o_agent_a c.c_outcome.Crosscheck.o_agent_b;
+  Format.fprintf fmt "%s: %d paths, %d result groups (grouping %.3fs)@ "
+    c.c_outcome.o_agent_a
+    (List.length c.c_run_a.Runner.run_paths)
+    (Grouping.distinct_results c.c_grouped_a)
+    c.c_grouped_a.Grouping.gr_group_time;
+  Format.fprintf fmt "%s: %d paths, %d result groups (grouping %.3fs)@ "
+    c.c_outcome.o_agent_b
+    (List.length c.c_run_b.Runner.run_paths)
+    (Grouping.distinct_results c.c_grouped_b)
+    c.c_grouped_b.Grouping.gr_group_time;
+  Format.fprintf fmt "inconsistencies: %d (checking %.2fs)@ " (inconsistency_count c)
+    c.c_outcome.Crosscheck.o_check_time;
+  Report.pp_summary fmt (summaries c);
+  Format.fprintf fmt "@]"

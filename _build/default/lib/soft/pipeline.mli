@@ -1,0 +1,42 @@
+(** The end-to-end SOFT pipeline (the paper's Figure 3): symbolically
+    execute each agent on a test, group path conditions by output result,
+    and crosscheck the groups through the solver.  The [run]/[group]/[check]
+    stages are also exposed individually (via {!Harness.Runner},
+    {!Grouping}, {!Crosscheck}) for the decoupled vendor workflow. *)
+
+type comparison = {
+  c_test : Harness.Test_spec.t;
+  c_run_a : Harness.Runner.run;
+  c_run_b : Harness.Runner.run;
+  c_grouped_a : Grouping.grouped;
+  c_grouped_b : Grouping.grouped;
+  c_outcome : Crosscheck.outcome;
+}
+
+val compare_runs :
+  Harness.Test_spec.t -> Harness.Runner.run -> Harness.Runner.run -> comparison
+(** Phase 2 only, over existing phase-1 runs. *)
+
+val compare_agents :
+  ?max_paths:int ->
+  ?strategy:Symexec.Strategy.t ->
+  Switches.Agent_intf.t ->
+  Switches.Agent_intf.t ->
+  Harness.Test_spec.t ->
+  comparison
+(** Both phases in one process. *)
+
+val compare_suite :
+  ?max_paths:int ->
+  ?strategy:Symexec.Strategy.t ->
+  Switches.Agent_intf.t ->
+  Switches.Agent_intf.t ->
+  Harness.Test_spec.t list ->
+  comparison list
+
+val test_cases : comparison -> Testcase.t list
+(** One concrete reproducer per inconsistency found. *)
+
+val inconsistency_count : comparison -> int
+val summaries : comparison -> Report.summary list
+val pp_comparison : Format.formatter -> comparison -> unit

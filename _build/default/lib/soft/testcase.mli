@@ -1,0 +1,30 @@
+(** Concrete reproducers: turn an inconsistency witness (a solver model)
+    into replayable inputs — real OpenFlow 1.0 wire bytes per control
+    message, concrete probe packets, virtual-time steps — plus the result
+    each agent is expected to exhibit (paper §3.4). *)
+
+type concrete_input =
+  | C_message of {
+      wire : string;  (** exact bytes to send on the control channel *)
+      parsed : Openflow.Types.msg option;
+          (** strict parse of [wire]; [None] when the reproducer is
+              deliberately malformed (that is often the triggering input) *)
+    }
+  | C_probe of { cp_in_port : int; cp_packet : Packet.Headers.t; cp_wire : string }
+  | C_advance_time of int
+
+type t = {
+  tc_test : string;
+  tc_inputs : concrete_input list;
+  tc_expected_a : string * Openflow.Trace.result;  (** agent name, result *)
+  tc_expected_b : string * Openflow.Trace.result;
+}
+
+val of_inconsistency :
+  Harness.Test_spec.t -> agent_a:string -> agent_b:string -> Crosscheck.inconsistency -> t
+
+val witness_consistent : Crosscheck.inconsistency -> bool
+(** Sanity pass: the witness model satisfies the recorded conjunction. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

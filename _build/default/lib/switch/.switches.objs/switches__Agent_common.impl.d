@@ -1,0 +1,1 @@
+lib/switch/agent_common.ml: Expr Flow_table Int64 Openflow Packet Smt Symexec

@@ -1,0 +1,1 @@
+lib/switch/agent_intf.ml: Openflow Packet Smt Symexec

@@ -1,0 +1,1 @@
+lib/switch/flow_table.ml: Array Expr Int64 List Match_sem Openflow Smt Symexec

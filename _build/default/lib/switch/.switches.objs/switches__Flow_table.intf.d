@@ -1,0 +1,1 @@
+lib/switch/flow_table.mli: Expr Openflow Packet Smt Symexec

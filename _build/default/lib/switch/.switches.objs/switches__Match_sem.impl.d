@@ -1,0 +1,1 @@
+lib/switch/match_sem.ml: Expr Int64 Openflow Packet Smt

@@ -1,0 +1,1 @@
+lib/switch/match_sem.mli: Expr Openflow Packet Smt

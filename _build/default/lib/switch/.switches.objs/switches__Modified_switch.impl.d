@@ -1,0 +1,1 @@
+lib/switch/modified_switch.ml: Agent_intf Openflow Ref_core String

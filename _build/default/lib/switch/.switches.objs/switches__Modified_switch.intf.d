@@ -1,0 +1,1 @@
+lib/switch/modified_switch.mli: Agent_intf

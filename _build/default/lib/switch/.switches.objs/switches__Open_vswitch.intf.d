@@ -1,0 +1,1 @@
+lib/switch/open_vswitch.mli: Agent_intf

@@ -1,0 +1,1 @@
+lib/switch/ref_core.ml: Agent_common Agent_intf Expr Flow_table Int64 List Match_sem Openflow Packet Printf Smt Symexec

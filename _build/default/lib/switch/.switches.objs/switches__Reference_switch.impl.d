@@ -1,0 +1,1 @@
+lib/switch/reference_switch.ml: Agent_intf Ref_core

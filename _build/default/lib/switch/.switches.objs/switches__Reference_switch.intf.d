@@ -1,0 +1,1 @@
+lib/switch/reference_switch.mli: Agent_intf

@@ -1,0 +1,181 @@
+(* Helpers shared by the agent models: switch configuration, packet header
+   edits performed by actions, output fan-out for FLOOD/ALL, and the agent
+   state record.  Control flow and validation stay in the per-agent
+   modules — those are what SOFT crosschecks. *)
+
+open Smt
+module Engine = Symexec.Engine
+module Trace = Openflow.Trace
+module Sym_msg = Openflow.Sym_msg
+module C = Openflow.Constants
+module SP = Packet.Sym_packet
+
+let c8 v = Expr.const ~width:8 (Int64.of_int v)
+let c16 v = Expr.const ~width:16 (Int64.of_int v)
+let c32 v = Expr.const ~width:32 (Int64.of_int v)
+
+type switch_config = {
+  nports : int; (* physical ports are 1..nports *)
+  n_buffers : int;
+  table_max : int;
+}
+
+let default_config = { nports = 4; n_buffers = 256; table_max = 64 }
+
+(* Agent state common to all models. [blocked] models an agent stuck
+   reading a message whose claimed length exceeds the delivered bytes. *)
+type state = {
+  table : Flow_table.t;
+  emerg_table : Flow_table.t;
+  miss_send_len : Expr.bv; (* 16 *)
+  frag_flags : Expr.bv; (* 16 *)
+  blocked : bool;
+  clock : int; (* virtual time in seconds (time extension) *)
+}
+
+let initial_state () =
+  {
+    table = Flow_table.empty;
+    emerg_table = Flow_table.empty;
+    miss_send_len = c16 128;
+    frag_flags = c16 C.Config_flags.frag_normal;
+    blocked = false;
+    clock = 0;
+  }
+
+(* --- packet edits ------------------------------------------------------ *)
+
+let set_vlan_vid (p : SP.t) vid =
+  let pcp = match p.SP.svlan with Some v -> v.SP.spcp | None -> c8 0 in
+  { p with SP.svlan = Some { SP.svid = vid; spcp = pcp } }
+
+let set_vlan_pcp (p : SP.t) pcp =
+  let vid = match p.SP.svlan with Some v -> v.SP.svid | None -> c16 0 in
+  { p with SP.svlan = Some { SP.svid = vid; spcp = pcp } }
+
+let strip_vlan (p : SP.t) = { p with SP.svlan = None }
+let set_dl_src (p : SP.t) addr = { p with SP.sdl_src = addr }
+let set_dl_dst (p : SP.t) addr = { p with SP.sdl_dst = addr }
+
+let map_ip (p : SP.t) f =
+  match p.SP.snet with SP.Sipv4 ip -> { p with SP.snet = SP.Sipv4 (f ip) } | SP.Sother_net -> p
+
+let set_nw_src p addr = map_ip p (fun ip -> { ip with SP.ssrc = addr })
+let set_nw_dst p addr = map_ip p (fun ip -> { ip with SP.sdst = addr })
+let set_nw_tos p tos = map_ip p (fun ip -> { ip with SP.stos = tos })
+
+let map_tp (p : SP.t) f = map_ip p (fun ip -> { ip with SP.stransport = f ip.SP.stransport })
+
+let set_tp_src p port =
+  map_tp p (function
+    | SP.Stcp { stcp_dst; _ } -> SP.Stcp { stcp_src = port; stcp_dst }
+    | SP.Sudp { sudp_dst; _ } -> SP.Sudp { sudp_src = port; sudp_dst }
+    | tp -> tp)
+
+let set_tp_dst p port =
+  map_tp p (function
+    | SP.Stcp { stcp_src; _ } -> SP.Stcp { stcp_src; stcp_dst = port }
+    | SP.Sudp { sudp_src; _ } -> SP.Sudp { sudp_src; sudp_dst = port }
+    | tp -> tp)
+
+(* --- output helpers ----------------------------------------------------- *)
+
+(* How a forwarded packet is reported depends on the context: dataplane TX
+   for Packet Out processing, probe response for injected probes. *)
+type sink = {
+  tx : Trace.event Engine.env -> port:Expr.bv -> SP.t -> unit;
+  to_controller : Trace.event Engine.env -> reason:int -> SP.t -> unit;
+}
+
+let packet_out_sink ~(in_port : Expr.bv) ~(frame_len : int) =
+  {
+    tx = (fun env ~port pkt -> Engine.emit env (Trace.Pkt_out { out_port = port; out_pkt = pkt }));
+    to_controller =
+      (fun env ~reason pkt ->
+        Engine.emit env
+          (Trace.Msg_out
+             (Trace.O_packet_in
+                {
+                  o_pi_in_port = in_port;
+                  o_pi_reason = reason;
+                  o_pi_buffer = Trace.No_buffer;
+                  o_pi_pkt = Some pkt;
+                  o_pi_data_len = c16 frame_len;
+                })));
+  }
+
+let probe_sink ~probe_id ~in_port =
+  {
+    tx =
+      (fun env ~port pkt ->
+        Engine.emit env
+          (Trace.Probe_response
+             { probe_id; response = Trace.Forwarded { fwd_port = port; fwd_pkt = pkt } }));
+    to_controller =
+      (fun env ~reason pkt ->
+        ignore in_port;
+        ignore pkt;
+        Engine.emit env
+          (Trace.Probe_response { probe_id; response = Trace.Sent_to_controller { stc_reason = reason } }));
+  }
+
+(* Emit the packet on every physical port except [in_port] (FLOOD/ALL
+   semantics; the emulated switch has no flood-disabled ports).  [in_port]
+   may be symbolic: the engine branches per port, and infeasible
+   combinations are pruned. *)
+let fanout env config ~in_port ~except_in_port pkt (sink : sink) =
+  for port = 1 to config.nports do
+    let pc = c16 port in
+    if (not except_in_port) || Engine.branch env (Expr.neq in_port pc) then
+      sink.tx env ~port:pc pkt
+  done
+
+let send_error env ~err_type ~err_code =
+  Engine.emit env (Trace.Msg_out (Trace.O_error { o_err_type = err_type; o_err_code = err_code }))
+
+(* Packet-in for a table miss, respecting miss_send_len: if the configured
+   length covers the whole frame the packet goes up unbuffered; otherwise
+   it is buffered and truncated.  The truncation length stays symbolic in
+   the output (outputs may contain symbolic inputs, paper §3.3). *)
+let packet_in_miss env (st : state) ~in_port ~frame_len pkt =
+  let full = Expr.uge st.miss_send_len (c16 frame_len) in
+  if Engine.branch env full then
+    (* short frame fits entirely: no buffering *)
+    Engine.emit env
+      (Trace.Msg_out
+         (Trace.O_packet_in
+            {
+              o_pi_in_port = in_port;
+              o_pi_reason = C.Packet_in_reason.no_match;
+              o_pi_buffer = Trace.No_buffer;
+              o_pi_pkt = Some pkt;
+              o_pi_data_len = c16 frame_len;
+            }))
+  else
+    (* buffered, truncated to miss_send_len; the truncation length is a
+       symbolic input flowing to the output.  The buffer id itself is
+       normalized away (paper par. 3.3). *)
+    Engine.emit env
+      (Trace.Msg_out
+         (Trace.O_packet_in
+            {
+              o_pi_in_port = in_port;
+              o_pi_reason = C.Packet_in_reason.no_match;
+              o_pi_buffer = Trace.Buffer_id { braw = c32 0 };
+              o_pi_pkt = Some pkt;
+              o_pi_data_len = st.miss_send_len;
+            }))
+
+(* --- length bookkeeping -------------------------------------------------- *)
+
+(* Claimed-length triage shared by all agents: returns [`Ok] when the
+   claimed length is exactly [expected] (or at least [expected] when
+   [exact] is false), [`Short] when too small, [`Blocked] when the claim
+   exceeds what was delivered (the agent would block on read). *)
+let check_length env (msg : Sym_msg.t) ~expected ~exact =
+  let claimed = msg.Sym_msg.sm_length in
+  let phys = msg.sm_phys_len in
+  if Engine.branch env (Expr.ult claimed (c16 expected)) then `Short
+  else if Engine.branch env (Expr.ugt claimed (c16 phys)) then `Blocked
+  else if (not exact) || Engine.branch env (Expr.eq claimed (c16 expected)) then `Ok
+  else `Short

@@ -1,0 +1,44 @@
+(* The interface every OpenFlow agent model implements.  The harness drives
+   agents exclusively through this signature — mirroring how SOFT treats
+   vendors' agents as opaque binaries behind the OpenFlow and dataplane
+   interfaces. *)
+
+module Engine = Symexec.Engine
+module Trace = Openflow.Trace
+module Sym_msg = Openflow.Sym_msg
+
+module type S = sig
+  val name : string
+
+  type state
+
+  (* Fresh switch state after process start. *)
+  val init : unit -> state
+
+  (* Connection establishment with the controller (hello exchange); runs
+     with concrete data before symbolic inputs are injected, like SOFT's
+     test driver (paper §4.1). *)
+  val connection_setup : Trace.event Engine.env -> state -> state
+
+  (* Process one OpenFlow control message. *)
+  val handle_message : Trace.event Engine.env -> state -> Sym_msg.t -> state
+
+  (* Advance the agent's virtual clock, firing flow timeouts — the time
+     extension sketched as future work in the paper (§5.1.1, MODIST-style).
+     Timer behaviour is unreachable through the standard Table-1 tests. *)
+  val advance_time :
+    Trace.event Engine.env -> state -> seconds:int -> state
+
+  (* Receive a packet on the data plane (the harness's probes). *)
+  val handle_packet :
+    Trace.event Engine.env ->
+    state ->
+    probe_id:int ->
+    in_port:Smt.Expr.bv ->
+    Packet.Sym_packet.t ->
+    state
+end
+
+type t = (module S)
+
+let name (module A : S) = A.name

@@ -1,0 +1,183 @@
+(* The switch flow table substrate: a priority-ordered rule store whose
+   entries may carry symbolic match fields, priorities and actions (they
+   come from symbolic Flow Mod messages).  Query operations take the
+   engine environment and branch where outcomes depend on symbolic data;
+   tables stay small in SOFT's tests (at most a handful of entries), so
+   per-entry branching is tractable — this is exactly why the paper's
+   input sequences are short. *)
+
+open Smt
+module Engine = Symexec.Engine
+module Sym_msg = Openflow.Sym_msg
+module Trace = Openflow.Trace
+module C = Openflow.Constants
+
+type entry = {
+  e_match : Sym_msg.smatch;
+  e_priority : Expr.bv; (* 16 *)
+  e_cookie : Expr.bv; (* 64 *)
+  e_idle_timeout : Expr.bv; (* 16 *)
+  e_hard_timeout : Expr.bv; (* 16 *)
+  e_flags : Expr.bv; (* 16 *)
+  e_actions : Sym_msg.saction list;
+  e_emergency : bool;
+  e_id : int; (* insertion order, for deterministic tie-breaking *)
+  e_installed_at : int; (* virtual-time install instant (time extension) *)
+}
+
+type t = { entries : entry list (* insertion order *); next_id : int }
+
+let empty = { entries = []; next_id = 0 }
+
+let size t = List.length t.entries
+
+let entry_of_flow_mod ?(emergency = false) ?(now = 0) (fm : Sym_msg.sflow_mod) id =
+  {
+    e_match = fm.Sym_msg.sfm_match;
+    e_priority = fm.sfm_priority;
+    e_cookie = fm.sfm_cookie;
+    e_idle_timeout = fm.sfm_idle_timeout;
+    e_hard_timeout = fm.sfm_hard_timeout;
+    e_flags = fm.sfm_flags;
+    e_actions = fm.sfm_actions;
+    e_emergency = emergency;
+    e_id = id;
+    e_installed_at = now;
+  }
+
+(* Does the entry emit to [port] through some OUTPUT action?  Used by the
+   out_port filter of DELETE.  OFPP_NONE means "no filter". *)
+let entry_outputs_to (e : entry) (port : Expr.bv) =
+  let none = Expr.const ~width:16 (Int64.of_int C.Port.none) in
+  let out_type = Expr.const ~width:16 (Int64.of_int C.Action_type.output) in
+  let conds =
+    List.filter_map
+      (fun (a : Sym_msg.saction) ->
+        if Array.length a.Sym_msg.a_body >= 2 then
+          Some (Expr.and_ (Expr.eq a.a_type out_type) (Expr.eq (Sym_msg.body_u16 a 0) port))
+        else None)
+      e.e_actions
+  in
+  Expr.or_ (Expr.eq port none) (Expr.balanced_disj conds)
+
+(* Lookup the highest-priority matching entry for [key].  Exact-match
+   entries (wildcards = 0) outrank all wildcarded entries per the 1.0 spec;
+   ties on priority resolve to the older entry.  Branches once per entry on
+   the match condition, then on priority comparisons among hits. *)
+let lookup env t key =
+  let hits =
+    List.filter (fun e -> Engine.branch env (Match_sem.matches e.e_match key)) t.entries
+  in
+  match hits with
+  | [] -> None
+  | [ e ] -> Some e
+  | first :: rest ->
+    let effective_priority e =
+      (* exact-match entries outrank wildcarded ones *)
+      Expr.ite (Match_sem.is_exact e.e_match)
+        (Expr.const ~width:17 0x10000L)
+        (Expr.zext ~width:17 e.e_priority)
+    in
+    let best =
+      List.fold_left
+        (fun best e ->
+          if Engine.branch env (Expr.uge (effective_priority best) (effective_priority e))
+          then best
+          else e)
+        first rest
+    in
+    Some best
+
+(* Insert an entry for ADD.  An existing entry with identical match and
+   priority is replaced (spec behaviour for both agents). *)
+let add env t entry =
+  let replaced = ref false in
+  let entries =
+    List.map
+      (fun e ->
+        if
+          (not !replaced) && e.e_emergency = entry.e_emergency
+          && Engine.branch env
+               (Expr.and_
+                  (Match_sem.strict_equal e.e_match entry.e_match)
+                  (Expr.eq e.e_priority entry.e_priority))
+        then begin
+          replaced := true;
+          { entry with e_id = e.e_id }
+        end
+        else e)
+      t.entries
+  in
+  if !replaced then { t with entries }
+  else { entries = t.entries @ [ { entry with e_id = t.next_id } ]; next_id = t.next_id + 1 }
+
+(* Does [entry] overlap any existing entry at the same priority?  Used when
+   the flow mod carries CHECK_OVERLAP. *)
+let check_overlap env t entry =
+  List.exists
+    (fun e ->
+      e.e_emergency = entry.e_emergency
+      && Engine.branch env
+           (Expr.and_
+              (Expr.eq e.e_priority entry.e_priority)
+              (Match_sem.overlaps e.e_match entry.e_match)))
+    t.entries
+
+(* Non-strict MODIFY: replace the actions of every entry subsumed by the
+   flow mod's match. Returns the table and whether any entry was changed. *)
+let modify env t (fm : Sym_msg.sflow_mod) =
+  let changed = ref false in
+  let entries =
+    List.map
+      (fun e ->
+        if
+          e.e_emergency = false
+          && Engine.branch env (Match_sem.subsumes fm.Sym_msg.sfm_match e.e_match)
+        then begin
+          changed := true;
+          { e with e_actions = fm.sfm_actions; e_cookie = fm.sfm_cookie }
+        end
+        else e)
+      t.entries
+  in
+  ({ t with entries }, !changed)
+
+(* Strict MODIFY: identical match and equal priority. *)
+let modify_strict env t (fm : Sym_msg.sflow_mod) =
+  let changed = ref false in
+  let entries =
+    List.map
+      (fun e ->
+        if
+          e.e_emergency = false
+          && Engine.branch env
+               (Expr.and_
+                  (Match_sem.strict_equal fm.Sym_msg.sfm_match e.e_match)
+                  (Expr.eq fm.sfm_priority e.e_priority))
+        then begin
+          changed := true;
+          { e with e_actions = fm.sfm_actions; e_cookie = fm.sfm_cookie }
+        end
+        else e)
+      t.entries
+  in
+  ({ t with entries }, !changed)
+
+(* DELETE / DELETE_STRICT: remove matching entries, honouring the out_port
+   filter.  Returns the new table and the removed entries. *)
+let delete env ~strict t (fm : Sym_msg.sflow_mod) =
+  let matches_fm e =
+    let base =
+      if strict then
+        Expr.and_
+          (Match_sem.strict_equal fm.Sym_msg.sfm_match e.e_match)
+          (Expr.eq fm.sfm_priority e.e_priority)
+      else Match_sem.subsumes fm.Sym_msg.sfm_match e.e_match
+    in
+    Engine.branch env (Expr.and_ base (entry_outputs_to e fm.sfm_out_port))
+  in
+  let removed, kept = List.partition matches_fm t.entries in
+  ({ t with entries = kept }, removed)
+
+let iter f t = List.iter f t.entries
+let entries t = t.entries

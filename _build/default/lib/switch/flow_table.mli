@@ -1,0 +1,59 @@
+(** The switch flow-table substrate: a priority-ordered rule store whose
+    entries may carry symbolic match fields, priorities and actions.
+    Query operations take the engine environment and branch where outcomes
+    depend on symbolic data; SOFT's tables stay small (a handful of
+    entries), so per-entry branching is tractable — exactly why the
+    paper's input sequences are short. *)
+
+open Smt
+module Sym_msg = Openflow.Sym_msg
+
+type entry = {
+  e_match : Sym_msg.smatch;
+  e_priority : Expr.bv;  (** 16 *)
+  e_cookie : Expr.bv;  (** 64 *)
+  e_idle_timeout : Expr.bv;  (** 16 *)
+  e_hard_timeout : Expr.bv;  (** 16 *)
+  e_flags : Expr.bv;  (** 16 *)
+  e_actions : Sym_msg.saction list;
+  e_emergency : bool;
+  e_id : int;  (** insertion order; deterministic tie-breaking *)
+  e_installed_at : int;  (** virtual-time install instant *)
+}
+
+type t = { entries : entry list; next_id : int }
+
+val empty : t
+val size : t -> int
+val entries : t -> entry list
+val iter : (entry -> unit) -> t -> unit
+
+val entry_of_flow_mod :
+  ?emergency:bool -> ?now:int -> Sym_msg.sflow_mod -> int -> entry
+
+val entry_outputs_to : entry -> Expr.bv -> Expr.boolean
+(** Does the entry emit to the port through some OUTPUT action?  OFPP_NONE
+    means no filter (always true). *)
+
+val lookup :
+  'ev Symexec.Engine.env -> t -> Packet.Flow_key.t -> entry option
+(** Highest-priority matching entry; exact-match entries outrank all
+    wildcarded ones; priority ties resolve to the older entry. *)
+
+val add : 'ev Symexec.Engine.env -> t -> entry -> t
+(** ADD semantics: an existing entry with identical match and priority is
+    replaced. *)
+
+val check_overlap : 'ev Symexec.Engine.env -> t -> entry -> bool
+(** Does the entry overlap an existing same-priority entry? *)
+
+val modify : 'ev Symexec.Engine.env -> t -> Sym_msg.sflow_mod -> t * bool
+(** Non-strict MODIFY; the flag reports whether anything changed (a no-op
+    MODIFY acts as ADD per the 1.0 spec — the caller handles that). *)
+
+val modify_strict : 'ev Symexec.Engine.env -> t -> Sym_msg.sflow_mod -> t * bool
+
+val delete :
+  'ev Symexec.Engine.env -> strict:bool -> t -> Sym_msg.sflow_mod -> t * entry list
+(** DELETE / DELETE_STRICT with the out_port filter; returns the removed
+    entries (for flow-removed notifications). *)

@@ -1,0 +1,140 @@
+(* OpenFlow 1.0 match semantics over symbolic values.
+
+   All three agent models share these definitions: they implement the
+   *specified* semantics of ofp_match (field comparison gated by wildcard
+   bits, CIDR-style masks for nw_src/nw_dst).  The agents differ in
+   *validation and control flow*, not in what a match means — just as the
+   reference switch and Open vSwitch share the specification. *)
+
+open Smt
+module C = Openflow.Constants
+module Sym_msg = Openflow.Sym_msg
+module Flow_key = Packet.Flow_key
+
+let c32 v = Expr.const ~width:32 (Int64.of_int v)
+let all_ones32 = Expr.const ~width:32 0xffffffffL
+
+(* Is wildcard bit [b] set? *)
+let wildcarded (wc : Expr.bv) b = Expr.neq (Expr.logand wc (c32 b)) (c32 0)
+
+(* CIDR mask from the 6-bit wildcard count: [n] low bits ignored, n >= 32
+   means match nothing of the field. *)
+let nw_mask (wc : Expr.bv) ~shift =
+  let n = Expr.logand (Expr.lshr wc (c32 shift)) (c32 0x3f) in
+  (* 0xffffffff << n, with n >= 32 giving 0 (barrel shifter handles it) *)
+  Expr.shl all_ones32 n
+
+let field_cond wc bit mfield kfield = Expr.or_ (wildcarded wc bit) (Expr.eq mfield kfield)
+
+(* Does flow key [k] match [m]? A single symbolic boolean (no branching);
+   agents branch on it. *)
+let matches (m : Sym_msg.smatch) (k : Flow_key.t) =
+  let wc = m.Sym_msg.s_wildcards in
+  let nw_field shift mfield kfield =
+    let mask = nw_mask wc ~shift in
+    Expr.eq (Expr.logand mfield mask) (Expr.logand kfield mask)
+  in
+  Expr.balanced_conj
+    [
+      field_cond wc C.Wildcards.in_port m.s_in_port k.Flow_key.fk_in_port;
+      field_cond wc C.Wildcards.dl_src m.s_dl_src k.fk_dl_src;
+      field_cond wc C.Wildcards.dl_dst m.s_dl_dst k.fk_dl_dst;
+      field_cond wc C.Wildcards.dl_vlan m.s_dl_vlan k.fk_dl_vlan;
+      field_cond wc C.Wildcards.dl_vlan_pcp m.s_dl_vlan_pcp k.fk_dl_vlan_pcp;
+      field_cond wc C.Wildcards.dl_type m.s_dl_type k.fk_dl_type;
+      field_cond wc C.Wildcards.nw_tos m.s_nw_tos k.fk_nw_tos;
+      field_cond wc C.Wildcards.nw_proto m.s_nw_proto k.fk_nw_proto;
+      nw_field C.Wildcards.nw_src_shift m.s_nw_src k.fk_nw_src;
+      nw_field C.Wildcards.nw_dst_shift m.s_nw_dst k.fk_nw_dst;
+      field_cond wc C.Wildcards.tp_src m.s_tp_src k.fk_tp_src;
+      field_cond wc C.Wildcards.tp_dst m.s_tp_dst k.fk_tp_dst;
+    ]
+
+(* Strict identity of two match structures: equal wildcards and equal
+   values on every field not wildcarded (used by MODIFY_STRICT and
+   DELETE_STRICT). *)
+let strict_equal (a : Sym_msg.smatch) (b : Sym_msg.smatch) =
+  let wc = a.Sym_msg.s_wildcards in
+  let both_or_eq bit fa fb = Expr.or_ (wildcarded wc bit) (Expr.eq fa fb) in
+  let nw_eq shift fa fb =
+    let mask = nw_mask wc ~shift in
+    Expr.eq (Expr.logand fa mask) (Expr.logand fb mask)
+  in
+  Expr.balanced_conj
+    [
+      Expr.eq a.s_wildcards b.Sym_msg.s_wildcards;
+      both_or_eq C.Wildcards.in_port a.s_in_port b.s_in_port;
+      both_or_eq C.Wildcards.dl_src a.s_dl_src b.s_dl_src;
+      both_or_eq C.Wildcards.dl_dst a.s_dl_dst b.s_dl_dst;
+      both_or_eq C.Wildcards.dl_vlan a.s_dl_vlan b.s_dl_vlan;
+      both_or_eq C.Wildcards.dl_vlan_pcp a.s_dl_vlan_pcp b.s_dl_vlan_pcp;
+      both_or_eq C.Wildcards.dl_type a.s_dl_type b.s_dl_type;
+      both_or_eq C.Wildcards.nw_tos a.s_nw_tos b.s_nw_tos;
+      both_or_eq C.Wildcards.nw_proto a.s_nw_proto b.s_nw_proto;
+      nw_eq C.Wildcards.nw_src_shift a.s_nw_src b.s_nw_src;
+      nw_eq C.Wildcards.nw_dst_shift a.s_nw_dst b.s_nw_dst;
+      both_or_eq C.Wildcards.tp_src a.s_tp_src b.s_tp_src;
+      both_or_eq C.Wildcards.tp_dst a.s_tp_dst b.s_tp_dst;
+    ]
+
+(* Does [outer] subsume [inner], i.e. is every packet matched by [inner]
+   also matched by [outer]?  Used by non-strict MODIFY and DELETE. *)
+let subsumes (outer : Sym_msg.smatch) (inner : Sym_msg.smatch) =
+  let owc = outer.Sym_msg.s_wildcards and iwc = inner.Sym_msg.s_wildcards in
+  (* outer must be at least as wildcarded, and agree where both are exact *)
+  let f bit fo fi =
+    Expr.or_ (wildcarded owc bit)
+      (Expr.and_ (Expr.not_ (wildcarded iwc bit)) (Expr.eq fo fi))
+  in
+  let nw shift fo fi =
+    let omask = nw_mask owc ~shift and imask = nw_mask iwc ~shift in
+    (* outer mask must be a subset of inner's exact bits and values agree *)
+    Expr.and_
+      (Expr.eq (Expr.logand omask imask) omask)
+      (Expr.eq (Expr.logand fo omask) (Expr.logand fi omask))
+  in
+  Expr.balanced_conj
+    [
+      f C.Wildcards.in_port outer.s_in_port inner.s_in_port;
+      f C.Wildcards.dl_src outer.s_dl_src inner.s_dl_src;
+      f C.Wildcards.dl_dst outer.s_dl_dst inner.s_dl_dst;
+      f C.Wildcards.dl_vlan outer.s_dl_vlan inner.s_dl_vlan;
+      f C.Wildcards.dl_vlan_pcp outer.s_dl_vlan_pcp inner.s_dl_vlan_pcp;
+      f C.Wildcards.dl_type outer.s_dl_type inner.s_dl_type;
+      f C.Wildcards.nw_tos outer.s_nw_tos inner.s_nw_tos;
+      f C.Wildcards.nw_proto outer.s_nw_proto inner.s_nw_proto;
+      nw C.Wildcards.nw_src_shift outer.s_nw_src inner.s_nw_src;
+      nw C.Wildcards.nw_dst_shift outer.s_nw_dst inner.s_nw_dst;
+      f C.Wildcards.tp_src outer.s_tp_src inner.s_tp_src;
+      f C.Wildcards.tp_dst outer.s_tp_dst inner.s_tp_dst;
+    ]
+
+(* Can some packet match both [a] and [b]?  Used by CHECK_OVERLAP. *)
+let overlaps (a : Sym_msg.smatch) (b : Sym_msg.smatch) =
+  let awc = a.Sym_msg.s_wildcards and bwc = b.Sym_msg.s_wildcards in
+  let f bit fa fb =
+    Expr.or_ (Expr.or_ (wildcarded awc bit) (wildcarded bwc bit)) (Expr.eq fa fb)
+  in
+  let nw shift fa fb =
+    let mask = Expr.logand (nw_mask awc ~shift) (nw_mask bwc ~shift) in
+    Expr.eq (Expr.logand fa mask) (Expr.logand fb mask)
+  in
+  Expr.balanced_conj
+    [
+      f C.Wildcards.in_port a.s_in_port b.s_in_port;
+      f C.Wildcards.dl_src a.s_dl_src b.s_dl_src;
+      f C.Wildcards.dl_dst a.s_dl_dst b.s_dl_dst;
+      f C.Wildcards.dl_vlan a.s_dl_vlan b.s_dl_vlan;
+      f C.Wildcards.dl_vlan_pcp a.s_dl_vlan_pcp b.s_dl_vlan_pcp;
+      f C.Wildcards.dl_type a.s_dl_type b.s_dl_type;
+      f C.Wildcards.nw_tos a.s_nw_tos b.s_nw_tos;
+      f C.Wildcards.nw_proto a.s_nw_proto b.s_nw_proto;
+      nw C.Wildcards.nw_src_shift a.s_nw_src b.s_nw_src;
+      nw C.Wildcards.nw_dst_shift a.s_nw_dst b.s_nw_dst;
+      f C.Wildcards.tp_src a.s_tp_src b.s_tp_src;
+      f C.Wildcards.tp_dst a.s_tp_dst b.s_tp_dst;
+    ]
+
+(* Is the match exact (no wildcard bit set)?  Exact-match entries take
+   precedence over all wildcarded entries in OpenFlow 1.0 lookup. *)
+let is_exact (m : Sym_msg.smatch) = Expr.eq m.Sym_msg.s_wildcards (c32 0)

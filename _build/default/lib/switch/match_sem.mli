@@ -1,0 +1,35 @@
+(** OpenFlow 1.0 match semantics over symbolic values.
+
+    All agent models share these definitions: they implement the
+    *specified* meaning of ofp_match (field comparison gated by wildcard
+    bits, CIDR masks for nw_src/nw_dst).  Agents differ in validation and
+    control flow, not in what a match means.  Every predicate returns a
+    single symbolic boolean (no branching); agents branch on it. *)
+
+open Smt
+module Sym_msg = Openflow.Sym_msg
+
+val wildcarded : Expr.bv -> int -> Expr.boolean
+(** [wildcarded wc bit]: is the wildcard [bit] set in [wc]? *)
+
+val nw_mask : Expr.bv -> shift:int -> Expr.bv
+(** CIDR mask from the 6-bit wildcard count at [shift]; counts >= 32 give
+    the all-zero mask (field fully wildcarded). *)
+
+val matches : Sym_msg.smatch -> Packet.Flow_key.t -> Expr.boolean
+(** Does the flow key satisfy the match? *)
+
+val strict_equal : Sym_msg.smatch -> Sym_msg.smatch -> Expr.boolean
+(** Identity of two matches: equal wildcards and equal values on every
+    non-wildcarded field (MODIFY_STRICT / DELETE_STRICT). *)
+
+val subsumes : Sym_msg.smatch -> Sym_msg.smatch -> Expr.boolean
+(** [subsumes outer inner]: every packet matched by [inner] is matched by
+    [outer] (non-strict MODIFY / DELETE, flow-stats filtering). *)
+
+val overlaps : Sym_msg.smatch -> Sym_msg.smatch -> Expr.boolean
+(** Can some packet match both? (CHECK_OVERLAP). *)
+
+val is_exact : Sym_msg.smatch -> Expr.boolean
+(** No wildcard bit set; exact-match entries outrank wildcarded ones in
+    1.0 lookup. *)

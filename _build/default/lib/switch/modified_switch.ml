@@ -1,0 +1,95 @@
+(* The "Modified Switch" of the evaluation (§5.1.1): the Reference Switch
+   code base with seven behaviour changes injected by team members who did
+   not build the tool.  Five are observable through the OpenFlow interface;
+   two are not reachable by SOFT's tests — M1 manifests only during
+   connection establishment (the harness completes a correct handshake
+   before testing) and M2 only when a rule expires on a timer (the symbolic
+   engine cannot trigger timers).  SOFT is expected to find exactly 5/7. *)
+
+module Impl = Ref_core.Make (struct
+  let name = "modified"
+
+  let quirks =
+    {
+      Ref_core.po_port_max_check = Some 16; (* M3: reject output ports > 16 *)
+      bad_action_err_type = Openflow.Constants.Error_type.bad_request;
+      (* M4: wrong error type for invalid actions *)
+      miss_send_len_clamp = Some 0x20; (* M5: silently clamp miss_send_len below the probe frame size *)
+      honor_check_overlap = false; (* M6: CHECK_OVERLAP ignored *)
+      error_on_unknown_stats = true; (* M7: errors where reference is silent *)
+      strict_hello = true; (* M1: NOT detectable (connection setup) *)
+      early_idle_expiry = true; (* M2: NOT detectable (timer-driven) *)
+    }
+end)
+
+include Impl
+
+let agent : Agent_intf.t = (module Impl)
+
+(* The injected modifications, for reporting the 5/7 detection experiment. *)
+type injected = {
+  inj_id : string;
+  inj_description : string;
+  inj_detectable : bool; (* reachable through SOFT's test inputs? *)
+}
+
+let injected_modifications =
+  [
+    {
+      inj_id = "M1";
+      inj_description = "strict version negotiation: rejects mismatched Hello";
+      inj_detectable = false;
+    };
+    {
+      inj_id = "M2";
+      inj_description = "idle-timeout rules expire one tick early";
+      inj_detectable = false;
+    };
+    {
+      inj_id = "M3";
+      inj_description = "Packet Out: error for output ports above 16";
+      inj_detectable = true;
+    };
+    {
+      inj_id = "M4";
+      inj_description = "invalid actions rejected with BAD_REQUEST instead of BAD_ACTION";
+      inj_detectable = true;
+    };
+    {
+      inj_id = "M5";
+      inj_description = "Set Config: miss_send_len silently clamped to 32";
+      inj_detectable = true;
+    };
+    {
+      inj_id = "M6";
+      inj_description = "Flow Mod: CHECK_OVERLAP flag ignored";
+      inj_detectable = true;
+    };
+    {
+      inj_id = "M7";
+      inj_description = "unknown statistics requests answered with an error";
+      inj_detectable = true;
+    };
+  ]
+
+(* Map an observed inconsistency (by test id and the two result keys) back
+   to the injected modification it reveals — the mechanized version of the
+   manual triage in the paper's §5.1.1 experiment. *)
+let attribute_inconsistency ~test ~key_a ~key_b =
+  let has_sub needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let either p = p key_a || p key_b in
+  match test with
+  | "packet_out" ->
+    if either (has_sub "error(BAD_REQUEST,0)") then Some "M4"
+    else if either (has_sub "error(BAD_ACTION,4)") then Some "M3"
+    else None
+  | "set_config" -> Some "M5"
+  | "cs_flow_mods" ->
+    if either (has_sub "error(FLOW_MOD_FAILED,1)") then Some "M6" else None
+  | "stats_request" ->
+    if either (has_sub "error(BAD_REQUEST,2)") then Some "M7" else None
+  | _ -> None

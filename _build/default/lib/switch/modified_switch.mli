@@ -1,0 +1,22 @@
+(** The "Modified Switch" of the evaluation (§5.1.1): the Reference Switch
+    with seven injected behaviour changes, two of which (M1: connection
+    setup, M2: timer-driven expiry) are unreachable by SOFT's standard
+    tests — the expected detection outcome is 5 of 7. *)
+
+include Agent_intf.S
+
+val agent : Agent_intf.t
+
+type injected = {
+  inj_id : string;  (** M1..M7 *)
+  inj_description : string;
+  inj_detectable : bool;  (** reachable through SOFT's standard test inputs? *)
+}
+
+val injected_modifications : injected list
+
+val attribute_inconsistency :
+  test:string -> key_a:string -> key_b:string -> string option
+(** Map an observed inconsistency (test id + the two result keys) back to
+    the injected modification it reveals — mechanizing the manual triage of
+    the paper's detection experiment. *)

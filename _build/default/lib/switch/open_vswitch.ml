@@ -1,0 +1,823 @@
+(* Model of Open vSwitch 1.0.0's OpenFlow agent (80K LoC of C in the
+   paper's evaluation).  Written independently of [Ref_core] — the two code
+   bases implement the same specification with different structure, which
+   is precisely what SOFT crosschecks.
+
+   The documented OVS behaviours encoded here (paper §5.1.2):
+   - strict upfront validation of action arguments: a VLAN id that does not
+     fit in 12 bits, a ToS with nonzero low bits, or a PCP above 7 make OVS
+     *silently ignore the whole message* (no error);
+   - an OUTPUT port above a configurable maximum is rejected with an error;
+   - an unknown buffer_id draws an error message, but a Flow Mod still
+     installs the flow;
+   - actions are validated before buffers are consulted (opposite order
+     from the reference switch);
+   - invalid or unknown statistics requests are answered with an error;
+   - OFPP_NORMAL is supported (traditional forwarding path);
+   - emergency flow entries are not supported;
+   - a rule whose match pins in_port to the OUTPUT port is accepted, and
+     matching packets are dropped at forwarding time. *)
+
+open Smt
+module Engine = Symexec.Engine
+module Coverage = Symexec.Coverage
+module Trace = Openflow.Trace
+module Sym_msg = Openflow.Sym_msg
+module C = Openflow.Constants
+module AC = Agent_common
+
+module Impl : Agent_intf.S = struct
+  let name = "ovs"
+
+  type state = AC.state
+
+  let config = AC.default_config
+
+  (* OVS validates output ports against its datapath's maximum port count *)
+  let max_ports = 255
+
+  let c16 = AC.c16
+  let c32 = AC.c32
+
+  (* ---- coverage instrumentation ---- *)
+
+  let pt n = Coverage.instr name n
+  let bp n = Coverage.branch name n
+
+  let pt_init = pt "init"
+  let pt_conn = pt "conn.setup"
+  let pt_rconn_hello = pt "rconn.hello"
+  let bp_rconn_version = bp "rconn.version_ok"
+  let pt_msg_entry = pt "ofproto.handle_msg"
+  let bp_msg_len = bp "ofproto.len_ok"
+  let pt_msg_blocked = pt "ofproto.blocked"
+  let pt_hello = pt "ofproto.hello"
+  let pt_echo = pt "ofproto.echo"
+  let pt_features = pt "ofproto.features"
+  let pt_get_config = pt "ofproto.get_config"
+  let pt_set_config = pt "ofproto.set_config"
+  let bp_set_config_len = bp "ofproto.set_config.len"
+  let pt_barrier = pt "ofproto.barrier"
+  let pt_vendor = pt "ofproto.vendor"
+  let bp_vendor_nicira = bp "ofproto.vendor.nicira"
+  let pt_bad_type = pt "ofproto.bad_type"
+  let pt_po_entry = pt "ofproto.packet_out"
+  let bp_po_len = bp "ofproto.packet_out.len"
+  let pt_po_validate = pt "validate.actions"
+  let bp_po_buffer = bp "ofproto.packet_out.buffer"
+  let pt_po_buffer_err = pt "ofproto.packet_out.buffer_unknown"
+  let pt_po_execute = pt "xlate.execute"
+  let pt_fm_entry = pt "ofproto.flow_mod"
+  let bp_fm_len = bp "ofproto.flow_mod.len"
+  let bp_fm_emerg = bp "ofproto.flow_mod.emerg"
+  let pt_fm_emerg_unsupported = pt "ofproto.flow_mod.emerg_unsupported"
+  let bp_fm_overlap_flag = bp "ofproto.flow_mod.check_overlap"
+  let pt_fm_overlap_err = pt "ofproto.flow_mod.overlap_error"
+  let pt_fm_add = pt "ofproto.flow_mod.add"
+  let pt_fm_modify = pt "ofproto.flow_mod.modify"
+  let pt_fm_modify_strict = pt "ofproto.flow_mod.modify_strict"
+  let pt_fm_delete = pt "ofproto.flow_mod.delete"
+  let pt_fm_delete_strict = pt "ofproto.flow_mod.delete_strict"
+  let pt_fm_bad_command = pt "ofproto.flow_mod.bad_command"
+  let bp_fm_buffer = bp "ofproto.flow_mod.buffer"
+  let pt_fm_buffer_err = pt "ofproto.flow_mod.buffer_unknown"
+  let pt_fm_flow_removed = pt "ofproto.flow_mod.send_flow_removed"
+  let pt_fm_normalize = pt "ofputil.normalize_rule"
+  let bp_norm_ip = bp "ofputil.normalize.is_ip"
+  let bp_norm_tp = bp "ofputil.normalize.has_transport"
+  let pt_stats_entry = pt "ofproto.stats"
+  let bp_stats_len = bp "ofproto.stats.len"
+  let pt_stats_desc = pt "stats.desc"
+  let pt_stats_flow = pt "stats.flow"
+  let pt_stats_aggregate = pt "stats.aggregate"
+  let pt_stats_table = pt "stats.table"
+  let pt_stats_port = pt "stats.port"
+  let pt_stats_queue = pt "stats.queue"
+  let pt_stats_unknown = pt "stats.bad_stat"
+  let pt_qgc = pt "ofproto.queue_get_config"
+  let bp_qgc_valid = bp "ofproto.queue_get_config.valid"
+  let pt_port_mod = pt "ofproto.port_mod"
+  let bp_val_type = bp "validate.action_type"
+  let bp_val_len = bp "validate.action_len"
+  let bp_val_vlan_vid = bp "validate.vlan_vid_range"
+  let bp_val_vlan_pcp = bp "validate.vlan_pcp_range"
+  let bp_val_tos = bp "validate.tos_bits"
+  let bp_val_port_range = bp "validate.port_range"
+  let bp_val_port_special = bp "validate.port_special"
+  let pt_val_enqueue = pt "validate.enqueue"
+  let pt_val_vendor_action = pt "validate.vendor_action"
+  let pt_act_output = pt "xlate.output"
+  let bp_act_out_phys = bp "xlate.output.phys"
+  let pt_act_out_in_port = pt "xlate.output.in_port"
+  let pt_act_out_table = pt "xlate.output.table"
+  let pt_act_out_normal = pt "xlate.output.normal"
+  let pt_act_out_flood = pt "xlate.output.flood"
+  let pt_act_out_all = pt "xlate.output.all"
+  let pt_act_out_ctrl = pt "xlate.output.controller"
+  let pt_act_out_local = pt "xlate.output.local"
+  let pt_act_mod_field = pt "xlate.mod_field"
+  let pt_probe_entry = pt "dp.receive"
+  let bp_probe_match = bp "dp.classifier_match"
+  let pt_probe_miss = pt "dp.miss_upcall"
+  let pt_probe_apply = pt "dp.apply_actions"
+  let pt_probe_drop = pt "dp.drop"
+
+  (* code present but unreachable through SOFT's control-channel tests *)
+  let pt_timer_expire = pt "timer.expire_flows"
+  let pt_timer_flow_removed = pt "timer.send_flow_removed"
+  let pt_netdev_status = pt "netdev.port_status"
+  let pt_conn_teardown = pt "rconn.teardown"
+  let pt_bundle = pt "bond.rebalance"
+  let pt_cfm = pt "cfm.monitor"
+
+  exception Msg_error of int * int
+  exception Silent_ignore (* strict validation failed: drop whole message *)
+
+  let error t code = raise (Msg_error (t, code))
+
+  let init () = AC.initial_state ()
+
+  let connection_setup env st =
+    Engine.cover env pt_init;
+    Engine.cover env pt_conn;
+    Engine.cover env pt_rconn_hello;
+    let peer_version = Expr.const ~width:8 (Int64.of_int C.version) in
+    ignore
+      (Engine.branch ~loc:bp_rconn_version env
+         (Expr.eq peer_version (Expr.const ~width:8 1L)));
+    st
+
+  (* ---- upfront action validation (ofp-actions validation pass) -------- *)
+
+  let is_type env (a : Sym_msg.saction) t = Engine.branch_eq env a.Sym_msg.a_type (Int64.of_int t)
+
+  let check_len env (a : Sym_msg.saction) expected =
+    if not (Engine.branch ~loc:bp_val_len env (Expr.eq a.Sym_msg.a_len (c16 expected))) then
+      error C.Error_type.bad_action C.Bad_action.bad_len
+
+  (* Validate one OUTPUT port value.  Specials are accepted; physical ports
+     are checked against [max_ports] (the configurable maximum). *)
+  let validate_output_port env port =
+    if
+      Engine.branch ~loc:bp_val_port_special env
+        (Expr.uge port (c16 C.Port.in_port))
+    then begin
+      (* one of the eight reserved values: all accepted at validation *)
+      ()
+    end
+    else if
+      Engine.branch ~loc:bp_val_port_range env
+        (Expr.and_ (Expr.uge port (c16 1)) (Expr.ule port (c16 max_ports)))
+    then ()
+    else error C.Error_type.bad_action C.Bad_action.bad_out_port
+
+  (* The strict validation pass over an action list.  Raises
+     [Silent_ignore] for bad field values (the documented silent drop) and
+     [Msg_error] for structural problems. *)
+  let validate_actions env actions =
+    Engine.cover env pt_po_validate;
+    List.iter
+      (fun (a : Sym_msg.saction) ->
+        if is_type env a C.Action_type.output then begin
+          check_len env a 8;
+          validate_output_port env (Sym_msg.body_u16 a 0)
+        end
+        else if is_type env a C.Action_type.set_vlan_vid then begin
+          check_len env a 8;
+          let vid = Sym_msg.body_u16 a 0 in
+          if not (Engine.branch ~loc:bp_val_vlan_vid env (Expr.ule vid (c16 0xfff))) then
+            raise Silent_ignore
+        end
+        else if is_type env a C.Action_type.set_vlan_pcp then begin
+          check_len env a 8;
+          let pcp = Sym_msg.body_u8 a 0 in
+          if not (Engine.branch ~loc:bp_val_vlan_pcp env (Expr.ule pcp (AC.c8 7))) then
+            raise Silent_ignore
+        end
+        else if is_type env a C.Action_type.strip_vlan then check_len env a 8
+        else if is_type env a C.Action_type.set_dl_src || is_type env a C.Action_type.set_dl_dst
+        then check_len env a 16
+        else if is_type env a C.Action_type.set_nw_src || is_type env a C.Action_type.set_nw_dst
+        then check_len env a 8
+        else if is_type env a C.Action_type.set_nw_tos then begin
+          check_len env a 8;
+          let tos = Sym_msg.body_u8 a 0 in
+          if
+            not
+              (Engine.branch ~loc:bp_val_tos env
+                 (Expr.eq (Expr.logand tos (AC.c8 0x3)) (AC.c8 0)))
+          then raise Silent_ignore
+        end
+        else if is_type env a C.Action_type.set_tp_src || is_type env a C.Action_type.set_tp_dst
+        then check_len env a 8
+        else if is_type env a C.Action_type.enqueue then begin
+          Engine.cover env pt_val_enqueue;
+          check_len env a 16;
+          (* no queues configured *)
+          error C.Error_type.bad_action C.Bad_action.bad_queue
+        end
+        else if is_type env a C.Action_type.vendor then begin
+          Engine.cover env pt_val_vendor_action;
+          error C.Error_type.bad_action C.Bad_action.bad_vendor
+        end
+        else begin
+          ignore (Engine.branch ~loc:bp_val_type env Expr.fls);
+          error C.Error_type.bad_action C.Bad_action.bad_type
+        end)
+      actions
+
+  (* ---- action translation/execution (xlate) --------------------------- *)
+
+  let rec do_output env st ?(from_table = false) ~in_port ~(sink : AC.sink) pkt port =
+    Engine.cover env pt_act_output;
+    if
+      Engine.branch ~loc:bp_act_out_phys env
+        (Expr.and_ (Expr.uge port (c16 1)) (Expr.ule port (c16 config.AC.nports)))
+    then begin
+      (* classifier refuses to send a packet back out its input port *)
+      if Engine.branch env (Expr.eq port in_port) then () else sink.AC.tx env ~port pkt
+    end
+    else if Engine.branch env (Expr.ule port (c16 max_ports)) then
+      (* validated range but no such datapath port: dropped *)
+      ()
+    else if Engine.branch_eq env port (Int64.of_int C.Port.in_port) then begin
+      Engine.cover env pt_act_out_in_port;
+      sink.AC.tx env ~port:in_port pkt
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.table) then begin
+      Engine.cover env pt_act_out_table;
+      if from_table then () (* resubmit from a flow entry: refused *)
+      else run_through_table env st ~in_port ~sink pkt
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.normal) then begin
+      Engine.cover env pt_act_out_normal;
+      (* traditional L2 forwarding path: supported by OVS *)
+      sink.AC.tx env ~port pkt
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.flood) then begin
+      Engine.cover env pt_act_out_flood;
+      AC.fanout env config ~in_port ~except_in_port:true pkt sink
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.all) then begin
+      Engine.cover env pt_act_out_all;
+      AC.fanout env config ~in_port ~except_in_port:true pkt sink
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.controller) then begin
+      Engine.cover env pt_act_out_ctrl;
+      sink.AC.to_controller env ~reason:C.Packet_in_reason.action pkt
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.local) then begin
+      Engine.cover env pt_act_out_local;
+      sink.AC.tx env ~port pkt
+    end
+    else
+      (* OFPP_NONE: validated earlier as "special", dropped at xlate *)
+      ()
+
+  and run_through_table env st ~in_port ~sink pkt =
+    let key = Packet.Flow_key.extract env ~in_port pkt in
+    match Flow_table.lookup env st.AC.table key with
+    | Some entry ->
+      ignore (apply_actions env st ~from_table:true ~in_port ~sink pkt entry.Flow_table.e_actions)
+    | None -> ()
+
+  (* Execution assumes validation already passed; no value branching is
+     repeated here (values are known in range). *)
+  and apply_action env st ?(from_table = false) ~in_port ~sink pkt (a : Sym_msg.saction) =
+    if is_type env a C.Action_type.output then begin
+      do_output env st ~from_table ~in_port ~sink pkt (Sym_msg.body_u16 a 0);
+      pkt
+    end
+    else begin
+      Engine.cover env pt_act_mod_field;
+      if is_type env a C.Action_type.set_vlan_vid then
+        AC.set_vlan_vid pkt (Sym_msg.body_u16 a 0)
+      else if is_type env a C.Action_type.set_vlan_pcp then
+        AC.set_vlan_pcp pkt (Sym_msg.body_u8 a 0)
+      else if is_type env a C.Action_type.strip_vlan then AC.strip_vlan pkt
+      else if is_type env a C.Action_type.set_dl_src then AC.set_dl_src pkt (Sym_msg.body_mac a 0)
+      else if is_type env a C.Action_type.set_dl_dst then AC.set_dl_dst pkt (Sym_msg.body_mac a 0)
+      else if is_type env a C.Action_type.set_nw_src then AC.set_nw_src pkt (Sym_msg.body_u32 a 0)
+      else if is_type env a C.Action_type.set_nw_dst then AC.set_nw_dst pkt (Sym_msg.body_u32 a 0)
+      else if is_type env a C.Action_type.set_nw_tos then AC.set_nw_tos pkt (Sym_msg.body_u8 a 0)
+      else if is_type env a C.Action_type.set_tp_src then AC.set_tp_src pkt (Sym_msg.body_u16 a 0)
+      else if is_type env a C.Action_type.set_tp_dst then AC.set_tp_dst pkt (Sym_msg.body_u16 a 0)
+      else pkt
+    end
+
+  and apply_actions env st ?(from_table = false) ~in_port ~sink pkt actions =
+    List.fold_left (fun pkt a -> apply_action env st ~from_table ~in_port ~sink pkt a) pkt actions
+
+  (* ---- handlers -------------------------------------------------------- *)
+
+  let handle_packet_out env st (msg : Sym_msg.t) (po : Sym_msg.spacket_out) =
+    Engine.cover env pt_po_entry;
+    (match AC.check_length env msg ~expected:16 ~exact:false with
+     | `Short ->
+       ignore (Engine.branch ~loc:bp_po_len env Expr.fls);
+       error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ignore (Engine.branch ~loc:bp_po_len env Expr.tru));
+    (* actions are validated before buffers are consulted *)
+    validate_actions env po.Sym_msg.spo_actions;
+    if
+      Engine.branch ~loc:bp_po_buffer env
+        (Expr.neq po.Sym_msg.spo_buffer_id (c32 0xffffffff))
+    then begin
+      Engine.cover env pt_po_buffer_err;
+      error C.Error_type.bad_request C.Bad_request.buffer_unknown
+    end;
+    match po.Sym_msg.spo_data with
+    | None -> st
+    | Some pkt ->
+      Engine.cover env pt_po_execute;
+      let in_port = po.Sym_msg.spo_in_port in
+      let sink = AC.packet_out_sink ~in_port ~frame_len:64 in
+      ignore (apply_actions env st ~in_port ~sink pkt po.Sym_msg.spo_actions);
+      st
+
+  (* ofputil_normalize_rule: fields that cannot be matched given the
+     dl_type / nw_proto in the match are forced to wildcards and zeroed.
+     The reference switch stores matches raw — a genuine behavioural
+     difference between the two code bases. *)
+  let normalize_match env (m : Sym_msg.smatch) =
+    Engine.cover env pt_fm_normalize;
+    let wc = m.Sym_msg.s_wildcards in
+    let exact bit = Expr.eq (Expr.logand wc (c32 bit)) (c32 0) in
+    let is_ip =
+      Expr.and_ (exact C.Wildcards.dl_type)
+        (Expr.eq m.s_dl_type (c16 Packet.Constants_pkt.eth_type_ip))
+    in
+    if Engine.branch ~loc:bp_norm_ip env is_ip then begin
+      let transport p = Expr.eq m.s_nw_proto (AC.c8 p) in
+      let has_tp =
+        Expr.and_ (exact C.Wildcards.nw_proto)
+          (Expr.or_
+             (transport Packet.Constants_pkt.proto_tcp)
+             (Expr.or_
+                (transport Packet.Constants_pkt.proto_udp)
+                (transport Packet.Constants_pkt.proto_icmp)))
+      in
+      if Engine.branch ~loc:bp_norm_tp env has_tp then m
+      else
+        {
+          m with
+          Sym_msg.s_wildcards =
+            Expr.logor wc (c32 C.Wildcards.(tp_src lor tp_dst));
+          s_tp_src = c16 0;
+          s_tp_dst = c16 0;
+        }
+    end
+    else
+      {
+        m with
+        Sym_msg.s_wildcards =
+          Expr.logor wc
+            (c32
+               C.Wildcards.(
+                 nw_tos lor nw_proto lor tp_src lor tp_dst lor nw_src_all lor nw_dst_all));
+        s_nw_tos = AC.c8 0;
+        s_nw_proto = AC.c8 0;
+        s_nw_src = c32 0;
+        s_nw_dst = c32 0;
+        s_tp_src = c16 0;
+        s_tp_dst = c16 0;
+      }
+
+  let install_entry env st (fm : Sym_msg.sflow_mod) =
+    let check_overlap_set =
+      Engine.branch ~loc:bp_fm_overlap_flag env
+        (Expr.neq
+           (Expr.logand fm.Sym_msg.sfm_flags (c16 C.Flow_mod_flags.check_overlap))
+           (c16 0))
+    in
+    if check_overlap_set then begin
+      let entry = Flow_table.entry_of_flow_mod fm 0 in
+      if Flow_table.check_overlap env st.AC.table entry then begin
+        Engine.cover env pt_fm_overlap_err;
+        error C.Error_type.flow_mod_failed C.Flow_mod_failed.overlap
+      end
+    end;
+    {
+      st with
+      AC.table = Flow_table.add env st.AC.table (Flow_table.entry_of_flow_mod ~now:st.AC.clock fm 0);
+    }
+
+  let handle_flow_mod env st (msg : Sym_msg.t) (fm : Sym_msg.sflow_mod) =
+    Engine.cover env pt_fm_entry;
+    (match AC.check_length env msg ~expected:C.Sizes.flow_mod ~exact:false with
+     | `Short ->
+       ignore (Engine.branch ~loc:bp_fm_len env Expr.fls);
+       error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ignore (Engine.branch ~loc:bp_fm_len env Expr.tru));
+    (* normalize the match like ofputil does, then validate actions *)
+    let fm = { fm with Sym_msg.sfm_match = normalize_match env fm.Sym_msg.sfm_match } in
+    validate_actions env fm.Sym_msg.sfm_actions;
+    (* no emergency flow support *)
+    if
+      Engine.branch ~loc:bp_fm_emerg env
+        (Expr.neq (Expr.logand fm.sfm_flags (c16 C.Flow_mod_flags.emerg)) (c16 0))
+    then begin
+      Engine.cover env pt_fm_emerg_unsupported;
+      error C.Error_type.flow_mod_failed C.Flow_mod_failed.unsupported
+    end;
+    let cmd = fm.Sym_msg.sfm_command in
+    let st =
+      if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.add) then begin
+        Engine.cover env pt_fm_add;
+        install_entry env st fm
+      end
+      else if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.modify) then begin
+        Engine.cover env pt_fm_modify;
+        let table', changed = Flow_table.modify env st.AC.table fm in
+        if changed then { st with AC.table = table' } else install_entry env st fm
+      end
+      else if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.modify_strict) then begin
+        Engine.cover env pt_fm_modify_strict;
+        let table', changed = Flow_table.modify_strict env st.AC.table fm in
+        if changed then { st with AC.table = table' } else install_entry env st fm
+      end
+      else if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.delete) then begin
+        Engine.cover env pt_fm_delete;
+        let table', removed = Flow_table.delete env ~strict:false st.AC.table fm in
+        List.iter
+          (fun (e : Flow_table.entry) ->
+            if
+              Engine.branch env
+                (Expr.neq
+                   (Expr.logand e.Flow_table.e_flags (c16 C.Flow_mod_flags.send_flow_rem))
+                   (c16 0))
+            then begin
+              Engine.cover env pt_fm_flow_removed;
+              Engine.emit env
+                (Trace.Msg_out
+                   (Trace.O_flow_removed { o_fr_reason = C.Flow_removed_reason.delete }))
+            end)
+          removed;
+        { st with AC.table = table' }
+      end
+      else if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.delete_strict) then begin
+        Engine.cover env pt_fm_delete_strict;
+        let table', removed = Flow_table.delete env ~strict:true st.AC.table fm in
+        List.iter
+          (fun (e : Flow_table.entry) ->
+            if
+              Engine.branch env
+                (Expr.neq
+                   (Expr.logand e.Flow_table.e_flags (c16 C.Flow_mod_flags.send_flow_rem))
+                   (c16 0))
+            then begin
+              Engine.cover env pt_fm_flow_removed;
+              Engine.emit env
+                (Trace.Msg_out
+                   (Trace.O_flow_removed { o_fr_reason = C.Flow_removed_reason.delete }))
+            end)
+          removed;
+        { st with AC.table = table' }
+      end
+      else begin
+        Engine.cover env pt_fm_bad_command;
+        error C.Error_type.flow_mod_failed C.Flow_mod_failed.bad_command
+      end
+    in
+    (* buffered packet: the buffer does not exist — reply with an error,
+       but the flow stays installed (paper §5.1.2, lack-of-error finding) *)
+    if
+      Engine.branch ~loc:bp_fm_buffer env
+        (Expr.neq fm.Sym_msg.sfm_buffer_id (c32 0xffffffff))
+    then begin
+      Engine.cover env pt_fm_buffer_err;
+      AC.send_error env ~err_type:C.Error_type.bad_request
+        ~err_code:C.Bad_request.buffer_unknown;
+      st
+    end
+    else st
+
+  (* flow/aggregate requests dispatch on table_id: 0xff = all tables,
+     0xfe = emergency, a specific id otherwise *)
+  let table_scope env (s : Sym_msg.sstats_request) =
+    let tid = s.Sym_msg.ssr_table_id in
+    if Engine.branch_eq env tid 0xffL then `All
+    else if Engine.branch_eq env tid 0xfeL then `Emergency
+    else if Engine.branch_eq env tid 0L then `Table0
+    else `No_such_table
+
+  let flow_stats_digest env st (s : Sym_msg.sstats_request) =
+    match table_scope env s with
+    | `No_such_table -> "flows=0,table=none"
+    | (`All | `Emergency | `Table0) as scope ->
+      let entries =
+        match scope with
+        | `Emergency -> Flow_table.entries st.AC.emerg_table
+        | `All -> Flow_table.entries st.AC.table @ Flow_table.entries st.AC.emerg_table
+        | `Table0 -> Flow_table.entries st.AC.table
+      in
+      let n =
+        List.fold_left
+          (fun acc (e : Flow_table.entry) ->
+            if
+              Engine.branch env
+                (Expr.and_
+                   (Match_sem.subsumes s.Sym_msg.ssr_match e.Flow_table.e_match)
+                   (Flow_table.entry_outputs_to e s.Sym_msg.ssr_out_port))
+            then acc + 1
+            else acc)
+          0 entries
+      in
+      Printf.sprintf "flows=%d" n
+
+  let handle_stats_request env st (msg : Sym_msg.t) (s : Sym_msg.sstats_request) =
+    Engine.cover env pt_stats_entry;
+    (match AC.check_length env msg ~expected:C.Sizes.stats_request ~exact:false with
+     | `Short ->
+       ignore (Engine.branch ~loc:bp_stats_len env Expr.fls);
+       error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ignore (Engine.branch ~loc:bp_stats_len env Expr.tru));
+    let typ = s.Sym_msg.ssr_type in
+    let reply stype body =
+      Engine.emit env
+        (Trace.Msg_out (Trace.O_stats_reply { o_stats_type = stype; o_stats_body = body }))
+    in
+    let need_exact_len n =
+      match AC.check_length env msg ~expected:n ~exact:true with
+      | `Ok -> ()
+      | `Short -> error C.Error_type.bad_request C.Bad_request.bad_len
+      | `Blocked ->
+        Engine.cover env pt_msg_blocked;
+        Engine.stop env
+    in
+    if Engine.branch_eq env typ (Int64.of_int C.Stats_type.desc) then begin
+      Engine.cover env pt_stats_desc;
+      need_exact_len 12;
+      reply C.Stats_type.desc "desc"
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.flow) then begin
+      Engine.cover env pt_stats_flow;
+      need_exact_len 56;
+      reply C.Stats_type.flow (flow_stats_digest env st s)
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.aggregate) then begin
+      Engine.cover env pt_stats_aggregate;
+      need_exact_len 56;
+      reply C.Stats_type.aggregate ("agg:" ^ flow_stats_digest env st s)
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.table) then begin
+      Engine.cover env pt_stats_table;
+      need_exact_len 12;
+      reply C.Stats_type.table
+        (Printf.sprintf "tables=1,active=%d" (Flow_table.size st.AC.table))
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.port) then begin
+      Engine.cover env pt_stats_port;
+      need_exact_len 20;
+      let port = s.Sym_msg.ssr_port_no in
+      if
+        Engine.branch env
+          (Expr.or_
+             (Expr.eq port (c16 C.Port.none))
+             (Expr.and_ (Expr.uge port (c16 1)) (Expr.ule port (c16 config.AC.nports))))
+      then reply C.Stats_type.port "ports"
+      else reply C.Stats_type.port "ports-empty"
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.queue) then begin
+      Engine.cover env pt_stats_queue;
+      need_exact_len 20;
+      reply C.Stats_type.queue "queues-empty"
+    end
+    else begin
+      (* invalid or unknown request: answered with an error *)
+      Engine.cover env pt_stats_unknown;
+      error C.Error_type.bad_request C.Bad_request.bad_stat
+    end;
+    st
+
+  let handle_queue_get_config env st (msg : Sym_msg.t) port =
+    Engine.cover env pt_qgc;
+    (match AC.check_length env msg ~expected:C.Sizes.queue_get_config_request ~exact:true with
+     | `Short -> error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ());
+    if
+      Engine.branch ~loc:bp_qgc_valid env
+        (Expr.and_ (Expr.uge port (c16 1)) (Expr.ule port (c16 config.AC.nports)))
+    then begin
+      Engine.emit env
+        (Trace.Msg_out (Trace.O_queue_config_reply { o_q_port = port; o_n_queues = 0 }));
+      st
+    end
+    else error C.Error_type.queue_op_failed C.Queue_op_failed.bad_port
+
+  let handle_set_config env st (msg : Sym_msg.t) (sc : Sym_msg.sswitch_config) =
+    Engine.cover env pt_set_config;
+    (match AC.check_length env msg ~expected:C.Sizes.switch_config ~exact:true with
+     | `Short ->
+       ignore (Engine.branch ~loc:bp_set_config_len env Expr.fls);
+       error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ignore (Engine.branch ~loc:bp_set_config_len env Expr.tru));
+    (* ofproto dispatches on the fragment mode; OVS 1.0 treats the invalid
+       encoding (3) as NORMAL, matching the reference switch's leniency *)
+    let frag = Expr.logand sc.Sym_msg.scfg_flags (c16 C.Config_flags.frag_mask) in
+    ignore
+      (if Engine.branch_eq env frag (Int64.of_int C.Config_flags.frag_normal) then 0
+       else if Engine.branch_eq env frag (Int64.of_int C.Config_flags.frag_drop) then 1
+       else if Engine.branch_eq env frag (Int64.of_int C.Config_flags.frag_reasm) then 2
+       else 3);
+    { st with AC.miss_send_len = sc.Sym_msg.smiss_send_len; AC.frag_flags = sc.Sym_msg.scfg_flags }
+
+  (* ---- dispatch --------------------------------------------------------- *)
+
+  let is_msg_type env (msg : Sym_msg.t) t = Engine.branch_eq env msg.Sym_msg.sm_type (Int64.of_int t)
+
+  let raw_fallback env (msg : Sym_msg.t) ~expected : state =
+    match AC.check_length env msg ~expected ~exact:false with
+    | `Blocked ->
+      Engine.cover env pt_msg_blocked;
+      Engine.stop env
+    | `Short | `Ok -> error C.Error_type.bad_request C.Bad_request.bad_len
+
+  let handle_message env st (msg : Sym_msg.t) =
+    if st.AC.blocked then st
+    else begin
+      Engine.cover env pt_msg_entry;
+      match AC.check_length env msg ~expected:C.Sizes.header ~exact:false with
+      | `Short ->
+        ignore (Engine.branch ~loc:bp_msg_len env Expr.fls);
+        AC.send_error env ~err_type:C.Error_type.bad_request ~err_code:C.Bad_request.bad_len;
+        st
+      | `Blocked ->
+        Engine.cover env pt_msg_blocked;
+        { st with AC.blocked = true }
+      | `Ok -> (
+        ignore (Engine.branch ~loc:bp_msg_len env Expr.tru);
+        let module T = C.Msg_type in
+        try
+          if is_msg_type env msg T.hello then begin
+            Engine.cover env pt_hello;
+            st
+          end
+          else if is_msg_type env msg T.echo_request then begin
+            Engine.cover env pt_echo;
+            let payload = Expr.sub msg.Sym_msg.sm_length (c16 C.Sizes.header) in
+            Engine.emit env (Trace.Msg_out (Trace.O_echo_reply { payload_len = payload }));
+            st
+          end
+          else if is_msg_type env msg T.echo_reply then st
+          else if is_msg_type env msg T.features_request then begin
+            Engine.cover env pt_features;
+            (match AC.check_length env msg ~expected:8 ~exact:true with
+             | `Ok ->
+               Engine.emit env
+                 (Trace.Msg_out (Trace.O_features_reply { o_n_ports = config.AC.nports }))
+             | `Short | `Blocked -> error C.Error_type.bad_request C.Bad_request.bad_len);
+            st
+          end
+          else if is_msg_type env msg T.get_config_request then begin
+            Engine.cover env pt_get_config;
+            Engine.emit env
+              (Trace.Msg_out
+                 (Trace.O_get_config_reply
+                    { o_flags = st.AC.frag_flags; o_miss_send_len = st.AC.miss_send_len }));
+            st
+          end
+          else if is_msg_type env msg T.set_config then begin
+            match msg.Sym_msg.sm_body with
+            | Sym_msg.SSet_config sc -> handle_set_config env st msg sc
+            | _ -> raw_fallback env msg ~expected:C.Sizes.switch_config
+          end
+          else if is_msg_type env msg T.packet_out then begin
+            match msg.Sym_msg.sm_body with
+            | Sym_msg.SPacket_out po -> handle_packet_out env st msg po
+            | _ -> raw_fallback env msg ~expected:C.Sizes.packet_out
+          end
+          else if is_msg_type env msg T.flow_mod then begin
+            match msg.Sym_msg.sm_body with
+            | Sym_msg.SFlow_mod fm -> handle_flow_mod env st msg fm
+            | _ -> raw_fallback env msg ~expected:C.Sizes.flow_mod
+          end
+          else if is_msg_type env msg T.stats_request then begin
+            match msg.Sym_msg.sm_body with
+            | Sym_msg.SStats_request s -> handle_stats_request env st msg s
+            | _ -> raw_fallback env msg ~expected:C.Sizes.stats_request
+          end
+          else if is_msg_type env msg T.barrier_request then begin
+            Engine.cover env pt_barrier;
+            Engine.emit env (Trace.Msg_out Trace.O_barrier_reply);
+            st
+          end
+          else if is_msg_type env msg T.queue_get_config_request then begin
+            match msg.Sym_msg.sm_body with
+            | Sym_msg.SQueue_get_config_request { sqgc_port } ->
+              handle_queue_get_config env st msg sqgc_port
+            | _ -> raw_fallback env msg ~expected:C.Sizes.queue_get_config_request
+          end
+          else if is_msg_type env msg T.port_mod then begin
+            Engine.cover env pt_port_mod;
+            match AC.check_length env msg ~expected:C.Sizes.port_mod ~exact:true with
+            | `Ok -> st
+            | `Short | `Blocked -> error C.Error_type.bad_request C.Bad_request.bad_len
+          end
+          else if is_msg_type env msg T.vendor then begin
+            Engine.cover env pt_vendor;
+            (* OVS recognizes Nicira extensions; anything else is rejected *)
+            match msg.Sym_msg.sm_body with
+            | Sym_msg.SVendor { sv_vendor } ->
+              if
+                Engine.branch ~loc:bp_vendor_nicira env
+                  (Expr.eq sv_vendor (c32 0x00002320))
+              then error C.Error_type.bad_request C.Bad_request.bad_subtype
+              else error C.Error_type.bad_request C.Bad_request.bad_vendor
+            | _ -> raw_fallback env msg ~expected:12
+          end
+          else begin
+            Engine.cover env pt_bad_type;
+            error C.Error_type.bad_request C.Bad_request.bad_type
+          end
+        with
+        | Msg_error (t, code) ->
+          AC.send_error env ~err_type:t ~err_code:code;
+          st
+        | Silent_ignore -> st)
+    end
+
+  (* ---- data plane -------------------------------------------------------- *)
+
+  let handle_packet env st ~probe_id ~in_port pkt =
+    if st.AC.blocked then st
+    else begin
+      Engine.cover env pt_probe_entry;
+      let key = Packet.Flow_key.extract env ~in_port pkt in
+      let hit = Flow_table.lookup env st.AC.table key in
+      ignore
+        (Engine.branch ~loc:bp_probe_match env
+           (Expr.of_bool (match hit with Some _ -> true | None -> false)));
+      match hit with
+      | None ->
+        Engine.cover env pt_probe_miss;
+        AC.packet_in_miss env st ~in_port ~frame_len:64 pkt;
+        st
+      | Some entry ->
+        Engine.cover env pt_probe_apply;
+        let sink = AC.probe_sink ~probe_id ~in_port in
+        let before = Engine.event_count env in
+        ignore (apply_actions env st ~from_table:true ~in_port ~sink pkt entry.Flow_table.e_actions);
+        if Engine.event_count env = before then begin
+          Engine.cover env pt_probe_drop;
+          Engine.emit env (Trace.Probe_response { probe_id; response = Trace.Probe_dropped })
+        end;
+        st
+    end
+
+  (* Virtual-time extension: OVS's flow expiration sweep. *)
+  let advance_time env st ~seconds =
+    let now = st.AC.clock + seconds in
+    let expired_cond (e : Flow_table.entry) =
+      let elapsed = c16 (now - e.Flow_table.e_installed_at) in
+      let active t = Expr.neq t (c16 0) in
+      Expr.or_
+        (Expr.and_ (active e.Flow_table.e_hard_timeout)
+           (Expr.uge elapsed e.Flow_table.e_hard_timeout))
+        (Expr.and_ (active e.Flow_table.e_idle_timeout)
+           (Expr.uge elapsed e.Flow_table.e_idle_timeout))
+    in
+    let expired, kept =
+      List.partition
+        (fun e ->
+          Engine.cover env pt_timer_expire;
+          Engine.branch env (expired_cond e))
+        (Flow_table.entries st.AC.table)
+    in
+    List.iter
+      (fun (e : Flow_table.entry) ->
+        if
+          Engine.branch env
+            (Expr.neq
+               (Expr.logand e.Flow_table.e_flags (c16 C.Flow_mod_flags.send_flow_rem))
+               (c16 0))
+        then begin
+          Engine.cover env pt_timer_flow_removed;
+          Engine.emit env
+            (Trace.Msg_out
+               (Trace.O_flow_removed { o_fr_reason = C.Flow_removed_reason.idle_timeout }))
+        end)
+      expired;
+    { st with AC.clock = now; AC.table = { st.AC.table with Flow_table.entries = kept } }
+
+  let _ = (pt_netdev_status, pt_conn_teardown, pt_bundle, pt_cfm)
+end
+
+include Impl
+
+let agent : Agent_intf.t = (module Impl)

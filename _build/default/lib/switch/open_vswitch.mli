@@ -1,0 +1,9 @@
+(** The Open vSwitch 1.0.0 agent model: an independently written
+    implementation of the same specification, with OVS's documented
+    behaviours — strict upfront action validation with silent message
+    drops, error-but-install buffer handling, flow normalization, port
+    range checks, `OFPP_NORMAL` support, no emergency flows (§5.1.2). *)
+
+include Agent_intf.S
+
+val agent : Agent_intf.t

@@ -1,0 +1,926 @@
+(* Model of the OpenFlow 1.0 Reference Switch agent (the Stanford
+   "ofdatapath" userspace switch, 55K LoC of C in the paper's evaluation),
+   parameterized by a set of behavioural quirks so the Modified Switch of
+   §5.1.1 is the same code base with a handful of injected changes — which
+   is exactly how the paper's authors produced it.
+
+   The documented reference-switch behaviours encoded here (paper §5.1.2):
+   - crashes when a Packet Out outputs to OFPP_CONTROLLER;
+   - crashes when executing a SET_VLAN_VID action from a Packet Out;
+   - crashes on a queue-config request for port 0 (memory error);
+   - does not validate VLAN id / ToS / PCP values, masking them on
+     application instead;
+   - swallows the error for an unknown buffer_id (handler returns an error
+     that is never converted into an OpenFlow message);
+   - returns an error when a flow mod's match in_port equals an OUTPUT
+     action's port;
+   - performs no upper-bound validation on physical output ports;
+   - silently ignores statistics requests it cannot answer;
+   - supports emergency flow entries; does not support OFPP_NORMAL. *)
+
+open Smt
+module Engine = Symexec.Engine
+module Coverage = Symexec.Coverage
+module Trace = Openflow.Trace
+module Sym_msg = Openflow.Sym_msg
+module C = Openflow.Constants
+module SP = Packet.Sym_packet
+module AC = Agent_common
+
+type quirks = {
+  po_port_max_check : int option; (* M3: error for physical ports above this *)
+  bad_action_err_type : int; (* M4: error type for invalid action types *)
+  miss_send_len_clamp : int option; (* M5: clamp Set Config's miss_send_len *)
+  honor_check_overlap : bool; (* M6: false = silently ignore CHECK_OVERLAP *)
+  error_on_unknown_stats : bool; (* M7: true = report unanswerable stats *)
+  strict_hello : bool; (* M1: only affects version negotiation at connect *)
+  early_idle_expiry : bool; (* M2: only affects timer-driven expiry *)
+}
+
+let reference_quirks =
+  {
+    po_port_max_check = None;
+    bad_action_err_type = C.Error_type.bad_action;
+    miss_send_len_clamp = None;
+    honor_check_overlap = true;
+    error_on_unknown_stats = false;
+    strict_hello = false;
+    early_idle_expiry = false;
+  }
+
+module type PARAMS = sig
+  val name : string
+  val quirks : quirks
+end
+
+module Make (P : PARAMS) : Agent_intf.S = struct
+  let name = P.name
+  let q = P.quirks
+  let config = AC.default_config
+
+  type state = AC.state
+
+  let c16 = AC.c16
+  let c32 = AC.c32
+
+  (* ---- coverage instrumentation (one registry per instantiation) ---- *)
+
+  let pt n = Coverage.instr P.name n
+  let bp n = Coverage.branch P.name n
+
+  let pt_init = pt "init"
+  let pt_conn_setup = pt "conn.setup"
+  let pt_conn_hello = pt "conn.hello"
+  let bp_conn_version = bp "conn.version_ok"
+  let pt_conn_strict_reject = pt "conn.strict_reject"
+  let pt_msg_entry = pt "msg.entry"
+  let bp_msg_len = bp "msg.len_ok"
+  let pt_msg_blocked = pt "msg.blocked"
+  let pt_hello = pt "hello.handler"
+  let pt_echo = pt "echo.handler"
+  let pt_features = pt "features.handler"
+  let pt_get_config = pt "get_config.handler"
+  let pt_set_config = pt "set_config.handler"
+  let bp_set_config_len = bp "set_config.len"
+  let pt_barrier = pt "barrier.handler"
+  let pt_vendor = pt "vendor.handler"
+  let pt_bad_type = pt "msg.bad_type"
+  let pt_unexpected = pt "msg.unexpected_type"
+  let pt_po_entry = pt "packet_out.entry"
+  let bp_po_len = bp "packet_out.len"
+  let bp_po_buffer = bp "packet_out.buffer_set"
+  let pt_po_buffer_missing = pt "packet_out.buffer_missing"
+  let pt_po_no_data = pt "packet_out.no_data"
+  let pt_po_execute = pt "packet_out.execute"
+  let pt_fm_entry = pt "flow_mod.entry"
+  let bp_fm_len = bp "flow_mod.len"
+  let bp_fm_emerg = bp "flow_mod.emerg"
+  let bp_fm_emerg_timeout = bp "flow_mod.emerg_timeout"
+  let bp_fm_overlap_flag = bp "flow_mod.check_overlap"
+  let pt_fm_overlap_err = pt "flow_mod.overlap_error"
+  let pt_fm_add = pt "flow_mod.add"
+  let pt_fm_modify = pt "flow_mod.modify"
+  let pt_fm_modify_strict = pt "flow_mod.modify_strict"
+  let pt_fm_delete = pt "flow_mod.delete"
+  let pt_fm_delete_strict = pt "flow_mod.delete_strict"
+  let pt_fm_bad_command = pt "flow_mod.bad_command"
+  let bp_fm_buffer = bp "flow_mod.buffer_set"
+  let pt_fm_buffer_missing = pt "flow_mod.buffer_missing"
+  let bp_fm_table_full = bp "flow_mod.table_full"
+  let pt_fm_flow_removed = pt "flow_mod.send_flow_removed"
+  let bp_fm_in_eq_out = bp "flow_mod.in_port_eq_out_port"
+  let pt_stats_entry = pt "stats.entry"
+  let bp_stats_len = bp "stats.len"
+  let pt_stats_desc = pt "stats.desc"
+  let pt_stats_flow = pt "stats.flow"
+  let pt_stats_aggregate = pt "stats.aggregate"
+  let pt_stats_table = pt "stats.table"
+  let pt_stats_port = pt "stats.port"
+  let pt_stats_queue = pt "stats.queue"
+  let pt_stats_unknown = pt "stats.unknown"
+  let pt_qgc_entry = pt "queue_config.entry"
+  let bp_qgc_port0 = bp "queue_config.port0"
+  let bp_qgc_valid = bp "queue_config.valid_port"
+  let pt_port_mod = pt "port_mod.handler"
+  let bp_port_mod_valid = bp "port_mod.valid"
+  let pt_act_output = pt "action.output"
+  let bp_act_out_phys = bp "action.output.phys"
+  let bp_act_out_zero = bp "action.output.zero"
+  let pt_act_out_in_port = pt "action.output.in_port"
+  let pt_act_out_table = pt "action.output.table"
+  let pt_act_out_normal = pt "action.output.normal"
+  let pt_act_out_flood = pt "action.output.flood"
+  let pt_act_out_all = pt "action.output.all"
+  let pt_act_out_ctrl = pt "action.output.controller"
+  let pt_act_out_local = pt "action.output.local"
+  let pt_act_out_invalid = pt "action.output.invalid"
+  let pt_act_vlan_vid = pt "action.set_vlan_vid"
+  let pt_act_vlan_pcp = pt "action.set_vlan_pcp"
+  let pt_act_strip_vlan = pt "action.strip_vlan"
+  let pt_act_dl_src = pt "action.set_dl_src"
+  let pt_act_dl_dst = pt "action.set_dl_dst"
+  let pt_act_nw_src = pt "action.set_nw_src"
+  let pt_act_nw_dst = pt "action.set_nw_dst"
+  let pt_act_nw_tos = pt "action.set_nw_tos"
+  let pt_act_tp_src = pt "action.set_tp_src"
+  let pt_act_tp_dst = pt "action.set_tp_dst"
+  let pt_act_enqueue = pt "action.enqueue"
+  let pt_act_vendor = pt "action.vendor"
+  let pt_act_unknown = pt "action.unknown"
+  let bp_act_len = bp "action.len_ok"
+  let pt_probe_entry = pt "dp.probe_entry"
+  let bp_probe_match = bp "dp.table_match"
+  let pt_probe_miss = pt "dp.table_miss"
+  let pt_probe_apply = pt "dp.apply_actions"
+  let pt_probe_drop = pt "dp.drop"
+
+  (* code regions that exist in the agent but are unreachable through the
+     control channel during SOFT's tests: timers and async port events *)
+  let pt_timer_idle = pt "timer.idle_expiry"
+  let pt_timer_hard = pt "timer.hard_expiry"
+  let pt_timer_flow_removed = pt "timer.send_flow_removed"
+  let bp_timer_quirk = bp "timer.early_expiry_quirk"
+  let pt_port_status = pt "async.port_status"
+  let pt_conn_teardown = pt "conn.teardown"
+  let pt_echo_timeout = pt "conn.echo_timeout"
+
+  (* ---- errors, terminated message processing ------------------------- *)
+
+  exception Msg_error of int * int
+  exception Msg_silent_drop (* handler error swallowed: externally silent *)
+
+  let error t code = raise (Msg_error (t, code))
+
+  (* ---- agent lifecycle ------------------------------------------------ *)
+
+  let init () =
+    let st = AC.initial_state () in
+    st
+
+  let connection_setup env st =
+    Engine.cover env pt_init;
+    Engine.cover env pt_conn_setup;
+    Engine.cover env pt_conn_hello;
+    (* version negotiation on the (concrete) hello from the controller *)
+    let peer_version = Expr.const ~width:8 (Int64.of_int C.version) in
+    if Engine.branch ~loc:bp_conn_version env (Expr.eq peer_version (Expr.const ~width:8 1L))
+    then st
+    else begin
+      (* M1 lives here: a strict agent refuses mismatched versions, the
+         reference one proceeds with the lower version.  The harness always
+         completes the handshake with a correct hello first (paper §5.1.1),
+         so this difference is invisible to the tests. *)
+      Engine.cover env pt_conn_strict_reject;
+      if q.strict_hello then Engine.crash env "hello version rejected" else st
+    end
+
+  (* Timer-driven expiry.  Unreachable through the standard Table-1 tests
+     (the paper's second missed modification, M2); the harness's virtual
+     time extension [advance_time] drives it explicitly.  The M2 quirk
+     makes idle rules expire one second early.  Idle timeouts here measure
+     from installation (the model does not refresh last-use on traffic). *)
+  let advance_time env st ~seconds =
+    let now = st.AC.clock + seconds in
+    let expired_cond (e : Flow_table.entry) =
+      let elapsed = c16 (now - e.Flow_table.e_installed_at) in
+      let active t = Expr.neq t (c16 0) in
+      let idle_bound =
+        if q.early_idle_expiry then
+          Expr.sub e.Flow_table.e_idle_timeout (c16 1)
+        else e.Flow_table.e_idle_timeout
+      in
+      Expr.or_
+        (Expr.and_ (active e.Flow_table.e_hard_timeout)
+           (Expr.uge elapsed e.Flow_table.e_hard_timeout))
+        (Expr.and_ (active e.Flow_table.e_idle_timeout) (Expr.uge elapsed idle_bound))
+    in
+    let expired, kept =
+      List.partition
+        (fun e ->
+          Engine.cover env pt_timer_idle;
+          Engine.cover env pt_timer_hard;
+          Engine.branch ~loc:bp_timer_quirk env (expired_cond e))
+        (Flow_table.entries st.AC.table)
+    in
+    List.iter
+      (fun (e : Flow_table.entry) ->
+        if
+          Engine.branch env
+            (Expr.neq
+               (Expr.logand e.Flow_table.e_flags (c16 C.Flow_mod_flags.send_flow_rem))
+               (c16 0))
+        then begin
+          Engine.cover env pt_timer_flow_removed;
+          Engine.emit env
+            (Trace.Msg_out
+               (Trace.O_flow_removed { o_fr_reason = C.Flow_removed_reason.idle_timeout }))
+        end)
+      expired;
+    {
+      st with
+      AC.clock = now;
+      AC.table = { st.AC.table with Flow_table.entries = kept };
+    }
+
+  (* ---- action execution ----------------------------------------------- *)
+
+  type exec_ctx = Packet_out_ctx | Table_ctx
+
+  let require_len env (a : Sym_msg.saction) expected =
+    if not (Engine.branch ~loc:bp_act_len env (Expr.eq a.Sym_msg.a_len (c16 expected))) then
+      error C.Error_type.bad_action C.Bad_action.bad_len
+
+  let is_type env (a : Sym_msg.saction) t = Engine.branch_eq env a.Sym_msg.a_type (Int64.of_int t)
+
+  (* Send [pkt] out of [port] per the OUTPUT action semantics. *)
+  let rec do_output env st ~ctx ~in_port ~(sink : AC.sink) pkt port =
+    Engine.cover env pt_act_output;
+    if Engine.branch ~loc:bp_act_out_zero env (Expr.eq port (c16 0)) then
+      error C.Error_type.bad_action C.Bad_action.bad_out_port
+    else if
+      Engine.branch ~loc:bp_act_out_phys env
+        (Expr.and_ (Expr.uge port (c16 1)) (Expr.ule port (c16 config.AC.nports)))
+    then begin
+      (* never forward a packet back out its ingress port implicitly;
+         OFPP_IN_PORT exists for that *)
+      if Engine.branch env (Expr.eq port in_port) then () else sink.AC.tx env ~port pkt
+    end
+    else if Engine.branch env (Expr.ule port (c16 C.Port.max)) then begin
+      (* physical port number beyond the ports that exist *)
+      match q.po_port_max_check with
+      | Some limit when Engine.branch env (Expr.ugt port (c16 limit)) ->
+        error C.Error_type.bad_action C.Bad_action.bad_out_port
+      | _ ->
+        (* the reference switch hands the packet to a non-existent datapath
+           port: it vanishes without an error (paper: no port validation) *)
+        ()
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.in_port) then begin
+      Engine.cover env pt_act_out_in_port;
+      sink.AC.tx env ~port:in_port pkt
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.table) then begin
+      Engine.cover env pt_act_out_table;
+      match ctx with
+      | Packet_out_ctx -> run_through_table env st ~in_port ~sink pkt
+      | Table_ctx -> () (* OFPP_TABLE is only valid in packet-out actions *)
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.normal) then begin
+      Engine.cover env pt_act_out_normal;
+      (* purely an OpenFlow switch: no traditional forwarding path *)
+      error C.Error_type.bad_action C.Bad_action.bad_out_port
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.flood) then begin
+      Engine.cover env pt_act_out_flood;
+      AC.fanout env config ~in_port ~except_in_port:true pkt sink
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.all) then begin
+      Engine.cover env pt_act_out_all;
+      AC.fanout env config ~in_port ~except_in_port:true pkt sink
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.controller) then begin
+      Engine.cover env pt_act_out_ctrl;
+      match ctx with
+      | Packet_out_ctx ->
+        (* reliability bug: NULL packet-in retval dereference *)
+        Engine.crash env "segfault: packet-out to OFPP_CONTROLLER"
+      | Table_ctx -> sink.AC.to_controller env ~reason:C.Packet_in_reason.action pkt
+    end
+    else if Engine.branch_eq env port (Int64.of_int C.Port.local) then begin
+      Engine.cover env pt_act_out_local;
+      sink.AC.tx env ~port pkt
+    end
+    else begin
+      (* OFPP_NONE or a reserved value *)
+      Engine.cover env pt_act_out_invalid;
+      error C.Error_type.bad_action C.Bad_action.bad_out_port
+    end
+
+  (* Table-directed output (OFPP_TABLE): look the packet up; a miss drops
+     it silently for controller-originated packets. *)
+  and run_through_table env st ~in_port ~sink pkt =
+    let key = Packet.Flow_key.extract env ~in_port pkt in
+    match Flow_table.lookup env st.AC.table key with
+    | Some entry -> ignore (apply_actions env st ~ctx:Table_ctx ~in_port ~sink pkt entry.Flow_table.e_actions)
+    | None -> ()
+
+  (* Execute one action; returns the possibly rewritten packet. *)
+  and exec_action env st ~ctx ~in_port ~sink pkt (a : Sym_msg.saction) =
+    if is_type env a C.Action_type.output then begin
+      require_len env a 8;
+      do_output env st ~ctx ~in_port ~sink pkt (Sym_msg.body_u16 a 0);
+      pkt
+    end
+    else if is_type env a C.Action_type.set_vlan_vid then begin
+      Engine.cover env pt_act_vlan_vid;
+      require_len env a 8;
+      match ctx with
+      | Packet_out_ctx ->
+        (* reliability bug: vlan rewrite on the packet-out path touches an
+           uninitialized buffer descriptor *)
+        Engine.crash env "segfault: set_vlan_vid in packet-out"
+      | Table_ctx ->
+        (* no validation: mask the value into shape *)
+        AC.set_vlan_vid pkt (Expr.logand (Sym_msg.body_u16 a 0) (c16 0xfff))
+    end
+    else if is_type env a C.Action_type.set_vlan_pcp then begin
+      Engine.cover env pt_act_vlan_pcp;
+      require_len env a 8;
+      AC.set_vlan_pcp pkt (Expr.logand (Sym_msg.body_u8 a 0) (AC.c8 0x7))
+    end
+    else if is_type env a C.Action_type.strip_vlan then begin
+      Engine.cover env pt_act_strip_vlan;
+      require_len env a 8;
+      AC.strip_vlan pkt
+    end
+    else if is_type env a C.Action_type.set_dl_src then begin
+      Engine.cover env pt_act_dl_src;
+      require_len env a 16;
+      AC.set_dl_src pkt (Sym_msg.body_mac a 0)
+    end
+    else if is_type env a C.Action_type.set_dl_dst then begin
+      Engine.cover env pt_act_dl_dst;
+      require_len env a 16;
+      AC.set_dl_dst pkt (Sym_msg.body_mac a 0)
+    end
+    else if is_type env a C.Action_type.set_nw_src then begin
+      Engine.cover env pt_act_nw_src;
+      require_len env a 8;
+      AC.set_nw_src pkt (Sym_msg.body_u32 a 0)
+    end
+    else if is_type env a C.Action_type.set_nw_dst then begin
+      Engine.cover env pt_act_nw_dst;
+      require_len env a 8;
+      AC.set_nw_dst pkt (Sym_msg.body_u32 a 0)
+    end
+    else if is_type env a C.Action_type.set_nw_tos then begin
+      Engine.cover env pt_act_nw_tos;
+      require_len env a 8;
+      (* no validation: mask the two low bits away *)
+      AC.set_nw_tos pkt (Expr.logand (Sym_msg.body_u8 a 0) (AC.c8 0xfc))
+    end
+    else if is_type env a C.Action_type.set_tp_src then begin
+      Engine.cover env pt_act_tp_src;
+      require_len env a 8;
+      AC.set_tp_src pkt (Sym_msg.body_u16 a 0)
+    end
+    else if is_type env a C.Action_type.set_tp_dst then begin
+      Engine.cover env pt_act_tp_dst;
+      require_len env a 8;
+      AC.set_tp_dst pkt (Sym_msg.body_u16 a 0)
+    end
+    else if is_type env a C.Action_type.enqueue then begin
+      Engine.cover env pt_act_enqueue;
+      require_len env a 16;
+      (* no queues are configured on the emulated switch *)
+      error C.Error_type.bad_action C.Bad_action.bad_queue
+    end
+    else if is_type env a C.Action_type.vendor then begin
+      Engine.cover env pt_act_vendor;
+      error C.Error_type.bad_action C.Bad_action.bad_vendor
+    end
+    else begin
+      Engine.cover env pt_act_unknown;
+      error q.bad_action_err_type C.Bad_action.bad_type
+    end
+
+  and apply_actions env st ~ctx ~in_port ~sink pkt actions =
+    List.fold_left (fun pkt a -> exec_action env st ~ctx ~in_port ~sink pkt a) pkt actions
+
+  (* Install-time validation of flow mod actions: the reference switch
+     checks action types, lengths, and the in-port/out-port conflict, but
+     not field values or port ranges. *)
+  let validate_flow_mod_actions env (fm : Sym_msg.sflow_mod) =
+    let wc = fm.Sym_msg.sfm_match.Sym_msg.s_wildcards in
+    let in_port_exact =
+      Expr.eq (Expr.logand wc (c32 C.Wildcards.in_port)) (c32 0)
+    in
+    List.iter
+      (fun (a : Sym_msg.saction) ->
+        if is_type env a C.Action_type.output then begin
+          require_len env a 8;
+          let port = Sym_msg.body_u16 a 0 in
+          (* "no packet will ever be forwarded back out its ingress port":
+             reject when the match pins in_port to the output port *)
+          if
+            Engine.branch ~loc:bp_fm_in_eq_out env
+              (Expr.and_ in_port_exact (Expr.eq port fm.Sym_msg.sfm_match.Sym_msg.s_in_port))
+          then error C.Error_type.bad_action C.Bad_action.bad_out_port
+        end
+        else if
+          is_type env a C.Action_type.set_vlan_vid
+          || is_type env a C.Action_type.set_vlan_pcp
+          || is_type env a C.Action_type.strip_vlan
+          || is_type env a C.Action_type.set_nw_src
+          || is_type env a C.Action_type.set_nw_dst
+          || is_type env a C.Action_type.set_nw_tos
+          || is_type env a C.Action_type.set_tp_src
+          || is_type env a C.Action_type.set_tp_dst
+        then require_len env a 8
+        else if is_type env a C.Action_type.set_dl_src || is_type env a C.Action_type.set_dl_dst
+        then require_len env a 16
+        else if is_type env a C.Action_type.enqueue then begin
+          require_len env a 16;
+          error C.Error_type.bad_action C.Bad_action.bad_queue
+        end
+        else if is_type env a C.Action_type.vendor then
+          error C.Error_type.bad_action C.Bad_action.bad_vendor
+        else error q.bad_action_err_type C.Bad_action.bad_type)
+      fm.Sym_msg.sfm_actions
+
+  (* ---- message handlers ------------------------------------------------ *)
+
+  let handle_packet_out env st (msg : Sym_msg.t) (po : Sym_msg.spacket_out) =
+    Engine.cover env pt_po_entry;
+    (match AC.check_length env msg ~expected:16 ~exact:false with
+     | `Short ->
+       ignore (Engine.branch ~loc:bp_po_len env Expr.fls);
+       error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ignore (Engine.branch ~loc:bp_po_len env Expr.tru));
+    (* buffer handling comes FIRST in the reference switch; its failure is
+       the swallowed-error bug: the handler errors out internally but no
+       OpenFlow error is ever emitted *)
+    if
+      Engine.branch ~loc:bp_po_buffer env
+        (Expr.neq po.Sym_msg.spo_buffer_id (c32 0xffffffff))
+    then begin
+      Engine.cover env pt_po_buffer_missing;
+      raise Msg_silent_drop
+    end;
+    match po.Sym_msg.spo_data with
+    | None ->
+      Engine.cover env pt_po_no_data;
+      st
+    | Some pkt ->
+      Engine.cover env pt_po_execute;
+      let in_port = po.Sym_msg.spo_in_port in
+      let sink = AC.packet_out_sink ~in_port ~frame_len:64 in
+      ignore
+        (apply_actions env st ~ctx:Packet_out_ctx ~in_port ~sink pkt po.Sym_msg.spo_actions);
+      st
+
+  let install_entry env st (fm : Sym_msg.sflow_mod) ~emergency =
+    let table = if emergency then st.AC.emerg_table else st.AC.table in
+    if
+      Flow_table.size table >= config.AC.table_max
+      && Engine.branch ~loc:bp_fm_table_full env Expr.tru
+    then error C.Error_type.flow_mod_failed C.Flow_mod_failed.all_tables_full;
+    let check_overlap_set =
+      Engine.branch ~loc:bp_fm_overlap_flag env
+        (Expr.neq
+           (Expr.logand fm.Sym_msg.sfm_flags (c16 C.Flow_mod_flags.check_overlap))
+           (c16 0))
+    in
+    if check_overlap_set && q.honor_check_overlap then begin
+      let entry = Flow_table.entry_of_flow_mod ~emergency fm 0 in
+      if Flow_table.check_overlap env table entry then begin
+        Engine.cover env pt_fm_overlap_err;
+        error C.Error_type.flow_mod_failed C.Flow_mod_failed.overlap
+      end
+    end;
+    let table' =
+      Flow_table.add env table (Flow_table.entry_of_flow_mod ~emergency ~now:st.AC.clock fm 0)
+    in
+    if emergency then { st with AC.emerg_table = table' } else { st with AC.table = table' }
+
+  let handle_flow_mod env st (msg : Sym_msg.t) (fm : Sym_msg.sflow_mod) =
+    Engine.cover env pt_fm_entry;
+    (match AC.check_length env msg ~expected:C.Sizes.flow_mod ~exact:false with
+     | `Short ->
+       ignore (Engine.branch ~loc:bp_fm_len env Expr.fls);
+       error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ignore (Engine.branch ~loc:bp_fm_len env Expr.tru));
+    let cmd = fm.Sym_msg.sfm_command in
+    let emergency =
+      Engine.branch ~loc:bp_fm_emerg env
+        (Expr.neq (Expr.logand fm.sfm_flags (c16 C.Flow_mod_flags.emerg)) (c16 0))
+    in
+    let st =
+      if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.add) then begin
+        Engine.cover env pt_fm_add;
+        if emergency then begin
+          (* emergency entries must have zero timeouts *)
+          if
+            Engine.branch ~loc:bp_fm_emerg_timeout env
+              (Expr.or_
+                 (Expr.neq fm.sfm_idle_timeout (c16 0))
+                 (Expr.neq fm.sfm_hard_timeout (c16 0)))
+          then error C.Error_type.flow_mod_failed C.Flow_mod_failed.bad_emerg_timeout
+        end;
+        validate_flow_mod_actions env fm;
+        install_entry env st fm ~emergency
+      end
+      else if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.modify) then begin
+        Engine.cover env pt_fm_modify;
+        validate_flow_mod_actions env fm;
+        let table', changed = Flow_table.modify env st.AC.table fm in
+        if changed then { st with AC.table = table' } else install_entry env st fm ~emergency:false
+      end
+      else if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.modify_strict) then begin
+        Engine.cover env pt_fm_modify_strict;
+        validate_flow_mod_actions env fm;
+        let table', changed = Flow_table.modify_strict env st.AC.table fm in
+        if changed then { st with AC.table = table' } else install_entry env st fm ~emergency:false
+      end
+      else if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.delete) then begin
+        Engine.cover env pt_fm_delete;
+        let table', removed = Flow_table.delete env ~strict:false st.AC.table fm in
+        List.iter
+          (fun (e : Flow_table.entry) ->
+            if
+              Engine.branch env
+                (Expr.neq
+                   (Expr.logand e.Flow_table.e_flags (c16 C.Flow_mod_flags.send_flow_rem))
+                   (c16 0))
+            then begin
+              Engine.cover env pt_fm_flow_removed;
+              Engine.emit env
+                (Trace.Msg_out
+                   (Trace.O_flow_removed { o_fr_reason = C.Flow_removed_reason.delete }))
+            end)
+          removed;
+        { st with AC.table = table' }
+      end
+      else if Engine.branch_eq env cmd (Int64.of_int C.Flow_mod_command.delete_strict) then begin
+        Engine.cover env pt_fm_delete_strict;
+        let table', removed = Flow_table.delete env ~strict:true st.AC.table fm in
+        List.iter
+          (fun (e : Flow_table.entry) ->
+            if
+              Engine.branch env
+                (Expr.neq
+                   (Expr.logand e.Flow_table.e_flags (c16 C.Flow_mod_flags.send_flow_rem))
+                   (c16 0))
+            then begin
+              Engine.cover env pt_fm_flow_removed;
+              Engine.emit env
+                (Trace.Msg_out
+                   (Trace.O_flow_removed { o_fr_reason = C.Flow_removed_reason.delete }))
+            end)
+          removed;
+        { st with AC.table = table' }
+      end
+      else begin
+        Engine.cover env pt_fm_bad_command;
+        error C.Error_type.flow_mod_failed C.Flow_mod_failed.bad_command
+      end
+    in
+    (* buffered-packet handling: the handler notices the unknown buffer and
+       errors internally, but the error is never sent (swallowed) and no
+       packet is processed; the flow stays installed *)
+    if
+      Engine.branch ~loc:bp_fm_buffer env
+        (Expr.neq fm.Sym_msg.sfm_buffer_id (c32 0xffffffff))
+    then begin
+      Engine.cover env pt_fm_buffer_missing;
+      st (* swallowed error: externally silent *)
+    end
+    else st
+
+  (* flow/aggregate requests dispatch on table_id: 0xff = all tables,
+     0xfe = emergency, a specific id otherwise *)
+  let table_scope env (s : Sym_msg.sstats_request) =
+    let tid = s.Sym_msg.ssr_table_id in
+    if Engine.branch_eq env tid 0xffL then `All
+    else if Engine.branch_eq env tid 0xfeL then `Emergency
+    else if Engine.branch_eq env tid 0L then `Table0
+    else `No_such_table
+
+  let flow_stats_digest env st (s : Sym_msg.sstats_request) =
+    (* count entries subsumed by the request's match with the out_port
+       filter, as the real handler iterates chains *)
+    match table_scope env s with
+    | `No_such_table -> "flows=0,table=none"
+    | (`All | `Emergency | `Table0) as scope ->
+      let entries =
+        match scope with
+        | `Emergency -> Flow_table.entries st.AC.emerg_table
+        | `All -> Flow_table.entries st.AC.table @ Flow_table.entries st.AC.emerg_table
+        | `Table0 -> Flow_table.entries st.AC.table
+      in
+      let n =
+        List.fold_left
+          (fun acc (e : Flow_table.entry) ->
+            if
+              Engine.branch env
+                (Expr.and_
+                   (Match_sem.subsumes s.Sym_msg.ssr_match e.Flow_table.e_match)
+                   (Flow_table.entry_outputs_to e s.Sym_msg.ssr_out_port))
+            then acc + 1
+            else acc)
+          0 entries
+      in
+      Printf.sprintf "flows=%d" n
+
+  let handle_stats_request env st (msg : Sym_msg.t) (s : Sym_msg.sstats_request) =
+    Engine.cover env pt_stats_entry;
+    (* the common header needs 12 bytes; per-type bodies checked below *)
+    (match AC.check_length env msg ~expected:C.Sizes.stats_request ~exact:false with
+     | `Short ->
+       ignore (Engine.branch ~loc:bp_stats_len env Expr.fls);
+       error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ignore (Engine.branch ~loc:bp_stats_len env Expr.tru));
+    let typ = s.Sym_msg.ssr_type in
+    let reply stype body =
+      Engine.emit env (Trace.Msg_out (Trace.O_stats_reply { o_stats_type = stype; o_stats_body = body }))
+    in
+    let need_exact_len n =
+      match AC.check_length env msg ~expected:n ~exact:true with
+      | `Ok -> ()
+      | `Short -> error C.Error_type.bad_request C.Bad_request.bad_len
+      | `Blocked ->
+        Engine.cover env pt_msg_blocked;
+        Engine.stop env
+    in
+    if Engine.branch_eq env typ (Int64.of_int C.Stats_type.desc) then begin
+      Engine.cover env pt_stats_desc;
+      need_exact_len 12;
+      reply C.Stats_type.desc "desc"
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.flow) then begin
+      Engine.cover env pt_stats_flow;
+      need_exact_len 56;
+      reply C.Stats_type.flow (flow_stats_digest env st s)
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.aggregate) then begin
+      Engine.cover env pt_stats_aggregate;
+      need_exact_len 56;
+      let d = flow_stats_digest env st s in
+      reply C.Stats_type.aggregate ("agg:" ^ d)
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.table) then begin
+      Engine.cover env pt_stats_table;
+      need_exact_len 12;
+      reply C.Stats_type.table
+        (Printf.sprintf "tables=1,active=%d" (Flow_table.size st.AC.table))
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.port) then begin
+      Engine.cover env pt_stats_port;
+      need_exact_len 20;
+      let port = s.Sym_msg.ssr_port_no in
+      if
+        Engine.branch env
+          (Expr.or_
+             (Expr.eq port (c16 C.Port.none))
+             (Expr.and_ (Expr.uge port (c16 1)) (Expr.ule port (c16 config.AC.nports))))
+      then reply C.Stats_type.port "ports"
+      else reply C.Stats_type.port "ports-empty"
+    end
+    else if Engine.branch_eq env typ (Int64.of_int C.Stats_type.queue) then begin
+      Engine.cover env pt_stats_queue;
+      need_exact_len 20;
+      reply C.Stats_type.queue "queues-empty"
+    end
+    else begin
+      Engine.cover env pt_stats_unknown;
+      (* the handler returns an error code, but it is never converted into
+         an OpenFlow message: the request is silently ignored *)
+      if q.error_on_unknown_stats then error C.Error_type.bad_request C.Bad_request.bad_stat
+      else raise Msg_silent_drop
+    end;
+    st
+
+  let handle_queue_get_config env st (msg : Sym_msg.t) port =
+    Engine.cover env pt_qgc_entry;
+    (match AC.check_length env msg ~expected:C.Sizes.queue_get_config_request ~exact:true with
+     | `Short -> error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ());
+    if Engine.branch ~loc:bp_qgc_port0 env (Expr.eq port (c16 0)) then
+      (* reliability bug: the queue array for port 0 is never allocated *)
+      Engine.crash env "memory error: queue config for port 0"
+    else if
+      Engine.branch ~loc:bp_qgc_valid env
+        (Expr.and_ (Expr.uge port (c16 1)) (Expr.ule port (c16 config.AC.nports)))
+    then begin
+      Engine.emit env
+        (Trace.Msg_out (Trace.O_queue_config_reply { o_q_port = port; o_n_queues = 0 }));
+      st
+    end
+    else error C.Error_type.queue_op_failed C.Queue_op_failed.bad_port
+
+  let handle_set_config env st (msg : Sym_msg.t) (sc : Sym_msg.sswitch_config) =
+    Engine.cover env pt_set_config;
+    (match AC.check_length env msg ~expected:C.Sizes.switch_config ~exact:true with
+     | `Short ->
+       ignore (Engine.branch ~loc:bp_set_config_len env Expr.fls);
+       error C.Error_type.bad_request C.Bad_request.bad_len
+     | `Blocked ->
+       Engine.cover env pt_msg_blocked;
+       Engine.stop env
+     | `Ok -> ignore (Engine.branch ~loc:bp_set_config_len env Expr.tru));
+    (* dispatch on the fragment-handling mode like the real handler; the
+       reference switch stores whatever value arrives *)
+    let frag = Expr.logand sc.Sym_msg.scfg_flags (c16 C.Config_flags.frag_mask) in
+    ignore
+      (if Engine.branch_eq env frag (Int64.of_int C.Config_flags.frag_normal) then 0
+       else if Engine.branch_eq env frag (Int64.of_int C.Config_flags.frag_drop) then 1
+       else if Engine.branch_eq env frag (Int64.of_int C.Config_flags.frag_reasm) then 2
+       else 3);
+    let miss =
+      match q.miss_send_len_clamp with
+      | None -> sc.Sym_msg.smiss_send_len
+      | Some limit ->
+        Expr.ite
+          (Expr.ule sc.Sym_msg.smiss_send_len (c16 limit))
+          sc.Sym_msg.smiss_send_len (c16 limit)
+    in
+    { st with AC.miss_send_len = miss; AC.frag_flags = sc.Sym_msg.scfg_flags }
+
+  (* ---- top-level dispatch ---------------------------------------------- *)
+
+  let is_msg_type env (msg : Sym_msg.t) t = Engine.branch_eq env msg.Sym_msg.sm_type (Int64.of_int t)
+
+  (* A message whose type claims a structured body we did not receive (raw
+     short-symbolic input): triage on the claimed length like the real
+     parser would — block when the claim exceeds the delivered bytes,
+     error out otherwise. *)
+  let raw_fallback env (msg : Sym_msg.t) ~expected : state =
+    match AC.check_length env msg ~expected ~exact:false with
+    | `Blocked ->
+      Engine.cover env pt_msg_blocked;
+      Engine.stop env
+    | `Short | `Ok -> error C.Error_type.bad_request C.Bad_request.bad_len
+
+  let handle_message env st (msg : Sym_msg.t) =
+    if st.AC.blocked then st
+    else begin
+      Engine.cover env pt_msg_entry;
+      (* header length sanity *)
+      (match AC.check_length env msg ~expected:C.Sizes.header ~exact:false with
+       | `Short ->
+         ignore (Engine.branch ~loc:bp_msg_len env Expr.fls);
+         AC.send_error env ~err_type:C.Error_type.bad_request ~err_code:C.Bad_request.bad_len;
+         st
+       | `Blocked ->
+         Engine.cover env pt_msg_blocked;
+         { st with AC.blocked = true }
+       | `Ok ->
+         ignore (Engine.branch ~loc:bp_msg_len env Expr.tru);
+         let module T = C.Msg_type in
+         try
+           if is_msg_type env msg T.hello then begin
+             Engine.cover env pt_hello;
+             st (* hello after setup: ignored *)
+           end
+           else if is_msg_type env msg T.echo_request then begin
+             Engine.cover env pt_echo;
+             let payload = Expr.sub msg.Sym_msg.sm_length (c16 C.Sizes.header) in
+             Engine.emit env (Trace.Msg_out (Trace.O_echo_reply { payload_len = payload }));
+             st
+           end
+           else if is_msg_type env msg T.echo_reply then st
+           else if is_msg_type env msg T.features_request then begin
+             Engine.cover env pt_features;
+             (match AC.check_length env msg ~expected:8 ~exact:true with
+              | `Ok ->
+                Engine.emit env
+                  (Trace.Msg_out (Trace.O_features_reply { o_n_ports = config.AC.nports }))
+              | `Short | `Blocked ->
+                error C.Error_type.bad_request C.Bad_request.bad_len);
+             st
+           end
+           else if is_msg_type env msg T.get_config_request then begin
+             Engine.cover env pt_get_config;
+             Engine.emit env
+               (Trace.Msg_out
+                  (Trace.O_get_config_reply
+                     { o_flags = st.AC.frag_flags; o_miss_send_len = st.AC.miss_send_len }));
+             st
+           end
+           else if is_msg_type env msg T.set_config then begin
+             match msg.Sym_msg.sm_body with
+             | Sym_msg.SSet_config sc -> handle_set_config env st msg sc
+             | _ -> raw_fallback env msg ~expected:C.Sizes.switch_config
+           end
+           else if is_msg_type env msg T.packet_out then begin
+             match msg.Sym_msg.sm_body with
+             | Sym_msg.SPacket_out po -> handle_packet_out env st msg po
+             | _ -> raw_fallback env msg ~expected:C.Sizes.packet_out
+           end
+           else if is_msg_type env msg T.flow_mod then begin
+             match msg.Sym_msg.sm_body with
+             | Sym_msg.SFlow_mod fm -> handle_flow_mod env st msg fm
+             | _ -> raw_fallback env msg ~expected:C.Sizes.flow_mod
+           end
+           else if is_msg_type env msg T.stats_request then begin
+             match msg.Sym_msg.sm_body with
+             | Sym_msg.SStats_request s -> handle_stats_request env st msg s
+             | _ -> raw_fallback env msg ~expected:C.Sizes.stats_request
+           end
+           else if is_msg_type env msg T.barrier_request then begin
+             Engine.cover env pt_barrier;
+             Engine.emit env (Trace.Msg_out Trace.O_barrier_reply);
+             st
+           end
+           else if is_msg_type env msg T.queue_get_config_request then begin
+             match msg.Sym_msg.sm_body with
+             | Sym_msg.SQueue_get_config_request { sqgc_port } ->
+               handle_queue_get_config env st msg sqgc_port
+             | _ -> raw_fallback env msg ~expected:C.Sizes.queue_get_config_request
+           end
+           else if is_msg_type env msg T.port_mod then begin
+             Engine.cover env pt_port_mod;
+             (match AC.check_length env msg ~expected:C.Sizes.port_mod ~exact:true with
+              | `Ok ->
+                ignore (Engine.branch ~loc:bp_port_mod_valid env Expr.tru);
+                st
+              | `Short | `Blocked -> error C.Error_type.bad_request C.Bad_request.bad_len)
+           end
+           else if is_msg_type env msg T.vendor then begin
+             Engine.cover env pt_vendor;
+             error C.Error_type.bad_request C.Bad_request.bad_vendor
+           end
+           else if
+             is_msg_type env msg T.error || is_msg_type env msg T.features_reply
+             || is_msg_type env msg T.get_config_reply
+             || is_msg_type env msg T.packet_in || is_msg_type env msg T.flow_removed
+             || is_msg_type env msg T.port_status || is_msg_type env msg T.stats_reply
+             || is_msg_type env msg T.barrier_reply
+             || is_msg_type env msg T.queue_get_config_reply
+           then begin
+             (* switch-to-controller types arriving at the switch *)
+             Engine.cover env pt_unexpected;
+             error C.Error_type.bad_request C.Bad_request.bad_type
+           end
+           else begin
+             Engine.cover env pt_bad_type;
+             error C.Error_type.bad_request C.Bad_request.bad_type
+           end
+         with
+         | Msg_error (t, code) ->
+           AC.send_error env ~err_type:t ~err_code:code;
+           st
+         | Msg_silent_drop -> st)
+    end
+
+  (* ---- data plane -------------------------------------------------------- *)
+
+  let handle_packet env st ~probe_id ~in_port pkt =
+    if st.AC.blocked then st
+    else begin
+      Engine.cover env pt_probe_entry;
+      let key = Packet.Flow_key.extract env ~in_port pkt in
+      let hit = Flow_table.lookup env st.AC.table key in
+      ignore
+        (Engine.branch ~loc:bp_probe_match env
+           (Expr.of_bool (match hit with Some _ -> true | None -> false)));
+      match hit with
+      | None ->
+        Engine.cover env pt_probe_miss;
+        AC.packet_in_miss env st ~in_port ~frame_len:64 pkt;
+        st
+      | Some entry ->
+        Engine.cover env pt_probe_apply;
+        let sink = AC.probe_sink ~probe_id ~in_port in
+        let before = Engine.event_count env in
+        (try
+           ignore
+             (apply_actions env st ~ctx:Table_ctx ~in_port ~sink pkt
+                entry.Flow_table.e_actions)
+         with Msg_error _ ->
+           (* malformed stored action at forwarding time: drop *)
+           ());
+        if Engine.event_count env = before then begin
+          Engine.cover env pt_probe_drop;
+          Engine.emit env
+            (Trace.Probe_response { probe_id; response = Trace.Probe_dropped })
+        end;
+        st
+    end
+
+  let _ = pt_port_status
+  let _ = pt_conn_teardown
+  let _ = pt_echo_timeout
+end

@@ -1,0 +1,11 @@
+(* The OpenFlow 1.0 Reference Switch model: [Ref_core] with its stock
+   behaviour. *)
+
+module Impl = Ref_core.Make (struct
+  let name = "reference"
+  let quirks = Ref_core.reference_quirks
+end)
+
+include Impl
+
+let agent : Agent_intf.t = (module Impl)

@@ -1,0 +1,8 @@
+(** The OpenFlow 1.0 Reference Switch model: {!Ref_core} with its stock
+    behaviour, including the documented reliability bugs and leniencies the
+    paper's evaluation rediscovers (§5.1.2). *)
+
+include Agent_intf.S
+
+val agent : Agent_intf.t
+(** The agent as a first-class value for the harness and pipeline. *)

@@ -1,0 +1,1 @@
+lib/symexec/coverage.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/symexec/coverage.mli: Format

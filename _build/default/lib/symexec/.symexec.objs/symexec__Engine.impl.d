@@ -1,0 +1,1 @@
+lib/symexec/engine.ml: Coverage Expr Format Interval List Model Option Smt Solver Strategy Sys Unix

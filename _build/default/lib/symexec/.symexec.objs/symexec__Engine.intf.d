@@ -1,0 +1,1 @@
+lib/symexec/engine.mli: Coverage Expr Format Smt Strategy

@@ -1,0 +1,1 @@
+lib/symexec/strategy.ml: List Printf Random String

@@ -1,0 +1,114 @@
+(* Program-point registry and coverage accounting, mirroring what Cloud9
+   reports for the agents under test (Tables 4, 5 and Figure 4).
+
+   Agents declare their instrumentation points at module-initialization time
+   ([instr]/[branch] at top level), so the per-unit totals are known before
+   any execution.  A point is an instruction point or one direction of a
+   branch; covering a point at least once marks it covered regardless of
+   operand values, exactly as the paper counts coverage. *)
+
+type kind = Instr | Branch_true | Branch_false
+
+type point = { pid : int; unit_name : string; pname : string; kind : kind }
+
+type branch_point = { on_true : point; on_false : point }
+
+let points : point list ref = ref []
+let counter = ref 0
+let by_unit : (string, point list ref) Hashtbl.t = Hashtbl.create 8
+
+let register unit_name pname kind =
+  let p = { pid = !counter; unit_name; pname; kind } in
+  incr counter;
+  points := p :: !points;
+  (match Hashtbl.find_opt by_unit unit_name with
+   | Some l -> l := p :: !l
+   | None -> Hashtbl.add by_unit unit_name (ref [ p ]));
+  p
+
+let instr unit_name pname = register unit_name pname Instr
+
+let branch unit_name pname =
+  {
+    on_true = register unit_name (pname ^ ":T") Branch_true;
+    on_false = register unit_name (pname ^ ":F") Branch_false;
+  }
+
+let unit_points unit_name =
+  match Hashtbl.find_opt by_unit unit_name with Some l -> !l | None -> []
+
+let total_instr unit_name =
+  List.length (List.filter (fun p -> p.kind = Instr) (unit_points unit_name))
+
+let total_branch unit_name =
+  List.length (List.filter (fun p -> p.kind <> Instr) (unit_points unit_name))
+
+(* --- coverage sets -------------------------------------------------- *)
+
+type set = (int, unit) Hashtbl.t
+
+let empty_set () : set = Hashtbl.create 64
+let mark (s : set) p = Hashtbl.replace s p.pid ()
+let covered (s : set) p = Hashtbl.mem s p.pid
+let copy_set (s : set) : set = Hashtbl.copy s
+let union (a : set) (b : set) : set =
+  let u = Hashtbl.copy a in
+  Hashtbl.iter (fun k () -> Hashtbl.replace u k ()) b;
+  u
+
+let union_all sets = List.fold_left union (empty_set ()) sets
+let cardinal (s : set) = Hashtbl.length s
+
+(* A snapshot is an immutable list of covered point ids — what a path result
+   carries around. *)
+type snapshot = int list
+
+let snapshot (s : set) : snapshot = Hashtbl.fold (fun k () acc -> k :: acc) s []
+
+let set_of_snapshot (sn : snapshot) : set =
+  let s = empty_set () in
+  List.iter (fun pid -> Hashtbl.replace s pid ()) sn;
+  s
+
+(* --- reporting ------------------------------------------------------- *)
+
+type report = {
+  unit_name : string;
+  instr_covered : int;
+  instr_total : int;
+  branch_covered : int;
+  branch_total : int;
+}
+
+let instr_pct r =
+  if r.instr_total = 0 then 0.0 else 100.0 *. float_of_int r.instr_covered /. float_of_int r.instr_total
+
+let branch_pct r =
+  if r.branch_total = 0 then 0.0
+  else 100.0 *. float_of_int r.branch_covered /. float_of_int r.branch_total
+
+let report unit_name (s : set) =
+  let pts = unit_points unit_name in
+  let ic = ref 0 and bc = ref 0 and it = ref 0 and bt = ref 0 in
+  List.iter
+    (fun p ->
+      match p.kind with
+      | Instr ->
+        incr it;
+        if covered s p then incr ic
+      | Branch_true | Branch_false ->
+        incr bt;
+        if covered s p then incr bc)
+    pts;
+  {
+    unit_name;
+    instr_covered = !ic;
+    instr_total = !it;
+    branch_covered = !bc;
+    branch_total = !bt;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "%s: instr %d/%d (%.2f%%) branch %d/%d (%.2f%%)" r.unit_name
+    r.instr_covered r.instr_total (instr_pct r) r.branch_covered r.branch_total
+    (branch_pct r)

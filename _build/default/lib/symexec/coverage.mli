@@ -1,0 +1,58 @@
+(** Program-point registry and coverage accounting, mirroring Cloud9's
+    instruction/branch coverage reports (paper Tables 4, 5 and Figure 4).
+
+    Agents register their instrumentation points at module-initialization
+    time, so per-unit totals are known before any execution.  A point is an
+    instruction point or one *direction* of a branch; covering it once
+    marks it covered regardless of operand values, exactly as the paper
+    counts coverage. *)
+
+type kind = Instr | Branch_true | Branch_false
+
+type point = { pid : int; unit_name : string; pname : string; kind : kind }
+
+type branch_point = { on_true : point; on_false : point }
+
+val instr : string -> string -> point
+(** [instr unit name] registers an instruction point for coverage unit
+    [unit]. *)
+
+val branch : string -> string -> branch_point
+(** [branch unit name] registers both directions of a branch. *)
+
+val unit_points : string -> point list
+val total_instr : string -> int
+val total_branch : string -> int
+
+(** {1 Coverage sets} *)
+
+type set
+
+val empty_set : unit -> set
+val mark : set -> point -> unit
+val covered : set -> point -> bool
+val copy_set : set -> set
+val union : set -> set -> set
+val union_all : set list -> set
+val cardinal : set -> int
+
+type snapshot = int list
+(** Immutable list of covered point ids, as carried by path results. *)
+
+val snapshot : set -> snapshot
+val set_of_snapshot : snapshot -> set
+
+(** {1 Reports} *)
+
+type report = {
+  unit_name : string;
+  instr_covered : int;
+  instr_total : int;
+  branch_covered : int;
+  branch_total : int;
+}
+
+val report : string -> set -> report
+val instr_pct : report -> float
+val branch_pct : report -> float
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,358 @@
+(* Path exploration by re-execution (generational search).
+
+   A program under test is an OCaml function over an ['ev env]; it reads
+   symbolic inputs (bitvector expressions), branches via [branch], and emits
+   observable events via [emit].  When a branch condition is symbolic and
+   both arms are feasible under the current path condition, the engine
+   records a *replay script* for the unexplored arm on the frontier and
+   continues down the chosen arm.  Each frontier item is re-executed from
+   the start with its script; scripted decisions are consumed without
+   solver calls, so the solver only runs at genuinely new forks.
+
+   This plays the role Cloud9 plays for SOFT: it produces, per explored
+   path, the path condition, the normalized output events, and the covered
+   program points. *)
+
+open Smt
+
+type decision = Dir of bool | Val of int64
+
+type 'ev env = {
+  mutable pc_rev : Expr.boolean list;
+  mutable dom : Interval.t;
+  mutable script : decision list; (* prescribed prefix to replay *)
+  mutable taken_rev : decision list;
+  mutable events_rev : 'ev list;
+  mutable model : Model.t option; (* invariant: satisfies [pc_rev] when Some *)
+  cov : Coverage.set;
+  mutable ndecisions : int;
+  eng : 'ev engine_state;
+}
+
+and 'ev engine_state = {
+  frontier : decision list Strategy.frontier;
+  global_cov : Coverage.set;
+  max_decisions : int;
+  use_interval : bool;
+  mutable forks : int;
+  mutable aborted : int;
+  mutable truncated : int;
+}
+
+exception Path_crash of string
+exception Path_abort
+exception Path_stop
+
+type 'ev path_result = {
+  pc : Expr.boolean list; (* in execution order *)
+  path_cond : Expr.boolean; (* balanced conjunction of [pc] *)
+  events : 'ev list;
+  crashed : string option;
+  covered : Coverage.snapshot;
+  decisions : int;
+}
+
+type run_stats = {
+  path_count : int;
+  aborted : int;
+  truncated : int;
+  forks : int;
+  cpu_time : float;
+  wall_time : float;
+  avg_constraint_size : float;
+  max_constraint_size : int;
+  solver_sat_calls : int;
+  solver_cache_hits : int;
+  solver_interval_hits : int;
+}
+
+type 'ev run_result = {
+  results : 'ev path_result list;
+  stats : run_stats;
+  coverage : Coverage.set;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Primitives available to programs under test *)
+
+let emit env ev = env.events_rev <- ev :: env.events_rev
+
+let events_so_far env = List.rev env.events_rev
+
+let event_count env = List.length env.events_rev
+
+let crash _env msg = raise (Path_crash msg)
+
+(* End the current path normally (e.g. the program under test blocks
+   waiting for input that will never come); events so far are recorded. *)
+let stop _env = raise Path_stop
+
+let cover env point =
+  Coverage.mark env.cov point;
+  Coverage.mark env.eng.global_cov point
+
+let mark_branch env (loc : Coverage.branch_point option) dir =
+  match loc with
+  | None -> ()
+  | Some bp -> cover env (if dir then bp.Coverage.on_true else bp.Coverage.on_false)
+
+let path_condition env = List.rev env.pc_rev
+
+(* Solve pc ∧ extra, returning a model on success.  The interval domain
+   gives a fast sound UNSAT answer first. *)
+let solve_arm env extra =
+  let dom' = Interval.copy env.dom in
+  if env.eng.use_interval && Interval.add dom' extra = Interval.Unsat then None
+  else
+    match Solver.check ~use_interval:false (extra :: env.pc_rev) with
+    | Solver.Sat m -> Some m
+    | Solver.Unsat -> None
+
+
+let commit_constraint env c =
+  env.pc_rev <- c :: env.pc_rev;
+  if env.eng.use_interval then ignore (Interval.add env.dom c);
+  (* keep the cached model honest: drop it if the new constraint falsifies
+     it *)
+  match env.model with
+  | Some m when not (Model.eval_bool m c) -> env.model <- None
+  | _ -> ()
+
+let take_dir env loc cond d =
+  commit_constraint env (if d then cond else Expr.not_ cond);
+  env.taken_rev <- Dir d :: env.taken_rev;
+  mark_branch env loc d;
+  d
+
+(* Branch on a symbolic condition, forking if both arms are feasible. *)
+let branch ?loc env cond =
+  if Expr.is_true cond then begin
+    mark_branch env loc true;
+    true
+  end
+  else if Expr.is_false cond then begin
+    mark_branch env loc false;
+    false
+  end
+  else begin
+    env.ndecisions <- env.ndecisions + 1;
+    if env.ndecisions > env.eng.max_decisions then begin
+      env.eng.truncated <- env.eng.truncated + 1;
+      raise Path_abort
+    end;
+    match env.script with
+    | Dir d :: rest ->
+      env.script <- rest;
+      take_dir env loc cond d
+    | Val _ :: _ ->
+      invalid_arg "Engine.branch: replay script out of sync (expected direction)"
+    | [] ->
+      (* the cached model satisfies pc, so the arm it picks is feasible
+         without a solver call; only the other arm needs solving *)
+      let model_pick = Option.map (fun m -> Model.eval_bool m cond) env.model in
+      let arm want =
+        match model_pick with
+        | Some b when b = want -> (true, env.model)
+        | _ -> (
+          match solve_arm env (if want then cond else Expr.not_ cond) with
+          | Some m -> (true, Some m)
+          | None -> (false, None))
+      in
+      let feas_true, model_true = arm true in
+      let feas_false, model_false = arm false in
+      (match (feas_true, feas_false) with
+       | true, true ->
+         env.eng.forks <- env.eng.forks + 1;
+         let fresh =
+           match loc with
+           | None -> false
+           | Some bp -> not (Coverage.covered env.eng.global_cov bp.Coverage.on_false)
+         in
+         let alt_script = List.rev (Dir false :: env.taken_rev) in
+         Strategy.add env.eng.frontier ~fresh alt_script;
+         env.model <- model_true;
+         take_dir env loc cond true
+       | true, false ->
+         env.model <- model_true;
+         take_dir env loc cond true
+       | false, true ->
+         env.model <- model_false;
+         take_dir env loc cond false
+       | false, false ->
+         (* path condition became unsatisfiable: dead path *)
+         env.eng.aborted <- env.eng.aborted + 1;
+         raise Path_abort)
+  end
+
+(* Add a constraint; kill the path if it is infeasible. *)
+let assume env cond =
+  if Expr.is_true cond then ()
+  else if Expr.is_false cond then begin
+    env.eng.aborted <- env.eng.aborted + 1;
+    raise Path_abort
+  end
+  else begin
+    let ok =
+      match env.model with
+      | Some m when Model.eval_bool m cond -> true
+      | _ -> (
+        match solve_arm env cond with
+        | Some m ->
+          env.model <- Some m;
+          true
+        | None -> false)
+    in
+    if ok then commit_constraint env cond
+    else begin
+      env.eng.aborted <- env.eng.aborted + 1;
+      raise Path_abort
+    end
+  end
+
+(* Pin a symbolic expression to one concrete representative value under the
+   current path condition.  Replays deterministically. *)
+let concretize env (e : Expr.bv) =
+  match Expr.const_value e with
+  | Some v -> v
+  | None -> (
+    match env.script with
+    | Val v :: rest ->
+      env.script <- rest;
+      commit_constraint env (Expr.eq e (Expr.const ~width:(Expr.width e) v));
+      env.taken_rev <- Val v :: env.taken_rev;
+      v
+    | Dir _ :: _ ->
+      invalid_arg "Engine.concretize: replay script out of sync (expected value)"
+    | [] -> (
+      let model = match env.model with Some m -> Some m | None -> Solver.get_model env.pc_rev in
+      match model with
+      | None ->
+        env.eng.aborted <- env.eng.aborted + 1;
+        raise Path_abort
+      | Some m ->
+        let v = Model.eval_bv m e in
+        env.model <- Some m;
+        commit_constraint env (Expr.eq e (Expr.const ~width:(Expr.width e) v));
+        env.taken_rev <- Val v :: env.taken_rev;
+        v))
+
+(* Convenience: branch on equality with a constant. *)
+let branch_eq ?loc env e v =
+  branch ?loc env (Expr.eq e (Expr.const ~width:(Expr.width e) v))
+
+(* ------------------------------------------------------------------ *)
+(* Exploration driver *)
+
+let run ?(strategy = Strategy.default) ?(max_paths = max_int) ?(max_decisions = 4096)
+    ?max_attempts ?(use_interval = true) program =
+  (* aborted and truncated re-executions consume attempts so that a program
+     with unbounded symbolic branching cannot spin the driver forever *)
+  let max_attempts =
+    match max_attempts with
+    | Some n -> n
+    | None -> if max_paths >= max_int / 4 then max_int else (2 * max_paths) + 1024
+  in
+  let eng =
+    {
+      frontier = Strategy.create strategy;
+      global_cov = Coverage.empty_set ();
+      max_decisions;
+      use_interval;
+      forks = 0;
+      aborted = 0;
+      truncated = 0;
+    }
+  in
+  let solver_stats0 =
+    Solver.(stats.sat_calls, stats.cache_hits, stats.interval_hits)
+  in
+  let cpu0 = Sys.time () and wall0 = Unix.gettimeofday () in
+  Strategy.add eng.frontier ~fresh:true [];
+  let results = ref [] in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  let rec loop () =
+    if !count >= max_paths || !attempts >= max_attempts then ()
+    else
+      match Strategy.pop eng.frontier with
+      | None -> ()
+      | Some script ->
+        incr attempts;
+        let env =
+          {
+            pc_rev = [];
+            dom = Interval.create ();
+            script;
+            taken_rev = [];
+            events_rev = [];
+            model = Some (Model.empty ());
+            cov = Coverage.empty_set ();
+            ndecisions = 0;
+            eng;
+          }
+        in
+        (try
+           (try program env with Path_stop -> ());
+           incr count;
+           results :=
+             {
+               pc = List.rev env.pc_rev;
+               path_cond = Expr.balanced_conj (List.rev env.pc_rev);
+               events = List.rev env.events_rev;
+               crashed = None;
+               covered = Coverage.snapshot env.cov;
+               decisions = env.ndecisions;
+             }
+             :: !results
+         with
+         | Path_crash msg ->
+           incr count;
+           results :=
+             {
+               pc = List.rev env.pc_rev;
+               path_cond = Expr.balanced_conj (List.rev env.pc_rev);
+               events = List.rev env.events_rev;
+               crashed = Some msg;
+               covered = Coverage.snapshot env.cov;
+               decisions = env.ndecisions;
+             }
+             :: !results
+         | Path_abort -> ());
+        loop ()
+  in
+  loop ();
+  let results = List.rev !results in
+  let cpu_time = Sys.time () -. cpu0 and wall_time = Unix.gettimeofday () -. wall0 in
+  let sizes = List.map (fun r -> Expr.bool_size r.path_cond) results in
+  let total_size = List.fold_left ( + ) 0 sizes in
+  let max_size = List.fold_left max 0 sizes in
+  let sc1, cc1, ic1 =
+    Solver.(stats.sat_calls, stats.cache_hits, stats.interval_hits)
+  in
+  let sc0, cc0, ic0 = solver_stats0 in
+  {
+    results;
+    coverage = eng.global_cov;
+    stats =
+      {
+        path_count = List.length results;
+        aborted = eng.aborted;
+        truncated = eng.truncated;
+        forks = eng.forks;
+        cpu_time;
+        wall_time;
+        avg_constraint_size =
+          (if results = [] then 0.0
+           else float_of_int total_size /. float_of_int (List.length results));
+        max_constraint_size = max_size;
+        solver_sat_calls = sc1 - sc0;
+        solver_cache_hits = cc1 - cc0;
+        solver_interval_hits = ic1 - ic0;
+      };
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "paths=%d aborted=%d truncated=%d forks=%d cpu=%.2fs constraints(avg=%.2f max=%d) sat_calls=%d"
+    s.path_count s.aborted s.truncated s.forks s.cpu_time s.avg_constraint_size
+    s.max_constraint_size s.solver_sat_calls

@@ -1,0 +1,117 @@
+(** Path exploration by re-execution (generational search).
+
+    A program under test is an OCaml function over an ['ev env]; it reads
+    symbolic inputs (bitvector expressions from {!Smt.Expr}), branches with
+    {!branch}, and records observable events with {!emit}.  When a branch
+    condition is symbolic and both arms are feasible under the current path
+    condition, the engine pushes a replay script for the unexplored arm
+    onto the frontier and continues down the chosen arm.  Frontier items
+    re-execute the program from the start; scripted decisions replay
+    without solver calls, so the solver runs only at genuinely new forks.
+
+    A cached satisfying model of the current path condition decides most
+    branch feasibilities without any solver query at all.
+
+    This engine plays the role Cloud9 plays for SOFT: it produces, per
+    explored path, the path condition, the emitted events, and the covered
+    program points. *)
+
+open Smt
+
+type decision = Dir of bool | Val of int64
+
+type 'ev env
+(** Per-path execution context, parameterized by the event type. *)
+
+exception Path_crash of string
+(** The program under test crashed; the path is recorded with the crash. *)
+
+exception Path_abort
+(** Internal: the path became infeasible; no result is recorded. *)
+
+exception Path_stop
+(** Internal: the path stopped early (see {!stop}); events so far are
+    recorded as a normal result. *)
+
+type 'ev path_result = {
+  pc : Expr.boolean list;  (** path condition conjuncts, in execution order *)
+  path_cond : Expr.boolean;  (** balanced conjunction of [pc] *)
+  events : 'ev list;
+  crashed : string option;
+  covered : Coverage.snapshot;
+  decisions : int;  (** symbolic decisions taken along the path *)
+}
+
+type run_stats = {
+  path_count : int;
+  aborted : int;  (** paths killed as infeasible *)
+  truncated : int;  (** paths exceeding the decision bound *)
+  forks : int;
+  cpu_time : float;
+  wall_time : float;
+  avg_constraint_size : float;  (** Table-2 metric, averaged over paths *)
+  max_constraint_size : int;
+  solver_sat_calls : int;
+  solver_cache_hits : int;
+  solver_interval_hits : int;
+}
+
+type 'ev run_result = {
+  results : 'ev path_result list;
+  stats : run_stats;
+  coverage : Coverage.set;  (** union over all explored paths *)
+}
+
+(** {1 Primitives for programs under test} *)
+
+val emit : 'ev env -> 'ev -> unit
+(** Record an observable event on the current path. *)
+
+val events_so_far : 'ev env -> 'ev list
+val event_count : 'ev env -> int
+
+val crash : 'ev env -> string -> 'a
+(** Terminate the path as a crash (recorded as part of the result). *)
+
+val stop : 'ev env -> 'a
+(** End the path normally, keeping the events emitted so far (e.g. the
+    program blocks waiting for input that will never come). *)
+
+val branch : ?loc:Coverage.branch_point -> 'ev env -> Expr.boolean -> bool
+(** Branch on a condition.  Concrete conditions do not fork; symbolic ones
+    fork when both arms are feasible.  [loc] marks branch coverage. *)
+
+val branch_eq : ?loc:Coverage.branch_point -> 'ev env -> Expr.bv -> int64 -> bool
+(** [branch_eq env e v] is [branch env (e = v)]. *)
+
+val assume : 'ev env -> Expr.boolean -> unit
+(** Add a constraint without forking; kills the path if infeasible. *)
+
+val concretize : 'ev env -> Expr.bv -> int64
+(** Pin an expression to one representative concrete value under the
+    current path condition, committing the equality.  Replays
+    deterministically. *)
+
+val cover : 'ev env -> Coverage.point -> unit
+(** Mark an instrumentation point as covered on this path. *)
+
+val path_condition : 'ev env -> Expr.boolean list
+
+(** {1 Exploration driver} *)
+
+val run :
+  ?strategy:Strategy.t ->
+  ?max_paths:int ->
+  ?max_decisions:int ->
+  ?max_attempts:int ->
+  ?use_interval:bool ->
+  ('ev env -> unit) ->
+  'ev run_result
+(** [run program] explores [program] until the frontier empties or a budget
+    is hit.  [max_paths] bounds completed paths (default unlimited);
+    [max_decisions] bounds symbolic decisions per path (default 4096, a
+    loop safeguard); [max_attempts] bounds re-executions including aborted
+    and truncated ones (default [2*max_paths + 1024]); [use_interval]
+    enables the interval feasibility pre-filter (default true). *)
+
+val pp_stats : Format.formatter -> run_stats -> unit

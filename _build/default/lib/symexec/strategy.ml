@@ -1,0 +1,105 @@
+(* Search strategies over the pending-path frontier.
+
+   The engine's frontier holds replay scripts for unexplored branch
+   alternatives; a strategy decides which to run next.  [Interleave] mimics
+   the default Cloud9 strategy the paper uses: alternate a uniformly random
+   path choice with a choice biased toward forks created at not-yet-covered
+   branch points.  Because SOFT drives inputs toward exhaustive coverage,
+   the strategy choice barely affects the end result (paper §4.1) — but it
+   affects the order in which inconsistency-revealing paths appear. *)
+
+type t =
+  | Dfs
+  | Bfs
+  | Random of int (* seed *)
+  | Interleave of int (* seed; Cloud9-style random + coverage-biased mix *)
+
+let default = Interleave 42
+
+let to_string = function
+  | Dfs -> "dfs"
+  | Bfs -> "bfs"
+  | Random seed -> Printf.sprintf "random(%d)" seed
+  | Interleave seed -> Printf.sprintf "interleave(%d)" seed
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "dfs" -> Some Dfs
+  | "bfs" -> Some Bfs
+  | "random" -> Some (Random 42)
+  | "interleave" | "default" -> Some default
+  | _ -> None
+
+(* A frontier with O(1)-ish pick for each policy.  Items carry an [age]
+   (insertion order) and a [fresh] flag (fork at an uncovered branch). *)
+type 'a frontier = {
+  strategy : t;
+  mutable items : (int * bool * 'a) list; (* age, fresh, item *)
+  mutable next_age : int;
+  rng : Random.State.t;
+  mutable tick : int;
+}
+
+let create strategy =
+  let seed = match strategy with Random s | Interleave s -> s | Dfs | Bfs -> 0 in
+  {
+    strategy;
+    items = [];
+    next_age = 0;
+    rng = Random.State.make [| seed |];
+    tick = 0;
+  }
+
+let add f ~fresh item =
+  f.items <- (f.next_age, fresh, item) :: f.items;
+  f.next_age <- f.next_age + 1
+
+let is_empty f = f.items = []
+let length f = List.length f.items
+
+let take_nth f n =
+  let rec go i acc = function
+    | [] -> invalid_arg "take_nth"
+    | x :: rest ->
+      if i = n then begin
+        f.items <- List.rev_append acc rest;
+        x
+      end
+      else go (i + 1) (x :: acc) rest
+  in
+  go 0 [] f.items
+
+let pop f =
+  match f.items with
+  | [] -> None
+  | _ ->
+    let n = List.length f.items in
+    let _, _, item =
+      match f.strategy with
+      | Dfs ->
+        (* newest first: items is a stack *)
+        take_nth f 0
+      | Bfs ->
+        (* oldest first *)
+        let oldest = ref 0 and best_age = ref max_int in
+        List.iteri
+          (fun i (age, _, _) ->
+            if age < !best_age then begin
+              best_age := age;
+              oldest := i
+            end)
+          f.items;
+        take_nth f !oldest
+      | Random _ -> take_nth f (Random.State.int f.rng n)
+      | Interleave _ ->
+        f.tick <- f.tick + 1;
+        if f.tick land 1 = 0 then take_nth f (Random.State.int f.rng n)
+        else begin
+          (* prefer a fork flagged fresh (uncovered branch); fall back to
+             random *)
+          let idx = ref (-1) in
+          List.iteri (fun i (_, fresh, _) -> if fresh && !idx < 0 then idx := i) f.items;
+          if !idx >= 0 then take_nth f !idx else take_nth f (Random.State.int f.rng n)
+        end
+    in
+    Some item

@@ -1,0 +1,30 @@
+(** Search strategies over the engine's pending-path frontier.
+
+    [Interleave] mimics the default Cloud9 strategy the paper uses: it
+    alternates a uniformly random choice with a choice biased toward forks
+    created at not-yet-covered branch points.  Because SOFT's structured
+    inputs drive exploration toward exhaustion, the strategy choice barely
+    affects the end result (paper §4.1) — only the order findings appear. *)
+
+type t =
+  | Dfs
+  | Bfs
+  | Random of int  (** seed *)
+  | Interleave of int  (** seed; random + coverage-biased mix *)
+
+val default : t
+val to_string : t -> string
+val of_string : string -> t option
+
+(** {1 Frontier} (used by the engine) *)
+
+type 'a frontier
+
+val create : t -> 'a frontier
+
+val add : 'a frontier -> fresh:bool -> 'a -> unit
+(** [fresh] flags a fork created at an uncovered branch point. *)
+
+val pop : 'a frontier -> 'a option
+val is_empty : 'a frontier -> bool
+val length : 'a frontier -> int

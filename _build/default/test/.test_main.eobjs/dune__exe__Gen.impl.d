@@ -1,0 +1,1 @@
+test/gen.ml: Expr Int32 Int64 List Model Openflow Packet Printf QCheck2 Smt

@@ -1,0 +1,1 @@
+test/test_agents.ml: Alcotest Expr Harness Int32 Int64 List Openflow Packet Printf Smt String Switches Symexec

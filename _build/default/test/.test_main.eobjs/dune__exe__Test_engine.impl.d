@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Expr Int64 List Model Printf Smt Solver String Symexec

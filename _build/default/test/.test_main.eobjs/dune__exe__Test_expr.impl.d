@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Gen Int64 List Model Option QCheck2 QCheck_alcotest Smt

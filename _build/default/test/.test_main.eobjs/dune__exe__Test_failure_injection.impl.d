@@ -1,0 +1,1 @@
+test/test_failure_injection.ml: Alcotest Array Bytes Char Expr Filename Fun Gen Harness Int64 List Openflow Packet QCheck2 QCheck_alcotest Random Serial Smt Soft String Switches Symexec Sys

@@ -1,0 +1,1 @@
+test/test_flow_table.ml: Alcotest Expr Int32 Int64 List Openflow Option Packet Printf Smt Switches Symexec

@@ -1,0 +1,1 @@
+test/test_match_sem.ml: Alcotest Expr Gen Int32 Int64 Openflow Packet QCheck2 QCheck_alcotest Smt Switches

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Expr Harness Int64 Openflow Packet Smt

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Char Expr Gen Int64 List Model Option Packet Printf QCheck2 QCheck_alcotest Smt String Symexec

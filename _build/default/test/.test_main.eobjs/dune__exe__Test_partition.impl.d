@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Expr Harness List Model Openflow Printf Smt Soft Solver Switches Symexec

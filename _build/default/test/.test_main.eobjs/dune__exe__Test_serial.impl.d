@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Expr Filename Gen Harness Int64 List Openflow QCheck2 QCheck_alcotest Serial Smt Switches Sys

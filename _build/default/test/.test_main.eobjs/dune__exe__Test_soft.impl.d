@@ -1,0 +1,1 @@
+test/test_soft.ml: Alcotest Char Expr Harness Int64 List Model Openflow Printf Smt Soft String Switches Symexec

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Expr Gen Int64 Interval List Model QCheck2 QCheck_alcotest Sat Smt Solver

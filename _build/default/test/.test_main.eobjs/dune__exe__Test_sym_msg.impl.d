@@ -1,0 +1,1 @@
+test/test_sym_msg.ml: Alcotest Array Expr Gen Int64 List Model Openflow QCheck2 QCheck_alcotest Smt String

@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Expr Harness Int64 List Openflow Packet Printf Smt Soft String Switches Symexec

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Char Constants Gen Int64 List Openflow Pp Printf QCheck2 QCheck_alcotest String Types Wire

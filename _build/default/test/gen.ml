@@ -1,0 +1,238 @@
+(* QCheck generators shared by the property-based test suites. *)
+
+open Smt
+
+let int64_range lo hi =
+  (* inclusive unsigned-ish range generator over int64 within [lo, hi] *)
+  QCheck2.Gen.map Int64.of_int QCheck2.Gen.(int_range (Int64.to_int lo) (Int64.to_int hi))
+
+let width_gen = QCheck2.Gen.oneofl [ 1; 4; 8; 12; 16; 24; 32; 48 ]
+
+let value_for_width w =
+  let open QCheck2.Gen in
+  if w >= 62 then map Int64.of_int (int_range 0 max_int)
+  else map Int64.of_int (int_range 0 (Int64.to_int (Expr.mask w)))
+
+(* A pool of variables per width so generated expressions share variables
+   (interesting constraints need sharing). *)
+let var_of w i = Expr.var ~width:w (Printf.sprintf "q%d_%d" w i)
+
+let bv_gen ?(max_depth = 4) width =
+  let open QCheck2.Gen in
+  let rec go depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun v -> Expr.const ~width v) (value_for_width width);
+          map (fun i -> var_of width i) (int_range 0 2);
+        ]
+    else
+      let sub = go (depth - 1) in
+      frequency
+        [
+          (2, map (fun v -> Expr.const ~width v) (value_for_width width));
+          (2, map (fun i -> var_of width i) (int_range 0 2));
+          ( 3,
+            map3
+              (fun op a b -> Expr.binop op a b)
+              (oneofl Expr.[ Add; Sub; Mul; Andb; Orb; Xorb ])
+              sub sub );
+          (1, map2 (fun op a -> Expr.unop op a) (oneofl Expr.[ Bnot; Neg ]) sub);
+          ( 1,
+            (* shift by a small constant amount *)
+            map2
+              (fun a s -> Expr.shl a (Expr.const ~width (Int64.of_int s)))
+              sub (int_range 0 (width - 1)) );
+          ( 1,
+            map2
+              (fun a s -> Expr.lshr a (Expr.const ~width (Int64.of_int s)))
+              sub (int_range 0 (width - 1)) );
+        ]
+  in
+  go max_depth
+
+let cmp_gen = QCheck2.Gen.oneofl Expr.[ Eq; Ult; Ule; Slt; Sle ]
+
+let bool_gen ?(max_depth = 3) width =
+  let open QCheck2.Gen in
+  let atom =
+    map3 (fun op a b -> Expr.cmp op a b) cmp_gen (bv_gen ~max_depth:2 width)
+      (bv_gen ~max_depth:2 width)
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      let sub = go (depth - 1) in
+      frequency
+        [
+          (3, atom);
+          (1, map Expr.not_ sub);
+          (1, map2 Expr.and_ sub sub);
+          (1, map2 Expr.or_ sub sub);
+        ]
+  in
+  go max_depth
+
+(* A random assignment for the shared variable pool. *)
+let assignment_gen width =
+  let open QCheck2.Gen in
+  map3
+    (fun a b c -> [ (var_of width 0, a); (var_of width 1, b); (var_of width 2, c) ])
+    (value_for_width width) (value_for_width width) (value_for_width width)
+
+let model_of_assignment bindings =
+  Model.of_bindings
+    (List.map
+       (fun (e, v) ->
+         match Expr.vars_of_bv e with [ var ] -> (var, v) | _ -> assert false)
+       bindings)
+
+(* Concrete OpenFlow value generators --------------------------------- *)
+
+let mac_gen = QCheck2.Gen.map Int64.of_int QCheck2.Gen.(int_bound 0xffffff)
+let u16_gen = QCheck2.Gen.int_bound 0xffff
+let u8_gen = QCheck2.Gen.int_bound 0xff
+let i32_gen = QCheck2.Gen.map Int32.of_int QCheck2.Gen.(int_bound 0x3fffffff)
+
+let of_match_gen =
+  let open QCheck2.Gen in
+  let* wildcards = map Int32.of_int (int_bound Openflow.Constants.Wildcards.all) in
+  let* in_port = u16_gen in
+  let* dl_src = mac_gen in
+  let* dl_dst = mac_gen in
+  let* dl_vlan = u16_gen in
+  let* dl_vlan_pcp = int_bound 7 in
+  let* dl_type = u16_gen in
+  let* nw_tos = u8_gen in
+  let* nw_proto = u8_gen in
+  let* nw_src = i32_gen in
+  let* nw_dst = i32_gen in
+  let* tp_src = u16_gen in
+  let+ tp_dst = u16_gen in
+  {
+    Openflow.Types.wildcards; in_port; dl_src; dl_dst; dl_vlan; dl_vlan_pcp; dl_type;
+    nw_tos; nw_proto; nw_src; nw_dst; tp_src; tp_dst;
+  }
+
+let action_gen =
+  let open QCheck2.Gen in
+  let open Openflow.Types in
+  oneof
+    [
+      map2 (fun port max_len -> Output { port; max_len }) u16_gen u16_gen;
+      map (fun v -> Set_vlan_vid v) u16_gen;
+      map (fun v -> Set_vlan_pcp v) u8_gen;
+      return Strip_vlan;
+      map (fun m -> Set_dl_src m) mac_gen;
+      map (fun m -> Set_dl_dst m) mac_gen;
+      map (fun a -> Set_nw_src a) i32_gen;
+      map (fun a -> Set_nw_dst a) i32_gen;
+      map (fun t -> Set_nw_tos t) u8_gen;
+      map (fun p -> Set_tp_src p) u16_gen;
+      map (fun p -> Set_tp_dst p) u16_gen;
+      map2 (fun port queue_id -> Enqueue { port; queue_id }) u16_gen i32_gen;
+    ]
+
+let flow_mod_gen =
+  let open QCheck2.Gen in
+  let* fm_match = of_match_gen in
+  let* command = int_bound 4 in
+  let* idle_timeout = u16_gen in
+  let* hard_timeout = u16_gen in
+  let* priority = u16_gen in
+  let* out_port = u16_gen in
+  let* flags = int_bound 7 in
+  let+ fm_actions = list_size (int_bound 3) action_gen in
+  {
+    Openflow.Types.fm_match; cookie = 0xdeadbeefL; command; idle_timeout; hard_timeout;
+    priority; fm_buffer_id = 0xffffffffl; out_port; flags; fm_actions;
+  }
+
+let message_gen =
+  let open QCheck2.Gen in
+  let open Openflow.Types in
+  oneof
+    [
+      return Hello;
+      map (fun s -> Echo_request s) (small_string ~gen:printable);
+      map (fun s -> Echo_reply s) (small_string ~gen:printable);
+      return Features_request;
+      return Get_config_request;
+      return Barrier_request;
+      return Barrier_reply;
+      map2 (fun cfg_flags miss_send_len -> Set_config { cfg_flags; miss_send_len })
+        (int_bound 3) u16_gen;
+      map (fun f -> Flow_mod f) flow_mod_gen;
+      map2
+        (fun po_in_port po_actions ->
+          Packet_out
+            { po_buffer_id = 0xffffffffl; po_in_port; po_actions; po_data = "payload" })
+        u16_gen
+        (list_size (int_bound 3) action_gen);
+      map (fun qgc_port -> Queue_get_config_request { qgc_port }) u16_gen;
+      map2
+        (fun err_type err_code -> Error_msg { err_type; err_code; err_data = "d" })
+        (int_bound 5) (int_bound 8);
+      map (fun p -> Stats_request { sreq_flags = 0; sreq = Port_stats_request { psr_port_no = p } })
+        u16_gen;
+      map (fun f -> Stats_request { sreq_flags = 0; sreq = Flow_stats_request
+        { fsr_match = f; fsr_table_id = 0xff; fsr_out_port = Openflow.Constants.Port.none } })
+        of_match_gen;
+      return (Stats_request { sreq_flags = 0; sreq = Desc_request });
+    ]
+
+let msg_gen =
+  QCheck2.Gen.map2
+    (fun xid payload -> { Openflow.Types.xid = Int32.of_int xid; payload })
+    QCheck2.Gen.(int_bound 0xffffff)
+    message_gen
+
+(* Concrete packet generator ------------------------------------------- *)
+
+let packet_gen =
+  let open QCheck2.Gen in
+  let open Packet.Headers in
+  let transport =
+    oneof
+      [
+        map2 (fun s d -> Tcp { tcp_src = s; tcp_dst = d }) u16_gen u16_gen;
+        map2 (fun s d -> Udp { udp_src = s; udp_dst = d }) u16_gen u16_gen;
+        map2 (fun t c -> Icmp { icmp_type = t; icmp_code = c }) u8_gen u8_gen;
+      ]
+  in
+  let* dl_src = mac_gen in
+  let* dl_dst = mac_gen in
+  let* vlan =
+    oneof
+      [ return None; map2 (fun vid pcp -> Some { vid; pcp }) (int_bound 0xfff) (int_bound 7) ]
+  in
+  let* kind = int_bound 2 in
+  match kind with
+  | 0 ->
+    let* tos = map (fun t -> t land 0xfc) u8_gen in
+    let* proto_payload = transport in
+    let* src = i32_gen in
+    let+ dst = i32_gen in
+    {
+      dl_src; dl_dst; vlan; dl_type = Packet.Constants_pkt.eth_type_ip;
+      net =
+        Ipv4
+          {
+            ip_tos = tos;
+            ip_proto = proto_of_transport proto_payload;
+            ip_src = src;
+            ip_dst = dst;
+            ip_payload = proto_payload;
+          };
+    }
+  | 1 ->
+    let* op = int_range 1 2 in
+    let* sha = mac_gen in
+    let* spa = i32_gen in
+    let* tha = mac_gen in
+    let+ tpa = i32_gen in
+    { dl_src; dl_dst; vlan; dl_type = Packet.Constants_pkt.eth_type_arp;
+      net = Arp { arp_op = op; arp_sha = sha; arp_spa = spa; arp_tha = tha; arp_tpa = tpa } }
+  | _ ->
+    let+ payload = small_string ~gen:printable in
+    { dl_src; dl_dst; vlan; dl_type = 0x88b5; net = Other_net payload }

@@ -1,0 +1,410 @@
+(* Behavioural pinning tests for the three agent models: every documented
+   behaviour from the paper's §5.1.2 findings is asserted directly, with
+   concrete inputs, per agent.  These are the ground truths the
+   differential pipeline is expected to rediscover. *)
+
+open Smt
+module Engine = Symexec.Engine
+module Sym_msg = Openflow.Sym_msg
+module Trace = Openflow.Trace
+module C = Openflow.Constants
+module Spec = Harness.Test_spec
+
+let c16 v = Expr.const ~width:16 (Int64.of_int v)
+let c32 v = Expr.const ~width:32 (Int64.of_int v)
+
+let ref_agent = Switches.Reference_switch.agent
+let ovs_agent = Switches.Open_vswitch.agent
+let mod_agent = Switches.Modified_switch.agent
+
+(* Drive one agent over concrete inputs; expect a single path; return its
+   normalized result. *)
+let run_concrete (module A : Switches.Agent_intf.S) inputs =
+  let r =
+    Engine.run ~max_paths:8 (fun env ->
+        let st = A.init () in
+        let st = A.connection_setup env st in
+        let final =
+          List.fold_left
+            (fun st input ->
+              match input with
+              | Spec.Msg m -> A.handle_message env st m
+              | Spec.Probe { pr_id; pr_in_port; pr_packet } ->
+                A.handle_packet env st ~probe_id:pr_id ~in_port:(c16 pr_in_port) pr_packet
+              | Spec.Advance_time seconds -> A.advance_time env st ~seconds)
+            st inputs
+        in
+        ignore final)
+  in
+  match r.Engine.results with
+  | [ p ] -> Harness.Normalize.result ?crash:p.Engine.crashed p.Engine.events
+  | l -> Alcotest.fail (Printf.sprintf "expected one path, got %d" (List.length l))
+
+let trace_of agent inputs = (run_concrete agent inputs).Trace.trace
+let crashes agent inputs = (run_concrete agent inputs).Trace.crash <> None
+
+let packet_out ?(buffer_id = 0xffffffff) ?(in_port = C.Port.none) actions =
+  [
+    Spec.Msg
+      (Sym_msg.packet_out
+         {
+           Sym_msg.spo_buffer_id = c32 buffer_id;
+           spo_in_port = c16 in_port;
+           spo_actions = List.map Sym_msg.of_action actions;
+           spo_data = Some (Packet.Sym_packet.of_concrete (Packet.Headers.tcp_probe ()));
+         });
+  ]
+
+let flow_mod ?(command = C.Flow_mod_command.add) ?(buffer_id = 0xffffffff) ?(flags = 0)
+    ?(match_ = Openflow.Types.match_all) ?(idle = 0) ?(hard = 0) actions =
+  [
+    Spec.Msg
+      (Sym_msg.flow_mod
+         {
+           Sym_msg.sfm_match = Sym_msg.of_match match_;
+           sfm_cookie = Expr.const ~width:64 0L;
+           sfm_command = c16 command;
+           sfm_idle_timeout = c16 idle;
+           sfm_hard_timeout = c16 hard;
+           sfm_priority = c16 100;
+           sfm_buffer_id = c32 buffer_id;
+           sfm_out_port = c16 C.Port.none;
+           sfm_flags = c16 flags;
+           sfm_actions = List.map Sym_msg.of_action actions;
+         });
+  ]
+
+let output port = Openflow.Types.Output { port; max_len = 0 }
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+let has t p = List.exists (has_prefix p) t
+
+(* --- basic request/reply parity ------------------------------------------ *)
+
+let test_echo_reply () =
+  let inputs = [ Spec.Msg (Sym_msg.echo_request [||]) ] in
+  List.iter
+    (fun agent ->
+      let t = trace_of agent inputs in
+      Alcotest.(check bool) "echo reply" true (has t "of:echo_reply"))
+    [ ref_agent; ovs_agent; mod_agent ]
+
+let test_barrier_features_config () =
+  let inputs =
+    [
+      Spec.Msg (Sym_msg.features_request ());
+      Spec.Msg (Sym_msg.get_config_request ());
+      Spec.Msg (Sym_msg.barrier_request ());
+    ]
+  in
+  List.iter
+    (fun agent ->
+      let t = trace_of agent inputs in
+      Alcotest.(check int) "three replies" 3 (List.length t);
+      Alcotest.(check bool) "features" true (has t "of:features_reply");
+      Alcotest.(check bool) "config" true (has t "of:get_config_reply");
+      Alcotest.(check bool) "barrier" true (has t "of:barrier_reply"))
+    [ ref_agent; ovs_agent ]
+
+(* --- crashes (reference only) -------------------------------------------- *)
+
+let test_crash_packet_out_to_controller () =
+  let inputs = packet_out [ output C.Port.controller ] in
+  Alcotest.(check bool) "reference crashes" true (crashes ref_agent inputs);
+  Alcotest.(check bool) "ovs survives" false (crashes ovs_agent inputs);
+  (* ovs encapsulates to the controller instead *)
+  Alcotest.(check bool) "ovs sends packet_in" true (has (trace_of ovs_agent inputs) "of:packet_in")
+
+let test_crash_set_vlan_in_packet_out () =
+  let inputs = packet_out [ Openflow.Types.Set_vlan_vid 5; output 2 ] in
+  Alcotest.(check bool) "reference crashes" true (crashes ref_agent inputs);
+  Alcotest.(check bool) "ovs survives and forwards" true
+    (has (trace_of ovs_agent inputs) "dp:tx")
+
+let test_crash_queue_config_port0 () =
+  let inputs = [ Spec.Msg (Sym_msg.queue_get_config_request (c16 0)) ] in
+  Alcotest.(check bool) "reference crashes" true (crashes ref_agent inputs);
+  Alcotest.(check bool) "ovs errors instead" true
+    (has (trace_of ovs_agent inputs) "of:error(QUEUE_OP_FAILED");
+  Alcotest.(check bool) "ovs does not crash" false (crashes ovs_agent inputs)
+
+(* --- validation differences ----------------------------------------------- *)
+
+let test_vlan_value_validation () =
+  (* vid 0x1fff does not fit 12 bits: ovs silently drops, reference (in a
+     flow mod) masks and installs *)
+  let fm = flow_mod [ Openflow.Types.Set_vlan_vid 0x1fff; output 2 ] in
+  let probe =
+    Spec.Probe
+      {
+        pr_id = 1;
+        pr_in_port = 1;
+        pr_packet = Packet.Sym_packet.of_concrete (Packet.Headers.tcp_probe ());
+      }
+  in
+  let t_ovs = trace_of ovs_agent (fm @ [ probe ]) in
+  Alcotest.(check bool) "ovs drops message silently, probe misses" true
+    (has t_ovs "of:packet_in");
+  Alcotest.(check bool) "ovs sends no error" false (has t_ovs "of:error");
+  let t_ref = trace_of ref_agent (fm @ [ probe ]) in
+  Alcotest.(check bool) "reference installed; probe forwarded" true (has t_ref "probe1:fwd")
+
+let test_tos_validation () =
+  let po tos = packet_out [ Openflow.Types.Set_nw_tos tos; output 2 ] in
+  (* low bits set: ovs silent drop *)
+  let t_ovs = trace_of ovs_agent (po 0x03) in
+  Alcotest.(check (list string)) "ovs silently ignores" [] t_ovs;
+  (* valid tos passes on both *)
+  Alcotest.(check bool) "ovs forwards valid tos" true (has (trace_of ovs_agent (po 0x04)) "dp:tx");
+  Alcotest.(check bool) "reference forwards (masked)" true (has (trace_of ref_agent (po 0x04)) "dp:tx")
+
+let test_port_range_validation () =
+  (* port 300 is beyond ovs's configurable max (255) but not special *)
+  let inputs = packet_out [ output 300 ] in
+  Alcotest.(check bool) "ovs errors" true
+    (has (trace_of ovs_agent inputs) "of:error(BAD_ACTION,4)");
+  (* reference silently hands it to a non-existent port *)
+  Alcotest.(check (list string)) "reference says nothing" [] (trace_of ref_agent inputs);
+  (* the modified switch (M3) rejects anything above 16 *)
+  let inputs17 = packet_out [ output 17 ] in
+  Alcotest.(check bool) "modified errors at 17" true
+    (has (trace_of mod_agent inputs17) "of:error(BAD_ACTION,4)");
+  Alcotest.(check (list string)) "reference still silent at 17" []
+    (trace_of ref_agent inputs17)
+
+let test_buffer_id_handling () =
+  (* non-existent buffer: reference swallows the error entirely *)
+  let po = packet_out ~buffer_id:42 [ output 2 ] in
+  Alcotest.(check (list string)) "reference silent" [] (trace_of ref_agent po);
+  Alcotest.(check bool) "ovs reports buffer_unknown" true
+    (has (trace_of ovs_agent po) "of:error(BAD_REQUEST,8)");
+  (* flow mod: ovs errors but still installs *)
+  let fm = flow_mod ~buffer_id:42 [ output 2 ] in
+  let probe =
+    Spec.Probe
+      {
+        pr_id = 1;
+        pr_in_port = 1;
+        pr_packet = Packet.Sym_packet.of_concrete (Packet.Headers.tcp_probe ());
+      }
+  in
+  let t = trace_of ovs_agent (fm @ [ probe ]) in
+  Alcotest.(check bool) "ovs errors" true (has t "of:error(BAD_REQUEST,8)");
+  Alcotest.(check bool) "but installs the flow" true (has t "probe1:fwd");
+  let t_ref = trace_of ref_agent (fm @ [ probe ]) in
+  Alcotest.(check bool) "reference installs without error" true (has t_ref "probe1:fwd");
+  Alcotest.(check bool) "reference sends nothing else" false (has t_ref "of:error")
+
+let test_in_port_eq_out_port () =
+  (* match pins in_port = 2 and the action outputs to 2 *)
+  let m =
+    {
+      Openflow.Types.match_all with
+      Openflow.Types.wildcards =
+        Int32.of_int (C.Wildcards.all land lnot C.Wildcards.in_port);
+      in_port = 2;
+    }
+  in
+  let fm = flow_mod ~match_:m [ output 2 ] in
+  Alcotest.(check bool) "reference rejects" true
+    (has (trace_of ref_agent fm) "of:error(BAD_ACTION,4)");
+  Alcotest.(check (list string)) "ovs accepts silently" [] (trace_of ovs_agent fm);
+  (* ... and drops matching packets at forwarding time *)
+  let probe =
+    Spec.Probe
+      {
+        pr_id = 1;
+        pr_in_port = 2;
+        pr_packet = Packet.Sym_packet.of_concrete (Packet.Headers.tcp_probe ());
+      }
+  in
+  let t = trace_of ovs_agent (fm @ [ probe ]) in
+  Alcotest.(check bool) "ovs drops the probe" true (has t "probe1:dropped")
+
+let test_emergency_flows () =
+  let fm = flow_mod ~flags:C.Flow_mod_flags.emerg [ output 2 ] in
+  Alcotest.(check (list string)) "reference accepts emergency entries" []
+    (trace_of ref_agent fm);
+  Alcotest.(check bool) "ovs: unsupported" true
+    (has (trace_of ovs_agent fm) "of:error(FLOW_MOD_FAILED,5)");
+  (* emergency timeouts must be zero on the reference switch *)
+  let bad = flow_mod ~flags:C.Flow_mod_flags.emerg ~idle:5 [ output 2 ] in
+  Alcotest.(check bool) "bad emerg timeout" true
+    (has (trace_of ref_agent bad) "of:error(FLOW_MOD_FAILED,3)")
+
+let test_ofpp_normal_support () =
+  let inputs = packet_out [ output C.Port.normal ] in
+  Alcotest.(check bool) "reference: error (no NORMAL)" true
+    (has (trace_of ref_agent inputs) "of:error(BAD_ACTION,4)");
+  Alcotest.(check bool) "ovs: forwards via normal path" true
+    (has (trace_of ovs_agent inputs) "dp:tx(#fffa")
+
+let test_stats_silence_vs_error () =
+  let msg =
+    let base = Sym_msg.sym_stats_request ~prefix:"tstats" () in
+    (* pin the request to an unknown type with a valid length *)
+    { base with Sym_msg.sm_length = c16 base.Sym_msg.sm_phys_len }
+  in
+  ignore msg;
+  (* build a concrete unknown stats request instead *)
+  let unknown =
+    {
+      Sym_msg.ssr_type = c16 9;
+      ssr_flags = c16 0;
+      ssr_match = Sym_msg.wildcard_match ();
+      ssr_table_id = Expr.const ~width:8 0xffL;
+      ssr_out_port = c16 C.Port.none;
+      ssr_port_no = c16 1;
+      ssr_queue_port = c16 1;
+      ssr_queue_id = c32 0xffffffff;
+    }
+  in
+  let m = Sym_msg.make C.Msg_type.stats_request (Sym_msg.SStats_request unknown) in
+  let inputs = [ Spec.Msg m ] in
+  Alcotest.(check (list string)) "reference silently ignores" [] (trace_of ref_agent inputs);
+  Alcotest.(check bool) "ovs errors" true
+    (has (trace_of ovs_agent inputs) "of:error(BAD_REQUEST,2)");
+  Alcotest.(check bool) "modified (M7) errors" true
+    (has (trace_of mod_agent inputs) "of:error(BAD_REQUEST,2)")
+
+let test_desc_stats_normalized () =
+  let desc =
+    {
+      Sym_msg.ssr_type = c16 C.Stats_type.desc;
+      ssr_flags = c16 0;
+      ssr_match = Sym_msg.wildcard_match ();
+      ssr_table_id = Expr.const ~width:8 0xffL;
+      ssr_out_port = c16 C.Port.none;
+      ssr_port_no = c16 1;
+      ssr_queue_port = c16 1;
+      ssr_queue_id = c32 0xffffffff;
+    }
+  in
+  let m =
+    let base = Sym_msg.make C.Msg_type.stats_request (Sym_msg.SStats_request desc) in
+    { base with Sym_msg.sm_length = c16 12; sm_phys_len = 12 }
+  in
+  let t_ref = trace_of ref_agent [ Spec.Msg m ] in
+  let t_ovs = trace_of ovs_agent [ Spec.Msg m ] in
+  Alcotest.(check (list string)) "desc replies normalize identically" t_ref t_ovs
+
+(* --- modified switch quirks ------------------------------------------------ *)
+
+let test_modified_bad_action_error_type () =
+  let bogus = Openflow.Types.Unknown_action { typ = 0x7777; len = 8; body = "\x00\x00\x00\x00" } in
+  let inputs = packet_out [ bogus ] in
+  Alcotest.(check bool) "reference: BAD_ACTION" true
+    (has (trace_of ref_agent inputs) "of:error(BAD_ACTION,0)");
+  Alcotest.(check bool) "modified (M4): BAD_REQUEST" true
+    (has (trace_of mod_agent inputs) "of:error(BAD_REQUEST,0)")
+
+let test_modified_miss_send_len_clamp () =
+  let sc = { Sym_msg.scfg_flags = c16 0; smiss_send_len = c16 0x200 } in
+  let probe =
+    Spec.Probe
+      {
+        pr_id = 1;
+        pr_in_port = 1;
+        pr_packet = Packet.Sym_packet.of_concrete (Packet.Headers.tcp_probe ());
+      }
+  in
+  let inputs = [ Spec.Msg (Sym_msg.set_config sc); probe ] in
+  (* 0x200 >= frame length: reference sends the whole frame unbuffered;
+     modified clamps to 0x80 and buffers/truncates *)
+  let t_ref = trace_of ref_agent inputs in
+  let t_mod = trace_of mod_agent inputs in
+  Alcotest.(check bool) "observable difference" false (t_ref = t_mod)
+
+let test_modified_ignores_check_overlap () =
+  let first = flow_mod ~flags:C.Flow_mod_flags.check_overlap [ output 2 ] in
+  let second =
+    flow_mod ~flags:C.Flow_mod_flags.check_overlap
+      ~match_:
+        {
+          Openflow.Types.match_all with
+          Openflow.Types.wildcards =
+            Int32.of_int (C.Wildcards.all land lnot C.Wildcards.in_port);
+          in_port = 1;
+        }
+      [ output 3 ]
+  in
+  let inputs = first @ second in
+  Alcotest.(check bool) "reference reports overlap" true
+    (has (trace_of ref_agent inputs) "of:error(FLOW_MOD_FAILED,1)");
+  Alcotest.(check (list string)) "modified (M6) installs silently" []
+    (trace_of mod_agent inputs)
+
+(* --- message framing -------------------------------------------------------- *)
+
+let test_undersized_message_errors () =
+  let m = { (Sym_msg.barrier_request ()) with Sym_msg.sm_length = c16 4 } in
+  List.iter
+    (fun agent ->
+      Alcotest.(check bool) "bad_len error" true
+        (has (trace_of agent [ Spec.Msg m ]) "of:error(BAD_REQUEST,6)"))
+    [ ref_agent; ovs_agent ]
+
+let test_oversized_claim_blocks () =
+  (* claimed length beyond the delivered bytes: the agent blocks; later
+     messages get no response *)
+  let m = { (Sym_msg.barrier_request ()) with Sym_msg.sm_length = c16 64 } in
+  let inputs = [ Spec.Msg m; Spec.Msg (Sym_msg.echo_request [||]) ] in
+  List.iter
+    (fun agent ->
+      Alcotest.(check (list string)) "no responses at all" [] (trace_of agent inputs))
+    [ ref_agent; ovs_agent ]
+
+let test_unknown_message_type () =
+  let m = { (Sym_msg.barrier_request ()) with Sym_msg.sm_type = Expr.const ~width:8 99L } in
+  List.iter
+    (fun agent ->
+      Alcotest.(check bool) "bad_type error" true
+        (has (trace_of agent [ Spec.Msg m ]) "of:error(BAD_REQUEST,1)"))
+    [ ref_agent; ovs_agent ]
+
+let test_flood_fanout () =
+  let inputs = packet_out ~in_port:1 [ output C.Port.flood ] in
+  List.iter
+    (fun agent ->
+      let t = trace_of agent inputs in
+      let txs = List.filter (has_prefix "dp:tx") t in
+      (* 4 ports minus the in_port *)
+      Alcotest.(check int) "flood on all but ingress" 3 (List.length txs))
+    [ ref_agent; ovs_agent ]
+
+let test_in_port_output () =
+  let inputs = packet_out ~in_port:2 [ output C.Port.in_port ] in
+  List.iter
+    (fun agent ->
+      Alcotest.(check bool) "sent back out the ingress port" true
+        (has (trace_of agent inputs) "dp:tx(#2"))
+    [ ref_agent; ovs_agent ]
+
+let suite =
+  [
+    Alcotest.test_case "echo reply" `Quick test_echo_reply;
+    Alcotest.test_case "barrier/features/config" `Quick test_barrier_features_config;
+    Alcotest.test_case "crash: packet-out to CONTROLLER" `Quick
+      test_crash_packet_out_to_controller;
+    Alcotest.test_case "crash: set_vlan in packet-out" `Quick test_crash_set_vlan_in_packet_out;
+    Alcotest.test_case "crash: queue config port 0" `Quick test_crash_queue_config_port0;
+    Alcotest.test_case "vlan value validation" `Quick test_vlan_value_validation;
+    Alcotest.test_case "tos validation" `Quick test_tos_validation;
+    Alcotest.test_case "port range validation" `Quick test_port_range_validation;
+    Alcotest.test_case "buffer id handling" `Quick test_buffer_id_handling;
+    Alcotest.test_case "in_port = out_port" `Quick test_in_port_eq_out_port;
+    Alcotest.test_case "emergency flows" `Quick test_emergency_flows;
+    Alcotest.test_case "OFPP_NORMAL support" `Quick test_ofpp_normal_support;
+    Alcotest.test_case "stats silence vs error" `Quick test_stats_silence_vs_error;
+    Alcotest.test_case "desc stats normalized" `Quick test_desc_stats_normalized;
+    Alcotest.test_case "modified: error type (M4)" `Quick test_modified_bad_action_error_type;
+    Alcotest.test_case "modified: miss_send_len clamp (M5)" `Quick
+      test_modified_miss_send_len_clamp;
+    Alcotest.test_case "modified: overlap ignored (M6)" `Quick
+      test_modified_ignores_check_overlap;
+    Alcotest.test_case "undersized message" `Quick test_undersized_message_errors;
+    Alcotest.test_case "oversized claim blocks" `Quick test_oversized_claim_blocks;
+    Alcotest.test_case "unknown message type" `Quick test_unknown_message_type;
+    Alcotest.test_case "flood fanout" `Quick test_flood_fanout;
+    Alcotest.test_case "OFPP_IN_PORT output" `Quick test_in_port_output;
+  ]

@@ -1,0 +1,197 @@
+(* Failure injection: feed every parsing/loading surface corrupted or
+   truncated data and check that failures are clean, typed errors — never
+   crashes, silent corruption, or wrong answers. *)
+
+open Smt
+
+let rng = Random.State.make [| 0x50f7 |]
+
+(* --- wire codec under mutation -------------------------------------- *)
+
+(* Parsing arbitrary mutations of valid messages either succeeds or raises
+   [Wire.Parse_error] — nothing else. *)
+let prop_wire_mutation_safe =
+  QCheck2.Test.make ~name:"mutated wire bytes fail cleanly" ~count:500
+    QCheck2.Gen.(
+      let* m = Gen.msg_gen in
+      let* pos_frac = float_bound_inclusive 1.0 in
+      let+ newbyte = int_bound 255 in
+      (m, pos_frac, newbyte))
+    (fun (m, pos_frac, newbyte) ->
+      let wire = Bytes.of_string (Openflow.Wire.serialize m) in
+      let pos = int_of_float (pos_frac *. float_of_int (Bytes.length wire - 1)) in
+      Bytes.set wire pos (Char.chr newbyte);
+      match Openflow.Wire.parse (Bytes.to_string wire) with
+      | (_ : Openflow.Types.msg) -> true
+      | exception Openflow.Wire.Parse_error _ -> true)
+
+let prop_wire_truncation_safe =
+  QCheck2.Test.make ~name:"truncated wire bytes fail cleanly" ~count:300
+    QCheck2.Gen.(
+      let* m = Gen.msg_gen in
+      let+ keep_frac = float_bound_inclusive 1.0 in
+      (m, keep_frac))
+    (fun (m, keep_frac) ->
+      let wire = Openflow.Wire.serialize m in
+      let keep = int_of_float (keep_frac *. float_of_int (String.length wire)) in
+      let cut = String.sub wire 0 keep in
+      match Openflow.Wire.parse cut with
+      | (_ : Openflow.Types.msg) -> keep = String.length wire
+      | exception Openflow.Wire.Parse_error _ -> true)
+
+let prop_packet_garbage_safe =
+  QCheck2.Test.make ~name:"garbage frames fail cleanly" ~count:300
+    QCheck2.Gen.(string_size ~gen:char (int_bound 80))
+    (fun s ->
+      match Packet.Headers.of_bytes s with
+      | (_ : Packet.Headers.t) -> true
+      | exception Packet.Headers.Parse_error _ -> true)
+
+(* --- run-file corruption ---------------------------------------------- *)
+
+let sample_run_file () =
+  let spec = Harness.Test_spec.short_symb () in
+  let run = Harness.Runner.execute ~max_paths:30 Switches.Reference_switch.agent spec in
+  let path = Filename.temp_file "soft_fi" ".run" in
+  Harness.Serialize.save path (Harness.Serialize.of_run run);
+  path
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let loads_cleanly path =
+  match Harness.Serialize.load path with
+  | (_ : Harness.Serialize.saved) -> `Loaded
+  | exception Harness.Serialize.Format_error _ -> `Format_error
+  | exception Smt.Serial.Parse_error _ -> `Condition_error
+
+let test_runfile_truncation () =
+  let path = sample_run_file () in
+  let content = read_file path in
+  (* cut at several byte positions: loading must never crash *)
+  List.iter
+    (fun frac ->
+      let keep = int_of_float (frac *. float_of_int (String.length content)) in
+      write_file path (String.sub content 0 keep);
+      match loads_cleanly path with
+      | `Loaded | `Format_error | `Condition_error -> ())
+    [ 0.0; 0.1; 0.5; 0.9; 0.99 ];
+  Sys.remove path
+
+let test_runfile_bad_magic () =
+  let path = sample_run_file () in
+  let content = read_file path in
+  write_file path ("soft-run 99\n" ^ content);
+  Alcotest.(check bool) "bad magic rejected" true (loads_cleanly path = `Format_error);
+  Sys.remove path
+
+let test_runfile_line_mutations () =
+  let path = sample_run_file () in
+  let content = read_file path in
+  let lines = String.split_on_char '\n' content in
+  (* corrupt each line kind once *)
+  List.iteri
+    (fun i _ ->
+      if i < 8 then begin
+        let mutated =
+          List.mapi (fun j l -> if j = i then "Z" ^ l else l) lines |> String.concat "\n"
+        in
+        write_file path mutated;
+        match loads_cleanly path with
+        | `Loaded | `Format_error | `Condition_error -> ()
+      end)
+    lines;
+  Sys.remove path
+
+let prop_condition_sexp_mutation_safe =
+  QCheck2.Test.make ~name:"mutated path-condition sexps fail cleanly" ~count:300
+    QCheck2.Gen.(
+      let* w = Gen.width_gen in
+      let* b = Gen.bool_gen w in
+      let+ cut = float_bound_inclusive 1.0 in
+      (b, cut))
+    (fun (b, cut) ->
+      let s = Serial.bool_to_string b in
+      let keep = int_of_float (cut *. float_of_int (String.length s)) in
+      let mutated = String.sub s 0 keep in
+      match Serial.bool_of_string mutated with
+      | (_ : Expr.boolean) -> keep = String.length s
+      | exception Serial.Parse_error _ -> true)
+
+(* --- degenerate pipeline inputs ---------------------------------------- *)
+
+let test_crosscheck_empty_runs () =
+  let empty name =
+    {
+      Soft.Grouping.gr_agent = name;
+      gr_test = "t";
+      gr_groups = [];
+      gr_group_time = 0.0;
+    }
+  in
+  let outcome = Soft.Crosscheck.check (empty "a") (empty "b") in
+  Alcotest.(check int) "no groups, no findings" 0 (Soft.Crosscheck.count outcome);
+  Alcotest.(check int) "no pairs" 0 outcome.Soft.Crosscheck.o_pairs_checked
+
+let test_grouping_empty () =
+  Alcotest.(check int) "empty path list" 0 (List.length (Soft.Grouping.group_paths []))
+
+let test_engine_zero_budget () =
+  let r = Symexec.Engine.run ~max_paths:0 (fun env -> Symexec.Engine.emit env ()) in
+  Alcotest.(check int) "no paths explored" 0 (List.length r.Symexec.Engine.results)
+
+(* agents never raise through the engine on random *concrete* message
+   mutations: every path ends in a result or a recorded crash *)
+let prop_agents_total_on_mutated_messages =
+  QCheck2.Test.make ~name:"agents are total on arbitrary concrete messages" ~count:120
+    QCheck2.Gen.(
+      let* typ = int_bound 30 in
+      let* claimed = int_bound 120 in
+      let+ nbytes = int_bound 20 in
+      (typ, claimed, nbytes))
+    (fun (typ, claimed, nbytes) ->
+      let msg =
+        {
+          Openflow.Sym_msg.sm_type = Expr.const ~width:8 (Int64.of_int typ);
+          sm_length = Expr.const ~width:16 (Int64.of_int claimed);
+          sm_phys_len = 8 + nbytes;
+          sm_xid = Expr.const ~width:32 1L;
+          sm_body =
+            Openflow.Sym_msg.SRaw
+              (Array.init nbytes (fun _ ->
+                   Expr.const ~width:8 (Int64.of_int (Random.State.int rng 256))));
+        }
+      in
+      List.for_all
+        (fun agent ->
+          let (module A : Switches.Agent_intf.S) = agent in
+          let r =
+            Symexec.Engine.run ~max_paths:8 (fun env ->
+                let st = A.init () in
+                let st = A.connection_setup env st in
+                ignore (A.handle_message env st msg))
+          in
+          r.Symexec.Engine.results <> [])
+        [ Switches.Reference_switch.agent; Switches.Open_vswitch.agent ])
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_wire_mutation_safe;
+    QCheck_alcotest.to_alcotest prop_wire_truncation_safe;
+    QCheck_alcotest.to_alcotest prop_packet_garbage_safe;
+    Alcotest.test_case "run file truncation" `Quick test_runfile_truncation;
+    Alcotest.test_case "run file bad magic" `Quick test_runfile_bad_magic;
+    Alcotest.test_case "run file line mutations" `Quick test_runfile_line_mutations;
+    QCheck_alcotest.to_alcotest prop_condition_sexp_mutation_safe;
+    Alcotest.test_case "crosscheck empty runs" `Quick test_crosscheck_empty_runs;
+    Alcotest.test_case "grouping empty" `Quick test_grouping_empty;
+    Alcotest.test_case "engine zero budget" `Quick test_engine_zero_budget;
+    QCheck_alcotest.to_alcotest prop_agents_total_on_mutated_messages;
+  ]

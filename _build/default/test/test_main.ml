@@ -1,0 +1,21 @@
+(* Aggregated test runner: `dune runtest` executes every suite. *)
+
+let () =
+  Alcotest.run "soft"
+    [
+      ("expr", Test_expr.suite);
+      ("solver", Test_solver.suite);
+      ("serial", Test_serial.suite);
+      ("wire", Test_wire.suite);
+      ("packet", Test_packet.suite);
+      ("engine", Test_engine.suite);
+      ("match_sem", Test_match_sem.suite);
+      ("flow_table", Test_flow_table.suite);
+      ("sym_msg", Test_sym_msg.suite);
+      ("agents", Test_agents.suite);
+      ("normalize", Test_normalize.suite);
+      ("soft", Test_soft.suite);
+      ("time", Test_time.suite);
+      ("failure_injection", Test_failure_injection.suite);
+      ("partition", Test_partition.suite);
+    ]

@@ -1,0 +1,183 @@
+(* Match semantics tests: the symbolic [Match_sem] predicates, evaluated on
+   concrete operands, must agree with an independently written concrete
+   OpenFlow 1.0 matcher. *)
+
+open Smt
+module C = Openflow.Constants
+module MS = Switches.Match_sem
+module Sym_msg = Openflow.Sym_msg
+
+(* an independent concrete matcher, straight from the 1.0 spec text *)
+let concrete_matches (m : Openflow.Types.of_match) ~in_port ~key
+    (k : Openflow.Types.of_match) =
+  let wc = Int32.to_int m.Openflow.Types.wildcards in
+  let f bit v kv = wc land bit <> 0 || v = kv in
+  let nw shift (v : int32) (kv : int32) =
+    let bits = (wc lsr shift) land 0x3f in
+    let mask =
+      if bits >= 32 then 0L
+      else Int64.logand (Int64.shift_left 0xffffffffL bits) 0xffffffffL
+    in
+    let m64 x = Int64.logand (Int64.of_int32 x) 0xffffffffL in
+    Int64.logand (m64 v) mask = Int64.logand (m64 kv) mask
+  in
+  ignore key;
+  f C.Wildcards.in_port m.in_port in_port
+  && f C.Wildcards.dl_src m.dl_src k.Openflow.Types.dl_src
+  && f C.Wildcards.dl_dst m.dl_dst k.dl_dst
+  && f C.Wildcards.dl_vlan m.dl_vlan k.dl_vlan
+  && f C.Wildcards.dl_vlan_pcp m.dl_vlan_pcp k.dl_vlan_pcp
+  && f C.Wildcards.dl_type m.dl_type k.dl_type
+  && f C.Wildcards.nw_tos m.nw_tos k.nw_tos
+  && f C.Wildcards.nw_proto m.nw_proto k.nw_proto
+  && nw C.Wildcards.nw_src_shift m.nw_src k.nw_src
+  && nw C.Wildcards.nw_dst_shift m.nw_dst k.nw_dst
+  && f C.Wildcards.tp_src m.tp_src k.tp_src
+  && f C.Wildcards.tp_dst m.tp_dst k.tp_dst
+
+(* key built from a concrete "packet description" reusing the of_match record *)
+let flow_key_of (k : Openflow.Types.of_match) ~in_port =
+  let c w v = Expr.const ~width:w (Int64.of_int v) in
+  let c48 v = Expr.const ~width:48 v in
+  let c32 (v : int32) = Expr.const ~width:32 (Int64.logand (Int64.of_int32 v) 0xffffffffL) in
+  {
+    Packet.Flow_key.fk_in_port = c 16 in_port;
+    fk_dl_src = c48 k.Openflow.Types.dl_src;
+    fk_dl_dst = c48 k.dl_dst;
+    fk_dl_vlan = c 16 k.dl_vlan;
+    fk_dl_vlan_pcp = c 8 k.dl_vlan_pcp;
+    fk_dl_type = c 16 k.dl_type;
+    fk_nw_tos = c 8 k.nw_tos;
+    fk_nw_proto = c 8 k.nw_proto;
+    fk_nw_src = c32 k.nw_src;
+    fk_nw_dst = c32 k.nw_dst;
+    fk_tp_src = c 16 k.tp_src;
+    fk_tp_dst = c 16 k.tp_dst;
+  }
+
+let eval_static b =
+  (* the predicates on concrete operands must fold or evaluate without vars *)
+  Expr.eval_bool (fun _ -> Alcotest.fail "unexpected variable") b
+
+let test_match_all_matches_everything () =
+  let m = Sym_msg.wildcard_match () in
+  let key = flow_key_of Openflow.Types.match_all ~in_port:3 in
+  Alcotest.(check bool) "wildcard matches" true (eval_static (MS.matches m key))
+
+let test_exact_field () =
+  let m =
+    Sym_msg.of_match
+      {
+        Openflow.Types.match_all with
+        Openflow.Types.wildcards =
+          Int32.of_int (C.Wildcards.all land lnot C.Wildcards.in_port);
+        in_port = 2;
+      }
+  in
+  let hit = flow_key_of { Openflow.Types.match_all with Openflow.Types.in_port = 0 } ~in_port:2 in
+  let miss = flow_key_of Openflow.Types.match_all ~in_port:3 in
+  Alcotest.(check bool) "in_port 2 matches" true (eval_static (MS.matches m hit));
+  Alcotest.(check bool) "in_port 3 does not" false (eval_static (MS.matches m miss))
+
+let test_cidr_prefix () =
+  (* match 10.0.0.0/24: wildcard 8 low bits of nw_src *)
+  let wc =
+    C.Wildcards.all land lnot C.Wildcards.nw_src_mask lor (8 lsl C.Wildcards.nw_src_shift)
+  in
+  let m =
+    Sym_msg.of_match
+      { Openflow.Types.match_all with Openflow.Types.wildcards = Int32.of_int wc;
+        nw_src = 0x0a000000l }
+  in
+  let key src = flow_key_of { Openflow.Types.match_all with Openflow.Types.nw_src = src } ~in_port:1 in
+  Alcotest.(check bool) "10.0.0.77 in /24" true (eval_static (MS.matches m (key 0x0a00004dl)));
+  Alcotest.(check bool) "10.0.1.1 not in /24" false (eval_static (MS.matches m (key 0x0a000101l)))
+
+let test_nw_all_wildcard () =
+  (* >= 32 wildcard bits: the field never constrains *)
+  let wc = C.Wildcards.all in
+  let m =
+    Sym_msg.of_match
+      { Openflow.Types.match_all with Openflow.Types.wildcards = Int32.of_int wc;
+        nw_src = 0x01020304l }
+  in
+  let key = flow_key_of { Openflow.Types.match_all with Openflow.Types.nw_src = 0x05060708l } ~in_port:1 in
+  Alcotest.(check bool) "fully wildcarded nw_src" true (eval_static (MS.matches m key))
+
+let prop_matches_agrees_with_concrete =
+  QCheck2.Test.make ~name:"Match_sem.matches agrees with the concrete matcher" ~count:500
+    QCheck2.Gen.(
+      let* m = Gen.of_match_gen in
+      let* k = Gen.of_match_gen in
+      let+ in_port = int_bound 0xffff in
+      (m, k, in_port))
+    (fun (m, k, in_port) ->
+      let sym = MS.matches (Sym_msg.of_match m) (flow_key_of k ~in_port) in
+      eval_static sym = concrete_matches m ~in_port ~key:k k)
+
+let prop_strict_equal_reflexive =
+  QCheck2.Test.make ~name:"strict_equal is reflexive" ~count:300 Gen.of_match_gen
+    (fun m ->
+      let sm = Sym_msg.of_match m in
+      eval_static (MS.strict_equal sm sm))
+
+let prop_subsumes_reflexive =
+  QCheck2.Test.make ~name:"subsumes is reflexive" ~count:300 Gen.of_match_gen
+    (fun m ->
+      let sm = Sym_msg.of_match m in
+      eval_static (MS.subsumes sm sm))
+
+let prop_wildcard_subsumes_everything =
+  QCheck2.Test.make ~name:"the all-wildcard match subsumes any match" ~count:300
+    Gen.of_match_gen
+    (fun m ->
+      eval_static (MS.subsumes (Sym_msg.wildcard_match ()) (Sym_msg.of_match m)))
+
+let prop_overlaps_symmetric_on_self =
+  QCheck2.Test.make ~name:"every match overlaps itself and the wildcard" ~count:300
+    Gen.of_match_gen
+    (fun m ->
+      let sm = Sym_msg.of_match m in
+      eval_static (MS.overlaps sm sm)
+      && eval_static (MS.overlaps sm (Sym_msg.wildcard_match ())))
+
+(* subsumption implies overlap, and matching a key implies the subsuming
+   match also matches it *)
+let prop_subsume_match_consistency =
+  QCheck2.Test.make ~name:"outer subsumes inner => outer matches whatever inner matches"
+    ~count:500
+    QCheck2.Gen.(
+      let* m1 = Gen.of_match_gen in
+      let* m2 = Gen.of_match_gen in
+      let+ k = Gen.of_match_gen in
+      (m1, m2, k))
+    (fun (m1, m2, k) ->
+      let s1 = Sym_msg.of_match m1 and s2 = Sym_msg.of_match m2 in
+      let key = flow_key_of k ~in_port:k.Openflow.Types.in_port in
+      let subs = eval_static (MS.subsumes s1 s2) in
+      let inner_hits = eval_static (MS.matches s2 key) in
+      let outer_hits = eval_static (MS.matches s1 key) in
+      (not (subs && inner_hits)) || outer_hits)
+
+let test_is_exact () =
+  let exact =
+    Sym_msg.of_match { Openflow.Types.match_all with Openflow.Types.wildcards = 0l }
+  in
+  Alcotest.(check bool) "exact" true (eval_static (MS.is_exact exact));
+  Alcotest.(check bool) "wildcarded" false
+    (eval_static (MS.is_exact (Sym_msg.wildcard_match ())))
+
+let suite =
+  [
+    Alcotest.test_case "wildcard matches everything" `Quick test_match_all_matches_everything;
+    Alcotest.test_case "exact field" `Quick test_exact_field;
+    Alcotest.test_case "CIDR prefix" `Quick test_cidr_prefix;
+    Alcotest.test_case "nw full wildcard" `Quick test_nw_all_wildcard;
+    QCheck_alcotest.to_alcotest prop_matches_agrees_with_concrete;
+    QCheck_alcotest.to_alcotest prop_strict_equal_reflexive;
+    QCheck_alcotest.to_alcotest prop_subsumes_reflexive;
+    QCheck_alcotest.to_alcotest prop_wildcard_subsumes_everything;
+    QCheck_alcotest.to_alcotest prop_overlaps_symmetric_on_self;
+    QCheck_alcotest.to_alcotest prop_subsume_match_consistency;
+    Alcotest.test_case "is_exact" `Quick test_is_exact;
+  ]

@@ -1,0 +1,79 @@
+(* Normalization tests (paper §3.3): spurious differences — buffer ids,
+   vendor description text — must not survive into compared results. *)
+
+open Smt
+module Trace = Openflow.Trace
+module N = Harness.Normalize
+
+let c16 v = Expr.const ~width:16 (Int64.of_int v)
+let c32 v = Expr.const ~width:32 (Int64.of_int v)
+
+let pkt = Packet.Sym_packet.of_concrete (Packet.Headers.tcp_probe ())
+
+let packet_in buffer =
+  Trace.Msg_out
+    (Trace.O_packet_in
+       {
+         o_pi_in_port = c16 1;
+         o_pi_reason = 0;
+         o_pi_buffer = buffer;
+         o_pi_pkt = Some pkt;
+         o_pi_data_len = c16 64;
+       })
+
+let test_buffer_ids_scrubbed () =
+  (* two agents using different buffer id values normalize identically *)
+  let a = N.result [ packet_in (Trace.Buffer_id { braw = c32 0x100 }) ] in
+  let b = N.result [ packet_in (Trace.Buffer_id { braw = c32 0x7fff }) ] in
+  Alcotest.(check string) "same key" (Trace.result_key a) (Trace.result_key b)
+
+let test_no_buffer_stays_distinct () =
+  (* buffered vs unbuffered IS an observable difference *)
+  let a = N.result [ packet_in (Trace.Buffer_id { braw = c32 0x100 }) ] in
+  let b = N.result [ packet_in Trace.No_buffer ] in
+  Alcotest.(check bool) "different keys" false
+    (Trace.result_key a = Trace.result_key b)
+
+let test_desc_body_scrubbed () =
+  let desc body =
+    Trace.Msg_out (Trace.O_stats_reply { o_stats_type = Openflow.Constants.Stats_type.desc; o_stats_body = body })
+  in
+  let a = N.result [ desc "mfr=Stanford" ] in
+  let b = N.result [ desc "mfr=Nicira" ] in
+  Alcotest.(check string) "desc bodies normalize away" (Trace.result_key a)
+    (Trace.result_key b)
+
+let test_other_stats_bodies_kept () =
+  let flow body =
+    Trace.Msg_out (Trace.O_stats_reply { o_stats_type = Openflow.Constants.Stats_type.flow; o_stats_body = body })
+  in
+  let a = N.result [ flow "flows=0" ] in
+  let b = N.result [ flow "flows=1" ] in
+  Alcotest.(check bool) "flow stats content matters" false
+    (Trace.result_key a = Trace.result_key b)
+
+let test_crash_normalized () =
+  let a = N.result ~crash:"segfault: packet-out to OFPP_CONTROLLER" [] in
+  let b = N.result ~crash:"memory error: queue config for port 0" [] in
+  (* the crash *fact* is observable, its internal message is not *)
+  Alcotest.(check string) "crash reasons normalize" (Trace.result_key a)
+    (Trace.result_key b);
+  let ok = N.result [] in
+  Alcotest.(check bool) "crash vs no crash differ" false
+    (Trace.result_key a = Trace.result_key ok)
+
+let test_event_order_matters () =
+  let e1 = Trace.Msg_out Trace.O_barrier_reply in
+  let e2 = Trace.Msg_out (Trace.O_error { o_err_type = 1; o_err_code = 6 }) in
+  Alcotest.(check bool) "order is part of the result" false
+    (Trace.result_key (N.result [ e1; e2 ]) = Trace.result_key (N.result [ e2; e1 ]))
+
+let suite =
+  [
+    Alcotest.test_case "buffer ids scrubbed" `Quick test_buffer_ids_scrubbed;
+    Alcotest.test_case "buffered vs unbuffered distinct" `Quick test_no_buffer_stays_distinct;
+    Alcotest.test_case "desc body scrubbed" `Quick test_desc_body_scrubbed;
+    Alcotest.test_case "other stats bodies kept" `Quick test_other_stats_bodies_kept;
+    Alcotest.test_case "crash messages normalized" `Quick test_crash_normalized;
+    Alcotest.test_case "event order matters" `Quick test_event_order_matters;
+  ]

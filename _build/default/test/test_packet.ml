@@ -1,0 +1,154 @@
+(* Dataplane packet tests: codec round trips, flow-key extraction, and the
+   symbolic packet layer. *)
+
+open Smt
+module H = Packet.Headers
+module SP = Packet.Sym_packet
+
+let pkt = Alcotest.testable H.pp ( = )
+
+let test_tcp_probe_shape () =
+  let p = H.tcp_probe () in
+  (match p.H.net with
+   | H.Ipv4 ip -> (
+     Alcotest.(check int) "proto is tcp" Packet.Constants_pkt.proto_tcp ip.H.ip_proto;
+     match ip.H.ip_payload with
+     | H.Tcp t -> Alcotest.(check int) "dport" 80 t.H.tcp_dst
+     | _ -> Alcotest.fail "expected tcp")
+   | _ -> Alcotest.fail "expected ip");
+  Alcotest.(check int) "ethertype" Packet.Constants_pkt.eth_type_ip p.H.dl_type
+
+let test_codec_fixed () =
+  let p = H.tcp_probe () in
+  let wire = H.to_bytes p in
+  (* 14 eth + 20 ip + 20 tcp *)
+  Alcotest.(check int) "frame size" 54 (String.length wire);
+  Alcotest.check pkt "roundtrip" p (H.of_bytes wire)
+
+let test_codec_vlan () =
+  let p = H.tcp_probe ~vlan:(Some { H.vid = 42; pcp = 5 }) () in
+  let wire = H.to_bytes p in
+  Alcotest.(check int) "frame size with tag" 58 (String.length wire);
+  (* TPID at offset 12 *)
+  Alcotest.(check int) "tpid hi" 0x81 (Char.code wire.[12]);
+  Alcotest.(check int) "tpid lo" 0x00 (Char.code wire.[13]);
+  Alcotest.check pkt "roundtrip" p (H.of_bytes wire)
+
+let test_codec_errors () =
+  try
+    ignore (H.of_bytes "too short");
+    Alcotest.fail "expected parse error"
+  with H.Parse_error _ -> ()
+
+let prop_packet_roundtrip =
+  QCheck2.Test.make ~name:"random packets roundtrip through bytes" ~count:300
+    Gen.packet_gen
+    (fun p ->
+      (* payload-bearing opaque packets may be empty; codec requires some
+         minimal length only for typed payloads *)
+      H.of_bytes (H.to_bytes p) = p)
+
+(* --- symbolic packets --------------------------------------------------- *)
+
+let test_of_concrete_concretize () =
+  let p = H.tcp_probe () in
+  let sp = SP.of_concrete p in
+  let back = SP.to_concrete (Model.empty ()) sp in
+  Alcotest.check pkt "of_concrete then to_concrete" p back
+
+let test_symbolic_concretize_uses_model () =
+  let sp = SP.symbolic_tcp ~prefix:"tpk" () in
+  let m =
+    Model.of_bindings
+      [
+        (Expr.make_var "tpk.dl_src" 48, 0x0a0b0c0d0e0fL);
+        (Expr.make_var "tpk.dl_type" 16, Int64.of_int Packet.Constants_pkt.eth_type_ip);
+        (Expr.make_var "tpk.nw_proto" 8, 6L);
+        (Expr.make_var "tpk.tp_dst" 16, 443L);
+      ]
+  in
+  let p = SP.to_concrete m sp in
+  Alcotest.(check int64) "dl_src" 0x0a0b0c0d0e0fL p.H.dl_src;
+  match p.H.net with
+  | H.Ipv4 { H.ip_payload = H.Tcp t; _ } -> Alcotest.(check int) "tp_dst" 443 t.H.tcp_dst
+  | _ -> Alcotest.fail "expected tcp"
+
+let test_digest_stability () =
+  let a = SP.of_concrete (H.tcp_probe ()) in
+  let b = SP.of_concrete (H.tcp_probe ()) in
+  Alcotest.(check string) "same packet same digest" (SP.digest a) (SP.digest b);
+  let c = SP.of_concrete (H.tcp_probe ~dport:81 ()) in
+  Alcotest.(check bool) "different packet different digest" false (SP.digest a = SP.digest c)
+
+let test_sym_equal () =
+  let a = SP.of_concrete (H.tcp_probe ()) in
+  let b = SP.of_concrete (H.tcp_probe ()) in
+  Alcotest.(check bool) "structural equality" true (SP.equal a b)
+
+(* --- flow key extraction ------------------------------------------------ *)
+
+let extract_concrete p ~in_port =
+  (* extraction on a fully concrete packet must not fork *)
+  let result =
+    Symexec.Engine.run ~max_paths:10 (fun env ->
+        let key =
+          Packet.Flow_key.extract env
+            ~in_port:(Expr.const ~width:16 (Int64.of_int in_port))
+            (SP.of_concrete p)
+        in
+        Symexec.Engine.emit env key)
+  in
+  match result.Symexec.Engine.results with
+  | [ r ] -> (
+    match r.Symexec.Engine.events with [ k ] -> k | _ -> Alcotest.fail "one key expected")
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 path, got %d" (List.length rs))
+
+let cval e = Option.get (Expr.const_value e)
+
+let test_flow_key_tcp () =
+  let key = extract_concrete (H.tcp_probe ()) ~in_port:3 in
+  Alcotest.(check int64) "in_port" 3L (cval key.Packet.Flow_key.fk_in_port);
+  Alcotest.(check int64) "dl_type" 0x800L (cval key.fk_dl_type);
+  Alcotest.(check int64) "vlan none" 0xffffL (cval key.fk_dl_vlan);
+  Alcotest.(check int64) "proto" 6L (cval key.fk_nw_proto);
+  Alcotest.(check int64) "tp_src" 1234L (cval key.fk_tp_src);
+  Alcotest.(check int64) "tp_dst" 80L (cval key.fk_tp_dst)
+
+let test_flow_key_vlan () =
+  let key = extract_concrete (H.tcp_probe ~vlan:(Some { H.vid = 7; pcp = 2 }) ()) ~in_port:1 in
+  Alcotest.(check int64) "vlan id" 7L (cval key.Packet.Flow_key.fk_dl_vlan);
+  Alcotest.(check int64) "vlan pcp" 2L (cval key.fk_dl_vlan_pcp)
+
+let test_flow_key_non_ip () =
+  let key = extract_concrete (H.eth_probe ()) ~in_port:1 in
+  Alcotest.(check int64) "nw_src zero" 0L (cval key.Packet.Flow_key.fk_nw_src);
+  Alcotest.(check int64) "tp zero" 0L (cval key.fk_tp_src);
+  Alcotest.(check int64) "dl_type kept" 0x88b5L (cval key.fk_dl_type)
+
+let test_flow_key_symbolic_forks () =
+  (* a symbolic ethertype must fork the parser: ip vs non-ip *)
+  let sp = SP.symbolic_tcp ~prefix:"fkp" () in
+  let result =
+    Symexec.Engine.run ~max_paths:100 (fun env ->
+        let key = Packet.Flow_key.extract env ~in_port:(Expr.const ~width:16 1L) sp in
+        Symexec.Engine.emit env key)
+  in
+  (* ethertype != ip / ethertype = ip with proto != tcp / full tcp parse *)
+  Alcotest.(check int) "three parser paths" 3 (List.length result.Symexec.Engine.results)
+
+let suite =
+  [
+    Alcotest.test_case "tcp probe shape" `Quick test_tcp_probe_shape;
+    Alcotest.test_case "codec fixed frame" `Quick test_codec_fixed;
+    Alcotest.test_case "codec vlan tag" `Quick test_codec_vlan;
+    Alcotest.test_case "codec errors" `Quick test_codec_errors;
+    QCheck_alcotest.to_alcotest prop_packet_roundtrip;
+    Alcotest.test_case "of_concrete/to_concrete" `Quick test_of_concrete_concretize;
+    Alcotest.test_case "concretize with model" `Quick test_symbolic_concretize_uses_model;
+    Alcotest.test_case "digest stability" `Quick test_digest_stability;
+    Alcotest.test_case "structural equality" `Quick test_sym_equal;
+    Alcotest.test_case "flow key: tcp" `Quick test_flow_key_tcp;
+    Alcotest.test_case "flow key: vlan" `Quick test_flow_key_vlan;
+    Alcotest.test_case "flow key: non-ip" `Quick test_flow_key_non_ip;
+    Alcotest.test_case "flow key: symbolic forks" `Quick test_flow_key_symbolic_forks;
+  ]

@@ -1,0 +1,112 @@
+(* Whole-engine soundness properties on real agent runs.
+
+   Symbolic execution is supposed to *partition* the input space
+   (paper §2.3): the explored path conditions must be pairwise disjoint,
+   and when exploration runs to frontier exhaustion their disjunction must
+   cover the whole space.  And each partition must be faithful: pinning a
+   path's witness values and re-running the agent concretely must
+   reproduce exactly that path's normalized trace. *)
+
+open Smt
+module Engine = Symexec.Engine
+module Spec = Harness.Test_spec
+module Runner = Harness.Runner
+
+let small_runs () =
+  [
+    ("short_symb", Runner.execute ~max_paths:200 Switches.Reference_switch.agent (Spec.short_symb ()));
+    ("stats_request", Runner.execute ~max_paths:200 Switches.Reference_switch.agent (Spec.stats_request ()));
+    ("set_config", Runner.execute ~max_paths:200 Switches.Open_vswitch.agent (Spec.set_config ()));
+  ]
+
+let test_pairwise_disjoint () =
+  List.iter
+    (fun (name, run) ->
+      let conds = List.map (fun (p : Runner.path_record) -> p.Runner.pr_cond) run.Runner.run_paths in
+      let arr = Array.of_list conds in
+      let n = Array.length arr in
+      Alcotest.(check bool) (name ^ ": enough paths to be meaningful") true (n >= 2);
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Solver.is_sat [ arr.(i); arr.(j) ] then
+            Alcotest.fail
+              (Printf.sprintf "%s: paths %d and %d overlap:\n%s\n%s" name i j
+                 (Expr.bool_to_string arr.(i))
+                 (Expr.bool_to_string arr.(j)))
+        done
+      done)
+    (small_runs ())
+
+let test_complete_cover () =
+  List.iter
+    (fun (name, run) ->
+      (* exploration exhausted the frontier (no truncation, small budget
+         not hit), so the disjunction of path conditions must be valid *)
+      Alcotest.(check int) (name ^ ": no truncation") 0 run.Runner.run_stats.Engine.truncated;
+      let conds = List.map (fun (p : Runner.path_record) -> p.Runner.pr_cond) run.run_paths in
+      let whole = Expr.balanced_disj conds in
+      Alcotest.(check bool) (name ^ ": disjunction is a tautology") false
+        (Solver.is_sat [ Expr.not_ whole ]))
+    (small_runs ())
+
+(* Replay: constrain every witness variable to its model value with
+   [assume]; the run must collapse to a single path with the original
+   normalized result. *)
+let replay_one (module A : Switches.Agent_intf.S) (spec : Spec.t) (p : Runner.path_record) =
+  match Solver.get_model p.Runner.pr_constraints with
+  | None -> Alcotest.fail "path condition unsatisfiable"
+  | Some m ->
+    let r =
+      Engine.run ~max_paths:4 (fun env ->
+          List.iter
+            (fun (v, value) ->
+              Engine.assume env
+                (Expr.eq (Expr.of_var v) (Expr.const ~width:(Expr.var_width v) value)))
+            (Model.bindings m);
+          Runner.drive (module A) spec env)
+    in
+    (match r.Engine.results with
+     | [ replayed ] ->
+       let result =
+         Harness.Normalize.result ?crash:replayed.Engine.crashed replayed.Engine.events
+       in
+       Alcotest.(check string) "replayed trace matches the partition's result"
+         (Openflow.Trace.result_key p.Runner.pr_result)
+         (Openflow.Trace.result_key result)
+     | l -> Alcotest.fail (Printf.sprintf "replay produced %d paths" (List.length l)))
+
+let test_replay_soundness () =
+  let spec = Spec.short_symb () in
+  let run = Runner.execute ~max_paths:200 Switches.Reference_switch.agent spec in
+  List.iter (replay_one Switches.Reference_switch.agent spec) run.Runner.run_paths
+
+let test_replay_soundness_packet_out () =
+  let spec = Spec.packet_out () in
+  let run = Runner.execute ~max_paths:60 Switches.Open_vswitch.agent spec in
+  (* sample every 6th path to keep runtime bounded *)
+  List.iteri
+    (fun i p -> if i mod 6 = 0 then replay_one Switches.Open_vswitch.agent spec p)
+    run.Runner.run_paths
+
+(* Grouping preserves the partition: the group conditions are pairwise
+   disjoint too (their members are), and their union is the union of the
+   path conditions. *)
+let test_groups_disjoint () =
+  let run = Runner.execute ~max_paths:200 Switches.Reference_switch.agent (Spec.short_symb ()) in
+  let grouped = Soft.Grouping.of_run run in
+  let arr = Array.of_list grouped.Soft.Grouping.gr_groups in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      if Solver.is_sat [ arr.(i).Soft.Grouping.g_cond; arr.(j).Soft.Grouping.g_cond ] then
+        Alcotest.fail (Printf.sprintf "groups %d and %d overlap" i j)
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "paths pairwise disjoint" `Slow test_pairwise_disjoint;
+    Alcotest.test_case "paths cover the input space" `Slow test_complete_cover;
+    Alcotest.test_case "replay soundness (short symb)" `Slow test_replay_soundness;
+    Alcotest.test_case "replay soundness (packet out)" `Slow test_replay_soundness_packet_out;
+    Alcotest.test_case "groups pairwise disjoint" `Slow test_groups_disjoint;
+  ]

@@ -1,0 +1,118 @@
+(* Serialization tests: expression s-expressions and the phase-1 run file
+   format round trip faithfully — the basis of the decoupled vendor
+   workflow. *)
+
+open Smt
+
+let c w v = Expr.const ~width:w (Int64.of_int v)
+
+let roundtrip_bool b = Serial.bool_of_string (Serial.bool_to_string b)
+let roundtrip_bv e = Serial.bv_of_string (Serial.bv_to_string e)
+
+let test_bv_roundtrips () =
+  let x = Expr.var ~width:16 "ser.x" in
+  let cases =
+    [
+      c 16 0xabcd;
+      x;
+      Expr.add x (c 16 1);
+      Expr.mul (Expr.bnot x) (Expr.neg x);
+      Expr.extract ~hi:11 ~lo:4 x;
+      Expr.concat (Expr.extract ~hi:15 ~lo:8 x) (c 8 0xff);
+      Expr.zext ~width:32 x;
+      Expr.sext ~width:32 x;
+      Expr.ite (Expr.ult x (c 16 5)) x (c 16 0);
+      Expr.shl x (c 16 3);
+    ]
+  in
+  List.iter
+    (fun e -> Alcotest.(check bool) (Expr.bv_to_string e) true (roundtrip_bv e == e))
+    cases
+
+let test_bool_roundtrips () =
+  let x = Expr.var ~width:16 "ser.x" and y = Expr.var ~width:16 "ser.y" in
+  let cases =
+    [
+      Expr.tru;
+      Expr.fls;
+      Expr.eq x y;
+      Expr.not_ (Expr.eq x y);
+      Expr.and_ (Expr.ult x (c 16 10)) (Expr.ule y (c 16 20));
+      Expr.or_ (Expr.slt x y) (Expr.sle y x);
+      Expr.balanced_disj (List.init 5 (fun i -> Expr.eq x (c 16 i)));
+    ]
+  in
+  List.iter
+    (fun b -> Alcotest.(check bool) (Serial.bool_to_string b) true (roundtrip_bool b == b))
+    cases
+
+let test_var_names_with_dots () =
+  (* builder-generated names contain dots and digits *)
+  let v = Expr.var ~width:48 "fm.match.dl_src" in
+  Alcotest.(check bool) "roundtrip keeps identity" true (roundtrip_bv v == v)
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      try
+        ignore (Serial.bool_of_string s);
+        Alcotest.fail ("expected parse error on " ^ s)
+      with Serial.Parse_error _ -> ())
+    [ ""; "("; "(and t)"; "(cmp foo (c 8 1) (c 8 1))"; "t extra"; "(unknown t t)" ]
+
+let prop_bool_roundtrip =
+  QCheck2.Test.make ~name:"random booleans roundtrip through sexp" ~count:300
+    QCheck2.Gen.(
+      let* w = Gen.width_gen in
+      Gen.bool_gen w)
+    (fun b -> roundtrip_bool b == b)
+
+(* --- run files ----------------------------------------------------------- *)
+
+let test_run_file_roundtrip () =
+  let x = Expr.var ~width:16 "serrun.x" in
+  let res1 = { Openflow.Trace.trace = [ "of:error(BAD_REQUEST,6)" ]; crash = None } in
+  let res2 = { Openflow.Trace.trace = []; crash = Some "connection lost" } in
+  let saved =
+    {
+      Harness.Serialize.sv_agent = "reference";
+      sv_test = "packet_out";
+      sv_paths = [ (res1, Expr.ult x (c 16 10)); (res2, Expr.uge x (c 16 10)) ];
+    }
+  in
+  let path = Filename.temp_file "soft_test" ".run" in
+  Harness.Serialize.save path saved;
+  let loaded = Harness.Serialize.load path in
+  Sys.remove path;
+  Alcotest.(check string) "agent" "reference" loaded.Harness.Serialize.sv_agent;
+  Alcotest.(check string) "test" "packet_out" loaded.sv_test;
+  Alcotest.(check int) "paths" 2 (List.length loaded.sv_paths);
+  List.iter2
+    (fun (r1, c1) (r2, c2) ->
+      Alcotest.(check string) "result" (Openflow.Trace.result_key r1)
+        (Openflow.Trace.result_key r2);
+      Alcotest.(check bool) "condition identity" true (c1 == c2))
+    saved.sv_paths loaded.sv_paths
+
+let test_real_run_roundtrip () =
+  (* a genuine (small) phase-1 run survives the file format *)
+  let spec = Harness.Test_spec.concrete () in
+  let run = Harness.Runner.execute ~max_paths:10 Switches.Reference_switch.agent spec in
+  let path = Filename.temp_file "soft_test" ".run" in
+  Harness.Serialize.save path (Harness.Serialize.of_run run);
+  let loaded = Harness.Serialize.load path in
+  Sys.remove path;
+  Alcotest.(check int) "path count preserved"
+    (List.length run.Harness.Runner.run_paths)
+    (List.length loaded.Harness.Serialize.sv_paths)
+
+let suite =
+  [
+    Alcotest.test_case "bv roundtrips" `Quick test_bv_roundtrips;
+    Alcotest.test_case "bool roundtrips" `Quick test_bool_roundtrips;
+    Alcotest.test_case "dotted variable names" `Quick test_var_names_with_dots;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    QCheck_alcotest.to_alcotest prop_bool_roundtrip;
+    Alcotest.test_case "run file roundtrip" `Quick test_run_file_roundtrip;
+    Alcotest.test_case "real run roundtrip" `Quick test_real_run_roundtrip;
+  ]

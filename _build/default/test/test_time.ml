@@ -1,0 +1,168 @@
+(* Virtual-time extension tests: flow expiry semantics per agent, the M2
+   off-by-one detection, and the flow-removed notification. *)
+
+open Smt
+module Engine = Symexec.Engine
+module Sym_msg = Openflow.Sym_msg
+module Trace = Openflow.Trace
+module C = Openflow.Constants
+module Spec = Harness.Test_spec
+
+let c16 v = Expr.const ~width:16 (Int64.of_int v)
+let c32 v = Expr.const ~width:32 (Int64.of_int v)
+
+let flow_mod ?(idle = 0) ?(hard = 0) ?(flags = 0) () =
+  Spec.Msg
+    (Sym_msg.flow_mod
+       {
+         Sym_msg.sfm_match = Sym_msg.wildcard_match ();
+         sfm_cookie = Expr.const ~width:64 0L;
+         sfm_command = c16 C.Flow_mod_command.add;
+         sfm_idle_timeout = c16 idle;
+         sfm_hard_timeout = c16 hard;
+         sfm_priority = c16 100;
+         sfm_buffer_id = c32 0xffffffff;
+         sfm_out_port = c16 C.Port.none;
+         sfm_flags = c16 flags;
+         sfm_actions = [ Sym_msg.of_action (Openflow.Types.Output { port = 2; max_len = 0 }) ];
+       })
+
+let probe =
+  Spec.Probe
+    {
+      pr_id = 1;
+      pr_in_port = 1;
+      pr_packet = Packet.Sym_packet.of_concrete (Packet.Headers.tcp_probe ());
+    }
+
+let run_concrete (module A : Switches.Agent_intf.S) inputs =
+  let r =
+    Engine.run ~max_paths:8 (fun env ->
+        let st = A.init () in
+        let st = A.connection_setup env st in
+        ignore
+          (List.fold_left
+             (fun st input ->
+               match input with
+               | Spec.Msg m -> A.handle_message env st m
+               | Spec.Probe { pr_id; pr_in_port; pr_packet } ->
+                 A.handle_packet env st ~probe_id:pr_id ~in_port:(c16 pr_in_port) pr_packet
+               | Spec.Advance_time seconds -> A.advance_time env st ~seconds)
+             st inputs))
+  in
+  match r.Engine.results with
+  | [ p ] -> Harness.Normalize.result ?crash:p.Engine.crashed p.Engine.events
+  | l -> Alcotest.fail (Printf.sprintf "expected one path, got %d" (List.length l))
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+let has (r : Trace.result) p = List.exists (has_prefix p) r.Trace.trace
+
+let agents_under_test =
+  [ ("reference", Switches.Reference_switch.agent); ("ovs", Switches.Open_vswitch.agent) ]
+
+let test_rule_survives_before_timeout () =
+  List.iter
+    (fun (name, agent) ->
+      let r = run_concrete agent [ flow_mod ~idle:10 (); Spec.Advance_time 5; probe ] in
+      Alcotest.(check bool) (name ^ " still forwards at t=5") true (has r "probe1:fwd"))
+    agents_under_test
+
+let test_rule_expires_after_timeout () =
+  List.iter
+    (fun (name, agent) ->
+      let r = run_concrete agent [ flow_mod ~idle:10 (); Spec.Advance_time 10; probe ] in
+      Alcotest.(check bool) (name ^ " misses at t=10") true (has r "of:packet_in"))
+    agents_under_test
+
+let test_hard_timeout_expires () =
+  List.iter
+    (fun (name, agent) ->
+      let r = run_concrete agent [ flow_mod ~hard:3 (); Spec.Advance_time 4; probe ] in
+      Alcotest.(check bool) (name ^ " hard timeout fires") true (has r "of:packet_in"))
+    agents_under_test
+
+let test_zero_timeouts_are_permanent () =
+  List.iter
+    (fun (name, agent) ->
+      let r = run_concrete agent [ flow_mod (); Spec.Advance_time 10000; probe ] in
+      Alcotest.(check bool) (name ^ " permanent rule survives") true (has r "probe1:fwd"))
+    agents_under_test
+
+let test_flow_removed_notification () =
+  let inputs =
+    [ flow_mod ~idle:2 ~flags:C.Flow_mod_flags.send_flow_rem (); Spec.Advance_time 5 ]
+  in
+  List.iter
+    (fun (name, agent) ->
+      let r = run_concrete agent inputs in
+      Alcotest.(check bool) (name ^ " notifies on expiry") true (has r "of:flow_removed"))
+    agents_under_test;
+  (* without the flag: silence *)
+  let quiet = run_concrete Switches.Reference_switch.agent
+      [ flow_mod ~idle:2 (); Spec.Advance_time 5 ] in
+  Alcotest.(check (list string)) "no notification without the flag" [] quiet.Trace.trace
+
+let test_m2_boundary () =
+  (* idle=10, advance 9: reference keeps the rule, modified (early expiry)
+     already dropped it *)
+  let inputs = [ flow_mod ~idle:10 (); Spec.Advance_time 9; probe ] in
+  let r_ref = run_concrete Switches.Reference_switch.agent inputs in
+  let r_mod = run_concrete Switches.Modified_switch.agent inputs in
+  Alcotest.(check bool) "reference forwards" true (has r_ref "probe1:fwd");
+  Alcotest.(check bool) "modified already expired" true (has r_mod "of:packet_in");
+  (* one second earlier both agree *)
+  let inputs8 = [ flow_mod ~idle:10 (); Spec.Advance_time 8; probe ] in
+  let r_ref8 = run_concrete Switches.Reference_switch.agent inputs8 in
+  let r_mod8 = run_concrete Switches.Modified_switch.agent inputs8 in
+  Alcotest.(check string) "agree at t=8" (Trace.result_key r_ref8) (Trace.result_key r_mod8)
+
+let test_m2_detected_by_pipeline () =
+  let c =
+    Soft.Pipeline.compare_agents ~max_paths:500 Switches.Reference_switch.agent
+      Switches.Modified_switch.agent
+      (Spec.timed_flow_mod ())
+  in
+  Alcotest.(check bool) "timed test reveals M2" true
+    (Soft.Pipeline.inconsistency_count c > 0)
+
+let test_symbolic_timeout_partitions () =
+  (* with a symbolic idle timeout and the clock at 9, the expiry condition
+     splits the timeout space: expired (1..9) vs alive (0 or >= 10) *)
+  let run =
+    Harness.Runner.execute ~max_paths:100 Switches.Reference_switch.agent
+      (Spec.timed_flow_mod_symbolic ())
+  in
+  Alcotest.(check int) "two partitions" 2 (List.length run.Harness.Runner.run_paths);
+  (* the two partitions produce different probe responses *)
+  let keys =
+    List.sort_uniq compare
+      (List.map
+         (fun (p : Harness.Runner.path_record) -> Trace.result_key p.Harness.Runner.pr_result)
+         run.run_paths)
+  in
+  Alcotest.(check int) "distinct observable outcomes" 2 (List.length keys)
+
+let test_clock_accumulates () =
+  (* two advances of 5 behave like one of 10 *)
+  let split =
+    run_concrete Switches.Reference_switch.agent
+      [ flow_mod ~idle:10 (); Spec.Advance_time 5; Spec.Advance_time 5; probe ]
+  in
+  let whole =
+    run_concrete Switches.Reference_switch.agent
+      [ flow_mod ~idle:10 (); Spec.Advance_time 10; probe ]
+  in
+  Alcotest.(check string) "clock accumulates" (Trace.result_key whole) (Trace.result_key split)
+
+let suite =
+  [
+    Alcotest.test_case "rule survives before timeout" `Quick test_rule_survives_before_timeout;
+    Alcotest.test_case "rule expires after timeout" `Quick test_rule_expires_after_timeout;
+    Alcotest.test_case "hard timeout" `Quick test_hard_timeout_expires;
+    Alcotest.test_case "zero timeouts permanent" `Quick test_zero_timeouts_are_permanent;
+    Alcotest.test_case "flow_removed notification" `Quick test_flow_removed_notification;
+    Alcotest.test_case "M2 off-by-one boundary" `Quick test_m2_boundary;
+    Alcotest.test_case "M2 detected by pipeline" `Quick test_m2_detected_by_pipeline;
+    Alcotest.test_case "symbolic timeout partitions" `Quick test_symbolic_timeout_partitions;
+    Alcotest.test_case "clock accumulates" `Quick test_clock_accumulates;
+  ]

@@ -1,0 +1,230 @@
+(* OpenFlow 1.0 wire codec tests: serialization round trips, header
+   invariants, and parse-error behaviour. *)
+
+open Openflow
+
+let roundtrip (m : Types.msg) = Wire.parse (Wire.serialize m)
+
+let msg = Alcotest.testable Pp.msg ( = )
+
+let check_roundtrip name m = Alcotest.check msg name m (roundtrip m)
+
+let test_simple_messages () =
+  List.iter
+    (fun payload -> check_roundtrip "roundtrip" { Types.xid = 42l; payload })
+    [
+      Types.Hello;
+      Types.Echo_request "ping";
+      Types.Echo_reply "";
+      Types.Features_request;
+      Types.Get_config_request;
+      Types.Barrier_request;
+      Types.Barrier_reply;
+      Types.Set_config { cfg_flags = 1; miss_send_len = 0x80 };
+      Types.Get_config_reply { cfg_flags = 0; miss_send_len = 0xffff };
+      Types.Queue_get_config_request { qgc_port = 3 };
+      Types.Error_msg { err_type = 1; err_code = 6; err_data = "dead" };
+      Types.Vendor { vendor = 0x2320l; vendor_body = "nx" };
+    ]
+
+let test_header_fields () =
+  let wire = Wire.serialize { Types.xid = 0x01020304l; payload = Types.Hello } in
+  Alcotest.(check int) "length" 8 (String.length wire);
+  Alcotest.(check int) "version" Constants.version (Char.code wire.[0]);
+  Alcotest.(check int) "type" Constants.Msg_type.hello (Char.code wire.[1]);
+  Alcotest.(check int) "len hi" 0 (Char.code wire.[2]);
+  Alcotest.(check int) "len lo" 8 (Char.code wire.[3]);
+  Alcotest.(check int) "xid byte 0" 1 (Char.code wire.[4]);
+  Alcotest.(check int) "xid byte 3" 4 (Char.code wire.[7])
+
+let test_flow_mod_roundtrip () =
+  let fm =
+    {
+      Types.fm_match =
+        {
+          Types.match_all with
+          Types.wildcards = 0x300ffl;
+          in_port = 1;
+          dl_type = 0x800;
+          nw_src = 0x0a000001l;
+        };
+      cookie = 0x1122334455667788L;
+      command = Constants.Flow_mod_command.add;
+      idle_timeout = 60;
+      hard_timeout = 0;
+      priority = 0x8000;
+      fm_buffer_id = 0xffffffffl;
+      out_port = Constants.Port.none;
+      flags = Constants.Flow_mod_flags.send_flow_rem;
+      fm_actions =
+        [
+          Types.Set_vlan_vid 100;
+          Types.Set_dl_src 0x010203040506L;
+          Types.Output { port = 2; max_len = 0xffff };
+          Types.Enqueue { port = 1; queue_id = 7l };
+        ];
+    }
+  in
+  let m = { Types.xid = 9l; payload = Types.Flow_mod fm } in
+  check_roundtrip "flow mod" m;
+  (* 72 fixed bytes + 8 + 16 + 8 + 16 action bytes *)
+  Alcotest.(check int) "wire size" (72 + 48) (String.length (Wire.serialize m))
+
+let test_packet_out_roundtrip () =
+  let po =
+    {
+      Types.po_buffer_id = 0xffffffffl;
+      po_in_port = Constants.Port.none;
+      po_actions = [ Types.Output { port = Constants.Port.flood; max_len = 0 } ];
+      po_data = "\x01\x02\x03\x04";
+    }
+  in
+  check_roundtrip "packet out" { Types.xid = 77l; payload = Types.Packet_out po }
+
+let test_stats_roundtrips () =
+  List.iter
+    (fun sreq ->
+      check_roundtrip "stats request"
+        { Types.xid = 5l; payload = Types.Stats_request { sreq_flags = 0; sreq } })
+    [
+      Types.Desc_request;
+      Types.Table_stats_request;
+      Types.Port_stats_request { psr_port_no = Constants.Port.none };
+      Types.Queue_stats_request { qsr_port_no = 1; qsr_queue_id = 0xffffffffl };
+      Types.Flow_stats_request
+        { fsr_match = Types.match_all; fsr_table_id = 0xff; fsr_out_port = Constants.Port.none };
+    ];
+  check_roundtrip "desc reply"
+    {
+      Types.xid = 6l;
+      payload =
+        Types.Stats_reply
+          {
+            srep_flags = 0;
+            srep = Types.Desc_reply { mfr = "SOFT"; hw = "emu"; sw = "1.0"; serial = "1"; dp = "d" };
+          };
+    };
+  check_roundtrip "aggregate reply"
+    {
+      Types.xid = 7l;
+      payload =
+        Types.Stats_reply
+          {
+            srep_flags = 0;
+            srep =
+              Types.Aggregate_reply
+                { agg_packet_count = 10L; agg_byte_count = 640L; agg_flow_count = 2l };
+          };
+    }
+
+let test_features_reply_roundtrip () =
+  let port n =
+    {
+      Types.port_no = n;
+      hw_addr = Int64.of_int (0x020000000000 + n);
+      port_name = Printf.sprintf "eth%d" n;
+      config = 0l;
+      state = 0l;
+      curr = 0x82l;
+      advertised = 0l;
+      supported = 0l;
+      peer = 0l;
+    }
+  in
+  check_roundtrip "features reply"
+    {
+      Types.xid = 1l;
+      payload =
+        Types.Features_reply
+          {
+            datapath_id = 0xcafeL;
+            n_buffers = 256l;
+            n_tables = 1;
+            capabilities = 0xc7l;
+            supported_actions = 0xfffl;
+            ports = [ port 1; port 2; port 3 ];
+          };
+    }
+
+let test_packet_in_roundtrip () =
+  check_roundtrip "packet in"
+    {
+      Types.xid = 0l;
+      payload =
+        Types.Packet_in
+          {
+            pi_buffer_id = 0x100l;
+            pi_total_len = 64;
+            pi_in_port = 1;
+            pi_reason = Constants.Packet_in_reason.no_match;
+            pi_data = String.make 32 'x';
+          };
+    }
+
+let test_parse_errors () =
+  let bad_version = "\x02\x00\x00\x08\x00\x00\x00\x00" in
+  (try
+     ignore (Wire.parse bad_version);
+     Alcotest.fail "expected parse error"
+   with Wire.Parse_error _ -> ());
+  let truncated = "\x01\x0e\x00\x48\x00\x00\x00\x00" (* flow mod claiming 72, body absent *) in
+  (try
+     ignore (Wire.parse truncated);
+     Alcotest.fail "expected parse error"
+   with Wire.Parse_error _ -> ());
+  let trailing = Wire.serialize { Types.xid = 0l; payload = Types.Hello } ^ "zz" in
+  try
+    ignore (Wire.parse trailing);
+    Alcotest.fail "expected parse error"
+  with Wire.Parse_error _ -> ()
+
+let test_parse_stream () =
+  let messages =
+    [
+      { Types.xid = 1l; payload = Types.Hello };
+      { Types.xid = 2l; payload = Types.Echo_request "hb" };
+      { Types.xid = 3l; payload = Types.Barrier_request };
+    ]
+  in
+  let wire = String.concat "" (List.map Wire.serialize messages) in
+  Alcotest.(check (list msg)) "stream" messages (Wire.parse_stream wire)
+
+let test_action_length_validation () =
+  (* an action whose length is not a multiple of 8 must be rejected *)
+  let bogus =
+    "\x01\x0d\x00\x1d\x00\x00\x00\x00" (* packet-out header, claims 29 bytes *)
+    ^ "\xff\xff\xff\xff\xff\xff\x00\x0d" (* buffer -1, in_port, actions_len 13 *)
+    ^ "\x00\x00\x00\x0d\x00\x01\x00\x00\x00\x00\x00\x00\x00"
+  in
+  try
+    ignore (Wire.parse bogus);
+    Alcotest.fail "expected parse error"
+  with Wire.Parse_error _ -> ()
+
+let prop_msg_roundtrip =
+  QCheck2.Test.make ~name:"random messages roundtrip through the wire" ~count:400
+    Gen.msg_gen
+    (fun m -> roundtrip m = m)
+
+let prop_length_header =
+  QCheck2.Test.make ~name:"length header equals wire size" ~count:400 Gen.msg_gen
+    (fun m ->
+      let wire = Wire.serialize m in
+      let len = (Char.code wire.[2] lsl 8) lor Char.code wire.[3] in
+      len = String.length wire)
+
+let suite =
+  [
+    Alcotest.test_case "simple messages roundtrip" `Quick test_simple_messages;
+    Alcotest.test_case "header layout" `Quick test_header_fields;
+    Alcotest.test_case "flow mod roundtrip" `Quick test_flow_mod_roundtrip;
+    Alcotest.test_case "packet out roundtrip" `Quick test_packet_out_roundtrip;
+    Alcotest.test_case "stats roundtrips" `Quick test_stats_roundtrips;
+    Alcotest.test_case "features reply roundtrip" `Quick test_features_reply_roundtrip;
+    Alcotest.test_case "packet in roundtrip" `Quick test_packet_in_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "message stream" `Quick test_parse_stream;
+    Alcotest.test_case "action length validation" `Quick test_action_length_validation;
+    QCheck_alcotest.to_alcotest prop_msg_roundtrip;
+    QCheck_alcotest.to_alcotest prop_length_header;
+  ]
