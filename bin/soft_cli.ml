@@ -73,6 +73,60 @@ let strategy =
     & opt strategy_conv Symexec.Strategy.default
     & info [ "strategy" ] ~doc:"Search strategy: dfs, bfs, random, interleave.")
 
+(* --- resource budgets (the graceful-degradation layer) ---------------- *)
+
+let budget_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-ms" ]
+        ~doc:
+          "Wall-clock budget per solver query, in milliseconds.  An exhausted \
+           query returns unknown instead of running forever; crosscheck then \
+           escalates down the chunk-split retry ladder and finally reports the \
+           pair as undecided.")
+
+let max_conflicts =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-conflicts" ]
+        ~doc:"CDCL conflict budget per solver query (deterministic counterpart of --budget-ms).")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ]
+        ~doc:
+          "Wall-clock budget for one whole symbolic-execution run; exploration \
+           stops at the deadline and keeps the paths found so far.")
+
+let split =
+  let positive_conv =
+    Arg.conv ~docv:"N"
+      ( (fun s ->
+          match int_of_string_opt s with
+          | Some n when n > 0 -> Ok n
+          | Some _ -> Error (`Msg "chunk size must be positive")
+          | None -> Error (`Msg ("expected an integer, got " ^ s))),
+        Format.pp_print_int )
+  in
+  Arg.(
+    value
+    & opt (some positive_conv) None
+    & info [ "split" ]
+        ~doc:
+          "Crosscheck chunk pairs of at most N member path conditions instead of \
+           monolithic group disjunctions.")
+
+(* The default budget reaches every solver call in the process — including
+   the ones issued deep inside the engine — without threading a parameter
+   through each layer. *)
+let apply_budget budget_ms max_conflicts =
+  Smt.Solver.set_default_budget
+    (Smt.Solver.budget ?max_conflicts ?timeout_ms:budget_ms ())
+
 (* --- run ------------------------------------------------------------- *)
 
 let run_cmd =
@@ -83,8 +137,9 @@ let run_cmd =
   let out =
     Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file.")
   in
-  let run agent test out max_paths strategy =
-    let r = Harness.Runner.execute ~max_paths ~strategy agent test in
+  let run agent test out max_paths strategy budget_ms max_conflicts deadline_ms =
+    apply_budget budget_ms max_conflicts;
+    let r = Harness.Runner.execute ~max_paths ~strategy ?deadline_ms agent test in
     Harness.Serialize.save out (Harness.Serialize.of_run r);
     Format.printf "%s on %s: %a@." r.Harness.Runner.run_agent r.run_test
       Symexec.Engine.pp_stats r.run_stats;
@@ -93,7 +148,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Phase 1: symbolically execute one agent on one test.")
-    Term.(const run $ agent $ test $ out $ max_paths $ strategy)
+    Term.(
+      const run $ agent $ test $ out $ max_paths $ strategy $ budget_ms $ max_conflicts
+      $ deadline_ms)
 
 (* --- group ----------------------------------------------------------- *)
 
@@ -113,16 +170,43 @@ let group_cmd =
 let check_cmd =
   let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"RUN_A") in
   let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"RUN_B") in
-  let run file_a file_b =
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically snapshot crosscheck progress to $(docv) (atomic \
+             rename), so a killed run can restart where it left off.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a previous --checkpoint snapshot; pairs it already \
+             decided are not re-solved.  A missing file is a fresh start.  Use \
+             the same file for --checkpoint and --resume to make a run \
+             restartable in place.")
+  in
+  let run file_a file_b split budget_ms max_conflicts checkpoint resume =
+    apply_budget budget_ms max_conflicts;
     let a = Soft.Grouping.of_saved (Harness.Serialize.load file_a) in
     let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
-    let outcome = Soft.Crosscheck.check a b in
-    Format.printf "%a@." Soft.Crosscheck.pp outcome;
-    Format.printf "root causes:@.%a@." Soft.Report.pp_summary (Soft.Report.summarize outcome)
+    match Soft.Crosscheck.check ?split ?checkpoint ?resume a b with
+    | outcome ->
+      Format.printf "%a@." Soft.Crosscheck.pp outcome;
+      Format.printf "root causes:@.%a@." Soft.Report.pp_summary
+        (Soft.Report.summarize outcome)
+    | exception Soft.Crosscheck.Checkpoint_error msg ->
+      Format.eprintf "soft: cannot resume: %s@." msg;
+      exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Phase 2: crosscheck two phase-1 runs for inconsistencies.")
-    Term.(const run $ file_a $ file_b)
+    Term.(
+      const run $ file_a $ file_b $ split $ budget_ms $ max_conflicts $ checkpoint $ resume)
 
 (* --- compare --------------------------------------------------------- *)
 
@@ -137,8 +221,13 @@ let compare_cmd =
   let cases =
     Arg.(value & flag & info [ "cases" ] ~doc:"Print a concrete reproducer per inconsistency.")
   in
-  let run agent_a agent_b test cases max_paths strategy =
-    let c = Soft.Pipeline.compare_agents ~max_paths ~strategy agent_a agent_b test in
+  let run agent_a agent_b test cases max_paths strategy split budget_ms max_conflicts
+      deadline_ms =
+    apply_budget budget_ms max_conflicts;
+    let c =
+      Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split agent_a agent_b
+        test
+    in
     Format.printf "%a@." Soft.Pipeline.pp_comparison c;
     if cases then
       List.iteri
@@ -147,7 +236,9 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run both phases: find inconsistencies between two agents.")
-    Term.(const run $ agent_a $ agent_b $ test $ cases $ max_paths $ strategy)
+    Term.(
+      const run $ agent_a $ agent_b $ test $ cases $ max_paths $ strategy $ split
+      $ budget_ms $ max_conflicts $ deadline_ms)
 
 (* --- list ------------------------------------------------------------ *)
 

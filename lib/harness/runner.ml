@@ -50,9 +50,13 @@ let drive (module A : Agent_intf.S) (spec : Test_spec.t) env =
   ignore final
 
 let execute ?(max_paths = default_max_paths) ?(strategy = Strategy.default)
-    ?(use_interval = true) (agent : Agent_intf.t) (spec : Test_spec.t) =
+    ?(use_interval = true) ?deadline_ms ?solver_budget (agent : Agent_intf.t)
+    (spec : Test_spec.t) =
   let (module A) = agent in
-  let result = Engine.run ~strategy ~max_paths ~use_interval (drive agent spec) in
+  let result =
+    Engine.run ~strategy ~max_paths ~use_interval ?deadline_ms ?solver_budget
+      (drive agent spec)
+  in
   let paths =
     List.map
       (fun (r : Trace.event Engine.path_result) ->
@@ -71,6 +75,37 @@ let execute ?(max_paths = default_max_paths) ?(strategy = Strategy.default)
     run_stats = result.Engine.stats;
     run_coverage = result.Engine.coverage;
   }
+
+(* Crash isolation at the run boundary.  The engine already contains
+   per-path exceptions; what still escapes it — an agent's [init] or
+   [connection_setup] raising, a solver soundness violation, a corrupted
+   spec — would otherwise abort a whole suite.  [execute_safe] converts any
+   such escape into a per-run failure record so the caller can keep going
+   and report which (agent, test) runs were lost. *)
+type failure = {
+  f_agent : string;
+  f_test : string;
+  f_error : string;
+  f_backtrace : string;
+}
+
+let pp_failure fmt f =
+  Format.fprintf fmt "%s on %s FAILED: %s" f.f_agent f.f_test f.f_error
+
+let execute_safe ?max_paths ?strategy ?use_interval ?deadline_ms ?solver_budget agent
+    (spec : Test_spec.t) =
+  let (module A : Agent_intf.S) = agent in
+  match execute ?max_paths ?strategy ?use_interval ?deadline_ms ?solver_budget agent spec with
+  | r -> Ok r
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception e ->
+    Error
+      {
+        f_agent = A.name;
+        f_test = spec.Test_spec.id;
+        f_error = Printexc.to_string e;
+        f_backtrace = Printexc.get_backtrace ();
+      }
 
 let coverage_report (r : run) = Coverage.report r.run_agent r.run_coverage
 

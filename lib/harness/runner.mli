@@ -37,9 +37,38 @@ val execute :
   ?max_paths:int ->
   ?strategy:Symexec.Strategy.t ->
   ?use_interval:bool ->
+  ?deadline_ms:int ->
+  ?solver_budget:Smt.Solver.budget ->
   Switches.Agent_intf.t ->
   Test_spec.t ->
   run
+(** [deadline_ms] bounds the run's wall-clock exploration time;
+    [solver_budget] bounds each feasibility query (see
+    {!Symexec.Engine.run}). *)
+
+type failure = {
+  f_agent : string;
+  f_test : string;
+  f_error : string;  (** printed exception *)
+  f_backtrace : string;
+}
+(** A whole-run failure: the agent (or the stack under it) raised outside
+    the engine's per-path isolation. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val execute_safe :
+  ?max_paths:int ->
+  ?strategy:Symexec.Strategy.t ->
+  ?use_interval:bool ->
+  ?deadline_ms:int ->
+  ?solver_budget:Smt.Solver.budget ->
+  Switches.Agent_intf.t ->
+  Test_spec.t ->
+  (run, failure) result
+(** Like {!execute}, but any exception escaping the run is captured as a
+    {!failure} record instead of aborting the caller ([Out_of_memory]
+    still propagates).  One crashing agent must not lose a suite. *)
 
 val coverage_report : run -> Symexec.Coverage.report
 

@@ -1,0 +1,11 @@
+(* Monotonic clock helper.  All stage timings and deadline logic in the
+   solver, engine and crosscheck go through this module rather than
+   [Unix.gettimeofday]: wall-clock steps (NTP, manual adjustment) would
+   otherwise corrupt [solver_time]/[o_check_time] and, worse, any budget
+   deadline computed from them. *)
+
+external now_ns : unit -> int64 = "soft_mono_clock_ns"
+
+let now () = Int64.to_float (now_ns ()) /. 1e9
+
+let elapsed since = now () -. since

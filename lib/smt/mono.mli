@@ -1,0 +1,13 @@
+(** Monotonic clock.  Use this — never [Unix.gettimeofday] — for stage
+    timings and deadlines: it cannot step backwards or jump under NTP
+    adjustment.  The origin is arbitrary (boot time on Linux); only
+    differences between readings are meaningful. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin. *)
+
+val now : unit -> float
+(** Seconds from the same origin, as a float. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0]. *)

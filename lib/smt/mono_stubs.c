@@ -1,0 +1,15 @@
+/* Monotonic clock for deadline and timing logic.  Unix.gettimeofday is
+   wall-clock time and steps under NTP adjustment, which corrupts both the
+   reported stage timings and any deadline arithmetic built on them. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value soft_mono_clock_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -6,7 +6,11 @@
    Literal encoding: variable [v] yields literals [2*v] (positive) and
    [2*v+1] (negated). *)
 
-type result = Sat | Unsat
+(* Why a solve can stop without an answer: every budget maps to one of
+   these, and the frontend surfaces them as [Solver.Unknown]. *)
+type stop_reason = Conflicts | Decisions | Time
+
+type result = Sat | Unsat | Unknown of stop_reason
 
 type clause = { lits : int array; learnt : bool }
 
@@ -32,6 +36,7 @@ type t = {
   mutable ok : bool; (* false once a top-level conflict is found *)
   mutable conflicts : int;
   mutable propagations : int;
+  mutable decisions : int; (* cumulative, for the decision budget *)
 }
 
 let lit_var l = l lsr 1
@@ -61,6 +66,7 @@ let create () =
     ok = true;
     conflicts = 0;
     propagations = 0;
+    decisions = 0;
   }
 
 let grow_int_array a n default =
@@ -386,6 +392,7 @@ let decide s =
   let v = pick () in
   if v < 0 then -1
   else begin
+    s.decisions <- s.decisions + 1;
     s.trail_lim.(s.ndecisions) <- s.trail_size;
     s.ndecisions <- s.ndecisions + 1;
     let l = if s.polarity.(v) then 2 * v else (2 * v) + 1 in
@@ -393,9 +400,29 @@ let decide s =
     v
   end
 
-let solve s =
+(* Budgets make [solve] total in practice: [max_conflicts]/[max_decisions]
+   are counted from this call's start, [deadline] is an absolute monotonic
+   time ([Mono.now] seconds).  When any budget is exhausted the search is
+   unwound to level 0 and [Unknown] is returned — the instance stays valid
+   but carries no model. *)
+let solve ?max_conflicts ?max_decisions ?deadline s =
   if not s.ok then Unsat
   else begin
+    let conflicts0 = s.conflicts and decisions0 = s.decisions in
+    let over_budget () =
+      if match max_conflicts with
+        | Some n -> s.conflicts - conflicts0 >= n
+        | None -> false
+      then Some Conflicts
+      else if
+        match max_decisions with
+        | Some n -> s.decisions - decisions0 >= n
+        | None -> false
+      then Some Decisions
+      else if match deadline with Some d -> Mono.now () >= d | None -> false then
+        Some Time
+      else None
+    in
     let restart_count = ref 0 in
     let result = ref None in
     while !result = None do
@@ -415,14 +442,25 @@ let solve s =
           else begin
             let learnt, btlevel = analyze s confl in
             record_learnt s learnt btlevel;
-            decay_activities s
+            decay_activities s;
+            match over_budget () with
+            | Some r ->
+              cancel_until s 0;
+              result := Some (Unknown r)
+            | None -> ()
           end
         end
         else if !conflicts_here >= conflict_budget then begin
           cancel_until s 0;
           restart := true
         end
-        else if decide s < 0 then result := Some Sat
+        else
+          match over_budget () with
+          (* also bounds conflict-free dives through huge instances *)
+          | Some r ->
+            cancel_until s 0;
+            result := Some (Unknown r)
+          | None -> if decide s < 0 then result := Some Sat
       done
     done;
     match !result with Some r -> r | None -> assert false
@@ -432,3 +470,5 @@ let solve s =
 let model_value s v = if v < s.nvars then s.assigns.(v) = 1 else false
 
 let stats s = (s.conflicts, s.propagations, s.nvars, s.nclauses)
+
+let decisions s = s.decisions

@@ -5,7 +5,10 @@
     Literal encoding: variable [v] yields literal [2*v] (positive) and
     [2*v+1] (negated). *)
 
-type result = Sat | Unsat
+type stop_reason = Conflicts | Decisions | Time
+(** Which budget stopped an inconclusive solve. *)
+
+type result = Sat | Unsat | Unknown of stop_reason
 
 type t
 
@@ -19,7 +22,12 @@ val add_clause : t -> int list -> unit
     {!solve}.  Tautologies are dropped; an empty clause makes the instance
     trivially unsatisfiable. *)
 
-val solve : t -> result
+val solve : ?max_conflicts:int -> ?max_decisions:int -> ?deadline:float -> t -> result
+(** Decide the instance.  [max_conflicts]/[max_decisions] bound the search
+    effort spent in this call; [deadline] is an absolute monotonic time in
+    {!Mono.now} seconds.  With no budgets the search runs to completion.
+    On budget exhaustion the result is [Unknown] and the instance remains
+    usable (the search is unwound to decision level 0). *)
 
 val model_value : t -> int -> bool
 (** After [Sat]: the assignment of a variable (unassigned vars read as
@@ -31,3 +39,6 @@ val lit_sign : int -> bool
 
 val stats : t -> int * int * int * int
 (** [(conflicts, propagations, nvars, nclauses)]. *)
+
+val decisions : t -> int
+(** Cumulative decision count (the quantity bounded by [max_decisions]). *)

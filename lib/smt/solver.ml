@@ -6,9 +6,46 @@
    3. bit-blast + CDCL SAT, with model extraction on SAT.
 
    Results are memoized on the multiset of constraint ids; this pays off
-   because path exploration re-checks shared path-condition prefixes. *)
+   because path exploration re-checks shared path-condition prefixes.
 
-type result = Sat of Model.t | Unsat
+   Every query may carry a resource budget (conflicts, decisions,
+   wall-clock).  An exhausted budget yields the third outcome [Unknown],
+   which is never cached: a later identical query may carry a larger
+   budget and deserves a fresh attempt. *)
+
+type unknown_reason = Out_of_conflicts | Out_of_decisions | Out_of_time
+
+type result = Sat of Model.t | Unsat | Unknown of unknown_reason
+
+exception Solver_error of string * Expr.boolean list
+
+let unknown_reason_to_string = function
+  | Out_of_conflicts -> "conflict budget exhausted"
+  | Out_of_decisions -> "decision budget exhausted"
+  | Out_of_time -> "time budget exhausted"
+
+(* --- budgets --------------------------------------------------------- *)
+
+type budget = {
+  b_max_conflicts : int option;
+  b_max_decisions : int option;
+  b_timeout_ms : int option; (* per-query wall clock, monotonic *)
+}
+
+let no_budget = { b_max_conflicts = None; b_max_decisions = None; b_timeout_ms = None }
+
+let budget ?max_conflicts ?max_decisions ?timeout_ms () =
+  { b_max_conflicts = max_conflicts; b_max_decisions = max_decisions; b_timeout_ms = timeout_ms }
+
+let is_unlimited b = b = no_budget
+
+(* Queries that do not pass an explicit [?budget] fall back to this; the
+   CLI sets it from --budget-ms / --max-conflicts so the budget reaches
+   every solver call without threading a parameter through each layer. *)
+let default_budget = ref no_budget
+
+let set_default_budget b = default_budget := b
+let get_default_budget () = !default_budget
 
 type stats = {
   mutable queries : int;
@@ -18,6 +55,8 @@ type stats = {
   mutable sat_calls : int;
   mutable sat_results : int;
   mutable unsat_results : int;
+  mutable unknown_results : int;
+  mutable cache_evictions : int;
   mutable solver_time : float;
 }
 
@@ -29,6 +68,8 @@ let stats = {
   sat_calls = 0;
   sat_results = 0;
   unsat_results = 0;
+  unknown_results = 0;
+  cache_evictions = 0;
   solver_time = 0.0;
 }
 
@@ -40,29 +81,59 @@ let reset_stats () =
   stats.sat_calls <- 0;
   stats.sat_results <- 0;
   stats.unsat_results <- 0;
+  stats.unknown_results <- 0;
+  stats.cache_evictions <- 0;
   stats.solver_time <- 0.0
 
-(* cache: sorted constraint-id list -> result *)
+(* cache: sorted constraint-id list -> result.  Bounded: a week-long suite
+   run must not grow memory without limit, so on reaching capacity the
+   whole table is dropped (cheap, and path exploration rebuilds the useful
+   prefix entries quickly). *)
 let cache : (int list, result) Hashtbl.t = Hashtbl.create 4096
+
+let cache_capacity = ref 65536
+
+let set_cache_capacity n =
+  if n <= 0 then invalid_arg "Solver.set_cache_capacity: capacity must be positive";
+  cache_capacity := n
 
 let clear_cache () = Hashtbl.reset cache
 
+let cache_add key r =
+  if Hashtbl.length cache >= !cache_capacity then begin
+    stats.cache_evictions <- stats.cache_evictions + 1;
+    Hashtbl.reset cache
+  end;
+  Hashtbl.replace cache key r
+
 let cache_key conds = List.sort_uniq compare (List.map (fun (b : Expr.boolean) -> b.Expr.bid) conds)
 
-let run_sat conds =
+let run_sat budget conds =
   stats.sat_calls <- stats.sat_calls + 1;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mono.now () in
   let ctx = Bitblast.create () in
   List.iter (Bitblast.assert_bool ctx) conds;
+  (* the deadline is anchored before bit-blasting, so blast time counts
+     against the same per-query budget as the search *)
+  let deadline =
+    Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) budget.b_timeout_ms
+  in
   let r =
-    match Sat.solve ctx.Bitblast.sat with
+    match
+      Sat.solve ?max_conflicts:budget.b_max_conflicts
+        ?max_decisions:budget.b_max_decisions ?deadline ctx.Bitblast.sat
+    with
     | Sat.Sat -> Sat (Bitblast.extract_model ctx)
     | Sat.Unsat -> Unsat
+    | Sat.Unknown Sat.Conflicts -> Unknown Out_of_conflicts
+    | Sat.Unknown Sat.Decisions -> Unknown Out_of_decisions
+    | Sat.Unknown Sat.Time -> Unknown Out_of_time
   in
-  stats.solver_time <- stats.solver_time +. (Unix.gettimeofday () -. t0);
+  stats.solver_time <- stats.solver_time +. Mono.elapsed t0;
   r
 
-let check ?(use_interval = true) ?(use_cache = true) conds =
+let check ?(use_interval = true) ?(use_cache = true) ?budget conds =
+  let budget = match budget with Some b -> b | None -> !default_budget in
   stats.queries <- stats.queries + 1;
   (* drop trivially-true conjuncts; answer immediately on any false *)
   let conds = List.filter (fun c -> not (Expr.is_true c)) conds in
@@ -86,28 +157,45 @@ let check ?(use_interval = true) ?(use_cache = true) conds =
           stats.interval_hits <- stats.interval_hits + 1;
           Unsat
         end
-        else run_sat conds
+        else run_sat budget conds
       in
       (match r with
        | Sat m ->
          stats.sat_results <- stats.sat_results + 1;
-         (* sanity: the model must actually satisfy the query *)
-         assert (Model.satisfies m conds)
-       | Unsat -> stats.unsat_results <- stats.unsat_results + 1);
-      if use_cache then Hashtbl.replace cache key r;
+         (* sanity: the model must actually satisfy the query.  A raised
+            error, not an assert — asserts vanish under --release, which
+            would silently disable the check exactly when it matters. *)
+         if not (Model.satisfies m conds) then
+           raise (Solver_error ("SAT model does not satisfy the query", conds))
+       | Unsat -> stats.unsat_results <- stats.unsat_results + 1
+       | Unknown _ -> stats.unknown_results <- stats.unknown_results + 1);
+      (* never cache Unknown: it reflects this call's budget, not the query *)
+      (match r with
+       | Unknown _ -> ()
+       | Sat _ | Unsat -> if use_cache then cache_add key r);
       r
 
-let is_sat ?use_interval ?use_cache conds =
-  match check ?use_interval ?use_cache conds with Sat _ -> true | Unsat -> false
+let is_sat ?use_interval ?use_cache ?budget conds =
+  match check ?use_interval ?use_cache ?budget conds with
+  | Sat _ -> true
+  | Unsat | Unknown _ -> false
 
-let get_model ?use_interval ?use_cache conds =
-  match check ?use_interval ?use_cache conds with Sat m -> Some m | Unsat -> None
+let get_model ?use_interval ?use_cache ?budget conds =
+  match check ?use_interval ?use_cache ?budget conds with
+  | Sat m -> Some m
+  | Unsat | Unknown _ -> None
 
-(* Validity of an implication: pc ⊨ c  iff  pc ∧ ¬c is unsat. *)
-let entails pc c = not (is_sat (Expr.not_ c :: pc))
+(* Validity of an implication: pc ⊨ c  iff  pc ∧ ¬c is unsat.  An Unknown
+   on the negation means we cannot certify the entailment — answer [false]
+   (the sound direction for every current caller). *)
+let entails ?budget pc c =
+  match check ?budget (Expr.not_ c :: pc) with
+  | Unsat -> true
+  | Sat _ | Unknown _ -> false
 
 let pp_stats fmt () =
   Format.fprintf fmt
-    "queries=%d const=%d interval=%d cache=%d sat_calls=%d (sat=%d unsat=%d) time=%.3fs"
+    "queries=%d const=%d interval=%d cache=%d sat_calls=%d (sat=%d unsat=%d unknown=%d) evictions=%d time=%.3fs"
     stats.queries stats.const_hits stats.interval_hits stats.cache_hits stats.sat_calls
-    stats.sat_results stats.unsat_results stats.solver_time
+    stats.sat_results stats.unsat_results stats.unknown_results stats.cache_evictions
+    stats.solver_time

@@ -3,11 +3,53 @@
     A query is a conjunction of boolean expressions.  The pipeline is
     constant short-circuiting, then the sound UNSAT-only interval filter,
     then bit-blasting to the CDCL SAT core with model extraction.
-    Results are memoized on the multiset of constraint ids. *)
+    Results are memoized on the multiset of constraint ids.
+
+    Every query may carry a resource {!budget}; exhausting it yields the
+    third outcome [Unknown], which is never cached (a later identical
+    query may carry a larger budget). *)
+
+type unknown_reason =
+  | Out_of_conflicts  (** the conflict budget was exhausted *)
+  | Out_of_decisions  (** the decision budget was exhausted *)
+  | Out_of_time  (** the per-query wall-clock budget was exhausted *)
 
 type result =
   | Sat of Model.t  (** satisfiable, with a concrete witness *)
   | Unsat
+  | Unknown of unknown_reason  (** gave up within the budget *)
+
+exception Solver_error of string * Expr.boolean list
+(** Internal soundness violation (e.g. a SAT answer whose model does not
+    satisfy the query), carrying the offending query.  A real exception
+    rather than an [assert]: asserts vanish under [--release]. *)
+
+val unknown_reason_to_string : unknown_reason -> string
+
+(** {1 Budgets} *)
+
+type budget = {
+  b_max_conflicts : int option;  (** CDCL conflicts per query *)
+  b_max_decisions : int option;  (** CDCL decisions per query *)
+  b_timeout_ms : int option;  (** wall-clock per query, monotonic *)
+}
+
+val no_budget : budget
+(** No limits; [solve] runs to completion (the pre-budget behaviour). *)
+
+val budget :
+  ?max_conflicts:int -> ?max_decisions:int -> ?timeout_ms:int -> unit -> budget
+
+val is_unlimited : budget -> bool
+
+val set_default_budget : budget -> unit
+(** Budget applied to queries that pass no explicit [?budget].  The CLI
+    sets this from [--budget-ms]/[--max-conflicts] so limits reach every
+    solver call in the process. *)
+
+val get_default_budget : unit -> budget
+
+(** {1 Statistics} *)
 
 type stats = {
   mutable queries : int;
@@ -17,7 +59,9 @@ type stats = {
   mutable sat_calls : int;  (** queries reaching the SAT core *)
   mutable sat_results : int;
   mutable unsat_results : int;
-  mutable solver_time : float;  (** wall seconds inside the SAT core *)
+  mutable unknown_results : int;  (** queries that exhausted their budget *)
+  mutable cache_evictions : int;  (** memo-table flushes at capacity *)
+  mutable solver_time : float;  (** monotonic seconds inside the SAT core *)
 }
 
 val stats : stats
@@ -25,19 +69,40 @@ val stats : stats
 
 val reset_stats : unit -> unit
 
+(** {1 Memo cache} *)
+
 val clear_cache : unit -> unit
 (** Drop the query-result memo table (benchmarks use this to measure cold
     costs). *)
 
-val check : ?use_interval:bool -> ?use_cache:bool -> Expr.boolean list -> result
+val set_cache_capacity : int -> unit
+(** Entry count at which the memo table is flushed (default 65536); keeps
+    week-long suite runs from growing memory without bound.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+(** {1 Queries} *)
+
+val check :
+  ?use_interval:bool -> ?use_cache:bool -> ?budget:budget -> Expr.boolean list -> result
 (** [check conds] decides the conjunction of [conds].  [use_interval]
     (default true) enables the interval pre-filter; [use_cache] (default
-    true) the memo table. *)
+    true) the memo table; [budget] defaults to {!set_default_budget}'s
+    value (initially unlimited).  [Unknown] results are never cached. *)
 
-val is_sat : ?use_interval:bool -> ?use_cache:bool -> Expr.boolean list -> bool
-val get_model : ?use_interval:bool -> ?use_cache:bool -> Expr.boolean list -> Model.t option
+val is_sat :
+  ?use_interval:bool -> ?use_cache:bool -> ?budget:budget -> Expr.boolean list -> bool
+(** [Unknown] maps to [false]; callers that must distinguish "unsat" from
+    "gave up" use {!check}. *)
 
-val entails : Expr.boolean list -> Expr.boolean -> bool
-(** [entails pc c] iff [pc ∧ ¬c] is unsatisfiable. *)
+val get_model :
+  ?use_interval:bool ->
+  ?use_cache:bool ->
+  ?budget:budget ->
+  Expr.boolean list ->
+  Model.t option
+
+val entails : ?budget:budget -> Expr.boolean list -> Expr.boolean -> bool
+(** [entails pc c] iff [pc ∧ ¬c] is unsatisfiable.  [Unknown] answers
+    [false]: we refuse to certify an entailment we could not prove. *)
 
 val pp_stats : Format.formatter -> unit -> unit

@@ -6,7 +6,18 @@
 
    The number of solver queries is |RES_A| · |RES_B| minus the equal pairs,
    which grouping has already reduced by orders of magnitude relative to
-   raw path counts. *)
+   raw path counts.
+
+   This stage is the fragile part of SOFT — the paper's own STP blew up on
+   the Open vSwitch FlowMod disjunctions (§5.2, Table 3).  Three defences
+   live here:
+   - per-query solver budgets, so a pathological pair costs bounded time;
+   - a chunk-split retry ladder: when the monolithic disjunction pair comes
+     back [Unknown], it is re-checked as pairs of ever smaller disjunction
+     chunks (the paper's proposed future-work remedy) before the pair is
+     finally recorded as *undecided* rather than silently dropped;
+   - periodic checkpoints, so a killed multi-hour crosscheck resumes where
+     it left off instead of starting over. *)
 
 open Smt
 module Trace = Openflow.Trace
@@ -27,6 +38,9 @@ type outcome = {
   o_inconsistencies : inconsistency list;
   o_pairs_checked : int;
   o_pairs_equal : int; (* pairs skipped because the results were identical *)
+  o_pairs_undecided : (string * string) list;
+  (* result-key pairs on which every budgeted attempt, including the full
+     retry ladder, came back Unknown — "gave up", not "no inconsistency" *)
   o_check_time : float; (* seconds in the intersection stage (Table 3) *)
 }
 
@@ -36,6 +50,7 @@ type outcome = {
    monolithic conjunction — the paper's proposed remedy for the solver
    blow-up on CS FlowMods (§5.2, future work). *)
 let chunk_conds n conds =
+  if n <= 0 then invalid_arg "Crosscheck.chunk_conds: chunk size must be positive";
   let rec go acc cur k = function
     | [] -> List.rev (if cur = [] then acc else Expr.balanced_disj (List.rev cur) :: acc)
     | c :: rest ->
@@ -44,62 +59,270 @@ let chunk_conds n conds =
   in
   go [] [] 0 conds
 
-let sat_pair ?split (ga : Grouping.group) (gb : Grouping.group) =
-  match split with
-  | None -> (
-    match Solver.check [ ga.Grouping.g_cond; gb.Grouping.g_cond ] with
-    | Solver.Sat witness -> Some witness
-    | Solver.Unsat -> None)
-  | Some n ->
-    let chunks_a = chunk_conds n ga.Grouping.g_member_conds in
-    let chunks_b = chunk_conds n gb.Grouping.g_member_conds in
-    let rec pairs = function
-      | [] -> None
-      | ca :: rest_a ->
-        let rec inner = function
-          | [] -> pairs rest_a
-          | cb :: rest_b -> (
-            match Solver.check [ ca; cb ] with
-            | Solver.Sat witness -> Some witness
-            | Solver.Unsat -> inner rest_b)
-        in
-        inner chunks_b
-    in
-    pairs chunks_a
+type pair_verdict = Pair_sat of Model.t | Pair_unsat | Pair_undecided
 
-let check ?split ?(on_found = fun (_ : inconsistency) -> ()) (a : Grouping.grouped)
-    (b : Grouping.grouped) =
+(* Check every chunk pair: any SAT ends the search with a witness; all
+   UNSAT proves the pair clean; an Unknown with no SAT anywhere leaves the
+   pair undecided. *)
+let check_chunks ?budget chunks_a chunks_b =
+  let unknown = ref false in
+  let rec pairs = function
+    | [] -> if !unknown then Pair_undecided else Pair_unsat
+    | ca :: rest_a ->
+      let rec inner = function
+        | [] -> pairs rest_a
+        | cb :: rest_b -> (
+          match Solver.check ?budget [ ca; cb ] with
+          | Solver.Sat witness -> Pair_sat witness
+          | Solver.Unsat -> inner rest_b
+          | Solver.Unknown _ ->
+            unknown := true;
+            inner rest_b)
+      in
+      inner chunks_b
+  in
+  pairs chunks_a
+
+(* Chunk sizes tried, in order, after a budgeted attempt comes back
+   Unknown: split the disjunctions ever finer before giving up. *)
+let default_retry_ladder = [ 16; 4; 1 ]
+
+let sat_pair ?split ?budget ?(retry = default_retry_ladder) (ga : Grouping.group)
+    (gb : Grouping.group) =
+  let members_a = ga.Grouping.g_member_conds and members_b = gb.Grouping.g_member_conds in
+  let attempt = function
+    | None -> check_chunks ?budget [ ga.Grouping.g_cond ] [ gb.Grouping.g_cond ]
+    | Some n -> check_chunks ?budget (chunk_conds n members_a) (chunk_conds n members_b)
+  in
+  let chunk_count = function
+    | None -> 1
+    | Some n -> ((List.length members_a + n - 1) / n) + ((List.length members_b + n - 1) / n)
+  in
+  let rec go current rungs =
+    match attempt current with
+    | (Pair_sat _ | Pair_unsat) as v -> v
+    | Pair_undecided -> (
+      (* escalate down the ladder, skipping rungs that would re-issue the
+         exact same chunking (e.g. singleton groups) *)
+      match rungs with
+      | [] -> Pair_undecided
+      | n :: rest ->
+        let finer =
+          n >= 1
+          && (match current with None -> true | Some c -> n < c)
+          && chunk_count (Some n) > chunk_count current
+        in
+        if finer then go (Some n) rest else go current rest)
+  in
+  go split retry
+
+(* --- checkpointing --------------------------------------------------- *)
+
+exception Checkpoint_error of string
+
+(* What a finished pair contributed, keyed by (index_a, index_b); this is
+   both the in-memory resume state and the on-disk record. *)
+type pair_outcome =
+  | P_clean
+  | P_undecided
+  | P_inc of (Expr.var * int64) list (* witness bindings *)
+
+(* The checkpoint ties itself to the exact grouped inputs via a digest of
+   the group keys, so resuming against different runs is refused instead of
+   silently producing garbage. *)
+let fingerprint (ka : string array) (kb : string array) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" (Array.to_list ka) ^ "\x01" ^ String.concat "\x00" (Array.to_list kb)))
+
+let write_checkpoint path ~test ~agent_a ~agent_b ~fp (decided : (int * int, pair_outcome) Hashtbl.t) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "soft-checkpoint 1\n";
+      Printf.fprintf oc "test %s\n" test;
+      Printf.fprintf oc "agent-a %s\n" agent_a;
+      Printf.fprintf oc "agent-b %s\n" agent_b;
+      Printf.fprintf oc "fingerprint %s\n" fp;
+      Hashtbl.iter
+        (fun (i, j) outcome ->
+          match outcome with
+          | P_clean -> Printf.fprintf oc "d %d %d\n" i j
+          | P_undecided -> Printf.fprintf oc "u %d %d\n" i j
+          | P_inc bindings ->
+            Printf.fprintf oc "i %d %d\n" i j;
+            List.iter
+              (fun (v, value) ->
+                Printf.fprintf oc "w %d %Lx |%s|\n" (Expr.var_width v) value (Expr.var_name v))
+              bindings)
+        decided);
+  (* atomic replace: a kill mid-write never corrupts the previous snapshot *)
+  Sys.rename tmp path
+
+let read_checkpoint path ~test ~agent_a ~agent_b ~fp =
+  let decided : (int * int, pair_outcome) Hashtbl.t = Hashtbl.create 256 in
+  if not (Sys.file_exists path) then decided (* fresh start *)
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let fail msg = raise (Checkpoint_error (path ^ ": " ^ msg)) in
+        let line () = try Some (input_line ic) with End_of_file -> None in
+        let expect_kv key expected =
+          match line () with
+          | Some l when l = key ^ " " ^ expected -> ()
+          | Some l -> fail (Printf.sprintf "expected '%s %s', got '%s'" key expected l)
+          | None -> fail "truncated header"
+        in
+        (match line () with
+         | Some "soft-checkpoint 1" -> ()
+         | _ -> fail "bad magic");
+        expect_kv "test" test;
+        expect_kv "agent-a" agent_a;
+        expect_kv "agent-b" agent_b;
+        expect_kv "fingerprint" fp;
+        let parse_ij l =
+          match String.split_on_char ' ' l with
+          | [ _; i; j ] -> (
+            match (int_of_string_opt i, int_of_string_opt j) with
+            | Some i, Some j -> (i, j)
+            | _ -> fail ("bad pair indices: " ^ l))
+          | _ -> fail ("bad pair line: " ^ l)
+        in
+        let parse_w l =
+          (* w WIDTH HEX |name| — the name is last and |-quoted, so it may
+             contain spaces *)
+          match String.index_opt l '|' with
+          | None -> fail ("bad witness line: " ^ l)
+          | Some bar ->
+            if String.length l < bar + 2 || l.[String.length l - 1] <> '|' then
+              fail ("bad witness name: " ^ l);
+            let name = String.sub l (bar + 1) (String.length l - bar - 2) in
+            let head = String.trim (String.sub l 0 bar) in
+            (match String.split_on_char ' ' head with
+             | [ _; w; hex ] -> (
+               match
+                 (int_of_string_opt w, Int64.of_string_opt ("0x" ^ hex))
+               with
+               | Some w, Some value -> (Expr.make_var name w, value)
+               | _ -> fail ("bad witness binding: " ^ l))
+             | _ -> fail ("bad witness line: " ^ l))
+        in
+        let cur_inc = ref None in
+        let flush () =
+          match !cur_inc with
+          | Some (ij, bindings) ->
+            Hashtbl.replace decided ij (P_inc (List.rev bindings));
+            cur_inc := None
+          | None -> ()
+        in
+        let rec go () =
+          match line () with
+          | None -> flush ()
+          | Some "" -> go ()
+          | Some l when String.length l >= 2 && l.[0] = 'd' && l.[1] = ' ' ->
+            flush ();
+            Hashtbl.replace decided (parse_ij l) P_clean;
+            go ()
+          | Some l when String.length l >= 2 && l.[0] = 'u' && l.[1] = ' ' ->
+            flush ();
+            Hashtbl.replace decided (parse_ij l) P_undecided;
+            go ()
+          | Some l when String.length l >= 2 && l.[0] = 'i' && l.[1] = ' ' ->
+            flush ();
+            cur_inc := Some (parse_ij l, []);
+            go ()
+          | Some l when String.length l >= 2 && l.[0] = 'w' && l.[1] = ' ' -> (
+            match !cur_inc with
+            | None -> fail ("witness line outside an inconsistency: " ^ l)
+            | Some (ij, bindings) ->
+              cur_inc := Some (ij, parse_w l :: bindings);
+              go ())
+          | Some l -> fail ("unexpected line: " ^ l)
+        in
+        go ();
+        decided)
+  end
+
+(* --- the crosscheck loop --------------------------------------------- *)
+
+let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
+    ?(on_found = fun (_ : inconsistency) -> ()) (a : Grouping.grouped) (b : Grouping.grouped) =
   if a.Grouping.gr_test <> b.Grouping.gr_test then
     invalid_arg "Crosscheck.check: runs of different tests";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mono.now () in
+  let groups_a = Array.of_list a.Grouping.gr_groups in
+  let groups_b = Array.of_list b.Grouping.gr_groups in
+  let keys_a = Array.map (fun (g : Grouping.group) -> g.Grouping.g_key) groups_a in
+  let keys_b = Array.map (fun (g : Grouping.group) -> g.Grouping.g_key) groups_b in
+  let fp = fingerprint keys_a keys_b in
+  let decided =
+    match resume with
+    | Some path ->
+      read_checkpoint path ~test:a.Grouping.gr_test ~agent_a:a.Grouping.gr_agent
+        ~agent_b:b.Grouping.gr_agent ~fp
+    | None -> Hashtbl.create 256
+  in
+  let since_snapshot = ref 0 in
+  let snapshot () =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+      write_checkpoint path ~test:a.Grouping.gr_test ~agent_a:a.Grouping.gr_agent
+        ~agent_b:b.Grouping.gr_agent ~fp decided
+  in
   let pairs_checked = ref 0 in
   let pairs_equal = ref 0 in
   let found = ref [] in
-  List.iter
-    (fun (ga : Grouping.group) ->
-      List.iter
-        (fun (gb : Grouping.group) ->
+  let undecided = ref [] in
+  let mk_inc (ga : Grouping.group) (gb : Grouping.group) witness =
+    {
+      i_result_a = ga.Grouping.g_result;
+      i_result_b = gb.Grouping.g_result;
+      i_witness = witness;
+      i_cond = Expr.and_ ga.Grouping.g_cond gb.Grouping.g_cond;
+      i_paths_a = ga.Grouping.g_path_count;
+      i_paths_b = gb.Grouping.g_path_count;
+    }
+  in
+  Array.iteri
+    (fun i (ga : Grouping.group) ->
+      Array.iteri
+        (fun j (gb : Grouping.group) ->
           if ga.Grouping.g_key = gb.Grouping.g_key then incr pairs_equal
           else begin
             incr pairs_checked;
-            match sat_pair ?split ga gb with
-            | None -> ()
-            | Some witness ->
-              let inc =
-                {
-                  i_result_a = ga.g_result;
-                  i_result_b = gb.Grouping.g_result;
-                  i_witness = witness;
-                  i_cond = Expr.and_ ga.g_cond gb.Grouping.g_cond;
-                  i_paths_a = ga.g_path_count;
-                  i_paths_b = gb.Grouping.g_path_count;
-                }
-              in
-              on_found inc;
-              found := inc :: !found
+            match Hashtbl.find_opt decided (i, j) with
+            | Some P_clean -> ()
+            | Some P_undecided ->
+              undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
+            | Some (P_inc bindings) ->
+              (* replayed from the checkpoint: same inconsistency, no
+                 [on_found] re-notification *)
+              found := mk_inc ga gb (Model.of_bindings bindings) :: !found
+            | None ->
+              (match sat_pair ?split ?budget ?retry ga gb with
+               | Pair_unsat -> Hashtbl.replace decided (i, j) P_clean
+               | Pair_undecided ->
+                 Hashtbl.replace decided (i, j) P_undecided;
+                 undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
+               | Pair_sat witness ->
+                 Hashtbl.replace decided (i, j) (P_inc (Model.bindings witness));
+                 let inc = mk_inc ga gb witness in
+                 on_found inc;
+                 found := inc :: !found);
+              incr since_snapshot;
+              if !since_snapshot >= checkpoint_every then begin
+                since_snapshot := 0;
+                snapshot ()
+              end
           end)
-        b.Grouping.gr_groups)
-    a.Grouping.gr_groups;
+        groups_b)
+    groups_a;
+  snapshot ();
   {
     o_agent_a = a.Grouping.gr_agent;
     o_agent_b = b.Grouping.gr_agent;
@@ -107,14 +330,19 @@ let check ?split ?(on_found = fun (_ : inconsistency) -> ()) (a : Grouping.group
     o_inconsistencies = List.rev !found;
     o_pairs_checked = !pairs_checked;
     o_pairs_equal = !pairs_equal;
-    o_check_time = Unix.gettimeofday () -. t0;
+    o_pairs_undecided = List.rev !undecided;
+    o_check_time = Mono.elapsed t0;
   }
 
 let count o = List.length o.o_inconsistencies
 
+let undecided_count o = List.length o.o_pairs_undecided
+
 let pp fmt o =
-  Format.fprintf fmt "@[<v>%s vs %s on %s: %d inconsistencies (%d pairs checked, %.2fs)@ "
-    o.o_agent_a o.o_agent_b o.o_test (count o) o.o_pairs_checked o.o_check_time;
+  Format.fprintf fmt
+    "@[<v>%s vs %s on %s: %d inconsistencies (%d pairs checked, %d undecided, %.2fs)@ "
+    o.o_agent_a o.o_agent_b o.o_test (count o) o.o_pairs_checked (undecided_count o)
+    o.o_check_time;
   List.iteri
     (fun i inc ->
       Format.fprintf fmt "--- inconsistency %d ---@ %s:@   %s@ %s:@   %s@ witness:@   %s@ " i
@@ -127,4 +355,9 @@ let pp fmt o =
               (fun (v, value) -> Printf.sprintf "%s=0x%Lx" (Expr.var_name v) value)
               (Model.bindings inc.i_witness))))
     o.o_inconsistencies;
+  List.iteri
+    (fun i (ka, kb) ->
+      Format.fprintf fmt "--- undecided %d (budget exhausted) ---@ %s:@   %s@ %s:@   %s@ " i
+        o.o_agent_a ka o.o_agent_b kb)
+    o.o_pairs_undecided;
   Format.fprintf fmt "@]"

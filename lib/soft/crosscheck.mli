@@ -1,7 +1,13 @@
 (** SOFT's inconsistency finder (paper §3.4, §4.2): for every pair of
     *different* grouped results across two agents, ask the solver whether
     [C_A(i) ∧ C_B(j)] is satisfiable.  Each satisfiable pair is an
-    inconsistency and its model a concrete witness input. *)
+    inconsistency and its model a concrete witness input.
+
+    This stage is where the paper's own tooling blew up (STP on the Open
+    vSwitch FlowMod disjunctions, §5.2).  The defences here: per-query
+    solver budgets, a chunk-split retry ladder on [Unknown] (the paper's
+    proposed remedy), pairs recorded as *undecided* instead of silently
+    dropped, and periodic checkpoints so a killed run resumes. *)
 
 type inconsistency = {
   i_result_a : Openflow.Trace.result;
@@ -19,11 +25,50 @@ type outcome = {
   o_inconsistencies : inconsistency list;
   o_pairs_checked : int;
   o_pairs_equal : int;  (** pairs skipped: identical results *)
+  o_pairs_undecided : (string * string) list;
+      (** result-key pairs the solver gave up on within its budget, after
+          the full retry ladder — "gave up", not "no inconsistency" *)
   o_check_time : float;  (** seconds in the intersection stage (Table 3) *)
 }
 
+val chunk_conds : int -> Smt.Expr.boolean list -> Smt.Expr.boolean list
+(** [chunk_conds n conds] groups [conds] into balanced disjunctions of at
+    most [n] members each, preserving order.
+    @raise Invalid_argument if [n <= 0]. *)
+
+type pair_verdict =
+  | Pair_sat of Smt.Model.t  (** inconsistent, with a witness *)
+  | Pair_unsat  (** proven disjoint *)
+  | Pair_undecided  (** every budgeted attempt returned Unknown *)
+
+val default_retry_ladder : int list
+(** Chunk sizes tried, finest last, after an [Unknown]: [[16; 4; 1]]. *)
+
+val sat_pair :
+  ?split:int ->
+  ?budget:Smt.Solver.budget ->
+  ?retry:int list ->
+  Grouping.group ->
+  Grouping.group ->
+  pair_verdict
+(** Decide one group pair.  [split] checks chunk pairs of at most [n]
+    member conditions from the start; on an [Unknown] the disjunctions are
+    re-checked at each strictly finer rung of [retry] (default
+    {!default_retry_ladder}) before the verdict degrades to
+    [Pair_undecided].  [budget] bounds each individual solver query and
+    defaults to the solver's process-wide default budget. *)
+
+exception Checkpoint_error of string
+(** Raised when a resume file is malformed or belongs to different runs
+    (the checkpoint carries a fingerprint of both groups' result keys). *)
+
 val check :
   ?split:int ->
+  ?budget:Smt.Solver.budget ->
+  ?retry:int list ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:string ->
   ?on_found:(inconsistency -> unit) ->
   Grouping.grouped ->
   Grouping.grouped ->
@@ -31,11 +76,27 @@ val check :
 (** Crosscheck two agents' grouped phase-1 results for the same test.
 
     [split]: check chunk pairs of at most [n] member conditions instead of
-    one monolithic disjunction pair — the paper's proposed remedy for
-    solver blow-ups on huge groups; same answers, more but smaller queries
-    with an early exit.
+    one monolithic disjunction pair — same answers, more but smaller
+    queries with an early exit.
+
+    [budget]/[retry]: see {!sat_pair}.  Pairs that stay [Unknown] end up in
+    [o_pairs_undecided] instead of aborting or silently vanishing.
+
+    [checkpoint]: snapshot progress (pairs decided, witnesses found) to
+    this file every [checkpoint_every] (default 64) newly decided pairs,
+    via an atomic rename; a final snapshot is written on completion.
+    [resume]: load a previous snapshot and skip the pairs it already
+    decided — a missing file is a fresh start, a mismatched one raises
+    {!Checkpoint_error}.  A killed-then-resumed run yields the same
+    outcome as an uninterrupted one ([on_found] fires only for newly
+    discovered inconsistencies).
 
     @raise Invalid_argument if the two runs are of different tests. *)
 
 val count : outcome -> int
+
+val undecided_count : outcome -> int
+(** Number of pairs the run gave up on; nonzero means the inconsistency
+    list is a lower bound, not a verdict. *)
+
 val pp : Format.formatter -> outcome -> unit

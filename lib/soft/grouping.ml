@@ -49,13 +49,13 @@ let group_paths paths =
     !order
 
 let of_saved (s : Harness.Serialize.saved) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mono.now () in
   let groups = group_paths s.Harness.Serialize.sv_paths in
   {
     gr_agent = s.sv_agent;
     gr_test = s.sv_test;
     gr_groups = groups;
-    gr_group_time = Unix.gettimeofday () -. t0;
+    gr_group_time = Mono.elapsed t0;
   }
 
 let of_run (r : Harness.Runner.run) = of_saved (Harness.Serialize.of_run r)

@@ -2,7 +2,12 @@
    on a test, group path conditions by output result, and crosscheck the
    groups through the solver.  [compare_agents] runs both phases in one
    process; the [run]/[group]/[check] pieces are also exposed separately so
-   the CLI can exercise the decoupled vendor workflow of §2.4. *)
+   the CLI can exercise the decoupled vendor workflow of §2.4.
+
+   [compare_suite] is the robust entry point for long runs: each agent
+   execution is crash-isolated ({!Harness.Runner.execute_safe}), so one
+   diverging or crashing agent run is recorded as a failure and the rest of
+   the suite still completes. *)
 
 module Runner = Harness.Runner
 module Test_spec = Harness.Test_spec
@@ -16,10 +21,10 @@ type comparison = {
   c_outcome : Crosscheck.outcome;
 }
 
-let compare_runs spec run_a run_b =
+let compare_runs ?split ?budget ?checkpoint ?resume spec run_a run_b =
   let grouped_a = Grouping.of_run run_a in
   let grouped_b = Grouping.of_run run_b in
-  let outcome = Crosscheck.check grouped_a grouped_b in
+  let outcome = Crosscheck.check ?split ?budget ?checkpoint ?resume grouped_a grouped_b in
   {
     c_test = spec;
     c_run_a = run_a;
@@ -29,14 +34,39 @@ let compare_runs spec run_a run_b =
     c_outcome = outcome;
   }
 
-let compare_agents ?max_paths ?strategy agent_a agent_b (spec : Test_spec.t) =
-  let run_a = Runner.execute ?max_paths ?strategy agent_a spec in
-  let run_b = Runner.execute ?max_paths ?strategy agent_b spec in
-  compare_runs spec run_a run_b
+let compare_agents ?max_paths ?strategy ?deadline_ms ?solver_budget ?split agent_a agent_b
+    (spec : Test_spec.t) =
+  let run_a = Runner.execute ?max_paths ?strategy ?deadline_ms ?solver_budget agent_a spec in
+  let run_b = Runner.execute ?max_paths ?strategy ?deadline_ms ?solver_budget agent_b spec in
+  compare_runs ?split ?budget:solver_budget spec run_a run_b
 
-(* Run a whole suite of tests between two agents. *)
-let compare_suite ?max_paths ?strategy agent_a agent_b specs =
-  List.map (compare_agents ?max_paths ?strategy agent_a agent_b) specs
+(* Run a whole suite of tests between two agents.  Every per-agent run is
+   crash-isolated: a run that raises becomes a [Runner.failure] record and
+   the remaining tests still execute. *)
+type suite_result = {
+  sr_comparisons : comparison list;
+  sr_failures : Runner.failure list;
+}
+
+let compare_suite ?max_paths ?strategy ?deadline_ms ?solver_budget ?split agent_a agent_b
+    specs =
+  let comparisons = ref [] in
+  let failures = ref [] in
+  List.iter
+    (fun (spec : Test_spec.t) ->
+      match
+        Runner.execute_safe ?max_paths ?strategy ?deadline_ms ?solver_budget agent_a spec
+      with
+      | Error f -> failures := f :: !failures
+      | Ok run_a -> (
+        match
+          Runner.execute_safe ?max_paths ?strategy ?deadline_ms ?solver_budget agent_b spec
+        with
+        | Error f -> failures := f :: !failures
+        | Ok run_b ->
+          comparisons := compare_runs ?split ?budget:solver_budget spec run_a run_b :: !comparisons))
+    specs;
+  { sr_comparisons = List.rev !comparisons; sr_failures = List.rev !failures }
 
 (* Concrete reproducers for every inconsistency found in a comparison. *)
 let test_cases (c : comparison) =
@@ -65,5 +95,19 @@ let pp_comparison fmt c =
     c.c_grouped_b.Grouping.gr_group_time;
   Format.fprintf fmt "inconsistencies: %d (checking %.2fs)@ " (inconsistency_count c)
     c.c_outcome.Crosscheck.o_check_time;
+  (match Crosscheck.undecided_count c.c_outcome with
+   | 0 -> ()
+   | n ->
+     Format.fprintf fmt
+       "undecided pairs: %d (solver budget exhausted — rerun with a larger budget)@ " n);
   Report.pp_summary fmt (summaries c);
   Format.fprintf fmt "@]"
+
+let pp_suite fmt s =
+  List.iter (fun c -> Format.fprintf fmt "%a@ " pp_comparison c) s.sr_comparisons;
+  match s.sr_failures with
+  | [] -> ()
+  | fs ->
+    Format.fprintf fmt "@[<v>failed runs (isolated, rest of the suite completed):@ ";
+    List.iter (fun f -> Format.fprintf fmt "  %a@ " Runner.pp_failure f) fs;
+    Format.fprintf fmt "@]"

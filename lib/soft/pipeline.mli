@@ -14,25 +14,49 @@ type comparison = {
 }
 
 val compare_runs :
-  Harness.Test_spec.t -> Harness.Runner.run -> Harness.Runner.run -> comparison
-(** Phase 2 only, over existing phase-1 runs. *)
+  ?split:int ->
+  ?budget:Smt.Solver.budget ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  Harness.Test_spec.t ->
+  Harness.Runner.run ->
+  Harness.Runner.run ->
+  comparison
+(** Phase 2 only, over existing phase-1 runs.  The optional arguments are
+    forwarded to {!Crosscheck.check}. *)
 
 val compare_agents :
   ?max_paths:int ->
   ?strategy:Symexec.Strategy.t ->
+  ?deadline_ms:int ->
+  ?solver_budget:Smt.Solver.budget ->
+  ?split:int ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->
   Harness.Test_spec.t ->
   comparison
-(** Both phases in one process. *)
+(** Both phases in one process.  [deadline_ms] bounds each agent's
+    exploration wall clock; [solver_budget] bounds every solver query in
+    both phases. *)
+
+type suite_result = {
+  sr_comparisons : comparison list;  (** tests where both runs completed *)
+  sr_failures : Harness.Runner.failure list;
+      (** crash-isolated runs that raised; the suite continued without them *)
+}
 
 val compare_suite :
   ?max_paths:int ->
   ?strategy:Symexec.Strategy.t ->
+  ?deadline_ms:int ->
+  ?solver_budget:Smt.Solver.budget ->
+  ?split:int ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->
   Harness.Test_spec.t list ->
-  comparison list
+  suite_result
+(** Run a whole suite.  Each agent execution is crash-isolated: one
+    crashing or diverging run yields a failure record, not a lost suite. *)
 
 val test_cases : comparison -> Testcase.t list
 (** One concrete reproducer per inconsistency found. *)
@@ -40,3 +64,4 @@ val test_cases : comparison -> Testcase.t list
 val inconsistency_count : comparison -> int
 val summaries : comparison -> Report.summary list
 val pp_comparison : Format.formatter -> comparison -> unit
+val pp_suite : Format.formatter -> suite_result -> unit

@@ -34,9 +34,12 @@ and 'ev engine_state = {
   global_cov : Coverage.set;
   max_decisions : int;
   use_interval : bool;
+  solver_budget : Solver.budget option; (* per-query budget for arm solving *)
   mutable forks : int;
   mutable aborted : int;
   mutable truncated : int;
+  mutable solver_unknowns : int; (* arm queries that exhausted their budget *)
+  mutable exceptions : int; (* paths ended by an uncaught agent exception *)
 }
 
 exception Path_crash of string
@@ -57,6 +60,9 @@ type run_stats = {
   aborted : int;
   truncated : int;
   forks : int;
+  exceptions : int; (* paths that ended in an uncaught agent exception *)
+  solver_unknowns : int; (* arm queries lost to the solver budget *)
+  deadline_hit : bool; (* exploration stopped by the wall-clock budget *)
   cpu_time : float;
   wall_time : float;
   avg_constraint_size : float;
@@ -99,14 +105,22 @@ let mark_branch env (loc : Coverage.branch_point option) dir =
 let path_condition env = List.rev env.pc_rev
 
 (* Solve pc ∧ extra, returning a model on success.  The interval domain
-   gives a fast sound UNSAT answer first. *)
+   gives a fast sound UNSAT answer first.  A budget-exhausted [Unknown]
+   degrades to "arm not taken": the path set may then be incomplete, which
+   SOFT tolerates by design (§4.1) — the loss is counted in
+   [solver_unknowns] so reports can say so. *)
 let solve_arm env extra =
   let dom' = Interval.copy env.dom in
   if env.eng.use_interval && Interval.add dom' extra = Interval.Unsat then None
   else
-    match Solver.check ~use_interval:false (extra :: env.pc_rev) with
+    match
+      Solver.check ~use_interval:false ?budget:env.eng.solver_budget (extra :: env.pc_rev)
+    with
     | Solver.Sat m -> Some m
     | Solver.Unsat -> None
+    | Solver.Unknown _ ->
+      env.eng.solver_unknowns <- env.eng.solver_unknowns + 1;
+      None
 
 
 let commit_constraint env c =
@@ -224,7 +238,17 @@ let concretize env (e : Expr.bv) =
     | Dir _ :: _ ->
       invalid_arg "Engine.concretize: replay script out of sync (expected value)"
     | [] -> (
-      let model = match env.model with Some m -> Some m | None -> Solver.get_model env.pc_rev in
+      let model =
+        match env.model with
+        | Some m -> Some m
+        | None -> (
+          match Solver.check ?budget:env.eng.solver_budget env.pc_rev with
+          | Solver.Sat m -> Some m
+          | Solver.Unsat -> None
+          | Solver.Unknown _ ->
+            env.eng.solver_unknowns <- env.eng.solver_unknowns + 1;
+            None)
+      in
       match model with
       | None ->
         env.eng.aborted <- env.eng.aborted + 1;
@@ -244,7 +268,7 @@ let branch_eq ?loc env e v =
 (* Exploration driver *)
 
 let run ?(strategy = Strategy.default) ?(max_paths = max_int) ?(max_decisions = 4096)
-    ?max_attempts ?(use_interval = true) program =
+    ?max_attempts ?(use_interval = true) ?deadline_ms ?solver_budget program =
   (* aborted and truncated re-executions consume attempts so that a program
      with unbounded symbolic branching cannot spin the driver forever *)
   let max_attempts =
@@ -258,21 +282,35 @@ let run ?(strategy = Strategy.default) ?(max_paths = max_int) ?(max_decisions = 
       global_cov = Coverage.empty_set ();
       max_decisions;
       use_interval;
+      solver_budget;
       forks = 0;
       aborted = 0;
       truncated = 0;
+      solver_unknowns = 0;
+      exceptions = 0;
     }
   in
   let solver_stats0 =
     Solver.(stats.sat_calls, stats.cache_hits, stats.interval_hits)
   in
-  let cpu0 = Sys.time () and wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () and wall0 = Mono.now () in
+  let deadline =
+    Option.map (fun ms -> wall0 +. (float_of_int ms /. 1000.0)) deadline_ms
+  in
+  let deadline_hit = ref false in
+  let past_deadline () =
+    match deadline with
+    | Some d when Mono.now () >= d ->
+      deadline_hit := true;
+      true
+    | _ -> false
+  in
   Strategy.add eng.frontier ~fresh:true [];
   let results = ref [] in
   let count = ref 0 in
   let attempts = ref 0 in
   let rec loop () =
-    if !count >= max_paths || !attempts >= max_attempts then ()
+    if !count >= max_paths || !attempts >= max_attempts || past_deadline () then ()
     else
       match Strategy.pop eng.frontier with
       | None -> ()
@@ -317,12 +355,31 @@ let run ?(strategy = Strategy.default) ?(max_paths = max_int) ?(max_decisions = 
                decisions = env.ndecisions;
              }
              :: !results
-         | Path_abort -> ());
+         | Path_abort -> ()
+         | (Out_of_memory | Solver.Solver_error _) as e ->
+           (* process-level resource exhaustion and solver soundness
+              violations must not be masked as one bad path *)
+           raise e
+         | e ->
+           (* crash isolation: an uncaught exception in the agent ends this
+              path with a crash record instead of aborting the whole run *)
+           eng.exceptions <- eng.exceptions + 1;
+           incr count;
+           results :=
+             {
+               pc = List.rev env.pc_rev;
+               path_cond = Expr.balanced_conj (List.rev env.pc_rev);
+               events = List.rev env.events_rev;
+               crashed = Some ("uncaught exception: " ^ Printexc.to_string e);
+               covered = Coverage.snapshot env.cov;
+               decisions = env.ndecisions;
+             }
+             :: !results);
         loop ()
   in
   loop ();
   let results = List.rev !results in
-  let cpu_time = Sys.time () -. cpu0 and wall_time = Unix.gettimeofday () -. wall0 in
+  let cpu_time = Sys.time () -. cpu0 and wall_time = Mono.elapsed wall0 in
   let sizes = List.map (fun r -> Expr.bool_size r.path_cond) results in
   let total_size = List.fold_left ( + ) 0 sizes in
   let max_size = List.fold_left max 0 sizes in
@@ -339,6 +396,9 @@ let run ?(strategy = Strategy.default) ?(max_paths = max_int) ?(max_decisions = 
         aborted = eng.aborted;
         truncated = eng.truncated;
         forks = eng.forks;
+        exceptions = eng.exceptions;
+        solver_unknowns = eng.solver_unknowns;
+        deadline_hit = !deadline_hit;
         cpu_time;
         wall_time;
         avg_constraint_size =
@@ -353,6 +413,8 @@ let run ?(strategy = Strategy.default) ?(max_paths = max_int) ?(max_decisions = 
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "paths=%d aborted=%d truncated=%d forks=%d cpu=%.2fs constraints(avg=%.2f max=%d) sat_calls=%d"
-    s.path_count s.aborted s.truncated s.forks s.cpu_time s.avg_constraint_size
-    s.max_constraint_size s.solver_sat_calls
+    "paths=%d aborted=%d truncated=%d forks=%d exceptions=%d cpu=%.2fs constraints(avg=%.2f max=%d) sat_calls=%d"
+    s.path_count s.aborted s.truncated s.forks s.exceptions s.cpu_time
+    s.avg_constraint_size s.max_constraint_size s.solver_sat_calls;
+  if s.solver_unknowns > 0 then Format.fprintf fmt " solver_unknowns=%d" s.solver_unknowns;
+  if s.deadline_hit then Format.fprintf fmt " (wall-clock budget hit)"

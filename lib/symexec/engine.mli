@@ -47,6 +47,9 @@ type run_stats = {
   aborted : int;  (** paths killed as infeasible *)
   truncated : int;  (** paths exceeding the decision bound *)
   forks : int;
+  exceptions : int;  (** paths ended by an uncaught agent exception *)
+  solver_unknowns : int;  (** arm queries lost to the solver budget *)
+  deadline_hit : bool;  (** exploration stopped by the wall-clock budget *)
   cpu_time : float;
   wall_time : float;
   avg_constraint_size : float;  (** Table-2 metric, averaged over paths *)
@@ -105,6 +108,8 @@ val run :
   ?max_decisions:int ->
   ?max_attempts:int ->
   ?use_interval:bool ->
+  ?deadline_ms:int ->
+  ?solver_budget:Solver.budget ->
   ('ev env -> unit) ->
   'ev run_result
 (** [run program] explores [program] until the frontier empties or a budget
@@ -112,6 +117,15 @@ val run :
     [max_decisions] bounds symbolic decisions per path (default 4096, a
     loop safeguard); [max_attempts] bounds re-executions including aborted
     and truncated ones (default [2*max_paths + 1024]); [use_interval]
-    enables the interval feasibility pre-filter (default true). *)
+    enables the interval feasibility pre-filter (default true);
+    [deadline_ms] bounds the whole exploration's wall-clock time (paths in
+    flight finish, no new frontier items start — [deadline_hit] records the
+    cut); [solver_budget] bounds each feasibility query, with exhausted
+    arms degrading to "not taken" and counted in [solver_unknowns].
+
+    A path that raises an exception other than {!Path_crash}/{!Path_abort}
+    is recorded as a crashed path (counted in [exceptions]) instead of
+    aborting the run; [Out_of_memory] and {!Smt.Solver.Solver_error} still
+    propagate. *)
 
 val pp_stats : Format.formatter -> run_stats -> unit

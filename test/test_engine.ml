@@ -62,6 +62,7 @@ let test_path_conditions_sound () =
       (* a model of the path condition must reproduce the same events *)
       match Solver.check p.Engine.pc with
       | Solver.Unsat -> Alcotest.fail "path condition must be satisfiable"
+      | Solver.Unknown _ -> Alcotest.fail "unbudgeted query returned Unknown"
       | Solver.Sat m ->
         let a = Int64.unsigned_compare (Model.get m (Expr.make_var "engx" 16)) 100L < 0 in
         let b = Model.get m (Expr.make_var "engy" 16) = 7L in
@@ -136,6 +137,7 @@ let test_concretize () =
   match Solver.check ((List.hd r.Engine.results).Engine.pc @ [ Expr.neq x (Expr.const ~width:16 v) ]) with
   | Solver.Unsat -> ()
   | Solver.Sat _ -> Alcotest.fail "pc must pin the concretized value"
+  | Solver.Unknown _ -> Alcotest.fail "unbudgeted query returned Unknown"
 
 let test_max_paths () =
   let program env =

@@ -15,6 +15,7 @@ let () =
       ("agents", Test_agents.suite);
       ("normalize", Test_normalize.suite);
       ("soft", Test_soft.suite);
+      ("budget", Test_budget.suite);
       ("time", Test_time.suite);
       ("failure_injection", Test_failure_injection.suite);
       ("partition", Test_partition.suite);

@@ -6,12 +6,17 @@
 open Smt
 
 let c w v = Expr.const ~width:w (Int64.of_int v)
-let sat conds = match Solver.check ~use_cache:false conds with Solver.Sat _ -> true | Solver.Unsat -> false
+let sat conds =
+  match Solver.check ~use_cache:false conds with
+  | Solver.Sat _ -> true
+  | Solver.Unsat -> false
+  | Solver.Unknown _ -> Alcotest.fail "unbudgeted query returned Unknown"
 
 let model conds =
   match Solver.check ~use_cache:false conds with
   | Solver.Sat m -> m
   | Solver.Unsat -> Alcotest.fail "expected SAT"
+  | Solver.Unknown _ -> Alcotest.fail "unbudgeted query returned Unknown"
 
 let check_bool = Alcotest.(check bool)
 
@@ -161,7 +166,8 @@ let prop_model_soundness =
     (fun conds ->
       match Solver.check ~use_cache:false conds with
       | Solver.Unsat -> true
-      | Solver.Sat m -> Model.satisfies m conds)
+      | Solver.Sat m -> Model.satisfies m conds
+      | Solver.Unknown _ -> false)
 
 (* Agreement with brute force over one small variable. *)
 let prop_vs_enumeration =
