@@ -15,7 +15,15 @@
          both phases in one process, with reproducer test cases.
 
      soft list
-         available agents and tests. *)
+         available agents and tests.
+
+   Exit status (scriptable):
+     0  clean — no inconsistencies, nothing undecided or unvalidated
+     1  inconsistencies found (replay-confirmed ones under --validate)
+     2  usage error (bad flags, unknown agent/test, mismatched resume file)
+     3  inconclusive — undecided/faulted pairs, refuted or unreplayable
+        reports, or an injected fault aborting a run
+     125  unexpected internal exception *)
 
 let agents =
   [
@@ -71,7 +79,11 @@ let strategy =
   Arg.(
     value
     & opt strategy_conv Symexec.Strategy.default
-    & info [ "strategy" ] ~doc:"Search strategy: dfs, bfs, random, interleave.")
+    & info [ "strategy" ]
+        ~doc:
+          "Search strategy: dfs, bfs, random, interleave.  The randomized \
+           strategies accept an explicit seed as random:$(i,SEED) / \
+           interleave:$(i,SEED) for reproducible exploration orders.")
 
 (* --- resource budgets (the graceful-degradation layer) ---------------- *)
 
@@ -127,6 +139,67 @@ let apply_budget budget_ms max_conflicts =
   Smt.Solver.set_default_budget
     (Smt.Solver.budget ?max_conflicts ?timeout_ms:budget_ms ())
 
+(* --- the self-validation layer ---------------------------------------- *)
+
+let certify =
+  Arg.(
+    value
+    & flag
+    & info [ "certify" ]
+        ~doc:
+          "Require a checked DRUP proof for every UNSAT solver answer; an \
+           answer whose proof the independent checker rejects is downgraded \
+           to unknown (the pair becomes undecided) instead of being trusted.")
+
+let validate =
+  Arg.(
+    value
+    & flag
+    & info [ "validate" ]
+        ~doc:
+          "Replay every found inconsistency's concrete witness through both \
+           agents and confirm the traces really diverge; refuted or \
+           unreplayable reports are flagged and make the run inconclusive.")
+
+let chaos_seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "Enable deterministic internal fault injection with this seed \
+           (solver faults, agent-step faults, checkpoint truncation, clock \
+           jumps).  Faults may only degrade results to undecided — never \
+           change a verdict.")
+
+let chaos_rate =
+  let rate_conv =
+    Arg.conv ~docv:"RATE"
+      ( (fun s ->
+          match float_of_string_opt s with
+          | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+          | Some _ -> Error (`Msg "fault rate must be within [0, 1]")
+          | None -> Error (`Msg ("expected a float, got " ^ s))),
+        fun fmt r -> Format.fprintf fmt "%g" r )
+  in
+  Arg.(
+    value
+    & opt rate_conv 0.05
+    & info [ "chaos-rate" ] ~docv:"RATE"
+        ~doc:"Per-injection-point fault probability under --chaos-seed (default 0.05).")
+
+let apply_certify c = Smt.Solver.set_certify c
+
+let apply_chaos seed rate =
+  match seed with
+  | None -> ()
+  | Some s -> Harness.Chaos.install (Harness.Chaos.plan ~seed:s ~rate)
+
+let chaos_report () =
+  match Harness.Chaos.current () with
+  | None -> ()
+  | Some p -> Format.printf "%a@." Harness.Chaos.pp p
+
 (* --- run ------------------------------------------------------------- *)
 
 let run_cmd =
@@ -137,20 +210,30 @@ let run_cmd =
   let out =
     Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file.")
   in
-  let run agent test out max_paths strategy budget_ms max_conflicts deadline_ms =
+  let run agent test out max_paths strategy budget_ms max_conflicts deadline_ms certify
+      chaos_seed chaos_rate =
     apply_budget budget_ms max_conflicts;
-    let r = Harness.Runner.execute ~max_paths ~strategy ?deadline_ms agent test in
-    Harness.Serialize.save out (Harness.Serialize.of_run r);
-    Format.printf "%s on %s: %a@." r.Harness.Runner.run_agent r.run_test
-      Symexec.Engine.pp_stats r.run_stats;
-    Format.printf "coverage: %a@." Symexec.Coverage.pp_report (Harness.Runner.coverage_report r);
-    Format.printf "wrote %s@." out
+    apply_certify certify;
+    apply_chaos chaos_seed chaos_rate;
+    match Harness.Runner.execute ~max_paths ~strategy ?deadline_ms agent test with
+    | r ->
+      Harness.Serialize.save out (Harness.Serialize.of_run r);
+      Format.printf "%s on %s: %a@." r.Harness.Runner.run_agent r.run_test
+        Symexec.Engine.pp_stats r.run_stats;
+      Format.printf "coverage: %a@." Symexec.Coverage.pp_report
+        (Harness.Runner.coverage_report r);
+      Format.printf "wrote %s@." out;
+      chaos_report ();
+      0
+    | exception Harness.Chaos.Injected_fault p ->
+      Format.eprintf "soft: injected fault (%s) aborted the run@." p;
+      3
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Phase 1: symbolically execute one agent on one test.")
     Term.(
       const run $ agent $ test $ out $ max_paths $ strategy $ budget_ms $ max_conflicts
-      $ deadline_ms)
+      $ deadline_ms $ certify $ chaos_seed $ chaos_rate)
 
 (* --- group ----------------------------------------------------------- *)
 
@@ -159,7 +242,8 @@ let group_cmd =
   let run file =
     let saved = Harness.Serialize.load file in
     let g = Soft.Grouping.of_saved saved in
-    Format.printf "%a@." Soft.Grouping.pp g
+    Format.printf "%a@." Soft.Grouping.pp g;
+    0
   in
   Cmd.v
     (Cmd.info "group" ~doc:"Group path conditions of a phase-1 run by output result.")
@@ -190,23 +274,31 @@ let check_cmd =
              the same file for --checkpoint and --resume to make a run \
              restartable in place.")
   in
-  let run file_a file_b split budget_ms max_conflicts checkpoint resume =
+  let run file_a file_b split budget_ms max_conflicts checkpoint resume certify chaos_seed
+      chaos_rate =
     apply_budget budget_ms max_conflicts;
+    apply_certify certify;
+    apply_chaos chaos_seed chaos_rate;
     let a = Soft.Grouping.of_saved (Harness.Serialize.load file_a) in
     let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
     match Soft.Crosscheck.check ?split ?checkpoint ?resume a b with
     | outcome ->
       Format.printf "%a@." Soft.Crosscheck.pp outcome;
       Format.printf "root causes:@.%a@." Soft.Report.pp_summary
-        (Soft.Report.summarize outcome)
+        (Soft.Report.summarize outcome);
+      chaos_report ();
+      Soft.Report.exit_status outcome
     | exception Soft.Crosscheck.Checkpoint_error msg ->
+      (* pointing --resume at the wrong runs' snapshot is an operator
+         mistake, not a finding: usage error *)
       Format.eprintf "soft: cannot resume: %s@." msg;
-      exit 1
+      2
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Phase 2: crosscheck two phase-1 runs for inconsistencies.")
     Term.(
-      const run $ file_a $ file_b $ split $ budget_ms $ max_conflicts $ checkpoint $ resume)
+      const run $ file_a $ file_b $ split $ budget_ms $ max_conflicts $ checkpoint $ resume
+      $ certify $ chaos_seed $ chaos_rate)
 
 (* --- compare --------------------------------------------------------- *)
 
@@ -222,23 +314,33 @@ let compare_cmd =
     Arg.(value & flag & info [ "cases" ] ~doc:"Print a concrete reproducer per inconsistency.")
   in
   let run agent_a agent_b test cases max_paths strategy split budget_ms max_conflicts
-      deadline_ms =
+      deadline_ms certify validate chaos_seed chaos_rate =
     apply_budget budget_ms max_conflicts;
-    let c =
-      Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split agent_a agent_b
-        test
-    in
-    Format.printf "%a@." Soft.Pipeline.pp_comparison c;
-    if cases then
-      List.iteri
-        (fun i tc -> Format.printf "@.=== reproducer %d ===@.%a@." i Soft.Testcase.pp tc)
-        (Soft.Pipeline.test_cases c)
+    apply_certify certify;
+    apply_chaos chaos_seed chaos_rate;
+    match
+      Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split ~validate
+        agent_a agent_b test
+    with
+    | c ->
+      Format.printf "%a@." Soft.Pipeline.pp_comparison c;
+      if cases then
+        List.iteri
+          (fun i tc -> Format.printf "@.=== reproducer %d ===@.%a@." i Soft.Testcase.pp tc)
+          (Soft.Pipeline.test_cases c);
+      chaos_report ();
+      Soft.Report.exit_status ?validation:c.Soft.Pipeline.c_validation
+        c.Soft.Pipeline.c_outcome
+    | exception Harness.Chaos.Injected_fault p ->
+      Format.eprintf "soft: injected fault (%s) aborted the run@." p;
+      3
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run both phases: find inconsistencies between two agents.")
     Term.(
       const run $ agent_a $ agent_b $ test $ cases $ max_paths $ strategy $ split
-      $ budget_ms $ max_conflicts $ deadline_ms)
+      $ budget_ms $ max_conflicts $ deadline_ms $ certify $ validate $ chaos_seed
+      $ chaos_rate)
 
 (* --- list ------------------------------------------------------------ *)
 
@@ -251,7 +353,8 @@ let list_cmd =
     Format.printf "@.tests (Table 1):@.";
     List.iter
       (fun (t : Harness.Test_spec.t) -> Format.printf "  %-14s %s@." t.id t.description)
-      (Harness.Test_spec.all ())
+      (Harness.Test_spec.all ());
+    0
   in
   Cmd.v (Cmd.info "list" ~doc:"List available agents and tests.") Term.(const run $ const ())
 
@@ -261,4 +364,11 @@ let main =
        ~doc:"Systematic OpenFlow Testing: crosscheck OpenFlow agent implementations.")
     [ run_cmd; group_cmd; check_cmd; compare_cmd; list_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Commands return their own exit status; cmdliner's parse/term errors map
+   to the documented usage status 2, an escaped exception to 125. *)
+let () =
+  match Cmd.eval_value main with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

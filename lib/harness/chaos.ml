@@ -1,0 +1,138 @@
+(* Deterministic internal fault injection.
+
+   PR 1 grew many degradation paths — budgets, the retry ladder,
+   checkpoint/resume, crash isolation — that input-level fuzzing never
+   exercises from the inside.  This module injects faults *inside* the
+   pipeline at four keyed points:
+
+   - [Solver_fault]: a query that reached the SAT core raises instead of
+     answering (installed via {!Smt.Solver.set_query_hook}, scoped to the
+     crosscheck phase by {!with_solver_faults});
+   - [Agent_step]: an agent input step raises mid-drive;
+   - [Checkpoint_truncate]: a checkpoint file is truncated mid-file right
+     after being written;
+   - [Clock_jump]: the monotonic clock jumps far past any deadline
+     ({!Smt.Mono.advance}), expiring wall-clock budgets.
+
+   The plan is deterministic: each point draws from its own
+   [Random.State] stream seeded from [(seed, point index)], so the fault
+   schedule of one point is independent of how often the others fire and
+   a seed reproduces the exact same fault pattern.
+
+   Soundness contract (asserted by test_chaos): injected faults may only
+   ever move crosscheck pairs to [o_pairs_undecided] — they must never
+   flip a verdict.  Two design points enforce this:
+   - {!Injected_fault} is registered as fatal with the engine, so an
+     agent-step fault aborts the whole run loudly instead of being
+     recorded as an agent crash path (which would be observable behaviour
+     and could alter grouping, hence verdicts);
+   - clock jumps and solver faults are only delivered inside the
+     crosscheck's per-pair scope, where the pair handler degrades them to
+     undecided.  A clock jump during path exploration could silently
+     truncate the path set and narrow a group disjunction, flipping a SAT
+     pair to UNSAT — so it is never injected there. *)
+
+exception Injected_fault of string
+
+type point = Solver_fault | Agent_step | Checkpoint_truncate | Clock_jump
+
+let point_name = function
+  | Solver_fault -> "solver-fault"
+  | Agent_step -> "agent-step"
+  | Checkpoint_truncate -> "checkpoint-truncate"
+  | Clock_jump -> "clock-jump"
+
+let npoints = 4
+
+let point_index = function
+  | Solver_fault -> 0
+  | Agent_step -> 1
+  | Checkpoint_truncate -> 2
+  | Clock_jump -> 3
+
+let all_points = [ Solver_fault; Agent_step; Checkpoint_truncate; Clock_jump ]
+
+type plan = {
+  p_seed : int;
+  p_rate : float;
+  p_streams : Random.State.t array; (* one independent stream per point *)
+  p_fired : int array;
+  mutable p_draws : int;
+}
+
+let plan ~seed ~rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Chaos.plan: rate must be within [0, 1]";
+  {
+    p_seed = seed;
+    p_rate = rate;
+    p_streams = Array.init npoints (fun i -> Random.State.make [| 0x50f7; seed; i |]);
+    p_fired = Array.make npoints 0;
+    p_draws = 0;
+  }
+
+let seed p = p.p_seed
+let rate p = p.p_rate
+let fired p pt = p.p_fired.(point_index pt)
+let total_fired p = Array.fold_left ( + ) 0 p.p_fired
+
+(* The active plan.  Global by design: injection points live in layers
+   (runner, crosscheck, solver hook) that share no parameter path. *)
+let active : plan option ref = ref None
+
+let install p = active := Some p
+let deactivate () = active := None
+let current () = !active
+
+(* Decide whether the fault at [pt] fires now; always consumes exactly one
+   draw from the point's stream when a plan is active. *)
+let fire pt =
+  match !active with
+  | None -> false
+  | Some p ->
+    p.p_draws <- p.p_draws + 1;
+    let i = point_index pt in
+    let hit = Random.State.float p.p_streams.(i) 1.0 < p.p_rate in
+    if hit then p.p_fired.(i) <- p.p_fired.(i) + 1;
+    hit
+
+let maybe_raise pt = if fire pt then raise (Injected_fault (point_name pt))
+
+(* Far beyond any per-query or per-run deadline in use. *)
+let clock_jump_seconds = 86400.0
+
+let maybe_clock_jump () = if fire Clock_jump then Smt.Mono.advance clock_jump_seconds
+
+let maybe_truncate_file path =
+  if fire Checkpoint_truncate then begin
+    let size = (Unix.stat path).Unix.st_size in
+    if size > 0 then Unix.truncate path (size / 2)
+  end
+
+(* Deliver solver faults and clock jumps to every query [f] issues that
+   reaches the SAT core.  The hook is installed only for the dynamic
+   extent of [f] — the crosscheck pair scope — never during path
+   exploration (see the soundness contract above). *)
+let with_solver_faults f =
+  match !active with
+  | None -> f ()
+  | Some _ ->
+    Smt.Solver.set_query_hook (fun () ->
+        maybe_clock_jump ();
+        maybe_raise Solver_fault);
+    Fun.protect ~finally:(fun () -> Smt.Solver.set_query_hook (fun () -> ())) f
+
+(* An injected fault recorded as an agent crash path would be observable
+   behaviour and could flip a verdict; make the engine re-raise it. *)
+let () =
+  Symexec.Engine.register_fatal (function Injected_fault _ -> true | _ -> false)
+
+let pp fmt p =
+  Format.fprintf fmt "chaos(seed=%d rate=%g draws=%d fired=[%s])" p.p_seed p.p_rate
+    p.p_draws
+    (String.concat "; "
+       (List.filter_map
+          (fun pt ->
+            match fired p pt with
+            | 0 -> None
+            | n -> Some (Printf.sprintf "%s=%d" (point_name pt) n))
+          all_points))

@@ -1,0 +1,63 @@
+(** Deterministic internal fault injection.
+
+    A seeded {!plan} decides, at four keyed injection points, whether a
+    fault fires: a solver query raising, an agent input step raising, a
+    checkpoint file truncating right after its write, and the monotonic
+    clock jumping past every deadline.  Each point draws from its own
+    stream seeded from [(seed, point)], so one point's schedule does not
+    shift another's and a seed reproduces the exact fault pattern.
+
+    Soundness contract (asserted by the chaos test): injected faults may
+    only ever move crosscheck pairs to undecided — never flip a verdict.
+    {!Injected_fault} is registered as engine-fatal so an agent-step
+    fault aborts a run loudly instead of masquerading as agent behaviour,
+    and solver faults/clock jumps are delivered only inside the
+    crosscheck pair scope ({!with_solver_faults}). *)
+
+exception Injected_fault of string
+(** Carries the injection point's name.  Registered with
+    {!Symexec.Engine.register_fatal}: never recorded as a crash path. *)
+
+type point = Solver_fault | Agent_step | Checkpoint_truncate | Clock_jump
+
+val point_name : point -> string
+val all_points : point list
+
+type plan
+
+val plan : seed:int -> rate:float -> plan
+(** A fault plan firing each point's draws independently with probability
+    [rate].  @raise Invalid_argument if [rate] is outside [[0, 1]]. *)
+
+val install : plan -> unit
+(** Make [plan] the process-wide active plan. *)
+
+val deactivate : unit -> unit
+val current : unit -> plan option
+
+val seed : plan -> int
+val rate : plan -> float
+
+val fired : plan -> point -> int
+(** How often this point's fault has fired so far. *)
+
+val total_fired : plan -> int
+
+val maybe_raise : point -> unit
+(** Draw at [point]; raise {!Injected_fault} if the fault fires.  A no-op
+    when no plan is active. *)
+
+val maybe_clock_jump : unit -> unit
+(** Draw at [Clock_jump]; on fire, {!Smt.Mono.advance} the clock a day. *)
+
+val maybe_truncate_file : string -> unit
+(** Draw at [Checkpoint_truncate]; on fire, truncate the file to half its
+    size — simulating a write cut down mid-file. *)
+
+val with_solver_faults : (unit -> 'a) -> 'a
+(** Run a thunk with solver faults and clock jumps delivered to every
+    query reaching the SAT core (via {!Smt.Solver.set_query_hook}); the
+    hook is removed on exit.  Crosscheck wraps each pair decision in
+    this; the engine's exploration phase must never be. *)
+
+val pp : Format.formatter -> plan -> unit

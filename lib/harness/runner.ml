@@ -38,6 +38,10 @@ let drive (module A : Agent_intf.S) (spec : Test_spec.t) env =
   let final =
     List.fold_left
       (fun st input ->
+        (* fault injection: an agent step may raise.  Injected_fault is
+           engine-fatal, so this aborts the whole run loudly rather than
+           recording a crash path that would look like agent behaviour. *)
+        Chaos.maybe_raise Chaos.Agent_step;
         match input with
         | Test_spec.Msg m -> A.handle_message env st m
         | Test_spec.Probe { pr_id; pr_in_port; pr_packet } ->
@@ -75,6 +79,35 @@ let execute ?(max_paths = default_max_paths) ?(strategy = Strategy.default)
     run_stats = result.Engine.stats;
     run_coverage = result.Engine.coverage;
   }
+
+(* Replay: re-execute one agent on [spec] with every symbolic input pinned
+   to the witness's concrete values, and return the normalized trace of
+   the (unique) explored path the witness selects.  Used by validation to
+   confirm a reported inconsistency by actually running both agents on
+   the concrete test case.  Pinning is done by [assume]-ing [v = value]
+   for every witness binding before the drive, so exploration collapses
+   to the paths consistent with the witness; among those we keep the one
+   whose path condition the witness satisfies (absent variables default
+   to zero, matching [Testcase] concretization). *)
+let execute_replay ?(max_paths = 64) ?solver_budget (agent : Agent_intf.t)
+    (spec : Test_spec.t) ~(witness : Model.t) =
+  let pinned env =
+    List.iter
+      (fun (v, value) ->
+        Engine.assume env
+          (Expr.eq (Expr.of_var v) (Expr.const ~width:(Expr.var_width v) value)))
+      (Model.bindings witness);
+    drive agent spec env
+  in
+  let result =
+    Engine.run ~strategy:Strategy.Dfs ~max_paths ?solver_budget pinned
+  in
+  List.find_map
+    (fun (r : Trace.event Engine.path_result) ->
+      if Model.eval_bool witness r.Engine.path_cond then
+        Some (Normalize.result ?crash:r.Engine.crashed r.Engine.events)
+      else None)
+    result.Engine.results
 
 (* Crash isolation at the run boundary.  The engine already contains
    per-path exceptions; what still escapes it — an agent's [init] or

@@ -46,6 +46,20 @@ val execute :
     [solver_budget] bounds each feasibility query (see
     {!Symexec.Engine.run}). *)
 
+val execute_replay :
+  ?max_paths:int ->
+  ?solver_budget:Smt.Solver.budget ->
+  Switches.Agent_intf.t ->
+  Test_spec.t ->
+  witness:Smt.Model.t ->
+  Openflow.Trace.result option
+(** Re-execute [agent] on [spec] with every symbolic input pinned to the
+    [witness]'s concrete values, returning the normalized trace of the
+    explored path the witness selects — [None] if no explored path's
+    condition is satisfied by the witness (replay failure).  Validation
+    uses this to confirm reported inconsistencies by concrete re-execution
+    (paper §4.2: every inconsistency comes with a replayable test case). *)
+
 type failure = {
   f_agent : string;
   f_test : string;

@@ -11,8 +11,12 @@ type ctx = {
   var_bits : (int, int array) Hashtbl.t; (* Expr var id -> sat vars *)
 }
 
-let create () =
+(* [proof] must be decided at creation: the [tru] clause below is already
+   part of the CNF a DRUP checker replays, so enabling logging any later
+   would leave the original-clause record incomplete. *)
+let create ?(proof = false) () =
   let sat = Sat.create () in
+  if proof then Sat.enable_proof sat;
   let tv = Sat.new_var sat in
   let tru = 2 * tv in
   Sat.add_clause sat [ tru ];

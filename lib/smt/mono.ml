@@ -4,7 +4,19 @@
    otherwise corrupt [solver_time]/[o_check_time] and, worse, any budget
    deadline computed from them. *)
 
-external now_ns : unit -> int64 = "soft_mono_clock_ns"
+external raw_now_ns : unit -> int64 = "soft_mono_clock_ns"
+
+(* Fault injection (Harness.Chaos) simulates clock jumps by skewing every
+   reading; the skew is additive and normally zero, so production reads
+   stay a single external call plus one add. *)
+let skew_ns = ref 0L
+
+let advance seconds =
+  skew_ns := Int64.add !skew_ns (Int64.of_float (seconds *. 1e9))
+
+let reset_skew () = skew_ns := 0L
+
+let now_ns () = Int64.add (raw_now_ns ()) !skew_ns
 
 let now () = Int64.to_float (now_ns ()) /. 1e9
 

@@ -11,3 +11,11 @@ val now : unit -> float
 
 val elapsed : float -> float
 (** [elapsed t0] is [now () -. t0]. *)
+
+val advance : float -> unit
+(** Skew every subsequent reading forward by [seconds] (negative undoes).
+    Fault injection uses this to simulate a clock jumping past a deadline;
+    nothing else should call it. *)
+
+val reset_skew : unit -> unit
+(** Drop any accumulated {!advance} skew. *)

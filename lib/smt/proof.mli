@@ -1,0 +1,23 @@
+(** Independent DRUP proof checker for {!Sat} refutations.
+
+    A deliberately separate implementation of unit propagation (sharing
+    only the literal encoding with the solver) that validates a logged
+    derivation against the raw original CNF: every [P_add] step must have
+    the reverse-unit-propagation property — assuming the negation of each
+    of its literals and propagating over the clauses admitted so far must
+    yield a conflict — and the derivation must reach the empty clause.
+
+    {!Solver}'s certify mode feeds it {!Sat.original_clauses} and
+    {!Sat.proof_steps} after every [Unsat] answer and downgrades the
+    answer to [Unknown] if the proof does not check. *)
+
+type verdict =
+  | Valid  (** every step is RUP and the empty clause was derived *)
+  | Invalid of string  (** why the derivation was rejected *)
+
+val check_derivation : int array list -> Sat.proof_step list -> verdict
+(** [check_derivation originals steps] checks [steps] (in order) against
+    the clause database seeded with [originals].  Tautologies are inert;
+    deletions of unknown clauses are ignored (as in drat-trim).  Runs in
+    time comparable to the original solve: propagation uses two watched
+    literals. *)

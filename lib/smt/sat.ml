@@ -14,6 +14,20 @@ type result = Sat | Unsat | Unknown of stop_reason
 
 type clause = { lits : int array; learnt : bool }
 
+(* DRUP proof logging.  When enabled, every clause the solver derives
+   (learnt clauses, including the final empty clause of an Unsat run) is
+   recorded in derivation order, together with the raw original clauses as
+   the caller supplied them — before level-0 simplification, so an
+   independent checker replays against exactly the input CNF.  The log is
+   [None] unless [enable_proof] is called: certification off-path must not
+   allocate anything. *)
+type proof_step = P_add of int array | P_delete of int array
+
+type proof_log = {
+  mutable p_orig_rev : int array list; (* original clauses, newest first *)
+  mutable p_steps_rev : proof_step list; (* derivation steps, newest first *)
+}
+
 type t = {
   mutable nvars : int;
   mutable clauses : clause array; (* dynamic *)
@@ -37,6 +51,7 @@ type t = {
   mutable conflicts : int;
   mutable propagations : int;
   mutable decisions : int; (* cumulative, for the decision budget *)
+  mutable proof : proof_log option;
 }
 
 let lit_var l = l lsr 1
@@ -67,7 +82,31 @@ let create () =
     conflicts = 0;
     propagations = 0;
     decisions = 0;
+    proof = None;
   }
+
+(* --- proof logging --------------------------------------------------- *)
+
+let enable_proof s =
+  if s.proof = None then s.proof <- Some { p_orig_rev = []; p_steps_rev = [] }
+
+let proof_enabled s = s.proof <> None
+
+let log_original s lits =
+  match s.proof with
+  | None -> ()
+  | Some p -> p.p_orig_rev <- Array.of_list lits :: p.p_orig_rev
+
+let log_step s step =
+  match s.proof with
+  | None -> ()
+  | Some p -> p.p_steps_rev <- step :: p.p_steps_rev
+
+let proof_steps s =
+  match s.proof with None -> [] | Some p -> List.rev p.p_steps_rev
+
+let original_clauses s =
+  match s.proof with None -> [] | Some p -> List.rev p.p_orig_rev
 
 let grow_int_array a n default =
   if Array.length a >= n then a
@@ -208,6 +247,7 @@ let watch_clause s ci =
 (* Add a problem clause. Must be called before [solve]; assumes decision
    level 0. *)
 let add_clause s lits =
+  log_original s lits;
   if s.ok then begin
     (* dedup, drop false lits? At level 0 we can simplify by assignments. *)
     let lits = List.sort_uniq compare lits in
@@ -219,7 +259,12 @@ let add_clause s lits =
       if List.exists (fun l -> lit_value s l = 1) lits then ()
       else
         match lits with
-        | [] -> s.ok <- false
+        | [] ->
+          (* the clause is falsified by level-0 units, all of which an RUP
+             checker rederives by propagation — the contradiction is a
+             legitimate proof step *)
+          log_step s (P_add [||]);
+          s.ok <- false
         | [ l ] -> enqueue s l (-1)
         | _ ->
           let arr = Array.of_list lits in
@@ -346,6 +391,9 @@ let cancel_until s lvl =
   end
 
 let record_learnt s lits btlevel =
+  (* log a private copy: the stored clause's literal array is physically
+     reordered by watch maintenance during later propagation *)
+  log_step s (P_add (Array.of_list lits));
   cancel_until s btlevel;
   match lits with
   | [] -> s.ok <- false
@@ -436,6 +484,8 @@ let solve ?max_conflicts ?max_decisions ?deadline s =
           s.conflicts <- s.conflicts + 1;
           incr conflicts_here;
           if s.ndecisions = 0 then begin
+            (* conflict under propagation alone: the empty clause is RUP *)
+            log_step s (P_add [||]);
             s.ok <- false;
             result := Some Unsat
           end

@@ -10,6 +10,13 @@ type stop_reason = Conflicts | Decisions | Time
 
 type result = Sat | Unsat | Unknown of stop_reason
 
+type proof_step =
+  | P_add of int array  (** a derived (learnt) clause; [[||]] is the empty clause *)
+  | P_delete of int array  (** a clause removed from the database *)
+(** One step of a DRUP derivation, in solver literal encoding.  The solver
+    currently never deletes clauses, so it emits only [P_add]; {!Proof}
+    checks both. *)
+
 type t
 
 val create : unit -> t
@@ -42,3 +49,27 @@ val stats : t -> int * int * int * int
 
 val decisions : t -> int
 (** Cumulative decision count (the quantity bounded by [max_decisions]). *)
+
+(** {1 DRUP proof logging}
+
+    Off by default, and off-path free: until {!enable_proof} is called the
+    instance carries no proof structure at all (not an empty one), and
+    {!add_clause}/{!solve} allocate nothing extra. *)
+
+val enable_proof : t -> unit
+(** Start recording original clauses and derivation steps.  Must be called
+    before the first {!add_clause} for the original-CNF record to be
+    complete.  Idempotent. *)
+
+val proof_enabled : t -> bool
+(** Whether a proof log is physically allocated on this instance. *)
+
+val original_clauses : t -> int array list
+(** The raw clauses passed to {!add_clause}, in order, before any level-0
+    simplification.  Empty if proof logging is disabled. *)
+
+val proof_steps : t -> proof_step list
+(** The derivation, in order.  After an [Unsat] answer with proof logging
+    enabled, the log contains an empty-clause step; feed it together with
+    {!original_clauses} to {!Proof.check_derivation}.  Empty if proof
+    logging is disabled. *)

@@ -13,7 +13,11 @@
    which is never cached: a later identical query may carry a larger
    budget and deserves a fresh attempt. *)
 
-type unknown_reason = Out_of_conflicts | Out_of_decisions | Out_of_time
+type unknown_reason =
+  | Out_of_conflicts
+  | Out_of_decisions
+  | Out_of_time
+  | Proof_failed of string
 
 type result = Sat of Model.t | Unsat | Unknown of unknown_reason
 
@@ -23,6 +27,7 @@ let unknown_reason_to_string = function
   | Out_of_conflicts -> "conflict budget exhausted"
   | Out_of_decisions -> "decision budget exhausted"
   | Out_of_time -> "time budget exhausted"
+  | Proof_failed msg -> "unsat proof rejected: " ^ msg
 
 (* --- budgets --------------------------------------------------------- *)
 
@@ -47,6 +52,7 @@ let default_budget = ref no_budget
 let set_default_budget b = default_budget := b
 let get_default_budget () = !default_budget
 
+
 type stats = {
   mutable queries : int;
   mutable const_hits : int;
@@ -58,6 +64,8 @@ type stats = {
   mutable unknown_results : int;
   mutable cache_evictions : int;
   mutable solver_time : float;
+  mutable proofs_checked : int;
+  mutable proofs_failed : int;
 }
 
 let stats = {
@@ -71,6 +79,8 @@ let stats = {
   unknown_results = 0;
   cache_evictions = 0;
   solver_time = 0.0;
+  proofs_checked = 0;
+  proofs_failed = 0;
 }
 
 let reset_stats () =
@@ -83,7 +93,9 @@ let reset_stats () =
   stats.unsat_results <- 0;
   stats.unknown_results <- 0;
   stats.cache_evictions <- 0;
-  stats.solver_time <- 0.0
+  stats.solver_time <- 0.0;
+  stats.proofs_checked <- 0;
+  stats.proofs_failed <- 0
 
 (* cache: sorted constraint-id list -> result.  Bounded: a week-long suite
    run must not grow memory without limit, so on reaching capacity the
@@ -108,23 +120,65 @@ let cache_add key r =
 
 let cache_key conds = List.sort_uniq compare (List.map (fun (b : Expr.boolean) -> b.Expr.bid) conds)
 
+(* --- certification ---------------------------------------------------- *)
+
+(* When on, every Unsat leaving the SAT core must carry a DRUP proof that
+   the independent checker (Proof) accepts; a rejected proof downgrades
+   the answer to [Unknown (Proof_failed _)] — an unproven Unsat is never
+   trusted.  The interval pre-filter is bypassed so that no Unsat reaches
+   a caller without a proof (constant folding of a literal [false]
+   conjunct is the one exemption: the refutation is the constant itself). *)
+let certify = ref false
+
+let set_certify b =
+  if b <> !certify then begin
+    certify := b;
+    (* memoized entries from the other regime are not proof-backed (or
+       were needlessly strict); drop them *)
+    clear_cache ()
+  end
+
+let certify_enabled () = !certify
+
+(* Called on every query that reaches the SAT core, after the deadline is
+   anchored and before the search starts.  Fault injection installs a
+   closure here (scoped to the crosscheck phase) that may raise or skew
+   the clock; by default it does nothing. *)
+let query_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let set_query_hook f = query_hook := f
+
 let run_sat budget conds =
   stats.sat_calls <- stats.sat_calls + 1;
   let t0 = Mono.now () in
-  let ctx = Bitblast.create () in
+  let ctx = Bitblast.create ~proof:!certify () in
   List.iter (Bitblast.assert_bool ctx) conds;
   (* the deadline is anchored before bit-blasting, so blast time counts
      against the same per-query budget as the search *)
   let deadline =
     Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) budget.b_timeout_ms
   in
+  !query_hook ();
   let r =
     match
       Sat.solve ?max_conflicts:budget.b_max_conflicts
         ?max_decisions:budget.b_max_decisions ?deadline ctx.Bitblast.sat
     with
     | Sat.Sat -> Sat (Bitblast.extract_model ctx)
-    | Sat.Unsat -> Unsat
+    | Sat.Unsat ->
+      if not !certify then Unsat
+      else begin
+        stats.proofs_checked <- stats.proofs_checked + 1;
+        match
+          Proof.check_derivation
+            (Sat.original_clauses ctx.Bitblast.sat)
+            (Sat.proof_steps ctx.Bitblast.sat)
+        with
+        | Proof.Valid -> Unsat
+        | Proof.Invalid msg ->
+          stats.proofs_failed <- stats.proofs_failed + 1;
+          Unknown (Proof_failed msg)
+      end
     | Sat.Unknown Sat.Conflicts -> Unknown Out_of_conflicts
     | Sat.Unknown Sat.Decisions -> Unknown Out_of_decisions
     | Sat.Unknown Sat.Time -> Unknown Out_of_time
@@ -153,7 +207,10 @@ let check ?(use_interval = true) ?(use_cache = true) ?budget conds =
       r
     | None ->
       let r =
-        if use_interval && Interval.check conds = Interval.Unsat then begin
+        (* certify mode bypasses the interval filter: its Unsat answers
+           carry no proof, and the whole point is never to publish one *)
+        if use_interval && (not !certify) && Interval.check conds = Interval.Unsat
+        then begin
           stats.interval_hits <- stats.interval_hits + 1;
           Unsat
         end
@@ -198,4 +255,8 @@ let pp_stats fmt () =
     "queries=%d const=%d interval=%d cache=%d sat_calls=%d (sat=%d unsat=%d unknown=%d) evictions=%d time=%.3fs"
     stats.queries stats.const_hits stats.interval_hits stats.cache_hits stats.sat_calls
     stats.sat_results stats.unsat_results stats.unknown_results stats.cache_evictions
-    stats.solver_time
+    stats.solver_time;
+  if stats.proofs_checked > 0 then
+    Format.fprintf fmt " proofs=%d/%d"
+      (stats.proofs_checked - stats.proofs_failed)
+      stats.proofs_checked

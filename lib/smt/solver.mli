@@ -13,6 +13,9 @@ type unknown_reason =
   | Out_of_conflicts  (** the conflict budget was exhausted *)
   | Out_of_decisions  (** the decision budget was exhausted *)
   | Out_of_time  (** the per-query wall-clock budget was exhausted *)
+  | Proof_failed of string
+      (** certify mode: the SAT core answered Unsat but the independent
+          DRUP checker rejected its proof — the answer is not trusted *)
 
 type result =
   | Sat of Model.t  (** satisfiable, with a concrete witness *)
@@ -49,6 +52,26 @@ val set_default_budget : budget -> unit
 
 val get_default_budget : unit -> budget
 
+(** {1 Certification} *)
+
+val set_certify : bool -> unit
+(** When enabled, every query reaching the SAT core logs a DRUP proof;
+    an [Unsat] answer is published only if {!Proof.check_derivation}
+    accepts the proof, and is downgraded to [Unknown (Proof_failed _)]
+    otherwise.  The interval pre-filter is bypassed (its Unsat answers
+    carry no proof); constant folding of a literal [false] conjunct is the
+    one remaining uncertified Unsat path.  Toggling flushes the memo
+    cache: entries from the other regime are not comparable. *)
+
+val certify_enabled : unit -> bool
+
+val set_query_hook : (unit -> unit) -> unit
+(** Install a closure run on every query that reaches the SAT core
+    (between deadline anchoring and the search).  Fault injection uses
+    this to deliver solver faults and clock jumps; install
+    [(fun () -> ())] to remove.  An exception it raises propagates to the
+    {!check} caller. *)
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -62,6 +85,8 @@ type stats = {
   mutable unknown_results : int;  (** queries that exhausted their budget *)
   mutable cache_evictions : int;  (** memo-table flushes at capacity *)
   mutable solver_time : float;  (** monotonic seconds inside the SAT core *)
+  mutable proofs_checked : int;  (** certify mode: Unsat proofs validated *)
+  mutable proofs_failed : int;  (** certify mode: proofs the checker rejected *)
 }
 
 val stats : stats

@@ -21,6 +21,7 @@
 
 open Smt
 module Trace = Openflow.Trace
+module Chaos = Harness.Chaos
 
 type inconsistency = {
   i_result_a : Trace.result;
@@ -41,6 +42,11 @@ type outcome = {
   o_pairs_undecided : (string * string) list;
   (* result-key pairs on which every budgeted attempt, including the full
      retry ladder, came back Unknown — "gave up", not "no inconsistency" *)
+  o_pair_faults : int;
+  (* pairs lost to a fault (solver soundness error or injected fault)
+     rather than an honest Unknown; they are counted in
+     [o_pairs_undecided] too, and left out of checkpoints so a resumed
+     run retries them *)
   o_check_time : float; (* seconds in the intersection stage (Table 3) *)
 }
 
@@ -136,41 +142,87 @@ let fingerprint (ka : string array) (kb : string array) =
        (String.concat "\x00" (Array.to_list ka) ^ "\x01" ^ String.concat "\x00" (Array.to_list kb)))
 
 let write_checkpoint path ~test ~agent_a ~agent_b ~fp (decided : (int * int, pair_outcome) Hashtbl.t) =
+  (* the snapshot is built in memory so a whole-file checksum can be
+     appended: the trailing [sum <md5>] line covers every preceding byte,
+     letting the reader detect truncation and bit flips — not just the
+     malformed lines the parser happens to notice *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "soft-checkpoint 2\n";
+  Printf.bprintf buf "test %s\n" test;
+  Printf.bprintf buf "agent-a %s\n" agent_a;
+  Printf.bprintf buf "agent-b %s\n" agent_b;
+  Printf.bprintf buf "fingerprint %s\n" fp;
+  Hashtbl.iter
+    (fun (i, j) outcome ->
+      match outcome with
+      | P_clean -> Printf.bprintf buf "d %d %d\n" i j
+      | P_undecided -> Printf.bprintf buf "u %d %d\n" i j
+      | P_inc bindings ->
+        Printf.bprintf buf "i %d %d\n" i j;
+        List.iter
+          (fun (v, value) ->
+            Printf.bprintf buf "w %d %Lx |%s|\n" (Expr.var_width v) value (Expr.var_name v))
+          bindings)
+    decided;
+  let body = Buffer.contents buf in
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "soft-checkpoint 1\n";
-      Printf.fprintf oc "test %s\n" test;
-      Printf.fprintf oc "agent-a %s\n" agent_a;
-      Printf.fprintf oc "agent-b %s\n" agent_b;
-      Printf.fprintf oc "fingerprint %s\n" fp;
-      Hashtbl.iter
-        (fun (i, j) outcome ->
-          match outcome with
-          | P_clean -> Printf.fprintf oc "d %d %d\n" i j
-          | P_undecided -> Printf.fprintf oc "u %d %d\n" i j
-          | P_inc bindings ->
-            Printf.fprintf oc "i %d %d\n" i j;
-            List.iter
-              (fun (v, value) ->
-                Printf.fprintf oc "w %d %Lx |%s|\n" (Expr.var_width v) value (Expr.var_name v))
-              bindings)
-        decided);
+      output_string oc body;
+      Printf.fprintf oc "sum %s\n" (Digest.to_hex (Digest.string body)));
   (* atomic replace: a kill mid-write never corrupts the previous snapshot *)
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  (* fault injection may cut the freshly written file down mid-file; the
+     checksum above is what turns that into a detected cold start *)
+  Chaos.maybe_truncate_file path
 
-let read_checkpoint path ~test ~agent_a ~agent_b ~fp =
+(* Split off and verify the trailing [sum <md5>] line.  [None] means the
+   snapshot cannot be trusted (truncated, bit-flipped, or pre-checksum
+   format); [Some body] is the verified payload. *)
+let verified_body content =
+  let len = String.length content in
+  if len = 0 || content.[len - 1] <> '\n' then None
+  else
+    let wo_nl = String.sub content 0 (len - 1) in
+    match String.rindex_opt wo_nl '\n' with
+    | None -> None
+    | Some i ->
+      let last = String.sub wo_nl (i + 1) (String.length wo_nl - i - 1) in
+      if String.length last > 4 && String.sub last 0 4 = "sum " then begin
+        let body = String.sub content 0 (i + 1) in
+        let sum = String.sub last 4 (String.length last - 4) in
+        if String.lowercase_ascii sum = Digest.to_hex (Digest.string body) then Some body
+        else None
+      end
+      else None
+
+let read_checkpoint path ~test ~agent_a ~agent_b ~fp ~on_warning =
   let decided : (int * int, pair_outcome) Hashtbl.t = Hashtbl.create 256 in
   if not (Sys.file_exists path) then decided (* fresh start *)
   else begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    match verified_body content with
+    | None ->
+      (* a corrupt snapshot degrades to a cold start: slower, never wrong.
+         Only an *intact* file that belongs to different runs is an error
+         (below) — that one the caller must not silently ignore. *)
+      on_warning
+        (Printf.sprintf
+           "checkpoint %s failed its integrity check (truncated or corrupted); starting cold"
+           path);
+      decided
+    | Some body ->
         let fail msg = raise (Checkpoint_error (path ^ ": " ^ msg)) in
-        let line () = try Some (input_line ic) with End_of_file -> None in
+        let lines = ref (String.split_on_char '\n' body) in
+        let line () =
+          match !lines with
+          | [] | [ "" ] -> None
+          | l :: rest ->
+            lines := rest;
+            Some l
+        in
         let expect_kv key expected =
           match line () with
           | Some l when l = key ^ " " ^ expected -> ()
@@ -178,7 +230,7 @@ let read_checkpoint path ~test ~agent_a ~agent_b ~fp =
           | None -> fail "truncated header"
         in
         (match line () with
-         | Some "soft-checkpoint 1" -> ()
+         | Some "soft-checkpoint 2" -> ()
          | _ -> fail "bad magic");
         expect_kv "test" test;
         expect_kv "agent-a" agent_a;
@@ -244,13 +296,16 @@ let read_checkpoint path ~test ~agent_a ~agent_b ~fp =
           | Some l -> fail ("unexpected line: " ^ l)
         in
         go ();
-        decided)
+        decided
   end
 
 (* --- the crosscheck loop --------------------------------------------- *)
 
+let default_warning msg = Printf.eprintf "soft: warning: %s\n%!" msg
+
 let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
-    ?(on_found = fun (_ : inconsistency) -> ()) (a : Grouping.grouped) (b : Grouping.grouped) =
+    ?(on_found = fun (_ : inconsistency) -> ()) ?(on_warning = default_warning)
+    (a : Grouping.grouped) (b : Grouping.grouped) =
   if a.Grouping.gr_test <> b.Grouping.gr_test then
     invalid_arg "Crosscheck.check: runs of different tests";
   let t0 = Mono.now () in
@@ -263,7 +318,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
     match resume with
     | Some path ->
       read_checkpoint path ~test:a.Grouping.gr_test ~agent_a:a.Grouping.gr_agent
-        ~agent_b:b.Grouping.gr_agent ~fp
+        ~agent_b:b.Grouping.gr_agent ~fp ~on_warning
     | None -> Hashtbl.create 256
   in
   let since_snapshot = ref 0 in
@@ -276,6 +331,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
   in
   let pairs_checked = ref 0 in
   let pairs_equal = ref 0 in
+  let pair_faults = ref 0 in
   let found = ref [] in
   let undecided = ref [] in
   let mk_inc (ga : Grouping.group) (gb : Grouping.group) witness =
@@ -304,12 +360,27 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
                  [on_found] re-notification *)
               found := mk_inc ga gb (Model.of_bindings bindings) :: !found
             | None ->
-              (match sat_pair ?split ?budget ?retry ga gb with
-               | Pair_unsat -> Hashtbl.replace decided (i, j) P_clean
-               | Pair_undecided ->
+              let verdict =
+                (* fault injection delivers solver faults and clock jumps
+                   only inside this per-pair scope; a fault (injected or a
+                   genuine solver soundness error) costs the pair its
+                   verdict, never the run or a wrong answer *)
+                try Some (Chaos.with_solver_faults (fun () -> sat_pair ?split ?budget ?retry ga gb))
+                with Solver.Solver_error _ | Chaos.Injected_fault _ ->
+                  incr pair_faults;
+                  None
+              in
+              (match verdict with
+               | None ->
+                 (* degraded to undecided, and *not* checkpointed: a
+                    resumed run retries the pair — the fault was
+                    transient, an Unknown was earned *)
+                 undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
+               | Some Pair_unsat -> Hashtbl.replace decided (i, j) P_clean
+               | Some Pair_undecided ->
                  Hashtbl.replace decided (i, j) P_undecided;
                  undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
-               | Pair_sat witness ->
+               | Some (Pair_sat witness) ->
                  Hashtbl.replace decided (i, j) (P_inc (Model.bindings witness));
                  let inc = mk_inc ga gb witness in
                  on_found inc;
@@ -331,6 +402,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
     o_pairs_checked = !pairs_checked;
     o_pairs_equal = !pairs_equal;
     o_pairs_undecided = List.rev !undecided;
+    o_pair_faults = !pair_faults;
     o_check_time = Mono.elapsed t0;
   }
 
@@ -340,8 +412,9 @@ let undecided_count o = List.length o.o_pairs_undecided
 
 let pp fmt o =
   Format.fprintf fmt
-    "@[<v>%s vs %s on %s: %d inconsistencies (%d pairs checked, %d undecided, %.2fs)@ "
+    "@[<v>%s vs %s on %s: %d inconsistencies (%d pairs checked, %d undecided%s, %.2fs)@ "
     o.o_agent_a o.o_agent_b o.o_test (count o) o.o_pairs_checked (undecided_count o)
+    (if o.o_pair_faults > 0 then Printf.sprintf " of which %d faulted" o.o_pair_faults else "")
     o.o_check_time;
   List.iteri
     (fun i inc ->

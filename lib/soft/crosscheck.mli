@@ -28,6 +28,11 @@ type outcome = {
   o_pairs_undecided : (string * string) list;
       (** result-key pairs the solver gave up on within its budget, after
           the full retry ladder — "gave up", not "no inconsistency" *)
+  o_pair_faults : int;
+      (** pairs lost to a fault (a {!Smt.Solver.Solver_error} or an
+          injected {!Harness.Chaos.Injected_fault}) rather than an honest
+          [Unknown]; counted in [o_pairs_undecided] too, and left out of
+          checkpoints so a resumed run retries them *)
   o_check_time : float;  (** seconds in the intersection stage (Table 3) *)
 }
 
@@ -59,8 +64,12 @@ val sat_pair :
     defaults to the solver's process-wide default budget. *)
 
 exception Checkpoint_error of string
-(** Raised when a resume file is malformed or belongs to different runs
-    (the checkpoint carries a fingerprint of both groups' result keys). *)
+(** Raised when an *intact* resume file (its whole-file checksum holds)
+    belongs to different runs — the checkpoint carries the test, agent
+    names, and a fingerprint of both groups' result keys.  A file that
+    fails its checksum (truncated, bit-flipped, or pre-checksum format) is
+    never an error: it degrades to a cold start with an [on_warning]
+    message. *)
 
 val check :
   ?split:int ->
@@ -70,6 +79,7 @@ val check :
   ?checkpoint_every:int ->
   ?resume:string ->
   ?on_found:(inconsistency -> unit) ->
+  ?on_warning:(string -> unit) ->
   Grouping.grouped ->
   Grouping.grouped ->
   outcome
@@ -86,10 +96,13 @@ val check :
     this file every [checkpoint_every] (default 64) newly decided pairs,
     via an atomic rename; a final snapshot is written on completion.
     [resume]: load a previous snapshot and skip the pairs it already
-    decided — a missing file is a fresh start, a mismatched one raises
-    {!Checkpoint_error}.  A killed-then-resumed run yields the same
-    outcome as an uninterrupted one ([on_found] fires only for newly
-    discovered inconsistencies).
+    decided — a missing file is a fresh start, a corrupt one a warned cold
+    start, and an intact-but-mismatched one raises {!Checkpoint_error}.  A
+    killed-then-resumed run yields the same outcome as an uninterrupted
+    one ([on_found] fires only for newly discovered inconsistencies).
+
+    [on_warning] (default: print to stderr) receives degradation notices
+    such as a corrupt resume file.
 
     @raise Invalid_argument if the two runs are of different tests. *)
 

@@ -19,12 +19,17 @@ type comparison = {
   c_grouped_a : Grouping.grouped;
   c_grouped_b : Grouping.grouped;
   c_outcome : Crosscheck.outcome;
+  c_validation : Validate.summary option;
+  (* present when the caller asked for replay validation; [compare_runs]
+     cannot produce it (it has runs, not agents to re-execute) *)
 }
 
-let compare_runs ?split ?budget ?checkpoint ?resume spec run_a run_b =
+let compare_runs ?split ?budget ?checkpoint ?resume ?on_warning spec run_a run_b =
   let grouped_a = Grouping.of_run run_a in
   let grouped_b = Grouping.of_run run_b in
-  let outcome = Crosscheck.check ?split ?budget ?checkpoint ?resume grouped_a grouped_b in
+  let outcome =
+    Crosscheck.check ?split ?budget ?checkpoint ?resume ?on_warning grouped_a grouped_b
+  in
   {
     c_test = spec;
     c_run_a = run_a;
@@ -32,13 +37,21 @@ let compare_runs ?split ?budget ?checkpoint ?resume spec run_a run_b =
     c_grouped_a = grouped_a;
     c_grouped_b = grouped_b;
     c_outcome = outcome;
+    c_validation = None;
   }
 
-let compare_agents ?max_paths ?strategy ?deadline_ms ?solver_budget ?split agent_a agent_b
-    (spec : Test_spec.t) =
+let compare_agents ?max_paths ?strategy ?deadline_ms ?solver_budget ?split
+    ?(validate = false) agent_a agent_b (spec : Test_spec.t) =
   let run_a = Runner.execute ?max_paths ?strategy ?deadline_ms ?solver_budget agent_a spec in
   let run_b = Runner.execute ?max_paths ?strategy ?deadline_ms ?solver_budget agent_b spec in
-  compare_runs ?split ?budget:solver_budget spec run_a run_b
+  let c = compare_runs ?split ?budget:solver_budget spec run_a run_b in
+  if not validate then c
+  else
+    {
+      c with
+      c_validation =
+        Some (Validate.validate ?solver_budget agent_a agent_b spec c.c_outcome);
+    }
 
 (* Run a whole suite of tests between two agents.  Every per-agent run is
    crash-isolated: a run that raises becomes a [Runner.failure] record and
@@ -48,8 +61,8 @@ type suite_result = {
   sr_failures : Runner.failure list;
 }
 
-let compare_suite ?max_paths ?strategy ?deadline_ms ?solver_budget ?split agent_a agent_b
-    specs =
+let compare_suite ?max_paths ?strategy ?deadline_ms ?solver_budget ?split
+    ?(validate = false) agent_a agent_b specs =
   let comparisons = ref [] in
   let failures = ref [] in
   List.iter
@@ -64,7 +77,17 @@ let compare_suite ?max_paths ?strategy ?deadline_ms ?solver_budget ?split agent_
         with
         | Error f -> failures := f :: !failures
         | Ok run_b ->
-          comparisons := compare_runs ?split ?budget:solver_budget spec run_a run_b :: !comparisons))
+          let c = compare_runs ?split ?budget:solver_budget spec run_a run_b in
+          let c =
+            if not validate then c
+            else
+              {
+                c with
+                c_validation =
+                  Some (Validate.validate ?solver_budget agent_a agent_b spec c.c_outcome);
+              }
+          in
+          comparisons := c :: !comparisons))
     specs;
   { sr_comparisons = List.rev !comparisons; sr_failures = List.rev !failures }
 
@@ -100,7 +123,13 @@ let pp_comparison fmt c =
    | n ->
      Format.fprintf fmt
        "undecided pairs: %d (solver budget exhausted — rerun with a larger budget)@ " n);
+  (match c.c_outcome.Crosscheck.o_pair_faults with
+   | 0 -> ()
+   | n -> Format.fprintf fmt "faulted pairs: %d (degraded to undecided)@ " n);
   Report.pp_summary fmt (summaries c);
+  (match c.c_validation with
+   | None -> ()
+   | Some v -> Format.fprintf fmt "%a@ " Validate.pp v);
   Format.fprintf fmt "@]"
 
 let pp_suite fmt s =

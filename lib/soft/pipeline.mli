@@ -11,6 +11,10 @@ type comparison = {
   c_grouped_a : Grouping.grouped;
   c_grouped_b : Grouping.grouped;
   c_outcome : Crosscheck.outcome;
+  c_validation : Validate.summary option;
+      (** replay validation of the found inconsistencies; [Some] only when
+          requested via [~validate:true] (and never from {!compare_runs},
+          which has no agents to re-execute) *)
 }
 
 val compare_runs :
@@ -18,6 +22,7 @@ val compare_runs :
   ?budget:Smt.Solver.budget ->
   ?checkpoint:string ->
   ?resume:string ->
+  ?on_warning:(string -> unit) ->
   Harness.Test_spec.t ->
   Harness.Runner.run ->
   Harness.Runner.run ->
@@ -31,13 +36,16 @@ val compare_agents :
   ?deadline_ms:int ->
   ?solver_budget:Smt.Solver.budget ->
   ?split:int ->
+  ?validate:bool ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->
   Harness.Test_spec.t ->
   comparison
 (** Both phases in one process.  [deadline_ms] bounds each agent's
     exploration wall clock; [solver_budget] bounds every solver query in
-    both phases. *)
+    both phases.  [validate] (default false) replays every found
+    inconsistency's witness through both agents and records the
+    {!Validate.summary}. *)
 
 type suite_result = {
   sr_comparisons : comparison list;  (** tests where both runs completed *)
@@ -51,6 +59,7 @@ val compare_suite :
   ?deadline_ms:int ->
   ?solver_budget:Smt.Solver.budget ->
   ?split:int ->
+  ?validate:bool ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->
   Harness.Test_spec.t list ->

@@ -66,6 +66,27 @@ let summarize (o : Crosscheck.outcome) =
   Hashtbl.fold (fun c (n, ex) acc -> { s_class = c; s_count = !n; s_example = ex } :: acc) tbl []
   |> List.sort (fun x y -> compare y.s_count x.s_count)
 
+(* Exit-status policy for the CLI (and anything scripting it):
+     0 — clean: no inconsistencies, nothing undecided, nothing unvalidated;
+     1 — inconsistencies found (replay-confirmed ones, when validation ran);
+     2 — usage error (mapped by the CLI, never produced here);
+     3 — inconclusive: undecided pairs, faulted pairs, or reported
+         inconsistencies that validation refuted or failed to replay.
+   Finding a real divergence (1) outranks being inconclusive (3): a
+   scripted gate must fail hard on a confirmed interoperability bug even
+   if parts of the check also gave up. *)
+let exit_status ?validation (o : Crosscheck.outcome) =
+  let confirmed, unvalidated =
+    match validation with
+    | None -> (Crosscheck.count o, 0)
+    | Some v -> (v.Validate.vs_confirmed, Validate.unconfirmed v)
+  in
+  if confirmed > 0 then 1
+  else if
+    unvalidated > 0 || o.Crosscheck.o_pairs_undecided <> [] || o.Crosscheck.o_pair_faults > 0
+  then 3
+  else 0
+
 let pp_summary fmt (ss : summary list) =
   Format.fprintf fmt "@[<v>";
   List.iter

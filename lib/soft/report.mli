@@ -25,4 +25,13 @@ type summary = {
 val summarize : Crosscheck.outcome -> summary list
 (** One entry per behaviour class present, most frequent first. *)
 
+val exit_status : ?validation:Validate.summary -> Crosscheck.outcome -> int
+(** Process exit status for an outcome: [0] clean; [1] inconsistencies
+    (replay-confirmed ones when [validation] is given); [3] inconclusive —
+    undecided or faulted pairs, or reported inconsistencies that
+    validation refuted or failed to replay.  [1] outranks [3]: a
+    confirmed divergence fails a scripted gate even if parts of the check
+    also gave up.  ([2] is the CLI's usage-error status and is never
+    produced here.) *)
+
 val pp_summary : Format.formatter -> summary list -> unit

@@ -46,6 +46,17 @@ exception Path_crash of string
 exception Path_abort
 exception Path_stop
 
+(* Exceptions the per-path crash isolation must never swallow, beyond the
+   built-in [Out_of_memory]/[Solver_error].  Fault injection registers its
+   marker exception here: a chaos fault recorded as an ordinary crash path
+   would become part of the agent's observable behaviour and could flip a
+   crosscheck verdict, so it has to abort the whole run loudly instead. *)
+let fatal_predicates : (exn -> bool) list ref = ref []
+
+let register_fatal p = fatal_predicates := p :: !fatal_predicates
+
+let is_fatal e = List.exists (fun p -> p e) !fatal_predicates
+
 type 'ev path_result = {
   pc : Expr.boolean list; (* in execution order *)
   path_cond : Expr.boolean; (* balanced conjunction of [pc] *)
@@ -360,6 +371,7 @@ let run ?(strategy = Strategy.default) ?(max_paths = max_int) ?(max_decisions = 
            (* process-level resource exhaustion and solver soundness
               violations must not be masked as one bad path *)
            raise e
+         | e when is_fatal e -> raise e
          | e ->
            (* crash isolation: an uncaught exception in the agent ends this
               path with a crash record instead of aborting the whole run *)

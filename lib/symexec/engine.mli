@@ -125,7 +125,14 @@ val run :
 
     A path that raises an exception other than {!Path_crash}/{!Path_abort}
     is recorded as a crashed path (counted in [exceptions]) instead of
-    aborting the run; [Out_of_memory] and {!Smt.Solver.Solver_error} still
-    propagate. *)
+    aborting the run; [Out_of_memory], {!Smt.Solver.Solver_error} and any
+    exception accepted by a {!register_fatal} predicate still propagate. *)
+
+val register_fatal : (exn -> bool) -> unit
+(** Register a predicate for exceptions the per-path crash isolation must
+    re-raise rather than record as a crash path.  Fault injection uses
+    this for its marker exception: an injected fault recorded as agent
+    behaviour could alter a verdict, so it must abort the run loudly.
+    Registration is global and permanent. *)
 
 val pp_stats : Format.formatter -> run_stats -> unit

@@ -19,16 +19,29 @@ let default = Interleave 42
 let to_string = function
   | Dfs -> "dfs"
   | Bfs -> "bfs"
-  | Random seed -> Printf.sprintf "random(%d)" seed
-  | Interleave seed -> Printf.sprintf "interleave(%d)" seed
+  | Random seed -> Printf.sprintf "random:%d" seed
+  | Interleave seed -> Printf.sprintf "interleave:%d" seed
 
+(* [random] and [interleave] accept an explicit [:<seed>] so runs are
+   reproducible end to end; the bare names keep the historical seed 42.
+   [to_string] round-trips through [of_string]. *)
 let of_string s =
-  match String.lowercase_ascii s with
-  | "dfs" -> Some Dfs
-  | "bfs" -> Some Bfs
-  | "random" -> Some (Random 42)
-  | "interleave" | "default" -> Some default
-  | _ -> None
+  match String.index_opt s ':' with
+  | None -> (
+    match String.lowercase_ascii s with
+    | "dfs" -> Some Dfs
+    | "bfs" -> Some Bfs
+    | "random" -> Some (Random 42)
+    | "interleave" | "default" -> Some default
+    | _ -> None)
+  | Some i -> (
+    let name = String.lowercase_ascii (String.sub s 0 i) in
+    let seed = int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) in
+    (* a malformed seed is an error, not silently 42; dfs/bfs take none *)
+    match (name, seed) with
+    | "random", Some seed -> Some (Random seed)
+    | "interleave", Some seed -> Some (Interleave seed)
+    | _ -> None)
 
 (* A frontier with O(1)-ish pick for each policy.  Items carry an [age]
    (insertion order) and a [fresh] flag (fork at an uncovered branch). *)

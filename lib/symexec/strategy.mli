@@ -13,8 +13,16 @@ type t =
   | Interleave of int  (** seed; random + coverage-biased mix *)
 
 val default : t
+
 val to_string : t -> string
+(** [random:<seed>]/[interleave:<seed>] — round-trips through
+    {!of_string}. *)
+
 val of_string : string -> t option
+(** Accepts [dfs], [bfs], [random], [interleave], [default], and seeded
+    forms [random:<seed>]/[interleave:<seed>].  Bare [random]/[interleave]
+    keep the historical seed 42; a malformed seed is [None], never a
+    silent fallback. *)
 
 (** {1 Frontier} (used by the engine) *)
 

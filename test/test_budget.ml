@@ -380,6 +380,44 @@ let test_resume_rejects_mismatch () =
       | _ -> Alcotest.fail "mismatched checkpoint accepted"
       | exception Soft.Crosscheck.Checkpoint_error _ -> ())
 
+(* A damaged checkpoint — truncated write or flipped bit — must never
+   raise and never resume wrong: the checksum catches it, a warning is
+   issued, and the run starts cold with the exact uninterrupted outcome. *)
+let check_corrupted_resume msg corrupt =
+  let p = Expr.var ~width:16 "fig1.p" in
+  let a = run_toy "agent1" (fun env -> fig1_agent1 env p) in
+  let b = run_toy "agent2" (fun env -> fig1_agent2 env p) in
+  let uninterrupted = Soft.Crosscheck.check a b in
+  let file = Filename.temp_file "soft_ckpt" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      ignore (Soft.Crosscheck.check ~checkpoint:file a b);
+      corrupt file;
+      let warnings = ref [] in
+      let resumed =
+        Soft.Crosscheck.check ~resume:file
+          ~on_warning:(fun m -> warnings := m :: !warnings)
+          a b
+      in
+      check_bool (msg ^ ": warning issued") true
+        (List.exists (contains ~needle:"integrity") !warnings);
+      check_same_outcome (msg ^ ": cold start = uninterrupted") uninterrupted resumed)
+
+let test_resume_truncated_checkpoint () =
+  check_corrupted_resume "truncated" (fun file ->
+      Unix.truncate file ((Unix.stat file).Unix.st_size / 2))
+
+let test_resume_bitflipped_checkpoint () =
+  check_corrupted_resume "bit-flipped" (fun file ->
+      let body = In_channel.with_open_bin file In_channel.input_all in
+      (* flip a bit in the middle of the payload, away from the header *)
+      let i = String.length body / 2 in
+      let body = Bytes.of_string body in
+      Bytes.set body i (Char.chr (Char.code (Bytes.get body i) lxor 1));
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_bytes oc body))
+
 (* --- crash isolation: engine, runner, pipeline ------------------------ *)
 
 let test_engine_isolates_agent_exception () =
@@ -479,6 +517,8 @@ let suite =
     ("checkpoint/resume equals uninterrupted", `Quick, test_checkpoint_resume_equivalence);
     ("resume: missing file is a fresh start", `Quick, test_resume_missing_file_is_fresh);
     ("resume: mismatched checkpoint rejected", `Quick, test_resume_rejects_mismatch);
+    ("resume: truncated checkpoint heals cold", `Quick, test_resume_truncated_checkpoint);
+    ("resume: bit-flipped checkpoint heals cold", `Quick, test_resume_bitflipped_checkpoint);
     ("engine isolates agent exceptions", `Quick, test_engine_isolates_agent_exception);
     ("engine honours the exploration deadline", `Quick, test_engine_deadline);
     ("execute_safe isolates a crashing run", `Quick, test_execute_safe_isolates_run);

@@ -224,6 +224,26 @@ let test_deterministic () =
   Alcotest.(check (list string)) "deterministic partition" (all_path_keys (run program))
     (all_path_keys (run program))
 
+let test_strategy_of_string () =
+  let check_some msg expected s =
+    match Strategy.of_string s with
+    | Some st -> Alcotest.(check string) msg expected (Strategy.to_string st)
+    | None -> Alcotest.failf "%s: %S rejected" msg s
+  in
+  check_some "dfs" "dfs" "dfs";
+  check_some "bare random keeps the historical seed" "random:42" "random";
+  check_some "explicit random seed" "random:7" "random:7";
+  check_some "explicit interleave seed" "interleave:9" "interleave:9";
+  check_some "default" "interleave:42" "default";
+  (* round-trip: to_string output always parses back to the same strategy *)
+  List.iter
+    (fun st -> check_some "round-trip" (Strategy.to_string st) (Strategy.to_string st))
+    [ Strategy.Dfs; Strategy.Bfs; Strategy.Random 3; Strategy.Interleave 5 ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true (Strategy.of_string s = None))
+    [ "random:"; "random:x"; "dfs:3"; "cloud9"; "interleave:4.5" ]
+
 let suite =
   [
     Alcotest.test_case "no branch" `Quick test_no_branch;
@@ -242,4 +262,5 @@ let suite =
     Alcotest.test_case "coverage marks" `Quick test_coverage_marks;
     Alcotest.test_case "constraint size stats" `Quick test_stats_constraint_sizes;
     Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "strategy parsing round-trips" `Quick test_strategy_of_string;
   ]

@@ -1,6 +1,13 @@
-(* Aggregated test runner: `dune runtest` executes every suite. *)
+(* Aggregated test runner: `dune runtest` executes every suite.
+
+   Setting SOFT_CERTIFY=1 runs the whole suite with solver certification
+   on — every Unsat the frontend publishes is then backed by a checked
+   DRUP proof.  CI exercises this mode; it must change no verdicts. *)
 
 let () =
+  (match Sys.getenv_opt "SOFT_CERTIFY" with
+  | Some ("1" | "true" | "yes") -> Smt.Solver.set_certify true
+  | _ -> ());
   Alcotest.run "soft"
     [
       ("expr", Test_expr.suite);
@@ -19,4 +26,7 @@ let () =
       ("time", Test_time.suite);
       ("failure_injection", Test_failure_injection.suite);
       ("partition", Test_partition.suite);
+      ("proof", Test_proof.suite);
+      ("validate", Test_validate.suite);
+      ("chaos", Test_chaos.suite);
     ]

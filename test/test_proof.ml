@@ -1,0 +1,157 @@
+(* DRUP proof emission from the CDCL core and the independent RUP checker:
+   a valid refutation is accepted, fabricated or incomplete derivations are
+   rejected, certification is physically absent when disabled, and the
+   solver frontend's certify mode checks every UNSAT before publishing
+   it. *)
+
+open Smt
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+
+(* UNSAT pigeonhole PHP(p, p-1): needs real conflict analysis, so its
+   refutation exercises learnt-clause logging, not just propagation. *)
+let pigeonhole ?(proof = false) p =
+  let holes = p - 1 in
+  let s = Sat.create () in
+  if proof then Sat.enable_proof s;
+  let v = Array.init p (fun _ -> Array.init holes (fun _ -> Sat.new_var s)) in
+  for i = 0 to p - 1 do
+    Sat.add_clause s (List.init holes (fun j -> pos v.(i).(j)))
+  done;
+  for j = 0 to holes - 1 do
+    for i = 0 to p - 1 do
+      for k = i + 1 to p - 1 do
+        Sat.add_clause s [ neg v.(i).(j); neg v.(k).(j) ]
+      done
+    done
+  done;
+  s
+
+let test_valid_refutation_accepted () =
+  let s = pigeonhole ~proof:true 5 in
+  check_bool "instance is UNSAT" true (Sat.solve s = Sat.Unsat);
+  check_bool "originals were logged" true (Sat.original_clauses s <> []);
+  check_bool "derivation steps were logged" true (Sat.proof_steps s <> []);
+  match Proof.check_derivation (Sat.original_clauses s) (Sat.proof_steps s) with
+  | Proof.Valid -> ()
+  | Proof.Invalid msg -> Alcotest.failf "valid proof rejected: %s" msg
+
+let test_propagation_only_refutation () =
+  (* the original CNF is already refutable by unit propagation: the
+     checker must accept it with an empty derivation *)
+  check_bool "x ∧ ¬x refuted with no steps" true
+    (Proof.check_derivation [ [| pos 0 |]; [| neg 0 |] ] [] = Proof.Valid)
+
+let test_non_rup_step_rejected () =
+  (* from the single clause a∨b, the unit clause [a] is not RUP: assuming
+     ¬a propagates nothing *)
+  match Proof.check_derivation [ [| pos 0; pos 1 |] ] [ Sat.P_add [| pos 0 |] ] with
+  | Proof.Valid -> Alcotest.fail "non-RUP step accepted"
+  | Proof.Invalid msg ->
+    check_bool "message names the failing step" true
+      (contains ~needle:"reverse-unit-propagation" msg)
+
+let test_unfinished_derivation_rejected () =
+  (* a satisfiable CNF with no steps never reaches the empty clause *)
+  match Proof.check_derivation [ [| pos 0; pos 1 |] ] [] with
+  | Proof.Valid -> Alcotest.fail "claimed a refutation of a satisfiable CNF"
+  | Proof.Invalid msg ->
+    check_bool "message says the derivation is incomplete" true
+      (contains ~needle:"does not reach" msg)
+
+let test_deleted_clause_unusable () =
+  (* against {x∨y, x∨¬y} the unit [x] is RUP (assume ¬x, propagate y, the
+     second clause conflicts); neither original is unit, so nothing enters
+     the permanent top-level assignment at attach time.  Deleting x∨y
+     first must break the derivation — a checker that ignored deletions
+     would still accept the step. *)
+  let originals = [ [| pos 0; pos 1 |]; [| pos 0; neg 1 |] ] in
+  (match Proof.check_derivation originals [ Sat.P_add [| pos 0 |] ] with
+   | Proof.Invalid msg when contains ~needle:"does not reach" msg ->
+     () (* control: the step itself is accepted, only the end is missing *)
+   | Proof.Valid -> Alcotest.fail "satisfiable CNF declared refuted"
+   | Proof.Invalid msg -> Alcotest.failf "control step rejected: %s" msg);
+  match
+    Proof.check_derivation originals
+      [ Sat.P_delete [| pos 0; pos 1 |]; Sat.P_add [| pos 0 |] ]
+  with
+  | Proof.Valid -> Alcotest.fail "step derived from a deleted clause accepted"
+  | Proof.Invalid msg ->
+    check_bool "rejected as non-RUP, not merely unfinished" true
+      (contains ~needle:"reverse-unit-propagation" msg)
+
+let test_proof_off_path_absent () =
+  (* with certification disabled the proof log must be physically absent —
+     no structure is ever allocated, not an empty one kept up to date *)
+  let s = pigeonhole 5 in
+  check_bool "no proof before solving" false (Sat.proof_enabled s);
+  check_bool "instance is UNSAT" true (Sat.solve s = Sat.Unsat);
+  check_bool "no proof after an unsat solve" false (Sat.proof_enabled s);
+  check_int "no originals retained" 0 (List.length (Sat.original_clauses s));
+  check_int "no steps retained" 0 (List.length (Sat.proof_steps s));
+  let ctx = Bitblast.create () in
+  check_bool "bit-blast contexts default to no proof" false (Sat.proof_enabled ctx.Bitblast.sat);
+  let ctx' = Bitblast.create ~proof:true () in
+  check_bool "~proof:true turns logging on at creation" true
+    (Sat.proof_enabled ctx'.Bitblast.sat)
+
+let c16 v = Expr.const ~width:16 (Int64.of_int v)
+
+let test_certified_frontend () =
+  Fun.protect
+    ~finally:(fun () -> Solver.set_certify false)
+    (fun () ->
+      Solver.set_certify true;
+      let checked0 = Solver.stats.Solver.proofs_checked in
+      let failed0 = Solver.stats.Solver.proofs_failed in
+      let x = Expr.var ~width:16 "prf.x" in
+      (* an UNSAT query the interval filter would normally answer: certify
+         mode must bypass the filter, reach the SAT core, and publish the
+         Unsat only with an accepted proof *)
+      check_bool "certified UNSAT still answered" true
+        (Solver.check ~use_cache:false [ Expr.ult x (c16 5); Expr.uge x (c16 10) ]
+        = Solver.Unsat);
+      check_bool "a proof was checked" true (Solver.stats.Solver.proofs_checked > checked0);
+      check_int "no proof failed" failed0 Solver.stats.Solver.proofs_failed;
+      (* SAT answers are unaffected (still model-checked, no proof needed) *)
+      check_bool "certified SAT still answered" true
+        (match Solver.check ~use_cache:false [ Expr.ult x (c16 5) ] with
+         | Solver.Sat _ -> true
+         | _ -> false))
+
+let test_certify_toggle_flushes_cache () =
+  Fun.protect
+    ~finally:(fun () -> Solver.set_certify false)
+    (fun () ->
+      Solver.set_certify false;
+      let x = Expr.var ~width:16 "prf.tog" in
+      let q = [ Expr.ult x (c16 5); Expr.uge x (c16 10) ] in
+      check_bool "uncertified answer" true (Solver.check q = Solver.Unsat);
+      Solver.set_certify true;
+      (* the memoized uncertified Unsat must not be replayed: the query
+         runs again and a proof is checked *)
+      let checked0 = Solver.stats.Solver.proofs_checked in
+      check_bool "re-answered under certify" true (Solver.check q = Solver.Unsat);
+      check_bool "with a fresh proof, not the cache" true
+        (Solver.stats.Solver.proofs_checked > checked0))
+
+let suite =
+  [
+    ("valid refutation accepted", `Quick, test_valid_refutation_accepted);
+    ("propagation-only refutation accepted", `Quick, test_propagation_only_refutation);
+    ("non-RUP step rejected", `Quick, test_non_rup_step_rejected);
+    ("unfinished derivation rejected", `Quick, test_unfinished_derivation_rejected);
+    ("deleted clauses are really gone", `Quick, test_deleted_clause_unusable);
+    ("proof log physically absent when disabled", `Quick, test_proof_off_path_absent);
+    ("certified frontend checks every UNSAT", `Quick, test_certified_frontend);
+    ("certify toggle flushes the memo cache", `Quick, test_certify_toggle_flushes_cache);
+  ]

@@ -1,0 +1,172 @@
+(* Replay validation: every real inconsistency between the reference and
+   modified switches is replay-confirmed, a fabricated inconsistency
+   between identical agents is refuted, a crashing agent yields
+   replay-failed — and the exit-status policy maps all of it to the
+   documented codes. *)
+
+module Runner = Harness.Runner
+module Test_spec = Harness.Test_spec
+module Trace = Openflow.Trace
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ref_agent = Switches.Reference_switch.agent
+let mod_agent = Switches.Modified_switch.agent
+
+(* One shared small comparison: 60 paths find a handful of genuine
+   inconsistencies between the reference and modified switches.  All
+   replays below must reuse the comparison's own spec ([c_test]): a fresh
+   [Test_spec.packet_out ()] would mint fresh symbolic variables the
+   recorded witnesses do not bind, and pinning would constrain nothing. *)
+let cmp =
+  lazy
+    (Soft.Pipeline.compare_agents ~max_paths:60 ~validate:true ref_agent mod_agent
+       (Test_spec.packet_out ()))
+
+let test_real_inconsistencies_confirmed () =
+  let c = Lazy.force cmp in
+  let n = Soft.Pipeline.inconsistency_count c in
+  check_bool "the small run still finds inconsistencies" true (n > 0);
+  match c.Soft.Pipeline.c_validation with
+  | None -> Alcotest.fail "validation requested but absent"
+  | Some v ->
+    check_int "every inconsistency replay-confirmed" n v.Soft.Validate.vs_confirmed;
+    check_int "none refuted" 0 v.Soft.Validate.vs_refuted;
+    check_int "none failed to replay" 0 v.Soft.Validate.vs_failed;
+    check_bool "summary agrees" true (Soft.Validate.all_confirmed v);
+    (* each confirmed record carries both concrete traces, and they differ *)
+    List.iter
+      (fun (r : Soft.Validate.result) ->
+        match (r.Soft.Validate.v_replay_a, r.Soft.Validate.v_replay_b) with
+        | Some ta, Some tb ->
+          check_bool "replayed traces diverge" true
+            (Trace.result_key ta <> Trace.result_key tb)
+        | _ -> Alcotest.fail "confirmed result lacks a replay trace")
+      v.Soft.Validate.vs_results
+
+let test_fabricated_inconsistency_refuted () =
+  (* steal a genuine witness, then claim it distinguishes the reference
+     switch from itself: replay produces identical traces and must refute *)
+  let c = Lazy.force cmp in
+  let inc = List.hd c.Soft.Pipeline.c_outcome.Soft.Crosscheck.o_inconsistencies in
+  let r = Soft.Validate.validate_one ref_agent ref_agent c.Soft.Pipeline.c_test inc in
+  (match r.Soft.Validate.v_status with
+   | Soft.Validate.Refuted -> ()
+   | s -> Alcotest.failf "expected Refuted, got %s" (Soft.Validate.status_name s));
+  match (r.Soft.Validate.v_replay_a, r.Soft.Validate.v_replay_b) with
+  | Some ta, Some tb ->
+    check_bool "identical agents replay identically" true
+      (Trace.result_key ta = Trace.result_key tb)
+  | _ -> Alcotest.fail "refuted result lacks a replay trace"
+
+(* An agent whose crash is engine-fatal (an ordinary exception would be
+   isolated into a crash *trace*, which is still replayable behavior):
+   the replay itself fails, and the failure is reported as such rather
+   than confirming anything. *)
+exception Hard_crash
+
+let () = Symexec.Engine.register_fatal (function Hard_crash -> true | _ -> false)
+
+module Crashing_agent = struct
+  let name = "crashing"
+
+  type state = unit
+
+  let init () = ()
+  let connection_setup _env () = raise Hard_crash
+  let handle_message _env st _ = st
+  let advance_time _env st ~seconds:_ = st
+  let handle_packet _env st ~probe_id:_ ~in_port:_ _ = st
+end
+
+let crashing : Switches.Agent_intf.t = (module Crashing_agent)
+
+let test_unreplayable_is_failed () =
+  let c = Lazy.force cmp in
+  let inc = List.hd c.Soft.Pipeline.c_outcome.Soft.Crosscheck.o_inconsistencies in
+  let r = Soft.Validate.validate_one ref_agent crashing c.Soft.Pipeline.c_test inc in
+  match r.Soft.Validate.v_status with
+  | Soft.Validate.Replay_failed msg ->
+    check_bool "names the failing agent" true
+      (String.length msg > 0 && r.Soft.Validate.v_replay_b = None)
+  | s -> Alcotest.failf "expected Replay_failed, got %s" (Soft.Validate.status_name s)
+
+(* --- the exit-status policy ------------------------------------------- *)
+
+let outcome ?(incs = []) ?(undecided = []) ?(faults = 0) () =
+  {
+    Soft.Crosscheck.o_agent_a = "a";
+    o_agent_b = "b";
+    o_test = "t";
+    o_inconsistencies = incs;
+    o_pairs_checked = 1;
+    o_pairs_equal = 0;
+    o_pairs_undecided = undecided;
+    o_pair_faults = faults;
+    o_check_time = 0.0;
+  }
+
+let some_inc () =
+  let c = Lazy.force cmp in
+  List.hd c.Soft.Pipeline.c_outcome.Soft.Crosscheck.o_inconsistencies
+
+let summary ~confirmed ~refuted ~failed =
+  {
+    Soft.Validate.vs_agent_a = "a";
+    vs_agent_b = "b";
+    vs_test = "t";
+    vs_confirmed = confirmed;
+    vs_refuted = refuted;
+    vs_failed = failed;
+    vs_results = [];
+  }
+
+let test_exit_status () =
+  check_int "clean run exits 0" 0 (Soft.Report.exit_status (outcome ()));
+  check_int "inconsistencies exit 1" 1
+    (Soft.Report.exit_status (outcome ~incs:[ some_inc () ] ()));
+  check_int "undecided pairs exit 3" 3
+    (Soft.Report.exit_status (outcome ~undecided:[ ("A", "B") ] ()));
+  check_int "faulted pairs exit 3" 3 (Soft.Report.exit_status (outcome ~faults:1 ()));
+  check_int "confirmed inconsistency exits 1" 1
+    (Soft.Report.exit_status
+       ~validation:(summary ~confirmed:1 ~refuted:0 ~failed:0)
+       (outcome ~incs:[ some_inc () ] ()));
+  check_int "a refuted-only report is inconclusive: 3" 3
+    (Soft.Report.exit_status
+       ~validation:(summary ~confirmed:0 ~refuted:1 ~failed:0)
+       (outcome ~incs:[ some_inc () ] ()));
+  check_int "a replay-failed report is inconclusive: 3" 3
+    (Soft.Report.exit_status
+       ~validation:(summary ~confirmed:0 ~refuted:0 ~failed:1)
+       (outcome ~incs:[ some_inc () ] ()));
+  check_int "confirmed outranks undecided" 1
+    (Soft.Report.exit_status
+       ~validation:(summary ~confirmed:1 ~refuted:0 ~failed:1)
+       (outcome ~incs:[ some_inc () ] ~undecided:[ ("A", "B") ] ()))
+
+(* Replay must select exactly the recorded behavior: pinning the witness
+   and re-executing the reference switch lands on a path whose normalized
+   trace is the one the crosscheck reported for it. *)
+let test_replay_is_concrete () =
+  let c = Lazy.force cmp in
+  let inc = List.hd c.Soft.Pipeline.c_outcome.Soft.Crosscheck.o_inconsistencies in
+  match
+    Runner.execute_replay ~max_paths:64 ref_agent c.Soft.Pipeline.c_test
+      ~witness:inc.Soft.Crosscheck.i_witness
+  with
+  | Some t ->
+    Alcotest.(check string) "replay reproduces the recorded trace"
+      (Trace.result_key inc.Soft.Crosscheck.i_result_a)
+      (Trace.result_key t)
+  | None -> Alcotest.fail "witness selected no path on replay"
+
+let suite =
+  [
+    ("real inconsistencies are replay-confirmed", `Quick, test_real_inconsistencies_confirmed);
+    ("fabricated inconsistency is refuted", `Quick, test_fabricated_inconsistency_refuted);
+    ("unreplayable report is replay-failed", `Quick, test_unreplayable_is_failed);
+    ("exit-status policy", `Quick, test_exit_status);
+    ("replay pins the witness concretely", `Quick, test_replay_is_concrete);
+  ]
