@@ -11,7 +11,13 @@
    Environment knobs:
      SOFT_BENCH_PATHS=<n>   per-run path budget (default 4000)
      SOFT_BENCH_FULL=1      raise the budget to 100000 (long run)
-     SOFT_BENCH_SKIP_MICRO=1  skip the Bechamel section *)
+     SOFT_BENCH_SKIP_MICRO=1  skip the Bechamel section
+     SOFT_BENCH_JOBS=<n>    worker domains for the parallel section
+                            (default: one per core)
+
+   Machine-readable output: `--json` (or SOFT_BENCH_JSON=<path>) also
+   writes the stage timings, pairs/sec, cache hit rates, and the -j N
+   speedup to BENCH_crosscheck.json (or <path>) for CI trend tracking. *)
 
 module Runner = Harness.Runner
 module Spec = Harness.Test_spec
@@ -22,6 +28,85 @@ let budget =
   match Sys.getenv_opt "SOFT_BENCH_PATHS" with
   | Some s -> int_of_string s
   | None -> if Sys.getenv_opt "SOFT_BENCH_FULL" <> None then 100_000 else 4_000
+
+(* --- machine-readable results ----------------------------------------- *)
+
+type json =
+  | J_int of int
+  | J_num of float
+  | J_str of string
+  | J_obj of (string * json) list
+  | J_arr of json list
+
+let rec emit_json buf = function
+  | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_num f ->
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    else Buffer.add_string buf "null"
+  | J_str s ->
+    Buffer.add_char buf '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  | J_obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_json buf (J_str k);
+        Buffer.add_char buf ':';
+        emit_json buf v)
+      fields;
+    Buffer.add_char buf '}'
+  | J_arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_json buf v)
+      items;
+    Buffer.add_char buf ']'
+
+let json_path =
+  match Sys.getenv_opt "SOFT_BENCH_JSON" with
+  | Some p -> Some p
+  | None ->
+    if Array.exists (( = ) "--json") Sys.argv then Some "BENCH_crosscheck.json" else None
+
+let json_sections : (string * json) list ref = ref []
+
+let record name j = json_sections := (name, j) :: !json_sections
+
+let write_json () =
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 4096 in
+    emit_json buf (J_obj (List.rev !json_sections));
+    Buffer.add_char buf '\n';
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
+    Printf.printf "wrote %s\n" path
+
+let solver_stats_json () =
+  let s = Smt.Solver.stats () in
+  let hit_rate =
+    let looked = s.Smt.Solver.sat_calls + s.Smt.Solver.cache_hits in
+    if looked = 0 then 0.0 else float_of_int s.Smt.Solver.cache_hits /. float_of_int looked
+  in
+  J_obj
+    [
+      ("sat_calls", J_int s.Smt.Solver.sat_calls);
+      ("cache_hits", J_int s.Smt.Solver.cache_hits);
+      ("cache_hit_rate", J_num hit_rate);
+      ("cache_evictions", J_int s.Smt.Solver.cache_evictions);
+      ("interval_hits", J_int s.Smt.Solver.interval_hits);
+    ]
 
 let agents =
   [
@@ -107,6 +192,7 @@ let table3 () =
     "Inconsist. checking";
   Printf.printf "%-14s | %10s %7s | %10s %7s | %10s %7s\n" "" "time" "#res" "time" "#res"
     "time" "#found";
+  let rows = ref [] in
   List.iter
     (fun (spec : Spec.t) ->
       let ra = get_run spec (List.nth agents 0) in
@@ -114,13 +200,30 @@ let table3 () =
       let ga = Soft.Grouping.of_run ra in
       let gb = Soft.Grouping.of_run rb in
       let outcome = Soft.Crosscheck.check ga gb in
+      let check_time = outcome.Soft.Crosscheck.o_check_time in
+      let pairs = outcome.Soft.Crosscheck.o_pairs_checked in
+      rows :=
+        J_obj
+          [
+            ("test", J_str spec.Spec.id);
+            ("group_time_a", J_num ga.Soft.Grouping.gr_group_time);
+            ("group_time_b", J_num gb.Soft.Grouping.gr_group_time);
+            ("check_time", J_num check_time);
+            ("pairs_checked", J_int pairs);
+            ( "pairs_per_sec",
+              J_num (if check_time > 0.0 then float_of_int pairs /. check_time else 0.0) );
+            ("inconsistencies", J_int (Soft.Crosscheck.count outcome));
+            ("undecided", J_int (Soft.Crosscheck.undecided_count outcome));
+          ]
+        :: !rows;
       Printf.printf "%-14s | %9.3fs %7d | %9.3fs %7d | %9.2fs %7d\n%!" spec.Spec.label
         ga.Soft.Grouping.gr_group_time
         (Soft.Grouping.distinct_results ga)
         gb.Soft.Grouping.gr_group_time
         (Soft.Grouping.distinct_results gb)
-        outcome.Soft.Crosscheck.o_check_time (Soft.Crosscheck.count outcome))
-    (table3_tests ())
+        check_time (Soft.Crosscheck.count outcome))
+    (table3_tests ());
+  record "stages" (J_arr (List.rev !rows))
 
 (* ---------------------------------------------------------------------- *)
 (* Table 4: instruction and branch coverage *)
@@ -350,6 +453,80 @@ let ablation_structured_inputs () =
     "(raw bytes spend their paths on framing errors; structured inputs reach deep handlers)\n"
 
 (* ---------------------------------------------------------------------- *)
+(* Parallel crosscheck: the work-stealing pool at -j 1 vs -j N *)
+
+let parallel_jobs =
+  match Sys.getenv_opt "SOFT_BENCH_JOBS" with
+  | Some s -> max 2 (int_of_string s)
+  | None -> max 2 (Harness.Pool.default_jobs ())
+
+let parallel_crosscheck () =
+  header
+    (Printf.sprintf
+       "Parallel crosscheck: -j 1 vs -j %d (work-stealing pool; %d core(s) available)"
+       parallel_jobs
+       (Harness.Pool.default_jobs ()));
+  Printf.printf "%-14s %7s | %9s %9s | %9s %9s | %7s\n" "Test" "pairs" "t(-j1)" "pairs/s"
+    (Printf.sprintf "t(-j%d)" parallel_jobs)
+    "pairs/s" "speedup";
+  let tests = [ Spec.eth_flow_mod (); Spec.cs_flow_mods (); Spec.short_symb () ] in
+  let rows = ref [] in
+  let total_seq = ref 0.0 and total_par = ref 0.0 in
+  List.iter
+    (fun (spec : Spec.t) ->
+      let a = Soft.Grouping.of_run (get_run spec (List.nth agents 0)) in
+      let b = Soft.Grouping.of_run (get_run spec (List.nth agents 2)) in
+      let measure jobs =
+        (* cold caches on both sides: workers start with fresh per-domain
+           contexts, so clear the caller's memo cache too for a fair -j 1 *)
+        Smt.Solver.clear_cache ();
+        Soft.Crosscheck.check ~jobs a b
+      in
+      let o1 = measure 1 in
+      let on = measure parallel_jobs in
+      (* the report must not depend on the worker count *)
+      assert (Soft.Crosscheck.count o1 = Soft.Crosscheck.count on);
+      assert (o1.Soft.Crosscheck.o_pairs_undecided = on.Soft.Crosscheck.o_pairs_undecided);
+      let t1 = o1.Soft.Crosscheck.o_check_time in
+      let tn = on.Soft.Crosscheck.o_check_time in
+      total_seq := !total_seq +. t1;
+      total_par := !total_par +. tn;
+      let pairs = o1.Soft.Crosscheck.o_pairs_checked in
+      let rate t = if t > 0.0 then float_of_int pairs /. t else 0.0 in
+      let speedup = if tn > 0.0 then t1 /. tn else 0.0 in
+      rows :=
+        J_obj
+          [
+            ("test", J_str spec.Spec.id);
+            ("pairs_checked", J_int pairs);
+            ("seq_time", J_num t1);
+            ("seq_pairs_per_sec", J_num (rate t1));
+            ("par_time", J_num tn);
+            ("par_pairs_per_sec", J_num (rate tn));
+            ("speedup", J_num speedup);
+          ]
+        :: !rows;
+      Printf.printf "%-14s %7d | %8.3fs %9.0f | %8.3fs %9.0f | %6.2fx\n%!" spec.Spec.label
+        pairs t1 (rate t1) tn (rate tn) speedup)
+    tests;
+  let overall = if !total_par > 0.0 then !total_seq /. !total_par else 0.0 in
+  Printf.printf "overall: %.3fs at -j1, %.3fs at -j%d => %.2fx\n" !total_seq !total_par
+    parallel_jobs overall;
+  if Harness.Pool.default_jobs () = 1 then
+    Printf.printf
+      "(single-core machine: the pool pays domain overhead with no parallel gain here)\n";
+  record "parallel"
+    (J_obj
+       [
+         ("cores_available", J_int (Harness.Pool.default_jobs ()));
+         ("jobs", J_int parallel_jobs);
+         ("seq_time", J_num !total_seq);
+         ("par_time", J_num !total_par);
+         ("speedup", J_num overall);
+         ("tests", J_arr (List.rev !rows));
+       ])
+
+(* ---------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks of the pipeline stages *)
 
 let microbenchmarks () =
@@ -450,7 +627,16 @@ let () =
   ablation_balanced_disjunction ();
   ablation_group_splitting ();
   ablation_structured_inputs ();
+  parallel_crosscheck ();
   if Sys.getenv_opt "SOFT_BENCH_SKIP_MICRO" = None then microbenchmarks ();
   header "Summary";
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
-  Format.printf "solver totals: %a@." Smt.Solver.pp_stats ()
+  Format.printf "solver totals: %a@." Smt.Solver.pp_stats ();
+  record "meta"
+    (J_obj
+       [
+         ("path_budget", J_int budget);
+         ("wall_time", J_num (Unix.gettimeofday () -. t0));
+       ]);
+  record "solver" (solver_stats_json ());
+  write_json ()

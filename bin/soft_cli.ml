@@ -132,6 +132,27 @@ let split =
           "Crosscheck chunk pairs of at most N member path conditions instead of \
            monolithic group disjunctions.")
 
+let jobs =
+  let jobs_conv =
+    Arg.conv ~docv:"N"
+      ( (fun s ->
+          match int_of_string_opt s with
+          | Some 0 -> Ok (Harness.Pool.default_jobs ())
+          | Some n when n >= 1 -> Ok n
+          | Some _ -> Error (`Msg "jobs must be positive (or 0 for one per core)")
+          | None -> Error (`Msg ("expected an integer, got " ^ s))),
+        Format.pp_print_int )
+  in
+  Arg.(
+    value
+    & opt jobs_conv 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the crosscheck (and, under $(b,compare), the two \
+           agents' explorations).  0 picks one per core.  The report is \
+           independent of N: pairs are merged back in a fixed order and the \
+           checkpoint writer stays single-threaded.")
+
 (* The default budget reaches every solver call in the process — including
    the ones issued deep inside the engine — without threading a parameter
    through each layer. *)
@@ -274,14 +295,14 @@ let check_cmd =
              the same file for --checkpoint and --resume to make a run \
              restartable in place.")
   in
-  let run file_a file_b split budget_ms max_conflicts checkpoint resume certify chaos_seed
-      chaos_rate =
+  let run file_a file_b split budget_ms max_conflicts checkpoint resume jobs certify
+      chaos_seed chaos_rate =
     apply_budget budget_ms max_conflicts;
     apply_certify certify;
     apply_chaos chaos_seed chaos_rate;
     let a = Soft.Grouping.of_saved (Harness.Serialize.load file_a) in
     let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
-    match Soft.Crosscheck.check ?split ?checkpoint ?resume a b with
+    match Soft.Crosscheck.check ?split ?checkpoint ?resume ~jobs a b with
     | outcome ->
       Format.printf "%a@." Soft.Crosscheck.pp outcome;
       Format.printf "root causes:@.%a@." Soft.Report.pp_summary
@@ -298,7 +319,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Phase 2: crosscheck two phase-1 runs for inconsistencies.")
     Term.(
       const run $ file_a $ file_b $ split $ budget_ms $ max_conflicts $ checkpoint $ resume
-      $ certify $ chaos_seed $ chaos_rate)
+      $ jobs $ certify $ chaos_seed $ chaos_rate)
 
 (* --- compare --------------------------------------------------------- *)
 
@@ -314,12 +335,12 @@ let compare_cmd =
     Arg.(value & flag & info [ "cases" ] ~doc:"Print a concrete reproducer per inconsistency.")
   in
   let run agent_a agent_b test cases max_paths strategy split budget_ms max_conflicts
-      deadline_ms certify validate chaos_seed chaos_rate =
+      deadline_ms jobs certify validate chaos_seed chaos_rate =
     apply_budget budget_ms max_conflicts;
     apply_certify certify;
     apply_chaos chaos_seed chaos_rate;
     match
-      Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split ~validate
+      Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split ~jobs ~validate
         agent_a agent_b test
     with
     | c ->
@@ -339,7 +360,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run both phases: find inconsistencies between two agents.")
     Term.(
       const run $ agent_a $ agent_b $ test $ cases $ max_paths $ strategy $ split
-      $ budget_ms $ max_conflicts $ deadline_ms $ certify $ validate $ chaos_seed
+      $ budget_ms $ max_conflicts $ deadline_ms $ jobs $ certify $ validate $ chaos_seed
       $ chaos_rate)
 
 (* --- list ------------------------------------------------------------ *)

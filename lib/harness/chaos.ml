@@ -76,8 +76,20 @@ let fired p pt = p.p_fired.(point_index pt)
 let total_fired p = Array.fold_left ( + ) 0 p.p_fired
 
 (* The active plan.  Global by design: injection points live in layers
-   (runner, crosscheck, solver hook) that share no parameter path. *)
+   (runner, crosscheck, solver hook) that share no parameter path.
+
+   Domain-safety contract: [install]/[deactivate] run on the main domain
+   *before* any worker domains spawn (and after they join) — the spawn
+   establishes the happens-before that lets workers read [active].  The
+   draws themselves may then race from several workers, so [fire]
+   serializes them under a mutex: [Random.State] and the counters are
+   plain mutable state.  Under [-j 1] the schedule is the deterministic
+   per-seed pattern; under [-j N] the *interleaving* of draws across
+   points depends on scheduling, so only the soundness invariant (faults
+   degrade pairs to undecided) is stable — not which pairs fault. *)
 let active : plan option ref = ref None
+
+let fire_lock = Mutex.create ()
 
 let install p = active := Some p
 let deactivate () = active := None
@@ -89,11 +101,12 @@ let fire pt =
   match !active with
   | None -> false
   | Some p ->
-    p.p_draws <- p.p_draws + 1;
-    let i = point_index pt in
-    let hit = Random.State.float p.p_streams.(i) 1.0 < p.p_rate in
-    if hit then p.p_fired.(i) <- p.p_fired.(i) + 1;
-    hit
+    Mutex.protect fire_lock (fun () ->
+        p.p_draws <- p.p_draws + 1;
+        let i = point_index pt in
+        let hit = Random.State.float p.p_streams.(i) 1.0 < p.p_rate in
+        if hit then p.p_fired.(i) <- p.p_fired.(i) + 1;
+        hit)
 
 let maybe_raise pt = if fire pt then raise (Injected_fault (point_name pt))
 

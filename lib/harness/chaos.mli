@@ -30,7 +30,13 @@ val plan : seed:int -> rate:float -> plan
     [rate].  @raise Invalid_argument if [rate] is outside [[0, 1]]. *)
 
 val install : plan -> unit
-(** Make [plan] the process-wide active plan. *)
+(** Make [plan] the process-wide active plan.  Must be called on the main
+    domain before any crosscheck worker domains spawn (the CLI installs it
+    at startup): workers read the active plan through the happens-before
+    edge of their spawn.  Draws from concurrent workers are serialized
+    internally; under [-j N > 1] the per-seed fault schedule remains valid
+    per point but which pair a fault lands on depends on scheduling —
+    only the degrade-to-undecided invariant is stable. *)
 
 val deactivate : unit -> unit
 val current : unit -> plan option

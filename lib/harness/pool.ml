@@ -1,0 +1,179 @@
+(* A small work-stealing domain pool — stdlib [Domain]/[Mutex]/[Condition]
+   only, no dependencies.
+
+   Shape: the task array is split into contiguous blocks, one per worker
+   domain; each worker owns a deque of task indices and pops from its
+   front, and an idle worker steals from the *back* of a victim's deque.
+   Contiguous blocks + front-first popping keep each worker close to the
+   caller's submission order (crosscheck's row-major pair order), which
+   matters for cache-warm solver prefixes; back-stealing keeps thieves
+   and owners off the same end.  Every deque operation is a few loads
+   under that deque's own mutex — the tasks here are solver queries that
+   run for micro- to milliseconds, so a nanoseconds-scale lock is not the
+   bottleneck and buys obvious correctness over a lock-free Chase-Lev.
+
+   All tasks are known up front (no task spawns tasks), so a worker
+   terminates as soon as its own deque and every victim's deque are
+   empty.
+
+   The caller's domain never executes tasks: it is the *coordinator*,
+   draining a completion queue and running the [on_result] callback —
+   giving parallel crosscheck its single serialized checkpoint writer for
+   free.  Results are delivered to [on_result] in completion order;
+   [run]'s return value is always in task order.
+
+   The first task exception cancels the rest of the run (remaining tasks
+   are skipped, not killed mid-flight) and is re-raised from [run] with
+   its original backtrace, after every domain has been joined — no domain
+   is ever leaked, even when [on_result] itself raises. *)
+
+type deque = {
+  buf : int array; (* task indices, a contiguous block *)
+  mutable head : int; (* owner pops here *)
+  mutable tail : int; (* thieves steal here; empty iff head >= tail *)
+  lock : Mutex.t;
+}
+
+let pop_own d =
+  Mutex.protect d.lock (fun () ->
+      if d.head < d.tail then begin
+        let i = d.buf.(d.head) in
+        d.head <- d.head + 1;
+        Some i
+      end
+      else None)
+
+let steal d =
+  Mutex.protect d.lock (fun () ->
+      if d.head < d.tail then begin
+        d.tail <- d.tail - 1;
+        Some d.buf.(d.tail)
+      end
+      else None)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let run ?(worker_init = fun () -> ()) ?(worker_exit = fun () -> ())
+    ?(on_result = fun _ _ -> ()) ~jobs f tasks =
+  let n = Array.length tasks in
+  if jobs < 1 then invalid_arg "Pool.run: jobs must be positive";
+  if n = 0 then [||]
+  else if jobs = 1 then
+    (* Sequential fast path on the caller's domain: no spawn, no hooks —
+       the caller's own solver context and installed state apply, and
+       execution order is exactly submission order.  [-j 1] through this
+       path is byte-for-byte the pre-pool behaviour. *)
+    Array.mapi
+      (fun i a ->
+        let r = f a in
+        on_result i r;
+        r)
+      tasks
+  else begin
+    let w = min jobs n in
+    let deques =
+      Array.init w (fun k ->
+          let lo = k * n / w and hi = (k + 1) * n / w in
+          {
+            buf = Array.init (hi - lo) (fun i -> lo + i);
+            head = 0;
+            tail = hi - lo;
+            lock = Mutex.create ();
+          })
+    in
+    let results = Array.make n None in
+    (* completion queue: workers push, the coordinator drains.  [done_cnt]
+       counts every task retired (computed, failed, or skipped), so the
+       coordinator knows when to stop waiting even under cancellation. *)
+    let q : (int * 'b) Queue.t = Queue.create () in
+    let q_lock = Mutex.create () in
+    let q_cond = Condition.create () in
+    let done_cnt = ref 0 in
+    let failure = ref None in
+    let cancelled = Atomic.make false in
+    let retire pushed =
+      Mutex.protect q_lock (fun () ->
+          (match pushed with Some cell -> Queue.push cell q | None -> ());
+          incr done_cnt;
+          Condition.signal q_cond)
+    in
+    let find_task k =
+      match pop_own deques.(k) with
+      | Some i -> Some i
+      | None ->
+        let rec try_steal dist =
+          if dist >= w then None
+          else
+            match steal deques.((k + dist) mod w) with
+            | Some i -> Some i
+            | None -> try_steal (dist + 1)
+        in
+        try_steal 1
+    in
+    let worker k () =
+      worker_init ();
+      Fun.protect ~finally:worker_exit (fun () ->
+          let rec loop () =
+            match find_task k with
+            | None -> ()
+            | Some i ->
+              (if Atomic.get cancelled then retire None
+               else
+                 match f tasks.(i) with
+                 | r ->
+                   results.(i) <- Some r;
+                   retire (Some (i, r))
+                 | exception e ->
+                   let bt = Printexc.get_raw_backtrace () in
+                   Atomic.set cancelled true;
+                   Mutex.protect q_lock (fun () ->
+                       if !failure = None then failure := Some (e, bt);
+                       incr done_cnt;
+                       Condition.signal q_cond));
+              loop ()
+          in
+          loop ())
+    in
+    let domains = Array.init w (fun k -> Domain.spawn (worker k)) in
+    (* coordinator: deliver completions in arrival order until every task
+       has been retired and the queue is drained *)
+    let drain () =
+      let rec next () =
+        let action =
+          Mutex.protect q_lock (fun () ->
+              let rec wait () =
+                if not (Queue.is_empty q) then `Deliver (Queue.pop q)
+                else if !done_cnt >= n then `Done
+                else begin
+                  Condition.wait q_cond q_lock;
+                  wait ()
+                end
+              in
+              wait ())
+        in
+        match action with
+        | `Deliver (i, r) ->
+          on_result i r;
+          next ()
+        | `Done -> ()
+      in
+      next ()
+    in
+    let coordinator_failure =
+      match drain () with
+      | () -> None
+      | exception e ->
+        (* [on_result] raised: stop handing out work, but still join every
+           domain before propagating *)
+        Atomic.set cancelled true;
+        Some (e, Printexc.get_raw_backtrace ())
+    in
+    Array.iter Domain.join domains;
+    (match coordinator_failure with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    (match !failure with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end

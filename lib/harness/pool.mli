@@ -1,0 +1,45 @@
+(** A work-stealing domain pool for embarrassingly-parallel task arrays.
+
+    Built on stdlib [Domain]/[Mutex]/[Condition] only.  The task array is
+    split into contiguous per-worker blocks; idle workers steal from the
+    back of a victim's block, so execution stays close to submission
+    order without any worker going idle while work remains.
+
+    The caller's domain never runs tasks — it drains a completion queue
+    and runs [on_result] there, serialized.  Parallel crosscheck leans on
+    this: its checkpoint writer is the [on_result] callback, so snapshot
+    writes never race even at [-j N]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1. *)
+
+val run :
+  ?worker_init:(unit -> unit) ->
+  ?worker_exit:(unit -> unit) ->
+  ?on_result:(int -> 'b -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+(** [run ~jobs f tasks] maps [f] over [tasks] on up to [jobs] domains and
+    returns the results in task order.
+
+    [worker_init]/[worker_exit] run on each spawned worker domain at its
+    start/end — e.g. to seed the worker's solver context from the
+    caller's config and to merge its stats back.  [worker_exit] runs even
+    when a task raised ([Fun.protect]).
+
+    [on_result i r] runs on the {e caller's} domain, serialized, in
+    completion order (not task order) — [i] is the task index.
+
+    [jobs = 1] is a guaranteed sequential fast path: no domain is
+    spawned, [worker_init]/[worker_exit] do not run, tasks execute on the
+    caller's domain in submission order with [on_result] inline after
+    each — exactly the pre-pool sequential behaviour.
+
+    If a task raises, the remaining unstarted tasks are skipped, every
+    domain is joined, and the first exception is re-raised with its
+    original backtrace.  An exception from [on_result] likewise cancels
+    outstanding work, joins all domains, then propagates.
+
+    @raise Invalid_argument if [jobs < 1]. *)

@@ -45,6 +45,22 @@ let mask width = if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L wid
 let norm width v = Int64.logand v (mask width)
 
 (* ------------------------------------------------------------------ *)
+(* Domain-safety: the hash-consing tables below are the one piece of
+   process-global mutable state in the SMT stack that parallel crosscheck
+   workers must share — expression identity (the ids) is what makes
+   cross-domain results comparable, so the tables cannot be per-domain.
+   Every table access goes through [interned], a single mutex: interning
+   is a brief lookup/insert, so even the uncontended single-domain cost is
+   a few nanoseconds against the bit-blast and CDCL work each node feeds.
+   Plain [Hashtbl] reads racing an insert (which may resize) are undefined
+   under OCaml 5, hence lookups are locked too — never "optimistically"
+   read outside the lock. *)
+
+let intern_lock = Mutex.create ()
+
+let interned f = Mutex.protect intern_lock f
+
+(* ------------------------------------------------------------------ *)
 (* Variable registry: names are globally unique handles so that two
    independent symbolic executions (agent A, agent B) fed with inputs built
    from the same names share variables — the crosscheck phase depends on
@@ -56,23 +72,24 @@ let var_counter = ref 0
 
 let make_var name width =
   if width < 1 || width > 64 then invalid_arg "Expr.var: width out of range";
-  match Hashtbl.find_opt var_table name with
-  | Some v ->
-    if v.vwidth <> width then
-      raise (Width_mismatch (Printf.sprintf "var %s: %d vs %d" name v.vwidth width));
-    v
-  | None ->
-    let v = { vid = !var_counter; name; vwidth = width } in
-    incr var_counter;
-    Hashtbl.add var_table name v;
-    Hashtbl.add vars_by_id v.vid v;
-    v
+  interned (fun () ->
+      match Hashtbl.find_opt var_table name with
+      | Some v ->
+        if v.vwidth <> width then
+          raise (Width_mismatch (Printf.sprintf "var %s: %d vs %d" name v.vwidth width));
+        v
+      | None ->
+        let v = { vid = !var_counter; name; vwidth = width } in
+        incr var_counter;
+        Hashtbl.add var_table name v;
+        Hashtbl.add vars_by_id v.vid v;
+        v)
 
-let var_by_id vid = Hashtbl.find_opt vars_by_id vid
+let var_by_id vid = interned (fun () -> Hashtbl.find_opt vars_by_id vid)
 let var_name v = v.name
 let var_width v = v.vwidth
 let var_id v = v.vid
-let all_vars () = Hashtbl.fold (fun _ v acc -> v :: acc) var_table []
+let all_vars () = interned (fun () -> Hashtbl.fold (fun _ v acc -> v :: acc) var_table [])
 
 (* ------------------------------------------------------------------ *)
 (* Hash-consing: keys reference children by id only. *)
@@ -124,23 +141,25 @@ let key_of_bool_node node =
 
 let intern_bv width node =
   let key = key_of_bv_node width node in
-  match Hashtbl.find_opt bv_table key with
-  | Some e -> e
-  | None ->
-    let e = { id = !bv_counter; width; node } in
-    incr bv_counter;
-    Hashtbl.add bv_table key e;
-    e
+  interned (fun () ->
+      match Hashtbl.find_opt bv_table key with
+      | Some e -> e
+      | None ->
+        let e = { id = !bv_counter; width; node } in
+        incr bv_counter;
+        Hashtbl.add bv_table key e;
+        e)
 
 let intern_bool node =
   let key = key_of_bool_node node in
-  match Hashtbl.find_opt bool_table key with
-  | Some e -> e
-  | None ->
-    let e = { bid = !bool_counter; bnode = node } in
-    incr bool_counter;
-    Hashtbl.add bool_table key e;
-    e
+  interned (fun () ->
+      match Hashtbl.find_opt bool_table key with
+      | Some e -> e
+      | None ->
+        let e = { bid = !bool_counter; bnode = node } in
+        incr bool_counter;
+        Hashtbl.add bool_table key e;
+        e)
 
 (* ------------------------------------------------------------------ *)
 (* Constructors with constant folding and algebraic simplification. *)
@@ -578,12 +597,14 @@ and pp_bool fmt b =
 let bv_to_string e = Format.asprintf "%a" pp_bv e
 let bool_to_string b = Format.asprintf "%a" pp_bool b
 
-(* Reset all global tables (tests only: invalidates existing expressions). *)
+(* Reset all global tables (tests only: invalidates existing expressions;
+   never call while another domain is interning). *)
 let reset_for_testing () =
-  Hashtbl.reset var_table;
-  Hashtbl.reset vars_by_id;
-  Hashtbl.reset bv_table;
-  Hashtbl.reset bool_table;
-  var_counter := 0;
-  bv_counter := 0;
-  bool_counter := 0
+  interned (fun () ->
+      Hashtbl.reset var_table;
+      Hashtbl.reset vars_by_id;
+      Hashtbl.reset bv_table;
+      Hashtbl.reset bool_table;
+      var_counter := 0;
+      bv_counter := 0;
+      bool_counter := 0)

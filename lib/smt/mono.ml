@@ -2,21 +2,35 @@
    solver, engine and crosscheck go through this module rather than
    [Unix.gettimeofday]: wall-clock steps (NTP, manual adjustment) would
    otherwise corrupt [solver_time]/[o_check_time] and, worse, any budget
-   deadline computed from them. *)
+   deadline computed from them.
 
-external raw_now_ns : unit -> int64 = "soft_mono_clock_ns"
+   The external returns an unboxed int64 and never allocates, so a clock
+   read is a plain C call from any domain — no GC interaction, nothing
+   shared.  [clock_gettime(CLOCK_MONOTONIC)] itself is thread-safe. *)
+
+external raw_now_ns : unit -> (int64[@unboxed])
+  = "soft_mono_clock_ns" "soft_mono_clock_ns_unboxed"
+[@@noalloc]
 
 (* Fault injection (Harness.Chaos) simulates clock jumps by skewing every
    reading; the skew is additive and normally zero, so production reads
-   stay a single external call plus one add. *)
-let skew_ns = ref 0L
+   stay a single external call plus one atomic load and add.  An
+   [Atomic.t] rather than a [ref]: chaos delivers jumps inside crosscheck
+   worker domains, so the skew is written and read across domains — the
+   CAS loop in [advance] never loses a concurrent jump. *)
+let skew_ns : int64 Atomic.t = Atomic.make 0L
 
 let advance seconds =
-  skew_ns := Int64.add !skew_ns (Int64.of_float (seconds *. 1e9))
+  let delta = Int64.of_float (seconds *. 1e9) in
+  let rec go () =
+    let cur = Atomic.get skew_ns in
+    if not (Atomic.compare_and_set skew_ns cur (Int64.add cur delta)) then go ()
+  in
+  go ()
 
-let reset_skew () = skew_ns := 0L
+let reset_skew () = Atomic.set skew_ns 0L
 
-let now_ns () = Int64.add (raw_now_ns ()) !skew_ns
+let now_ns () = Int64.add (raw_now_ns ()) (Atomic.get skew_ns)
 
 let now () = Int64.to_float (now_ns ()) /. 1e9
 

@@ -15,7 +15,9 @@ val elapsed : float -> float
 val advance : float -> unit
 (** Skew every subsequent reading forward by [seconds] (negative undoes).
     Fault injection uses this to simulate a clock jumping past a deadline;
-    nothing else should call it. *)
+    nothing else should call it.  The skew is atomic: jumps delivered
+    concurrently from several worker domains all take effect, and readers
+    in any domain observe them. *)
 
 val reset_skew : unit -> unit
 (** Drop any accumulated {!advance} skew. *)

@@ -1,15 +1,26 @@
 /* Monotonic clock for deadline and timing logic.  Unix.gettimeofday is
    wall-clock time and steps under NTP adjustment, which corrupts both the
-   reported stage timings and any deadline arithmetic built on them. */
+   reported stage timings and any deadline arithmetic built on them.
+
+   Two entry points for the same reading: the unboxed one is what native
+   code calls ([@unboxed] [@@noalloc] on the OCaml external) — it returns
+   a raw int64_t, allocates nothing, and touches no runtime state, so it
+   is safe and cheap from any domain concurrently; the boxed one exists
+   only for bytecode.  clock_gettime(CLOCK_MONOTONIC) is thread-safe. */
 
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>
 #include <time.h>
 
-CAMLprim value soft_mono_clock_ns(value unit)
+CAMLprim int64_t soft_mono_clock_ns_unboxed(value unit)
 {
   struct timespec ts;
   (void)unit;
   clock_gettime(CLOCK_MONOTONIC, &ts);
-  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value soft_mono_clock_ns(value unit)
+{
+  return caml_copy_int64(soft_mono_clock_ns_unboxed(unit));
 }

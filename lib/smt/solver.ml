@@ -11,7 +11,18 @@
    Every query may carry a resource budget (conflicts, decisions,
    wall-clock).  An exhausted budget yields the third outcome [Unknown],
    which is never cached: a later identical query may carry a larger
-   budget and deserves a fresh attempt. *)
+   budget and deserves a fresh attempt.
+
+   Domain-safety: all mutable frontend state — the memo cache, the stats
+   counters, the certify flag, the query hook and the default budget —
+   lives in a per-domain [ctx] held in [Domain.DLS].  Each domain that
+   issues queries owns an independent solver context; nothing here is
+   shared across domains, so the crosscheck worker pool runs [check]
+   concurrently without locks.  A freshly spawned domain starts from the
+   built-in defaults; parallel drivers snapshot the parent's
+   configuration ({!snapshot_config}) and install it in each worker
+   ({!apply_config}), then fold the workers' counters back with
+   {!merge_stats}. *)
 
 type unknown_reason =
   | Out_of_conflicts
@@ -44,15 +55,6 @@ let budget ?max_conflicts ?max_decisions ?timeout_ms () =
 
 let is_unlimited b = b = no_budget
 
-(* Queries that do not pass an explicit [?budget] fall back to this; the
-   CLI sets it from --budget-ms / --max-conflicts so the budget reaches
-   every solver call without threading a parameter through each layer. *)
-let default_budget = ref no_budget
-
-let set_default_budget b = default_budget := b
-let get_default_budget () = !default_budget
-
-
 type stats = {
   mutable queries : int;
   mutable const_hits : int;
@@ -68,7 +70,7 @@ type stats = {
   mutable proofs_failed : int;
 }
 
-let stats = {
+let fresh_stats () = {
   queries = 0;
   const_hits = 0;
   interval_hits = 0;
@@ -83,40 +85,103 @@ let stats = {
   proofs_failed = 0;
 }
 
+(* --- the per-domain context ------------------------------------------ *)
+
+let default_cache_capacity = 65536
+
+type ctx = {
+  c_stats : stats;
+  c_cache : (int list, result) Hashtbl.t;
+  (* insertion order of cache keys, oldest first; drives the bounded
+     FIFO eviction.  Keys are only ever added on a cache miss, so each
+     live entry appears in the queue exactly once *)
+  c_order : int list Queue.t;
+  mutable c_capacity : int;
+  mutable c_certify : bool;
+  mutable c_hook : unit -> unit;
+  mutable c_budget : budget; (* applied to queries with no explicit [?budget] *)
+}
+
+let create_ctx () = {
+  c_stats = fresh_stats ();
+  c_cache = Hashtbl.create 4096;
+  c_order = Queue.create ();
+  c_capacity = default_cache_capacity;
+  c_certify = false;
+  c_hook = (fun () -> ());
+  c_budget = no_budget;
+}
+
+let dls_key : ctx Domain.DLS.key = Domain.DLS.new_key create_ctx
+
+let ctx () = Domain.DLS.get dls_key
+
+(* Queries that do not pass an explicit [?budget] fall back to this; the
+   CLI sets it from --budget-ms / --max-conflicts so the budget reaches
+   every solver call without threading a parameter through each layer. *)
+let set_default_budget b = (ctx ()).c_budget <- b
+let get_default_budget () = (ctx ()).c_budget
+
+let stats () = (ctx ()).c_stats
+
 let reset_stats () =
-  stats.queries <- 0;
-  stats.const_hits <- 0;
-  stats.interval_hits <- 0;
-  stats.cache_hits <- 0;
-  stats.sat_calls <- 0;
-  stats.sat_results <- 0;
-  stats.unsat_results <- 0;
-  stats.unknown_results <- 0;
-  stats.cache_evictions <- 0;
-  stats.solver_time <- 0.0;
-  stats.proofs_checked <- 0;
-  stats.proofs_failed <- 0
+  let s = stats () in
+  s.queries <- 0;
+  s.const_hits <- 0;
+  s.interval_hits <- 0;
+  s.cache_hits <- 0;
+  s.sat_calls <- 0;
+  s.sat_results <- 0;
+  s.unsat_results <- 0;
+  s.unknown_results <- 0;
+  s.cache_evictions <- 0;
+  s.solver_time <- 0.0;
+  s.proofs_checked <- 0;
+  s.proofs_failed <- 0
 
-(* cache: sorted constraint-id list -> result.  Bounded: a week-long suite
-   run must not grow memory without limit, so on reaching capacity the
-   whole table is dropped (cheap, and path exploration rebuilds the useful
-   prefix entries quickly). *)
-let cache : (int list, result) Hashtbl.t = Hashtbl.create 4096
+let merge_stats ~into:dst (src : stats) =
+  dst.queries <- dst.queries + src.queries;
+  dst.const_hits <- dst.const_hits + src.const_hits;
+  dst.interval_hits <- dst.interval_hits + src.interval_hits;
+  dst.cache_hits <- dst.cache_hits + src.cache_hits;
+  dst.sat_calls <- dst.sat_calls + src.sat_calls;
+  dst.sat_results <- dst.sat_results + src.sat_results;
+  dst.unsat_results <- dst.unsat_results + src.unsat_results;
+  dst.unknown_results <- dst.unknown_results + src.unknown_results;
+  dst.cache_evictions <- dst.cache_evictions + src.cache_evictions;
+  dst.solver_time <- dst.solver_time +. src.solver_time;
+  dst.proofs_checked <- dst.proofs_checked + src.proofs_checked;
+  dst.proofs_failed <- dst.proofs_failed + src.proofs_failed
 
-let cache_capacity = ref 65536
+(* --- memo cache ------------------------------------------------------- *)
 
 let set_cache_capacity n =
   if n <= 0 then invalid_arg "Solver.set_cache_capacity: capacity must be positive";
-  cache_capacity := n
+  (ctx ()).c_capacity <- n
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () =
+  let c = ctx () in
+  Hashtbl.reset c.c_cache;
+  Queue.clear c.c_order
 
-let cache_add key r =
-  if Hashtbl.length cache >= !cache_capacity then begin
-    stats.cache_evictions <- stats.cache_evictions + 1;
-    Hashtbl.reset cache
-  end;
-  Hashtbl.replace cache key r
+(* Bounded eviction: on reaching capacity, discard the *older half* of the
+   entries (FIFO over insertion order) instead of flushing the whole
+   table.  A full flush right after hitting capacity costs a worst-case
+   thrash: every warm prefix entry is re-solved at once.  Dropping half
+   keeps the younger, still-hot half resident while bounding memory the
+   same way. *)
+let cache_evict c =
+  c.c_stats.cache_evictions <- c.c_stats.cache_evictions + 1;
+  let target = c.c_capacity / 2 in
+  while Hashtbl.length c.c_cache > target && not (Queue.is_empty c.c_order) do
+    let k = Queue.pop c.c_order in
+    Hashtbl.remove c.c_cache k
+  done
+
+let cache_add c key r =
+  if Hashtbl.length c.c_cache >= c.c_capacity then cache_evict c;
+  if not (Hashtbl.mem c.c_cache key) then Queue.push key c.c_order;
+  Hashtbl.replace c.c_cache key r
 
 let cache_key conds = List.sort_uniq compare (List.map (fun (b : Expr.boolean) -> b.Expr.bid) conds)
 
@@ -128,108 +193,131 @@ let cache_key conds = List.sort_uniq compare (List.map (fun (b : Expr.boolean) -
    trusted.  The interval pre-filter is bypassed so that no Unsat reaches
    a caller without a proof (constant folding of a literal [false]
    conjunct is the one exemption: the refutation is the constant itself). *)
-let certify = ref false
-
 let set_certify b =
-  if b <> !certify then begin
-    certify := b;
+  let c = ctx () in
+  if b <> c.c_certify then begin
+    c.c_certify <- b;
     (* memoized entries from the other regime are not proof-backed (or
        were needlessly strict); drop them *)
     clear_cache ()
   end
 
-let certify_enabled () = !certify
+let certify_enabled () = (ctx ()).c_certify
 
 (* Called on every query that reaches the SAT core, after the deadline is
    anchored and before the search starts.  Fault injection installs a
    closure here (scoped to the crosscheck phase) that may raise or skew
-   the clock; by default it does nothing. *)
-let query_hook : (unit -> unit) ref = ref (fun () -> ())
+   the clock; by default it does nothing.  The hook is per-domain: a
+   worker installing it for a pair's scope never perturbs another
+   domain's queries. *)
+let set_query_hook f = (ctx ()).c_hook <- f
 
-let set_query_hook f = query_hook := f
+(* --- configuration hand-off across domains ---------------------------- *)
 
-let run_sat budget conds =
-  stats.sat_calls <- stats.sat_calls + 1;
+type config = {
+  cfg_budget : budget;
+  cfg_certify : bool;
+  cfg_cache_capacity : int;
+}
+
+let snapshot_config () =
+  let c = ctx () in
+  { cfg_budget = c.c_budget; cfg_certify = c.c_certify; cfg_cache_capacity = c.c_capacity }
+
+let apply_config cfg =
+  let c = ctx () in
+  c.c_budget <- cfg.cfg_budget;
+  c.c_capacity <- cfg.cfg_cache_capacity;
+  if c.c_certify <> cfg.cfg_certify then begin
+    c.c_certify <- cfg.cfg_certify;
+    clear_cache ()
+  end
+
+(* --- the query pipeline ----------------------------------------------- *)
+
+let run_sat c budget conds =
+  c.c_stats.sat_calls <- c.c_stats.sat_calls + 1;
   let t0 = Mono.now () in
-  let ctx = Bitblast.create ~proof:!certify () in
-  List.iter (Bitblast.assert_bool ctx) conds;
+  let bctx = Bitblast.create ~proof:c.c_certify () in
+  List.iter (Bitblast.assert_bool bctx) conds;
   (* the deadline is anchored before bit-blasting, so blast time counts
      against the same per-query budget as the search *)
   let deadline =
     Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) budget.b_timeout_ms
   in
-  !query_hook ();
+  c.c_hook ();
   let r =
     match
       Sat.solve ?max_conflicts:budget.b_max_conflicts
-        ?max_decisions:budget.b_max_decisions ?deadline ctx.Bitblast.sat
+        ?max_decisions:budget.b_max_decisions ?deadline bctx.Bitblast.sat
     with
-    | Sat.Sat -> Sat (Bitblast.extract_model ctx)
+    | Sat.Sat -> Sat (Bitblast.extract_model bctx)
     | Sat.Unsat ->
-      if not !certify then Unsat
+      if not c.c_certify then Unsat
       else begin
-        stats.proofs_checked <- stats.proofs_checked + 1;
+        c.c_stats.proofs_checked <- c.c_stats.proofs_checked + 1;
         match
           Proof.check_derivation
-            (Sat.original_clauses ctx.Bitblast.sat)
-            (Sat.proof_steps ctx.Bitblast.sat)
+            (Sat.original_clauses bctx.Bitblast.sat)
+            (Sat.proof_steps bctx.Bitblast.sat)
         with
         | Proof.Valid -> Unsat
         | Proof.Invalid msg ->
-          stats.proofs_failed <- stats.proofs_failed + 1;
+          c.c_stats.proofs_failed <- c.c_stats.proofs_failed + 1;
           Unknown (Proof_failed msg)
       end
     | Sat.Unknown Sat.Conflicts -> Unknown Out_of_conflicts
     | Sat.Unknown Sat.Decisions -> Unknown Out_of_decisions
     | Sat.Unknown Sat.Time -> Unknown Out_of_time
   in
-  stats.solver_time <- stats.solver_time +. Mono.elapsed t0;
+  c.c_stats.solver_time <- c.c_stats.solver_time +. Mono.elapsed t0;
   r
 
 let check ?(use_interval = true) ?(use_cache = true) ?budget conds =
-  let budget = match budget with Some b -> b | None -> !default_budget in
-  stats.queries <- stats.queries + 1;
+  let c = ctx () in
+  let budget = match budget with Some b -> b | None -> c.c_budget in
+  c.c_stats.queries <- c.c_stats.queries + 1;
   (* drop trivially-true conjuncts; answer immediately on any false *)
-  let conds = List.filter (fun c -> not (Expr.is_true c)) conds in
+  let conds = List.filter (fun cond -> not (Expr.is_true cond)) conds in
   if List.exists Expr.is_false conds then begin
-    stats.const_hits <- stats.const_hits + 1;
+    c.c_stats.const_hits <- c.c_stats.const_hits + 1;
     Unsat
   end
   else if conds = [] then begin
-    stats.const_hits <- stats.const_hits + 1;
+    c.c_stats.const_hits <- c.c_stats.const_hits + 1;
     Sat (Model.empty ())
   end
   else
     let key = if use_cache then cache_key conds else [] in
-    match if use_cache then Hashtbl.find_opt cache key else None with
+    match if use_cache then Hashtbl.find_opt c.c_cache key else None with
     | Some r ->
-      stats.cache_hits <- stats.cache_hits + 1;
+      c.c_stats.cache_hits <- c.c_stats.cache_hits + 1;
       r
     | None ->
       let r =
         (* certify mode bypasses the interval filter: its Unsat answers
            carry no proof, and the whole point is never to publish one *)
-        if use_interval && (not !certify) && Interval.check conds = Interval.Unsat
+        if use_interval && (not c.c_certify) && Interval.check conds = Interval.Unsat
         then begin
-          stats.interval_hits <- stats.interval_hits + 1;
+          c.c_stats.interval_hits <- c.c_stats.interval_hits + 1;
           Unsat
         end
-        else run_sat budget conds
+        else run_sat c budget conds
       in
       (match r with
        | Sat m ->
-         stats.sat_results <- stats.sat_results + 1;
+         c.c_stats.sat_results <- c.c_stats.sat_results + 1;
          (* sanity: the model must actually satisfy the query.  A raised
             error, not an assert — asserts vanish under --release, which
             would silently disable the check exactly when it matters. *)
          if not (Model.satisfies m conds) then
            raise (Solver_error ("SAT model does not satisfy the query", conds))
-       | Unsat -> stats.unsat_results <- stats.unsat_results + 1
-       | Unknown _ -> stats.unknown_results <- stats.unknown_results + 1);
+       | Unsat -> c.c_stats.unsat_results <- c.c_stats.unsat_results + 1
+       | Unknown _ -> c.c_stats.unknown_results <- c.c_stats.unknown_results + 1);
       (* never cache Unknown: it reflects this call's budget, not the query *)
       (match r with
        | Unknown _ -> ()
-       | Sat _ | Unsat -> if use_cache then cache_add key r);
+       | Sat _ | Unsat -> if use_cache then cache_add c key r);
       r
 
 let is_sat ?use_interval ?use_cache ?budget conds =
@@ -251,12 +339,13 @@ let entails ?budget pc c =
   | Sat _ | Unknown _ -> false
 
 let pp_stats fmt () =
+  let s = stats () in
   Format.fprintf fmt
     "queries=%d const=%d interval=%d cache=%d sat_calls=%d (sat=%d unsat=%d unknown=%d) evictions=%d time=%.3fs"
-    stats.queries stats.const_hits stats.interval_hits stats.cache_hits stats.sat_calls
-    stats.sat_results stats.unsat_results stats.unknown_results stats.cache_evictions
-    stats.solver_time;
-  if stats.proofs_checked > 0 then
+    s.queries s.const_hits s.interval_hits s.cache_hits s.sat_calls
+    s.sat_results s.unsat_results s.unknown_results s.cache_evictions
+    s.solver_time;
+  if s.proofs_checked > 0 then
     Format.fprintf fmt " proofs=%d/%d"
-      (stats.proofs_checked - stats.proofs_failed)
-      stats.proofs_checked
+      (s.proofs_checked - s.proofs_failed)
+      s.proofs_checked

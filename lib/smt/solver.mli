@@ -7,7 +7,15 @@
 
     Every query may carry a resource {!budget}; exhausting it yields the
     third outcome [Unknown], which is never cached (a later identical
-    query may carry a larger budget). *)
+    query may carry a larger budget).
+
+    All mutable frontend state (memo cache, stats, certify flag, query
+    hook, default budget) is {e per-domain}: each domain owns an
+    independent solver context, created on first use from the built-in
+    defaults.  [check] is therefore safe to call concurrently from
+    several domains.  Parallel drivers hand the parent's configuration
+    to workers via {!snapshot_config}/{!apply_config} and fold worker
+    counters back with {!merge_stats}. *)
 
 type unknown_reason =
   | Out_of_conflicts  (** the conflict budget was exhausted *)
@@ -46,9 +54,10 @@ val budget :
 val is_unlimited : budget -> bool
 
 val set_default_budget : budget -> unit
-(** Budget applied to queries that pass no explicit [?budget].  The CLI
-    sets this from [--budget-ms]/[--max-conflicts] so limits reach every
-    solver call in the process. *)
+(** Budget applied to queries that pass no explicit [?budget] {e in the
+    calling domain}.  The CLI sets this from
+    [--budget-ms]/[--max-conflicts] so limits reach every solver call in
+    the process; worker domains inherit it via {!apply_config}. *)
 
 val get_default_budget : unit -> budget
 
@@ -70,7 +79,26 @@ val set_query_hook : (unit -> unit) -> unit
     (between deadline anchoring and the search).  Fault injection uses
     this to deliver solver faults and clock jumps; install
     [(fun () -> ())] to remove.  An exception it raises propagates to the
-    {!check} caller. *)
+    {!check} caller.  The hook is per-domain: a crosscheck worker
+    installing it for a pair's scope never perturbs other domains. *)
+
+(** {1 Cross-domain configuration hand-off} *)
+
+type config = {
+  cfg_budget : budget;
+  cfg_certify : bool;
+  cfg_cache_capacity : int;
+}
+(** The configurable part of a domain's solver context — what a freshly
+    spawned worker domain must inherit to behave like its parent. *)
+
+val snapshot_config : unit -> config
+(** The calling domain's current configuration. *)
+
+val apply_config : config -> unit
+(** Install [config] into the calling domain's context.  Flushes the
+    memo cache iff the certify regime changes (entries from the other
+    regime are not comparable), exactly as {!set_certify} does. *)
 
 (** {1 Statistics} *)
 
@@ -83,16 +111,25 @@ type stats = {
   mutable sat_results : int;
   mutable unsat_results : int;
   mutable unknown_results : int;  (** queries that exhausted their budget *)
-  mutable cache_evictions : int;  (** memo-table flushes at capacity *)
+  mutable cache_evictions : int;
+      (** bounded (clear-half) eviction events at capacity *)
   mutable solver_time : float;  (** monotonic seconds inside the SAT core *)
   mutable proofs_checked : int;  (** certify mode: Unsat proofs validated *)
   mutable proofs_failed : int;  (** certify mode: proofs the checker rejected *)
 }
 
-val stats : stats
-(** Global counters, cumulative since start or the last {!reset_stats}. *)
+val stats : unit -> stats
+(** The calling domain's counters, cumulative since the domain's first
+    solver use or the last {!reset_stats}.  The returned record is live:
+    later queries in this domain keep mutating it. *)
 
 val reset_stats : unit -> unit
+
+val merge_stats : into:stats -> stats -> unit
+(** [merge_stats ~into src] adds every counter of [src] into [into].
+    Parallel drivers use it to fold worker-domain counters into the
+    parent's record after the workers have quiesced; it performs no
+    synchronization of its own. *)
 
 (** {1 Memo cache} *)
 
@@ -101,8 +138,10 @@ val clear_cache : unit -> unit
     costs). *)
 
 val set_cache_capacity : int -> unit
-(** Entry count at which the memo table is flushed (default 65536); keeps
-    week-long suite runs from growing memory without bound.
+(** Entry count at which bounded eviction triggers (default 65536); on
+    reaching it the *older half* of the entries (FIFO over insertion
+    order) is discarded, keeping the younger half warm while bounding
+    memory for week-long suite runs.
     @raise Invalid_argument on a non-positive capacity. *)
 
 (** {1 Queries} *)

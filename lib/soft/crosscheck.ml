@@ -22,6 +22,7 @@
 open Smt
 module Trace = Openflow.Trace
 module Chaos = Harness.Chaos
+module Pool = Harness.Pool
 
 type inconsistency = {
   i_result_a : Trace.result;
@@ -303,11 +304,29 @@ let read_checkpoint path ~test ~agent_a ~agent_b ~fp ~on_warning =
 
 let default_warning msg = Printf.eprintf "soft: warning: %s\n%!" msg
 
-let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
+(* Hooks carrying the caller's solver context across a {!Pool.run}: each
+   fresh worker domain starts with a default [Solver] context, so
+   [worker_init] replays the caller's config (budget, certify regime,
+   cache capacity) into it, and [worker_exit] folds the worker's counters
+   back into the caller's stats record.  Workers may exit concurrently,
+   hence the merge lock. *)
+let solver_pool_hooks () =
+  let cfg = Solver.snapshot_config () in
+  let caller_stats = Solver.stats () in
+  let merge_lock = Mutex.create () in
+  let worker_init () = Solver.apply_config cfg in
+  let worker_exit () =
+    let mine = Solver.stats () in
+    Mutex.protect merge_lock (fun () -> Solver.merge_stats ~into:caller_stats mine)
+  in
+  (worker_init, worker_exit)
+
+let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(jobs = 1)
     ?(on_found = fun (_ : inconsistency) -> ()) ?(on_warning = default_warning)
     (a : Grouping.grouped) (b : Grouping.grouped) =
   if a.Grouping.gr_test <> b.Grouping.gr_test then
     invalid_arg "Crosscheck.check: runs of different tests";
+  if jobs < 1 then invalid_arg "Crosscheck.check: jobs must be positive";
   let t0 = Mono.now () in
   let groups_a = Array.of_list a.Grouping.gr_groups in
   let groups_b = Array.of_list b.Grouping.gr_groups in
@@ -332,8 +351,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
   let pairs_checked = ref 0 in
   let pairs_equal = ref 0 in
   let pair_faults = ref 0 in
-  let found = ref [] in
-  let undecided = ref [] in
+  let faulted : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
   let mk_inc (ga : Grouping.group) (gb : Grouping.group) witness =
     {
       i_result_a = ga.Grouping.g_result;
@@ -344,6 +362,11 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
       i_paths_b = gb.Grouping.g_path_count;
     }
   in
+  (* Pass 1 — classify, row-major, on the caller's domain: count equal
+     pairs, and collect the pairs the resume snapshot has not already
+     decided.  Row-major collection fixes the work order, which under
+     [-j 1] makes execution identical to the old sequential loop. *)
+  let fresh = ref [] in
   Array.iteri
     (fun i (ga : Grouping.group) ->
       Array.iteri
@@ -351,46 +374,69 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume
           if ga.Grouping.g_key = gb.Grouping.g_key then incr pairs_equal
           else begin
             incr pairs_checked;
-            match Hashtbl.find_opt decided (i, j) with
-            | Some P_clean -> ()
-            | Some P_undecided ->
-              undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
-            | Some (P_inc bindings) ->
-              (* replayed from the checkpoint: same inconsistency, no
-                 [on_found] re-notification *)
-              found := mk_inc ga gb (Model.of_bindings bindings) :: !found
-            | None ->
-              let verdict =
-                (* fault injection delivers solver faults and clock jumps
-                   only inside this per-pair scope; a fault (injected or a
-                   genuine solver soundness error) costs the pair its
-                   verdict, never the run or a wrong answer *)
-                try Some (Chaos.with_solver_faults (fun () -> sat_pair ?split ?budget ?retry ga gb))
-                with Solver.Solver_error _ | Chaos.Injected_fault _ ->
-                  incr pair_faults;
-                  None
-              in
-              (match verdict with
-               | None ->
-                 (* degraded to undecided, and *not* checkpointed: a
-                    resumed run retries the pair — the fault was
-                    transient, an Unknown was earned *)
-                 undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
-               | Some Pair_unsat -> Hashtbl.replace decided (i, j) P_clean
-               | Some Pair_undecided ->
-                 Hashtbl.replace decided (i, j) P_undecided;
-                 undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
-               | Some (Pair_sat witness) ->
-                 Hashtbl.replace decided (i, j) (P_inc (Model.bindings witness));
-                 let inc = mk_inc ga gb witness in
-                 on_found inc;
-                 found := inc :: !found);
-              incr since_snapshot;
-              if !since_snapshot >= checkpoint_every then begin
-                since_snapshot := 0;
-                snapshot ()
-              end
+            if not (Hashtbl.mem decided (i, j)) then fresh := (i, j) :: !fresh
           end)
+        groups_b)
+    groups_a;
+  let work = Array.of_list (List.rev !fresh) in
+  (* Pass 2 — solve the fresh pairs, possibly across domains.  The solve
+     itself is pure per pair (the solver is deterministic and each worker
+     has its own context), so [-j N] changes only scheduling.  All shared
+     mutation — [decided], [faulted], counters, [on_found], checkpoint
+     writes — happens in [record], which {!Pool.run} runs serialized on
+     this domain: the single checkpoint writer survives parallelism. *)
+  let solve (i, j) =
+    (* fault injection delivers solver faults and clock jumps only inside
+       this per-pair scope; a fault (injected or a genuine solver
+       soundness error) costs the pair its verdict, never the run or a
+       wrong answer *)
+    try Some (Chaos.with_solver_faults (fun () -> sat_pair ?split ?budget ?retry groups_a.(i) groups_b.(j)))
+    with Solver.Solver_error _ | Chaos.Injected_fault _ -> None
+  in
+  let record k verdict =
+    let i, j = work.(k) in
+    (match verdict with
+     | None ->
+       (* degraded to undecided, and *not* checkpointed: a resumed run
+          retries the pair — the fault was transient, an Unknown was
+          earned *)
+       incr pair_faults;
+       Hashtbl.replace faulted (i, j) ()
+     | Some Pair_unsat -> Hashtbl.replace decided (i, j) P_clean
+     | Some Pair_undecided -> Hashtbl.replace decided (i, j) P_undecided
+     | Some (Pair_sat witness) ->
+       Hashtbl.replace decided (i, j) (P_inc (Model.bindings witness));
+       (* under [-j N], [on_found] fires in completion order; the outcome's
+          inconsistency list below is ordered deterministically anyway *)
+       on_found (mk_inc groups_a.(i) groups_b.(j) witness));
+    incr since_snapshot;
+    if !since_snapshot >= checkpoint_every then begin
+      since_snapshot := 0;
+      snapshot ()
+    end
+  in
+  let worker_init, worker_exit = solver_pool_hooks () in
+  ignore (Pool.run ~worker_init ~worker_exit ~on_result:record ~jobs solve work);
+  (* Pass 3 — emit, row-major again: the reported lists depend only on the
+     per-pair verdicts, never on completion order, so the report is
+     identical whatever [jobs] was. *)
+  let found = ref [] in
+  let undecided = ref [] in
+  Array.iteri
+    (fun i (ga : Grouping.group) ->
+      Array.iteri
+        (fun j (gb : Grouping.group) ->
+          if ga.Grouping.g_key <> gb.Grouping.g_key then
+            if Hashtbl.mem faulted (i, j) then
+              undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
+            else
+              match Hashtbl.find_opt decided (i, j) with
+              | Some P_clean -> ()
+              | Some P_undecided ->
+                undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
+              | Some (P_inc bindings) ->
+                found := mk_inc ga gb (Model.of_bindings bindings) :: !found
+              | None -> assert false)
         groups_b)
     groups_a;
   snapshot ();

@@ -71,6 +71,16 @@ exception Checkpoint_error of string
     never an error: it degrades to a cold start with an [on_warning]
     message. *)
 
+val solver_pool_hooks : unit -> (unit -> unit) * (unit -> unit)
+(** [(worker_init, worker_exit)] closures for a {!Harness.Pool.run} whose
+    tasks issue solver queries: [worker_init] replays the calling
+    domain's solver config (budget, certify regime, cache capacity) into
+    the fresh worker's context, and [worker_exit] merges the worker's
+    query/cache counters back into the caller's
+    {!Smt.Solver.stats} record (safely, even when workers exit
+    concurrently).  Capture the pair on the domain whose config should
+    propagate. *)
+
 val check :
   ?split:int ->
   ?budget:Smt.Solver.budget ->
@@ -78,6 +88,7 @@ val check :
   ?checkpoint:string ->
   ?checkpoint_every:int ->
   ?resume:string ->
+  ?jobs:int ->
   ?on_found:(inconsistency -> unit) ->
   ?on_warning:(string -> unit) ->
   Grouping.grouped ->
@@ -101,10 +112,22 @@ val check :
     killed-then-resumed run yields the same outcome as an uninterrupted
     one ([on_found] fires only for newly discovered inconsistencies).
 
+    [jobs] (default 1): solve pairs on up to [jobs] domains via
+    {!Harness.Pool}.  Each worker gets its own solver context seeded from
+    the caller's config; all shared mutation — the decided table,
+    checkpoint writes, counters, [on_found] — stays serialized on the
+    calling domain, so checkpoint/resume semantics are unchanged.  The
+    returned outcome's lists are ordered row-major over the group
+    matrices regardless of [jobs]; with deterministic (query-count)
+    budgets the report is identical at any [jobs].  [on_found] fires in
+    completion order when [jobs > 1].  [jobs = 1] runs everything on the
+    calling domain, exactly as before.
+
     [on_warning] (default: print to stderr) receives degradation notices
     such as a corrupt resume file.
 
-    @raise Invalid_argument if the two runs are of different tests. *)
+    @raise Invalid_argument if the two runs are of different tests, or if
+    [jobs < 1]. *)
 
 val count : outcome -> int
 

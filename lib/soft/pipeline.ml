@@ -24,11 +24,11 @@ type comparison = {
      cannot produce it (it has runs, not agents to re-execute) *)
 }
 
-let compare_runs ?split ?budget ?checkpoint ?resume ?on_warning spec run_a run_b =
+let compare_runs ?split ?budget ?checkpoint ?resume ?jobs ?on_warning spec run_a run_b =
   let grouped_a = Grouping.of_run run_a in
   let grouped_b = Grouping.of_run run_b in
   let outcome =
-    Crosscheck.check ?split ?budget ?checkpoint ?resume ?on_warning grouped_a grouped_b
+    Crosscheck.check ?split ?budget ?checkpoint ?resume ?jobs ?on_warning grouped_a grouped_b
   in
   {
     c_test = spec;
@@ -40,11 +40,41 @@ let compare_runs ?split ?budget ?checkpoint ?resume ?on_warning spec run_a run_b
     c_validation = None;
   }
 
-let compare_agents ?max_paths ?strategy ?deadline_ms ?solver_budget ?split
+(* Run the two agents' phase-1 executions concurrently on two domains when
+   [jobs > 1]; each thunk's outcome comes back as a [result] so agent A's
+   failure can win deterministically, exactly as the sequential order
+   (A first, B never started after A fails) would have it. *)
+let concurrent_pair ~jobs fa fb =
+  if jobs <= 1 then None
+  else begin
+    let worker_init, worker_exit = Crosscheck.solver_pool_hooks () in
+    let wrap f () = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+    let rs =
+      Harness.Pool.run ~worker_init ~worker_exit ~jobs:2 (fun f -> f ()) [| wrap fa; wrap fb |]
+    in
+    Some (rs.(0), rs.(1))
+  end
+
+let reraise_or = function
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let compare_agents ?max_paths ?strategy ?deadline_ms ?solver_budget ?split ?(jobs = 1)
     ?(validate = false) agent_a agent_b (spec : Test_spec.t) =
-  let run_a = Runner.execute ?max_paths ?strategy ?deadline_ms ?solver_budget agent_a spec in
-  let run_b = Runner.execute ?max_paths ?strategy ?deadline_ms ?solver_budget agent_b spec in
-  let c = compare_runs ?split ?budget:solver_budget spec run_a run_b in
+  let exec agent () =
+    Runner.execute ?max_paths ?strategy ?deadline_ms ?solver_budget agent spec
+  in
+  let run_a, run_b =
+    match concurrent_pair ~jobs (exec agent_a) (exec agent_b) with
+    | None ->
+      let a = exec agent_a () in
+      (a, exec agent_b ())
+    | Some (ra, rb) ->
+      (* A's exception takes precedence over B's, matching sequential order *)
+      let a = reraise_or ra in
+      (a, reraise_or rb)
+  in
+  let c = compare_runs ?split ?budget:solver_budget ~jobs spec run_a run_b in
   if not validate then c
   else
     {
@@ -61,33 +91,45 @@ type suite_result = {
   sr_failures : Runner.failure list;
 }
 
-let compare_suite ?max_paths ?strategy ?deadline_ms ?solver_budget ?split
+let compare_suite ?max_paths ?strategy ?deadline_ms ?solver_budget ?split ?(jobs = 1)
     ?(validate = false) agent_a agent_b specs =
   let comparisons = ref [] in
   let failures = ref [] in
   List.iter
     (fun (spec : Test_spec.t) ->
-      match
-        Runner.execute_safe ?max_paths ?strategy ?deadline_ms ?solver_budget agent_a spec
-      with
+      let safe agent () =
+        Runner.execute_safe ?max_paths ?strategy ?deadline_ms ?solver_budget agent spec
+      in
+      let runs =
+        match concurrent_pair ~jobs (safe agent_a) (safe agent_b) with
+        | None -> (
+          (* sequential: agent B does not even run once A has failed *)
+          match safe agent_a () with
+          | Error f -> Error f
+          | Ok run_a -> (
+            match safe agent_b () with Error f -> Error f | Ok run_b -> Ok (run_a, run_b)))
+        | Some (ra, rb) -> (
+          (* concurrent: B ran regardless, but when A failed its result is
+             discarded so the recorded failure matches the sequential one *)
+          match reraise_or ra with
+          | Error f -> Error f
+          | Ok run_a -> (
+            match reraise_or rb with Error f -> Error f | Ok run_b -> Ok (run_a, run_b)))
+      in
+      match runs with
       | Error f -> failures := f :: !failures
-      | Ok run_a -> (
-        match
-          Runner.execute_safe ?max_paths ?strategy ?deadline_ms ?solver_budget agent_b spec
-        with
-        | Error f -> failures := f :: !failures
-        | Ok run_b ->
-          let c = compare_runs ?split ?budget:solver_budget spec run_a run_b in
-          let c =
-            if not validate then c
-            else
-              {
-                c with
-                c_validation =
-                  Some (Validate.validate ?solver_budget agent_a agent_b spec c.c_outcome);
-              }
-          in
-          comparisons := c :: !comparisons))
+      | Ok (run_a, run_b) ->
+        let c = compare_runs ?split ?budget:solver_budget ~jobs spec run_a run_b in
+        let c =
+          if not validate then c
+          else
+            {
+              c with
+              c_validation =
+                Some (Validate.validate ?solver_budget agent_a agent_b spec c.c_outcome);
+            }
+        in
+        comparisons := c :: !comparisons)
     specs;
   { sr_comparisons = List.rev !comparisons; sr_failures = List.rev !failures }
 

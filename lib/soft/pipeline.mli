@@ -22,13 +22,15 @@ val compare_runs :
   ?budget:Smt.Solver.budget ->
   ?checkpoint:string ->
   ?resume:string ->
+  ?jobs:int ->
   ?on_warning:(string -> unit) ->
   Harness.Test_spec.t ->
   Harness.Runner.run ->
   Harness.Runner.run ->
   comparison
-(** Phase 2 only, over existing phase-1 runs.  The optional arguments are
-    forwarded to {!Crosscheck.check}. *)
+(** Phase 2 only, over existing phase-1 runs.  The optional arguments
+    (including [jobs], the crosscheck worker-domain count) are forwarded
+    to {!Crosscheck.check}. *)
 
 val compare_agents :
   ?max_paths:int ->
@@ -36,6 +38,7 @@ val compare_agents :
   ?deadline_ms:int ->
   ?solver_budget:Smt.Solver.budget ->
   ?split:int ->
+  ?jobs:int ->
   ?validate:bool ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->
@@ -43,7 +46,11 @@ val compare_agents :
   comparison
 (** Both phases in one process.  [deadline_ms] bounds each agent's
     exploration wall clock; [solver_budget] bounds every solver query in
-    both phases.  [validate] (default false) replays every found
+    both phases.  [jobs] (default 1): with more than one job, the two
+    agents' phase-1 explorations run concurrently on separate domains
+    (each with its own solver context) and the crosscheck runs at
+    [jobs] workers; agent A's exception still wins deterministically when
+    both fail.  [validate] (default false) replays every found
     inconsistency's witness through both agents and records the
     {!Validate.summary}. *)
 
@@ -59,13 +66,17 @@ val compare_suite :
   ?deadline_ms:int ->
   ?solver_budget:Smt.Solver.budget ->
   ?split:int ->
+  ?jobs:int ->
   ?validate:bool ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->
   Harness.Test_spec.t list ->
   suite_result
 (** Run a whole suite.  Each agent execution is crash-isolated: one
-    crashing or diverging run yields a failure record, not a lost suite. *)
+    crashing or diverging run yields a failure record, not a lost suite.
+    [jobs] parallelizes as in {!compare_agents}; when agent A's run fails
+    under [jobs > 1], agent B's concurrent result is discarded so the
+    recorded failure is the same one a sequential run reports. *)
 
 val test_cases : comparison -> Testcase.t list
 (** One concrete reproducer per inconsistency found. *)

@@ -302,7 +302,8 @@ let run ?(strategy = Strategy.default) ?(max_paths = max_int) ?(max_decisions = 
     }
   in
   let solver_stats0 =
-    Solver.(stats.sat_calls, stats.cache_hits, stats.interval_hits)
+    let s = Solver.stats () in
+    Solver.(s.sat_calls, s.cache_hits, s.interval_hits)
   in
   let cpu0 = Sys.time () and wall0 = Mono.now () in
   let deadline =
@@ -396,7 +397,8 @@ let run ?(strategy = Strategy.default) ?(max_paths = max_int) ?(max_decisions = 
   let total_size = List.fold_left ( + ) 0 sizes in
   let max_size = List.fold_left max 0 sizes in
   let sc1, cc1, ic1 =
-    Solver.(stats.sat_calls, stats.cache_hits, stats.interval_hits)
+    let s = Solver.stats () in
+    Solver.(s.sat_calls, s.cache_hits, s.interval_hits)
   in
   let sc0, cc0, ic0 = solver_stats0 in
   {

@@ -140,14 +140,14 @@ let test_cache_bounded () =
     (fun () ->
       Solver.set_cache_capacity 4;
       Solver.clear_cache ();
-      let evictions0 = Solver.stats.Solver.cache_evictions in
+      let evictions0 = (Solver.stats ()).Solver.cache_evictions in
       for i = 0 to 9 do
         ignore
           (Solver.check ~use_cache:true
              [ Expr.eq (Expr.var ~width:16 "bud.cap") (c16 (1000 + i)) ])
       done;
       check_bool "overflow flushes the memo table" true
-        (Solver.stats.Solver.cache_evictions > evictions0));
+        ((Solver.stats ()).Solver.cache_evictions > evictions0));
   Alcotest.check_raises "non-positive capacity rejected"
     (Invalid_argument "Solver.set_cache_capacity: capacity must be positive") (fun () ->
       Solver.set_cache_capacity 0)

@@ -29,4 +29,5 @@ let () =
       ("proof", Test_proof.suite);
       ("validate", Test_validate.suite);
       ("chaos", Test_chaos.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -111,8 +111,8 @@ let test_certified_frontend () =
     ~finally:(fun () -> Solver.set_certify false)
     (fun () ->
       Solver.set_certify true;
-      let checked0 = Solver.stats.Solver.proofs_checked in
-      let failed0 = Solver.stats.Solver.proofs_failed in
+      let checked0 = (Solver.stats ()).Solver.proofs_checked in
+      let failed0 = (Solver.stats ()).Solver.proofs_failed in
       let x = Expr.var ~width:16 "prf.x" in
       (* an UNSAT query the interval filter would normally answer: certify
          mode must bypass the filter, reach the SAT core, and publish the
@@ -120,8 +120,8 @@ let test_certified_frontend () =
       check_bool "certified UNSAT still answered" true
         (Solver.check ~use_cache:false [ Expr.ult x (c16 5); Expr.uge x (c16 10) ]
         = Solver.Unsat);
-      check_bool "a proof was checked" true (Solver.stats.Solver.proofs_checked > checked0);
-      check_int "no proof failed" failed0 Solver.stats.Solver.proofs_failed;
+      check_bool "a proof was checked" true ((Solver.stats ()).Solver.proofs_checked > checked0);
+      check_int "no proof failed" failed0 (Solver.stats ()).Solver.proofs_failed;
       (* SAT answers are unaffected (still model-checked, no proof needed) *)
       check_bool "certified SAT still answered" true
         (match Solver.check ~use_cache:false [ Expr.ult x (c16 5) ] with
@@ -139,10 +139,10 @@ let test_certify_toggle_flushes_cache () =
       Solver.set_certify true;
       (* the memoized uncertified Unsat must not be replayed: the query
          runs again and a proof is checked *)
-      let checked0 = Solver.stats.Solver.proofs_checked in
+      let checked0 = (Solver.stats ()).Solver.proofs_checked in
       check_bool "re-answered under certify" true (Solver.check q = Solver.Unsat);
       check_bool "with a fresh proof, not the cache" true
-        (Solver.stats.Solver.proofs_checked > checked0))
+        ((Solver.stats ()).Solver.proofs_checked > checked0))
 
 let suite =
   [

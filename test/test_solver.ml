@@ -234,9 +234,9 @@ let test_solver_cache () =
   let x = Expr.var ~width:16 "cachex" in
   let q = [ Expr.ult x (c 16 10) ] in
   ignore (Solver.check q);
-  let calls_before = Solver.stats.Solver.sat_calls in
+  let calls_before = (Solver.stats ()).Solver.sat_calls in
   ignore (Solver.check q);
-  Alcotest.(check int) "second query cached" calls_before Solver.stats.Solver.sat_calls
+  Alcotest.(check int) "second query cached" calls_before (Solver.stats ()).Solver.sat_calls
 
 let suite =
   [
