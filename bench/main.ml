@@ -527,6 +527,114 @@ let parallel_crosscheck () =
        ])
 
 (* ---------------------------------------------------------------------- *)
+(* Incremental crosscheck: scratch per-pair solving vs row-major sessions *)
+
+let incremental_crosscheck () =
+  header
+    "Incremental crosscheck: per-pair scratch instances vs row-major sessions \
+     (shared blasting + learnt-clause reuse)";
+  Printf.printf "%-14s %7s | %9s %9s | %9s %9s | %7s | %6s %8s\n" "Test" "pairs"
+    "t(scratch)" "pairs/s" "t(incr)" "pairs/s" "speedup" "reuse" "learnt";
+  let tests = [ Spec.eth_flow_mod (); Spec.cs_flow_mods (); Spec.short_symb () ] in
+  (* the exact reported facts, minus timing: the modes must agree on these
+     byte for byte (the property test covers randomized matrices; this is
+     the same assertion on the real suite) *)
+  let canon (o : Soft.Crosscheck.outcome) =
+    ( List.map
+        (fun (inc : Soft.Crosscheck.inconsistency) ->
+          ( Openflow.Trace.result_key inc.Soft.Crosscheck.i_result_a,
+            Openflow.Trace.result_key inc.i_result_b,
+            List.map
+              (fun (v, value) -> (Smt.Expr.var_name v, Smt.Expr.var_width v, value))
+              (Smt.Model.bindings inc.i_witness) ))
+        o.Soft.Crosscheck.o_inconsistencies,
+      o.o_pairs_undecided )
+  in
+  let rows = ref [] in
+  let total_scratch = ref 0.0 and total_incr = ref 0.0 in
+  let st = Smt.Solver.stats () in
+  let sessions0 = st.Smt.Solver.sessions_opened in
+  let assumes0 = st.Smt.Solver.assumption_solves in
+  let fallbacks0 = st.Smt.Solver.scratch_fallbacks in
+  let learnt0 = st.Smt.Solver.learnt_retained in
+  List.iter
+    (fun (spec : Spec.t) ->
+      let a = Soft.Grouping.of_run (get_run spec (List.nth agents 0)) in
+      let b = Soft.Grouping.of_run (get_run spec (List.nth agents 2)) in
+      let measure incremental =
+        (* cold memo cache on both sides: the amortization under test is
+           the in-session reuse, not warm whole-query memo hits *)
+        Smt.Solver.clear_cache ();
+        Soft.Crosscheck.check ~jobs:1 ~incremental a b
+      in
+      let learnt_before = st.Smt.Solver.learnt_retained in
+      let assumes_before = st.Smt.Solver.assumption_solves in
+      let sessions_before = st.Smt.Solver.sessions_opened in
+      let o_scratch = measure false in
+      let o_incr = measure true in
+      assert (canon o_scratch = canon o_incr);
+      let ts = o_scratch.Soft.Crosscheck.o_check_time in
+      let ti = o_incr.Soft.Crosscheck.o_check_time in
+      total_scratch := !total_scratch +. ts;
+      total_incr := !total_incr +. ti;
+      let pairs = o_scratch.Soft.Crosscheck.o_pairs_checked in
+      let rate t = if t > 0.0 then float_of_int pairs /. t else 0.0 in
+      let speedup = if ti > 0.0 then ts /. ti else 0.0 in
+      let learnt = st.Smt.Solver.learnt_retained - learnt_before in
+      let assumes = st.Smt.Solver.assumption_solves - assumes_before in
+      let sessions = st.Smt.Solver.sessions_opened - sessions_before in
+      (* fraction of session queries that rode on an already-blasted row
+         conjunct (each session's base blast is charged to its first query) *)
+      let reuse =
+        if assumes > 0 then float_of_int (assumes - sessions) /. float_of_int assumes
+        else 0.0
+      in
+      rows :=
+        J_obj
+          [
+            ("test", J_str spec.Spec.id);
+            ("pairs_checked", J_int pairs);
+            ("scratch_time", J_num ts);
+            ("scratch_pairs_per_sec", J_num (rate ts));
+            ("incremental_time", J_num ti);
+            ("incremental_pairs_per_sec", J_num (rate ti));
+            ("incremental_speedup", J_num speedup);
+            ("sessions", J_int sessions);
+            ("assumption_solves", J_int assumes);
+            ("blast_reuse_rate", J_num reuse);
+            ("learnt_retained", J_int learnt);
+          ]
+        :: !rows;
+      Printf.printf "%-14s %7d | %8.3fs %9.0f | %8.3fs %9.0f | %6.2fx | %5.0f%% %8d\n%!"
+        spec.Spec.label pairs ts (rate ts) ti (rate ti) speedup (100.0 *. reuse) learnt)
+    tests;
+  let overall = if !total_incr > 0.0 then !total_scratch /. !total_incr else 0.0 in
+  let sessions = st.Smt.Solver.sessions_opened - sessions0 in
+  let assumes = st.Smt.Solver.assumption_solves - assumes0 in
+  let fallbacks = st.Smt.Solver.scratch_fallbacks - fallbacks0 in
+  let learnt = st.Smt.Solver.learnt_retained - learnt0 in
+  let reuse =
+    if assumes > 0 then float_of_int (assumes - sessions) /. float_of_int assumes else 0.0
+  in
+  Printf.printf
+    "overall: %.3fs scratch, %.3fs incremental => %.2fx (%d sessions, %d assumption \
+     solves, %d scratch fallbacks, %d learnt clauses retained)\n"
+    !total_scratch !total_incr overall sessions assumes fallbacks learnt;
+  record "incremental"
+    (J_obj
+       [
+         ("scratch_time", J_num !total_scratch);
+         ("incremental_time", J_num !total_incr);
+         ("incremental_speedup", J_num overall);
+         ("sessions", J_int sessions);
+         ("assumption_solves", J_int assumes);
+         ("scratch_fallbacks", J_int fallbacks);
+         ("blast_reuse_rate", J_num reuse);
+         ("learnt_retained", J_int learnt);
+         ("tests", J_arr (List.rev !rows));
+       ])
+
+(* ---------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks of the pipeline stages *)
 
 let microbenchmarks () =
@@ -628,6 +736,7 @@ let () =
   ablation_group_splitting ();
   ablation_structured_inputs ();
   parallel_crosscheck ();
+  incremental_crosscheck ();
   if Sys.getenv_opt "SOFT_BENCH_SKIP_MICRO" = None then microbenchmarks ();
   header "Summary";
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0);

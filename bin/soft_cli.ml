@@ -132,6 +132,18 @@ let split =
           "Crosscheck chunk pairs of at most N member path conditions instead of \
            monolithic group disjunctions.")
 
+let no_incremental =
+  Arg.(
+    value
+    & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Solve every crosscheck pair on a fresh SAT instance instead of the \
+           default row-major incremental sessions (shared bit-blasting of the \
+           row conjunct, assumption literals, learnt-clause reuse).  Reports \
+           are byte-identical either way; this is an escape hatch for \
+           isolating solver issues and for benchmarking the amortization.")
+
 let jobs =
   let jobs_conv =
     Arg.conv ~docv:"N"
@@ -295,14 +307,17 @@ let check_cmd =
              the same file for --checkpoint and --resume to make a run \
              restartable in place.")
   in
-  let run file_a file_b split budget_ms max_conflicts checkpoint resume jobs certify
-      chaos_seed chaos_rate =
+  let run file_a file_b split budget_ms max_conflicts checkpoint resume jobs no_incremental
+      certify chaos_seed chaos_rate =
     apply_budget budget_ms max_conflicts;
     apply_certify certify;
     apply_chaos chaos_seed chaos_rate;
     let a = Soft.Grouping.of_saved (Harness.Serialize.load file_a) in
     let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
-    match Soft.Crosscheck.check ?split ?checkpoint ?resume ~jobs a b with
+    match
+      Soft.Crosscheck.check ?split ?checkpoint ?resume ~jobs
+        ~incremental:(not no_incremental) a b
+    with
     | outcome ->
       Format.printf "%a@." Soft.Crosscheck.pp outcome;
       Format.printf "root causes:@.%a@." Soft.Report.pp_summary
@@ -319,7 +334,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Phase 2: crosscheck two phase-1 runs for inconsistencies.")
     Term.(
       const run $ file_a $ file_b $ split $ budget_ms $ max_conflicts $ checkpoint $ resume
-      $ jobs $ certify $ chaos_seed $ chaos_rate)
+      $ jobs $ no_incremental $ certify $ chaos_seed $ chaos_rate)
 
 (* --- compare --------------------------------------------------------- *)
 
@@ -335,13 +350,13 @@ let compare_cmd =
     Arg.(value & flag & info [ "cases" ] ~doc:"Print a concrete reproducer per inconsistency.")
   in
   let run agent_a agent_b test cases max_paths strategy split budget_ms max_conflicts
-      deadline_ms jobs certify validate chaos_seed chaos_rate =
+      deadline_ms jobs no_incremental certify validate chaos_seed chaos_rate =
     apply_budget budget_ms max_conflicts;
     apply_certify certify;
     apply_chaos chaos_seed chaos_rate;
     match
-      Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split ~jobs ~validate
-        agent_a agent_b test
+      Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split ~jobs
+        ~incremental:(not no_incremental) ~validate agent_a agent_b test
     with
     | c ->
       Format.printf "%a@." Soft.Pipeline.pp_comparison c;
@@ -360,8 +375,8 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run both phases: find inconsistencies between two agents.")
     Term.(
       const run $ agent_a $ agent_b $ test $ cases $ max_paths $ strategy $ split
-      $ budget_ms $ max_conflicts $ deadline_ms $ jobs $ certify $ validate $ chaos_seed
-      $ chaos_rate)
+      $ budget_ms $ max_conflicts $ deadline_ms $ jobs $ no_incremental $ certify $ validate
+      $ chaos_seed $ chaos_rate)
 
 (* --- list ------------------------------------------------------------ *)
 

@@ -1,7 +1,14 @@
 (* CDCL SAT solver: two-watched literals, VSIDS decision heuristic with a
    binary heap, first-UIP conflict analysis, phase saving and Luby restarts.
-   This is the engine underneath the bitvector solver; one instance is
-   created per satisfiability query (no incrementality needed by SOFT).
+   This is the engine underneath the bitvector solver.
+
+   The solver is incremental in the MiniSat style: an instance stays valid
+   across successive [solve] calls, [add_clause] may be interleaved with
+   them, and each call may carry assumption literals that are decided
+   first (at their own decision levels) and hold only for that call.
+   Learnt clauses, variable activities and saved phases all persist from
+   one [solve] to the next — that retention is what the crosscheck's
+   row-major sessions amortize.
 
    Literal encoding: variable [v] yields literals [2*v] (positive) and
    [2*v+1] (negated). *)
@@ -51,6 +58,8 @@ type t = {
   mutable conflicts : int;
   mutable propagations : int;
   mutable decisions : int; (* cumulative, for the decision budget *)
+  mutable nlearnts : int; (* learnt clauses in the database *)
+  mutable failed : int list; (* failed assumptions of the last Unsat *)
   mutable proof : proof_log option;
 }
 
@@ -82,6 +91,8 @@ let create () =
     conflicts = 0;
     propagations = 0;
     decisions = 0;
+    nlearnts = 0;
+    failed = [];
     proof = None;
   }
 
@@ -244,9 +255,25 @@ let watch_clause s ci =
   s.watches.(lit_neg c.lits.(0)) <- ci :: s.watches.(lit_neg c.lits.(0));
   s.watches.(lit_neg c.lits.(1)) <- ci :: s.watches.(lit_neg c.lits.(1))
 
-(* Add a problem clause. Must be called before [solve]; assumes decision
-   level 0. *)
+let cancel_until s lvl =
+  if s.ndecisions > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = lit_var s.trail.(i) in
+      s.assigns.(v) <- 0;
+      s.reason.(v) <- -1;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.ndecisions <- lvl
+  end
+
+(* Add a problem clause.  May be called between [solve]s: any leftover
+   non-root assignment is unwound first, so the level-0 simplification
+   below only ever filters by permanent assignments. *)
 let add_clause s lits =
+  cancel_until s 0;
   log_original s lits;
   if s.ok then begin
     (* dedup, drop false lits? At level 0 we can simplify by assignments. *)
@@ -376,20 +403,6 @@ let analyze s confl =
   let learnt = lit_neg !p :: !learnt in
   (learnt, !btlevel)
 
-let cancel_until s lvl =
-  if s.ndecisions > lvl then begin
-    let bound = s.trail_lim.(lvl) in
-    for i = s.trail_size - 1 downto bound do
-      let v = lit_var s.trail.(i) in
-      s.assigns.(v) <- 0;
-      s.reason.(v) <- -1;
-      heap_insert s v
-    done;
-    s.trail_size <- bound;
-    s.qhead <- bound;
-    s.ndecisions <- lvl
-  end
-
 let record_learnt s lits btlevel =
   (* log a private copy: the stored clause's literal array is physically
      reordered by watch maintenance during later propagation *)
@@ -410,8 +423,42 @@ let record_learnt s lits btlevel =
     arr.(1) <- arr.(!best);
     arr.(!best) <- tmp;
     let ci = push_clause s { lits = arr; learnt = true } in
+    s.nlearnts <- s.nlearnts + 1;
     watch_clause s ci;
     enqueue s l ci
+
+(* Which assumptions are to blame for assumption literal [l] arriving
+   already false at its decision point: walk the trail top-down from the
+   implied complement, expanding propagation reasons and collecting the
+   decisions reached — during assumption selection every live decision is
+   an assumption.  The result (including [l] itself) is an inconsistent
+   subset of the call's assumptions: the final conflict clause is the
+   disjunction of their negations. *)
+let analyze_final s l =
+  let v0 = lit_var l in
+  if s.level.(v0) = 0 then [ l ]
+  else begin
+    let seen = Bytes.make s.nvars '\000' in
+    Bytes.set seen v0 '\001';
+    let failed = ref [ l ] in
+    let bound = if s.ndecisions > 0 then s.trail_lim.(0) else s.trail_size in
+    for i = s.trail_size - 1 downto bound do
+      let v = lit_var s.trail.(i) in
+      if Bytes.get seen v = '\001' then begin
+        if s.reason.(v) >= 0 then begin
+          let c = s.clauses.(s.reason.(v)) in
+          Array.iter
+            (fun q ->
+              let u = lit_var q in
+              if u <> v && s.level.(u) > 0 then Bytes.set seen u '\001')
+            c.lits
+        end
+        else failed := s.trail.(i) :: !failed;
+        Bytes.set seen v '\000'
+      end
+    done;
+    !failed
+  end
 
 (* --- main loop ------------------------------------------------------ *)
 
@@ -452,10 +499,28 @@ let decide s =
    are counted from this call's start, [deadline] is an absolute monotonic
    time ([Mono.now] seconds).  When any budget is exhausted the search is
    unwound to level 0 and [Unknown] is returned — the instance stays valid
-   but carries no model. *)
-let solve ?max_conflicts ?max_decisions ?deadline s =
+   but carries no model.
+
+   [assumptions] are literals decided before any free decision, one per
+   decision level, MiniSat-style: they hold for this call only.  An
+   [Unsat] under non-empty assumptions means "unsat under these
+   assumptions" (the failed subset is in {!failed_assumptions}); it does
+   not poison the instance, and no empty clause is derived or logged —
+   which is also why certify mode solves from scratch instead. *)
+let no_assumptions = [||]
+
+let solve ?(assumptions = no_assumptions) ?max_conflicts ?max_decisions ?deadline s =
+  (* unwind whatever a previous call left assigned: clauses, activities
+     and phases persist across calls, the trail does not *)
+  cancel_until s 0;
+  s.failed <- [];
   if not s.ok then Unsat
   else begin
+    let nassume = Array.length assumptions in
+    (* one level per assumption (even ones already true get an empty
+       level, keeping level index = assumption index) plus one per free
+       decision *)
+    s.trail_lim <- grow_int_array s.trail_lim (s.nvars + nassume + 1) 0;
     let conflicts0 = s.conflicts and decisions0 = s.decisions in
     let over_budget () =
       if match max_conflicts with
@@ -470,6 +535,32 @@ let solve ?max_conflicts ?max_decisions ?deadline s =
       else if match deadline with Some d -> Mono.now () >= d | None -> false then
         Some Time
       else None
+    in
+    (* pick the next branch: the call's assumptions first, in order, then
+       VSIDS.  [`A_sat]: every variable is assigned; [`A_failed]: an
+       assumption is already falsified by the trail — the failed subset
+       has been extracted. *)
+    let rec assume_or_decide () =
+      if s.ndecisions < nassume then begin
+        let l = assumptions.(s.ndecisions) in
+        match lit_value s l with
+        | 1 ->
+          (* already implied: open an empty decision level *)
+          s.trail_lim.(s.ndecisions) <- s.trail_size;
+          s.ndecisions <- s.ndecisions + 1;
+          assume_or_decide ()
+        | 2 ->
+          s.failed <- analyze_final s l;
+          `A_failed
+        | _ ->
+          s.decisions <- s.decisions + 1;
+          s.trail_lim.(s.ndecisions) <- s.trail_size;
+          s.ndecisions <- s.ndecisions + 1;
+          enqueue s l (-1);
+          `A_decided
+      end
+      else if decide s < 0 then `A_sat
+      else `A_decided
     in
     let restart_count = ref 0 in
     let result = ref None in
@@ -510,7 +601,13 @@ let solve ?max_conflicts ?max_decisions ?deadline s =
           | Some r ->
             cancel_until s 0;
             result := Some (Unknown r)
-          | None -> if decide s < 0 then result := Some Sat
+          | None -> (
+            match assume_or_decide () with
+            | `A_sat -> result := Some Sat
+            | `A_failed ->
+              cancel_until s 0;
+              result := Some Unsat
+            | `A_decided -> ())
       done
     done;
     match !result with Some r -> r | None -> assert false
@@ -522,3 +619,10 @@ let model_value s v = if v < s.nvars then s.assigns.(v) = 1 else false
 let stats s = (s.conflicts, s.propagations, s.nvars, s.nclauses)
 
 let decisions s = s.decisions
+
+let learnt_count s = s.nlearnts
+
+(* Valid after an [Unsat] answer from a [solve] with assumptions: the
+   subset of that call's assumptions the conflict actually used.  Empty
+   after a global (assumption-free) Unsat. *)
+let failed_assumptions s = s.failed

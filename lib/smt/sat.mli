@@ -1,6 +1,12 @@
 (** CDCL SAT solver: two-watched literals, VSIDS decisions, first-UIP
-    conflict learning, phase saving and Luby restarts.  One instance per
-    satisfiability query (no incrementality is needed by SOFT).
+    conflict learning, phase saving and Luby restarts.
+
+    Instances are incremental in the MiniSat style: {!solve} may be called
+    repeatedly, {!add_clause}/{!new_var} may be interleaved between calls,
+    and each call may carry {e assumption} literals that hold for that
+    call only.  Learnt clauses, variable activities and saved phases
+    persist across calls — the retention the crosscheck's row sessions
+    amortize.
 
     Literal encoding: variable [v] yields literal [2*v] (positive) and
     [2*v+1] (negated). *)
@@ -25,16 +31,41 @@ val new_var : t -> int
 (** Allocate a fresh variable; returns its index. *)
 
 val add_clause : t -> int list -> unit
-(** Add a problem clause (list of literals).  Must be called before
-    {!solve}.  Tautologies are dropped; an empty clause makes the instance
-    trivially unsatisfiable. *)
+(** Add a problem clause (list of literals).  May be called before the
+    first {!solve} or between solves (any leftover assignment above level
+    0 is unwound first).  Tautologies are dropped; an empty clause makes
+    the instance permanently unsatisfiable. *)
 
-val solve : ?max_conflicts:int -> ?max_decisions:int -> ?deadline:float -> t -> result
-(** Decide the instance.  [max_conflicts]/[max_decisions] bound the search
-    effort spent in this call; [deadline] is an absolute monotonic time in
-    {!Mono.now} seconds.  With no budgets the search runs to completion.
-    On budget exhaustion the result is [Unknown] and the instance remains
-    usable (the search is unwound to decision level 0). *)
+val solve :
+  ?assumptions:int array ->
+  ?max_conflicts:int ->
+  ?max_decisions:int ->
+  ?deadline:float ->
+  t ->
+  result
+(** Decide the instance under the call's [assumptions] (literals decided
+    first, one per decision level, holding for this call only — MiniSat
+    style).  [Unsat] under non-empty assumptions means unsat {e under
+    those assumptions}; the instance stays usable and
+    {!failed_assumptions} names the subset the conflict used.  No empty
+    clause is derived in that case, so the DRUP log of an
+    assumption-failure answer does not certify it — certify mode must
+    solve from scratch instead.
+
+    [max_conflicts]/[max_decisions] bound the search effort spent in this
+    call; [deadline] is an absolute monotonic time in {!Mono.now} seconds.
+    With no budgets the search runs to completion.  On budget exhaustion
+    the result is [Unknown] and the instance remains usable (the search is
+    unwound to decision level 0). *)
+
+val failed_assumptions : t -> int list
+(** After an [Unsat] from a {!solve} with assumptions: the subset of that
+    call's assumptions the final conflict used (an inconsistent core, not
+    necessarily minimal).  Empty after a global, assumption-free Unsat. *)
+
+val learnt_count : t -> int
+(** Learnt clauses currently in the database — what an incremental session
+    carries from one solve into the next. *)
 
 val model_value : t -> int -> bool
 (** After [Sat]: the assignment of a variable (unassigned vars read as

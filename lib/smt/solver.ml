@@ -68,6 +68,10 @@ type stats = {
   mutable solver_time : float;
   mutable proofs_checked : int;
   mutable proofs_failed : int;
+  mutable sessions_opened : int;
+  mutable assumption_solves : int;
+  mutable scratch_fallbacks : int;
+  mutable learnt_retained : int;
 }
 
 let fresh_stats () = {
@@ -83,6 +87,10 @@ let fresh_stats () = {
   solver_time = 0.0;
   proofs_checked = 0;
   proofs_failed = 0;
+  sessions_opened = 0;
+  assumption_solves = 0;
+  scratch_fallbacks = 0;
+  learnt_retained = 0;
 }
 
 (* --- the per-domain context ------------------------------------------ *)
@@ -137,7 +145,11 @@ let reset_stats () =
   s.cache_evictions <- 0;
   s.solver_time <- 0.0;
   s.proofs_checked <- 0;
-  s.proofs_failed <- 0
+  s.proofs_failed <- 0;
+  s.sessions_opened <- 0;
+  s.assumption_solves <- 0;
+  s.scratch_fallbacks <- 0;
+  s.learnt_retained <- 0
 
 let merge_stats ~into:dst (src : stats) =
   dst.queries <- dst.queries + src.queries;
@@ -151,7 +163,11 @@ let merge_stats ~into:dst (src : stats) =
   dst.cache_evictions <- dst.cache_evictions + src.cache_evictions;
   dst.solver_time <- dst.solver_time +. src.solver_time;
   dst.proofs_checked <- dst.proofs_checked + src.proofs_checked;
-  dst.proofs_failed <- dst.proofs_failed + src.proofs_failed
+  dst.proofs_failed <- dst.proofs_failed + src.proofs_failed;
+  dst.sessions_opened <- dst.sessions_opened + src.sessions_opened;
+  dst.assumption_solves <- dst.assumption_solves + src.assumption_solves;
+  dst.scratch_fallbacks <- dst.scratch_fallbacks + src.scratch_fallbacks;
+  dst.learnt_retained <- dst.learnt_retained + src.learnt_retained
 
 (* --- memo cache ------------------------------------------------------- *)
 
@@ -235,7 +251,7 @@ let apply_config cfg =
 
 (* --- the query pipeline ----------------------------------------------- *)
 
-let run_sat c budget conds =
+let run_sat ?(fire_hook = true) c budget conds =
   c.c_stats.sat_calls <- c.c_stats.sat_calls + 1;
   let t0 = Mono.now () in
   let bctx = Bitblast.create ~proof:c.c_certify () in
@@ -245,7 +261,7 @@ let run_sat c budget conds =
   let deadline =
     Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) budget.b_timeout_ms
   in
-  c.c_hook ();
+  if fire_hook then c.c_hook ();
   let r =
     match
       Sat.solve ?max_conflicts:budget.b_max_conflicts
@@ -273,7 +289,13 @@ let run_sat c budget conds =
   c.c_stats.solver_time <- c.c_stats.solver_time +. Mono.elapsed t0;
   r
 
-let check ?(use_interval = true) ?(use_cache = true) ?budget conds =
+(* The full frontend pipeline with a pluggable back end: [core budget conds]
+   is invoked only for queries that survive constant folding, the memo
+   cache and the interval filter.  [check] instantiates it with the
+   scratch SAT core; [Session.check] instantiates it with an incremental
+   assumption solve, inheriting the exact same front half so the two modes
+   see identical query streams. *)
+let check_with ?(use_interval = true) ?(use_cache = true) ?budget ~core conds =
   let c = ctx () in
   let budget = match budget with Some b -> b | None -> c.c_budget in
   c.c_stats.queries <- c.c_stats.queries + 1;
@@ -302,7 +324,7 @@ let check ?(use_interval = true) ?(use_cache = true) ?budget conds =
           c.c_stats.interval_hits <- c.c_stats.interval_hits + 1;
           Unsat
         end
-        else run_sat c budget conds
+        else core budget conds
       in
       (match r with
        | Sat m ->
@@ -319,6 +341,19 @@ let check ?(use_interval = true) ?(use_cache = true) ?budget conds =
        | Unknown _ -> ()
        | Sat _ | Unsat -> if use_cache then cache_add c key r);
       r
+
+let check ?use_interval ?use_cache ?budget conds =
+  check_with ?use_interval ?use_cache ?budget
+    ~core:(fun budget conds -> run_sat (ctx ()) budget conds)
+    conds
+
+(* A raw scratch SAT solve on the calling domain's context, bypassing the
+   frontend pipeline.  [fire_hook=false] suppresses the query hook: the
+   incremental session uses this to re-derive a canonical witness without
+   consuming a fault-injection draw the scratch mode would not consume. *)
+let solve_scratch ?fire_hook budget conds = run_sat ?fire_hook (ctx ()) budget conds
+
+let run_query_hook () = (ctx ()).c_hook ()
 
 let is_sat ?use_interval ?use_cache ?budget conds =
   match check ?use_interval ?use_cache ?budget conds with
@@ -348,4 +383,7 @@ let pp_stats fmt () =
   if s.proofs_checked > 0 then
     Format.fprintf fmt " proofs=%d/%d"
       (s.proofs_checked - s.proofs_failed)
-      s.proofs_checked
+      s.proofs_checked;
+  if s.sessions_opened > 0 then
+    Format.fprintf fmt " sessions=%d assumption_solves=%d fallbacks=%d learnt_retained=%d"
+      s.sessions_opened s.assumption_solves s.scratch_fallbacks s.learnt_retained

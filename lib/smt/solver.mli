@@ -116,6 +116,14 @@ type stats = {
   mutable solver_time : float;  (** monotonic seconds inside the SAT core *)
   mutable proofs_checked : int;  (** certify mode: Unsat proofs validated *)
   mutable proofs_failed : int;  (** certify mode: proofs the checker rejected *)
+  mutable sessions_opened : int;  (** incremental sessions created *)
+  mutable assumption_solves : int;
+      (** queries answered by an in-session assumption solve *)
+  mutable scratch_fallbacks : int;
+      (** session queries re-run from scratch after an in-session Unknown *)
+  mutable learnt_retained : int;
+      (** learnt clauses already in a session's database when an
+          assumption solve started — the reuse incrementality buys *)
 }
 
 val stats : unit -> stats
@@ -152,6 +160,36 @@ val check :
     (default true) enables the interval pre-filter; [use_cache] (default
     true) the memo table; [budget] defaults to {!set_default_budget}'s
     value (initially unlimited).  [Unknown] results are never cached. *)
+
+val check_with :
+  ?use_interval:bool ->
+  ?use_cache:bool ->
+  ?budget:budget ->
+  core:(budget -> Expr.boolean list -> result) ->
+  Expr.boolean list ->
+  result
+(** {!check} with a pluggable back end: the full frontend pipeline
+    (constant folding, memo cache, interval filter, result sanity check
+    and caching) runs as usual, and [core budget conds] decides the
+    queries that survive it.  [check] is [check_with] over the scratch
+    SAT core; {!Session.check} supplies an incremental assumption solve.
+    Sharing the front half is what keeps the two modes' query streams —
+    and hence their fault-injection draws and memo behaviour —
+    identical. *)
+
+val solve_scratch : ?fire_hook:bool -> budget -> Expr.boolean list -> result
+(** A raw scratch SAT solve (blast + CDCL + certify-mode proof check) on
+    the calling domain's context, bypassing constant folding, the cache
+    and the interval filter.  [fire_hook] (default true) controls whether
+    the {!set_query_hook} closure runs; the incremental session passes
+    [false] when re-deriving a canonical witness so it does not consume a
+    fault-injection draw scratch mode would not consume. *)
+
+val run_query_hook : unit -> unit
+(** Fire the calling domain's query hook, exactly as a query reaching the
+    SAT core would.  The incremental session calls this once per
+    assumption solve to keep the fault-injection stream aligned with
+    scratch mode. *)
 
 val is_sat :
   ?use_interval:bool -> ?use_cache:bool -> ?budget:budget -> Expr.boolean list -> bool

@@ -17,7 +17,15 @@
      chunks (the paper's proposed future-work remedy) before the pair is
      finally recorded as *undecided* rather than silently dropped;
    - periodic checkpoints, so a killed multi-hour crosscheck resumes where
-     it left off instead of starting over. *)
+     it left off instead of starting over.
+
+   And one amortization: every query of row [i] shares the full conjunct
+   C_A(i) with every other query in the row, so by default the solve pass
+   is row-major over incremental {!Smt.Session}s — C_A(i) is blasted once
+   as hard clauses, each C_B(j) rides on an activation literal, and learnt
+   clauses/activities/phases carry across the row.  Reports stay
+   byte-identical to scratch mode (see [session.ml]); [~incremental:false]
+   restores the per-pair scratch loop. *)
 
 open Smt
 module Trace = Openflow.Trace
@@ -322,8 +330,8 @@ let solver_pool_hooks () =
   (worker_init, worker_exit)
 
 let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(jobs = 1)
-    ?(on_found = fun (_ : inconsistency) -> ()) ?(on_warning = default_warning)
-    (a : Grouping.grouped) (b : Grouping.grouped) =
+    ?(incremental = true) ?(on_found = fun (_ : inconsistency) -> ())
+    ?(on_warning = default_warning) (a : Grouping.grouped) (b : Grouping.grouped) =
   if a.Grouping.gr_test <> b.Grouping.gr_test then
     invalid_arg "Crosscheck.check: runs of different tests";
   if jobs < 1 then invalid_arg "Crosscheck.check: jobs must be positive";
@@ -383,18 +391,10 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
      itself is pure per pair (the solver is deterministic and each worker
      has its own context), so [-j N] changes only scheduling.  All shared
      mutation — [decided], [faulted], counters, [on_found], checkpoint
-     writes — happens in [record], which {!Pool.run} runs serialized on
-     this domain: the single checkpoint writer survives parallelism. *)
-  let solve (i, j) =
-    (* fault injection delivers solver faults and clock jumps only inside
-       this per-pair scope; a fault (injected or a genuine solver
-       soundness error) costs the pair its verdict, never the run or a
-       wrong answer *)
-    try Some (Chaos.with_solver_faults (fun () -> sat_pair ?split ?budget ?retry groups_a.(i) groups_b.(j)))
-    with Solver.Solver_error _ | Chaos.Injected_fault _ -> None
-  in
-  let record k verdict =
-    let i, j = work.(k) in
+     writes — happens in [record_pair], which {!Pool.run} runs serialized
+     on this domain (via [on_result]): the single checkpoint writer
+     survives parallelism. *)
+  let record_pair (i, j) verdict =
     (match verdict with
      | None ->
        (* degraded to undecided, and *not* checkpointed: a resumed run
@@ -415,8 +415,70 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
       snapshot ()
     end
   in
+  (* fault injection delivers solver faults and clock jumps only inside a
+     per-pair scope; a fault (injected or a genuine solver soundness
+     error) costs the pair its verdict, never the run or a wrong answer *)
+  let guard_pair f = try Some (Chaos.with_solver_faults f) with
+    | Solver.Solver_error _ | Chaos.Injected_fault _ -> None
+  in
   let worker_init, worker_exit = solver_pool_hooks () in
-  ignore (Pool.run ~worker_init ~worker_exit ~on_result:record ~jobs solve work);
+  (* The incremental path covers the default monolithic-first-attempt
+     shape.  An explicit [?split] chunks queries from the start (no shared
+     row conjunct to amortize), and certify mode would make every session
+     query fall back to scratch anyway (see {!Smt.Session.check}) — both
+     use the plain per-pair path. *)
+  let use_incremental = incremental && split = None && not (Solver.certify_enabled ()) in
+  if use_incremental then begin
+    (* Row-major incremental solving: one pool task per row [i] of the
+       pair matrix, one {!Smt.Session} per task, so C_A(i) is blasted once
+       and its learnt clauses serve every fresh j in the row.  Rows (and
+       the js inside each) stay ascending, so at [-j 1] the sequence of
+       solves and records is exactly the per-pair loop's. *)
+    let rows =
+      let acc = ref [] in
+      Array.iter
+        (fun (i, j) ->
+          match !acc with
+          | (i', js) :: rest when i' = i -> acc := (i', j :: js) :: rest
+          | _ -> acc := (i, [ j ]) :: !acc)
+        work;
+      Array.of_list (List.rev_map (fun (i, js) -> (i, List.rev js)) !acc)
+    in
+    let solve_row (i, js) =
+      let ga = groups_a.(i) in
+      let session = Session.create [ ga.Grouping.g_cond ] in
+      List.map
+        (fun j ->
+          let gb = groups_b.(j) in
+          let verdict =
+            guard_pair (fun () ->
+                match Session.check ?budget session [ ga.Grouping.g_cond; gb.Grouping.g_cond ] with
+                | Solver.Sat witness -> Pair_sat witness
+                | Solver.Unsat -> Pair_unsat
+                | Solver.Unknown _ ->
+                  (* budget bit inside the session: retry the pair from
+                     scratch, down the whole chunk-split ladder *)
+                  let st = Solver.stats () in
+                  st.Solver.scratch_fallbacks <- st.Solver.scratch_fallbacks + 1;
+                  sat_pair ?budget ?retry ga gb)
+          in
+          ((i, j), verdict))
+        js
+    in
+    ignore
+      (Pool.run ~worker_init ~worker_exit
+         ~on_result:(fun _ row -> List.iter (fun (ij, v) -> record_pair ij v) row)
+         ~jobs solve_row rows)
+  end
+  else begin
+    let solve (i, j) =
+      guard_pair (fun () -> sat_pair ?split ?budget ?retry groups_a.(i) groups_b.(j))
+    in
+    ignore
+      (Pool.run ~worker_init ~worker_exit
+         ~on_result:(fun k verdict -> record_pair work.(k) verdict)
+         ~jobs solve work)
+  end;
   (* Pass 3 — emit, row-major again: the reported lists depend only on the
      per-pair verdicts, never on completion order, so the report is
      identical whatever [jobs] was. *)

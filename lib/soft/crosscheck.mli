@@ -89,6 +89,7 @@ val check :
   ?checkpoint_every:int ->
   ?resume:string ->
   ?jobs:int ->
+  ?incremental:bool ->
   ?on_found:(inconsistency -> unit) ->
   ?on_warning:(string -> unit) ->
   Grouping.grouped ->
@@ -122,6 +123,20 @@ val check :
     budgets the report is identical at any [jobs].  [on_found] fires in
     completion order when [jobs > 1].  [jobs = 1] runs everything on the
     calling domain, exactly as before.
+
+    [incremental] (default true): solve each row of the pair matrix on one
+    persistent {!Smt.Session} — the row's common conjunct [C_A(i)] is
+    bit-blasted once as hard clauses, each [C_B(j)] is guarded by a fresh
+    activation literal, and learnt clauses, variable activities and saved
+    phases carry across the row.  A pool task is a whole row, so [jobs]
+    parallelism is preserved.  A query the session's budget cannot decide
+    falls back to the scratch retry ladder (counted in
+    [scratch_fallbacks]).  Reports are byte-identical to
+    [~incremental:false]: session Sat witnesses are re-derived canonically
+    from scratch and the fault-injection stream is query-aligned (see
+    {!Smt.Session}).  An explicit [split] or an enabled certify regime
+    forces the scratch path (chunked queries share no row conjunct; an
+    assumption-failure Unsat has no replayable DRUP proof).
 
     [on_warning] (default: print to stderr) receives degradation notices
     such as a corrupt resume file.

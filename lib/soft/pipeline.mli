@@ -23,14 +23,16 @@ val compare_runs :
   ?checkpoint:string ->
   ?resume:string ->
   ?jobs:int ->
+  ?incremental:bool ->
   ?on_warning:(string -> unit) ->
   Harness.Test_spec.t ->
   Harness.Runner.run ->
   Harness.Runner.run ->
   comparison
 (** Phase 2 only, over existing phase-1 runs.  The optional arguments
-    (including [jobs], the crosscheck worker-domain count) are forwarded
-    to {!Crosscheck.check}. *)
+    (including [jobs], the crosscheck worker-domain count, and
+    [incremental], the row-major session solving toggle) are forwarded to
+    {!Crosscheck.check}. *)
 
 val compare_agents :
   ?max_paths:int ->
@@ -39,6 +41,7 @@ val compare_agents :
   ?solver_budget:Smt.Solver.budget ->
   ?split:int ->
   ?jobs:int ->
+  ?incremental:bool ->
   ?validate:bool ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->
@@ -50,9 +53,9 @@ val compare_agents :
     agents' phase-1 explorations run concurrently on separate domains
     (each with its own solver context) and the crosscheck runs at
     [jobs] workers; agent A's exception still wins deterministically when
-    both fail.  [validate] (default false) replays every found
-    inconsistency's witness through both agents and records the
-    {!Validate.summary}. *)
+    both fail.  [incremental] is forwarded to {!Crosscheck.check}.
+    [validate] (default false) replays every found inconsistency's witness
+    through both agents and records the {!Validate.summary}. *)
 
 type suite_result = {
   sr_comparisons : comparison list;  (** tests where both runs completed *)
@@ -67,6 +70,7 @@ val compare_suite :
   ?solver_budget:Smt.Solver.budget ->
   ?split:int ->
   ?jobs:int ->
+  ?incremental:bool ->
   ?validate:bool ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->

@@ -30,4 +30,5 @@ let () =
       ("validate", Test_validate.suite);
       ("chaos", Test_chaos.suite);
       ("parallel", Test_parallel.suite);
+      ("incremental", Test_incremental.suite);
     ]
