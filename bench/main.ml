@@ -94,6 +94,7 @@ let write_json () =
     Printf.printf "wrote %s\n" path
 
 let solver_stats_json () =
+  Smt.Solver.capture_expr_stats ();
   let s = Smt.Solver.stats () in
   let hit_rate =
     let looked = s.Smt.Solver.sat_calls + s.Smt.Solver.cache_hits in
@@ -106,6 +107,7 @@ let solver_stats_json () =
       ("cache_hit_rate", J_num hit_rate);
       ("cache_evictions", J_int s.Smt.Solver.cache_evictions);
       ("interval_hits", J_int s.Smt.Solver.interval_hits);
+      ("expr_nodes", J_int s.Smt.Solver.expr_nodes);
     ]
 
 let agents =
@@ -635,6 +637,82 @@ let incremental_crosscheck () =
        ])
 
 (* ---------------------------------------------------------------------- *)
+(* Supervised crosscheck: watchdog kills + quarantine accounting under a
+   chaos hang schedule *)
+
+let supervised_crosscheck () =
+  header
+    "Supervised crosscheck: watchdog deadline + chaos hangs (retry/quarantine accounting)";
+  let spec = Spec.cs_flow_mods () in
+  let a = Soft.Grouping.of_run (get_run spec (List.nth agents 0)) in
+  let b = Soft.Grouping.of_run (get_run spec (List.nth agents 2)) in
+  (* clean baseline: supervision enabled but nothing tripping — this is the
+     common production configuration and must not perturb the report *)
+  Smt.Solver.clear_cache ();
+  let clean = Soft.Crosscheck.check ~jobs:1 a b in
+  let pol =
+    Harness.Supervise.policy ~deadline_ms:250 ~max_retries:1 ~backoff_ms:[ 1 ] ()
+  in
+  Smt.Solver.clear_cache ();
+  let calm = Soft.Crosscheck.check ~jobs:1 ~supervise:pol a b in
+  assert (Soft.Crosscheck.count calm = Soft.Crosscheck.count clean);
+  assert (Soft.Crosscheck.quarantined_count calm = 0);
+  (* stormy run: hangs + solver faults injected; the watchdog kills each
+     hang at the deadline, the ladder retries, strikes-out pairs quarantine *)
+  let seed = 7 and rate = 0.08 in
+  Harness.Chaos.install (Harness.Chaos.plan ~seed ~rate);
+  Smt.Solver.clear_cache ();
+  let solver_time_before = (Smt.Solver.stats ()).Smt.Solver.solver_time in
+  let t0 = Unix.gettimeofday () in
+  let warnings = ref 0 in
+  let o =
+    Soft.Crosscheck.check ~jobs:1 ~supervise:pol ~on_warning:(fun _ -> incr warnings) a b
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Harness.Chaos.deactivate ();
+  Smt.Mono.reset_skew ();
+  (* each injected clock jump advanced the monotonic clock a day, which the
+     solver-time gauge absorbed; clamp the section's contribution back to
+     its real wall time so the bench's closing totals stay meaningful *)
+  (Smt.Solver.stats ()).Smt.Solver.solver_time <- solver_time_before +. wall;
+  let tax t =
+    List.length
+      (List.filter (fun (_, _, tx) -> tx = t) o.Soft.Crosscheck.o_pairs_quarantined)
+  in
+  let quarantined = Soft.Crosscheck.quarantined_count o in
+  Printf.printf
+    "pairs: %d checked, %d inconsistencies (clean run: %d), %d undecided\n"
+    o.Soft.Crosscheck.o_pairs_checked (Soft.Crosscheck.count o)
+    (Soft.Crosscheck.count clean)
+    (Soft.Crosscheck.undecided_count o);
+  Printf.printf
+    "supervision: %d retries, %d quarantined (hung %d / crashed %d / oom %d / faulted \
+     %d) in %.2fs wall\n"
+    o.Soft.Crosscheck.o_retries quarantined
+    (tax Harness.Supervise.Hung) (tax Harness.Supervise.Crashed)
+    (tax Harness.Supervise.Oom) (tax Harness.Supervise.Faulted)
+    wall;
+  record "supervision"
+    (J_obj
+       [
+         ("chaos_seed", J_int seed);
+         ("chaos_rate", J_num rate);
+         ("deadline_ms", J_int 250);
+         ("max_retries", J_int 1);
+         ("pairs_checked", J_int o.Soft.Crosscheck.o_pairs_checked);
+         ("inconsistencies", J_int (Soft.Crosscheck.count o));
+         ("undecided", J_int (Soft.Crosscheck.undecided_count o));
+         ("retries", J_int o.Soft.Crosscheck.o_retries);
+         ("quarantined", J_int quarantined);
+         ("quarantined_hung", J_int (tax Harness.Supervise.Hung));
+         ("quarantined_crashed", J_int (tax Harness.Supervise.Crashed));
+         ("quarantined_oom", J_int (tax Harness.Supervise.Oom));
+         ("quarantined_faulted", J_int (tax Harness.Supervise.Faulted));
+         ("warnings", J_int !warnings);
+         ("wall_time", J_num wall);
+       ])
+
+(* ---------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks of the pipeline stages *)
 
 let microbenchmarks () =
@@ -737,6 +815,7 @@ let () =
   ablation_structured_inputs ();
   parallel_crosscheck ();
   incremental_crosscheck ();
+  supervised_crosscheck ();
   if Sys.getenv_opt "SOFT_BENCH_SKIP_MICRO" = None then microbenchmarks ();
   header "Summary";
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0);

@@ -34,23 +34,25 @@
 
 exception Injected_fault of string
 
-type point = Solver_fault | Agent_step | Checkpoint_truncate | Clock_jump
+type point = Solver_fault | Agent_step | Checkpoint_truncate | Clock_jump | Hang
 
 let point_name = function
   | Solver_fault -> "solver-fault"
   | Agent_step -> "agent-step"
   | Checkpoint_truncate -> "checkpoint-truncate"
   | Clock_jump -> "clock-jump"
+  | Hang -> "hang"
 
-let npoints = 4
+let npoints = 5
 
 let point_index = function
   | Solver_fault -> 0
   | Agent_step -> 1
   | Checkpoint_truncate -> 2
   | Clock_jump -> 3
+  | Hang -> 4
 
-let all_points = [ Solver_fault; Agent_step; Checkpoint_truncate; Clock_jump ]
+let all_points = [ Solver_fault; Agent_step; Checkpoint_truncate; Clock_jump; Hang ]
 
 type plan = {
   p_seed : int;
@@ -115,6 +117,30 @@ let clock_jump_seconds = 86400.0
 
 let maybe_clock_jump () = if fire Clock_jump then Smt.Mono.advance clock_jump_seconds
 
+(* A hung task: sleep until the watchdog cancels us, then surface the
+   cancellation.  Drawn only when a supervision token is installed — an
+   unsupervised run has no watchdog, so firing would freeze the worker
+   forever and the point would test nothing (it also keeps this point
+   invisible, draws included, to every pre-supervision chaos test).  The
+   safety cap bounds the sweep tests even if a watchdog dies; the skewed
+   clock may cut it short after a clock-jump fault, which is harmless. *)
+let hang_safety_cap_s = 30.0
+
+let maybe_hang () =
+  match Smt.Cancel.current () with
+  | None -> ()
+  | Some tok ->
+    if fire Hang then begin
+      let t0 = Smt.Mono.now () in
+      while
+        (not (Smt.Cancel.is_cancelled tok))
+        && Smt.Mono.elapsed t0 < hang_safety_cap_s
+      do
+        Unix.sleepf 0.0005
+      done;
+      Smt.Cancel.check tok
+    end
+
 let maybe_truncate_file path =
   if fire Checkpoint_truncate then begin
     let size = (Unix.stat path).Unix.st_size in
@@ -130,6 +156,7 @@ let with_solver_faults f =
   | None -> f ()
   | Some _ ->
     Smt.Solver.set_query_hook (fun () ->
+        maybe_hang ();
         maybe_clock_jump ();
         maybe_raise Solver_fault);
     Fun.protect ~finally:(fun () -> Smt.Solver.set_query_hook (fun () -> ())) f

@@ -1,9 +1,10 @@
 (** Deterministic internal fault injection.
 
-    A seeded {!plan} decides, at four keyed injection points, whether a
+    A seeded {!plan} decides, at five keyed injection points, whether a
     fault fires: a solver query raising, an agent input step raising, a
-    checkpoint file truncating right after its write, and the monotonic
-    clock jumping past every deadline.  Each point draws from its own
+    checkpoint file truncating right after its write, the monotonic
+    clock jumping past every deadline, and a solver task hanging until
+    the supervision watchdog kills it.  Each point draws from its own
     stream seeded from [(seed, point)], so one point's schedule does not
     shift another's and a seed reproduces the exact fault pattern.
 
@@ -18,7 +19,15 @@ exception Injected_fault of string
 (** Carries the injection point's name.  Registered with
     {!Symexec.Engine.register_fatal}: never recorded as a crash path. *)
 
-type point = Solver_fault | Agent_step | Checkpoint_truncate | Clock_jump
+type point =
+  | Solver_fault
+  | Agent_step
+  | Checkpoint_truncate
+  | Clock_jump
+  | Hang
+      (** a solver task stalls until the supervision watchdog cancels it;
+          drawn only when a {!Smt.Cancel} token is installed (i.e. under
+          supervision), so unsupervised runs can never freeze *)
 
 val point_name : point -> string
 val all_points : point list
@@ -56,13 +65,19 @@ val maybe_raise : point -> unit
 val maybe_clock_jump : unit -> unit
 (** Draw at [Clock_jump]; on fire, {!Smt.Mono.advance} the clock a day. *)
 
+val maybe_hang : unit -> unit
+(** Draw at [Hang] — but only when the calling domain carries a
+    {!Smt.Cancel} token; a no-op otherwise (no draw consumed).  On fire,
+    sleep until the watchdog cancels the token (safety-capped), then raise
+    the cancellation.  Exercises the preemptive-kill path end to end. *)
+
 val maybe_truncate_file : string -> unit
 (** Draw at [Checkpoint_truncate]; on fire, truncate the file to half its
     size — simulating a write cut down mid-file. *)
 
 val with_solver_faults : (unit -> 'a) -> 'a
-(** Run a thunk with solver faults and clock jumps delivered to every
-    query reaching the SAT core (via {!Smt.Solver.set_query_hook}); the
+(** Run a thunk with solver faults, clock jumps and hangs delivered to
+    every query reaching the SAT core (via {!Smt.Solver.set_query_hook}); the
     hook is removed on exit.  Crosscheck wraps each pair decision in
     this; the engine's exploration phase must never be. *)
 

@@ -22,10 +22,15 @@
    free.  Results are delivered to [on_result] in completion order;
    [run]'s return value is always in task order.
 
-   The first task exception cancels the rest of the run (remaining tasks
-   are skipped, not killed mid-flight) and is re-raised from [run] with
-   its original backtrace, after every domain has been joined — no domain
-   is ever leaked, even when [on_result] itself raises. *)
+   Failure containment: a task exception becomes that task's [Error]
+   outcome and the run continues — one poisonous query costs one slot,
+   not the batch.  Under [~fail_fast:true] the first exception instead
+   cancels the rest of the run (remaining tasks are skipped, not killed
+   mid-flight) and is re-raised from [run] with its original backtrace,
+   after every domain has been joined — no domain is ever leaked, even
+   when [on_result] itself raises. *)
+
+type 'b outcome = ('b, exn * Printexc.raw_backtrace) result
 
 type deque = {
   buf : int array; (* task indices, a contiguous block *)
@@ -54,7 +59,7 @@ let steal d =
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 let run ?(worker_init = fun () -> ()) ?(worker_exit = fun () -> ())
-    ?(on_result = fun _ _ -> ()) ~jobs f tasks =
+    ?(on_result = fun _ _ -> ()) ?(fail_fast = false) ~jobs f tasks =
   let n = Array.length tasks in
   if jobs < 1 then invalid_arg "Pool.run: jobs must be positive";
   if n = 0 then [||]
@@ -65,9 +70,17 @@ let run ?(worker_init = fun () -> ()) ?(worker_exit = fun () -> ())
        path is byte-for-byte the pre-pool behaviour. *)
     Array.mapi
       (fun i a ->
-        let r = f a in
-        on_result i r;
-        r)
+        match f a with
+        | r ->
+          let o = Ok r in
+          on_result i o;
+          o
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          if fail_fast then Printexc.raise_with_backtrace e bt;
+          let o = Error (e, bt) in
+          on_result i o;
+          o)
       tasks
   else begin
     let w = min jobs n in
@@ -85,7 +98,7 @@ let run ?(worker_init = fun () -> ()) ?(worker_exit = fun () -> ())
     (* completion queue: workers push, the coordinator drains.  [done_cnt]
        counts every task retired (computed, failed, or skipped), so the
        coordinator knows when to stop waiting even under cancellation. *)
-    let q : (int * 'b) Queue.t = Queue.create () in
+    let q : (int * 'b outcome) Queue.t = Queue.create () in
     let q_lock = Mutex.create () in
     let q_cond = Condition.create () in
     let done_cnt = ref 0 in
@@ -121,15 +134,23 @@ let run ?(worker_init = fun () -> ()) ?(worker_exit = fun () -> ())
                else
                  match f tasks.(i) with
                  | r ->
-                   results.(i) <- Some r;
-                   retire (Some (i, r))
+                   let o = Ok r in
+                   results.(i) <- Some o;
+                   retire (Some (i, o))
                  | exception e ->
                    let bt = Printexc.get_raw_backtrace () in
-                   Atomic.set cancelled true;
-                   Mutex.protect q_lock (fun () ->
-                       if !failure = None then failure := Some (e, bt);
-                       incr done_cnt;
-                       Condition.signal q_cond));
+                   if fail_fast then begin
+                     Atomic.set cancelled true;
+                     Mutex.protect q_lock (fun () ->
+                         if !failure = None then failure := Some (e, bt);
+                         incr done_cnt;
+                         Condition.signal q_cond)
+                   end
+                   else begin
+                     let o = Error (e, bt) in
+                     results.(i) <- Some o;
+                     retire (Some (i, o))
+                   end);
               loop ()
           in
           loop ())
@@ -152,8 +173,8 @@ let run ?(worker_init = fun () -> ()) ?(worker_exit = fun () -> ())
               wait ())
         in
         match action with
-        | `Deliver (i, r) ->
-          on_result i r;
+        | `Deliver (i, o) ->
+          on_result i o;
           next ()
         | `Done -> ()
       in
@@ -175,5 +196,14 @@ let run ?(worker_init = fun () -> ()) ?(worker_exit = fun () -> ())
     (match !failure with
      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
      | None -> ());
-    Array.map (function Some r -> r | None -> assert false) results
+    Array.map (function Some o -> o | None -> assert false) results
   end
+
+let run_exn ?worker_init ?worker_exit ?on_result ~jobs f tasks =
+  let on_result =
+    Option.map
+      (fun g i -> function Ok r -> g i r | Error _ -> assert false)
+      on_result
+  in
+  run ?worker_init ?worker_exit ?on_result ~fail_fast:true ~jobs f tasks
+  |> Array.map (function Ok r -> r | Error _ -> assert false)

@@ -1,0 +1,240 @@
+(* Watchdog supervision: a monitor domain + per-task cancellation tokens.
+
+   Division of labour:
+   - [Smt.Cancel] (bottom of the stack) owns the token and the poll
+     sites: Sat's conflict/decision loop, Bitblast memo misses, Expr
+     interning, Interval passes, Session entry.
+   - this module owns the *policy*: who gets a token, when it is
+     cancelled (deadline scan, memory sweep), what an escape means
+     (taxonomy), and the retry ladder.
+   - the caller (crosscheck) owns the *consequence*: record the verdict,
+     or quarantine the pair after the ladder is exhausted.
+
+   The monitor domain is deliberately dumb: it loops over a registry of
+   [(token, deadline)] entries, cancelling what has expired, and samples
+   the major heap against the ceiling.  All communication is one atomic
+   flag per task — the monitor never touches solver state, so it cannot
+   race it.
+
+   Memory pressure is a process-wide event, not a per-task one: the
+   monitor bumps a generation counter and cancels every in-flight token
+   with [Memory].  Each worker domain compares the generation on its next
+   supervised attempt and sheds its own memo cache (per-domain state must
+   be shed by its owner; [Gc.major] then actually releases it).  Learnt
+   clauses live in the killed attempts' session instances, which become
+   garbage with the abort.  Queries killed by the sweep degrade to
+   Unknown/quarantine rather than answering wrong — shedding never
+   touches a completed verdict. *)
+
+type taxonomy = Hung | Crashed | Oom | Faulted
+
+let taxonomy_to_string = function
+  | Hung -> "hung"
+  | Crashed -> "crashed"
+  | Oom -> "oom"
+  | Faulted -> "faulted"
+
+let taxonomy_of_string = function
+  | "hung" -> Some Hung
+  | "crashed" -> Some Crashed
+  | "oom" -> Some Oom
+  | "faulted" -> Some Faulted
+  | _ -> None
+
+let pp_taxonomy fmt t = Format.pp_print_string fmt (taxonomy_to_string t)
+
+let classify_exn = function
+  | Smt.Cancel.Cancelled Smt.Cancel.Deadline ->
+    (Hung, "wall-clock deadline exceeded; killed by watchdog")
+  | Smt.Cancel.Cancelled Smt.Cancel.Memory ->
+    (Oom, "memory ceiling crossed; query degraded")
+  | Out_of_memory -> (Oom, "Out_of_memory")
+  | Smt.Expr.Node_limit n -> (Oom, Printf.sprintf "expr node limit (%d) reached" n)
+  | Chaos.Injected_fault p -> (Faulted, "injected fault: " ^ p)
+  | Smt.Solver.Solver_error (msg, _) -> (Crashed, "solver error: " ^ msg)
+  | e -> (Crashed, Printexc.to_string e)
+
+type policy = {
+  sp_deadline_ms : int option;
+  sp_max_retries : int;
+  sp_backoff_ms : int list;
+  sp_jitter : float;
+  sp_mem_ceiling_mb : int option;
+}
+
+let policy ?deadline_ms ?(max_retries = 2) ?(backoff_ms = [ 10; 50; 250 ])
+    ?(jitter = 0.5) ?mem_ceiling_mb () =
+  (match deadline_ms with
+  | Some d when d <= 0 -> invalid_arg "Supervise.policy: deadline must be positive"
+  | _ -> ());
+  if max_retries < 0 then invalid_arg "Supervise.policy: max_retries must be >= 0";
+  if backoff_ms = [] || List.exists (fun b -> b < 0) backoff_ms then
+    invalid_arg "Supervise.policy: backoff ladder must be non-empty and non-negative";
+  if jitter < 0.0 || jitter > 1.0 then
+    invalid_arg "Supervise.policy: jitter must be within [0, 1]";
+  (match mem_ceiling_mb with
+  | Some m when m <= 0 -> invalid_arg "Supervise.policy: mem ceiling must be positive"
+  | _ -> ());
+  { sp_deadline_ms = deadline_ms;
+    sp_max_retries = max_retries;
+    sp_backoff_ms = backoff_ms;
+    sp_jitter = jitter;
+    sp_mem_ceiling_mb = mem_ceiling_mb }
+
+type entry = { e_tok : Smt.Cancel.t; e_deadline : float option }
+
+type t = {
+  pol : policy;
+  reg : (int, entry) Hashtbl.t;
+  reg_lock : Mutex.t;
+  mutable next_id : int;
+  stop : bool Atomic.t;
+  (* bumped once per pressure event; workers shed when they lag it *)
+  pressure_gen : int Atomic.t;
+  pressure_cnt : int Atomic.t;
+  (* hysteresis: re-armed only after the heap drops below 80% of the
+     ceiling, so one sustained spike is one event, not one per tick *)
+  armed : bool Atomic.t;
+}
+
+let heap_mb () =
+  float_of_int (Gc.quick_stat ()).Gc.heap_words
+  *. float_of_int (Sys.word_size / 8)
+  /. (1024.0 *. 1024.0)
+
+let register t tok =
+  let deadline =
+    Option.map
+      (fun ms -> Smt.Mono.now () +. (float_of_int ms /. 1000.0))
+      t.pol.sp_deadline_ms
+  in
+  Mutex.protect t.reg_lock (fun () ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Hashtbl.replace t.reg id { e_tok = tok; e_deadline = deadline };
+      id)
+
+let unregister t id = Mutex.protect t.reg_lock (fun () -> Hashtbl.remove t.reg id)
+
+(* Tick at a quarter of the deadline (clamped to [0.5ms, 5ms]): the scan
+   itself is a locked iteration over a handful of entries, so ticking fast
+   is cheap and bounds the kill latency at deadline + tick << 2x deadline. *)
+let tick_interval pol =
+  match pol.sp_deadline_ms with
+  | Some ms -> Float.max 0.0005 (Float.min 0.005 (float_of_int ms /. 4000.0))
+  | None -> 0.005
+
+let monitor_loop t () =
+  let tick = tick_interval t.pol in
+  while not (Atomic.get t.stop) do
+    let now = Smt.Mono.now () in
+    Mutex.protect t.reg_lock (fun () ->
+        Hashtbl.iter
+          (fun _ e ->
+            match e.e_deadline with
+            | Some d when now >= d -> Smt.Cancel.cancel e.e_tok Smt.Cancel.Deadline
+            | _ -> ())
+          t.reg);
+    (match t.pol.sp_mem_ceiling_mb with
+    | None -> ()
+    | Some mb ->
+      let used = heap_mb () in
+      if Atomic.get t.armed then begin
+        if used >= float_of_int mb then begin
+          Atomic.set t.armed false;
+          Atomic.incr t.pressure_cnt;
+          Atomic.incr t.pressure_gen;
+          Mutex.protect t.reg_lock (fun () ->
+              Hashtbl.iter
+                (fun _ e -> Smt.Cancel.cancel e.e_tok Smt.Cancel.Memory)
+                t.reg)
+        end
+      end
+      else if used < 0.8 *. float_of_int mb then Atomic.set t.armed true);
+    Unix.sleepf tick
+  done
+
+let with_monitor pol g =
+  let t =
+    {
+      pol;
+      reg = Hashtbl.create 64;
+      reg_lock = Mutex.create ();
+      next_id = 0;
+      stop = Atomic.make false;
+      pressure_gen = Atomic.make 0;
+      pressure_cnt = Atomic.make 0;
+      armed = Atomic.make true;
+    }
+  in
+  let needs_monitor = pol.sp_deadline_ms <> None || pol.sp_mem_ceiling_mb <> None in
+  if not needs_monitor then g t
+  else begin
+    let mon = Domain.spawn (monitor_loop t) in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set t.stop true;
+        Domain.join mon)
+      (fun () -> g t)
+  end
+
+let pressure_events t = Atomic.get t.pressure_cnt
+
+(* Per-domain generation of the last shed this domain performed. *)
+let shed_gen_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let maybe_shed t =
+  let g = Atomic.get t.pressure_gen in
+  if g > Domain.DLS.get shed_gen_key then begin
+    Domain.DLS.set shed_gen_key g;
+    Smt.Solver.clear_cache ();
+    Gc.major ()
+  end
+
+let run t f =
+  maybe_shed t;
+  let tok = Smt.Cancel.create () in
+  let id = register t tok in
+  Smt.Cancel.set_current tok;
+  let finish () =
+    Smt.Cancel.clear_current ();
+    unregister t id
+  in
+  match f () with
+  | v ->
+    finish ();
+    Ok v
+  | exception e ->
+    finish ();
+    Error (classify_exn e)
+
+(* Backoff with deterministic jitter: the delay for (key, attempt) is a
+   pure function, so a resumed or re-run ladder sleeps identically —
+   nothing about retry timing perturbs report determinism. *)
+let backoff_delay_s pol ~key ~attempt =
+  let rec nth_or_last l n =
+    match l with
+    | [] -> 0 (* unreachable: policy validates non-empty *)
+    | [ last ] -> last
+    | x :: _ when n = 0 -> x
+    | _ :: rest -> nth_or_last rest (n - 1)
+  in
+  let base = float_of_int (nth_or_last pol.sp_backoff_ms attempt) in
+  let st = Random.State.make [| 0xbac0ff; key; attempt |] in
+  let u = Random.State.float st 1.0 in
+  let factor = 1.0 -. (pol.sp_jitter /. 2.0) +. (u *. pol.sp_jitter) in
+  base *. factor /. 1000.0
+
+let run_retrying t ~key f =
+  let rec go attempt =
+    match run t (fun () -> f ~attempt) with
+    | Ok v -> `Done (v, attempt)
+    | Error (tax, msg) ->
+      if attempt >= t.pol.sp_max_retries then `Quarantine (tax, msg, attempt)
+      else begin
+        let d = backoff_delay_s t.pol ~key ~attempt in
+        if d > 0.0 then Unix.sleepf d;
+        go (attempt + 1)
+      end
+  in
+  go 0

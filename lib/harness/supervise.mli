@@ -1,0 +1,92 @@
+(** Watchdog supervision for pool tasks: preemptive deadlines, retry with
+    backoff, failure taxonomy, and a memory-pressure guard.
+
+    The solver's budgets are cooperative — enforced only at CDCL
+    checkpoints — so a pathological bit-blast or a hung chaos task can
+    stall a worker domain forever.  Supervision closes the gap: a
+    dedicated {e monitor domain} watches every in-flight task's
+    {!Smt.Cancel} token and cancels it preemptively when its wall-clock
+    deadline passes or the process crosses a memory ceiling.  The task
+    aborts at its next poll site (bit-blast memo miss, interning, interval
+    pass, CDCL loop), is classified by {!taxonomy}, and may be retried on
+    an exponential-backoff ladder before the caller quarantines it.
+
+    The monitor ticks at a quarter of the deadline (clamped), so a hung
+    task is cancelled well within 2x the configured deadline; how fast it
+    actually dies then depends only on poll-site density, which the chaos
+    [Hang] fault exercises end to end. *)
+
+type taxonomy =
+  | Hung  (** overran its wall-clock deadline; watchdog killed it *)
+  | Crashed  (** raised an unexpected exception *)
+  | Oom  (** memory ceiling, [Out_of_memory], or the Expr node limit *)
+  | Faulted  (** a {!Chaos} injected fault *)
+
+val taxonomy_to_string : taxonomy -> string
+(** Lower-case stable names ([hung]/[crashed]/[oom]/[faulted]) — the
+    checkpoint-v3 wire form. *)
+
+val taxonomy_of_string : string -> taxonomy option
+
+val pp_taxonomy : Format.formatter -> taxonomy -> unit
+
+val classify_exn : exn -> taxonomy * string
+(** Map an escaped task exception to its taxonomy and a one-line summary.
+    Total: unrecognized exceptions classify as [Crashed]. *)
+
+type policy = {
+  sp_deadline_ms : int option;  (** per-attempt wall-clock deadline *)
+  sp_max_retries : int;  (** strikes after the first attempt; 0 = one try *)
+  sp_backoff_ms : int list;
+      (** backoff ladder, one entry per retry; the last entry repeats *)
+  sp_jitter : float;  (** +/- fraction of the backoff step, in [[0, 1]] *)
+  sp_mem_ceiling_mb : int option;
+      (** major-heap ceiling; crossing it sheds caches and degrades
+          in-flight queries *)
+}
+
+val policy :
+  ?deadline_ms:int ->
+  ?max_retries:int ->
+  ?backoff_ms:int list ->
+  ?jitter:float ->
+  ?mem_ceiling_mb:int ->
+  unit ->
+  policy
+(** Defaults: no deadline, no memory ceiling, 2 retries, ladder
+    [[10; 50; 250]] ms, jitter [0.5].
+    @raise Invalid_argument on a negative deadline/retry count/ladder
+    step or a jitter outside [[0, 1]]. *)
+
+type t
+(** A running monitor (or a passive handle when the policy needs none). *)
+
+val with_monitor : policy -> (t -> 'a) -> 'a
+(** Run a thunk with a monitor domain alive (spawned only if the policy
+    has a deadline or memory ceiling; a passive handle otherwise).  The
+    monitor is always joined before returning, even on exceptions. *)
+
+val run : t -> (unit -> 'a) -> ('a, taxonomy * string) result
+(** One supervised attempt: install a fresh {!Smt.Cancel} token for the
+    thunk's dynamic extent, register it with the monitor, and classify
+    any escape.  A task that completes despite a late cancellation still
+    returns [Ok].  Runs the memory-pressure shed first if one is due on
+    this domain. *)
+
+val run_retrying :
+  t ->
+  key:int ->
+  (attempt:int -> 'a) ->
+  [ `Done of 'a * int | `Quarantine of taxonomy * string * int ]
+(** The full retry ladder: attempt 0, then up to [sp_max_retries] further
+    attempts separated by backoff sleeps with deterministic jitter seeded
+    from [(key, attempt)] — [key] should identify the unit of work (e.g.
+    the pair index) so reruns jitter identically.  The [int] in both arms
+    is the number of retries consumed (0 = first attempt sufficed).
+    [`Quarantine] carries the {e last} attempt's classification. *)
+
+val pressure_events : t -> int
+(** Memory-pressure events the monitor has fired so far. *)
+
+val heap_mb : unit -> float
+(** Current major-heap size in MiB, as the monitor samples it. *)

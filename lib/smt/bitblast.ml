@@ -140,6 +140,10 @@ let rec blast_bv ctx (e : Expr.bv) =
   match Hashtbl.find_opt ctx.bv_memo e.id with
   | Some bits -> bits
   | None ->
+    (* Poll on every memo miss: a pathological blast (wide multiplies,
+       deep shifter chains) generates gates far from any CDCL budget
+       checkpoint, and this is where a watchdog deadline must land. *)
+    Cancel.poll ();
     let bits =
       match e.node with
       | Expr.Const c -> bits_of_const ctx e.width c
@@ -219,6 +223,7 @@ and blast_bool ctx (b : Expr.boolean) =
   match Hashtbl.find_opt ctx.bool_memo b.bid with
   | Some l -> l
   | None ->
+    Cancel.poll ();
     let l =
       match b.bnode with
       | Expr.True -> ctx.tru

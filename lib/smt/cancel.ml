@@ -1,0 +1,26 @@
+type reason = Deadline | Memory
+
+exception Cancelled of reason
+
+type t = { flag : reason option Atomic.t }
+
+let create () = { flag = Atomic.make None }
+
+let cancel t r =
+  (* First reason wins: a task killed for its deadline stays Hung even if a
+     memory sweep cancels every live token a tick later. *)
+  ignore (Atomic.compare_and_set t.flag None (Some r))
+
+let is_cancelled t = Atomic.get t.flag <> None
+let reason t = Atomic.get t.flag
+
+let check t =
+  match Atomic.get t.flag with None -> () | Some r -> raise (Cancelled r)
+
+let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let set_current t = Domain.DLS.set key (Some t)
+let clear_current () = Domain.DLS.set key None
+let current () = Domain.DLS.get key
+
+let poll () =
+  match Domain.DLS.get key with None -> () | Some t -> check t

@@ -1,0 +1,52 @@
+(** Preemptive cancellation tokens.
+
+    Budgets ({!Sat.solve}'s conflict/decision/deadline limits) are
+    {e cooperative}: they are only checked inside the CDCL loop.  A
+    pathological bit-blast, an interning storm, or a hung agent step never
+    reaches a budget checkpoint and can stall a worker domain forever.
+    Cancellation tokens close that gap: a supervisor (another domain) flips
+    an atomic flag, and the hot paths outside the CDCL loop — {!Bitblast}
+    memo misses, {!Expr} interning, {!Interval} passes, {!Session} solves —
+    poll it and abort promptly by raising {!Cancelled}.
+
+    A token is installed for the current domain's dynamic extent with
+    {!set_current}; {!poll} is then a cheap no-op everywhere a token is not
+    installed, so code outside a supervised task pays two loads and no
+    branch misprediction in the common case. *)
+
+type reason =
+  | Deadline  (** the task overran its wall-clock deadline *)
+  | Memory  (** the process crossed the memory ceiling; shed and degrade *)
+
+exception Cancelled of reason
+(** Raised from a poll site once the token has been cancelled.  Supervised
+    tasks translate it into a failure-taxonomy tag; it must not escape a
+    supervision scope. *)
+
+type t
+(** A cancellation token: one atomic flag, written once by the supervisor,
+    read by every poll site. *)
+
+val create : unit -> t
+
+val cancel : t -> reason -> unit
+(** Request cancellation.  The first reason wins; later calls are no-ops,
+    so a deadline kill is not re-labelled by a concurrent memory kill. *)
+
+val is_cancelled : t -> bool
+
+val reason : t -> reason option
+
+val check : t -> unit
+(** Raise {!Cancelled} if [t] has been cancelled, else return. *)
+
+val set_current : t -> unit
+(** Install [t] as the current domain's token for subsequent {!poll}s. *)
+
+val clear_current : unit -> unit
+
+val current : unit -> t option
+(** The token installed on the calling domain, if any. *)
+
+val poll : unit -> unit
+(** [check] the current domain's token; no-op when none is installed. *)

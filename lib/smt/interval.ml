@@ -207,7 +207,10 @@ let check conds =
   let t = create () in
   let rec go = function
     | [] -> Unknown
-    | c :: rest -> ( match add t c with Unsat -> Unsat | Unknown -> go rest)
+    | c :: rest ->
+      (* per-condition poll: long condition lists are a pre-SAT hot path *)
+      Cancel.poll ();
+      (match add t c with Unsat -> Unsat | Unknown -> go rest)
   in
   go conds
 

@@ -59,6 +59,7 @@ let create base =
    before blasting, hook fired between anchoring and search — so budget
    accounting and fault delivery match scratch mode. *)
 let core t budget conds =
+  Cancel.poll ();
   let st = Solver.stats () in
   let sat = t.bctx.Bitblast.sat in
   let t0 = Mono.now () in

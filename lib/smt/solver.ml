@@ -72,6 +72,7 @@ type stats = {
   mutable assumption_solves : int;
   mutable scratch_fallbacks : int;
   mutable learnt_retained : int;
+  mutable expr_nodes : int;
 }
 
 let fresh_stats () = {
@@ -91,6 +92,7 @@ let fresh_stats () = {
   assumption_solves = 0;
   scratch_fallbacks = 0;
   learnt_retained = 0;
+  expr_nodes = 0;
 }
 
 (* --- the per-domain context ------------------------------------------ *)
@@ -149,7 +151,15 @@ let reset_stats () =
   s.sessions_opened <- 0;
   s.assumption_solves <- 0;
   s.scratch_fallbacks <- 0;
-  s.learnt_retained <- 0
+  s.learnt_retained <- 0;
+  s.expr_nodes <- 0
+
+(* [expr_nodes] is a gauge over a single global table, not a per-domain
+   counter: capture reads the current table size, merge takes the max so
+   folding several workers' snapshots never double-counts shared nodes. *)
+let capture_expr_stats () =
+  let s = stats () in
+  s.expr_nodes <- Expr.live_nodes ()
 
 let merge_stats ~into:dst (src : stats) =
   dst.queries <- dst.queries + src.queries;
@@ -167,7 +177,8 @@ let merge_stats ~into:dst (src : stats) =
   dst.sessions_opened <- dst.sessions_opened + src.sessions_opened;
   dst.assumption_solves <- dst.assumption_solves + src.assumption_solves;
   dst.scratch_fallbacks <- dst.scratch_fallbacks + src.scratch_fallbacks;
-  dst.learnt_retained <- dst.learnt_retained + src.learnt_retained
+  dst.learnt_retained <- dst.learnt_retained + src.learnt_retained;
+  dst.expr_nodes <- max dst.expr_nodes src.expr_nodes
 
 (* --- memo cache ------------------------------------------------------- *)
 
@@ -374,12 +385,13 @@ let entails ?budget pc c =
   | Sat _ | Unknown _ -> false
 
 let pp_stats fmt () =
+  capture_expr_stats ();
   let s = stats () in
   Format.fprintf fmt
-    "queries=%d const=%d interval=%d cache=%d sat_calls=%d (sat=%d unsat=%d unknown=%d) evictions=%d time=%.3fs"
+    "queries=%d const=%d interval=%d cache=%d sat_calls=%d (sat=%d unsat=%d unknown=%d) evictions=%d time=%.3fs expr_nodes=%d"
     s.queries s.const_hits s.interval_hits s.cache_hits s.sat_calls
     s.sat_results s.unsat_results s.unknown_results s.cache_evictions
-    s.solver_time;
+    s.solver_time s.expr_nodes;
   if s.proofs_checked > 0 then
     Format.fprintf fmt " proofs=%d/%d"
       (s.proofs_checked - s.proofs_failed)

@@ -124,6 +124,9 @@ type stats = {
   mutable learnt_retained : int;
       (** learnt clauses already in a session's database when an
           assumption solve started — the reuse incrementality buys *)
+  mutable expr_nodes : int;
+      (** gauge: total nodes in the global {!Expr} hash-cons tables at the
+          last {!capture_expr_stats}; merged with [max], not [+] *)
 }
 
 val stats : unit -> stats
@@ -134,10 +137,17 @@ val stats : unit -> stats
 val reset_stats : unit -> unit
 
 val merge_stats : into:stats -> stats -> unit
-(** [merge_stats ~into src] adds every counter of [src] into [into].
+(** [merge_stats ~into src] adds every counter of [src] into [into] —
+    except [expr_nodes], a gauge over one global table, which merges with
+    [max] so folding several workers never double-counts shared nodes.
     Parallel drivers use it to fold worker-domain counters into the
     parent's record after the workers have quiesced; it performs no
     synchronization of its own. *)
+
+val capture_expr_stats : unit -> unit
+(** Record the current global {!Expr} hash-cons table size into the
+    calling domain's [expr_nodes] gauge.  Called automatically by
+    {!pp_stats} and by the crosscheck pool's worker-exit hook. *)
 
 (** {1 Memo cache} *)
 

@@ -31,6 +31,7 @@ open Smt
 module Trace = Openflow.Trace
 module Chaos = Harness.Chaos
 module Pool = Harness.Pool
+module Supervise = Harness.Supervise
 
 type inconsistency = {
   i_result_a : Trace.result;
@@ -56,6 +57,14 @@ type outcome = {
      rather than an honest Unknown; they are counted in
      [o_pairs_undecided] too, and left out of checkpoints so a resumed
      run retries them *)
+  o_pairs_quarantined : (string * string * Supervise.taxonomy) list;
+  (* pairs the supervision layer gave up on after the full retry ladder,
+     with the last strike's failure taxonomy.  Counted in
+     [o_pairs_undecided] too, and — unlike transient faults — persisted
+     in the checkpoint, so a resume skips known-poison pairs instead of
+     re-dying on them *)
+  o_retries : int;
+  (* supervised attempts beyond each pair's first, summed over the run *)
   o_check_time : float; (* seconds in the intersection stage (Table 3) *)
 }
 
@@ -141,6 +150,9 @@ type pair_outcome =
   | P_clean
   | P_undecided
   | P_inc of (Expr.var * int64) list (* witness bindings *)
+  | P_quarantined of Supervise.taxonomy
+      (* supervision exhausted the retry ladder on this pair; a resume
+         skips it instead of re-dying on it *)
 
 (* The checkpoint ties itself to the exact grouped inputs via a digest of
    the group keys, so resuming against different runs is refused instead of
@@ -156,23 +168,31 @@ let write_checkpoint path ~test ~agent_a ~agent_b ~fp (decided : (int * int, pai
      letting the reader detect truncation and bit flips — not just the
      malformed lines the parser happens to notice *)
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "soft-checkpoint 2\n";
+  Buffer.add_string buf "soft-checkpoint 3\n";
   Printf.bprintf buf "test %s\n" test;
   Printf.bprintf buf "agent-a %s\n" agent_a;
   Printf.bprintf buf "agent-b %s\n" agent_b;
   Printf.bprintf buf "fingerprint %s\n" fp;
-  Hashtbl.iter
-    (fun (i, j) outcome ->
+  (* records are emitted sorted by (i, j), not in hash order: the file for
+     a given decided-set is then one exact byte string — identical across
+     [-j N], across write/read/rewrite round trips, and across resumes *)
+  let records =
+    List.sort compare (Hashtbl.fold (fun ij o acc -> (ij, o) :: acc) decided [])
+  in
+  List.iter
+    (fun ((i, j), outcome) ->
       match outcome with
       | P_clean -> Printf.bprintf buf "d %d %d\n" i j
       | P_undecided -> Printf.bprintf buf "u %d %d\n" i j
+      | P_quarantined tax ->
+        Printf.bprintf buf "q %d %d %s\n" i j (Supervise.taxonomy_to_string tax)
       | P_inc bindings ->
         Printf.bprintf buf "i %d %d\n" i j;
         List.iter
           (fun (v, value) ->
             Printf.bprintf buf "w %d %Lx |%s|\n" (Expr.var_width v) value (Expr.var_name v))
           bindings)
-    decided;
+    records;
   let body = Buffer.contents buf in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
@@ -238,8 +258,11 @@ let read_checkpoint path ~test ~agent_a ~agent_b ~fp ~on_warning =
           | Some l -> fail (Printf.sprintf "expected '%s %s', got '%s'" key expected l)
           | None -> fail "truncated header"
         in
+        (* v2 is read transparently: same body grammar minus quarantine
+           lines, so a v2 resume simply starts with an empty quarantine.
+           The next snapshot is written as v3. *)
         (match line () with
-         | Some "soft-checkpoint 2" -> ()
+         | Some "soft-checkpoint 2" | Some "soft-checkpoint 3" -> ()
          | _ -> fail "bad magic");
         expect_kv "test" test;
         expect_kv "agent-a" agent_a;
@@ -292,6 +315,20 @@ let read_checkpoint path ~test ~agent_a ~agent_b ~fp ~on_warning =
             flush ();
             Hashtbl.replace decided (parse_ij l) P_undecided;
             go ()
+          | Some l when String.length l >= 2 && l.[0] = 'q' && l.[1] = ' ' ->
+            flush ();
+            (match String.split_on_char ' ' l with
+             | [ _; i; j; tax ] -> (
+               match
+                 ( int_of_string_opt i,
+                   int_of_string_opt j,
+                   Supervise.taxonomy_of_string tax )
+               with
+               | Some i, Some j, Some tax ->
+                 Hashtbl.replace decided (i, j) (P_quarantined tax)
+               | _ -> fail ("bad quarantine line: " ^ l))
+             | _ -> fail ("bad quarantine line: " ^ l));
+            go ()
           | Some l when String.length l >= 2 && l.[0] = 'i' && l.[1] = ' ' ->
             flush ();
             cur_inc := Some (parse_ij l, []);
@@ -312,6 +349,15 @@ let read_checkpoint path ~test ~agent_a ~agent_b ~fp ~on_warning =
 
 let default_warning msg = Printf.eprintf "soft: warning: %s\n%!" msg
 
+(* What one pair's solve attempt chain ultimately produced.  [F_fault] is
+   the unsupervised transient degradation (not checkpointed; a resume
+   retries the pair); [F_quarantine] is supervision's terminal strike-out
+   (checkpointed; a resume skips the pair). *)
+type pair_fate =
+  | F_ok of pair_verdict
+  | F_fault
+  | F_quarantine of Supervise.taxonomy * string
+
 (* Hooks carrying the caller's solver context across a {!Pool.run}: each
    fresh worker domain starts with a default [Solver] context, so
    [worker_init] replays the caller's config (budget, certify regime,
@@ -324,13 +370,17 @@ let solver_pool_hooks () =
   let merge_lock = Mutex.create () in
   let worker_init () = Solver.apply_config cfg in
   let worker_exit () =
+    (* snapshot the global hash-cons gauge before folding: merge takes the
+       max, so the caller's record ends up with the largest table size any
+       worker observed — interning growth stays visible at any [-j N] *)
+    Solver.capture_expr_stats ();
     let mine = Solver.stats () in
     Mutex.protect merge_lock (fun () -> Solver.merge_stats ~into:caller_stats mine)
   in
   (worker_init, worker_exit)
 
 let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(jobs = 1)
-    ?(incremental = true) ?(on_found = fun (_ : inconsistency) -> ())
+    ?(incremental = true) ?supervise ?(on_found = fun (_ : inconsistency) -> ())
     ?(on_warning = default_warning) (a : Grouping.grouped) (b : Grouping.grouped) =
   if a.Grouping.gr_test <> b.Grouping.gr_test then
     invalid_arg "Crosscheck.check: runs of different tests";
@@ -394,17 +444,29 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
      writes — happens in [record_pair], which {!Pool.run} runs serialized
      on this domain (via [on_result]): the single checkpoint writer
      survives parallelism. *)
-  let record_pair (i, j) verdict =
-    (match verdict with
-     | None ->
+  let retries_total = ref 0 in
+  let record_pair (i, j) (fate, retries) =
+    retries_total := !retries_total + retries;
+    (match fate with
+     | F_fault ->
        (* degraded to undecided, and *not* checkpointed: a resumed run
           retries the pair — the fault was transient, an Unknown was
           earned *)
        incr pair_faults;
        Hashtbl.replace faulted (i, j) ()
-     | Some Pair_unsat -> Hashtbl.replace decided (i, j) P_clean
-     | Some Pair_undecided -> Hashtbl.replace decided (i, j) P_undecided
-     | Some (Pair_sat witness) ->
+     | F_quarantine (tax, msg) ->
+       on_warning
+         (Printf.sprintf "pair (%s, %s) quarantined [%s] after %d retr%s: %s"
+            groups_a.(i).Grouping.g_key
+            groups_b.(j).Grouping.g_key
+            (Supervise.taxonomy_to_string tax)
+            retries
+            (if retries = 1 then "y" else "ies")
+            msg);
+       Hashtbl.replace decided (i, j) (P_quarantined tax)
+     | F_ok Pair_unsat -> Hashtbl.replace decided (i, j) P_clean
+     | F_ok Pair_undecided -> Hashtbl.replace decided (i, j) P_undecided
+     | F_ok (Pair_sat witness) ->
        Hashtbl.replace decided (i, j) (P_inc (Model.bindings witness));
        (* under [-j N], [on_found] fires in completion order; the outcome's
           inconsistency list below is ordered deterministically anyway *)
@@ -421,6 +483,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
   let guard_pair f = try Some (Chaos.with_solver_faults f) with
     | Solver.Solver_error _ | Chaos.Injected_fault _ -> None
   in
+  let pair_key (i, j) = (i * Array.length groups_b) + j in
   let worker_init, worker_exit = solver_pool_hooks () in
   (* The incremental path covers the default monolithic-first-attempt
      shape.  An explicit [?split] chunks queries from the start (no shared
@@ -428,62 +491,144 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
      query fall back to scratch anyway (see {!Smt.Session.check}) — both
      use the plain per-pair path. *)
   let use_incremental = incremental && split = None && not (Solver.certify_enabled ()) in
-  if use_incremental then begin
-    (* Row-major incremental solving: one pool task per row [i] of the
-       pair matrix, one {!Smt.Session} per task, so C_A(i) is blasted once
-       and its learnt clauses serve every fresh j in the row.  Rows (and
-       the js inside each) stay ascending, so at [-j 1] the sequence of
-       solves and records is exactly the per-pair loop's. *)
-    let rows =
-      let acc = ref [] in
-      Array.iter
-        (fun (i, j) ->
-          match !acc with
-          | (i', js) :: rest when i' = i -> acc := (i', j :: js) :: rest
-          | _ -> acc := (i, [ j ]) :: !acc)
-        work;
-      Array.of_list (List.rev_map (fun (i, js) -> (i, List.rev js)) !acc)
+  (* Pass 2 proper, parameterized by the supervision handle.  Without one
+     ([sup = None]) every solve is byte-for-byte the unsupervised code
+     path; with one, each pair attempt runs under a watchdog token and the
+     retry/backoff/quarantine ladder.  Pool tasks never fail fast either
+     way: a task that dies outside any supervised attempt costs its own
+     pairs (quarantined under supervision, transiently faulted without),
+     never the run. *)
+  let run_pass2 sup =
+    let record_task_crash pairs e =
+      let tax, msg = Supervise.classify_exn e in
+      on_warning
+        (Printf.sprintf "worker task died (%s): %s"
+           (Supervise.taxonomy_to_string tax) msg);
+      List.iter
+        (fun ij ->
+          match sup with
+          | Some _ -> record_pair ij (F_quarantine (tax, msg), 0)
+          | None -> record_pair ij (F_fault, 0))
+        pairs
     in
-    let solve_row (i, js) =
-      let ga = groups_a.(i) in
-      let session = Session.create [ ga.Grouping.g_cond ] in
-      List.map
-        (fun j ->
+    if use_incremental then begin
+      (* Row-major incremental solving: one pool task per row [i] of the
+         pair matrix, one {!Smt.Session} per task, so C_A(i) is blasted once
+         and its learnt clauses serve every fresh j in the row.  Rows (and
+         the js inside each) stay ascending, so at [-j 1] the sequence of
+         solves and records is exactly the per-pair loop's. *)
+      let rows =
+        let acc = ref [] in
+        Array.iter
+          (fun (i, j) ->
+            match !acc with
+            | (i', js) :: rest when i' = i -> acc := (i', j :: js) :: rest
+            | _ -> acc := (i, [ j ]) :: !acc)
+          work;
+        Array.of_list (List.rev_map (fun (i, js) -> (i, List.rev js)) !acc)
+      in
+      let solve_row (i, js) =
+        let ga = groups_a.(i) in
+        let in_session session j =
           let gb = groups_b.(j) in
-          let verdict =
-            guard_pair (fun () ->
-                match Session.check ?budget session [ ga.Grouping.g_cond; gb.Grouping.g_cond ] with
-                | Solver.Sat witness -> Pair_sat witness
-                | Solver.Unsat -> Pair_unsat
-                | Solver.Unknown _ ->
-                  (* budget bit inside the session: retry the pair from
-                     scratch, down the whole chunk-split ladder *)
-                  let st = Solver.stats () in
-                  st.Solver.scratch_fallbacks <- st.Solver.scratch_fallbacks + 1;
-                  sat_pair ?budget ?retry ga gb)
+          match Session.check ?budget session [ ga.Grouping.g_cond; gb.Grouping.g_cond ] with
+          | Solver.Sat witness -> Pair_sat witness
+          | Solver.Unsat -> Pair_unsat
+          | Solver.Unknown _ ->
+            (* budget bit inside the session: retry the pair from
+               scratch, down the whole chunk-split ladder *)
+            let st = Solver.stats () in
+            st.Solver.scratch_fallbacks <- st.Solver.scratch_fallbacks + 1;
+            sat_pair ?budget ?retry ga gb
+        in
+        match sup with
+        | None ->
+          let session = Session.create [ ga.Grouping.g_cond ] in
+          List.map
+            (fun j ->
+              let fate =
+                match guard_pair (fun () -> in_session session j) with
+                | Some v -> F_ok v
+                | None -> F_fault
+              in
+              ((i, j), (fate, 0)))
+            js
+        | Some sup ->
+          (* the row's base blast gets its own supervised attempt: if the
+             watchdog kills it, the whole row falls back to per-pair
+             scratch attempts instead of dying *)
+          let session =
+            match Supervise.run sup (fun () -> Session.create [ ga.Grouping.g_cond ]) with
+            | Ok s -> Some s
+            | Error _ -> None
           in
-          ((i, j), verdict))
-        js
-    in
-    ignore
-      (Pool.run ~worker_init ~worker_exit
-         ~on_result:(fun _ row -> List.iter (fun (ij, v) -> record_pair ij v) row)
-         ~jobs solve_row rows)
-  end
-  else begin
-    let solve (i, j) =
-      guard_pair (fun () -> sat_pair ?split ?budget ?retry groups_a.(i) groups_b.(j))
-    in
-    ignore
-      (Pool.run ~worker_init ~worker_exit
-         ~on_result:(fun k verdict -> record_pair work.(k) verdict)
-         ~jobs solve work)
-  end;
+          List.map
+            (fun j ->
+              let gb = groups_b.(j) in
+              let solve_attempt ~attempt =
+                Chaos.with_solver_faults (fun () ->
+                    match session with
+                    | Some s when attempt = 0 -> in_session s j
+                    | _ ->
+                      (* retries abandon the session: a killed in-session
+                         attempt may have left half-blasted (inactive,
+                         harmless) clauses behind, and a scratch rerun
+                         isolates the retry from them entirely *)
+                      sat_pair ?budget ?retry ga gb)
+              in
+              match Supervise.run_retrying sup ~key:(pair_key (i, j)) solve_attempt with
+              | `Done (v, retries) -> ((i, j), (F_ok v, retries))
+              | `Quarantine (tax, msg, retries) ->
+                ((i, j), (F_quarantine (tax, msg), retries)))
+            js
+      in
+      ignore
+        (Pool.run ~worker_init ~worker_exit
+           ~on_result:(fun k -> function
+             | Ok row -> List.iter (fun (ij, fr) -> record_pair ij fr) row
+             | Error (e, _) ->
+               let i, js = rows.(k) in
+               record_task_crash (List.map (fun j -> (i, j)) js) e)
+           ~jobs solve_row rows)
+    end
+    else begin
+      let solve (i, j) =
+        match sup with
+        | None ->
+          let fate =
+            match
+              guard_pair (fun () -> sat_pair ?split ?budget ?retry groups_a.(i) groups_b.(j))
+            with
+            | Some v -> F_ok v
+            | None -> F_fault
+          in
+          (fate, 0)
+        | Some sup -> (
+          match
+            Supervise.run_retrying sup ~key:(pair_key (i, j)) (fun ~attempt:_ ->
+                Chaos.with_solver_faults (fun () ->
+                    sat_pair ?split ?budget ?retry groups_a.(i) groups_b.(j)))
+          with
+          | `Done (v, retries) -> (F_ok v, retries)
+          | `Quarantine (tax, msg, retries) -> (F_quarantine (tax, msg), retries))
+      in
+      ignore
+        (Pool.run ~worker_init ~worker_exit
+           ~on_result:(fun k -> function
+             | Ok fr -> record_pair work.(k) fr
+             | Error (e, _) -> record_task_crash [ work.(k) ] e)
+           ~jobs solve work)
+    end
+  in
+  (match supervise with
+   | None -> run_pass2 None
+   | Some pol -> Supervise.with_monitor pol (fun sup -> run_pass2 (Some sup)));
   (* Pass 3 — emit, row-major again: the reported lists depend only on the
      per-pair verdicts, never on completion order, so the report is
      identical whatever [jobs] was. *)
   let found = ref [] in
   let undecided = ref [] in
+  let quarantined = ref [] in
   Array.iteri
     (fun i (ga : Grouping.group) ->
       Array.iteri
@@ -496,6 +641,9 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
               | Some P_clean -> ()
               | Some P_undecided ->
                 undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided
+              | Some (P_quarantined tax) ->
+                undecided := (ga.Grouping.g_key, gb.Grouping.g_key) :: !undecided;
+                quarantined := (ga.Grouping.g_key, gb.Grouping.g_key, tax) :: !quarantined
               | Some (P_inc bindings) ->
                 found := mk_inc ga gb (Model.of_bindings bindings) :: !found
               | None -> assert false)
@@ -511,6 +659,8 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
     o_pairs_equal = !pairs_equal;
     o_pairs_undecided = List.rev !undecided;
     o_pair_faults = !pair_faults;
+    o_pairs_quarantined = List.rev !quarantined;
+    o_retries = !retries_total;
     o_check_time = Mono.elapsed t0;
   }
 
@@ -518,11 +668,16 @@ let count o = List.length o.o_inconsistencies
 
 let undecided_count o = List.length o.o_pairs_undecided
 
+let quarantined_count o = List.length o.o_pairs_quarantined
+
 let pp fmt o =
   Format.fprintf fmt
-    "@[<v>%s vs %s on %s: %d inconsistencies (%d pairs checked, %d undecided%s, %.2fs)@ "
+    "@[<v>%s vs %s on %s: %d inconsistencies (%d pairs checked, %d undecided%s%s, %.2fs)@ "
     o.o_agent_a o.o_agent_b o.o_test (count o) o.o_pairs_checked (undecided_count o)
     (if o.o_pair_faults > 0 then Printf.sprintf " of which %d faulted" o.o_pair_faults else "")
+    (if o.o_pairs_quarantined <> [] then
+       Printf.sprintf " of which %d quarantined" (quarantined_count o)
+     else "")
     o.o_check_time;
   List.iteri
     (fun i inc ->
@@ -536,9 +691,17 @@ let pp fmt o =
               (fun (v, value) -> Printf.sprintf "%s=0x%Lx" (Expr.var_name v) value)
               (Model.bindings inc.i_witness))))
     o.o_inconsistencies;
+  (* quarantined pairs are in [o_pairs_undecided] too; list them only in
+     their own, taxonomy-tagged section *)
+  let qkeys = List.map (fun (ka, kb, _) -> (ka, kb)) o.o_pairs_quarantined in
   List.iteri
     (fun i (ka, kb) ->
       Format.fprintf fmt "--- undecided %d (budget exhausted) ---@ %s:@   %s@ %s:@   %s@ " i
         o.o_agent_a ka o.o_agent_b kb)
-    o.o_pairs_undecided;
+    (List.filter (fun p -> not (List.mem p qkeys)) o.o_pairs_undecided);
+  List.iteri
+    (fun i (ka, kb, tax) ->
+      Format.fprintf fmt "--- quarantined %d (%s) ---@ %s:@   %s@ %s:@   %s@ " i
+        (Supervise.taxonomy_to_string tax) o.o_agent_a ka o.o_agent_b kb)
+    o.o_pairs_quarantined;
   Format.fprintf fmt "@]"

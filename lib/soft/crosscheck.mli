@@ -33,6 +33,13 @@ type outcome = {
           injected {!Harness.Chaos.Injected_fault}) rather than an honest
           [Unknown]; counted in [o_pairs_undecided] too, and left out of
           checkpoints so a resumed run retries them *)
+  o_pairs_quarantined : (string * string * Harness.Supervise.taxonomy) list;
+      (** pairs supervision struck out after the full retry ladder, tagged
+          with the last failure's taxonomy; counted in [o_pairs_undecided]
+          too, and — unlike transient faults — persisted in the checkpoint
+          so a resume skips known-poison pairs *)
+  o_retries : int;
+      (** supervised attempts beyond each pair's first, summed *)
   o_check_time : float;  (** seconds in the intersection stage (Table 3) *)
 }
 
@@ -90,6 +97,7 @@ val check :
   ?resume:string ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?supervise:Harness.Supervise.policy ->
   ?on_found:(inconsistency -> unit) ->
   ?on_warning:(string -> unit) ->
   Grouping.grouped ->
@@ -138,8 +146,18 @@ val check :
     forces the scratch path (chunked queries share no row conjunct; an
     assumption-failure Unsat has no replayable DRUP proof).
 
+    [supervise]: run every pair solve under a {!Harness.Supervise} watchdog
+    — per-attempt wall-clock deadlines enforced preemptively by a monitor
+    domain, a memory-pressure guard, and the retry/backoff ladder.  A pair
+    that strikes out is {e quarantined}: recorded undecided with a failure
+    taxonomy, checkpointed (format v3) so a resume skips it, and reported
+    in [o_pairs_quarantined].  Without supervision (the default) behaviour
+    is exactly the pre-supervision code path.  With supervision enabled
+    but no deadline tripping, reports remain byte-identical to
+    unsupervised runs at any [jobs].
+
     [on_warning] (default: print to stderr) receives degradation notices
-    such as a corrupt resume file.
+    such as a corrupt resume file or a quarantined pair.
 
     @raise Invalid_argument if the two runs are of different tests, or if
     [jobs < 1]. *)
@@ -149,5 +167,9 @@ val count : outcome -> int
 val undecided_count : outcome -> int
 (** Number of pairs the run gave up on; nonzero means the inconsistency
     list is a lower bound, not a verdict. *)
+
+val quarantined_count : outcome -> int
+(** Number of pairs the supervision layer quarantined (a subset of
+    {!undecided_count}). *)
 
 val pp : Format.formatter -> outcome -> unit

@@ -24,13 +24,13 @@ type comparison = {
      cannot produce it (it has runs, not agents to re-execute) *)
 }
 
-let compare_runs ?split ?budget ?checkpoint ?resume ?jobs ?incremental ?on_warning spec run_a
-    run_b =
+let compare_runs ?split ?budget ?checkpoint ?resume ?jobs ?incremental ?supervise ?on_warning
+    spec run_a run_b =
   let grouped_a = Grouping.of_run run_a in
   let grouped_b = Grouping.of_run run_b in
   let outcome =
-    Crosscheck.check ?split ?budget ?checkpoint ?resume ?jobs ?incremental ?on_warning
-      grouped_a grouped_b
+    Crosscheck.check ?split ?budget ?checkpoint ?resume ?jobs ?incremental ?supervise
+      ?on_warning grouped_a grouped_b
   in
   {
     c_test = spec;
@@ -50,9 +50,10 @@ let concurrent_pair ~jobs fa fb =
   if jobs <= 1 then None
   else begin
     let worker_init, worker_exit = Crosscheck.solver_pool_hooks () in
-    let wrap f () = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+    (* the pool's per-task outcomes are exactly the Ok/Error shape wanted
+       here: each agent's failure stays its own, delivered in task order *)
     let rs =
-      Harness.Pool.run ~worker_init ~worker_exit ~jobs:2 (fun f -> f ()) [| wrap fa; wrap fb |]
+      Harness.Pool.run ~worker_init ~worker_exit ~jobs:2 (fun f -> f ()) [| fa; fb |]
     in
     Some (rs.(0), rs.(1))
   end
@@ -62,7 +63,7 @@ let reraise_or = function
   | Error (e, bt) -> Printexc.raise_with_backtrace e bt
 
 let compare_agents ?max_paths ?strategy ?deadline_ms ?solver_budget ?split ?(jobs = 1)
-    ?incremental ?(validate = false) agent_a agent_b (spec : Test_spec.t) =
+    ?incremental ?supervise ?(validate = false) agent_a agent_b (spec : Test_spec.t) =
   let exec agent () =
     Runner.execute ?max_paths ?strategy ?deadline_ms ?solver_budget agent spec
   in
@@ -76,7 +77,9 @@ let compare_agents ?max_paths ?strategy ?deadline_ms ?solver_budget ?split ?(job
       let a = reraise_or ra in
       (a, reraise_or rb)
   in
-  let c = compare_runs ?split ?budget:solver_budget ~jobs ?incremental spec run_a run_b in
+  let c =
+    compare_runs ?split ?budget:solver_budget ~jobs ?incremental ?supervise spec run_a run_b
+  in
   if not validate then c
   else
     {
@@ -94,7 +97,7 @@ type suite_result = {
 }
 
 let compare_suite ?max_paths ?strategy ?deadline_ms ?solver_budget ?split ?(jobs = 1)
-    ?incremental ?(validate = false) agent_a agent_b specs =
+    ?incremental ?supervise ?(validate = false) agent_a agent_b specs =
   let comparisons = ref [] in
   let failures = ref [] in
   List.iter
@@ -121,7 +124,10 @@ let compare_suite ?max_paths ?strategy ?deadline_ms ?solver_budget ?split ?(jobs
       match runs with
       | Error f -> failures := f :: !failures
       | Ok (run_a, run_b) ->
-        let c = compare_runs ?split ?budget:solver_budget ~jobs ?incremental spec run_a run_b in
+        let c =
+          compare_runs ?split ?budget:solver_budget ~jobs ?incremental ?supervise spec run_a
+            run_b
+        in
         let c =
           if not validate then c
           else
@@ -170,6 +176,11 @@ let pp_comparison fmt c =
   (match c.c_outcome.Crosscheck.o_pair_faults with
    | 0 -> ()
    | n -> Format.fprintf fmt "faulted pairs: %d (degraded to undecided)@ " n);
+  (match Crosscheck.quarantined_count c.c_outcome with
+   | 0 -> ()
+   | n ->
+     Format.fprintf fmt
+       "quarantined pairs: %d (supervision struck out; a resume skips them)@ " n);
   Report.pp_summary fmt (summaries c);
   (match c.c_validation with
    | None -> ()

@@ -24,15 +24,16 @@ val compare_runs :
   ?resume:string ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?supervise:Harness.Supervise.policy ->
   ?on_warning:(string -> unit) ->
   Harness.Test_spec.t ->
   Harness.Runner.run ->
   Harness.Runner.run ->
   comparison
 (** Phase 2 only, over existing phase-1 runs.  The optional arguments
-    (including [jobs], the crosscheck worker-domain count, and
-    [incremental], the row-major session solving toggle) are forwarded to
-    {!Crosscheck.check}. *)
+    (including [jobs], the crosscheck worker-domain count, [incremental],
+    the row-major session solving toggle, and [supervise], the watchdog
+    policy) are forwarded to {!Crosscheck.check}. *)
 
 val compare_agents :
   ?max_paths:int ->
@@ -42,6 +43,7 @@ val compare_agents :
   ?split:int ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?supervise:Harness.Supervise.policy ->
   ?validate:bool ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->
@@ -71,6 +73,7 @@ val compare_suite :
   ?split:int ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?supervise:Harness.Supervise.policy ->
   ?validate:bool ->
   Switches.Agent_intf.t ->
   Switches.Agent_intf.t ->

@@ -261,6 +261,7 @@ let test_session_counters_and_merge () =
           assumption_solves = 7;
           scratch_fallbacks = 2;
           learnt_retained = 11;
+          expr_nodes = 0;
         }
       in
       let s1 = st.Solver.sessions_opened and a1 = st.Solver.assumption_solves in

@@ -27,10 +27,10 @@ let with_clean_world f =
 
 let test_pool_results_in_task_order () =
   let tasks = Array.init 100 Fun.id in
-  let out = Pool.run ~jobs:4 (fun x -> x * x) tasks in
+  let out = Pool.run_exn ~jobs:4 (fun x -> x * x) tasks in
   check_bool "results are in task order, not completion order" true
     (out = Array.init 100 (fun i -> i * i));
-  check_bool "empty input, no domains" true (Pool.run ~jobs:4 Fun.id [||] = [||]);
+  check_bool "empty input, no domains" true (Pool.run_exn ~jobs:4 Fun.id [||] = [||]);
   Alcotest.check_raises "jobs must be positive"
     (Invalid_argument "Pool.run: jobs must be positive") (fun () ->
       ignore (Pool.run ~jobs:0 Fun.id [| 1 |]))
@@ -40,7 +40,7 @@ let test_pool_on_result_serialized () =
      mutated there must come out consistent even at -j 4 *)
   let seen = ref [] in
   let out =
-    Pool.run ~jobs:4
+    Pool.run_exn ~jobs:4
       ~on_result:(fun i r -> seen := (i, r) :: !seen)
       (fun x -> 2 * x)
       (Array.init 50 Fun.id)
@@ -57,7 +57,7 @@ let test_pool_sequential_fast_path () =
   let caller = Domain.self () in
   let on_caller = ref true in
   ignore
-    (Pool.run ~jobs:1
+    (Pool.run_exn ~jobs:1
        ~worker_init:(fun () -> incr hooks)
        ~worker_exit:(fun () -> incr hooks)
        ~on_result:(fun i _ -> order := i :: !order)
@@ -73,7 +73,7 @@ let test_pool_sequential_fast_path () =
 let test_pool_exception_propagates_after_join () =
   let exits = Atomic.make 0 in
   (match
-     Pool.run ~jobs:4
+     Pool.run ~jobs:4 ~fail_fast:true
        ~worker_exit:(fun () -> Atomic.incr exits)
        (fun x -> if x = 13 then failwith "boom" else x)
        (Array.init 40 Fun.id)
@@ -84,6 +84,38 @@ let test_pool_exception_propagates_after_join () =
   (* every spawned worker was joined, and its exit hook ran despite the
      cancellation *)
   check_bool "worker_exit ran on every worker" true (Atomic.get exits >= 1)
+
+(* the new default: a task that raises costs that task, not the batch *)
+let test_pool_outcome_mode () =
+  let out =
+    Pool.run ~jobs:4
+      (fun x -> if x mod 7 = 3 then failwith (string_of_int x) else x * x)
+      (Array.init 30 Fun.id)
+  in
+  Array.iteri
+    (fun i o ->
+      match (o, i mod 7 = 3) with
+      | Ok v, false -> check_int "surviving task's value" (i * i) v
+      | Error (Failure msg, _), true -> Alcotest.(check string) "its own exception" (string_of_int i) msg
+      | Ok _, true -> Alcotest.fail "poison task reported Ok"
+      | Error _, false -> Alcotest.fail "healthy task reported Error"
+      | _ -> Alcotest.fail "unexpected exception")
+    out;
+  (* same contract on the -j 1 sequential fast path *)
+  let seq =
+    Pool.run ~jobs:1 (fun x -> if x = 2 then raise Exit else x) (Array.init 5 Fun.id)
+  in
+  check_bool "sequential Error at the poison index" true
+    (match seq.(2) with Error (Exit, _) -> true | _ -> false);
+  check_bool "sequential later tasks still ran" true (seq.(4) = Ok 4);
+  (* on_result sees the Error exactly once, like any other outcome *)
+  let errs = ref 0 in
+  ignore
+    (Pool.run ~jobs:4
+       ~on_result:(fun _ -> function Error _ -> incr errs | Ok _ -> ())
+       (fun x -> if x = 5 then failwith "once" else x)
+       (Array.init 20 Fun.id));
+  check_int "one Error delivered to on_result" 1 !errs
 
 let test_pool_worker_hooks_pair_up () =
   let inits = Atomic.make 0 and exits = Atomic.make 0 in
@@ -103,7 +135,7 @@ let test_interning_shared_across_domains () =
      hash-cons tables are global (locked), not per-domain, so expressions
      built on any domain remain comparable everywhere *)
   let ids =
-    Pool.run ~jobs:4
+    Pool.run_exn ~jobs:4
       (fun k -> Expr.var_id (Expr.make_var (Printf.sprintf "par.v%d" (k mod 4)) 16))
       (Array.init 16 Fun.id)
   in
@@ -122,7 +154,7 @@ let test_solver_contexts_are_per_domain () =
       let main_queries = (Solver.stats ()).Solver.queries in
       check_bool "main context counted its query" true (main_queries > 0);
       let observed =
-        Pool.run ~jobs:2
+        Pool.run_exn ~jobs:2
           (fun _ ->
             (* a fresh domain starts from the built-in defaults: empty
                stats, certify off — whatever main has done *)
@@ -146,7 +178,7 @@ let test_config_handoff_and_stats_merge () =
       let worker_init, worker_exit = Soft.Crosscheck.solver_pool_hooks () in
       let before = (Solver.stats ()).Solver.queries in
       let observed =
-        Pool.run ~jobs:2 ~worker_init ~worker_exit
+        Pool.run_exn ~jobs:2 ~worker_init ~worker_exit
           (fun k ->
             let x = Expr.var ~width:8 (Printf.sprintf "par.cfg%d" k) in
             ignore (Solver.check [ Expr.eq_const x (Int64.of_int k) ]);
@@ -297,6 +329,7 @@ let suite =
     ("pool serializes on_result on the caller", `Quick, test_pool_on_result_serialized);
     ("pool -j1 is the sequential fast path", `Quick, test_pool_sequential_fast_path);
     ("pool joins all domains on task exception", `Quick, test_pool_exception_propagates_after_join);
+    ("pool per-task Error outcomes", `Quick, test_pool_outcome_mode);
     ("pool worker hooks pair up", `Quick, test_pool_worker_hooks_pair_up);
     ("interning is shared across domains", `Quick, test_interning_shared_across_domains);
     ("solver contexts are per-domain", `Quick, test_solver_contexts_are_per_domain);
