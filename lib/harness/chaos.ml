@@ -34,7 +34,15 @@
 
 exception Injected_fault of string
 
-type point = Solver_fault | Agent_step | Checkpoint_truncate | Clock_jump | Hang
+type point =
+  | Solver_fault
+  | Agent_step
+  | Checkpoint_truncate
+  | Clock_jump
+  | Hang
+  | Torn_write
+  | Fsync_fail
+  | Rename_crash
 
 let point_name = function
   | Solver_fault -> "solver-fault"
@@ -42,8 +50,11 @@ let point_name = function
   | Checkpoint_truncate -> "checkpoint-truncate"
   | Clock_jump -> "clock-jump"
   | Hang -> "hang"
+  | Torn_write -> "torn-write"
+  | Fsync_fail -> "fsync-fail"
+  | Rename_crash -> "rename-crash"
 
-let npoints = 5
+let npoints = 8
 
 let point_index = function
   | Solver_fault -> 0
@@ -51,24 +62,51 @@ let point_index = function
   | Checkpoint_truncate -> 2
   | Clock_jump -> 3
   | Hang -> 4
+  | Torn_write -> 5
+  | Fsync_fail -> 6
+  | Rename_crash -> 7
 
-let all_points = [ Solver_fault; Agent_step; Checkpoint_truncate; Clock_jump; Hang ]
+let all_points =
+  [
+    Solver_fault;
+    Agent_step;
+    Checkpoint_truncate;
+    Clock_jump;
+    Hang;
+    Torn_write;
+    Fsync_fail;
+    Rename_crash;
+  ]
 
 type plan = {
   p_seed : int;
   p_rate : float;
   p_streams : Random.State.t array; (* one independent stream per point *)
   p_fired : int array;
+  p_enabled : bool array;
+  (* [?only] mask: a disabled point never fires and never draws.  Each
+     point has its own stream, so masking one point cannot shift another
+     point's schedule — restricting a plan to the durability points keeps
+     the solver/agent/clock points byte-for-byte silent. *)
   mutable p_draws : int;
 }
 
-let plan ~seed ~rate =
+let plan ?only ~seed ~rate () =
   if rate < 0.0 || rate > 1.0 then invalid_arg "Chaos.plan: rate must be within [0, 1]";
+  let enabled =
+    match only with
+    | None -> Array.make npoints true
+    | Some pts ->
+      let e = Array.make npoints false in
+      List.iter (fun pt -> e.(point_index pt) <- true) pts;
+      e
+  in
   {
     p_seed = seed;
     p_rate = rate;
     p_streams = Array.init npoints (fun i -> Random.State.make [| 0x50f7; seed; i |]);
     p_fired = Array.make npoints 0;
+    p_enabled = enabled;
     p_draws = 0;
   }
 
@@ -98,17 +136,22 @@ let deactivate () = active := None
 let current () = !active
 
 (* Decide whether the fault at [pt] fires now; always consumes exactly one
-   draw from the point's stream when a plan is active. *)
+   draw from the point's stream when a plan is active and the point is
+   enabled (a masked point neither fires nor draws). *)
 let fire pt =
   match !active with
   | None -> false
   | Some p ->
-    Mutex.protect fire_lock (fun () ->
-        p.p_draws <- p.p_draws + 1;
-        let i = point_index pt in
-        let hit = Random.State.float p.p_streams.(i) 1.0 < p.p_rate in
-        if hit then p.p_fired.(i) <- p.p_fired.(i) + 1;
-        hit)
+    let i = point_index pt in
+    if not p.p_enabled.(i) then false
+    else
+      Mutex.protect fire_lock (fun () ->
+          p.p_draws <- p.p_draws + 1;
+          let hit = Random.State.float p.p_streams.(i) 1.0 < p.p_rate in
+          if hit then p.p_fired.(i) <- p.p_fired.(i) + 1;
+          hit)
+
+let fires = fire
 
 let maybe_raise pt = if fire pt then raise (Injected_fault (point_name pt))
 
@@ -146,6 +189,30 @@ let maybe_truncate_file path =
     let size = (Unix.stat path).Unix.st_size in
     if size > 0 then Unix.truncate path (size / 2)
   end
+
+(* --- durability fault points (WAL / store) ---------------------------- *)
+
+(* The three points below simulate the ways an append-or-rename durability
+   protocol actually dies in the field.  They raise {!Injected_fault} so
+   the service layer experiences them as a crash — the crash-only recovery
+   path is then the *only* code that can make the test pass:
+
+   - [Torn_write]: the caller learns the write tore (it must write only a
+     prefix of the record, then treat the append as a crash);
+   - [Fsync_fail]: the data may or may not have reached the platter — the
+     record is written but the commit must not be acknowledged, so a
+     recovery may legitimately find a record the writer never confirmed
+     (replay has to be idempotent against these "ghost" commits);
+   - [Rename_crash]: the process dies immediately *after* the atomic
+     rename publishes a rewrite — recovery sees the new file but none of
+     the writer's post-publish bookkeeping. *)
+
+let maybe_torn_write () = fire Torn_write
+
+let maybe_fsync_fail () = if fire Fsync_fail then raise (Injected_fault (point_name Fsync_fail))
+
+let maybe_rename_crash () =
+  if fire Rename_crash then raise (Injected_fault (point_name Rename_crash))
 
 (* Deliver solver faults and clock jumps to every query [f] issues that
    reaches the SAT core.  The hook is installed only for the dynamic

@@ -1,0 +1,118 @@
+(* Spool-directory job queue: the submission side of the crash-only
+   service.
+
+   [submit] and the daemon share nothing but the filesystem, so a
+   submission survives any crash of either side and needs no daemon to be
+   alive.  Each job is one file in <dir>/pending/, written atomically
+   (temp + rename in the same directory), named
+
+     <zero-padded microsecond timestamp>-<job id>.job
+
+   so a plain lexicographic sort of filenames is arrival order.  The job
+   id is a digest of the payload plus a per-process nonce: resubmitting
+   an identical job gets a fresh id (it is a new piece of work — that it
+   will be answered from the result store is the service's business, not
+   the queue's).
+
+   Backpressure lives here, on the submitter: when pending depth has
+   reached the watermark, [submit] refuses with [`Backpressure] instead
+   of growing the queue without bound.  This is deliberately submit-side
+   and stateless — it needs no daemon-maintained marker that could go
+   stale across a crash, which is the crash-only way.
+
+   The daemon removes a pending file only after journaling the job; a
+   crash between journal append and file removal re-offers the file on
+   the next boot, which the service dedups by id.  File contents carry a
+   checksum header so a torn pending file (crash mid-rename on a weird
+   filesystem) is detected and skipped rather than parsed as garbage. *)
+
+type submitted = {
+  sb_id : string;
+  sb_payload : string;
+}
+
+let pending_dir dir = Filename.concat dir "pending"
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let job_files dir =
+  let pd = pending_dir dir in
+  if not (Sys.file_exists pd) then []
+  else
+    Sys.readdir pd |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".job")
+    |> List.sort compare
+
+let depth dir = List.length (job_files dir)
+
+let nonce = ref 0
+
+let submit ?(max_pending = 64) dir payload =
+  let pd = pending_dir dir in
+  mkdir_p pd;
+  let d = depth dir in
+  if d >= max_pending then Error (`Backpressure d)
+  else begin
+    incr nonce;
+    let id =
+      String.sub
+        (Digest.to_hex
+           (Digest.string
+              (Printf.sprintf "%s\x00%f\x00%d\x00%d" payload (Unix.gettimeofday ())
+                 (Unix.getpid ()) !nonce)))
+        0 16
+    in
+    let name = Printf.sprintf "%020.0f-%s.job" (Unix.gettimeofday () *. 1e6) id in
+    let final = Filename.concat pd name in
+    let tmp = final ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc "soft-job 1 %s\n" (Digest.to_hex (Digest.string payload));
+        output_string oc payload;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp final;
+    Ok id
+  end
+
+(* id is embedded in the filename between the '-' and the extension *)
+let id_of_file f =
+  let base = Filename.chop_suffix f ".job" in
+  match String.index_opt base '-' with
+  | Some i -> String.sub base (i + 1) (String.length base - i - 1)
+  | None -> base
+
+let pending dir =
+  List.filter_map
+    (fun f ->
+      let file = Filename.concat (pending_dir dir) f in
+      match In_channel.with_open_bin file In_channel.input_all with
+      | content -> (
+        match String.index_opt content '\n' with
+        | None -> None (* torn: skip, never parse garbage *)
+        | Some nl -> (
+          let header = String.sub content 0 nl in
+          let payload = String.sub content (nl + 1) (String.length content - nl - 1) in
+          match String.split_on_char ' ' header with
+          | [ "soft-job"; "1"; sum ]
+            when Digest.to_hex (Digest.string payload) = String.lowercase_ascii sum ->
+            Some { sb_id = id_of_file f; sb_payload = payload }
+          | _ -> None))
+      | exception Sys_error _ -> None (* raced with a concurrent remove *))
+    (job_files dir)
+
+let remove dir id =
+  List.iter
+    (fun f ->
+      if id_of_file f = id then
+        try Sys.remove (Filename.concat (pending_dir dir) f) with Sys_error _ -> ())
+    (job_files dir)

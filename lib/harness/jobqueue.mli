@@ -1,0 +1,33 @@
+(** Spool-directory persistent job queue: the submission side of the
+    crash-only service.  Submitter and daemon share only the filesystem;
+    submissions are atomic single files and survive crashes of either
+    side.
+
+    Backpressure is enforced here, statelessly, on the submitter: once
+    pending depth reaches the watermark, {!submit} refuses with
+    [`Backpressure] instead of growing the queue — no daemon-maintained
+    marker that could go stale across a crash. *)
+
+type submitted = {
+  sb_id : string;  (** unique per submission (not per payload) *)
+  sb_payload : string;
+}
+
+val submit :
+  ?max_pending:int -> string -> string -> (string, [ `Backpressure of int ]) result
+(** [submit dir payload] enqueues one job under the queue rooted at
+    [dir]; returns its fresh id, or [`Backpressure depth] when the
+    pending count has reached [max_pending] (default 64).  Resubmitting
+    an identical payload yields a {e new} id — answering repeats cheaply
+    is the result store's job, not the queue's. *)
+
+val pending : string -> submitted list
+(** Pending jobs in arrival order.  Torn or corrupt spool files are
+    skipped (their checksum fails), never parsed as garbage. *)
+
+val depth : string -> int
+
+val remove : string -> string -> unit
+(** [remove dir id] deletes the pending file for [id], if any.  The
+    daemon calls this only {e after} journaling the job; a crash in
+    between re-offers the file, which the service dedups by id. *)

@@ -1,0 +1,157 @@
+(* Append-only write-ahead log for the crash-only service layer.
+
+   The SOFT pipeline is naturally restartable — phase 2 needs only durable
+   phase-1 artefacts (paper §2.4) — *if* progress is journaled with crash
+   semantics.  This module is that journal: one record per state change,
+   each checksummed, each committed with an fsync before the caller is
+   allowed to act on it.  Nothing is ever updated in place; recovery is a
+   pure left-to-right replay that stops at the first byte it cannot
+   verify.
+
+   Wire format (line oriented, binary-safe via escaping):
+
+     soft-wal 1
+     r <md5-hex-of-payload> <String.escaped payload>
+     ...
+
+   Crash semantics, record by record:
+   - a record is COMMITTED once [append] returns: the bytes are flushed
+     and fsynced (unless the caller opted out for tests/benchmarks);
+   - a crash mid-append leaves a torn tail — a final line that is
+     incomplete, unparsable, or whose checksum does not match its
+     payload.  [scan] verifies each record and returns both the verified
+     records and the byte offset where verification stopped; [create]
+     truncates the file back to that offset, so the next append starts at
+     a record boundary and can never be corrupted by earlier debris;
+   - a failed fsync means the record may or may not be durable even
+     though [append] raised.  Replay may therefore surface a record whose
+     append "failed" — consumers must treat records idempotently (the
+     service dedups on job/unit ids).
+
+   Torn-tail containment: verification stops at the FIRST bad line and
+   discards everything after it, even lines that would individually
+   verify.  An append-only writer can only tear the tail, so anything
+   after a bad line is debris from a corrupted file, not valid history —
+   trusting it could reorder or resurrect records.
+
+   Fault injection: {!Chaos.Torn_write} makes an append write half the
+   record and die; {!Chaos.Fsync_fail} makes the commit unacknowledged;
+   {!Chaos.Rename_crash} kills the process right after a [rewrite]'s
+   atomic rename.  All three surface as {!Chaos.Injected_fault} — the
+   caller experiences a crash, and only the recovery path can carry on. *)
+
+type t = {
+  j_path : string;
+  j_oc : out_channel;
+  j_fsync : bool;
+}
+
+let magic = "soft-wal 1\n"
+
+let encode payload =
+  Printf.sprintf "r %s %s\n" (Digest.to_hex (Digest.string payload)) (String.escaped payload)
+
+(* Parse one "r <sum> <escaped>" line back to its payload; [None] means
+   the line cannot be trusted (malformed, unescapable, or checksum
+   mismatch). *)
+let decode_line line =
+  if String.length line < 2 + 32 + 1 || String.sub line 0 2 <> "r " then None
+  else
+    let sum = String.sub line 2 32 in
+    if String.length line < 35 || line.[34] <> ' ' then None
+    else
+      let esc = String.sub line 35 (String.length line - 35) in
+      match Scanf.unescaped esc with
+      | payload ->
+        if Digest.to_hex (Digest.string payload) = String.lowercase_ascii sum then Some payload
+        else None
+      | exception (Scanf.Scan_failure _ | Failure _) -> None
+
+let scan path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    let mlen = String.length magic in
+    if String.length content < mlen || String.sub content 0 mlen <> magic then ([], 0)
+    else begin
+      let records = ref [] in
+      let pos = ref mlen in
+      let stop = ref false in
+      while not !stop do
+        match String.index_from_opt content !pos '\n' with
+        | None -> stop := true (* no terminating newline: torn tail *)
+        | Some nl -> (
+          let line = String.sub content !pos (nl - !pos) in
+          match decode_line line with
+          | Some payload ->
+            records := payload :: !records;
+            pos := nl + 1;
+            if !pos >= String.length content then stop := true
+          | None -> stop := true)
+      done;
+      (List.rev !records, !pos)
+    end
+  end
+
+let sync_channel oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let create ?(fsync = true) path =
+  let _, valid = scan path in
+  let exists = Sys.file_exists path in
+  if exists then begin
+    let size = (Unix.stat path).Unix.st_size in
+    if valid < size then
+      (* discard the torn tail so appends restart at a record boundary *)
+      Unix.truncate path valid
+  end;
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path
+  in
+  let t = { j_path = path; j_oc = oc; j_fsync = fsync } in
+  if valid = 0 then begin
+    (* brand-new (or unsalvageable) file: the header is the first commit *)
+    if exists && (Unix.stat path).Unix.st_size > 0 then Unix.truncate path 0;
+    output_string oc magic;
+    if fsync then sync_channel oc else flush oc
+  end;
+  t
+
+let path t = t.j_path
+
+let append t payload =
+  let line = encode payload in
+  if Chaos.maybe_torn_write () then begin
+    (* a kill mid-write: half the record reaches the file, the caller
+       sees a crash, recovery truncates the debris *)
+    output_string t.j_oc (String.sub line 0 (String.length line / 2));
+    flush t.j_oc;
+    raise (Chaos.Injected_fault (Chaos.point_name Chaos.Torn_write))
+  end;
+  output_string t.j_oc line;
+  flush t.j_oc;
+  (* a failed fsync: bytes written, commit unacknowledged — the record is
+     a "ghost" that replay may or may not surface *)
+  Chaos.maybe_fsync_fail ();
+  if t.j_fsync then Unix.fsync (Unix.descr_of_out_channel t.j_oc)
+
+let close t = close_out t.j_oc
+
+(* Atomic compaction: write the surviving records to a sibling, fsync,
+   rename over the log.  A crash before the rename leaves the old log; a
+   crash after it (the [Rename_crash] fault point) leaves the new one —
+   either way exactly one intact journal is visible, never a mix. *)
+let rewrite ?(fsync = true) path records =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      List.iter (fun r -> output_string oc (encode r)) records;
+      if fsync then sync_channel oc);
+  Sys.rename tmp path;
+  Chaos.maybe_rename_crash ()
+
+let replay path = fst (scan path)

@@ -1,0 +1,58 @@
+(** Append-only, checksummed, fsync-on-commit write-ahead log — the
+    durability substrate of the crash-only service layer.
+
+    Records are arbitrary strings (binary-safe; escaped on disk), one per
+    line, each carrying its own MD5.  [append] returns only once the
+    record is flushed and fsynced, so a record the caller acted on is
+    durable.  Recovery is a pure replay: {!scan} verifies records left to
+    right and stops at the first line it cannot trust — a crash mid-append
+    costs exactly the torn record, never earlier history.
+
+    Two non-obvious crash contracts consumers must honour:
+    - {e ghost commits}: a failed fsync (or a crash between flush and
+      fsync acknowledgment) can leave a record durable even though
+      [append] raised — replay consumers must be idempotent;
+    - {e torn-tail containment}: verification discards everything from
+      the first bad line onward, even later lines that would individually
+      verify; an append-only writer can only tear the tail, so such lines
+      are debris, not history.
+
+    Fault injection: {!Chaos.Torn_write}, {!Chaos.Fsync_fail} and
+    {!Chaos.Rename_crash} fire inside {!append}/{!rewrite} and surface as
+    {!Chaos.Injected_fault} — the caller experiences a crash and must come
+    back through {!create}'s recovery path. *)
+
+type t
+(** An open append handle. *)
+
+val create : ?fsync:bool -> string -> t
+(** Open [path] for appending, creating it (with the format header) if
+    missing.  If the existing file ends in a torn or corrupt tail, the
+    tail is truncated away first so subsequent appends start at a record
+    boundary.  [fsync] (default [true]) controls whether each commit is
+    fsynced; turning it off is for tests and benchmarks only. *)
+
+val path : t -> string
+
+val append : t -> string -> unit
+(** Commit one record durably.  On return the record is flushed and (with
+    [fsync]) synced.  May raise {!Chaos.Injected_fault} under an active
+    fault plan — treat exactly like a crash: drop the handle and recover
+    via {!create}. *)
+
+val close : t -> unit
+
+val scan : string -> string list * int
+(** [scan path] replays the journal without touching it: the verified
+    records in append order, plus the byte offset at which verification
+    stopped (the length of the trustworthy prefix).  A missing file or an
+    unrecognizable header is [([], 0)]. *)
+
+val replay : string -> string list
+(** [fst (scan path)]. *)
+
+val rewrite : ?fsync:bool -> string -> string list -> unit
+(** Atomically replace the journal at [path] with exactly [records]
+    (compaction): write a sibling temp file, fsync, rename over the log.
+    A crash at any instant leaves exactly one intact journal visible —
+    the old or the new, never a mix. *)

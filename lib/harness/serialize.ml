@@ -11,7 +11,11 @@
      X crash-message       (optional)
      P sexp-path-condition
      ... repeated per path
-*)
+
+   The same bytes also travel through the service layer's
+   content-addressed store, so the format round-trips through strings
+   ([to_string]/[of_string]); the digest of [to_string] is the agent
+   fingerprint the service keys crosscheck verdicts by. *)
 
 module Trace = Openflow.Trace
 
@@ -28,19 +32,23 @@ let of_run (r : Runner.run) =
     sv_paths = List.map (fun (p : Runner.path_record) -> (p.pr_result, p.pr_cond)) r.Runner.run_paths;
   }
 
-let write_channel oc (s : saved) =
-  output_string oc "soft-run 1\n";
-  Printf.fprintf oc "agent %s\n" s.sv_agent;
-  Printf.fprintf oc "test %s\n" s.sv_test;
+let to_string (s : saved) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "soft-run 1\n";
+  Printf.bprintf buf "agent %s\n" s.sv_agent;
+  Printf.bprintf buf "test %s\n" s.sv_test;
   List.iter
     (fun ((res : Trace.result), cond) ->
-      output_string oc "path\n";
-      List.iter (fun line -> Printf.fprintf oc "T %s\n" line) res.Trace.trace;
+      Buffer.add_string buf "path\n";
+      List.iter (fun line -> Printf.bprintf buf "T %s\n" line) res.Trace.trace;
       (match res.Trace.crash with
-       | Some m -> Printf.fprintf oc "X %s\n" m
+       | Some m -> Printf.bprintf buf "X %s\n" m
        | None -> ());
-      Printf.fprintf oc "P %s\n" (Smt.Serial.bool_to_string cond))
-    s.sv_paths
+      Printf.bprintf buf "P %s\n" (Smt.Serial.bool_to_string cond))
+    s.sv_paths;
+  Buffer.contents buf
+
+let write_channel oc (s : saved) = output_string oc (to_string s)
 
 let save path (s : saved) =
   let oc = open_out path in
@@ -48,61 +56,71 @@ let save path (s : saved) =
 
 exception Format_error of string
 
+(* [what] names the source (a file path, or "<string>") in errors. *)
+let parse ~what next_line =
+  let expect_prefix p l =
+    if String.length l >= String.length p && String.sub l 0 (String.length p) = p then
+      String.sub l (String.length p) (String.length l - String.length p)
+    else raise (Format_error (Printf.sprintf "%s: expected '%s...', got '%s'" what p l))
+  in
+  (match next_line () with
+   | Some "soft-run 1" -> ()
+   | _ -> raise (Format_error (what ^ ": bad magic")));
+  let agent =
+    match next_line () with
+    | Some l -> expect_prefix "agent " l
+    | None -> raise (Format_error (what ^ ": truncated"))
+  in
+  let test =
+    match next_line () with
+    | Some l -> expect_prefix "test " l
+    | None -> raise (Format_error (what ^ ": truncated"))
+  in
+  let paths = ref [] in
+  let cur_trace = ref [] in
+  let cur_crash = ref None in
+  let in_path = ref false in
+  let flush_path cond =
+    paths :=
+      ({ Trace.trace = List.rev !cur_trace; crash = !cur_crash }, cond) :: !paths;
+    cur_trace := [];
+    cur_crash := None;
+    in_path := false
+  in
+  let rec go () =
+    match next_line () with
+    | None ->
+      if !in_path then raise (Format_error (what ^ ": path without condition"))
+    | Some "path" ->
+      if !in_path then raise (Format_error (what ^ ": nested path"));
+      in_path := true;
+      go ()
+    | Some l when String.length l >= 2 && l.[0] = 'T' && l.[1] = ' ' ->
+      cur_trace := String.sub l 2 (String.length l - 2) :: !cur_trace;
+      go ()
+    | Some l when String.length l >= 2 && l.[0] = 'X' && l.[1] = ' ' ->
+      cur_crash := Some (String.sub l 2 (String.length l - 2));
+      go ()
+    | Some l when String.length l >= 2 && l.[0] = 'P' && l.[1] = ' ' ->
+      let cond = Smt.Serial.bool_of_string (String.sub l 2 (String.length l - 2)) in
+      flush_path cond;
+      go ()
+    | Some "" -> go ()
+    | Some l -> raise (Format_error (what ^ ": unexpected line: " ^ l))
+  in
+  go ();
+  { sv_agent = agent; sv_test = test; sv_paths = List.rev !paths }
+
+let of_string ?(what = "<string>") content =
+  let lines = ref (String.split_on_char '\n' content) in
+  let next_line () =
+    match !lines with
+    | [] | [ "" ] -> None
+    | l :: rest ->
+      lines := rest;
+      Some l
+  in
+  parse ~what next_line
+
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let line () = try Some (input_line ic) with End_of_file -> None in
-      let expect_prefix p l =
-        if String.length l >= String.length p && String.sub l 0 (String.length p) = p then
-          String.sub l (String.length p) (String.length l - String.length p)
-        else raise (Format_error (Printf.sprintf "%s: expected '%s...', got '%s'" path p l))
-      in
-      (match line () with
-       | Some "soft-run 1" -> ()
-       | _ -> raise (Format_error (path ^ ": bad magic")));
-      let agent =
-        match line () with
-        | Some l -> expect_prefix "agent " l
-        | None -> raise (Format_error (path ^ ": truncated"))
-      in
-      let test =
-        match line () with
-        | Some l -> expect_prefix "test " l
-        | None -> raise (Format_error (path ^ ": truncated"))
-      in
-      let paths = ref [] in
-      let cur_trace = ref [] in
-      let cur_crash = ref None in
-      let in_path = ref false in
-      let flush_path cond =
-        paths :=
-          ({ Trace.trace = List.rev !cur_trace; crash = !cur_crash }, cond) :: !paths;
-        cur_trace := [];
-        cur_crash := None;
-        in_path := false
-      in
-      let rec go () =
-        match line () with
-        | None ->
-          if !in_path then raise (Format_error (path ^ ": path without condition"))
-        | Some "path" ->
-          if !in_path then raise (Format_error (path ^ ": nested path"));
-          in_path := true;
-          go ()
-        | Some l when String.length l >= 2 && l.[0] = 'T' && l.[1] = ' ' ->
-          cur_trace := String.sub l 2 (String.length l - 2) :: !cur_trace;
-          go ()
-        | Some l when String.length l >= 2 && l.[0] = 'X' && l.[1] = ' ' ->
-          cur_crash := Some (String.sub l 2 (String.length l - 2));
-          go ()
-        | Some l when String.length l >= 2 && l.[0] = 'P' && l.[1] = ' ' ->
-          let cond = Smt.Serial.bool_of_string (String.sub l 2 (String.length l - 2)) in
-          flush_path cond;
-          go ()
-        | Some "" -> go ()
-        | Some l -> raise (Format_error (path ^ ": unexpected line: " ^ l))
-      in
-      go ();
-      { sv_agent = agent; sv_test = test; sv_paths = List.rev !paths })
+  of_string ~what:path (In_channel.with_open_bin path In_channel.input_all)

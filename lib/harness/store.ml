@@ -1,0 +1,99 @@
+(* Content-addressed result store for the crash-only service layer.
+
+   One file per key under a flat directory; keys are hex digests computed
+   by the caller (the service keys phase-1 artefacts by
+   (agent, scenario hash) and crosscheck verdicts by
+   (agent fingerprint A, agent fingerprint B, scenario hash)), so a
+   resubmitted unchanged job resolves entirely from here and an
+   agent-model edit invalidates exactly the partitions whose fingerprint
+   changed.
+
+   Durability protocol per [put]:
+     write payload (with an integrity header) to a unique temp file in
+     the same directory, fsync it, rename over the final name, fsync is
+     not required on the directory for our recovery invariants — a lost
+     rename just re-derives the entry.
+   Readers verify the integrity header; a corrupt or torn entry reads as
+   absent, so the worst outcome of any crash is recomputation, never a
+   wrong answer served from the store.
+
+   The [Rename_crash] and [Fsync_fail] chaos points fire inside [put],
+   surfacing as a crash after/before the publish respectively. *)
+
+type t = {
+  s_dir : string;
+  s_fsync : bool;
+}
+
+let key_re_ok key =
+  key <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))
+       key
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let open_store ?(fsync = true) dir =
+  mkdir_p dir;
+  (* abandoned temp files from crashed puts are debris: collect them *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  { s_dir = dir; s_fsync = fsync }
+
+let file_of t key =
+  if not (key_re_ok key) then invalid_arg ("Store: malformed key " ^ key);
+  Filename.concat t.s_dir key
+
+let put t ~key payload =
+  let final = file_of t key in
+  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "soft-store 1 %s %d\n" (Digest.to_hex (Digest.string payload))
+        (String.length payload);
+      output_string oc payload;
+      flush oc;
+      Chaos.maybe_fsync_fail ();
+      if t.s_fsync then Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp final;
+  Chaos.maybe_rename_crash ()
+
+let get t ~key =
+  let file = file_of t key in
+  if not (Sys.file_exists file) then None
+  else begin
+    let content = In_channel.with_open_bin file In_channel.input_all in
+    match String.index_opt content '\n' with
+    | None -> None
+    | Some nl -> (
+      let header = String.sub content 0 nl in
+      let payload = String.sub content (nl + 1) (String.length content - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ "soft-store"; "1"; sum; len ] -> (
+        match int_of_string_opt len with
+        | Some l
+          when l = String.length payload
+               && Digest.to_hex (Digest.string payload) = String.lowercase_ascii sum ->
+          Some payload
+        | _ -> None (* torn or corrupt: absent, recompute *))
+      | _ -> None)
+  end
+
+let mem t ~key = get t ~key <> None
+
+let size t =
+  Array.fold_left
+    (fun n f -> if Filename.check_suffix f ".tmp" then n else n + 1)
+    0 (Sys.readdir t.s_dir)

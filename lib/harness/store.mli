@@ -1,0 +1,36 @@
+(** Content-addressed result store: one integrity-checked file per hex
+    key, written atomically (temp + fsync + rename).
+
+    The service layer keys phase-1 artefacts by [(agent, scenario hash)]
+    and crosscheck verdicts by [(fingerprint A, fingerprint B, scenario
+    hash)]; a resubmitted unchanged job is answered entirely from here
+    with zero new SAT calls, and an agent-model edit invalidates exactly
+    the entries whose fingerprint changed.
+
+    Crash contract: a [put] that did not return may have published the
+    entry or not — both are fine, because entries are pure functions of
+    their key.  A torn or corrupt entry reads as absent ({!get} verifies
+    a checksum), so the worst crash outcome is recomputation, never a
+    wrong answer. *)
+
+type t
+
+val open_store : ?fsync:bool -> string -> t
+(** Open (creating directories as needed) the store rooted at the given
+    directory; sweeps temp-file debris left by crashed writes.  [fsync]
+    (default [true]) as in {!Journal.create}. *)
+
+val put : t -> key:string -> string -> unit
+(** Durably publish [payload] under [key] (a hex digest string).  May
+    raise {!Chaos.Injected_fault} under a fault plan — treat as a crash.
+    @raise Invalid_argument on a non-hex key. *)
+
+val get : t -> key:string -> string option
+(** The payload published under [key]; [None] if absent, torn or corrupt
+    (a failed integrity check is indistinguishable from absence by
+    design). *)
+
+val mem : t -> key:string -> bool
+
+val size : t -> int
+(** Number of (non-temp) entries on disk. *)

@@ -191,6 +191,8 @@ let clear_cache () =
   Hashtbl.reset c.c_cache;
   Queue.clear c.c_order
 
+let cache_len () = Hashtbl.length (ctx ()).c_cache
+
 (* Bounded eviction: on reaching capacity, discard the *older half* of the
    entries (FIFO over insertion order) instead of flushing the whole
    table.  A full flush right after hitting capacity costs a worst-case

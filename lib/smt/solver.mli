@@ -155,6 +155,11 @@ val clear_cache : unit -> unit
 (** Drop the query-result memo table (benchmarks use this to measure cold
     costs). *)
 
+val cache_len : unit -> int
+(** Entries currently in the calling domain's memo table.  The service's
+    memory-pressure ladder reads this to report how much cache a shed
+    released. *)
+
 val set_cache_capacity : int -> unit
 (** Entry count at which bounded eviction triggers (default 65536); on
     reaching it the *older half* of the entries (FIFO over insertion

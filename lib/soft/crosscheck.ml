@@ -295,11 +295,41 @@ let read_checkpoint path ~test ~agent_a ~agent_b ~fp ~on_warning =
                | _ -> fail ("bad witness binding: " ^ l))
              | _ -> fail ("bad witness line: " ^ l))
         in
+        (* Record a pair outcome, policing quarantine collisions.  A
+           well-formed snapshot mentions each pair at most once; writers
+           that crash between retry attempts have however produced files
+           with a duplicate — or worse, contradictory — [q] record for the
+           same pair.  Taking the last silently would let a later record
+           overwrite a real verdict with a quarantine (or vice versa), so
+           any collision involving a quarantine keeps the FIRST record and
+           warns.  First-wins matches the append order of the writer: the
+           earliest record reflects the state actually reached. *)
+        let record ij outcome =
+          match Hashtbl.find_opt decided ij with
+          | None -> Hashtbl.replace decided ij outcome
+          | Some prev ->
+            let involves_quarantine =
+              match (prev, outcome) with
+              | P_quarantined _, _ | _, P_quarantined _ -> true
+              | _ -> false
+            in
+            if involves_quarantine then
+              on_warning
+                (Printf.sprintf
+                   "checkpoint %s: %s record for pair (%d,%d); keeping the first"
+                   path
+                   (match (prev, outcome) with
+                    | P_quarantined a, P_quarantined b when a = b ->
+                      "duplicate quarantine"
+                    | _ -> "contradictory quarantine")
+                   (fst ij) (snd ij))
+            else Hashtbl.replace decided ij outcome
+        in
         let cur_inc = ref None in
         let flush () =
           match !cur_inc with
           | Some (ij, bindings) ->
-            Hashtbl.replace decided ij (P_inc (List.rev bindings));
+            record ij (P_inc (List.rev bindings));
             cur_inc := None
           | None -> ()
         in
@@ -309,11 +339,11 @@ let read_checkpoint path ~test ~agent_a ~agent_b ~fp ~on_warning =
           | Some "" -> go ()
           | Some l when String.length l >= 2 && l.[0] = 'd' && l.[1] = ' ' ->
             flush ();
-            Hashtbl.replace decided (parse_ij l) P_clean;
+            record (parse_ij l) P_clean;
             go ()
           | Some l when String.length l >= 2 && l.[0] = 'u' && l.[1] = ' ' ->
             flush ();
-            Hashtbl.replace decided (parse_ij l) P_undecided;
+            record (parse_ij l) P_undecided;
             go ()
           | Some l when String.length l >= 2 && l.[0] = 'q' && l.[1] = ' ' ->
             flush ();
@@ -324,8 +354,7 @@ let read_checkpoint path ~test ~agent_a ~agent_b ~fp ~on_warning =
                    int_of_string_opt j,
                    Supervise.taxonomy_of_string tax )
                with
-               | Some i, Some j, Some tax ->
-                 Hashtbl.replace decided (i, j) (P_quarantined tax)
+               | Some i, Some j, Some tax -> record (i, j) (P_quarantined tax)
                | _ -> fail ("bad quarantine line: " ^ l))
              | _ -> fail ("bad quarantine line: " ^ l));
             go ()
@@ -670,15 +699,17 @@ let undecided_count o = List.length o.o_pairs_undecided
 
 let quarantined_count o = List.length o.o_pairs_quarantined
 
-let pp fmt o =
-  Format.fprintf fmt
-    "@[<v>%s vs %s on %s: %d inconsistencies (%d pairs checked, %d undecided%s%s, %.2fs)@ "
+(* [pp] and [pp_stable] share everything but the header's trailing check
+   time: the stable form is what the service persists and byte-compares
+   across crash/recovery, so it must not carry wall-clock noise. *)
+let pp_gen ~with_time fmt o =
+  Format.fprintf fmt "@[<v>%s vs %s on %s: %d inconsistencies (%d pairs checked, %d undecided%s%s%s)@ "
     o.o_agent_a o.o_agent_b o.o_test (count o) o.o_pairs_checked (undecided_count o)
     (if o.o_pair_faults > 0 then Printf.sprintf " of which %d faulted" o.o_pair_faults else "")
     (if o.o_pairs_quarantined <> [] then
        Printf.sprintf " of which %d quarantined" (quarantined_count o)
      else "")
-    o.o_check_time;
+    (if with_time then Printf.sprintf ", %.2fs" o.o_check_time else "");
   List.iteri
     (fun i inc ->
       Format.fprintf fmt "--- inconsistency %d ---@ %s:@   %s@ %s:@   %s@ witness:@   %s@ " i
@@ -705,3 +736,7 @@ let pp fmt o =
         (Supervise.taxonomy_to_string tax) o.o_agent_a ka o.o_agent_b kb)
     o.o_pairs_quarantined;
   Format.fprintf fmt "@]"
+
+let pp = pp_gen ~with_time:true
+let pp_stable = pp_gen ~with_time:false
+let render_stable o = Format.asprintf "%a" pp_stable o

@@ -173,3 +173,11 @@ val quarantined_count : outcome -> int
     {!undecided_count}). *)
 
 val pp : Format.formatter -> outcome -> unit
+
+val pp_stable : Format.formatter -> outcome -> unit
+(** {!pp} minus the check-time field — every byte a pure function of the
+    verdicts.  The service layer persists this rendering and asserts that
+    a killed-and-recovered run reproduces it byte for byte. *)
+
+val render_stable : outcome -> string
+(** [Format.asprintf "%a" pp_stable]. *)

@@ -34,4 +34,9 @@ val exit_status : ?validation:Validate.summary -> Crosscheck.outcome -> int
     also gave up.  ([2] is the CLI's usage-error status and is never
     produced here.) *)
 
+val exit_of_counts : inconsistencies:int -> undecided:int -> faults:int -> int
+(** The {!exit_status} policy from bare counters, for callers (the service
+    daemon) that replay verdict counts from a journal instead of holding a
+    {!Crosscheck.outcome}.  [faults] covers pair faults and quarantines. *)
+
 val pp_summary : Format.formatter -> summary list -> unit

@@ -1,0 +1,707 @@
+(* Crash-only crosscheck service: a WAL-backed job store over the
+   supervised crosscheck pipeline.
+
+   The batch CLI treats a run as a process lifetime; the service treats
+   the process as disposable.  All state that matters lives in three
+   on-disk structures under one service directory:
+
+     queue/pending/*.job   submissions (Harness.Jobqueue spool files)
+     wal.log               the write-ahead log (Harness.Journal)
+     store/                content-addressed results (Harness.Store)
+     reports/<id>.report   final per-job reports
+
+   and there is exactly one startup path: {!open_service} replays the
+   WAL.  A fresh directory is merely the recovery of an empty log, so
+   the recovery code is exercised on every start, not only after a
+   disaster.  [kill -9] at any instant loses at most the units in
+   flight: everything the daemon acknowledged is behind an fsynced WAL
+   record.
+
+   Commit order per unit of work (one (agent A, agent B, test) triple):
+
+     start record -> phase-1 artefacts into store -> verdict payload
+     into store -> verdict record
+
+   The verdict record is written only after its store entry is durable,
+   so a replayed verdict always has its bytes; a verdict record whose
+   store entry is nonetheless missing or corrupt (store and WAL can tear
+   independently) is dropped on recovery and the unit re-runs — the
+   store's corrupt-reads-as-absent contract makes the worst crash
+   outcome recomputation, never a wrong answer.  The job report file is
+   published atomically before the [done] record; a [done] job with a
+   missing report is rebuilt from the store on recovery.
+
+   Content addressing is what makes re-runs cheap.  Phase-1 runs are
+   keyed by (agent name, scenario hash, path budget); crosscheck
+   verdicts by (fingerprint A, fingerprint B, scenario hash, solver
+   signature) where a fingerprint is the digest of the serialized
+   phase-1 bytes.  Resubmitting an unchanged job is answered entirely
+   from the store with zero new SAT calls; re-running after an
+   agent-model edit (--fresh) re-executes phase 1 but re-solves only the
+   partitions whose fingerprint actually changed.
+
+   Degradation under pressure, in escalation order:
+   - soft heap watermark: shed the solver memo cache, force a major GC,
+     and drop to one crosscheck worker ([degraded]);
+   - hard heap watermark: additionally stop admitting spool files, so
+     the queue backs up and {!submit}'s stateless depth check starts
+     refusing with [`Backpressure] — the daemon never grows an unbounded
+     in-memory queue. *)
+
+module Journal = Harness.Journal
+module Store = Harness.Store
+module Jobqueue = Harness.Jobqueue
+module Serialize = Harness.Serialize
+module Supervise = Harness.Supervise
+
+(* --- configuration ---------------------------------------------------- *)
+
+type config = {
+  sc_agents : (string * Switches.Agent_intf.t) list;
+  sc_max_paths : int;
+  sc_jobs : int;
+  sc_supervise : Supervise.policy option;
+  sc_crash_limit : int;
+  sc_max_pending : int;
+  sc_soft_mb : int option;
+  sc_hard_mb : int option;
+  sc_fsync : bool;
+  sc_on_warning : string -> unit;
+}
+
+let default_warning msg = Printf.eprintf "soft serve: warning: %s\n%!" msg
+
+let config ?(max_paths = Harness.Runner.default_max_paths) ?(jobs = 1) ?supervise
+    ?(crash_limit = 3) ?(max_pending = 64) ?soft_mb ?hard_mb ?(fsync = true)
+    ?(on_warning = default_warning) ~agents () =
+  if jobs < 1 then invalid_arg "Service.config: jobs must be >= 1";
+  if crash_limit < 1 then invalid_arg "Service.config: crash_limit must be >= 1";
+  {
+    sc_agents = agents;
+    sc_max_paths = max_paths;
+    sc_jobs = jobs;
+    sc_supervise = supervise;
+    sc_crash_limit = crash_limit;
+    sc_max_pending = max_pending;
+    sc_soft_mb = soft_mb;
+    sc_hard_mb = hard_mb;
+    sc_fsync = fsync;
+    sc_on_warning = on_warning;
+  }
+
+(* --- state ------------------------------------------------------------ *)
+
+type unit_result =
+  | U_verdict of {
+      uv_cached : bool;
+      uv_inc : int;
+      uv_undec : int;
+      uv_faults : int;
+      uv_quar : int;
+      uv_key : string;
+    }
+  | U_quarantined of string
+
+type unit_state = { mutable us_starts : int; mutable us_result : unit_result option }
+
+type job = {
+  jb_id : string;
+  jb_agent_a : string;
+  jb_agent_b : string;
+  jb_fresh : bool;
+  jb_tests : string array;
+  jb_units : unit_state array;
+  mutable jb_done : bool;
+}
+
+type t = {
+  st_dir : string;
+  st_cfg : config;
+  st_store : Store.t;
+  mutable st_wal : Journal.t;
+  st_jobs : (string, job) Hashtbl.t;
+  mutable st_order : string list; (* job ids, submission order *)
+  mutable st_degraded : bool;
+  mutable st_sheds : int;
+  mutable st_replayed : int; (* WAL records recovered at open *)
+  mutable st_requeued : int; (* in-flight units recovery re-enqueued *)
+}
+
+let wal_path dir = Filename.concat dir "wal.log"
+let store_dir dir = Filename.concat dir "store"
+let queue_dir dir = Filename.concat dir "queue"
+let reports_dir dir = Filename.concat dir "reports"
+let report_path dir id = Filename.concat (reports_dir dir) (id ^ ".report")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* --- keys ------------------------------------------------------------- *)
+
+let hex s = Digest.to_hex (Digest.string s)
+
+(* Identity of the *inputs* a test feeds the agents: id, prose and
+   message count pin the spec revision without hashing expression
+   graphs. *)
+let scenario_hash (spec : Harness.Test_spec.t) =
+  hex
+    (String.concat "\x00"
+       [ spec.Harness.Test_spec.id; spec.description; string_of_int spec.message_count ])
+
+let phase1_key ~agent ~scenario ~max_paths =
+  hex (String.concat "\x00" [ "p1"; agent; scenario; string_of_int max_paths ])
+
+(* Everything that can change phase-2 verdict *bytes* must be in the
+   verdict key: solver budgets and the certify regime alter which pairs
+   decide.  Worker count is deliberately absent — reports are
+   byte-identical at any [jobs]. *)
+let solver_signature () =
+  let b = Smt.Solver.get_default_budget () in
+  let opt = function None -> "-" | Some n -> string_of_int n in
+  Printf.sprintf "c=%s;d=%s;t=%s;cert=%b"
+    (opt b.Smt.Solver.b_max_conflicts) (opt b.b_max_decisions) (opt b.b_timeout_ms)
+    (Smt.Solver.certify_enabled ())
+
+let verdict_key ~fp_a ~fp_b ~scenario =
+  hex (String.concat "\x00" [ "v1"; fp_a; fp_b; scenario; solver_signature () ])
+
+(* --- WAL record grammar ----------------------------------------------- *)
+
+(* Payloads are single lines; the journal layer escapes and checksums
+   them.  Agent names and test ids are token-shaped (no spaces), free
+   text goes last.  Unknown record kinds are skipped on replay so an
+   older daemon can recover a newer log. *)
+
+let r_submit j =
+  Printf.sprintf "submit %s %d %s %s %s" j.jb_id
+    (if j.jb_fresh then 1 else 0)
+    j.jb_agent_a j.jb_agent_b
+    (String.concat "," (Array.to_list j.jb_tests))
+
+let r_start id k = Printf.sprintf "start %s %d" id k
+
+let r_verdict id k (v : unit_result) =
+  match v with
+  | U_verdict u ->
+    Printf.sprintf "verdict %s %d %d %d %d %d %d %s" id k
+      (if u.uv_cached then 1 else 0)
+      u.uv_inc u.uv_undec u.uv_faults u.uv_quar u.uv_key
+  | U_quarantined msg -> Printf.sprintf "quarantine %s %d %s" id k msg
+
+let r_done id exit_code = Printf.sprintf "done %s %d" id exit_code
+
+(* --- replay ----------------------------------------------------------- *)
+
+type replayed = {
+  rp_jobs : (string, job) Hashtbl.t;
+  rp_order : string list;
+  rp_records : int;
+  rp_lost : int; (* verdict records whose store entry is gone *)
+}
+
+let replay_records ~store records =
+  let jobs = Hashtbl.create 16 in
+  let order = ref [] in
+  let lost = ref 0 in
+  let n = ref 0 in
+  let find id = Hashtbl.find_opt jobs id in
+  let unit_of id k f =
+    match find id with
+    | Some j when k >= 0 && k < Array.length j.jb_units -> f j j.jb_units.(k)
+    | _ -> ()
+  in
+  List.iter
+    (fun r ->
+      incr n;
+      match String.split_on_char ' ' r with
+      | "submit" :: id :: fresh :: a :: b :: tests :: [] ->
+        if not (Hashtbl.mem jobs id) then begin
+          let tests = Array.of_list (String.split_on_char ',' tests) in
+          Hashtbl.replace jobs id
+            {
+              jb_id = id;
+              jb_agent_a = a;
+              jb_agent_b = b;
+              jb_fresh = fresh = "1";
+              jb_tests = tests;
+              jb_units =
+                Array.init (Array.length tests) (fun _ ->
+                    { us_starts = 0; us_result = None });
+              jb_done = false;
+            };
+          order := id :: !order
+        end
+      | "start" :: id :: k :: [] ->
+        (match int_of_string_opt k with
+         | Some k -> unit_of id k (fun _ u -> u.us_starts <- u.us_starts + 1)
+         | None -> ())
+      | "verdict" :: id :: k :: cached :: inc :: undec :: faults :: quar :: key :: [] ->
+        (match
+           ( int_of_string_opt k, int_of_string_opt inc, int_of_string_opt undec,
+             int_of_string_opt faults, int_of_string_opt quar )
+         with
+         | Some k, Some inc, Some undec, Some faults, Some quar ->
+           unit_of id k (fun _ u ->
+               (* A verdict is only as durable as its payload: the WAL
+                  commit follows the store publish, but the store file can
+                  rot independently.  Absent bytes -> the unit re-runs. *)
+               if Store.mem store ~key then
+                 u.us_result <-
+                   Some
+                     (U_verdict
+                        {
+                          uv_cached = cached = "1";
+                          uv_inc = inc;
+                          uv_undec = undec;
+                          uv_faults = faults;
+                          uv_quar = quar;
+                          uv_key = key;
+                        })
+               else incr lost)
+         | _ -> ())
+      | "quarantine" :: id :: k :: rest ->
+        (match int_of_string_opt k with
+         | Some k ->
+           unit_of id k (fun _ u ->
+               u.us_result <- Some (U_quarantined (String.concat " " rest)))
+         | None -> ())
+      | "done" :: id :: _exit :: [] ->
+        (match find id with Some j -> j.jb_done <- true | None -> ())
+      | _ -> ())
+    records;
+  { rp_jobs = jobs; rp_order = List.rev !order; rp_records = !n; rp_lost = !lost }
+
+(* The canonical record sequence for the current state — what compaction
+   rewrites the WAL to.  Unsettled starts are preserved (they feed the
+   crash-loop quarantine), settled units keep exactly one record. *)
+let canonical_records jobs order =
+  let buf = ref [] in
+  let emit r = buf := r :: !buf in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt jobs id with
+      | None -> ()
+      | Some j ->
+        emit (r_submit j);
+        Array.iteri
+          (fun k u ->
+            match u.us_result with
+            | Some v -> emit (r_verdict j.jb_id k v)
+            | None -> for _ = 1 to u.us_starts do emit (r_start j.jb_id k) done)
+          j.jb_units;
+        if j.jb_done then emit (r_done j.jb_id 0))
+    order;
+  List.rev !buf
+
+(* --- reports ---------------------------------------------------------- *)
+
+let job_counts j =
+  Array.fold_left
+    (fun (inc, undec, faults) u ->
+      match u.us_result with
+      | Some (U_verdict v) -> (inc + v.uv_inc, undec + v.uv_undec, faults + v.uv_faults)
+      | Some (U_quarantined _) -> (inc, undec, faults + 1)
+      | None -> (inc, undec, faults))
+    (0, 0, 0) j.jb_units
+
+let job_exit j =
+  let inc, undec, faults = job_counts j in
+  Report.exit_of_counts ~inconsistencies:inc ~undecided:undec ~faults
+
+(* Strip the "counts i u f q" first line of a store verdict entry,
+   leaving the stable rendering. *)
+let verdict_text content =
+  match String.index_opt content '\n' with
+  | Some i -> String.sub content (i + 1) (String.length content - i - 1)
+  | None -> content
+
+let render_report store j =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "soft-report 1\njob %s\n%s vs %s, %d tests\n" j.jb_id j.jb_agent_a
+    j.jb_agent_b (Array.length j.jb_tests);
+  Array.iteri
+    (fun k u ->
+      Printf.bprintf buf "== test %s ==\n" j.jb_tests.(k);
+      match u.us_result with
+      | Some (U_verdict v) ->
+        (match Store.get store ~key:v.uv_key with
+         | Some content -> Buffer.add_string buf (verdict_text content)
+         | None -> Printf.bprintf buf "verdict payload lost (%s)\n" v.uv_key)
+      | Some (U_quarantined msg) ->
+        Printf.bprintf buf "%s vs %s on %s: quarantined (%s)\n" j.jb_agent_a j.jb_agent_b
+          j.jb_tests.(k) msg
+      | None -> Printf.bprintf buf "unit not settled\n")
+    j.jb_units;
+  Printf.bprintf buf "exit %d\n" (job_exit j);
+  Buffer.contents buf
+
+let write_report ~fsync dir j content =
+  mkdir_p (reports_dir dir);
+  let final = report_path dir j.jb_id in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     flush oc;
+     if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp final
+
+(* --- recovery: the only startup path ---------------------------------- *)
+
+let open_service cfg dir =
+  mkdir_p dir;
+  let store = Store.open_store ~fsync:cfg.sc_fsync (store_dir dir) in
+  let rp = replay_records ~store (Journal.replay (wal_path dir)) in
+  if rp.rp_lost > 0 then
+    cfg.sc_on_warning
+      (Printf.sprintf "%d verdict record(s) lost their store payload; re-running those units"
+         rp.rp_lost);
+  let requeued = ref 0 in
+  (* Crash-loop quarantine: a unit started [crash_limit] times without
+     settling took the daemon down each time — poison.  Recovery, not the
+     hot path, makes this call: only here is the full start count known. *)
+  Hashtbl.iter
+    (fun _ j ->
+      if not j.jb_done then
+        Array.iter
+          (fun u ->
+            match u.us_result with
+            | None when u.us_starts >= cfg.sc_crash_limit ->
+              u.us_result <-
+                Some
+                  (U_quarantined
+                     (Printf.sprintf "crash-loop: %d starts without a verdict" u.us_starts))
+            | None when u.us_starts > 0 -> incr requeued
+            | _ -> ())
+          j.jb_units)
+    rp.rp_jobs;
+  (* Compact: the canonical sequence replaces whatever tail of duplicate
+     starts and superseded records the crashes left behind. *)
+  Journal.rewrite ~fsync:cfg.sc_fsync (wal_path dir)
+    (canonical_records rp.rp_jobs rp.rp_order);
+  let wal = Journal.create ~fsync:cfg.sc_fsync (wal_path dir) in
+  let t =
+    {
+      st_dir = dir;
+      st_cfg = cfg;
+      st_store = store;
+      st_wal = wal;
+      st_jobs = rp.rp_jobs;
+      st_order = rp.rp_order;
+      st_degraded = false;
+      st_sheds = 0;
+      st_replayed = rp.rp_records;
+      st_requeued = !requeued;
+    }
+  in
+  (* Rebuild reports a crash ate between the last verdict and [done] —
+     and re-finalize jobs whose every unit settled before the crash. *)
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.st_jobs id with
+      | Some j
+        when Array.for_all (fun u -> u.us_result <> None) j.jb_units
+             && ((not j.jb_done) || not (Sys.file_exists (report_path dir id))) ->
+        write_report ~fsync:cfg.sc_fsync dir j (render_report store j);
+        if not j.jb_done then begin
+          Journal.append wal (r_done id (job_exit j));
+          j.jb_done <- true
+        end
+      | _ -> ())
+    t.st_order;
+  (* Spool files whose submission already reached the WAL are debris from
+     a crash between journal and dequeue. *)
+  List.iter
+    (fun (s : Jobqueue.submitted) ->
+      if Hashtbl.mem t.st_jobs s.Jobqueue.sb_id then
+        Jobqueue.remove (queue_dir dir) s.Jobqueue.sb_id)
+    (Jobqueue.pending (queue_dir dir));
+  t
+
+let close t = Journal.close t.st_wal
+let replayed_records t = t.st_replayed
+let requeued_units t = t.st_requeued
+let degraded t = t.st_degraded
+let sheds t = t.st_sheds
+
+(* --- submission (client side; shares no state with the daemon) -------- *)
+
+let job_payload ~agent_a ~agent_b ~fresh ~tests =
+  Printf.sprintf "agents %s %s\nfresh %d\ntests %s\n" agent_a agent_b
+    (if fresh then 1 else 0)
+    (String.concat "," tests)
+
+let parse_job_payload payload =
+  let lines = String.split_on_char '\n' payload in
+  let field key =
+    List.find_map
+      (fun l ->
+        let p = key ^ " " in
+        if String.length l > String.length p && String.sub l 0 (String.length p) = p then
+          Some (String.sub l (String.length p) (String.length l - String.length p))
+        else None)
+      lines
+  in
+  match (field "agents", field "fresh", field "tests") with
+  | Some agents, Some fresh, Some tests -> (
+    match String.split_on_char ' ' agents with
+    | [ a; b ] -> Some (a, b, fresh = "1", String.split_on_char ',' tests)
+    | _ -> None)
+  | _ -> None
+
+let submit ?(fresh = false) ?max_pending dir ~agent_a ~agent_b ~tests =
+  if tests = [] then invalid_arg "Service.submit: empty test list";
+  Jobqueue.submit ?max_pending (queue_dir dir) (job_payload ~agent_a ~agent_b ~fresh ~tests)
+
+(* --- the drain loop --------------------------------------------------- *)
+
+let shed_caches t =
+  let before = Smt.Solver.cache_len () in
+  Smt.Solver.clear_cache ();
+  Gc.major ();
+  t.st_sheds <- t.st_sheds + 1;
+  t.st_degraded <- true;
+  t.st_cfg.sc_on_warning
+    (Printf.sprintf "memory pressure: shed %d cached queries, degraded to 1 worker" before)
+
+let over watermark =
+  match watermark with None -> false | Some mb -> Supervise.heap_mb () > float_of_int mb
+
+let check_pressure t = if over t.st_cfg.sc_soft_mb then shed_caches t
+
+(* Admit journaled submissions from the spool.  Hard watermark: stop
+   admitting, let depth-based backpressure propagate to submitters. *)
+let intake t =
+  if not (over t.st_cfg.sc_hard_mb) then
+    List.iter
+      (fun (s : Jobqueue.submitted) ->
+        if not (Hashtbl.mem t.st_jobs s.Jobqueue.sb_id) then begin
+          match parse_job_payload s.Jobqueue.sb_payload with
+          | None ->
+            t.st_cfg.sc_on_warning
+              (Printf.sprintf "dropping malformed job %s" s.Jobqueue.sb_id);
+            Jobqueue.remove (queue_dir t.st_dir) s.Jobqueue.sb_id
+          | Some (a, b, fresh, tests) ->
+            let tests = Array.of_list tests in
+            let j =
+              {
+                jb_id = s.Jobqueue.sb_id;
+                jb_agent_a = a;
+                jb_agent_b = b;
+                jb_fresh = fresh;
+                jb_tests = tests;
+                jb_units =
+                  Array.init (Array.length tests) (fun _ ->
+                      { us_starts = 0; us_result = None });
+                jb_done = false;
+              }
+            in
+            (* Journal first, dequeue second: a crash in between re-offers
+               the spool file, which recovery dedups by id. *)
+            Journal.append t.st_wal (r_submit j);
+            Hashtbl.replace t.st_jobs s.Jobqueue.sb_id j;
+            t.st_order <- t.st_order @ [ s.Jobqueue.sb_id ];
+            Jobqueue.remove (queue_dir t.st_dir) s.Jobqueue.sb_id
+        end)
+      (Jobqueue.pending (queue_dir t.st_dir))
+
+let next_unit t =
+  List.find_map
+    (fun id ->
+      match Hashtbl.find_opt t.st_jobs id with
+      | Some j when not j.jb_done ->
+        let rec find k =
+          if k >= Array.length j.jb_units then None
+          else if j.jb_units.(k).us_result = None then Some (j, k)
+          else find (k + 1)
+        in
+        find 0
+      | _ -> None)
+    t.st_order
+
+(* Phase 1 through the store.  Fresh and cached paths both hand the
+   crosscheck the exact stored bytes (re-parsed), so a store hit and a
+   recomputation feed it bit-identical inputs. *)
+let phase1 t ~fresh ~agent_name ~agent ~spec ~scenario =
+  let key = phase1_key ~agent:agent_name ~scenario ~max_paths:t.st_cfg.sc_max_paths in
+  let cached = if fresh then None else Store.get t.st_store ~key in
+  match cached with
+  | Some bytes -> bytes
+  | None ->
+    let run = Harness.Runner.execute ~max_paths:t.st_cfg.sc_max_paths agent spec in
+    let bytes = Serialize.to_string (Serialize.of_run run) in
+    Store.put t.st_store ~key bytes;
+    bytes
+
+let settle t j k result =
+  Journal.append t.st_wal (r_verdict j.jb_id k result);
+  j.jb_units.(k).us_result <- Some result
+
+let finalize_if_done t j =
+  if Array.for_all (fun u -> u.us_result <> None) j.jb_units then begin
+    write_report ~fsync:t.st_cfg.sc_fsync t.st_dir j (render_report t.st_store j);
+    Journal.append t.st_wal (r_done j.jb_id (job_exit j));
+    j.jb_done <- true
+  end
+
+let run_unit t j k =
+  check_pressure t;
+  Journal.append t.st_wal (r_start j.jb_id k);
+  j.jb_units.(k).us_starts <- j.jb_units.(k).us_starts + 1;
+  let quarantine msg = settle t j k (U_quarantined msg) in
+  (match
+     ( Harness.Test_spec.by_id j.jb_tests.(k),
+       List.assoc_opt j.jb_agent_a t.st_cfg.sc_agents,
+       List.assoc_opt j.jb_agent_b t.st_cfg.sc_agents )
+   with
+   | None, _, _ -> quarantine ("unknown test " ^ j.jb_tests.(k))
+   | _, None, _ -> quarantine ("unknown agent " ^ j.jb_agent_a)
+   | _, _, None -> quarantine ("unknown agent " ^ j.jb_agent_b)
+   | Some spec, Some agent_a, Some agent_b -> (
+     let scenario = scenario_hash spec in
+     match
+       let a_bytes =
+         phase1 t ~fresh:j.jb_fresh ~agent_name:j.jb_agent_a ~agent:agent_a ~spec ~scenario
+       in
+       let b_bytes =
+         phase1 t ~fresh:j.jb_fresh ~agent_name:j.jb_agent_b ~agent:agent_b ~spec ~scenario
+       in
+       let fp_a = hex a_bytes and fp_b = hex b_bytes in
+       let key = verdict_key ~fp_a ~fp_b ~scenario in
+       match Store.get t.st_store ~key with
+       | Some content -> (
+         (* Store hit: the whole verdict comes from disk, no solving. *)
+         match String.split_on_char ' ' (List.hd (String.split_on_char '\n' content)) with
+         | [ "counts"; inc; undec; faults; quar ] ->
+           U_verdict
+             {
+               uv_cached = true;
+               uv_inc = int_of_string inc;
+               uv_undec = int_of_string undec;
+               uv_faults = int_of_string faults;
+               uv_quar = int_of_string quar;
+               uv_key = key;
+             }
+         | _ ->
+           (* corrupt-reads-as-absent should make this unreachable, but
+              degrade to recompute rather than trust a garbled header *)
+           failwith "unreadable verdict entry")
+       | None ->
+         let ga = Grouping.of_saved (Serialize.of_string a_bytes) in
+         let gb = Grouping.of_saved (Serialize.of_string b_bytes) in
+         let jobs = if t.st_degraded then 1 else t.st_cfg.sc_jobs in
+         let o =
+           Crosscheck.check ~jobs ?supervise:t.st_cfg.sc_supervise
+             ~on_warning:t.st_cfg.sc_on_warning ga gb
+         in
+         let content =
+           Printf.sprintf "counts %d %d %d %d\n%s" (Crosscheck.count o)
+             (Crosscheck.undecided_count o) o.Crosscheck.o_pair_faults
+             (Crosscheck.quarantined_count o)
+             (Crosscheck.render_stable o)
+         in
+         Store.put t.st_store ~key content;
+         U_verdict
+           {
+             uv_cached = false;
+             uv_inc = Crosscheck.count o;
+             uv_undec = Crosscheck.undecided_count o;
+             uv_faults = o.Crosscheck.o_pair_faults;
+             uv_quar = Crosscheck.quarantined_count o;
+             uv_key = key;
+           }
+     with
+     | v -> settle t j k v
+     | exception (Harness.Chaos.Injected_fault _ as e) ->
+       (* a simulated crash: propagate so the process "dies" and comes
+          back through recovery — never convert it into a verdict *)
+       raise e
+     | exception e ->
+       (* a deterministic failure (solver bug, malformed store bytes):
+          quarantine now instead of crash-looping the daemon on it *)
+       let tax, msg = Supervise.classify_exn e in
+       quarantine (Supervise.taxonomy_to_string tax ^ ": " ^ msg)));
+  finalize_if_done t j
+
+let serve ?(once = false) ?(poll_ms = 200) ?max_units t =
+  let remaining = ref (match max_units with Some n -> n | None -> max_int) in
+  let running = ref true in
+  while !running do
+    intake t;
+    match next_unit t with
+    | Some (j, k) when !remaining > 0 ->
+      run_unit t j k;
+      decr remaining
+    | Some _ -> running := false
+    | None ->
+      if once then running := false
+      else begin
+        Unix.sleepf (float_of_int poll_ms /. 1000.0);
+        (* piggyback pressure checks on idle ticks so a quiet daemon
+           still sheds when a co-tenant bloats the heap *)
+        check_pressure t
+      end
+  done
+
+(* --- status (read-only; works on a live or dead service dir) ---------- *)
+
+type status = {
+  ss_jobs : int;
+  ss_jobs_done : int;
+  ss_units : int;
+  ss_units_settled : int;
+  ss_units_quarantined : int;
+  ss_verdicts_lost : int;
+  ss_queue_depth : int;
+  ss_store_entries : int;
+  ss_wal_records : int;
+}
+
+let status dir =
+  let store = Store.open_store ~fsync:false (store_dir dir) in
+  let rp = replay_records ~store (Journal.replay (wal_path dir)) in
+  let jobs_done = ref 0 and units = ref 0 and settled = ref 0 and quar = ref 0 in
+  Hashtbl.iter
+    (fun _ j ->
+      if j.jb_done then incr jobs_done;
+      Array.iter
+        (fun u ->
+          incr units;
+          match u.us_result with
+          | Some (U_quarantined _) ->
+            incr settled;
+            incr quar
+          | Some _ -> incr settled
+          | None -> ())
+        j.jb_units)
+    rp.rp_jobs;
+  {
+    ss_jobs = Hashtbl.length rp.rp_jobs;
+    ss_jobs_done = !jobs_done;
+    ss_units = !units;
+    ss_units_settled = !settled;
+    ss_units_quarantined = !quar;
+    ss_verdicts_lost = rp.rp_lost;
+    ss_queue_depth = Jobqueue.depth (queue_dir dir);
+    ss_store_entries = Store.size store;
+    ss_wal_records = rp.rp_records;
+  }
+
+let pp_status fmt s =
+  Format.fprintf fmt
+    "@[<v>jobs: %d (%d done)@ units: %d (%d settled, %d quarantined, lost %d)@ queue depth: %d@ store entries: %d@ wal records: %d@]"
+    s.ss_jobs s.ss_jobs_done s.ss_units s.ss_units_settled s.ss_units_quarantined
+    s.ss_verdicts_lost s.ss_queue_depth s.ss_store_entries s.ss_wal_records
+
+let report dir id =
+  let path = report_path dir id in
+  if Sys.file_exists path then Some (In_channel.with_open_bin path In_channel.input_all)
+  else None

@@ -1,0 +1,123 @@
+(** Crash-only crosscheck service: a WAL-backed job store, a
+    content-addressed result store, and a daemon drain loop over the
+    supervised crosscheck pipeline.
+
+    All durable state lives under one service directory (spool queue,
+    write-ahead log, store, reports), and {!open_service} — which
+    replays the WAL — is the {e only} startup path: a fresh directory is
+    the recovery of an empty log.  [kill -9] at any instant loses at
+    most the units in flight; everything acknowledged is behind an
+    fsynced WAL record, and a recovered daemon reproduces the exact
+    report bytes an uninterrupted one would have written.
+
+    Results are content-addressed: phase-1 runs by (agent, scenario
+    hash, path budget), verdicts by (fingerprint A, fingerprint B,
+    scenario hash, solver signature).  Resubmitting an unchanged job is
+    answered entirely from the store with zero new SAT calls; after an
+    agent edit ([~fresh:true]) only partitions whose fingerprint changed
+    re-solve.
+
+    Under pressure the service degrades instead of dying: a soft heap
+    watermark sheds the solver cache and drops to one worker, a hard
+    watermark stops admitting spool files so submitters see
+    [`Backpressure]. *)
+
+type config
+
+val config :
+  ?max_paths:int ->
+  ?jobs:int ->
+  ?supervise:Harness.Supervise.policy ->
+  ?crash_limit:int ->
+  ?max_pending:int ->
+  ?soft_mb:int ->
+  ?hard_mb:int ->
+  ?fsync:bool ->
+  ?on_warning:(string -> unit) ->
+  agents:(string * Switches.Agent_intf.t) list ->
+  unit ->
+  config
+(** [agents] resolves job agent names; [max_paths] is the phase-1 path
+    budget (part of the phase-1 store key); [jobs] the crosscheck worker
+    count (never part of any key: reports are byte-identical at any
+    [jobs]); [crash_limit] (default 3) is how many [start] records
+    without a verdict quarantine a unit as a crash-looper on recovery;
+    [max_pending] (default 64) the spool depth at which {!submit}
+    bounces; [soft_mb]/[hard_mb] the degradation watermarks; [fsync]
+    (default true) may be disabled for tests only.
+    @raise Invalid_argument if [jobs < 1] or [crash_limit < 1]. *)
+
+type t
+(** An open service: recovered state plus an append handle on the WAL. *)
+
+val open_service : config -> string -> t
+(** Recover (and compact) the service rooted at the directory: replay
+    the WAL, discard its torn tail, drop verdicts whose store payload is
+    missing, quarantine crash-looping units, rebuild missing reports,
+    finalize jobs whose last verdict landed but whose [done] record did
+    not, and dedup spool files already journaled.  Creates the directory
+    tree on first use. *)
+
+val close : t -> unit
+
+val serve : ?once:bool -> ?poll_ms:int -> ?max_units:int -> t -> unit
+(** Drain the queue: admit spool submissions into the WAL, then run
+    units (one (agent A, agent B, test) triple each) in deterministic
+    submission order.  [once] returns when queue and WAL hold no
+    runnable unit instead of polling every [poll_ms] (default 200);
+    [max_units] stops after that many units (tests use it to simulate a
+    kill at a chosen point).  May raise {!Harness.Chaos.Injected_fault}
+    under a fault plan — treat exactly as a crash: drop [t] and recover
+    via {!open_service}. *)
+
+val submit :
+  ?fresh:bool ->
+  ?max_pending:int ->
+  string ->
+  agent_a:string ->
+  agent_b:string ->
+  tests:string list ->
+  (string, [ `Backpressure of int ]) result
+(** Client-side enqueue into the service directory's spool; shares no
+    state with the daemon.  [fresh] forces phase-1 re-execution (use
+    after editing an agent model); verdict caching by fingerprint still
+    applies.  Refuses with [`Backpressure depth] at the pending
+    watermark.
+    @raise Invalid_argument on an empty test list. *)
+
+val report : string -> string -> string option
+(** [report dir job_id] reads a finalized job report, if present. *)
+
+(** {1 Introspection} *)
+
+val replayed_records : t -> int
+(** WAL records recovered at {!open_service}. *)
+
+val requeued_units : t -> int
+(** Units found in flight (started, unsettled) and re-enqueued. *)
+
+val degraded : t -> bool
+(** Whether the soft watermark has forced single-worker operation. *)
+
+val sheds : t -> int
+(** Cache sheds performed under memory pressure. *)
+
+type status = {
+  ss_jobs : int;
+  ss_jobs_done : int;
+  ss_units : int;
+  ss_units_settled : int;
+  ss_units_quarantined : int;
+  ss_verdicts_lost : int;
+      (** verdict records whose store payload is gone; recovery re-runs
+          these, so a quiescent service always shows 0 *)
+  ss_queue_depth : int;
+  ss_store_entries : int;
+  ss_wal_records : int;
+}
+
+val status : string -> status
+(** Read-only snapshot of a service directory — works whether or not a
+    daemon is running (it replays the WAL without writing). *)
+
+val pp_status : Format.formatter -> status -> unit

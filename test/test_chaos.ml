@@ -35,10 +35,10 @@ let fires plan pt n =
 
 let test_plan_determinism () =
   with_clean_world (fun () ->
-      let p1 = fires (Chaos.plan ~seed:11 ~rate:0.5) Chaos.Solver_fault 200 in
-      let p2 = fires (Chaos.plan ~seed:11 ~rate:0.5) Chaos.Solver_fault 200 in
+      let p1 = fires (Chaos.plan ~seed:11 ~rate:0.5 ()) Chaos.Solver_fault 200 in
+      let p2 = fires (Chaos.plan ~seed:11 ~rate:0.5 ()) Chaos.Solver_fault 200 in
       check_bool "same seed, same schedule" true (p1 = p2);
-      let p3 = fires (Chaos.plan ~seed:12 ~rate:0.5) Chaos.Solver_fault 200 in
+      let p3 = fires (Chaos.plan ~seed:12 ~rate:0.5 ()) Chaos.Solver_fault 200 in
       check_bool "different seed, different schedule" true (p1 <> p3);
       check_bool "rate 0.5 actually fires sometimes" true (List.mem true p1);
       check_bool "and spares sometimes" true (List.mem false p1))
@@ -46,8 +46,8 @@ let test_plan_determinism () =
 let test_point_streams_independent () =
   with_clean_world (fun () ->
       (* drawing at one point must not shift another point's schedule *)
-      let solo = fires (Chaos.plan ~seed:7 ~rate:0.5) Chaos.Solver_fault 100 in
-      let plan = Chaos.plan ~seed:7 ~rate:0.5 in
+      let solo = fires (Chaos.plan ~seed:7 ~rate:0.5 ()) Chaos.Solver_fault 100 in
+      let plan = Chaos.plan ~seed:7 ~rate:0.5 () in
       Chaos.install plan;
       let interleaved =
         List.init 100 (fun _ ->
@@ -62,15 +62,15 @@ let test_point_streams_independent () =
 let test_rate_bounds () =
   Alcotest.check_raises "rate above 1 rejected"
     (Invalid_argument "Chaos.plan: rate must be within [0, 1]") (fun () ->
-      ignore (Chaos.plan ~seed:1 ~rate:1.5));
+      ignore (Chaos.plan ~seed:1 ~rate:1.5 ()));
   Alcotest.check_raises "negative rate rejected"
     (Invalid_argument "Chaos.plan: rate must be within [0, 1]") (fun () ->
-      ignore (Chaos.plan ~seed:1 ~rate:(-0.1)));
+      ignore (Chaos.plan ~seed:1 ~rate:(-0.1) ()));
   with_clean_world (fun () ->
       check_bool "rate 0 never fires" true
-        (List.for_all not (fires (Chaos.plan ~seed:1 ~rate:0.0) Chaos.Agent_step 100));
+        (List.for_all not (fires (Chaos.plan ~seed:1 ~rate:0.0 ()) Chaos.Agent_step 100));
       check_bool "rate 1 always fires" true
-        (List.for_all Fun.id (fires (Chaos.plan ~seed:1 ~rate:1.0) Chaos.Agent_step 100));
+        (List.for_all Fun.id (fires (Chaos.plan ~seed:1 ~rate:1.0 ()) Chaos.Agent_step 100));
       Chaos.deactivate ();
       (* with no plan active every injection point is a no-op *)
       Chaos.maybe_raise Chaos.Solver_fault;
@@ -79,7 +79,7 @@ let test_rate_bounds () =
 let test_clock_jump_and_reset () =
   with_clean_world (fun () ->
       let before = Mono.now () in
-      Chaos.install (Chaos.plan ~seed:3 ~rate:1.0);
+      Chaos.install (Chaos.plan ~seed:3 ~rate:1.0 ());
       Chaos.maybe_clock_jump ();
       check_bool "clock jumped a day" true (Mono.now () -. before > 86000.0);
       Mono.reset_skew ();
@@ -96,7 +96,7 @@ let test_truncation_point () =
           (* inactive: untouched *)
           Chaos.maybe_truncate_file file;
           check_int "no plan, no truncation" 100 (Unix.stat file).Unix.st_size;
-          Chaos.install (Chaos.plan ~seed:3 ~rate:1.0);
+          Chaos.install (Chaos.plan ~seed:3 ~rate:1.0 ());
           Chaos.maybe_truncate_file file;
           check_int "fired truncation halves the file" 50 (Unix.stat file).Unix.st_size))
 
@@ -104,7 +104,7 @@ let test_truncation_point () =
 
 let test_agent_step_fault_aborts_run () =
   with_clean_world (fun () ->
-      Chaos.install (Chaos.plan ~seed:1 ~rate:1.0);
+      Chaos.install (Chaos.plan ~seed:1 ~rate:1.0 ());
       let spec = Test_spec.packet_out () in
       (match Runner.execute ~max_paths:20 Switches.Reference_switch.agent spec with
        | _ -> Alcotest.fail "injected agent fault did not abort the run"
@@ -150,7 +150,7 @@ let test_chaos_only_grows_undecided () =
            core and with it the injection point *)
         Solver.clear_cache ();
         Mono.reset_skew ();
-        Chaos.install (Chaos.plan ~seed ~rate:0.3);
+        Chaos.install (Chaos.plan ~seed ~rate:0.3 ());
         (* a generous per-query budget: only an injected clock jump can
            expire it, which must degrade the pair, not misreport it *)
         let o = Soft.Crosscheck.check ~budget:(Solver.budget ~timeout_ms:60_000 ()) a b in
@@ -181,7 +181,7 @@ let test_chaos_only_grows_undecided () =
       let rerun seed =
         Solver.clear_cache ();
         Mono.reset_skew ();
-        Chaos.install (Chaos.plan ~seed ~rate:0.3);
+        Chaos.install (Chaos.plan ~seed ~rate:0.3 ());
         let o = Soft.Crosscheck.check a b in
         Chaos.deactivate ();
         (inc_keys o, o.Soft.Crosscheck.o_pairs_undecided)
@@ -203,7 +203,7 @@ let test_truncated_chaos_checkpoint_heals () =
         ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
         (fun () ->
           (* rate 1: every snapshot written is immediately truncated *)
-          Chaos.install (Chaos.plan ~seed:9 ~rate:1.0);
+          Chaos.install (Chaos.plan ~seed:9 ~rate:1.0 ());
           ignore (Soft.Crosscheck.check ~checkpoint:file ~checkpoint_every:4 a b);
           Chaos.deactivate ();
           check_bool "a (truncated) checkpoint exists" true (Sys.file_exists file);

@@ -198,7 +198,7 @@ let test_chaos_seeds_identical () =
         let run incremental =
           Solver.clear_cache ();
           Mono.reset_skew ();
-          Chaos.install (Chaos.plan ~seed ~rate:0.3);
+          Chaos.install (Chaos.plan ~seed ~rate:0.3 ());
           let o = Soft.Crosscheck.check ~jobs:1 ~incremental a b in
           Chaos.deactivate ();
           Mono.reset_skew ();

@@ -260,7 +260,7 @@ let test_chaos_invariant_at_j4 () =
       for seed = 1 to 8 do
         Solver.clear_cache ();
         Mono.reset_skew ();
-        Chaos.install (Chaos.plan ~seed ~rate:0.3);
+        Chaos.install (Chaos.plan ~seed ~rate:0.3 ());
         let o =
           Soft.Crosscheck.check ~jobs:4 ~budget:(Solver.budget ~timeout_ms:60_000 ()) a b
         in
@@ -310,7 +310,7 @@ let test_compare_suite_failure_attribution () =
   with_clean_world (fun () ->
       let specs = [ Test_spec.packet_out () ] in
       let failures jobs =
-        Chaos.install (Chaos.plan ~seed:2 ~rate:1.0);
+        Chaos.install (Chaos.plan ~seed:2 ~rate:1.0 ());
         let s =
           Soft.Pipeline.compare_suite ~max_paths:20 ~jobs Switches.Reference_switch.agent
             Switches.Modified_switch.agent specs

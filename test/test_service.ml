@@ -1,0 +1,499 @@
+(* The crash-only service layer: WAL append/replay contracts (torn-tail
+   discard, the replay-prefix property, ghost commits under injected
+   durability faults), the content-addressed store's corrupt-reads-as-
+   absent contract, spool-queue backpressure, the checkpoint v3
+   duplicate-quarantine guard, and the end-to-end service invariants —
+   a killed-and-recovered serve run reproduces the uninterrupted run's
+   report bytes, and a resubmitted unchanged job is answered from the
+   store with zero new SAT calls. *)
+
+open Smt
+module Journal = Harness.Journal
+module Store = Harness.Store
+module Jobqueue = Harness.Jobqueue
+module Chaos = Harness.Chaos
+module Supervise = Harness.Supervise
+module Service = Soft.Service
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_clean_world f =
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.deactivate ();
+      Mono.reset_skew ();
+      Solver.set_default_budget Solver.no_budget;
+      Solver.clear_cache ())
+    f
+
+let rec rm_rf p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+
+let in_tmpdir f =
+  let dir = Filename.temp_file "soft_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ()) (fun () -> f dir)
+
+let read_file p = In_channel.with_open_bin p In_channel.input_all
+let write_file p s = Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc s)
+
+(* --- the write-ahead log ----------------------------------------------- *)
+
+let test_journal_roundtrip () =
+  in_tmpdir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let j = Journal.create ~fsync:false path in
+      let records = [ "submit a b"; "binary \x00\x01\xff"; "newline in\nside"; "" ] in
+      List.iter (Journal.append j) records;
+      Journal.close j;
+      Alcotest.(check (list string)) "replay returns the appended records" records
+        (Journal.replay path);
+      (* reopen and extend: appends land after the existing history *)
+      let j = Journal.create ~fsync:false path in
+      Journal.append j "tail";
+      Journal.close j;
+      Alcotest.(check (list string)) "append after reopen extends" (records @ [ "tail" ])
+        (Journal.replay path))
+
+let test_journal_torn_tail () =
+  in_tmpdir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let j = Journal.create ~fsync:false path in
+      List.iter (Journal.append j) [ "r0"; "r1"; "r2" ];
+      Journal.close j;
+      (* tear the last record mid-line, as a crash mid-append would *)
+      let content = read_file path in
+      write_file path (String.sub content 0 (String.length content - 3));
+      Alcotest.(check (list string)) "torn tail discarded, prefix intact" [ "r0"; "r1" ]
+        (Journal.replay path);
+      (* recovery truncates the tear; new appends start at a boundary *)
+      let j = Journal.create ~fsync:false path in
+      Journal.append j "r3";
+      Journal.close j;
+      Alcotest.(check (list string)) "append after tear recovery" [ "r0"; "r1"; "r3" ]
+        (Journal.replay path))
+
+(* Replay of any byte-prefix of the log is a prefix of the full replay:
+   no cut point — however unaligned — can reorder, invent or corrupt
+   records.  This is the invariant that makes "recover from whatever is
+   on disk" safe at every kill instant. *)
+let test_journal_prefix_property () =
+  in_tmpdir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let j = Journal.create ~fsync:false path in
+      for i = 0 to 29 do
+        Journal.append j (Printf.sprintf "record %d with some payload %d" i (i * i))
+      done;
+      Journal.close j;
+      let full_bytes = read_file path in
+      let full = Journal.replay path in
+      let rec is_prefix xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+        | _, [] -> false
+      in
+      let rng = Random.State.make [| 0xca5e |] in
+      let cut = Filename.concat dir "cut.log" in
+      for _ = 1 to 60 do
+        let n = Random.State.int rng (String.length full_bytes + 1) in
+        write_file cut (String.sub full_bytes 0 n);
+        let part = Journal.replay cut in
+        check_bool
+          (Printf.sprintf "replay of %d-byte prefix is a replay prefix" n)
+          true (is_prefix part full)
+      done)
+
+(* Under injected durability faults, for every chaos seed: the records
+   whose append was acknowledged are a subsequence of what replay
+   recovers (nothing acknowledged is lost), and replay recovers only
+   records that were actually attempted (ghost commits from failed
+   fsyncs are legitimate; invented records are not). *)
+let test_journal_chaos_sweep () =
+  with_clean_world (fun () ->
+      let rec is_subseq xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' -> if x = y then is_subseq xs' ys' else is_subseq xs ys'
+      in
+      for seed = 1 to 8 do
+        in_tmpdir (fun dir ->
+            let path = Filename.concat dir "wal.log" in
+            Chaos.install
+              (Chaos.plan
+                 ~only:[ Chaos.Torn_write; Chaos.Fsync_fail; Chaos.Rename_crash ]
+                 ~seed ~rate:0.3 ());
+            let committed = ref [] in
+            let attempted = ref [] in
+            let handle = ref (Journal.create ~fsync:false path) in
+            for i = 0 to 29 do
+              let r = Printf.sprintf "seed%d record %d" seed i in
+              attempted := r :: !attempted;
+              match Journal.append !handle r with
+              | () -> committed := r :: !committed
+              | exception Chaos.Injected_fault _ ->
+                (* the simulated kill: drop the handle, recover *)
+                Journal.close !handle;
+                handle := Journal.create ~fsync:false path
+            done;
+            Journal.close !handle;
+            Chaos.deactivate ();
+            let replayed = Journal.replay path in
+            check_bool
+              (Printf.sprintf "seed %d: acknowledged records all recovered" seed)
+              true
+              (is_subseq (List.rev !committed) replayed);
+            check_bool
+              (Printf.sprintf "seed %d: recovered records were all attempted" seed)
+              true
+              (is_subseq replayed (List.rev !attempted)))
+      done)
+
+let test_journal_rewrite () =
+  in_tmpdir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let j = Journal.create ~fsync:false path in
+      List.iter (Journal.append j) [ "a"; "b"; "c"; "d" ];
+      Journal.close j;
+      Journal.rewrite ~fsync:false path [ "b"; "d" ];
+      Alcotest.(check (list string)) "compaction kept exactly the given records"
+        [ "b"; "d" ] (Journal.replay path);
+      let j = Journal.create ~fsync:false path in
+      Journal.append j "e";
+      Journal.close j;
+      Alcotest.(check (list string)) "appendable after compaction" [ "b"; "d"; "e" ]
+        (Journal.replay path))
+
+(* --- the content-addressed store --------------------------------------- *)
+
+let test_store_contract () =
+  in_tmpdir (fun dir ->
+      let s = Store.open_store ~fsync:false dir in
+      let key = Digest.to_hex (Digest.string "k1") in
+      check_bool "absent key" true (Store.get s ~key = None);
+      Store.put s ~key "payload bytes \x00\xff";
+      Alcotest.(check (option string)) "round trip" (Some "payload bytes \x00\xff")
+        (Store.get s ~key);
+      check_int "one entry" 1 (Store.size s);
+      (match Store.put s ~key:"not hex!" "x" with
+      | () -> Alcotest.fail "accepted a non-hex key"
+      | exception Invalid_argument _ -> ());
+      (* flip a payload byte on disk: the entry must read as absent *)
+      let file = Filename.concat dir key in
+      let content = Bytes.of_string (read_file file) in
+      let i = Bytes.length content - 2 in
+      Bytes.set content i (if Bytes.get content i = 'x' then 'y' else 'x');
+      write_file file (Bytes.to_string content);
+      check_bool "corrupt entry reads as absent" true (Store.get s ~key = None))
+
+(* --- the spool queue --------------------------------------------------- *)
+
+let test_jobqueue () =
+  in_tmpdir (fun dir ->
+      let q = Filename.concat dir "queue" in
+      let id1 =
+        match Jobqueue.submit ~max_pending:2 q "payload one" with
+        | Ok id -> id
+        | Error _ -> Alcotest.fail "first submit refused"
+      in
+      let id2 =
+        match Jobqueue.submit ~max_pending:2 q "payload one" with
+        | Ok id -> id
+        | Error _ -> Alcotest.fail "second submit refused"
+      in
+      check_bool "identical payloads get distinct ids" true (id1 <> id2);
+      (match Jobqueue.submit ~max_pending:2 q "payload three" with
+      | Error (`Backpressure 2) -> ()
+      | Ok _ -> Alcotest.fail "watermark not enforced"
+      | Error (`Backpressure n) -> Alcotest.failf "wrong depth %d" n);
+      (match Jobqueue.pending q with
+      | [ a; b ] ->
+        check_string "arrival order" id1 a.Jobqueue.sb_id;
+        check_string "arrival order (2)" id2 b.Jobqueue.sb_id;
+        check_string "payload intact" "payload one" a.Jobqueue.sb_payload
+      | l -> Alcotest.failf "expected 2 pending, got %d" (List.length l));
+      Jobqueue.remove q id1;
+      check_int "removed" 1 (Jobqueue.depth q))
+
+(* --- checkpoint v3: duplicate / contradictory quarantine records ------- *)
+
+let body_of content =
+  let wo = String.sub content 0 (String.length content - 1) in
+  let i = String.rindex wo '\n' in
+  String.sub content 0 (i + 1)
+
+let with_sum body = body ^ "sum " ^ Digest.to_hex (Digest.string body) ^ "\n"
+
+let test_checkpoint_dup_quarantine () =
+  with_clean_world (fun () ->
+      in_tmpdir (fun dir ->
+          let file = Filename.concat dir "ckpt" in
+          let spec = Harness.Test_spec.packet_out () in
+          let a =
+            Soft.Grouping.of_run
+              (Harness.Runner.execute ~max_paths:40 Switches.Reference_switch.agent spec)
+          in
+          let b =
+            Soft.Grouping.of_run
+              (Harness.Runner.execute ~max_paths:40 Switches.Modified_switch.agent spec)
+          in
+          ignore (Soft.Crosscheck.check ~checkpoint:file a b);
+          let lines = String.split_on_char '\n' (body_of (read_file file)) in
+          (* take the first two decided pairs: turn the second into a
+             quarantine, then append colliding records for both *)
+          let decided =
+            List.filter
+              (fun l -> String.length l > 2 && l.[0] = 'd' && l.[1] = ' ')
+              lines
+          in
+          let d1 = List.nth decided 0 and d2 = List.nth decided 1 in
+          let q_of d tax = "q" ^ String.sub d 1 (String.length d - 1) ^ " " ^ tax in
+          let lines' =
+            List.concat_map (fun l -> if l = d2 then [ q_of d2 "hung" ] else [ l ]) lines
+          in
+          (* drop the trailing "" so appended records stay in the body *)
+          let lines' = List.filter (fun l -> l <> "") lines' in
+          let doctored =
+            lines'
+            @ [
+                q_of d1 "crashed" (* contradicts d1's clean verdict *);
+                q_of d2 "crashed" (* contradicts the hung quarantine *);
+                q_of d2 "hung" (* exact duplicate *);
+              ]
+          in
+          write_file file (with_sum (String.concat "\n" doctored ^ "\n"));
+          let warnings = ref [] in
+          let resumed =
+            Soft.Crosscheck.check ~resume:file
+              ~on_warning:(fun w -> warnings := w :: !warnings)
+              a b
+          in
+          check_int "each collision warned" 3 (List.length !warnings);
+          check_bool "warnings name the quarantine collision" true
+            (List.for_all
+               (fun w ->
+                 let has needle =
+                   let n = String.length needle and l = String.length w in
+                   let rec find i = i + n <= l && (String.sub w i n = needle || find (i + 1)) in
+                   find 0
+                 in
+                 has "quarantine" && has "keeping the first")
+               !warnings);
+          (* first-wins: d1 stays decided, d2 keeps the hung taxonomy *)
+          check_int "only the one real quarantine survives" 1
+            (Soft.Crosscheck.quarantined_count resumed);
+          match resumed.Soft.Crosscheck.o_pairs_quarantined with
+          | [ (_, _, tax) ] -> check_bool "first taxonomy wins" true (tax = Supervise.Hung)
+          | _ -> Alcotest.fail "quarantine list malformed"))
+
+(* --- the service ------------------------------------------------------- *)
+
+let agents =
+  [
+    ("ref", Switches.Reference_switch.agent);
+    ("modified", Switches.Modified_switch.agent);
+  ]
+
+let cfg ?(crash_limit = 3) () =
+  Service.config ~max_paths:80 ~crash_limit ~fsync:false ~on_warning:(fun _ -> ()) ~agents ()
+
+let submit_ok dir =
+  match
+    Service.submit dir ~agent_a:"ref" ~agent_b:"modified"
+      ~tests:[ "packet_out"; "concrete" ]
+  with
+  | Ok id -> id
+  | Error _ -> Alcotest.fail "submit refused"
+
+(* strip "soft-report 1\njob <id>\n": ids are per-submission, the rest of
+   the report must be a pure function of the work *)
+let report_body s =
+  match String.split_on_char '\n' s with
+  | _magic :: _job :: rest -> String.concat "\n" rest
+  | _ -> s
+
+let drain_fully dir =
+  let t = Service.open_service (cfg ()) dir in
+  Fun.protect ~finally:(fun () -> Service.close t) (fun () -> Service.serve ~once:true t)
+
+let test_service_end_to_end () =
+  with_clean_world (fun () ->
+      in_tmpdir (fun dir ->
+          let id = submit_ok dir in
+          drain_fully dir;
+          let st = Service.status dir in
+          check_int "one job" 1 st.Service.ss_jobs;
+          check_int "job done" 1 st.Service.ss_jobs_done;
+          check_int "both units settled" 2 st.Service.ss_units_settled;
+          check_int "no verdict lost" 0 st.Service.ss_verdicts_lost;
+          check_int "queue drained" 0 st.Service.ss_queue_depth;
+          match Service.report dir id with
+          | None -> Alcotest.fail "report missing"
+          | Some r ->
+            check_bool "report names both tests" true
+              (String.length r > 0
+              && String.split_on_char '\n' r
+                 |> List.exists (fun l -> l = "== test packet_out =="))))
+
+(* kill -9 equivalence: run the same job uninterrupted and under a kill
+   after every possible unit count; each recovered run must finish with
+   byte-identical report content. *)
+let test_kill_recover_byte_identity () =
+  with_clean_world (fun () ->
+      let baseline =
+        in_tmpdir (fun dir ->
+            let id = submit_ok dir in
+            drain_fully dir;
+            report_body (Option.get (Service.report dir id)))
+      in
+      List.iter
+        (fun kill_after ->
+          in_tmpdir (fun dir ->
+              let id = submit_ok dir in
+              (* first lifetime: die after [kill_after] units *)
+              let t = Service.open_service (cfg ()) dir in
+              Fun.protect
+                ~finally:(fun () -> Service.close t)
+                (fun () -> Service.serve ~once:true ~max_units:kill_after t);
+              (* second lifetime: recovery is the only startup path *)
+              drain_fully dir;
+              check_string
+                (Printf.sprintf "kill after %d units: identical report" kill_after)
+                baseline
+                (report_body (Option.get (Service.report dir id)))))
+        [ 0; 1; 2 ])
+
+(* The same equivalence under injected durability faults at chaos-chosen
+   instants: torn WAL appends, failed fsyncs, rename-point crashes.  Each
+   Injected_fault is a simulated kill; the daemon comes back through
+   recovery until the job completes.  Faults are masked to the durability
+   points, so solver verdicts cannot be perturbed — any report difference
+   is a recovery bug. *)
+let test_chaos_kill_recover_byte_identity () =
+  with_clean_world (fun () ->
+      let baseline =
+        in_tmpdir (fun dir ->
+            let id = submit_ok dir in
+            drain_fully dir;
+            report_body (Option.get (Service.report dir id)))
+      in
+      List.iter
+        (fun seed ->
+          in_tmpdir (fun dir ->
+              let id = submit_ok dir in
+              Chaos.install
+                (Chaos.plan
+                   ~only:[ Chaos.Torn_write; Chaos.Fsync_fail; Chaos.Rename_crash ]
+                   ~seed ~rate:0.1 ());
+              let crashes = ref 0 in
+              let finished = ref false in
+              (* the crash-loop guard must not quarantine units that die to
+                 injected faults: raise it out of the way *)
+              let c = cfg ~crash_limit:1_000 () in
+              while (not !finished) && !crashes < 200 do
+                match
+                  let t = Service.open_service c dir in
+                  Fun.protect
+                    ~finally:(fun () -> Service.close t)
+                    (fun () -> Service.serve ~once:true t)
+                with
+                | () -> finished := true
+                | exception Chaos.Injected_fault _ -> incr crashes
+              done;
+              Chaos.deactivate ();
+              check_bool (Printf.sprintf "seed %d: converged" seed) true !finished;
+              let st = Service.status dir in
+              check_int
+                (Printf.sprintf "seed %d: nothing lost" seed)
+                0 st.Service.ss_verdicts_lost;
+              check_string
+                (Printf.sprintf "seed %d: identical report after %d crashes" seed !crashes)
+                baseline
+                (report_body (Option.get (Service.report dir id)))))
+        [ 1; 2; 3 ])
+
+(* Resubmitting an unchanged job must be answered entirely from the
+   content-addressed store: no solver work, identical bytes. *)
+let test_resubmit_zero_sat_calls () =
+  with_clean_world (fun () ->
+      in_tmpdir (fun dir ->
+          let id1 = submit_ok dir in
+          drain_fully dir;
+          let first = report_body (Option.get (Service.report dir id1)) in
+          let store_before = (Service.status dir).Service.ss_store_entries in
+          let sat_before = (Solver.stats ()).Solver.sat_calls in
+          let id2 = submit_ok dir in
+          drain_fully dir;
+          check_int "zero new SAT calls" sat_before (Solver.stats ()).Solver.sat_calls;
+          check_int "zero new store entries" store_before
+            (Service.status dir).Service.ss_store_entries;
+          check_string "identical report from the store" first
+            (report_body (Option.get (Service.report dir id2)))))
+
+let test_service_backpressure () =
+  with_clean_world (fun () ->
+      in_tmpdir (fun dir ->
+          (match
+             Service.submit ~max_pending:1 dir ~agent_a:"ref" ~agent_b:"modified"
+               ~tests:[ "concrete" ]
+           with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "first submit refused");
+          match
+            Service.submit ~max_pending:1 dir ~agent_a:"ref" ~agent_b:"modified"
+              ~tests:[ "concrete" ]
+          with
+          | Error (`Backpressure 1) -> ()
+          | Ok _ -> Alcotest.fail "watermark not enforced"
+          | Error (`Backpressure n) -> Alcotest.failf "wrong reported depth %d" n))
+
+(* A job naming an unknown test or agent must settle as quarantined —
+   deterministically, without crash-looping the daemon. *)
+let test_unknown_unit_quarantined () =
+  with_clean_world (fun () ->
+      in_tmpdir (fun dir ->
+          let id =
+            match
+              Service.submit dir ~agent_a:"ref" ~agent_b:"nonesuch" ~tests:[ "concrete" ]
+            with
+            | Ok id -> id
+            | Error _ -> Alcotest.fail "submit refused"
+          in
+          drain_fully dir;
+          let st = Service.status dir in
+          check_int "job completed" 1 st.Service.ss_jobs_done;
+          check_int "unit quarantined" 1 st.Service.ss_units_quarantined;
+          match Service.report dir id with
+          | Some r ->
+            check_bool "report carries the inconclusive exit" true
+              (let lines = String.split_on_char '\n' r in
+               List.exists (fun l -> l = "exit 3") lines)
+          | None -> Alcotest.fail "report missing"))
+
+let suite =
+  [
+    Alcotest.test_case "journal round trip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal torn tail" `Quick test_journal_torn_tail;
+    Alcotest.test_case "journal replay-prefix property" `Quick test_journal_prefix_property;
+    Alcotest.test_case "journal chaos sweep" `Quick test_journal_chaos_sweep;
+    Alcotest.test_case "journal rewrite" `Quick test_journal_rewrite;
+    Alcotest.test_case "store contract" `Quick test_store_contract;
+    Alcotest.test_case "jobqueue order and backpressure" `Quick test_jobqueue;
+    Alcotest.test_case "checkpoint duplicate quarantine" `Slow test_checkpoint_dup_quarantine;
+    Alcotest.test_case "service end to end" `Slow test_service_end_to_end;
+    Alcotest.test_case "kill/recover byte identity" `Slow test_kill_recover_byte_identity;
+    Alcotest.test_case "chaos kill/recover byte identity" `Slow
+      test_chaos_kill_recover_byte_identity;
+    Alcotest.test_case "resubmit answered from store" `Slow test_resubmit_zero_sat_calls;
+    Alcotest.test_case "submit backpressure" `Quick test_service_backpressure;
+    Alcotest.test_case "unknown unit quarantined" `Quick test_unknown_unit_quarantined;
+  ]

@@ -315,7 +315,7 @@ let test_supervised_hang_degrades_not_hangs () =
       let pol =
         Supervise.policy ~deadline_ms:60 ~max_retries:0 ~backoff_ms:[ 1 ] ()
       in
-      Chaos.install (Chaos.plan ~seed:3 ~rate:1.0);
+      Chaos.install (Chaos.plan ~seed:3 ~rate:1.0 ());
       let warnings = ref 0 in
       let o =
         Soft.Crosscheck.check ~supervise:pol ~on_warning:(fun _ -> incr warnings) a b
@@ -360,7 +360,7 @@ let test_chaos_hang_sweep_invariant () =
       for seed = 1 to 8 do
         Solver.clear_cache ();
         Mono.reset_skew ();
-        Chaos.install (Chaos.plan ~seed ~rate:0.15);
+        Chaos.install (Chaos.plan ~seed ~rate:0.15 ());
         let o = Soft.Crosscheck.check ~supervise:pol a b in
         Chaos.deactivate ();
         let msg s = Printf.sprintf "seed %d: %s" seed s in
