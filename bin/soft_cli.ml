@@ -301,12 +301,39 @@ let chaos_rate =
     & info [ "chaos-rate" ] ~docv:"RATE"
         ~doc:"Per-injection-point fault probability under --chaos-seed (default 0.05).")
 
+let chaos_points =
+  let points_conv =
+    Arg.conv ~docv:"POINT,POINT,..."
+      ( (fun s ->
+          let parts = String.split_on_char ',' s in
+          let pts = List.filter_map Harness.Chaos.point_of_name parts in
+          if List.length pts = List.length parts && pts <> [] then Ok pts
+          else
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown chaos point in %s (available: %s)" s
+                    (String.concat ", "
+                       (List.map Harness.Chaos.point_name Harness.Chaos.all_points))))),
+        fun fmt pts ->
+          Format.fprintf fmt "%s"
+            (String.concat "," (List.map Harness.Chaos.point_name pts)) )
+  in
+  Arg.(
+    value
+    & opt (some points_conv) None
+    & info [ "chaos-points" ] ~docv:"POINT,POINT,..."
+        ~doc:
+          "Restrict --chaos-seed to these injection points (e.g. \
+           torn-frame,conn-reset,read-stall for the live-wire transport \
+           sweep).  A masked point never fires and never draws, so the \
+           other points' schedules are unchanged.")
+
 let apply_certify c = Smt.Solver.set_certify c
 
-let apply_chaos seed rate =
+let apply_chaos ?points seed rate =
   match seed with
   | None -> ()
-  | Some s -> Harness.Chaos.install (Harness.Chaos.plan ~seed:s ~rate ())
+  | Some s -> Harness.Chaos.install (Harness.Chaos.plan ?only:points ~seed:s ~rate ())
 
 let chaos_report () =
   match Harness.Chaos.current () with
@@ -324,10 +351,10 @@ let run_cmd =
     Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file.")
   in
   let run agent test out max_paths strategy budget_ms max_conflicts deadline_ms certify
-      chaos_seed chaos_rate =
+      chaos_seed chaos_rate chaos_points =
     apply_budget budget_ms max_conflicts;
     apply_certify certify;
-    apply_chaos chaos_seed chaos_rate;
+    apply_chaos ?points:chaos_points chaos_seed chaos_rate;
     match Harness.Runner.execute ~max_paths ~strategy ?deadline_ms agent test with
     | r ->
       Harness.Serialize.save out (Harness.Serialize.of_run r);
@@ -346,7 +373,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Phase 1: symbolically execute one agent on one test.")
     Term.(
       const run $ agent $ test $ out $ max_paths $ strategy $ budget_ms $ max_conflicts
-      $ deadline_ms $ certify $ chaos_seed $ chaos_rate)
+      $ deadline_ms $ certify $ chaos_seed $ chaos_rate $ chaos_points)
 
 (* --- group ----------------------------------------------------------- *)
 
@@ -388,10 +415,11 @@ let check_cmd =
              restartable in place.")
   in
   let run file_a file_b split budget_ms max_conflicts checkpoint resume jobs no_incremental
-      certify chaos_seed chaos_rate task_deadline_ms max_retries backoff_ms mem_ceiling_mb =
+      certify chaos_seed chaos_rate chaos_points task_deadline_ms max_retries backoff_ms
+      mem_ceiling_mb =
     apply_budget budget_ms max_conflicts;
     apply_certify certify;
-    apply_chaos chaos_seed chaos_rate;
+    apply_chaos ?points:chaos_points chaos_seed chaos_rate;
     let supervise = make_supervise task_deadline_ms max_retries backoff_ms mem_ceiling_mb in
     let a = Soft.Grouping.of_saved (Harness.Serialize.load file_a) in
     let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
@@ -415,8 +443,97 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Phase 2: crosscheck two phase-1 runs for inconsistencies.")
     Term.(
       const run $ file_a $ file_b $ split $ budget_ms $ max_conflicts $ checkpoint $ resume
-      $ jobs $ no_incremental $ certify $ chaos_seed $ chaos_rate $ task_deadline_ms
-      $ max_retries $ backoff_ms $ mem_ceiling_mb)
+      $ jobs $ no_incremental $ certify $ chaos_seed $ chaos_rate $ chaos_points
+      $ task_deadline_ms $ max_retries $ backoff_ms $ mem_ceiling_mb)
+
+(* --- live validation (compare --validate-live) ------------------------ *)
+
+(* The spawn template names agents by their CLI keys; recover the key an
+   Agent_intf.t was looked up under (the assoc list shares values). *)
+let cli_name_of_agent a =
+  match List.find_opt (fun (_, v) -> v == a) agents with
+  | Some (name, _) -> name
+  | None -> Switches.Agent_intf.name a
+
+let replace_all ~sub ~by s =
+  let slen = String.length sub in
+  let buf = Buffer.create (String.length s) in
+  let rec go i =
+    if i > String.length s - slen then Buffer.add_substring buf s i (String.length s - i)
+    else if String.sub s i slen = sub then begin
+      Buffer.add_string buf by;
+      go (i + slen)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  if slen = 0 then s
+  else begin
+    go 0;
+    Buffer.contents buf
+  end
+
+let validate_live_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "validate-live" ] ~docv:"CMD"
+        ~doc:
+          "Replay every found inconsistency against two live switch processes \
+           spawned from $(docv), with $(b,{agent}) and $(b,{socket}) \
+           substituted per endpoint (e.g. 'soft switch-serve --agent {agent} \
+           --socket {socket}').  Transport and process failures degrade the \
+           affected witnesses to transport-failed instead of aborting; a \
+           live-confirmed divergence exits 1, an inconclusive live pass 3.")
+
+let live_socket_a =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "live-socket-a" ] ~docv:"ADDR"
+        ~doc:
+          "Validate against an already-running live switch for agent A at \
+           $(docv) (unix:PATH or HOST:PORT) instead of spawning one; requires \
+           --live-socket-b.")
+
+let live_socket_b =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "live-socket-b" ] ~docv:"ADDR"
+        ~doc:"Live switch address for agent B; see --live-socket-a.")
+
+(* Decide the two live endpoints, or None when live validation is off.
+   Errors here are usage errors (exit 2). *)
+let live_endpoints ~cmd_template ~sock_a ~sock_b ~agent_a ~agent_b =
+  let addr s = Openflow.Conn.addr_of_string s in
+  match (cmd_template, sock_a, sock_b) with
+  | None, None, None -> Ok None
+  | _, Some a, Some b ->
+    Ok
+      (Some
+         ( { Soft.Live.ep_agent = cli_name_of_agent agent_a; ep_addr = addr a; ep_cmd = None },
+           { Soft.Live.ep_agent = cli_name_of_agent agent_b; ep_addr = addr b; ep_cmd = None } ))
+  | _, Some _, None | _, None, Some _ ->
+    Error "--live-socket-a and --live-socket-b must be given together"
+  | Some tmpl, None, None ->
+    let endpoint tag agent =
+      let name = cli_name_of_agent agent in
+      let sock =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "soft-live-%d-%s.sock" (Unix.getpid ()) tag)
+      in
+      {
+        Soft.Live.ep_agent = name;
+        ep_addr = Openflow.Conn.Unix_sock sock;
+        ep_cmd =
+          Some (replace_all ~sub:"{socket}" ~by:("unix:" ^ sock)
+                  (replace_all ~sub:"{agent}" ~by:name tmpl));
+      }
+    in
+    Ok (Some (endpoint "a" agent_a, endpoint "b" agent_b))
 
 (* --- compare --------------------------------------------------------- *)
 
@@ -432,36 +549,54 @@ let compare_cmd =
     Arg.(value & flag & info [ "cases" ] ~doc:"Print a concrete reproducer per inconsistency.")
   in
   let run agent_a agent_b test cases max_paths strategy split budget_ms max_conflicts
-      deadline_ms jobs no_incremental certify validate chaos_seed chaos_rate task_deadline_ms
-      max_retries backoff_ms mem_ceiling_mb =
+      deadline_ms jobs no_incremental certify validate validate_live sock_a sock_b chaos_seed
+      chaos_rate chaos_points task_deadline_ms max_retries backoff_ms mem_ceiling_mb =
     apply_budget budget_ms max_conflicts;
     apply_certify certify;
-    apply_chaos chaos_seed chaos_rate;
+    apply_chaos ?points:chaos_points chaos_seed chaos_rate;
     let supervise = make_supervise task_deadline_ms max_retries backoff_ms mem_ceiling_mb in
     match
-      Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split ~jobs
-        ~incremental:(not no_incremental) ?supervise ~validate agent_a agent_b test
+      live_endpoints ~cmd_template:validate_live ~sock_a ~sock_b ~agent_a ~agent_b
     with
-    | c ->
-      Format.printf "%a@." Soft.Pipeline.pp_comparison c;
-      if cases then
-        List.iteri
-          (fun i tc -> Format.printf "@.=== reproducer %d ===@.%a@." i Soft.Testcase.pp tc)
-          (Soft.Pipeline.test_cases c);
-      chaos_report ();
-      Soft.Report.exit_status ?validation:c.Soft.Pipeline.c_validation
-        c.Soft.Pipeline.c_outcome
-    | exception Harness.Chaos.Injected_fault p ->
-      Format.eprintf "soft: injected fault (%s) aborted the run@." p;
-      3
+    | Error msg | (exception Invalid_argument msg) ->
+      Format.eprintf "soft: %s@." msg;
+      2
+    | Ok live -> (
+      match
+        Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split ~jobs
+          ~incremental:(not no_incremental) ?supervise ~validate agent_a agent_b test
+      with
+      | c ->
+        Format.printf "%a@." Soft.Pipeline.pp_comparison c;
+        if cases then
+          List.iteri
+            (fun i tc -> Format.printf "@.=== reproducer %d ===@.%a@." i Soft.Testcase.pp tc)
+            (Soft.Pipeline.test_cases c);
+        let base =
+          Soft.Report.exit_status ?validation:c.Soft.Pipeline.c_validation
+            c.Soft.Pipeline.c_outcome
+        in
+        let code =
+          match live with
+          | None -> base
+          | Some (ep_a, ep_b) ->
+            let summary = Soft.Live.validate_live ~a:ep_a ~b:ep_b test c.Soft.Pipeline.c_outcome in
+            Format.printf "%a@." Soft.Live.pp summary;
+            Soft.Live.merge_exit base (Soft.Live.exit_status summary)
+        in
+        chaos_report ();
+        code
+      | exception Harness.Chaos.Injected_fault p ->
+        Format.eprintf "soft: injected fault (%s) aborted the run@." p;
+        3)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run both phases: find inconsistencies between two agents.")
     Term.(
       const run $ agent_a $ agent_b $ test $ cases $ max_paths $ strategy $ split
       $ budget_ms $ max_conflicts $ deadline_ms $ jobs $ no_incremental $ certify $ validate
-      $ chaos_seed $ chaos_rate $ task_deadline_ms $ max_retries $ backoff_ms
-      $ mem_ceiling_mb)
+      $ validate_live_flag $ live_socket_a $ live_socket_b $ chaos_seed $ chaos_rate
+      $ chaos_points $ task_deadline_ms $ max_retries $ backoff_ms $ mem_ceiling_mb)
 
 (* --- service mode (serve / submit / status) --------------------------- *)
 
@@ -545,11 +680,11 @@ let serve_cmd =
           ~doc:"Skip fsync on WAL/store commits — tests and benchmarks only.")
   in
   let run dir once poll_ms max_units max_paths jobs budget_ms max_conflicts certify
-      chaos_seed chaos_rate task_deadline_ms max_retries backoff_ms mem_ceiling_mb soft_mb
-      hard_mb crash_limit no_fsync =
+      chaos_seed chaos_rate chaos_points task_deadline_ms max_retries backoff_ms
+      mem_ceiling_mb soft_mb hard_mb crash_limit no_fsync =
     apply_budget budget_ms max_conflicts;
     apply_certify certify;
-    apply_chaos chaos_seed chaos_rate;
+    apply_chaos ?points:chaos_points chaos_seed chaos_rate;
     let supervise = make_supervise task_deadline_ms max_retries backoff_ms mem_ceiling_mb in
     match
       let cfg =
@@ -576,8 +711,9 @@ let serve_cmd =
           path), then drain the persistent job queue.")
     Term.(
       const run $ service_dir $ once $ poll_ms $ max_units $ max_paths $ jobs $ budget_ms
-      $ max_conflicts $ certify $ chaos_seed $ chaos_rate $ task_deadline_ms $ max_retries
-      $ backoff_ms $ mem_ceiling_mb $ soft_mb $ hard_mb $ crash_limit $ no_fsync)
+      $ max_conflicts $ certify $ chaos_seed $ chaos_rate $ chaos_points $ task_deadline_ms
+      $ max_retries $ backoff_ms $ mem_ceiling_mb $ soft_mb $ hard_mb $ crash_limit
+      $ no_fsync)
 
 let submit_cmd =
   let agent_a =
@@ -638,6 +774,68 @@ let status_cmd =
        ~doc:"Read-only service snapshot (works with or without a daemon running).")
     Term.(const run $ service_dir)
 
+(* --- switch-serve (the loopback live switch) -------------------------- *)
+
+let switch_serve_cmd =
+  let agent =
+    Arg.(
+      required & opt (some agent_conv) None & info [ "agent" ] ~doc:"Agent model to serve.")
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"ADDR"
+          ~doc:"Address to listen on: unix:PATH, a bare socket path, or HOST:PORT.")
+  in
+  let crash_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:
+            "SIGKILL this server after N served barriers — the CI lever for \
+             killing the switch mid-replay.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Serve N connections, then exit cleanly (default: serve forever).")
+  in
+  let idle_ms =
+    Arg.(
+      value
+      & opt int 30_000
+      & info [ "idle-ms" ] ~docv:"MS"
+          ~doc:"Per-connection receive deadline; a silent peer is dropped (default 30000).")
+  in
+  let run agent socket crash_after max_conns idle_ms max_paths chaos_seed chaos_rate
+      chaos_points =
+    apply_chaos ?points:chaos_points chaos_seed chaos_rate;
+    match Openflow.Conn.addr_of_string socket with
+    | addr ->
+      Soft.Live.serve ~max_paths ?crash_after_barriers:crash_after ?max_conns
+        ~idle_deadline_ms:idle_ms
+        ~on_listening:(fun () ->
+          Format.printf "switch-serve: %s listening on %s@."
+            (Switches.Agent_intf.name agent) socket)
+        agent addr;
+      0
+    | exception Invalid_argument msg ->
+      Format.eprintf "soft: %s@." msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "switch-serve"
+       ~doc:
+         "Serve an agent model as a live switch process speaking OpenFlow 1.0 \
+          over a socket — the loopback peer for compare --validate-live.")
+    Term.(
+      const run $ agent $ socket $ crash_after $ max_conns $ idle_ms $ max_paths
+      $ chaos_seed $ chaos_rate $ chaos_points)
+
 (* --- list ------------------------------------------------------------ *)
 
 let list_cmd =
@@ -658,7 +856,17 @@ let main =
   Cmd.group
     (Cmd.info "soft" ~version:"1.0.0"
        ~doc:"Systematic OpenFlow Testing: crosscheck OpenFlow agent implementations.")
-    [ run_cmd; group_cmd; check_cmd; compare_cmd; serve_cmd; submit_cmd; status_cmd; list_cmd ]
+    [
+      run_cmd;
+      group_cmd;
+      check_cmd;
+      compare_cmd;
+      serve_cmd;
+      submit_cmd;
+      status_cmd;
+      switch_serve_cmd;
+      list_cmd;
+    ]
 
 (* Commands return their own exit status; cmdliner's parse/term errors map
    to the documented usage status 2, an escaped exception to 125. *)

@@ -1,0 +1,161 @@
+(* Child-process supervision for the switch-under-test: see proc.mli.
+
+   The child runs under [/bin/sh -c] in its own process group (via
+   [setsid] when available) so [stop] can drain the whole tree: SIGTERM
+   first, a bounded grace period, then SIGKILL.  All waiting is
+   WNOHANG-polled — nothing here blocks past its deadline. *)
+
+type status = Running | Exited of int | Signaled of int
+
+let status_descr = function
+  | Running -> "running"
+  | Exited c -> Printf.sprintf "exited with code %d" c
+  | Signaled s -> Printf.sprintf "killed by signal %d" s
+
+type t = {
+  p_cmd : string;
+  p_pid : int;
+  mutable p_status : status; (* sticky once the child is reaped *)
+}
+
+let cmd p = p.p_cmd
+let pid p = p.p_pid
+
+let spawn command =
+  (* [setsid] puts the shell (and everything it starts) in a fresh
+     process group, so the negative-pid kill in [stop] drains the tree. *)
+  let pid =
+    Unix.create_process "/bin/sh"
+      [|
+        "/bin/sh"; "-c";
+        "if command -v setsid >/dev/null 2>&1; then exec setsid sh -c \"$0\"; \
+         else exec sh -c \"$0\"; fi";
+        command;
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  { p_cmd = command; p_pid = pid; p_status = Running }
+
+let poll p =
+  match p.p_status with
+  | Exited _ | Signaled _ -> p.p_status
+  | Running ->
+    (match Unix.waitpid [ Unix.WNOHANG ] p.p_pid with
+     | 0, _ -> Running
+     | _, Unix.WEXITED c ->
+       p.p_status <- Exited c;
+       p.p_status
+     | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+       p.p_status <- Signaled s;
+       p.p_status
+     | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+       (* Someone else reaped it; the precise code is gone. *)
+       p.p_status <- Exited 0;
+       p.p_status)
+
+let alive p = poll p = Running
+
+let kill_group p signal =
+  (* Try the process group first (setsid succeeded), then the child
+     itself: one of the two exists until the child is reaped. *)
+  (try Unix.kill (-p.p_pid) signal with Unix.Unix_error _ -> ());
+  try Unix.kill p.p_pid signal with Unix.Unix_error _ -> ()
+
+let wait_dead p deadline =
+  let rec go () =
+    match poll p with
+    | (Exited _ | Signaled _) as st -> Some st
+    | Running ->
+      if Unix.gettimeofday () > deadline then None
+      else begin
+        Unix.sleepf 0.01;
+        go ()
+      end
+  in
+  go ()
+
+let stop ?(grace_ms = 500) p =
+  match poll p with
+  | (Exited _ | Signaled _) as st -> st
+  | Running ->
+    kill_group p Sys.sigterm;
+    (match wait_dead p (Unix.gettimeofday () +. (float_of_int grace_ms /. 1000.0)) with
+     | Some st -> st
+     | None ->
+       kill_group p Sys.sigkill;
+       (* SIGKILL cannot be ignored; the second wait is just reaping. *)
+       (match wait_dead p (Unix.gettimeofday () +. 5.0) with
+        | Some st -> st
+        | None -> poll p))
+
+let wait_ready ?(timeout_ms = 5000) ?(interval_ms = 20) p probe =
+  let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.0) in
+  let rec go () =
+    if not (alive p) then false
+    else if (try probe () with _ -> false) then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf (float_of_int interval_ms /. 1000.0);
+      go ()
+    end
+  in
+  go ()
+
+(* Same backoff discipline as Supervise.run_retrying: the ladder's last
+   entry repeats, and the jitter factor for attempt [n] is drawn from a
+   stream seeded by [(key, n)] so a rerun restarts on the same schedule. *)
+let backoff_sleep ladder jitter key attempt =
+  let rec nth_or_last l n =
+    match l with
+    | [] -> 0
+    | [ x ] -> x
+    | x :: rest -> if n = 0 then x else nth_or_last rest (n - 1)
+  in
+  let step = nth_or_last ladder attempt in
+  if step > 0 then begin
+    let st = Random.State.make [| 0x9b0c; key; attempt |] in
+    let factor = 1.0 +. (jitter *. ((2.0 *. Random.State.float st 1.0) -. 1.0)) in
+    Unix.sleepf (float_of_int step *. Float.max 0.0 factor /. 1000.0)
+  end
+
+let start_supervised ?(restarts = 2) ?(backoff_ms = [ 100; 400; 1600 ]) ?(jitter = 0.5)
+    ?(readiness_timeout_ms = 5000) ?(key = 0) command ~ready =
+  let attempt_once () =
+    let p = spawn command in
+    if wait_ready ~timeout_ms:readiness_timeout_ms p ready then Ok p
+    else begin
+      let classification =
+        match stop p with
+        | Running -> (Supervise.Hung, "switch process never became ready")
+        | Exited c when c <> 0 ->
+          (Supervise.Crashed, Printf.sprintf "switch process exited with code %d before ready" c)
+        | Exited _ ->
+          (Supervise.Crashed, "switch process exited before becoming ready")
+        | Signaled s ->
+          if s = Sys.sigterm || s = Sys.sigkill then
+            (* our own drain killed it: the probe timed out on a live child *)
+            (Supervise.Hung,
+             Printf.sprintf "switch process unready after %d ms (drained)" readiness_timeout_ms)
+          else (Supervise.Crashed, Printf.sprintf "switch process killed by signal %d" s)
+      in
+      Error classification
+    end
+  in
+  let rec go attempt last =
+    if attempt > restarts then Error last
+    else
+      match attempt_once () with
+      | Ok p -> Ok p
+      | Error cls ->
+        if attempt = restarts then Error cls
+        else begin
+          backoff_sleep backoff_ms jitter key attempt;
+          go (attempt + 1) cls
+        end
+  in
+  go 0 (Supervise.Hung, "switch process never attempted")
+
+let classify_transport = function
+  | Openflow.Conn.Timeout msg -> (Supervise.Hung, "transport timeout: " ^ msg)
+  | Openflow.Conn.Peer_fault msg -> (Supervise.Crashed, "transport fault: " ^ msg)
+  | e -> Supervise.classify_exn e

@@ -1,0 +1,65 @@
+(** Child-process supervision for a switch-under-test.
+
+    The live-wire layer replays witnesses against a {e real} process, and
+    real processes die: they crash on an input, hang on startup, or get
+    killed under the replay.  This module owns that lifecycle — spawn,
+    readiness probe, exit/crash detection, graceful SIGTERM-then-SIGKILL
+    drain, and a restart ladder with the same capped-backoff +
+    deterministic-jitter discipline as {!Supervise.run_retrying} — and
+    classifies every failure into the existing {!Supervise.taxonomy}, so
+    a dead switch degrades pairs exactly like a dead solver task. *)
+
+type status =
+  | Running
+  | Exited of int  (** exit code *)
+  | Signaled of int  (** killing signal number *)
+
+val status_descr : status -> string
+
+type t
+
+val cmd : t -> string
+val pid : t -> int
+
+val spawn : string -> t
+(** Start [cmd] under [/bin/sh -c] with a fresh process group, stdio
+    inherited.  Never raises for a bad command — that surfaces as a
+    prompt [Exited _] from {!poll}. *)
+
+val poll : t -> status
+(** Non-blocking status; reaps the child once on transition. *)
+
+val alive : t -> bool
+
+val stop : ?grace_ms:int -> t -> status
+(** Drain: SIGTERM to the process group, wait up to [grace_ms] (default
+    500), then SIGKILL.  Idempotent; returns the final status. *)
+
+val wait_ready : ?timeout_ms:int -> ?interval_ms:int -> t -> (unit -> bool) -> bool
+(** Poll a readiness probe (e.g. "does the socket connect?") until it
+    holds, the child dies, or [timeout_ms] (default 5000) passes.
+    Returns whether the probe ever held. *)
+
+val start_supervised :
+  ?restarts:int ->
+  ?backoff_ms:int list ->
+  ?jitter:float ->
+  ?readiness_timeout_ms:int ->
+  ?key:int ->
+  string ->
+  ready:(unit -> bool) ->
+  (t, Supervise.taxonomy * string) result
+(** The restart ladder: spawn, probe readiness, and on failure stop the
+    remnant and retry up to [restarts] (default 2) more times, sleeping
+    the [backoff_ms] ladder (default [[100; 400; 1600]], last entry
+    repeats) scaled by deterministic jitter seeded from [(key, attempt)].
+    The error carries the {e last} attempt's classification: a readiness
+    timeout with the child still alive is [Hung]; a dead child is
+    [Crashed]. *)
+
+val classify_transport : exn -> Supervise.taxonomy * string
+(** Fold live-wire failures into the supervision taxonomy:
+    {!Openflow.Conn.Timeout} is [Hung] (the peer went silent),
+    {!Openflow.Conn.Peer_fault} is [Crashed] (the peer misbehaved or
+    died), and everything else defers to {!Supervise.classify_exn}
+    (which keeps {!Chaos.Injected_fault} as [Faulted]). *)

@@ -1,0 +1,350 @@
+(* Live-wire OpenFlow 1.0 connections: bounded framing over non-blocking
+   sockets.  See conn.mli for the containment contract.
+
+   Everything here is select-driven against wall-clock deadlines: a
+   socket operation either completes, raises [Timeout] when its deadline
+   passes, or raises [Peer_fault] when the peer does something a correct
+   OpenFlow endpoint cannot.  There is no code path that blocks without a
+   deadline and none that lets a Unix or parse exception escape raw. *)
+
+exception Peer_fault of string
+exception Timeout of string
+
+type addr = Tcp of string * int | Unix_sock of string
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | Some 4 when String.length s > 5 && String.sub s 0 5 = "unix:" ->
+    Unix_sock (String.sub s 5 (String.length s - 5))
+  | Some i when not (String.contains s '/') ->
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+     | Some p when p > 0 && p < 0x10000 && host <> "" -> Tcp (host, p)
+     | _ -> invalid_arg (Printf.sprintf "Conn.addr_of_string: bad port in %S" s))
+  | _ ->
+    if String.contains s '/' then Unix_sock s
+    else invalid_arg (Printf.sprintf "Conn.addr_of_string: %S (want unix:PATH or HOST:PORT)" s)
+
+let pp_addr fmt = function
+  | Tcp (h, p) -> Format.fprintf fmt "%s:%d" h p
+  | Unix_sock p -> Format.fprintf fmt "unix:%s" p
+
+let addr_descr a = Format.asprintf "%a" pp_addr a
+
+type fault = F_torn_frame | F_conn_reset | F_read_stall
+
+let fault_hook : (fault -> bool) ref = ref (fun _ -> false)
+let set_fault_hook f = fault_hook := f
+
+type t = {
+  c_fd : Unix.file_descr;
+  c_descr : string;
+  c_buf : Buffer.t; (* bytes received but not yet surfaced as a frame *)
+  mutable c_open : bool;
+  mutable c_nonce : int; (* ping payload counter *)
+}
+
+let descr c = c.c_descr
+let is_open c = c.c_open
+
+let close c =
+  if c.c_open then begin
+    c.c_open <- false;
+    try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+  end
+
+(* The u16 length field bounds any single frame; the receive buffer may
+   additionally hold the tail of the read that completed a frame, so cap
+   it at two frames before declaring the peer a flooder. *)
+let max_frame = 0xffff
+let max_buffered = 2 * max_frame
+
+let header_len = 8
+let default_deadline_ms = 5000
+
+let peer_fault c fmt =
+  Printf.ksprintf
+    (fun msg ->
+      close c;
+      raise (Peer_fault (Printf.sprintf "%s: %s" c.c_descr msg)))
+    fmt
+
+let deadline_of ms = Unix.gettimeofday () +. (float_of_int ms /. 1000.0)
+
+let remaining deadline what =
+  let r = deadline -. Unix.gettimeofday () in
+  if r <= 0.0 then raise (Timeout what) else r
+
+(* Ignore SIGPIPE once so a write to a reset socket surfaces as EPIPE —
+   a classifiable peer fault — instead of killing the process. *)
+let sigpipe_ignored = lazy (
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let sockaddr_of = function
+  | Tcp (host, port) ->
+    let ip =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found | Invalid_argument _ ->
+        (try Unix.inet_addr_of_string host
+         with Failure _ -> raise (Peer_fault (Printf.sprintf "cannot resolve host %S" host)))
+    in
+    Unix.ADDR_INET (ip, port)
+  | Unix_sock path -> Unix.ADDR_UNIX path
+
+let mk_conn fd d =
+  { c_fd = fd; c_descr = d; c_buf = Buffer.create 256; c_open = true; c_nonce = 0 }
+
+let connect ?(timeout_ms = default_deadline_ms) addr =
+  Lazy.force sigpipe_ignored;
+  let sa = sockaddr_of addr in
+  let domain = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise (Peer_fault (Printf.sprintf "connect %s: %s" (addr_descr addr) msg)))
+      fmt
+  in
+  Unix.set_nonblock fd;
+  (try Unix.connect fd sa with
+   | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+     (* Completion is signalled by writability; the deadline bounds it. *)
+     let deadline = deadline_of timeout_ms in
+     let rec wait () =
+       let r =
+         try remaining deadline "connect"
+         with Timeout _ ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise (Timeout (Printf.sprintf "connect %s: deadline expired" (addr_descr addr)))
+       in
+       match Unix.select [] [ fd ] [] r with
+       | _, [ _ ], _ ->
+         (match Unix.getsockopt_error fd with
+          | None -> ()
+          | Some e -> fail "%s" (Unix.error_message e))
+       | _ -> wait ()
+     in
+     wait ()
+   | Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e));
+  mk_conn fd (addr_descr addr)
+
+(* Capped exponential backoff with deterministic jitter, the same
+   discipline as Supervise.run_retrying: the jitter factor for attempt
+   [n] comes from a stream seeded by [(key, n)], so a given key replays
+   the exact same reconnect schedule. *)
+let connect_backoff ?(attempts = 4) ?(base_ms = 50) ?(cap_ms = 2000) ?(key = 0) addr =
+  let attempts = max 1 attempts in
+  let rec go n =
+    try connect addr
+    with (Peer_fault _ | Timeout _) as e ->
+      if n + 1 >= attempts then raise e
+      else begin
+        let expo = min cap_ms (base_ms * (1 lsl min n 20)) in
+        let st = Random.State.make [| 0xc0de; key; n |] in
+        let jitter = 0.5 +. Random.State.float st 0.5 in
+        Unix.sleepf (float_of_int expo *. jitter /. 1000.0);
+        go (n + 1)
+      end
+  in
+  go 0
+
+let listen ?(backlog = 8) addr =
+  Lazy.force sigpipe_ignored;
+  (match addr with
+   | Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | Tcp _ -> ());
+  let sa = sockaddr_of addr in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd sa;
+  Unix.listen fd backlog;
+  fd
+
+let accept ?(deadline_ms = default_deadline_ms) lfd =
+  let deadline = deadline_of deadline_ms in
+  let rec wait () =
+    let r = remaining deadline "accept: deadline expired" in
+    match Unix.select [ lfd ] [] [] r with
+    | [ _ ], _, _ ->
+      let fd, peer = Unix.accept lfd in
+      Unix.set_nonblock fd;
+      let d =
+        match peer with
+        | Unix.ADDR_UNIX p -> if p = "" then "unix-peer" else p
+        | Unix.ADDR_INET (ip, port) ->
+          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+      in
+      mk_conn fd d
+    | _ -> wait ()
+  in
+  wait ()
+
+(* --- framed send ------------------------------------------------------ *)
+
+let write_all c deadline buf off len =
+  let off = ref off and len = ref len in
+  while !len > 0 do
+    let r = remaining deadline (c.c_descr ^ ": send deadline expired") in
+    match Unix.select [] [ c.c_fd ] [] r with
+    | _, [ _ ], _ ->
+      (match Unix.write_substring c.c_fd buf !off !len with
+       | 0 -> peer_fault c "peer closed mid-send"
+       | n ->
+         off := !off + n;
+         len := !len - n
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+       | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+         peer_fault c "connection reset by peer"
+       | exception Unix.Unix_error (e, _, _) ->
+         peer_fault c "send failed: %s" (Unix.error_message e))
+    | _ -> ()
+  done
+
+let send_frame ?(deadline_ms = default_deadline_ms) c frame =
+  if not c.c_open then raise (Peer_fault (c.c_descr ^ ": connection already closed"));
+  if String.length frame > max_frame then
+    invalid_arg "Conn.send_frame: frame exceeds the wire's length field";
+  let deadline = deadline_of deadline_ms in
+  if !fault_hook F_torn_frame then begin
+    (* Write a strict prefix, then lose the socket: the peer sees a
+       truncated frame and EOF, we see a dead connection. *)
+    let cut = max 1 (String.length frame / 2) in
+    (try write_all c deadline frame 0 cut with Peer_fault _ | Timeout _ -> ());
+    peer_fault c "chaos: frame torn mid-send"
+  end;
+  if !fault_hook F_conn_reset then peer_fault c "chaos: connection reset";
+  write_all c deadline frame 0 (String.length frame)
+
+let send_msg ?deadline_ms c msg = send_frame ?deadline_ms c (Wire.serialize msg)
+
+(* --- framed receive --------------------------------------------------- *)
+
+(* Incremental header-length framing.  [c_buf] accumulates raw bytes;
+   once the 8-byte header is in, its big-endian length field bounds the
+   frame; once the frame is in, it is split off and any tail bytes stay
+   buffered for the next call.  Partial reads may stop at any byte
+   boundary — including inside the header. *)
+
+let frame_len_of_header buf =
+  (Char.code (Buffer.nth buf 2) lsl 8) lor Char.code (Buffer.nth buf 3)
+
+let take_frame c =
+  let have = Buffer.length c.c_buf in
+  if have < header_len then None
+  else begin
+    let flen = frame_len_of_header c.c_buf in
+    if flen < header_len then
+      peer_fault c "runt frame: header says %d bytes (min %d)" flen header_len;
+    if have < flen then None
+    else begin
+      let frame = Buffer.sub c.c_buf 0 flen in
+      let rest = Buffer.sub c.c_buf flen (have - flen) in
+      Buffer.clear c.c_buf;
+      Buffer.add_string c.c_buf rest;
+      Some frame
+    end
+  end
+
+let recv_frame ?(deadline_ms = default_deadline_ms) c =
+  if not c.c_open then raise (Peer_fault (c.c_descr ^ ": connection already closed"));
+  if !fault_hook F_read_stall then
+    raise (Timeout (c.c_descr ^ ": chaos: read stalled past deadline"));
+  if !fault_hook F_conn_reset then peer_fault c "chaos: connection reset";
+  let deadline = deadline_of deadline_ms in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match take_frame c with
+    | Some frame -> frame
+    | None ->
+      if Buffer.length c.c_buf > max_buffered then
+        peer_fault c "receive buffer overrun (%d bytes without a complete frame)"
+          (Buffer.length c.c_buf);
+      let r = remaining deadline (c.c_descr ^ ": recv deadline expired") in
+      (match Unix.select [ c.c_fd ] [] [] r with
+       | [ _ ], _, _ ->
+         (match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+          | 0 -> peer_fault c "peer closed the connection mid-frame"
+          | n ->
+            Buffer.add_subbytes c.c_buf chunk 0 n;
+            loop ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            loop ()
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+            peer_fault c "connection reset by peer"
+          | exception Unix.Unix_error (e, _, _) ->
+            peer_fault c "recv failed: %s" (Unix.error_message e))
+       | _ -> loop ())
+  in
+  loop ()
+
+let recv_msg ?deadline_ms c =
+  let frame = recv_frame ?deadline_ms c in
+  try Wire.parse frame
+  with Wire.Parse_error m -> peer_fault c "malformed frame: %s" m
+
+(* --- handshake and liveness ------------------------------------------- *)
+
+let msg payload = { Types.xid = 0x50f70000l; payload }
+
+let default_features =
+  {
+    Types.datapath_id = 0x50f7L;
+    n_buffers = 0l;
+    n_tables = 1;
+    capabilities = 0l;
+    supported_actions = 0l;
+    ports = [];
+  }
+
+(* Await a message for which [want] is [Some _], answering echo requests
+   transparently (keepalives may race the handshake) and faulting on
+   anything else: each handshake state accepts exactly one message type. *)
+let rec await_msg ?deadline_ms c state want =
+  let m = recv_msg ?deadline_ms c in
+  match want m.Types.payload with
+  | Some v -> v
+  | None ->
+    (match m.Types.payload with
+     | Types.Echo_request p ->
+       send_msg ?deadline_ms c { m with Types.payload = Types.Echo_reply p };
+       await_msg ?deadline_ms c state want
+     | other ->
+       peer_fault c "handshake (%s): unexpected message type %d" state
+         (Types.msg_type_of_message other))
+
+let handshake_controller ?deadline_ms c =
+  send_msg ?deadline_ms c (msg Types.Hello);
+  (await_msg ?deadline_ms c "await hello" (function
+     | Types.Hello -> Some ()
+     | _ -> None)
+    : unit);
+  send_msg ?deadline_ms c (msg Types.Features_request);
+  await_msg ?deadline_ms c "await features-reply" (function
+    | Types.Features_reply f -> Some f
+    | _ -> None)
+
+let handshake_switch ?deadline_ms ?(features = default_features) c =
+  send_msg ?deadline_ms c (msg Types.Hello);
+  (await_msg ?deadline_ms c "await hello" (function
+     | Types.Hello -> Some ()
+     | _ -> None)
+    : unit);
+  (await_msg ?deadline_ms c "await features-request" (function
+     | Types.Features_request -> Some ()
+     | _ -> None)
+    : unit);
+  send_msg ?deadline_ms c (msg (Types.Features_reply features))
+
+let ping ?deadline_ms c =
+  c.c_nonce <- c.c_nonce + 1;
+  let payload = Printf.sprintf "soft-ping-%d" c.c_nonce in
+  send_msg ?deadline_ms c (msg (Types.Echo_request payload));
+  let got =
+    await_msg ?deadline_ms c "await echo-reply" (function
+      | Types.Echo_reply p -> Some p
+      | _ -> None)
+  in
+  if got <> payload then
+    peer_fault c "echo-reply payload mismatch (sent %S, got %S)" payload got

@@ -1,0 +1,121 @@
+(** Live-wire OpenFlow 1.0 connections.
+
+    A framed, deadline-bounded connection to a real peer process over TCP
+    or a Unix-domain socket.  Everything a misbehaving peer can do —
+    truncate a frame, send garbage, flood, reset the socket, go silent —
+    is contained as {!Peer_fault} or {!Timeout}; no network event may
+    escape as an uncaught exception or an unbounded wait.
+
+    Framing is incremental header-length framing: bytes accumulate in a
+    bounded receive buffer until the 8-byte OpenFlow header is complete,
+    the header's length field then bounds the frame, and the frame is
+    surfaced once all its bytes arrived.  Partial reads at any boundary
+    are fine; a length field below the header size, a receive buffer
+    overrun, or bytes that fail {!Wire.parse} are peer faults.
+
+    The module sits below the harness, so it cannot draw
+    {!Harness.Chaos} points itself; the soft layer bridges them through
+    {!set_fault_hook}.  A firing fault is surfaced as the transport
+    failure it models (torn frame → peer fault, reset → peer fault,
+    stall → timeout) — never as an abort. *)
+
+exception Peer_fault of string
+(** The peer misbehaved: malformed or runt frame, receive-buffer overrun,
+    connection reset, or EOF mid-frame.  Always contained — the
+    connection is dead but the process is fine. *)
+
+exception Timeout of string
+(** A per-state deadline expired: the peer is silent, not wrong. *)
+
+(** {1 Addresses} *)
+
+type addr = Tcp of string * int | Unix_sock of string
+
+val addr_of_string : string -> addr
+(** ["unix:PATH"] or a bare path containing ['/'] is a Unix-domain
+    socket; ["HOST:PORT"] is TCP.
+    @raise Invalid_argument on anything else. *)
+
+val pp_addr : Format.formatter -> addr -> unit
+
+(** {1 Fault injection bridge} *)
+
+type fault = F_torn_frame | F_conn_reset | F_read_stall
+
+val set_fault_hook : (fault -> bool) -> unit
+(** Install the chaos bridge: the hook is drawn once per send ([torn
+    frame], [reset]) and once per receive ([reset], [stall]).  The soft
+    layer wires it to {!Harness.Chaos.fires} on the transport points; the
+    default hook never fires. *)
+
+(** {1 Connections} *)
+
+type t
+
+val connect : ?timeout_ms:int -> addr -> t
+(** One connection attempt; the socket is non-blocking from birth.
+    @raise Timeout if the connect does not complete in time
+    @raise Peer_fault if the peer refuses or the address is dead. *)
+
+val connect_backoff :
+  ?attempts:int -> ?base_ms:int -> ?cap_ms:int -> ?key:int -> addr -> t
+(** [connect] with a capped-exponential retry ladder: attempt [n] sleeps
+    [min cap_ms (base_ms * 2^n)] scaled by a deterministic jitter factor
+    in [[0.5, 1.0]] drawn from a stream seeded by [(key, n)] — the same
+    discipline as the {!Harness.Supervise} retry ladder, so two runs with
+    the same key reconnect on the same schedule.  Raises the final
+    attempt's failure. *)
+
+val listen : ?backlog:int -> addr -> Unix.file_descr
+(** Bind-and-listen on [addr] (an existing Unix-socket path is
+    unlinked first).  The soft layer's loopback switch serves on this. *)
+
+val accept : ?deadline_ms:int -> Unix.file_descr -> t
+(** Accept one peer as a connection.
+    @raise Timeout if nobody connects in time. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val is_open : t -> bool
+
+val descr : t -> string
+(** Human-readable peer description for error messages. *)
+
+(** {1 Framed I/O} *)
+
+val max_frame : int
+(** Largest frame accepted (the u16 length field's ceiling). *)
+
+val send_frame : ?deadline_ms:int -> t -> string -> unit
+(** Write pre-serialized frame bytes, honouring partial writes.
+    @raise Peer_fault on reset/EOF  @raise Timeout past the deadline. *)
+
+val send_msg : ?deadline_ms:int -> t -> Types.msg -> unit
+(** [send_frame] of {!Wire.serialize}. *)
+
+val recv_frame : ?deadline_ms:int -> t -> string
+(** The next complete frame's raw bytes (header included). *)
+
+val recv_msg : ?deadline_ms:int -> t -> Types.msg
+(** [recv_frame] parsed; a {!Wire.Parse_error} is a {!Peer_fault}. *)
+
+(** {1 Handshake and liveness} *)
+
+val handshake_controller : ?deadline_ms:int -> t -> Types.switch_features
+(** Controller-side state machine, one deadline per state:
+    send hello → await hello → send features-request → await
+    features-reply.  Any other message type in a state is a
+    {!Peer_fault} (echo requests are answered transparently). *)
+
+val handshake_switch :
+  ?deadline_ms:int -> ?features:Types.switch_features -> t -> unit
+(** Switch-side mirror: send hello → await hello, then answer the
+    features request.  [features] defaults to a minimal single-table
+    software switch. *)
+
+val ping : ?deadline_ms:int -> t -> unit
+(** Echo-request keepalive: sends a nonce payload and requires the
+    matching echo-reply.  A wrong payload or message type is a
+    {!Peer_fault}; silence is a {!Timeout}.  Only valid between
+    request/response exchanges (no other traffic may be in flight). *)

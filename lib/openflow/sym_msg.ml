@@ -481,3 +481,161 @@ let concretize_wire model (m : t) =
   let bytes = to_sym_bytes m in
   String.init (Array.length bytes) (fun i ->
       Char.chr (Int64.to_int (Model.eval_bv model bytes.(i)) land 0xff))
+
+(* --- lenient wire decoder (live replay) ---------------------------------- *)
+
+(* [of_wire] inverts [to_sym_bytes] over *concrete* reproducer bytes: every
+   field comes back as a constant expression, laid out exactly as push_body
+   wrote it, so a live switch process can rebuild the structured input an
+   in-process replay would have seen and drive the same agent code.
+
+   The decoder is deliberately lenient where reproducers are deliberately
+   broken: the claimed length may disagree with the physical byte count
+   (that is the Short Symb test's whole point), and a body that does not
+   fit its type's structured layout falls back to [SRaw] — which is also
+   what the agents' raw-fallback path sees in process, so the fallback
+   preserves behavioural fidelity rather than papering over it.
+
+   One documented infidelity: a symbolic stats request carries independent
+   port-view/queue-view variables that the physical wire cannot — on the
+   wire those views alias the flow-view match bytes.  [of_wire] resolves
+   the alias the way a real switch would (port_no and queue_port from the
+   first post-flags bytes, queue_id from bytes 8..11 of that region), so a
+   witness whose model gives the aliased variables contradictory values
+   replays differently live.  The live layer reports such drift as a
+   verdict difference rather than hiding it. *)
+
+exception Of_wire_error of string
+
+let of_wire s =
+  let len = String.length s in
+  if len < C.Sizes.header then
+    raise (Of_wire_error (Printf.sprintf "message shorter than a header: %d bytes" len));
+  let u8 off = Char.code s.[off] in
+  let u16 off = (u8 off lsl 8) lor u8 (off + 1) in
+  let u32 off = (u16 off lsl 16) lor u16 (off + 2) in
+  let i64 off n =
+    let rec go acc i =
+      if i >= n then acc
+      else go (Int64.logor (Int64.shift_left acc 8) (Int64.of_int (u8 (off + i)))) (i + 1)
+    in
+    go 0L 0
+  in
+  let c64 v = Expr.const ~width:64 v in
+  let body_off = C.Sizes.header in
+  let blen = len - body_off in
+  let raw_body () = SRaw (Array.init blen (fun i -> c8 (u8 (body_off + i)))) in
+  (* Structured body parsing; [exit_raw] abandons ship to SRaw — the same
+     shape the in-process raw-fallback path dispatches on. *)
+  let exception Lenient in
+  let read_match off =
+    {
+      s_wildcards = c32 (u32 off);
+      s_in_port = c16 (u16 (off + 4));
+      s_dl_src = c48 (i64 (off + 6) 6);
+      s_dl_dst = c48 (i64 (off + 12) 6);
+      s_dl_vlan = c16 (u16 (off + 18));
+      s_dl_vlan_pcp = c8 (u8 (off + 20));
+      (* 1 pad byte *)
+      s_dl_type = c16 (u16 (off + 22));
+      s_nw_tos = c8 (u8 (off + 24));
+      s_nw_proto = c8 (u8 (off + 25));
+      (* 2 pad bytes *)
+      s_nw_src = c32 (u32 (off + 28));
+      s_nw_dst = c32 (u32 (off + 32));
+      s_tp_src = c16 (u16 (off + 36));
+      s_tp_dst = c16 (u16 (off + 38));
+    }
+  in
+  let read_actions off stop =
+    let rec go off acc =
+      if off = stop then List.rev acc
+      else if stop - off < 4 then raise Lenient
+      else begin
+        let alen = u16 (off + 2) in
+        if alen < 4 || off + alen > stop then raise Lenient;
+        let a =
+          {
+            a_type = c16 (u16 off);
+            a_len = c16 alen;
+            a_body = Array.init (alen - 4) (fun i -> c8 (u8 (off + 4 + i)));
+          }
+        in
+        go (off + alen) (a :: acc)
+      end
+    in
+    go off []
+  in
+  let read_packet off =
+    match Packet.Headers.of_bytes (String.sub s off (len - off)) with
+    | pkt -> Packet.Sym_packet.of_concrete pkt
+    | exception Packet.Headers.Parse_error _ -> raise Lenient
+  in
+  let typ = u8 1 in
+  let body =
+    try
+      if typ = C.Msg_type.hello && blen = 0 then SHello
+      else if typ = C.Msg_type.echo_request then
+        SEcho_request (Array.init blen (fun i -> c8 (u8 (body_off + i))))
+      else if typ = C.Msg_type.features_request && blen = 0 then SFeatures_request
+      else if typ = C.Msg_type.get_config_request && blen = 0 then SGet_config_request
+      else if typ = C.Msg_type.set_config && blen = 4 then
+        SSet_config { scfg_flags = c16 (u16 body_off); smiss_send_len = c16 (u16 (body_off + 2)) }
+      else if typ = C.Msg_type.packet_out && blen >= 8 then begin
+        let alen = u16 (body_off + 6) in
+        if 8 + alen > blen then raise Lenient;
+        let actions = read_actions (body_off + 8) (body_off + 8 + alen) in
+        let data_off = body_off + 8 + alen in
+        let data = if data_off = len then None else Some (read_packet data_off) in
+        SPacket_out
+          {
+            spo_buffer_id = c32 (u32 body_off);
+            spo_in_port = c16 (u16 (body_off + 4));
+            spo_actions = actions;
+            spo_data = data;
+          }
+      end
+      else if typ = C.Msg_type.flow_mod && blen >= 64 then
+        SFlow_mod
+          {
+            sfm_match = read_match body_off;
+            sfm_cookie = c64 (i64 (body_off + 40) 8);
+            sfm_command = c16 (u16 (body_off + 48));
+            sfm_idle_timeout = c16 (u16 (body_off + 50));
+            sfm_hard_timeout = c16 (u16 (body_off + 52));
+            sfm_priority = c16 (u16 (body_off + 54));
+            sfm_buffer_id = c32 (u32 (body_off + 56));
+            sfm_out_port = c16 (u16 (body_off + 60));
+            sfm_flags = c16 (u16 (body_off + 62));
+            sfm_actions = read_actions (body_off + 64) len;
+          }
+      else if typ = C.Msg_type.stats_request && blen = 48 then begin
+        (* Post-flags region at body_off+4: the flow view's match, which
+           the port and queue views alias on the real wire (see above). *)
+        let region = body_off + 4 in
+        SStats_request
+          {
+            ssr_type = c16 (u16 body_off);
+            ssr_flags = c16 (u16 (body_off + 2));
+            ssr_match = read_match region;
+            ssr_table_id = c8 (u8 (region + 40));
+            ssr_out_port = c16 (u16 (region + 42));
+            ssr_port_no = c16 (u16 region);
+            ssr_queue_port = c16 (u16 region);
+            ssr_queue_id = c32 (u32 (region + 4));
+          }
+      end
+      else if typ = C.Msg_type.barrier_request && blen = 0 then SBarrier_request
+      else if typ = C.Msg_type.queue_get_config_request && blen = 4 then
+        SQueue_get_config_request { sqgc_port = c16 (u16 body_off) }
+      else if typ = C.Msg_type.vendor && blen = 4 then SVendor { sv_vendor = c32 (u32 body_off) }
+      else raw_body ()
+    with Lenient -> raw_body ()
+  in
+  {
+    sm_type = c8 typ;
+    sm_length = c16 (u16 2);
+    sm_phys_len = len;
+    sm_xid = c32 (u32 4);
+    sm_body = body;
+  }

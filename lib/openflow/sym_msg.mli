@@ -164,3 +164,18 @@ val to_sym_bytes : t -> sbv array
 
 val concretize_wire : Model.t -> t -> string
 (** Evaluate the wire bytes under a model: the concrete reproducer. *)
+
+exception Of_wire_error of string
+
+val of_wire : string -> t
+(** Lenient inverse of {!to_sym_bytes} over concrete reproducer bytes:
+    every field comes back as a constant, [sm_length] is the header's
+    {e claimed} length, [sm_phys_len] the actual byte count — the two may
+    disagree, exactly as the witness intended.  A body that does not fit
+    its type's structured layout decodes to [SRaw], matching what the
+    agents' raw-fallback path dispatches on in process.  A stats
+    request's port/queue-view fields are resolved from the wire bytes
+    they alias (a real switch cannot see the independent variables the
+    symbolic form carries); see the implementation note.  The live switch
+    server uses this to rebuild the structured input a replay drives.
+    @raise Of_wire_error when shorter than a header. *)

@@ -71,6 +71,7 @@ type stats = {
   mutable sessions_opened : int;
   mutable assumption_solves : int;
   mutable scratch_fallbacks : int;
+  mutable tiny_session_fallbacks : int;
   mutable learnt_retained : int;
   mutable expr_nodes : int;
 }
@@ -91,6 +92,7 @@ let fresh_stats () = {
   sessions_opened = 0;
   assumption_solves = 0;
   scratch_fallbacks = 0;
+  tiny_session_fallbacks = 0;
   learnt_retained = 0;
   expr_nodes = 0;
 }
@@ -151,6 +153,7 @@ let reset_stats () =
   s.sessions_opened <- 0;
   s.assumption_solves <- 0;
   s.scratch_fallbacks <- 0;
+  s.tiny_session_fallbacks <- 0;
   s.learnt_retained <- 0;
   s.expr_nodes <- 0
 
@@ -177,6 +180,7 @@ let merge_stats ~into:dst (src : stats) =
   dst.sessions_opened <- dst.sessions_opened + src.sessions_opened;
   dst.assumption_solves <- dst.assumption_solves + src.assumption_solves;
   dst.scratch_fallbacks <- dst.scratch_fallbacks + src.scratch_fallbacks;
+  dst.tiny_session_fallbacks <- dst.tiny_session_fallbacks + src.tiny_session_fallbacks;
   dst.learnt_retained <- dst.learnt_retained + src.learnt_retained;
   dst.expr_nodes <- max dst.expr_nodes src.expr_nodes
 
@@ -400,4 +404,6 @@ let pp_stats fmt () =
       s.proofs_checked;
   if s.sessions_opened > 0 then
     Format.fprintf fmt " sessions=%d assumption_solves=%d fallbacks=%d learnt_retained=%d"
-      s.sessions_opened s.assumption_solves s.scratch_fallbacks s.learnt_retained
+      s.sessions_opened s.assumption_solves s.scratch_fallbacks s.learnt_retained;
+  if s.tiny_session_fallbacks > 0 then
+    Format.fprintf fmt " tiny_session_fallbacks=%d" s.tiny_session_fallbacks

@@ -121,6 +121,9 @@ type stats = {
       (** queries answered by an in-session assumption solve *)
   mutable scratch_fallbacks : int;
       (** session queries re-run from scratch after an in-session Unknown *)
+  mutable tiny_session_fallbacks : int;
+      (** crosscheck rows solved scratch because they held too few pairs
+          for a session's bit-blast prefix to pay for itself *)
   mutable learnt_retained : int;
       (** learnt clauses already in a session's database when an
           assumption solve started — the reuse incrementality buys *)

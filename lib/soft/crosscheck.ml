@@ -556,8 +556,17 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
           work;
         Array.of_list (List.rev_map (fun (i, js) -> (i, List.rev js)) !acc)
       in
+      (* A session only pays off once its bit-blasted C_A(i) prefix is
+         reused; below this many pairs the blast costs more than the row
+         saves, so the row runs scratch and the skip is counted. *)
+      let tiny_session_threshold = 3 in
       let solve_row (i, js) =
         let ga = groups_a.(i) in
+        let tiny = List.length js < tiny_session_threshold in
+        if tiny then begin
+          let st = Solver.stats () in
+          st.Solver.tiny_session_fallbacks <- st.Solver.tiny_session_fallbacks + 1
+        end;
         let in_session session j =
           let gb = groups_b.(j) in
           match Session.check ?budget session [ ga.Grouping.g_cond; gb.Grouping.g_cond ] with
@@ -572,11 +581,17 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
         in
         match sup with
         | None ->
-          let session = Session.create [ ga.Grouping.g_cond ] in
+          let solve_one =
+            if tiny then fun j -> sat_pair ?budget ?retry ga groups_b.(j)
+            else begin
+              let session = Session.create [ ga.Grouping.g_cond ] in
+              fun j -> in_session session j
+            end
+          in
           List.map
             (fun j ->
               let fate =
-                match guard_pair (fun () -> in_session session j) with
+                match guard_pair (fun () -> solve_one j) with
                 | Some v -> F_ok v
                 | None -> F_fault
               in
@@ -587,9 +602,11 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
              watchdog kills it, the whole row falls back to per-pair
              scratch attempts instead of dying *)
           let session =
-            match Supervise.run sup (fun () -> Session.create [ ga.Grouping.g_cond ]) with
-            | Ok s -> Some s
-            | Error _ -> None
+            if tiny then None
+            else
+              match Supervise.run sup (fun () -> Session.create [ ga.Grouping.g_cond ]) with
+              | Ok s -> Some s
+              | Error _ -> None
           in
           List.map
             (fun j ->

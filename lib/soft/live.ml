@@ -1,0 +1,435 @@
+(* Live-wire replay: see live.mli for the protocol contract.
+
+   The replay envelope is a SOFT vendor message (OpenFlow type 4) whose
+   body is [subtype:u16][arg:u16][payload]:
+
+     subtype 1  raw control message — payload is the inner message's
+                exact reproducer bytes (possibly deliberately malformed;
+                the envelope keeps the stream framable anyway)
+     subtype 2  probe — arg is the probe id, payload is
+                [in_port:u16][packet bytes]
+     subtype 3  advance virtual time — payload is [seconds:u32]
+     subtype 4  observation (switch → controller) — arg 0 carries the
+                normalized trace key in payload, arg 1 an error text
+
+   The server consumes every shell message (hello, features, echo,
+   barrier, envelope) itself and feeds the agent only the reconstructed
+   witness inputs, so the agent sees exactly the input sequence an
+   in-process replay drives and the trace keys stay comparable. *)
+
+module Conn = Openflow.Conn
+module Types = Openflow.Types
+module Sym_msg = Openflow.Sym_msg
+module Trace = Openflow.Trace
+module Test_spec = Harness.Test_spec
+module Proc = Harness.Proc
+module Supervise = Harness.Supervise
+module Chaos = Harness.Chaos
+module SP = Packet.Sym_packet
+
+(* Bridge the transport chaos points into the connection layer, which
+   sits below the harness and cannot draw them itself. *)
+let () =
+  Conn.set_fault_hook (function
+    | Conn.F_torn_frame -> Chaos.fires Chaos.Torn_frame
+    | Conn.F_conn_reset -> Chaos.fires Chaos.Conn_reset
+    | Conn.F_read_stall -> Chaos.fires Chaos.Read_stall)
+
+let soft_vendor_id = 0x50f750f7l
+
+let st_raw_msg = 1
+let st_probe = 2
+let st_advance = 3
+let st_observation = 4
+
+let u8 s off = Char.code s.[off]
+let u16 s off = (u8 s off lsl 8) lor u8 s (off + 1)
+let u32 s off = (u16 s off lsl 16) lor u16 s (off + 2)
+
+let be16 n = String.init 2 (fun i -> Char.chr ((n lsr (8 * (1 - i))) land 0xff))
+let be32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff))
+
+let envelope ?(arg = 0) subtype payload =
+  {
+    Types.xid = 0x50f70001l;
+    payload =
+      Types.Vendor { vendor = soft_vendor_id; vendor_body = be16 subtype ^ be16 arg ^ payload };
+  }
+
+exception Server_error of string
+(* The peer executed the witness but could not produce an observation
+   (input decode failure, agent run failure): not a transport fault, but
+   still no verdict for this witness. *)
+
+(* --- the loopback switch server ----------------------------------------- *)
+
+(* Rebuild a Test_spec input from one envelope.  Errors are recorded, not
+   raised: the witness must still reach its barrier so the client gets an
+   error observation instead of a dead connection. *)
+let input_of_envelope ~subtype ~arg payload =
+  if subtype = st_raw_msg then Test_spec.Msg (Sym_msg.of_wire payload)
+  else if subtype = st_probe then begin
+    if String.length payload < 2 then failwith "probe envelope shorter than its in_port";
+    let pkt = Packet.Headers.of_bytes (String.sub payload 2 (String.length payload - 2)) in
+    Test_spec.Probe { pr_id = arg; pr_in_port = u16 payload 0; pr_packet = SP.of_concrete pkt }
+  end
+  else if subtype = st_advance then begin
+    if String.length payload < 4 then failwith "advance-time envelope shorter than u32";
+    Test_spec.Advance_time (u32 payload 0)
+  end
+  else failwith (Printf.sprintf "unknown envelope subtype %d" subtype)
+
+let execute_observation ~max_paths agent inputs =
+  let spec =
+    {
+      Test_spec.id = "live-replay";
+      label = "live replay";
+      description = "witness inputs replayed over the wire";
+      message_count = List.length inputs;
+      inputs;
+    }
+  in
+  match Harness.Runner.execute ~max_paths agent spec with
+  | { Harness.Runner.run_paths = { pr_result; _ } :: _; _ } -> Ok (Trace.result_key pr_result)
+  | { Harness.Runner.run_paths = []; _ } -> Error "replay explored no path"
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception e -> Error (Printf.sprintf "replay raised %s" (Printexc.to_string e))
+
+let handle_connection ~max_paths ~idle_deadline_ms ~crash_after_barriers ~barriers agent conn =
+  Conn.handshake_switch ~deadline_ms:idle_deadline_ms conn;
+  (* Inputs accumulated since the last barrier, newest first; [broken]
+     remembers the first decode failure of the batch. *)
+  let inputs = ref [] and broken = ref None in
+  let reset () =
+    inputs := [];
+    broken := None
+  in
+  let rec loop () =
+    let m = Conn.recv_msg ~deadline_ms:idle_deadline_ms conn in
+    (match m.Types.payload with
+     | Types.Echo_request p ->
+       Conn.send_msg conn { m with Types.payload = Types.Echo_reply p }
+     | Types.Vendor { vendor; vendor_body } when vendor = soft_vendor_id ->
+       if String.length vendor_body < 4 then broken := Some "envelope shorter than its header"
+       else begin
+         let subtype = u16 vendor_body 0 and arg = u16 vendor_body 2 in
+         let payload = String.sub vendor_body 4 (String.length vendor_body - 4) in
+         match input_of_envelope ~subtype ~arg payload with
+         | input -> inputs := input :: !inputs
+         | exception e ->
+           if !broken = None then broken := Some (Printexc.to_string e)
+       end
+     | Types.Barrier_request ->
+       let observation =
+         match !broken with
+         | Some err -> Error err
+         | None -> execute_observation ~max_paths agent (List.rev !inputs)
+       in
+       reset ();
+       (match observation with
+        | Ok key -> Conn.send_msg conn (envelope ~arg:0 st_observation key)
+        | Error err -> Conn.send_msg conn (envelope ~arg:1 st_observation err));
+       Conn.send_msg conn { m with Types.payload = Types.Barrier_reply };
+       incr barriers;
+       (match crash_after_barriers with
+        | Some n when !barriers >= n ->
+          (* The CI lever: die the hard way, mid-conversation. *)
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+        | _ -> ())
+     | _ ->
+       (* A stray well-formed message outside the replay protocol: a real
+          switch would process it, but feeding it to the agent would make
+          the live trace diverge from the in-process one — drop it. *)
+       ());
+    loop ()
+  in
+  loop ()
+
+let serve ?(max_paths = 64) ?crash_after_barriers ?max_conns ?(idle_deadline_ms = 30_000)
+    ?on_listening agent addr =
+  let lfd = Conn.listen addr in
+  (match on_listening with Some f -> f () | None -> ());
+  let barriers = ref 0 in
+  let served = ref 0 in
+  let idle_quit = ref false in
+  let continue () =
+    (not !idle_quit) && match max_conns with None -> true | Some n -> !served < n
+  in
+  (try
+     while continue () do
+       match Conn.accept ~deadline_ms:idle_deadline_ms lfd with
+       | conn ->
+         incr served;
+         (try
+            handle_connection ~max_paths ~idle_deadline_ms ~crash_after_barriers ~barriers
+              agent conn
+          with Conn.Peer_fault _ | Conn.Timeout _ -> ());
+         Conn.close conn
+       | exception Conn.Timeout _ ->
+         (* an unbounded server keeps listening through idle periods; a
+            bounded one that nobody connects to anymore is done *)
+         if max_conns <> None then idle_quit := true
+     done
+   with e ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     raise e);
+  try Unix.close lfd with Unix.Unix_error _ -> ()
+
+(* --- the live validation client ----------------------------------------- *)
+
+type endpoint = { ep_agent : string; ep_addr : Conn.addr; ep_cmd : string option }
+
+type status = L_confirmed | L_refuted | L_failed of Supervise.taxonomy * string
+
+type result = { l_status : status; l_key_a : string option; l_key_b : string option }
+
+type summary = {
+  ls_agent_a : string;
+  ls_agent_b : string;
+  ls_test : string;
+  ls_confirmed : int;
+  ls_refuted : int;
+  ls_failed : int;
+  ls_reconnects : int;
+  ls_restarts : int;
+  ls_results : result list;
+}
+
+(* Live connection state of one endpoint: the socket, and the supervised
+   child when the endpoint is ours to restart. *)
+type live_ep = {
+  le_spec : endpoint;
+  le_key : int; (* deterministic-jitter key: endpoint index *)
+  mutable le_conn : Conn.t option;
+  mutable le_proc : Proc.t option;
+}
+
+let can_connect addr =
+  match Conn.connect ~timeout_ms:250 addr with
+  | c ->
+    Conn.close c;
+    true
+  | exception (Conn.Peer_fault _ | Conn.Timeout _) -> false
+
+let connect_ep ~attempts ~deadline_ms ep =
+  let c = Conn.connect_backoff ~attempts ~key:ep.le_key ep.le_spec.ep_addr in
+  match Conn.handshake_controller ~deadline_ms c with
+  | (_ : Types.switch_features) -> ep.le_conn <- Some c
+  | exception e ->
+    Conn.close c;
+    raise e
+
+let start_ep_proc ep =
+  match ep.le_spec.ep_cmd with
+  | None -> ()
+  | Some cmd ->
+    (match
+       Proc.start_supervised ~key:ep.le_key cmd ~ready:(fun () -> can_connect ep.le_spec.ep_addr)
+     with
+     | Ok p -> ep.le_proc <- Some p
+     | Error (tax, msg) ->
+       raise
+         (Server_error
+            (Printf.sprintf "%s: switch process %s: %s" ep.le_spec.ep_agent
+               (Supervise.taxonomy_to_string tax) msg)))
+
+let teardown_ep ep =
+  (match ep.le_conn with Some c -> Conn.close c | None -> ());
+  ep.le_conn <- None;
+  match ep.le_proc with
+  | Some p ->
+    ignore (Proc.stop p : Proc.status);
+    ep.le_proc <- None
+  | None -> ()
+
+(* One recovery pass after a mid-witness failure: drop the dead socket,
+   restart the switch if it is ours and it died, reconnect, re-handshake.
+   Counts what it did so the summary can report supervision activity. *)
+let recover_ep ~attempts ~deadline_ms ~reconnects ~restarts ep =
+  (match ep.le_conn with Some c -> Conn.close c | None -> ());
+  ep.le_conn <- None;
+  let restart () =
+    (match ep.le_proc with
+     | Some p ->
+       ignore (Proc.stop p : Proc.status);
+       ep.le_proc <- None
+     | None -> ());
+    start_ep_proc ep;
+    incr restarts
+  in
+  (match (ep.le_spec.ep_cmd, ep.le_proc) with
+   | Some _, Some p when not (Proc.alive p) -> restart ()
+   | Some _, None -> restart ()
+   | _ -> ());
+  (match connect_ep ~attempts ~deadline_ms ep with
+   | () -> ()
+   | exception Out_of_memory -> raise Out_of_memory
+   | exception (Conn.Peer_fault _ | Conn.Timeout _) when ep.le_spec.ep_cmd <> None ->
+     (* The shell/setsid wrapper can outlive the switch it started by a
+        few milliseconds, so a live [Proc.t] does not prove the service
+        is up.  When reconnecting to an endpoint we own still fails,
+        trust the socket over the pid: restart the whole tree and try
+        once more before giving up on this recovery. *)
+     restart ();
+     connect_ep ~attempts ~deadline_ms ep);
+  incr reconnects
+
+let conn_of ep =
+  match ep.le_conn with
+  | Some c -> c
+  | None -> raise (Conn.Peer_fault (ep.le_spec.ep_agent ^ ": no live connection"))
+
+(* Send one witness's inputs and barrier through [ep], return the
+   observation key. *)
+let replay_witness ~deadline_ms ep (spec : Test_spec.t) witness =
+  let c = conn_of ep in
+  List.iter
+    (fun input ->
+      let msg =
+        match input with
+        | Test_spec.Msg m -> envelope st_raw_msg (Sym_msg.concretize_wire witness m)
+        | Test_spec.Probe { pr_id; pr_in_port; pr_packet } ->
+          let pkt = SP.to_concrete witness pr_packet in
+          envelope ~arg:pr_id st_probe (be16 pr_in_port ^ Packet.Headers.to_bytes pkt)
+        | Test_spec.Advance_time s -> envelope st_advance (be32 s)
+      in
+      Conn.send_msg ~deadline_ms c msg)
+    spec.Test_spec.inputs;
+  Conn.send_msg ~deadline_ms c { Types.xid = 0x50f70002l; payload = Types.Barrier_request };
+  (* The observation precedes the barrier reply; tolerate either order
+     and answer keepalives, but nothing else belongs here. *)
+  let observation = ref None in
+  let rec await () =
+    let m = Conn.recv_msg ~deadline_ms c in
+    match m.Types.payload with
+    | Types.Echo_request p ->
+      Conn.send_msg ~deadline_ms c { m with Types.payload = Types.Echo_reply p };
+      await ()
+    | Types.Vendor { vendor; vendor_body }
+      when vendor = soft_vendor_id
+           && String.length vendor_body >= 4
+           && u16 vendor_body 0 = st_observation ->
+      let text = String.sub vendor_body 4 (String.length vendor_body - 4) in
+      if u16 vendor_body 2 = 0 then observation := Some text
+      else raise (Server_error (ep.le_spec.ep_agent ^ ": " ^ text));
+      await ()
+    | Types.Barrier_reply ->
+      (match !observation with
+       | Some key -> key
+       | None -> raise (Server_error (ep.le_spec.ep_agent ^ ": barrier reply without observation")))
+    | _ -> await ()
+  in
+  await ()
+
+let classify_failure = function
+  | Server_error msg -> (Supervise.Crashed, msg)
+  | e -> Proc.classify_transport e
+
+(* Replay through one endpoint with a single recovery-and-retry: the
+   first failure triggers reconnect/restart, the second is a verdictless
+   degrade for this witness — never an abort. *)
+let replay_resilient ~attempts ~deadline_ms ~reconnects ~restarts ep spec witness =
+  let attempt () = replay_witness ~deadline_ms ep spec witness in
+  match attempt () with
+  | key -> Ok key
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception first -> (
+    match
+      recover_ep ~attempts ~deadline_ms ~reconnects ~restarts ep;
+      attempt ()
+    with
+    | key -> Ok key
+    | exception Out_of_memory -> raise Out_of_memory
+    | exception second ->
+      ignore second;
+      Error (classify_failure first))
+
+let validate_live ?(deadline_ms = 10_000) ?(connect_attempts = 4) ~a ~b
+    (spec : Test_spec.t) (outcome : Crosscheck.outcome) =
+  let reconnects = ref 0 and restarts = ref 0 in
+  let ea = { le_spec = a; le_key = 0; le_conn = None; le_proc = None } in
+  let eb = { le_spec = b; le_key = 1; le_conn = None; le_proc = None } in
+  let setup ep =
+    match
+      start_ep_proc ep;
+      connect_ep ~attempts:connect_attempts ~deadline_ms ep
+    with
+    | () -> None
+    | exception Out_of_memory -> raise Out_of_memory
+    | exception e -> Some (classify_failure e)
+  in
+  let setup_failure = match setup ea with None -> setup eb | some -> some in
+  let results =
+    List.map
+      (fun (inc : Crosscheck.inconsistency) ->
+        match setup_failure with
+        | Some (tax, msg) -> { l_status = L_failed (tax, msg); l_key_a = None; l_key_b = None }
+        | None ->
+          let ra =
+            replay_resilient ~attempts:connect_attempts ~deadline_ms ~reconnects ~restarts ea
+              spec inc.Crosscheck.i_witness
+          in
+          let rb =
+            replay_resilient ~attempts:connect_attempts ~deadline_ms ~reconnects ~restarts eb
+              spec inc.Crosscheck.i_witness
+          in
+          let status =
+            match (ra, rb) with
+            | Ok ka, Ok kb -> if ka <> kb then L_confirmed else L_refuted
+            | Error (tax, msg), _ | _, Error (tax, msg) -> L_failed (tax, msg)
+          in
+          {
+            l_status = status;
+            l_key_a = (match ra with Ok k -> Some k | Error _ -> None);
+            l_key_b = (match rb with Ok k -> Some k | Error _ -> None);
+          })
+      outcome.Crosscheck.o_inconsistencies
+  in
+  teardown_ep ea;
+  teardown_ep eb;
+  let count p = List.length (List.filter p results) in
+  {
+    ls_agent_a = a.ep_agent;
+    ls_agent_b = b.ep_agent;
+    ls_test = outcome.Crosscheck.o_test;
+    ls_confirmed = count (fun r -> r.l_status = L_confirmed);
+    ls_refuted = count (fun r -> r.l_status = L_refuted);
+    ls_failed = count (fun r -> match r.l_status with L_failed _ -> true | _ -> false);
+    ls_reconnects = !reconnects;
+    ls_restarts = !restarts;
+    ls_results = results;
+  }
+
+let failed s = s.ls_failed
+
+let exit_status s =
+  if s.ls_confirmed > 0 then 1 else if s.ls_refuted > 0 || s.ls_failed > 0 then 3 else 0
+
+(* The live verdict supersedes the symbolic inconsistency rank (it
+   re-tested those same witnesses on real transport); a live run with
+   nothing to test defers to the base status. *)
+let merge_exit base live = if live = 1 then 1 else if live = 3 then 3 else base
+
+let status_name = function
+  | L_confirmed -> "live-confirmed"
+  | L_refuted -> "live-REFUTED"
+  | L_failed (tax, _) -> "transport-failed/" ^ Supervise.taxonomy_to_string tax
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>live validation (%s vs %s on %s): %d confirmed, %d refuted, %d transport-failed \
+     (reconnects %d, restarts %d)@ "
+    s.ls_agent_a s.ls_agent_b s.ls_test s.ls_confirmed s.ls_refuted s.ls_failed s.ls_reconnects
+    s.ls_restarts;
+  List.iteri
+    (fun i r ->
+      Format.fprintf fmt "inconsistency %d: %s" i (status_name r.l_status);
+      (match r.l_status with
+       | L_failed (_, msg) -> Format.fprintf fmt " (%s)" msg
+       | L_confirmed | L_refuted -> ());
+      (match (r.l_key_a, r.l_key_b) with
+       | Some ka, Some kb -> Format.fprintf fmt "@   live a: %s@   live b: %s" ka kb
+       | _ -> ());
+      Format.fprintf fmt "@ ")
+    s.ls_results;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,117 @@
+(** Live-wire replay: validate crosscheck verdicts against a real switch
+    process over OpenFlow 1.0 transport.
+
+    In-process validation ({!Validate}) replays a witness through both
+    agent models in the same address space.  This module replays it
+    through the {e wire}: every concrete input travels over a TCP or
+    Unix-domain socket to an external switch process, execution is
+    barrier-synchronized, and the observed trace key comes back in-band.
+    Verdicts compare the two live observations — [L_confirmed] when they
+    diverge, [L_refuted] when they agree — and any transport or process
+    failure degrades that witness to [L_failed] with a
+    {!Harness.Supervise.taxonomy} tag instead of aborting the run.
+
+    Witness inputs ride inside SOFT vendor-message envelopes rather than
+    naked on the stream, because reproducers are often deliberately
+    malformed (claimed length ≠ physical length) and would mis-frame a
+    raw socket; the envelope keeps framing sound while delivering the
+    inner bytes exactly.  Plain OpenFlow is used for everything a real
+    control channel needs: hello/features handshake, echo keepalive, and
+    barrier request/reply. *)
+
+module Conn = Openflow.Conn
+
+(** {1 The loopback switch server} *)
+
+val soft_vendor_id : int32
+(** Vendor id of the SOFT replay envelope. *)
+
+val serve :
+  ?max_paths:int ->
+  ?crash_after_barriers:int ->
+  ?max_conns:int ->
+  ?idle_deadline_ms:int ->
+  ?on_listening:(unit -> unit) ->
+  Switches.Agent_intf.t ->
+  Conn.addr ->
+  unit
+(** Serve [agent] as a live switch on [addr] ([soft_cli switch-serve]).
+    Each connection gets the switch side of the handshake, then the
+    server accumulates envelope inputs until a barrier request, executes
+    the agent on the accumulated concrete inputs, answers with an
+    observation envelope (the normalized trace key, crash included — an
+    agent crash is an {e observation}, exactly as in process) followed by
+    the barrier reply, and resets for the next witness.  A faulting or
+    silent peer only loses its own connection.  [crash_after_barriers]
+    makes the server SIGKILL itself after that many barriers — the CI
+    lever for killing the switch mid-replay.  [max_conns] bounds how many
+    connections are served before returning (default: serve forever); a
+    bounded server also returns once [idle_deadline_ms] passes with
+    nobody connecting.  [on_listening] fires once the socket is bound. *)
+
+(** {1 Live validation} *)
+
+type endpoint = {
+  ep_agent : string;  (** display name *)
+  ep_addr : Conn.addr;
+  ep_cmd : string option;
+      (** spawn-and-supervise command ([None]: connect to an already
+          running server and never restart it) *)
+}
+
+type status =
+  | L_confirmed  (** the two live observations diverge: the finding is real on the wire *)
+  | L_refuted  (** the live observations agree *)
+  | L_failed of Harness.Supervise.taxonomy * string
+      (** transport or process failure; the witness is undecided, not a verdict *)
+
+type result = {
+  l_status : status;
+  l_key_a : string option;  (** live observation of endpoint A, when one arrived *)
+  l_key_b : string option;
+}
+
+type summary = {
+  ls_agent_a : string;
+  ls_agent_b : string;
+  ls_test : string;
+  ls_confirmed : int;
+  ls_refuted : int;
+  ls_failed : int;
+  ls_reconnects : int;  (** successful transport recoveries *)
+  ls_restarts : int;  (** switch processes restarted by supervision *)
+  ls_results : result list;
+}
+
+val validate_live :
+  ?deadline_ms:int ->
+  ?connect_attempts:int ->
+  a:endpoint ->
+  b:endpoint ->
+  Harness.Test_spec.t ->
+  Crosscheck.outcome ->
+  summary
+(** Replay every inconsistency of [outcome] against both live endpoints.
+    A transport failure mid-witness triggers one recovery (reconnect
+    with capped backoff; restart via {!Harness.Proc} when the endpoint
+    is ours) and one retry before the witness degrades to [L_failed];
+    later witnesses still run.  Never raises for any network or peer
+    behaviour. *)
+
+val failed : summary -> int
+
+val exit_status : summary -> int
+(** [1] when any witness is live-confirmed; [3] when none is confirmed
+    but some are refuted or transport-failed (inconclusive); [0] clean.
+    Combine with {!Report.exit_status} by letting [1] outrank [3]. *)
+
+val merge_exit : int -> int -> int
+(** [merge_exit base live] folds the crosscheck's exit status with the
+    live summary's.  Live validation re-ranks the inconsistency verdict
+    the way in-process [--validate] does: once witnesses were re-tested
+    on the wire, an inconsistency only exits [1] if one was confirmed,
+    and an all-refuted/all-failed validation is inconclusive ([3]) even
+    though the symbolic crosscheck reported findings.  A live status of
+    [0] (no witnesses to test) leaves [base] untouched. *)
+
+val pp : Format.formatter -> summary -> unit

@@ -236,3 +236,41 @@ let packet_gen =
   | _ ->
     let+ payload = small_string ~gen:printable in
     { dl_src; dl_dst; vlan; dl_type = 0x88b5; net = Other_net payload }
+
+(* Wire mutation generators --------------------------------------------- *)
+
+(* Corrupted frames for the codec-robustness properties: whatever the
+   mutation, [Wire.parse] / [Wire.parse_stream] must answer with a clean
+   parse or [Parse_error] — never any other exception.  Each generator
+   starts from a well-formed serialized message so the mutation, not the
+   base frame, is what the codec is defending against. *)
+
+let truncated_wire_gen =
+  let open QCheck2.Gen in
+  let* m = msg_gen in
+  let wire = Openflow.Wire.serialize m in
+  let+ keep = int_bound (String.length wire - 1) in
+  String.sub wire 0 keep
+
+let bitflipped_wire_gen =
+  let open QCheck2.Gen in
+  let* m = msg_gen in
+  let wire = Openflow.Wire.serialize m in
+  let* byte = int_bound (String.length wire - 1) in
+  let+ bit = int_bound 7 in
+  let b = Bytes.of_string wire in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let length_corrupted_wire_gen =
+  let open QCheck2.Gen in
+  let* m = msg_gen in
+  let wire = Openflow.Wire.serialize m in
+  let+ claim = int_bound 0xffff in
+  let actual = String.length wire in
+  (* the mutation must actually lie about the length *)
+  let claim = if claim = actual then (claim + 1) land 0xffff else claim in
+  let b = Bytes.of_string wire in
+  Bytes.set b 2 (Char.chr ((claim lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (claim land 0xff));
+  Bytes.to_string b

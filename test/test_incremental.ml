@@ -260,16 +260,19 @@ let test_session_counters_and_merge () =
           sessions_opened = 3;
           assumption_solves = 7;
           scratch_fallbacks = 2;
+          tiny_session_fallbacks = 5;
           learnt_retained = 11;
           expr_nodes = 0;
         }
       in
       let s1 = st.Solver.sessions_opened and a1 = st.Solver.assumption_solves in
       let f1 = st.Solver.scratch_fallbacks and l1 = st.Solver.learnt_retained in
+      let t1 = st.Solver.tiny_session_fallbacks in
       Solver.merge_stats ~into:st src;
       check_int "merge adds sessions_opened" (s1 + 3) st.Solver.sessions_opened;
       check_int "merge adds assumption_solves" (a1 + 7) st.Solver.assumption_solves;
       check_int "merge adds scratch_fallbacks" (f1 + 2) st.Solver.scratch_fallbacks;
+      check_int "merge adds tiny_session_fallbacks" (t1 + 5) st.Solver.tiny_session_fallbacks;
       check_int "merge adds learnt_retained" (l1 + 11) st.Solver.learnt_retained)
 
 let suite =

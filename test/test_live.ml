@@ -1,0 +1,335 @@
+(* Live-wire replay: framed connections, child-process supervision, and
+   the loopback parity + resilience contract of Soft.Live.
+
+   The loopback tests run the switch server on its own domain over a
+   Unix-domain socket in this process: the client (main domain) drives
+   both endpoints strictly sequentially, so the two servers never execute
+   agent code concurrently. *)
+
+module Conn = Openflow.Conn
+module Types = Openflow.Types
+module Proc = Harness.Proc
+module Chaos = Harness.Chaos
+module Test_spec = Harness.Test_spec
+module Live = Soft.Live
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sock_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "soft-test-%d-%s.sock" (Unix.getpid ()) tag)
+
+(* --- addresses --------------------------------------------------------- *)
+
+let test_addr_parsing () =
+  (match Conn.addr_of_string "unix:/run/soft.sock" with
+   | Conn.Unix_sock p -> Alcotest.(check string) "unix: prefix" "/run/soft.sock" p
+   | Conn.Tcp _ -> Alcotest.fail "expected a unix address");
+  (match Conn.addr_of_string "/tmp/soft.sock" with
+   | Conn.Unix_sock p -> Alcotest.(check string) "bare path" "/tmp/soft.sock" p
+   | Conn.Tcp _ -> Alcotest.fail "expected a unix address");
+  (match Conn.addr_of_string "127.0.0.1:6633" with
+   | Conn.Tcp (h, p) ->
+     Alcotest.(check string) "host" "127.0.0.1" h;
+     check_int "port" 6633 p
+   | Conn.Unix_sock _ -> Alcotest.fail "expected a tcp address");
+  List.iter
+    (fun s ->
+      match Conn.addr_of_string s with
+      | (_ : Conn.addr) -> Alcotest.failf "expected Invalid_argument for %S" s
+      | exception Invalid_argument _ -> ())
+    [ "nonsense"; "host:notaport"; "host:0"; ":6633" ]
+
+(* --- framing over a real socket ---------------------------------------- *)
+
+(* Client and acceptor live in the same thread: Unix-socket connects
+   complete immediately, and the socket buffers hold our small frames. *)
+let with_pair f =
+  let path = sock_path "pair" in
+  let srv = Conn.listen (Conn.Unix_sock path) in
+  let client = Conn.connect (Conn.Unix_sock path) in
+  let server = Conn.accept ~deadline_ms:2000 srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Conn.close client;
+      Conn.close server;
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f client server)
+
+let test_frame_roundtrip () =
+  with_pair (fun client server ->
+      let m1 = { Types.xid = 1l; payload = Types.Echo_request "abc" } in
+      let m2 = { Types.xid = 2l; payload = Types.Barrier_request } in
+      (* two frames back-to-back arrive as two messages, in order *)
+      Conn.send_msg client m1;
+      Conn.send_msg client m2;
+      Alcotest.(check bool) "first frame" true (Conn.recv_msg ~deadline_ms:2000 server = m1);
+      Alcotest.(check bool) "second frame" true (Conn.recv_msg ~deadline_ms:2000 server = m2);
+      check_bool "still open" true (Conn.is_open server))
+
+let test_runt_frame_is_peer_fault () =
+  with_pair (fun client server ->
+      (* a complete header whose length field is below the header size:
+         the framer must refuse *)
+      Conn.send_frame client "\x01\x00\x00\x04\x00\x00\x00\x01";
+      match Conn.recv_frame ~deadline_ms:2000 server with
+      | (_ : string) -> Alcotest.fail "expected Peer_fault"
+      | exception Conn.Peer_fault _ -> check_bool "connection dead" false (Conn.is_open server))
+
+let test_garbage_frame_is_peer_fault () =
+  with_pair (fun client server ->
+      (* well-framed but unparseable (message type 99) *)
+      Conn.send_frame client "\x01\x63\x00\x08\x00\x00\x00\x01";
+      match Conn.recv_msg ~deadline_ms:2000 server with
+      | (_ : Types.msg) -> Alcotest.fail "expected Peer_fault"
+      | exception Conn.Peer_fault _ -> ())
+
+let test_silence_is_timeout () =
+  with_pair (fun _client server ->
+      match Conn.recv_frame ~deadline_ms:60 server with
+      | (_ : string) -> Alcotest.fail "expected Timeout"
+      | exception Conn.Timeout _ -> check_bool "timeout leaves conn open" true (Conn.is_open server))
+
+let test_dead_address_contained () =
+  match Conn.connect ~timeout_ms:250 (Conn.Unix_sock (sock_path "nobody-here")) with
+  | (_ : Conn.t) -> Alcotest.fail "expected a contained failure"
+  | exception (Conn.Peer_fault _ | Conn.Timeout _) -> ()
+
+let test_handshake_and_ping () =
+  let path = sock_path "hs" in
+  let srv = Conn.listen (Conn.Unix_sock path) in
+  let switch =
+    Domain.spawn (fun () ->
+        let s = Conn.accept ~deadline_ms:5000 srv in
+        Conn.handshake_switch ~deadline_ms:5000 s;
+        (* answer exactly one keepalive, then hang up *)
+        (match Conn.recv_msg ~deadline_ms:5000 s with
+         | { Types.payload = Types.Echo_request p; _ } as m ->
+           Conn.send_msg s { m with Types.payload = Types.Echo_reply p }
+         | _ -> ());
+        Conn.close s)
+  in
+  let c = Conn.connect (Conn.Unix_sock path) in
+  let feats = Conn.handshake_controller ~deadline_ms:5000 c in
+  check_bool "default features advertised" true (feats.Types.datapath_id = 0x50f7L);
+  Conn.ping ~deadline_ms:5000 c;
+  Conn.close c;
+  Domain.join switch;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  try Sys.remove path with Sys_error _ -> ()
+
+(* --- process supervision ----------------------------------------------- *)
+
+let wait_status p =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    match Proc.poll p with
+    | Proc.Running when Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.02;
+      go ()
+    | st -> st
+  in
+  go ()
+
+let test_proc_lifecycle () =
+  let p = Proc.spawn "sleep 30" in
+  check_bool "spawned child is alive" true (Proc.alive p);
+  (match Proc.stop ~grace_ms:200 p with
+   | Proc.Signaled _ -> ()
+   | st -> Alcotest.failf "expected Signaled, got %s" (Proc.status_descr st));
+  check_bool "stop is sticky" false (Proc.alive p);
+  let q = Proc.spawn "exit 7" in
+  match wait_status q with
+  | Proc.Exited 7 -> ()
+  | st -> Alcotest.failf "expected exit 7, got %s" (Proc.status_descr st)
+
+let test_supervised_start () =
+  (match
+     Proc.start_supervised ~restarts:1 ~backoff_ms:[ 1 ] ~readiness_timeout_ms:300
+       "exit 3" ~ready:(fun () -> false)
+   with
+   | Ok p ->
+     ignore (Proc.stop p : Proc.status);
+     Alcotest.fail "a dying command must not come up"
+   | Error (Harness.Supervise.Crashed, msg) ->
+     check_bool "classification names the exit" true (String.length msg > 0)
+   | Error (tax, _) ->
+     Alcotest.failf "expected Crashed, got %s" (Harness.Supervise.taxonomy_to_string tax));
+  match Proc.start_supervised ~readiness_timeout_ms:2000 "sleep 30" ~ready:(fun () -> true) with
+  | Ok p ->
+    check_bool "ready child reported up" true (Proc.alive p);
+    ignore (Proc.stop ~grace_ms:200 p : Proc.status)
+  | Error (_, msg) -> Alcotest.failf "supervised start failed: %s" msg
+
+let test_classify_transport () =
+  let tax e = fst (Proc.classify_transport e) in
+  check_bool "timeout is hung" true (tax (Conn.Timeout "x") = Harness.Supervise.Hung);
+  check_bool "peer fault is crashed" true (tax (Conn.Peer_fault "x") = Harness.Supervise.Crashed)
+
+let test_merge_exit () =
+  check_int "live confirmation outranks an undecided base" 1 (Live.merge_exit 3 1);
+  check_int "all-failed live downgrades found inconsistencies" 3 (Live.merge_exit 1 3);
+  check_int "nothing live to test defers to base" 1 (Live.merge_exit 1 0);
+  check_int "clean everywhere" 0 (Live.merge_exit 0 0)
+
+(* --- loopback parity and resilience ------------------------------------ *)
+
+let ref_agent = Switches.Reference_switch.agent
+let mod_agent = Switches.Modified_switch.agent
+
+(* The same small comparison the in-process validation tests use: 60
+   paths on Packet Out find real reference/modified inconsistencies. *)
+let cmp =
+  lazy
+    (Soft.Pipeline.compare_agents ~max_paths:60 ref_agent mod_agent (Test_spec.packet_out ()))
+
+let spawn_server ?(max_conns = 1) ?(idle_deadline_ms = 10_000) agent tag =
+  let path = sock_path tag in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Live.serve ~max_paths:64 ~max_conns ~idle_deadline_ms
+          ~on_listening:(fun () -> Atomic.set ready true)
+          agent (Conn.Unix_sock path))
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  check_bool "server came up" true (Atomic.get ready);
+  (path, d)
+
+let external_ep name path =
+  { Live.ep_agent = name; ep_addr = Conn.Unix_sock path; ep_cmd = None }
+
+let test_loopback_parity () =
+  Chaos.deactivate ();
+  let c = Lazy.force cmp in
+  let n = Soft.Pipeline.inconsistency_count c in
+  check_bool "the small run still finds inconsistencies" true (n > 0);
+  let pa, da = spawn_server ref_agent "parity-a" in
+  let pb, db = spawn_server mod_agent "parity-b" in
+  let summary =
+    Live.validate_live ~a:(external_ep "reference" pa) ~b:(external_ep "modified" pb)
+      c.Soft.Pipeline.c_test c.Soft.Pipeline.c_outcome
+  in
+  Domain.join da;
+  Domain.join db;
+  check_int "every inconsistency live-confirmed" n summary.Live.ls_confirmed;
+  check_int "none refuted over the wire" 0 summary.Live.ls_refuted;
+  check_int "none transport-failed" 0 summary.Live.ls_failed;
+  check_int "confirmed findings exit 1" 1 (Live.exit_status summary);
+  (* every confirmed witness carries both live observations, diverging *)
+  List.iter
+    (fun (r : Live.result) ->
+      match (r.Live.l_key_a, r.Live.l_key_b) with
+      | Some ka, Some kb -> check_bool "live observations diverge" true (ka <> kb)
+      | _ -> Alcotest.fail "confirmed result lacks a live observation")
+    summary.Live.ls_results
+
+let test_live_refutes_identical_agents () =
+  Chaos.deactivate ();
+  let c = Lazy.force cmp in
+  let pa, da = spawn_server ref_agent "refute-a" in
+  let pb, db = spawn_server ref_agent "refute-b" in
+  let summary =
+    Live.validate_live ~a:(external_ep "reference" pa) ~b:(external_ep "reference'" pb)
+      c.Soft.Pipeline.c_test c.Soft.Pipeline.c_outcome
+  in
+  Domain.join da;
+  Domain.join db;
+  check_int "identical agents refute everything" 0 summary.Live.ls_confirmed;
+  check_int "all witnesses refuted" (Soft.Pipeline.inconsistency_count c)
+    summary.Live.ls_refuted;
+  check_int "a refuted-only live report is inconclusive" 3 (Live.exit_status summary)
+
+(* A peer that handshakes, swallows one frame, and vanishes — with its
+   listener gone, recovery cannot reconnect and every witness must
+   degrade to transport-failed without an exception escaping. *)
+let test_peer_death_degrades () =
+  Chaos.deactivate ();
+  let c = Lazy.force cmp in
+  let n = Soft.Pipeline.inconsistency_count c in
+  let pa, da = spawn_server ~max_conns:1 ref_agent "death-a" in
+  let pb = sock_path "death-b" in
+  let db =
+    Domain.spawn (fun () ->
+        let srv = Conn.listen (Conn.Unix_sock pb) in
+        (try
+           let s = Conn.accept ~deadline_ms:10_000 srv in
+           Conn.handshake_switch ~deadline_ms:10_000 s;
+           ignore (Conn.recv_frame ~deadline_ms:10_000 s : string);
+           Conn.close s
+         with Conn.Peer_fault _ | Conn.Timeout _ -> ());
+        try Unix.close srv with Unix.Unix_error _ -> ())
+  in
+  Unix.sleepf 0.05;
+  let summary =
+    Live.validate_live ~connect_attempts:2 ~a:(external_ep "reference" pa)
+      ~b:(external_ep "treacherous" pb) c.Soft.Pipeline.c_test
+      c.Soft.Pipeline.c_outcome
+  in
+  Domain.join da;
+  Domain.join db;
+  check_int "no witness confirmed" 0 summary.Live.ls_confirmed;
+  check_int "every witness transport-failed" n summary.Live.ls_failed;
+  check_int "transport failure is inconclusive" 3 (Live.exit_status summary);
+  List.iter
+    (fun (r : Live.result) ->
+      match r.Live.l_status with
+      | Live.L_failed ((Harness.Supervise.Hung | Harness.Supervise.Crashed), msg) ->
+        check_bool "failure carries a message" true (String.length msg > 0)
+      | Live.L_failed (tax, _) ->
+        Alcotest.failf "unexpected taxonomy %s" (Harness.Supervise.taxonomy_to_string tax)
+      | _ -> Alcotest.fail "expected transport-failed")
+    summary.Live.ls_results
+
+(* 8-seed chaos sweep over the transport points: whatever torn frames,
+   resets, and stalls the plan injects, validate_live returns a complete
+   summary — counts add up, nothing aborts, nothing hangs. *)
+let test_transport_chaos_sweep () =
+  let c = Lazy.force cmp in
+  let n = Soft.Pipeline.inconsistency_count c in
+  for seed = 1 to 8 do
+    Chaos.install
+      (Chaos.plan ~only:Chaos.transport_points ~seed ~rate:0.03 ());
+    let tag = Printf.sprintf "chaos%d" seed in
+    let pa, da = spawn_server ~max_conns:8 ~idle_deadline_ms:2000 ref_agent (tag ^ "-a") in
+    let pb, db = spawn_server ~max_conns:8 ~idle_deadline_ms:2000 mod_agent (tag ^ "-b") in
+    let summary =
+      Live.validate_live ~deadline_ms:3000 ~connect_attempts:2
+        ~a:(external_ep "reference" pa) ~b:(external_ep "modified" pb)
+        c.Soft.Pipeline.c_test c.Soft.Pipeline.c_outcome
+    in
+    Domain.join da;
+    Domain.join db;
+    check_int
+      (Printf.sprintf "seed %d: every witness accounted for" seed)
+      n
+      (summary.Live.ls_confirmed + summary.Live.ls_refuted + summary.Live.ls_failed);
+    (* transport faults may only degrade, never flip a verdict *)
+    check_int (Printf.sprintf "seed %d: no refutations appear under chaos" seed) 0
+      summary.Live.ls_refuted
+  done;
+  Chaos.deactivate ()
+
+let suite =
+  [
+    ("address parsing", `Quick, test_addr_parsing);
+    ("frame roundtrip", `Quick, test_frame_roundtrip);
+    ("runt frame is a peer fault", `Quick, test_runt_frame_is_peer_fault);
+    ("garbage frame is a peer fault", `Quick, test_garbage_frame_is_peer_fault);
+    ("silence is a timeout", `Quick, test_silence_is_timeout);
+    ("dead address is contained", `Quick, test_dead_address_contained);
+    ("handshake and ping", `Quick, test_handshake_and_ping);
+    ("process lifecycle", `Quick, test_proc_lifecycle);
+    ("supervised start", `Quick, test_supervised_start);
+    ("transport failures classify", `Quick, test_classify_transport);
+    ("live exit merges like --validate", `Quick, test_merge_exit);
+    ("loopback parity with in-process verdicts", `Quick, test_loopback_parity);
+    ("identical agents refute over the wire", `Quick, test_live_refutes_identical_agents);
+    ("peer death degrades to transport-failed", `Quick, test_peer_death_degrades);
+    ("transport chaos sweep", `Slow, test_transport_chaos_sweep);
+  ]

@@ -213,6 +213,52 @@ let prop_length_header =
       let len = (Char.code wire.[2] lsl 8) lor Char.code wire.[3] in
       len = String.length wire)
 
+(* Mutation robustness: the parser sits behind a live socket in the wire
+   replay layer, so a corrupted frame must come back as [Parse_error]
+   (which Conn folds into a contained peer fault) — never as
+   Invalid_argument, an assert failure, or an out-of-bounds read. *)
+
+let parse_contained wire =
+  match Wire.parse wire with
+  | (_ : Types.msg) -> true
+  | exception Wire.Parse_error _ -> true
+
+let stream_contained wire =
+  match Wire.parse_stream wire with
+  | (_ : Types.msg list) -> true
+  | exception Wire.Parse_error _ -> true
+
+let prop_truncated_frames =
+  QCheck2.Test.make ~name:"truncated frames fail with Parse_error only" ~count:400
+    Gen.truncated_wire_gen
+    (fun wire ->
+      (* a strict prefix is never a whole message: parse must refuse *)
+      (match Wire.parse wire with
+       | (_ : Types.msg) -> false
+       | exception Wire.Parse_error _ -> true)
+      && stream_contained wire)
+
+let prop_bitflipped_frames =
+  QCheck2.Test.make ~name:"bit-flipped frames parse or fail with Parse_error only"
+    ~count:400 Gen.bitflipped_wire_gen
+    (fun wire -> parse_contained wire && stream_contained wire)
+
+let prop_length_corrupted_frames =
+  QCheck2.Test.make ~name:"length-corrupted frames fail with Parse_error only"
+    ~count:400 Gen.length_corrupted_wire_gen
+    (fun wire ->
+      (* the length field lies, and parse checks it against the buffer *)
+      (match Wire.parse wire with
+       | (_ : Types.msg) -> false
+       | exception Wire.Parse_error _ -> true)
+      && stream_contained wire)
+
+let prop_corrupt_mid_stream =
+  QCheck2.Test.make
+    ~name:"corruption mid-stream is contained to Parse_error" ~count:200
+    QCheck2.Gen.(pair Gen.msg_gen Gen.length_corrupted_wire_gen)
+    (fun (good, bad) -> stream_contained (Wire.serialize good ^ bad))
+
 let suite =
   [
     Alcotest.test_case "simple messages roundtrip" `Quick test_simple_messages;
@@ -227,4 +273,8 @@ let suite =
     Alcotest.test_case "action length validation" `Quick test_action_length_validation;
     QCheck_alcotest.to_alcotest prop_msg_roundtrip;
     QCheck_alcotest.to_alcotest prop_length_header;
+    QCheck_alcotest.to_alcotest prop_truncated_frames;
+    QCheck_alcotest.to_alcotest prop_bitflipped_frames;
+    QCheck_alcotest.to_alcotest prop_length_corrupted_frames;
+    QCheck_alcotest.to_alcotest prop_corrupt_mid_stream;
   ]
