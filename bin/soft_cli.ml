@@ -157,6 +157,30 @@ let no_incremental =
            are byte-identical either way; this is an escape hatch for \
            isolating solver issues and for benchmarking the amortization.")
 
+let no_canon =
+  Arg.(
+    value
+    & flag
+    & info [ "no-canon" ]
+        ~doc:
+          "Disable the solver's canonical (variable-renaming-invariant) memo \
+           layer: queries are cached on exact constraint identity only.  \
+           Verdicts and reports are byte-identical either way; this is an \
+           escape hatch for isolating cache issues and for benchmarking the \
+           canonicalization win.")
+
+let no_prune =
+  Arg.(
+    value
+    & flag
+    & info [ "no-prune" ]
+        ~doc:
+          "Disable UNSAT-core row pruning in the crosscheck: every pair is \
+           solved individually instead of skipping whole rows whose condition \
+           is unsatisfiable against the other side's combined input space.  \
+           With no (or deterministic) budgets, reports are byte-identical \
+           either way.")
+
 let jobs =
   let jobs_conv =
     Arg.conv ~docv:"N"
@@ -184,6 +208,9 @@ let jobs =
 let apply_budget budget_ms max_conflicts =
   Smt.Solver.set_default_budget
     (Smt.Solver.budget ?max_conflicts ?timeout_ms:budget_ms ())
+
+(* worker domains inherit the flag via the crosscheck's config snapshot *)
+let apply_canon no_canon = if no_canon then Smt.Solver.set_canon false
 
 (* --- the supervision layer (watchdog + quarantine) -------------------- *)
 
@@ -415,9 +442,10 @@ let check_cmd =
              restartable in place.")
   in
   let run file_a file_b split budget_ms max_conflicts checkpoint resume jobs no_incremental
-      certify chaos_seed chaos_rate chaos_points task_deadline_ms max_retries backoff_ms
-      mem_ceiling_mb =
+      no_canon no_prune certify chaos_seed chaos_rate chaos_points task_deadline_ms
+      max_retries backoff_ms mem_ceiling_mb =
     apply_budget budget_ms max_conflicts;
+    apply_canon no_canon;
     apply_certify certify;
     apply_chaos ?points:chaos_points chaos_seed chaos_rate;
     let supervise = make_supervise task_deadline_ms max_retries backoff_ms mem_ceiling_mb in
@@ -425,7 +453,7 @@ let check_cmd =
     let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
     match
       Soft.Crosscheck.check ?split ?checkpoint ?resume ~jobs
-        ~incremental:(not no_incremental) ?supervise a b
+        ~incremental:(not no_incremental) ~prune:(not no_prune) ?supervise a b
     with
     | outcome ->
       Format.printf "%a@." Soft.Crosscheck.pp outcome;
@@ -443,8 +471,8 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Phase 2: crosscheck two phase-1 runs for inconsistencies.")
     Term.(
       const run $ file_a $ file_b $ split $ budget_ms $ max_conflicts $ checkpoint $ resume
-      $ jobs $ no_incremental $ certify $ chaos_seed $ chaos_rate $ chaos_points
-      $ task_deadline_ms $ max_retries $ backoff_ms $ mem_ceiling_mb)
+      $ jobs $ no_incremental $ no_canon $ no_prune $ certify $ chaos_seed $ chaos_rate
+      $ chaos_points $ task_deadline_ms $ max_retries $ backoff_ms $ mem_ceiling_mb)
 
 (* --- live validation (compare --validate-live) ------------------------ *)
 
@@ -549,9 +577,11 @@ let compare_cmd =
     Arg.(value & flag & info [ "cases" ] ~doc:"Print a concrete reproducer per inconsistency.")
   in
   let run agent_a agent_b test cases max_paths strategy split budget_ms max_conflicts
-      deadline_ms jobs no_incremental certify validate validate_live sock_a sock_b chaos_seed
-      chaos_rate chaos_points task_deadline_ms max_retries backoff_ms mem_ceiling_mb =
+      deadline_ms jobs no_incremental no_canon no_prune certify validate validate_live
+      sock_a sock_b chaos_seed chaos_rate chaos_points task_deadline_ms max_retries
+      backoff_ms mem_ceiling_mb =
     apply_budget budget_ms max_conflicts;
+    apply_canon no_canon;
     apply_certify certify;
     apply_chaos ?points:chaos_points chaos_seed chaos_rate;
     let supervise = make_supervise task_deadline_ms max_retries backoff_ms mem_ceiling_mb in
@@ -564,7 +594,8 @@ let compare_cmd =
     | Ok live -> (
       match
         Soft.Pipeline.compare_agents ~max_paths ~strategy ?deadline_ms ?split ~jobs
-          ~incremental:(not no_incremental) ?supervise ~validate agent_a agent_b test
+          ~incremental:(not no_incremental) ~prune:(not no_prune) ?supervise ~validate
+          agent_a agent_b test
       with
       | c ->
         Format.printf "%a@." Soft.Pipeline.pp_comparison c;
@@ -594,9 +625,10 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run both phases: find inconsistencies between two agents.")
     Term.(
       const run $ agent_a $ agent_b $ test $ cases $ max_paths $ strategy $ split
-      $ budget_ms $ max_conflicts $ deadline_ms $ jobs $ no_incremental $ certify $ validate
-      $ validate_live_flag $ live_socket_a $ live_socket_b $ chaos_seed $ chaos_rate
-      $ chaos_points $ task_deadline_ms $ max_retries $ backoff_ms $ mem_ceiling_mb)
+      $ budget_ms $ max_conflicts $ deadline_ms $ jobs $ no_incremental $ no_canon
+      $ no_prune $ certify $ validate $ validate_live_flag $ live_socket_a $ live_socket_b
+      $ chaos_seed $ chaos_rate $ chaos_points $ task_deadline_ms $ max_retries
+      $ backoff_ms $ mem_ceiling_mb)
 
 (* --- service mode (serve / submit / status) --------------------------- *)
 

@@ -1,0 +1,396 @@
+(* Canonical (α-invariant) forms of solver queries — see canon.mli.
+
+   Two passes over the hash-consed expression DAG, both memoized per
+   (node, polarity) so shared substructure is visited once:
+
+   1. *Shape*: a bottom-up structural digest that drops variable names
+      (keeping widths), pushes negation to the atoms (NNF), flattens
+      runs of the same effective connective, and sorts commutative
+      operand lists by their own shapes.  Shapes are what make the
+      ordering of pass 2 independent of variable identity.
+   2. *Emission*: a deterministic traversal in shape-sorted order
+      (stable on ties, so structurally identical builds agree) that
+      assigns canonical node numbers in first-visit order, canonical
+      variable slots in first-occurrence order (the de Bruijn-style
+      numbering), and serializes one definition line per visited node.
+
+   The serialized form is the cache key itself — not a digest of it —
+   so key equality is exact structural equality of canonical forms and
+   a hash collision can never smuggle one query's verdict to another.
+
+   No Expr nodes are ever constructed here: negation and flattening are
+   interpreted during traversal, which keeps the global interning
+   tables (and the [expr_nodes] gauge) untouched by cache lookups. *)
+
+type key = string
+type renaming = (Expr.var * int) list
+
+let commutative_binop = function
+  | Expr.Add | Expr.Mul | Expr.Andb | Expr.Orb | Expr.Xorb -> true
+  | Expr.Sub | Expr.Shl | Expr.Lshr -> false
+
+let unop_tag = function Expr.Bnot -> "~" | Expr.Neg -> "-"
+
+let binop_tag = function
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.Andb -> "&"
+  | Expr.Orb -> "|"
+  | Expr.Xorb -> "^"
+  | Expr.Shl -> "<<"
+  | Expr.Lshr -> ">>"
+
+let cmp_tag = function
+  | Expr.Eq -> "="
+  | Expr.Ult -> "u<"
+  | Expr.Ule -> "u<="
+  | Expr.Slt -> "s<"
+  | Expr.Sle -> "s<="
+
+(* A negated inequality is the complementary positive comparison with
+   swapped operands (¬(x u< y) ≡ y u≤ x).  The Expr smart constructors
+   apply exactly this rewrite when a negation is built directly, so a
+   NNF-negated atom reached through an [Or]/[And] flip must normalize
+   the same way or the two builds of one formula would key apart.  Only
+   equality has no complementary comparison and keeps a negative
+   polarity. *)
+let norm_cmp op pol x y =
+  if pol then (true, op, x, y)
+  else
+    match op with
+    | Expr.Eq -> (false, Expr.Eq, x, y)
+    | Expr.Ult -> (true, Expr.Ule, y, x)
+    | Expr.Ule -> (true, Expr.Ult, y, x)
+    | Expr.Slt -> (true, Expr.Sle, y, x)
+    | Expr.Sle -> (true, Expr.Slt, y, x)
+
+(* The effective connective of [b] seen under polarity [pol] (NNF view):
+   a negated conjunction is a disjunction of negations and vice versa. *)
+let rec eff (b : Expr.boolean) pol =
+  match b.Expr.bnode with
+  | Expr.Not x -> eff x (not pol)
+  | Expr.And _ -> if pol then `And else `Or
+  | Expr.Or _ -> if pol then `Or else `And
+  | _ -> `Atom
+
+(* Flatten the maximal run of [target]-connective nodes under polarity,
+   returning the operand leaves as (node, polarity) in original order. *)
+let operands target b pol =
+  let rec go acc (b : Expr.boolean) pol =
+    match b.Expr.bnode with
+    | Expr.Not x -> go acc x (not pol)
+    | Expr.And (x, y) when (if pol then `And else `Or) = target ->
+      go (go acc x pol) y pol
+    | Expr.Or (x, y) when (if pol then `Or else `And) = target ->
+      go (go acc x pol) y pol
+    | _ -> (b, pol) :: acc
+  in
+  List.rev (go [] b pol)
+
+type state = {
+  shape_bool_memo : (int * bool, string) Hashtbl.t;
+  shape_bv_memo : (int, string) Hashtbl.t;
+  bool_ids : (int * bool, int) Hashtbl.t;
+  bv_ids : (int, int) Hashtbl.t;
+  mutable next_id : int;
+  slots : (int, int) Hashtbl.t; (* var id -> canonical slot *)
+  mutable var_order : Expr.var list; (* reversed first-occurrence order *)
+  buf : Buffer.t;
+}
+
+let create_state () =
+  {
+    shape_bool_memo = Hashtbl.create 64;
+    shape_bv_memo = Hashtbl.create 64;
+    bool_ids = Hashtbl.create 64;
+    bv_ids = Hashtbl.create 64;
+    next_id = 0;
+    slots = Hashtbl.create 8;
+    var_order = [];
+    buf = Buffer.create 256;
+  }
+
+(* --- pass 1: structural shapes ---------------------------------------- *)
+
+let digest = Digest.string
+
+let rec shape_bv st (e : Expr.bv) =
+  match Hashtbl.find_opt st.shape_bv_memo e.Expr.id with
+  | Some s -> s
+  | None ->
+    let s =
+      match e.Expr.node with
+      | Expr.Const c -> digest (Printf.sprintf "k%d:%Ld" e.Expr.width c)
+      | Expr.Var _ -> digest (Printf.sprintf "v%d" e.Expr.width)
+      | Expr.Unop (op, a) -> digest ("u" ^ unop_tag op ^ shape_bv st a)
+      | Expr.Binop (op, a, b) ->
+        let sa = shape_bv st a and sb = shape_bv st b in
+        let sa, sb = if commutative_binop op && sb < sa then (sb, sa) else (sa, sb) in
+        digest ("p" ^ binop_tag op ^ sa ^ sb)
+      | Expr.Ite (c, t, f) ->
+        digest ("i" ^ shape_bool st c true ^ shape_bv st t ^ shape_bv st f)
+      | Expr.Extract (a, hi, lo) ->
+        digest (Printf.sprintf "x%d:%d" hi lo ^ shape_bv st a)
+      | Expr.Concat (h, l) -> digest ("cc" ^ shape_bv st h ^ shape_bv st l)
+      | Expr.Zext a -> digest (Printf.sprintf "z%d" e.Expr.width ^ shape_bv st a)
+      | Expr.Sext a -> digest (Printf.sprintf "s%d" e.Expr.width ^ shape_bv st a)
+    in
+    Hashtbl.replace st.shape_bv_memo e.Expr.id s;
+    s
+
+and shape_bool st (b : Expr.boolean) pol =
+  match Hashtbl.find_opt st.shape_bool_memo (b.Expr.bid, pol) with
+  | Some s -> s
+  | None ->
+    let s =
+      match b.Expr.bnode with
+      | Expr.True -> digest (if pol then "T" else "F")
+      | Expr.False -> digest (if pol then "F" else "T")
+      | Expr.Not x -> shape_bool st x (not pol)
+      | Expr.Cmp (op, x, y) ->
+        let pos, op, x, y = norm_cmp op pol x y in
+        let sx = shape_bv st x and sy = shape_bv st y in
+        let sx, sy = if op = Expr.Eq && sy < sx then (sy, sx) else (sx, sy) in
+        digest ((if pos then "c" else "n") ^ cmp_tag op ^ sx ^ sy)
+      | Expr.And _ | Expr.Or _ ->
+        let target = eff b pol in
+        let kids = operands target b pol in
+        let kid_shapes =
+          List.sort compare (List.map (fun (k, kp) -> shape_bool st k kp) kids)
+        in
+        digest ((if target = `And then "A" else "O") ^ String.concat "" kid_shapes)
+    in
+    Hashtbl.replace st.shape_bool_memo (b.Expr.bid, pol) s;
+    s
+
+(* --- pass 2: deterministic emission ----------------------------------- *)
+
+let fresh_id st line =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  Buffer.add_string st.buf line;
+  Buffer.add_char st.buf '\n';
+  id
+
+(* Stable sort by shape: operands with distinct shapes order canonically;
+   shape ties (structurally identical siblings) keep their original
+   order, which two α-equivalent builds share. *)
+let by_shape shapes = List.stable_sort (fun (s1, _) (s2, _) -> compare (s1 : string) s2) shapes
+
+let rec emit_bv st (e : Expr.bv) =
+  match Hashtbl.find_opt st.bv_ids e.Expr.id with
+  | Some id -> id
+  | None ->
+    let line =
+      match e.Expr.node with
+      | Expr.Const c -> Printf.sprintf "k%d:%Ld" e.Expr.width c
+      | Expr.Var v ->
+        let slot =
+          match Hashtbl.find_opt st.slots (Expr.var_id v) with
+          | Some s -> s
+          | None ->
+            let s = Hashtbl.length st.slots in
+            Hashtbl.replace st.slots (Expr.var_id v) s;
+            st.var_order <- v :: st.var_order;
+            s
+        in
+        Printf.sprintf "v%d#%d" e.Expr.width slot
+      | Expr.Unop (op, a) -> Printf.sprintf "u%s %d" (unop_tag op) (emit_bv st a)
+      | Expr.Binop (op, a, b) ->
+        let order =
+          if commutative_binop op then
+            by_shape [ (shape_bv st a, a); (shape_bv st b, b) ]
+          else [ ("", a); ("", b) ]
+        in
+        let ids = List.map (fun (_, x) -> emit_bv st x) order in
+        Printf.sprintf "p%s %s" (binop_tag op)
+          (String.concat " " (List.map string_of_int ids))
+      | Expr.Ite (c, t, f) ->
+        let cid = emit_bool st c true in
+        let tid = emit_bv st t in
+        let fid = emit_bv st f in
+        Printf.sprintf "i %d %d %d" cid tid fid
+      | Expr.Extract (a, hi, lo) -> Printf.sprintf "x%d:%d %d" hi lo (emit_bv st a)
+      | Expr.Concat (h, l) ->
+        let hid = emit_bv st h in
+        let lid = emit_bv st l in
+        Printf.sprintf "cc %d %d" hid lid
+      | Expr.Zext a -> Printf.sprintf "z%d %d" e.Expr.width (emit_bv st a)
+      | Expr.Sext a -> Printf.sprintf "s%d %d" e.Expr.width (emit_bv st a)
+    in
+    let id = fresh_id st line in
+    Hashtbl.replace st.bv_ids e.Expr.id id;
+    id
+
+and emit_bool st (b : Expr.boolean) pol =
+  match Hashtbl.find_opt st.bool_ids (b.Expr.bid, pol) with
+  | Some id -> id
+  | None ->
+    (match b.Expr.bnode with
+    | Expr.Not x -> emit_bool st x (not pol) (* NNF: fold the negation away *)
+    | _ ->
+      let line =
+        match b.Expr.bnode with
+        | Expr.Not _ -> assert false
+        | Expr.True -> if pol then "T" else "F"
+        | Expr.False -> if pol then "F" else "T"
+        | Expr.Cmp (op, x, y) ->
+          let pos, op, x, y = norm_cmp op pol x y in
+          let order =
+            if op = Expr.Eq then by_shape [ (shape_bv st x, x); (shape_bv st y, y) ]
+            else [ ("", x); ("", y) ]
+          in
+          let ids = List.map (fun (_, e) -> emit_bv st e) order in
+          Printf.sprintf "%s%s %s"
+            (if pos then "c" else "n")
+            (cmp_tag op)
+            (String.concat " " (List.map string_of_int ids))
+        | Expr.And _ | Expr.Or _ ->
+          let target = eff b pol in
+          let kids = operands target b pol in
+          let sorted = by_shape (List.map (fun (k, kp) -> (shape_bool st k kp, (k, kp))) kids) in
+          let ids = List.map (fun (_, (k, kp)) -> emit_bool st k kp) sorted in
+          Printf.sprintf "%s %s"
+            (if target = `And then "A" else "O")
+            (String.concat " " (List.map string_of_int ids))
+      in
+      let id = fresh_id st line in
+      Hashtbl.replace st.bool_ids (b.Expr.bid, pol) id;
+      id)
+
+(* --- pass 0: cheap α-invariant fingerprints --------------------------- *)
+
+(* An integer digest of the same normal form the two passes above
+   produce: NNF with [norm_cmp]-normalized atoms, flattened connective
+   runs, commutative operands folded order-insensitively, variables
+   reduced to their widths.  Queries with equal canonical keys always
+   have equal fingerprints; the converse can fail (it is a hash), so a
+   fingerprint match licenses nothing by itself — the solver uses it as
+   a negative filter that makes the common no-α-twin case nearly free,
+   and only computes full canonical forms when fingerprints collide.
+
+   The memo is keyed by hash-consed node id and lives for the domain's
+   lifetime (not per query): interning is append-only, so an id never
+   changes meaning, and path exploration re-fingerprints shared
+   prefixes for free. *)
+
+type fp_state = {
+  fp_bool : (int * bool, int) Hashtbl.t;
+  fp_bv : (int, int) Hashtbl.t;
+}
+
+let fp_key : fp_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { fp_bool = Hashtbl.create 1024; fp_bv = Hashtbl.create 1024 })
+
+(* FNV-1a-style fold: cheap, deterministic, order-sensitive — operand
+   lists that must not be order-sensitive are sorted before folding. *)
+let mix h x = ((h * 0x01000193) lxor x) land max_int
+let mix2 h a b = mix (mix h a) b
+
+let rec fp_bv st (e : Expr.bv) =
+  match Hashtbl.find_opt st.fp_bv e.Expr.id with
+  | Some h -> h
+  | None ->
+    let h =
+      match e.Expr.node with
+      | Expr.Const c -> mix2 1 e.Expr.width (Int64.to_int c land max_int)
+      | Expr.Var _ -> mix 2 e.Expr.width
+      | Expr.Unop (op, a) -> mix2 3 (Hashtbl.hash (unop_tag op)) (fp_bv st a)
+      | Expr.Binop (op, a, b) ->
+        let ha = fp_bv st a and hb = fp_bv st b in
+        let ha, hb = if commutative_binop op && hb < ha then (hb, ha) else (ha, hb) in
+        mix2 (mix 4 (Hashtbl.hash (binop_tag op))) ha hb
+      | Expr.Ite (c, t, f) -> mix2 (mix 5 (fp_bool st c true)) (fp_bv st t) (fp_bv st f)
+      | Expr.Extract (a, hi, lo) -> mix (mix2 6 hi lo) (fp_bv st a)
+      | Expr.Concat (h, l) -> mix2 7 (fp_bv st h) (fp_bv st l)
+      | Expr.Zext a -> mix2 8 e.Expr.width (fp_bv st a)
+      | Expr.Sext a -> mix2 9 e.Expr.width (fp_bv st a)
+    in
+    Hashtbl.replace st.fp_bv e.Expr.id h;
+    h
+
+and fp_bool st (b : Expr.boolean) pol =
+  match Hashtbl.find_opt st.fp_bool (b.Expr.bid, pol) with
+  | Some h -> h
+  | None ->
+    let h =
+      match b.Expr.bnode with
+      | Expr.True -> if pol then 10 else 11
+      | Expr.False -> if pol then 11 else 10
+      | Expr.Not x -> fp_bool st x (not pol)
+      | Expr.Cmp (op, x, y) ->
+        let pos, op, x, y = norm_cmp op pol x y in
+        let hx = fp_bv st x and hy = fp_bv st y in
+        let hx, hy = if op = Expr.Eq && hy < hx then (hy, hx) else (hx, hy) in
+        mix2 (mix2 12 (Bool.to_int pos) (Hashtbl.hash (cmp_tag op))) hx hy
+      | Expr.And _ | Expr.Or _ ->
+        let target = eff b pol in
+        let kids = operands target b pol in
+        let hs = List.sort compare (List.map (fun (k, kp) -> fp_bool st k kp) kids) in
+        List.fold_left mix (if target = `And then 13 else 14) hs
+    in
+    Hashtbl.replace st.fp_bool (b.Expr.bid, pol) h;
+    h
+
+(* Same root treatment as [of_conds]: flatten each conjunct's top-level
+   And run, dedup repeated (node, polarity) operands, fold the operand
+   fingerprints order-insensitively under a virtual And. *)
+let fingerprint conds =
+  let st = Domain.DLS.get fp_key in
+  let kids = List.concat_map (fun c -> operands `And c true) conds in
+  let seen = Hashtbl.create 16 in
+  let hs =
+    List.filter_map
+      (fun ((k : Expr.boolean), kp) ->
+        if Hashtbl.mem seen (k.Expr.bid, kp) then None
+        else begin
+          Hashtbl.replace seen (k.Expr.bid, kp) ();
+          Some (fp_bool st k kp)
+        end)
+      kids
+  in
+  List.fold_left mix 15 (List.sort compare hs)
+
+let of_conds conds =
+  let st = create_state () in
+  (* the query is the conjunction of [conds]: flatten each conjunct's
+     own top-level And run into one operand list, dedup repeats, and
+     emit in shape-sorted order — the root is a virtual And node *)
+  let kids = List.concat_map (fun c -> operands `And c true) conds in
+  let seen = Hashtbl.create 16 in
+  let kids =
+    List.filter
+      (fun ((k : Expr.boolean), kp) ->
+        if Hashtbl.mem seen (k.Expr.bid, kp) then false
+        else begin
+          Hashtbl.replace seen (k.Expr.bid, kp) ();
+          true
+        end)
+      kids
+  in
+  let sorted = by_shape (List.map (fun (k, kp) -> (shape_bool st k kp, (k, kp))) kids) in
+  let ids = List.map (fun (_, (k, kp)) -> emit_bool st k kp) sorted in
+  Buffer.add_string st.buf ("R " ^ String.concat " " (List.map string_of_int ids));
+  Buffer.add_char st.buf '\n';
+  let renaming =
+    List.mapi (fun i v -> (v, i)) (List.rev st.var_order)
+  in
+  (Buffer.contents st.buf, renaming)
+
+let key_of_conds conds = fst (of_conds conds)
+
+let slot_count (r : renaming) = List.length r
+
+let to_canonical_bindings (r : renaming) m =
+  List.filter_map
+    (fun (v, slot) -> if Model.mem m v then Some (slot, Model.get m v) else None)
+    r
+
+let translate_model (r : renaming) cbinds =
+  Model.of_bindings
+    (List.filter_map
+       (fun (v, slot) ->
+         Option.map (fun value -> (v, value)) (List.assoc_opt slot cbinds))
+       r)

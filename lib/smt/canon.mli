@@ -1,0 +1,62 @@
+(** Variable-renaming-invariant canonical forms of solver queries.
+
+    A query (a conjunction of {!Expr.boolean}s) is rewritten into a
+    normal form that is stable under α-renaming of its variables and
+    under reassociation/commutation of its connectives: negation-normal
+    form with flattened and shape-sorted commutative operand lists, and
+    de Bruijn-style variable numbering in order of first occurrence in
+    the normalized traversal.  Two queries that differ only in variable
+    names (widths must agree) or in the order/association of commutative
+    operands therefore share one canonical {!key} — the handle the
+    solver's canonical memo layer caches verdicts under.
+
+    The canonicalizer never builds new {!Expr} nodes (the interning
+    tables stay untouched); it produces a serialized form over the
+    hash-consed DAG, visiting each (node, polarity) once, so the cost is
+    linear in the DAG and comparable to one bit-blasting pass.
+
+    Soundness of reuse: equal keys mean the two queries are equal up to
+    a width-preserving variable bijection plus commutative reordering,
+    so satisfiability transfers exactly, and a model of one becomes a
+    model of the other through the stored {!renaming}. *)
+
+type key = string
+(** The full serialized canonical form (not a digest: key equality is
+    exact, so a lookup can never confuse two distinct queries). *)
+
+type renaming
+(** The width-preserving map between this query's variables and the
+    canonical slot numbers [0, 1, ...] assigned at first occurrence. *)
+
+val fingerprint : Expr.boolean list -> int
+(** A cheap integer digest of the canonical form: queries with equal
+    {!key}s always have equal fingerprints, while the converse can fail
+    (it is a hash).  The solver uses it as a negative filter — a query
+    whose fingerprint has never been seen cannot have an α-equivalent
+    cached twin, so the full canonicalization passes are skipped on the
+    (overwhelmingly common) miss path.  Memoized per hash-consed node
+    for the domain's lifetime: interning is append-only, so shared
+    sub-DAGs are fingerprinted once, not once per query. *)
+
+val of_conds : Expr.boolean list -> key * renaming
+(** Canonicalize the conjunction of [conds].  The key is invariant
+    under α-renaming of variables and commutative reordering; the
+    renaming is what translates models between the query's variable
+    space and the canonical slot space. *)
+
+val key_of_conds : Expr.boolean list -> key
+(** [fst (of_conds conds)], for tests and diagnostics. *)
+
+val slot_count : renaming -> int
+(** Number of distinct variables the query mentions. *)
+
+val to_canonical_bindings : renaming -> Model.t -> (int * int64) list
+(** Project a model of this query into canonical slot space: the value
+    of each variable the model binds, keyed by the variable's slot.
+    Variables the model leaves unconstrained are omitted (they default
+    to zero on both sides, see {!Model.get}). *)
+
+val translate_model : renaming -> (int * int64) list -> Model.t
+(** The inverse direction: rebuild a model over {e this} query's
+    variables from canonical slot bindings cached for an α-equivalent
+    query.  Slots with no binding stay absent (unconstrained). *)

@@ -58,7 +58,7 @@ let create base =
    literal.  Mirrors [Solver.run_sat] step for step — deadline anchored
    before blasting, hook fired between anchoring and search — so budget
    accounting and fault delivery match scratch mode. *)
-let core t budget conds =
+let core ?(on_unsat = fun _ -> ()) t budget conds =
   Cancel.poll ();
   let st = Solver.stats () in
   let sat = t.bctx.Bitblast.sat in
@@ -89,7 +89,12 @@ let core t budget conds =
   in
   st.Solver.solver_time <- st.Solver.solver_time +. Mono.elapsed t0;
   match r with
-  | Sat.Unsat -> Solver.Unsat
+  | Sat.Unsat ->
+    (* the failed-assumption core attributes the refutation: an empty
+       core means the base alone (plus unguarded unit clauses) is
+       contradictory; a non-empty one implicates this query's guard *)
+    on_unsat (Sat.failed_assumptions sat);
+    Solver.Unsat
   | Sat.Unknown Sat.Conflicts -> Solver.Unknown Solver.Out_of_conflicts
   | Sat.Unknown Sat.Decisions -> Solver.Unknown Solver.Out_of_decisions
   | Sat.Unknown Sat.Time -> Solver.Unknown Solver.Out_of_time
@@ -111,3 +116,22 @@ let check ?use_interval ?use_cache ?budget t conds =
        scratch path instead (see header) *)
     Solver.check ?use_interval ?use_cache ?budget conds
   else Solver.check_with ?use_interval ?use_cache ?budget ~core:(core t) conds
+
+type attribution = Base_refuted | Assumptions_refuted
+
+let check_attributed ?use_interval ?use_cache ?budget t conds =
+  if Solver.certify_enabled () then
+    (Solver.check ?use_interval ?use_cache ?budget conds, None)
+  else begin
+    (* only an Unsat that actually reached the assumption solve carries a
+       failed core; frontend short-circuits (constant folding, memo or
+       canonical hit, interval filter) leave the attribution [None] *)
+    let attr = ref None in
+    let on_unsat failed =
+      attr := Some (if failed = [] then Base_refuted else Assumptions_refuted)
+    in
+    let r =
+      Solver.check_with ?use_interval ?use_cache ?budget ~core:(core ~on_unsat t) conds
+    in
+    (r, !attr)
+  end

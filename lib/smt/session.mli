@@ -39,3 +39,27 @@ val check :
     Options mean exactly what they mean on {!Solver.check}.  [Unknown]
     means the budget bit; callers retry with {!Solver.check} (scratch)
     and should count the fallback in [scratch_fallbacks]. *)
+
+type attribution =
+  | Base_refuted
+      (** the failed-assumption core was empty: the session's base (plus
+          the query's unguarded units) is contradictory on its own, so
+          {e every} query of this session is Unsat *)
+  | Assumptions_refuted
+      (** the conflict used this query's activation guard: the verdict
+          implicates the query's own conjuncts, not the base alone *)
+
+val check_attributed :
+  ?use_interval:bool ->
+  ?use_cache:bool ->
+  ?budget:Solver.budget ->
+  t ->
+  Expr.boolean list ->
+  Solver.result * attribution option
+(** {!check}, additionally reporting — for an Unsat decided by the
+    in-session assumption solve — which side the SAT core's failed-
+    assumption set implicates.  The attribution is [None] whenever the
+    answer did not come from the assumption solve: frontend
+    short-circuits (constant folding, memo/canonical hits, the interval
+    filter) and the certify-mode scratch fallback.  The crosscheck's
+    row-pruning pass logs it to attribute each pruned row. *)

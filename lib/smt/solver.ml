@@ -73,6 +73,10 @@ type stats = {
   mutable scratch_fallbacks : int;
   mutable tiny_session_fallbacks : int;
   mutable learnt_retained : int;
+  mutable canonical_hits : int;
+  mutable rows_pruned : int;
+  mutable pairs_skipped_by_pruning : int;
+  mutable subsumed_groups : int;
   mutable expr_nodes : int;
 }
 
@@ -94,6 +98,10 @@ let fresh_stats () = {
   scratch_fallbacks = 0;
   tiny_session_fallbacks = 0;
   learnt_retained = 0;
+  canonical_hits = 0;
+  rows_pruned = 0;
+  pairs_skipped_by_pruning = 0;
+  subsumed_groups = 0;
   expr_nodes = 0;
 }
 
@@ -101,24 +109,117 @@ let fresh_stats () = {
 
 let default_cache_capacity = 65536
 
+(* A bounded map with recency tracking: a hashtable over an intrusive
+   doubly-linked list ordered least- to most-recently used.  [find]
+   moves the entry to the back, so bounded eviction from the front
+   discards what has gone longest without a hit — canonical entries
+   that keep hitting are never swept out with a cold half, which the
+   old FIFO (insertion-order) eviction could not guarantee. *)
+module Lru = struct
+  type ('k, 'v) node = {
+    nkey : 'k;
+    mutable value : 'v;
+    mutable prev : ('k, 'v) node option;
+    mutable next : ('k, 'v) node option;
+  }
+
+  type ('k, 'v) t = {
+    tbl : ('k, ('k, 'v) node) Hashtbl.t;
+    mutable head : ('k, 'v) node option; (* least recently used *)
+    mutable tail : ('k, 'v) node option; (* most recently used *)
+  }
+
+  let create n = { tbl = Hashtbl.create n; head = None; tail = None }
+  let length t = Hashtbl.length t.tbl
+
+  let clear t =
+    Hashtbl.reset t.tbl;
+    t.head <- None;
+    t.tail <- None
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_back t n =
+    n.prev <- t.tail;
+    n.next <- None;
+    (match t.tail with Some old -> old.next <- Some n | None -> t.head <- Some n);
+    t.tail <- Some n
+
+  let find t k =
+    match Hashtbl.find_opt t.tbl k with
+    | None -> None
+    | Some n ->
+      unlink t n;
+      push_back t n;
+      Some n.value
+
+  let add t k v =
+    match Hashtbl.find_opt t.tbl k with
+    | Some n ->
+      n.value <- v;
+      unlink t n;
+      push_back t n
+    | None ->
+      let n = { nkey = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k n;
+      push_back t n
+
+  let evict_to t target =
+    while length t > target do
+      match t.head with
+      | None -> Hashtbl.reset t.tbl (* defensive: list and table disagree *)
+      | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl n.nkey
+    done
+end
+
+(* The canonical (α-invariant) memo is an index over the exact-key
+   cache, not a second copy of it.  Entering every query into a
+   canonical-form table costs a full canonicalization per miss — two
+   digest passes over the DAG, which measured at ~0.2ms on crosscheck
+   pair queries, dwarfing the queries it might later save.  Instead:
+
+   - [c_fps] maps a cheap α-invariant fingerprint ({!Canon.fingerprint},
+     a memoized integer fold over the hash-consed DAG) to the few cached
+     queries bearing it.  A query whose fingerprint is absent provably
+     has no α-equivalent cached twin, and the miss path has paid only
+     the fingerprint — amortized O(new DAG nodes), ~free on shared
+     prefixes.
+   - Only on a fingerprint match are full canonical keys computed (and
+     memoized per exact key in [c_canon_memo]) to confirm or refute the
+     α-equivalence; the verdict is then read back out of [c_cache], so
+     the two levels can never disagree and eviction needs no
+     cross-maintenance — a candidate whose exact entry was evicted is
+     dropped from the index lazily. *)
 type ctx = {
   c_stats : stats;
-  c_cache : (int list, result) Hashtbl.t;
-  (* insertion order of cache keys, oldest first; drives the bounded
-     FIFO eviction.  Keys are only ever added on a cache miss, so each
-     live entry appears in the queue exactly once *)
-  c_order : int list Queue.t;
+  c_cache : (int list, result) Lru.t;
+  c_fps : (int, Expr.boolean list list ref) Hashtbl.t;
+  c_canon_memo : (int list, Canon.key * Canon.renaming) Hashtbl.t;
   mutable c_capacity : int;
+  mutable c_canon_on : bool;
   mutable c_certify : bool;
   mutable c_hook : unit -> unit;
   mutable c_budget : budget; (* applied to queries with no explicit [?budget] *)
 }
 
+(* Distinct cached queries sharing one fingerprint are nearly always
+   genuine α-twins (the key confirms); a longer chain means fingerprint
+   collisions, and scanning it would canonicalize every member. *)
+let max_fp_candidates = 8
+
 let create_ctx () = {
   c_stats = fresh_stats ();
-  c_cache = Hashtbl.create 4096;
-  c_order = Queue.create ();
+  c_cache = Lru.create 4096;
+  c_fps = Hashtbl.create 4096;
+  c_canon_memo = Hashtbl.create 1024;
   c_capacity = default_cache_capacity;
+  c_canon_on = true;
   c_certify = false;
   c_hook = (fun () -> ());
   c_budget = no_budget;
@@ -155,6 +256,10 @@ let reset_stats () =
   s.scratch_fallbacks <- 0;
   s.tiny_session_fallbacks <- 0;
   s.learnt_retained <- 0;
+  s.canonical_hits <- 0;
+  s.rows_pruned <- 0;
+  s.pairs_skipped_by_pruning <- 0;
+  s.subsumed_groups <- 0;
   s.expr_nodes <- 0
 
 (* [expr_nodes] is a gauge over a single global table, not a per-domain
@@ -182,6 +287,10 @@ let merge_stats ~into:dst (src : stats) =
   dst.scratch_fallbacks <- dst.scratch_fallbacks + src.scratch_fallbacks;
   dst.tiny_session_fallbacks <- dst.tiny_session_fallbacks + src.tiny_session_fallbacks;
   dst.learnt_retained <- dst.learnt_retained + src.learnt_retained;
+  dst.canonical_hits <- dst.canonical_hits + src.canonical_hits;
+  dst.rows_pruned <- dst.rows_pruned + src.rows_pruned;
+  dst.pairs_skipped_by_pruning <- dst.pairs_skipped_by_pruning + src.pairs_skipped_by_pruning;
+  dst.subsumed_groups <- dst.subsumed_groups + src.subsumed_groups;
   dst.expr_nodes <- max dst.expr_nodes src.expr_nodes
 
 (* --- memo cache ------------------------------------------------------- *)
@@ -190,33 +299,62 @@ let set_cache_capacity n =
   if n <= 0 then invalid_arg "Solver.set_cache_capacity: capacity must be positive";
   (ctx ()).c_capacity <- n
 
+(* Both cache levels are flushed together: the canonical index can
+   answer (some) queries without reaching the SAT core, so a caller that
+   clears "the cache" to measure cold costs — or to realign two runs'
+   query-hook draw streams — must start both levels cold. *)
 let clear_cache () =
   let c = ctx () in
-  Hashtbl.reset c.c_cache;
-  Queue.clear c.c_order
+  Lru.clear c.c_cache;
+  Hashtbl.reset c.c_fps;
+  Hashtbl.reset c.c_canon_memo
 
-let cache_len () = Hashtbl.length (ctx ()).c_cache
+let cache_len () = Lru.length (ctx ()).c_cache
 
-(* Bounded eviction: on reaching capacity, discard the *older half* of the
-   entries (FIFO over insertion order) instead of flushing the whole
+(* Bounded eviction: on reaching capacity, discard the *colder half* of
+   the entries (least-recently-used first) instead of flushing the whole
    table.  A full flush right after hitting capacity costs a worst-case
-   thrash: every warm prefix entry is re-solved at once.  Dropping half
-   keeps the younger, still-hot half resident while bounding memory the
-   same way. *)
-let cache_evict c =
+   thrash: every warm prefix entry is re-solved at once.  Dropping the
+   half that has gone longest without a hit keeps the hot half resident
+   while bounding memory the same way. *)
+let cache_evict c lru =
   c.c_stats.cache_evictions <- c.c_stats.cache_evictions + 1;
-  let target = c.c_capacity / 2 in
-  while Hashtbl.length c.c_cache > target && not (Queue.is_empty c.c_order) do
-    let k = Queue.pop c.c_order in
-    Hashtbl.remove c.c_cache k
-  done
+  Lru.evict_to lru (c.c_capacity / 2)
 
 let cache_add c key r =
-  if Hashtbl.length c.c_cache >= c.c_capacity then cache_evict c;
-  if not (Hashtbl.mem c.c_cache key) then Queue.push key c.c_order;
-  Hashtbl.replace c.c_cache key r
+  if Lru.length c.c_cache >= c.c_capacity then cache_evict c c.c_cache;
+  Lru.add c.c_cache key r
 
 let cache_key conds = List.sort_uniq compare (List.map (fun (b : Expr.boolean) -> b.Expr.bid) conds)
+
+(* Full canonicalization, memoized by exact key so a query canonicalized
+   as a lookup probe is not re-canonicalized when it later serves as a
+   candidate (or vice versa).  Keying by the exact key is sound: the
+   canonical form depends only on the deduplicated conjunct set. *)
+let canon_of c ekey conds =
+  match Hashtbl.find_opt c.c_canon_memo ekey with
+  | Some kr -> kr
+  | None ->
+    let kr = Canon.of_conds conds in
+    if Hashtbl.length c.c_canon_memo >= c.c_capacity then Hashtbl.reset c.c_canon_memo;
+    Hashtbl.replace c.c_canon_memo ekey kr;
+    kr
+
+(* Enter a freshly decided query into the fingerprint index.  The
+   per-fingerprint chain is bounded and deduplicated by exact key; the
+   whole index is reset (not evicted — it is only an index, losing it
+   costs future canonical hits, never correctness) if it somehow
+   outgrows several times the cache capacity. *)
+let fp_register c fp key conds =
+  match Hashtbl.find_opt c.c_fps fp with
+  | Some lst ->
+    if
+      List.length !lst < max_fp_candidates
+      && not (List.exists (fun cand -> cache_key cand = key) !lst)
+    then lst := conds :: !lst
+  | None ->
+    if Hashtbl.length c.c_fps >= 4 * c.c_capacity then Hashtbl.reset c.c_fps;
+    Hashtbl.replace c.c_fps fp (ref [ conds ])
 
 (* --- certification ---------------------------------------------------- *)
 
@@ -237,6 +375,12 @@ let set_certify b =
 
 let certify_enabled () = (ctx ()).c_certify
 
+(* The canonical layer is an optimisation, not a regime: toggling it
+   never invalidates entries (they stay sound either way), so unlike
+   {!set_certify} there is nothing to flush. *)
+let set_canon b = (ctx ()).c_canon_on <- b
+let canon_enabled () = (ctx ()).c_canon_on
+
 (* Called on every query that reaches the SAT core, after the deadline is
    anchored and before the search starts.  Fault injection installs a
    closure here (scoped to the crosscheck phase) that may raise or skew
@@ -251,16 +395,23 @@ type config = {
   cfg_budget : budget;
   cfg_certify : bool;
   cfg_cache_capacity : int;
+  cfg_canon : bool;
 }
 
 let snapshot_config () =
   let c = ctx () in
-  { cfg_budget = c.c_budget; cfg_certify = c.c_certify; cfg_cache_capacity = c.c_capacity }
+  {
+    cfg_budget = c.c_budget;
+    cfg_certify = c.c_certify;
+    cfg_cache_capacity = c.c_capacity;
+    cfg_canon = c.c_canon_on;
+  }
 
 let apply_config cfg =
   let c = ctx () in
   c.c_budget <- cfg.cfg_budget;
   c.c_capacity <- cfg.cfg_cache_capacity;
+  c.c_canon_on <- cfg.cfg_canon;
   if c.c_certify <> cfg.cfg_certify then begin
     c.c_certify <- cfg.cfg_certify;
     clear_cache ()
@@ -328,11 +479,97 @@ let check_with ?(use_interval = true) ?(use_cache = true) ?budget ~core conds =
   end
   else
     let key = if use_cache then cache_key conds else [] in
-    match if use_cache then Hashtbl.find_opt c.c_cache key else None with
+    match if use_cache then Lru.find c.c_cache key else None with
     | Some r ->
       c.c_stats.cache_hits <- c.c_stats.cache_hits + 1;
       r
     | None ->
+      (* second level: the α-invariant canonical memo.  An exact-key miss
+         may still be a renaming/reassociation of a query already
+         decided.  The cheap fingerprint decides whether that is even
+         possible; full canonical forms are computed (and memoized) only
+         when it is, so the common no-twin miss pays one memoized integer
+         fold, not two digest passes over the DAG.
+
+         The lookup runs {e after} the interval filter, and a confirmed
+         hit consumes exactly the query-hook draw a fresh solve would:
+         an Unsat hit fires the hook once in place of the core's firing
+         (the hook may raise — an injected fault must land here exactly
+         as it would land on the solve the hit replaced), and a Sat hit
+         replays through the scratch core, which fires it.  Canonical
+         reuse is therefore invisible to fault injection: a --no-canon
+         run draws the same fault stream and faults on the same pairs. *)
+      (* computed once per miss, shared between the lookup probe and the
+         post-solve registration; lazy so an interval-filtered query pays
+         for it only if its result is registered *)
+      let fp = lazy (Canon.fingerprint conds) in
+      let canonical_reuse () =
+        if not (use_cache && c.c_canon_on) then None
+        else
+          match Hashtbl.find_opt c.c_fps (Lazy.force fp) with
+          | None | Some { contents = [] } -> None
+          | Some lst ->
+            let ckey, ren = canon_of c key conds in
+            let rec try_candidates = function
+              | [] -> None
+              | cand :: rest -> (
+                let ckey_c, ren_c = canon_of c (cache_key cand) cand in
+                if ckey_c <> ckey then try_candidates rest
+                else
+                  match Lru.find c.c_cache (cache_key cand) with
+                  | None ->
+                    (* the exact entry behind this candidate was
+                       evicted; drop it from the index lazily *)
+                    lst := List.filter (fun x -> x != cand) !lst;
+                    try_candidates rest
+                  | Some entry ->
+                    if c.c_certify then begin
+                      (* certify mode never trusts a canonical hit
+                         without replay: count the hit, then fall
+                         through to the proof-checked core like any
+                         miss *)
+                      c.c_stats.canonical_hits <- c.c_stats.canonical_hits + 1;
+                      None
+                    end
+                    else begin
+                      match entry with
+                      | Unsat ->
+                        (* unsatisfiability transfers exactly across
+                           the variable bijection — no replay needed,
+                           but the replaced solve's hook draw is *)
+                        c.c_stats.canonical_hits <- c.c_stats.canonical_hits + 1;
+                        c.c_hook ();
+                        Some Unsat
+                      | Sat m ->
+                        let m' =
+                          Canon.translate_model ren (Canon.to_canonical_bindings ren_c m)
+                        in
+                        if not (Model.satisfies m' conds) then
+                          None (* defensive: treat as miss *)
+                        else begin
+                          c.c_stats.canonical_hits <- c.c_stats.canonical_hits + 1;
+                          (* the translated model proves the query Sat,
+                             but the published witness must be
+                             byte-identical to what a fresh solve would
+                             print — replay through the scratch core
+                             (whose hook firing is the one draw the
+                             replaced solve would have made) and publish
+                             its model *)
+                          match run_sat c budget conds with
+                          | Sat _ as r -> Some r
+                          | Unknown _ as r -> Some r
+                          | Unsat ->
+                            raise
+                              (Solver_error
+                                 ("canonical Sat entry refuted on replay", conds))
+                        end
+                      | Unknown _ ->
+                        (* unreachable: Unknown is never cached *)
+                        try_candidates rest
+                    end)
+            in
+            try_candidates !lst
+      in
       let r =
         (* certify mode bypasses the interval filter: its Unsat answers
            carry no proof, and the whole point is never to publish one *)
@@ -341,7 +578,10 @@ let check_with ?(use_interval = true) ?(use_cache = true) ?budget ~core conds =
           c.c_stats.interval_hits <- c.c_stats.interval_hits + 1;
           Unsat
         end
-        else core budget conds
+        else
+          match canonical_reuse () with
+          | Some r -> r
+          | None -> core budget conds
       in
       (match r with
        | Sat m ->
@@ -356,7 +596,14 @@ let check_with ?(use_interval = true) ?(use_cache = true) ?budget ~core conds =
       (* never cache Unknown: it reflects this call's budget, not the query *)
       (match r with
        | Unknown _ -> ()
-       | Sat _ | Unsat -> if use_cache then cache_add c key r);
+       | Sat _ | Unsat ->
+         if use_cache then begin
+           cache_add c key r;
+           (* make this query findable by future α-variants; the full
+              canonical form stays uncomputed until a fingerprint match
+              actually asks for it *)
+           if c.c_canon_on then fp_register c (Lazy.force fp) key conds
+         end);
       r
 
 let check ?use_interval ?use_cache ?budget conds =
@@ -406,4 +653,9 @@ let pp_stats fmt () =
     Format.fprintf fmt " sessions=%d assumption_solves=%d fallbacks=%d learnt_retained=%d"
       s.sessions_opened s.assumption_solves s.scratch_fallbacks s.learnt_retained;
   if s.tiny_session_fallbacks > 0 then
-    Format.fprintf fmt " tiny_session_fallbacks=%d" s.tiny_session_fallbacks
+    Format.fprintf fmt " tiny_session_fallbacks=%d" s.tiny_session_fallbacks;
+  if s.canonical_hits > 0 then
+    Format.fprintf fmt " canonical_hits=%d" s.canonical_hits;
+  if s.rows_pruned > 0 || s.subsumed_groups > 0 then
+    Format.fprintf fmt " rows_pruned=%d pairs_skipped=%d subsumed_groups=%d"
+      s.rows_pruned s.pairs_skipped_by_pruning s.subsumed_groups

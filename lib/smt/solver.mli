@@ -74,6 +74,26 @@ val set_certify : bool -> unit
 
 val certify_enabled : unit -> bool
 
+val set_canon : bool -> unit
+(** Enable/disable the α-invariant canonical memo layer (default on) in
+    the calling domain.  On an exact-key cache miss the query's cheap
+    {!Canon.fingerprint} is probed against an index of cached queries;
+    only a fingerprint match triggers full canonicalization
+    ({!Canon.of_conds}) to confirm the α-equivalence, so the common
+    no-twin miss costs one memoized integer fold.  A confirmed hit
+    answers Unsat directly (unsatisfiability transfers across the
+    variable bijection) and pre-confirms Sat, whose witness is still
+    replayed through the scratch core so published models are
+    byte-identical to a fresh solve.  A hit consumes exactly the query-hook
+    draw the solve it replaces would have consumed (fired directly on an
+    Unsat hit, by the replay on a Sat hit), so fault-injection streams
+    stay aligned with a [--no-canon] run.  Under certify a canonical hit is
+    counted but {e never} trusted: the query falls through to the
+    proof-checked core.  Toggling flushes nothing — canonical reuse
+    stays sound either way. *)
+
+val canon_enabled : unit -> bool
+
 val set_query_hook : (unit -> unit) -> unit
 (** Install a closure run on every query that reaches the SAT core
     (between deadline anchoring and the search).  Fault injection uses
@@ -88,6 +108,7 @@ type config = {
   cfg_budget : budget;
   cfg_certify : bool;
   cfg_cache_capacity : int;
+  cfg_canon : bool;
 }
 (** The configurable part of a domain's solver context — what a freshly
     spawned worker domain must inherit to behave like its parent. *)
@@ -112,7 +133,7 @@ type stats = {
   mutable unsat_results : int;
   mutable unknown_results : int;  (** queries that exhausted their budget *)
   mutable cache_evictions : int;
-      (** bounded (clear-half) eviction events at capacity *)
+      (** bounded (evict-LRU-half) eviction events at capacity *)
   mutable solver_time : float;  (** monotonic seconds inside the SAT core *)
   mutable proofs_checked : int;  (** certify mode: Unsat proofs validated *)
   mutable proofs_failed : int;  (** certify mode: proofs the checker rejected *)
@@ -127,6 +148,17 @@ type stats = {
   mutable learnt_retained : int;
       (** learnt clauses already in a session's database when an
           assumption solve started — the reuse incrementality buys *)
+  mutable canonical_hits : int;
+      (** queries answered (or, under certify, pre-confirmed) by the
+          α-invariant canonical memo after an exact-key miss *)
+  mutable rows_pruned : int;
+      (** crosscheck rows skipped wholesale because the row condition is
+          unsatisfiable against the other side's common constraint *)
+  mutable pairs_skipped_by_pruning : int;
+      (** pairwise checks avoided by row pruning and row subsumption *)
+  mutable subsumed_groups : int;
+      (** row-prune probes avoided because the row's condition is
+          subsumed by an already-pruned row's condition *)
   mutable expr_nodes : int;
       (** gauge: total nodes in the global {!Expr} hash-cons tables at the
           last {!capture_expr_stats}; merged with [max], not [+] *)
@@ -155,8 +187,11 @@ val capture_expr_stats : unit -> unit
 (** {1 Memo cache} *)
 
 val clear_cache : unit -> unit
-(** Drop the query-result memo table (benchmarks use this to measure cold
-    costs). *)
+(** Drop both memo levels — the exact-key table and the canonical
+    (α-invariant) fingerprint index.  Benchmarks use this to measure cold costs;
+    reproducibility harnesses use it to realign two runs' query streams
+    (a surviving canonical entry would let one run skip a SAT-core call,
+    and its fault-injection draw, that the other still makes). *)
 
 val cache_len : unit -> int
 (** Entries currently in the calling domain's memo table.  The service's
@@ -164,10 +199,11 @@ val cache_len : unit -> int
     released. *)
 
 val set_cache_capacity : int -> unit
-(** Entry count at which bounded eviction triggers (default 65536); on
-    reaching it the *older half* of the entries (FIFO over insertion
-    order) is discarded, keeping the younger half warm while bounding
-    memory for week-long suite runs.
+(** Entry count at which bounded eviction triggers (default 65536, per
+    memo level); on reaching it the *colder half* of the entries
+    (least-recently-used first — a hit moves an entry to the back) is
+    discarded, keeping the hot half warm while bounding memory for
+    week-long suite runs.
     @raise Invalid_argument on a non-positive capacity. *)
 
 (** {1 Queries} *)

@@ -409,7 +409,8 @@ let solver_pool_hooks () =
   (worker_init, worker_exit)
 
 let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(jobs = 1)
-    ?(incremental = true) ?supervise ?(on_found = fun (_ : inconsistency) -> ())
+    ?(incremental = true) ?(prune = true) ?supervise
+    ?(on_found = fun (_ : inconsistency) -> ())
     ?(on_warning = default_warning) (a : Grouping.grouped) (b : Grouping.grouped) =
   if a.Grouping.gr_test <> b.Grouping.gr_test then
     invalid_arg "Crosscheck.check: runs of different tests";
@@ -465,7 +466,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
           end)
         groups_b)
     groups_a;
-  let work = Array.of_list (List.rev !fresh) in
+  let fresh = Array.of_list (List.rev !fresh) in
   (* Pass 2 — solve the fresh pairs, possibly across domains.  The solve
      itself is pure per pair (the solver is deterministic and each worker
      has its own context), so [-j N] changes only scheduling.  All shared
@@ -512,6 +513,110 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
   let guard_pair f = try Some (Chaos.with_solver_faults f) with
     | Solver.Solver_error _ | Chaos.Injected_fault _ -> None
   in
+  (* Pass 1.5 — UNSAT-core row pruning, serial, on the caller's domain,
+     and deliberately identical in incremental and scratch modes (it runs
+     before either, so the two modes' downstream query streams — and
+     their fault-injection draws — stay aligned).  Before solving row [i]
+     pairwise, one probe decides [C_A(i) ∧ common(B)] where [common(B)]
+     is the disjunction of *all* of B's group conditions: every C_B(j)
+     implies it, so an Unsat probe proves every pair of the row disjoint
+     at the cost of one query.  The probes share one incremental session
+     whose base is [common(B)] (blasted once); the assumption solve's
+     failed core attributes each pruning — an empty core means common(B)
+     is self-contradictory and every remaining row prunes for free.
+     Structural subsumption (see {!Grouping.subsumes}) reuses an
+     already-pruned row's verdict when this row's condition implies it,
+     without any probe.  On matrices whose sides overlap everywhere no
+     row can prune, so probing stops after a few consecutive failures
+     — a deterministic cutoff, independent of [jobs].  Certify mode
+     disables the pass: its probes would open sessions whose Unsats
+     carry no replayable proof.
+
+     The probes run *outside* the fault-injection scope: a probe is an
+     extra query a [--no-prune] run never issues, so letting it draw
+     from the chaos streams would shift every later pair's fault
+     schedule and break the byte-identity gate.  A probe that dies on a
+     genuine solver error just counts as a miss.  Note the flip side:
+     when a row *does* prune, the skipped pairs' own solves — and any
+     faults those solves would have drawn — disappear with them, so on
+     matrices that actually prune, a chaos run faults on different pairs
+     than its [--no-prune] twin.  That is inherent to skipping work, not
+     a cache-layer artefact. *)
+  let prune_enabled =
+    prune
+    && (not (Solver.certify_enabled ()))
+    && Array.length fresh > 0
+    && Array.length groups_b > 0
+  in
+  if prune_enabled then begin
+    let rows =
+      let acc = ref [] in
+      Array.iter
+        (fun (i, j) ->
+          match !acc with
+          | (i', js) :: rest when i' = i -> acc := (i', j :: js) :: rest
+          | _ -> acc := (i, [ j ]) :: !acc)
+        fresh;
+      List.rev_map (fun (i, js) -> (i, List.rev js)) !acc
+    in
+    let common =
+      Expr.balanced_disj
+        (Array.to_list (Array.map (fun (g : Grouping.group) -> g.Grouping.g_cond) groups_b))
+    in
+    let edges = Grouping.subsumption_edges groups_a in
+    let pruned : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let st = Solver.stats () in
+    let prune_row ~subsumed i js =
+      Hashtbl.replace pruned i ();
+      st.Solver.rows_pruned <- st.Solver.rows_pruned + 1;
+      if subsumed then st.Solver.subsumed_groups <- st.Solver.subsumed_groups + 1;
+      st.Solver.pairs_skipped_by_pruning <-
+        st.Solver.pairs_skipped_by_pruning + List.length js;
+      List.iter (fun j -> record_pair (i, j) (F_ok Pair_unsat, 0)) js
+    in
+    let session = ref None in
+    let base_refuted = ref false in
+    let misses = ref 0 in
+    (* a probe against the full common(B) disjunction costs about a
+       row's worth of pairwise solving, so an overlapping-everywhere
+       matrix must stop probing almost immediately *)
+    let max_probe_misses = 2 in
+    List.iter
+      (fun (i, js) ->
+        let ga = groups_a.(i) in
+        if !base_refuted then prune_row ~subsumed:false i js
+        else if List.exists (fun i' -> Hashtbl.mem pruned i') edges.(i) then
+          prune_row ~subsumed:true i js
+        else if List.length js >= 2 && !misses < max_probe_misses then begin
+          let s =
+            match !session with
+            | Some s -> s
+            | None ->
+              let s = Session.create [ common ] in
+              session := Some s;
+              s
+          in
+          match
+            (* no [guard_pair]: the probe must not draw from the chaos
+               streams (see the pass comment above) *)
+            (try
+               Some (Session.check_attributed ?budget s [ common; ga.Grouping.g_cond ])
+             with Solver.Solver_error _ -> None)
+          with
+          | Some (Solver.Unsat, attr) ->
+            misses := 0;
+            if attr = Some Session.Base_refuted then base_refuted := true;
+            prune_row ~subsumed:false i js
+          | Some ((Solver.Sat _ | Solver.Unknown _), _) | None -> incr misses
+        end)
+      rows
+  end;
+  let work =
+    Array.of_list
+      (List.filter
+         (fun ij -> not (Hashtbl.mem decided ij))
+         (Array.to_list fresh))
+  in
   let pair_key (i, j) = (i * Array.length groups_b) + j in
   let worker_init, worker_exit = solver_pool_hooks () in
   (* The incremental path covers the default monolithic-first-attempt
@@ -557,12 +662,26 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
         Array.of_list (List.rev_map (fun (i, js) -> (i, List.rev js)) !acc)
       in
       (* A session only pays off once its bit-blasted C_A(i) prefix is
-         reused; below this many pairs the blast costs more than the row
-         saves, so the row runs scratch and the skip is counted. *)
-      let tiny_session_threshold = 3 in
+         reused.  What the session saves is re-blasting the base for each
+         of the remaining [n-1] pairs — proportional to
+         [(n-1) · |C_A(i)|] expression nodes.  What it costs is its setup
+         plus, for every Sat pair, the scratch confirm solve (the witness
+         must match scratch mode byte for byte), so narrow rows never
+         recoup the overhead.  Measured on the bench suite: cs_flow_mods
+         rows peak at (6−1)·286 ≈ 1.4k node-pairs and lose ~20% in
+         sessions (Sat-heavy, confirm-dominated), short_symb rows around
+         2.4k node-pairs still lose ~40%, and eth_flow_mod rows at
+         48·165 ≈ 8k node-pairs and up win 3×.  The old fixed [n < 3]
+         cutoff — and the first node-count form at 96 — both kept the
+         losing rows incremental; the measured break-even sits between
+         2.4k and 8k, so the cutoff is set at 3k. *)
+      let session_overhead_nodes = 3000 in
       let solve_row (i, js) =
         let ga = groups_a.(i) in
-        let tiny = List.length js < tiny_session_threshold in
+        let tiny =
+          (List.length js - 1) * Expr.bool_size ga.Grouping.g_cond
+          < session_overhead_nodes
+        in
         if tiny then begin
           let st = Solver.stats () in
           st.Solver.tiny_session_fallbacks <- st.Solver.tiny_session_fallbacks + 1

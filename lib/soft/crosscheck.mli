@@ -97,6 +97,7 @@ val check :
   ?resume:string ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?prune:bool ->
   ?supervise:Harness.Supervise.policy ->
   ?on_found:(inconsistency -> unit) ->
   ?on_warning:(string -> unit) ->
@@ -145,6 +146,24 @@ val check :
     {!Smt.Session}).  An explicit [split] or an enabled certify regime
     forces the scratch path (chunked queries share no row conjunct; an
     assumption-failure Unsat has no replayable DRUP proof).
+
+    [prune] (default true): before solving a row pairwise, decide
+    [C_A(i) ∧ common(B)] once, where [common(B)] disjoins {e all} of B's
+    group conditions; an Unsat probe proves every pair of the row
+    disjoint and records them clean wholesale (counted in [rows_pruned]
+    and [pairs_skipped_by_pruning]).  The probes run serially on the
+    calling domain over one incremental session, before — and
+    identically under — either [incremental] mode, so reports stay
+    byte-identical to [~prune:false] whenever budgets do not bite (a
+    probe's whole-row Unsat can decide pairs a tightly budgeted pairwise
+    attempt would have left undecided).  The assumption solve's failed
+    core attributes each pruning ({!Smt.Session.check_attributed});
+    structural subsumption between row conditions
+    ({!Grouping.subsumption_edges}) reuses already-pruned verdicts
+    without probing (counted in [subsumed_groups]).  Probing stops after
+    a few consecutive non-pruning probes — matrices whose sides overlap
+    everywhere pay at most that fixed cost.  Certify mode disables the
+    pass (a pruning Unsat would carry no replayable proof).
 
     [supervise]: run every pair solve under a {!Harness.Supervise} watchdog
     — per-attempt wall-clock deadlines enforced preemptively by a monitor

@@ -24,6 +24,7 @@ val compare_runs :
   ?resume:string ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?prune:bool ->
   ?supervise:Harness.Supervise.policy ->
   ?on_warning:(string -> unit) ->
   Harness.Test_spec.t ->
@@ -32,8 +33,9 @@ val compare_runs :
   comparison
 (** Phase 2 only, over existing phase-1 runs.  The optional arguments
     (including [jobs], the crosscheck worker-domain count, [incremental],
-    the row-major session solving toggle, and [supervise], the watchdog
-    policy) are forwarded to {!Crosscheck.check}. *)
+    the row-major session solving toggle, [prune], the UNSAT-core row
+    pruning toggle, and [supervise], the watchdog policy) are forwarded
+    to {!Crosscheck.check}. *)
 
 val compare_agents :
   ?max_paths:int ->
@@ -43,6 +45,7 @@ val compare_agents :
   ?split:int ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?prune:bool ->
   ?supervise:Harness.Supervise.policy ->
   ?validate:bool ->
   Switches.Agent_intf.t ->
@@ -73,6 +76,7 @@ val compare_suite :
   ?split:int ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?prune:bool ->
   ?supervise:Harness.Supervise.policy ->
   ?validate:bool ->
   Switches.Agent_intf.t ->

@@ -262,18 +262,28 @@ let test_session_counters_and_merge () =
           scratch_fallbacks = 2;
           tiny_session_fallbacks = 5;
           learnt_retained = 11;
+          canonical_hits = 13;
+          rows_pruned = 2;
+          pairs_skipped_by_pruning = 9;
+          subsumed_groups = 1;
           expr_nodes = 0;
         }
       in
       let s1 = st.Solver.sessions_opened and a1 = st.Solver.assumption_solves in
       let f1 = st.Solver.scratch_fallbacks and l1 = st.Solver.learnt_retained in
       let t1 = st.Solver.tiny_session_fallbacks in
+      let c1 = st.Solver.canonical_hits and r1 = st.Solver.rows_pruned in
+      let p1 = st.Solver.pairs_skipped_by_pruning and g1 = st.Solver.subsumed_groups in
       Solver.merge_stats ~into:st src;
       check_int "merge adds sessions_opened" (s1 + 3) st.Solver.sessions_opened;
       check_int "merge adds assumption_solves" (a1 + 7) st.Solver.assumption_solves;
       check_int "merge adds scratch_fallbacks" (f1 + 2) st.Solver.scratch_fallbacks;
       check_int "merge adds tiny_session_fallbacks" (t1 + 5) st.Solver.tiny_session_fallbacks;
-      check_int "merge adds learnt_retained" (l1 + 11) st.Solver.learnt_retained)
+      check_int "merge adds learnt_retained" (l1 + 11) st.Solver.learnt_retained;
+      check_int "merge adds canonical_hits" (c1 + 13) st.Solver.canonical_hits;
+      check_int "merge adds rows_pruned" (r1 + 2) st.Solver.rows_pruned;
+      check_int "merge adds pairs_skipped_by_pruning" (p1 + 9) st.Solver.pairs_skipped_by_pruning;
+      check_int "merge adds subsumed_groups" (g1 + 1) st.Solver.subsumed_groups)
 
 let suite =
   [
