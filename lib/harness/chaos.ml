@@ -111,6 +111,17 @@ type plan = {
      point has its own stream, so masking one point cannot shift another
      point's schedule — restricting a plan to the durability points keeps
      the solver/agent/clock points byte-for-byte silent. *)
+  p_keyed : (int * int, Random.State.t) Hashtbl.t;
+  (* keyed streams, allocated lazily under [fire_lock]: a [fire ~key] draw
+     comes from the stream seeded by [(seed, point, key)] instead of the
+     point's global stream, so whether it fires depends only on the plan
+     and on how many draws *that key* has made — not on how many other
+     keys have drawn, and hence not on worker count or scheduling.  The
+     crosscheck keys its per-pair solver-fault scope by pair index, which
+     is what keeps a [-j N] chaos report byte-identical to [-j 1].
+     Streams persist for the plan's lifetime, so a retry of the same key
+     (supervised re-attempts) continues the key's stream rather than
+     replaying its first draw. *)
   mutable p_draws : int;
 }
 
@@ -130,6 +141,7 @@ let plan ?only ~seed ~rate () =
     p_streams = Array.init npoints (fun i -> Random.State.make [| 0x50f7; seed; i |]);
     p_fired = Array.make npoints 0;
     p_enabled = enabled;
+    p_keyed = Hashtbl.create 64;
     p_draws = 0;
   }
 
@@ -160,8 +172,11 @@ let current () = !active
 
 (* Decide whether the fault at [pt] fires now; always consumes exactly one
    draw from the point's stream when a plan is active and the point is
-   enabled (a masked point neither fires nor draws). *)
-let fire pt =
+   enabled (a masked point neither fires nor draws).  With [~key] the
+   draw comes from the point's keyed stream (see [p_keyed]) instead of
+   its global one, making the outcome independent of draw interleaving
+   across keys. *)
+let fire ?key pt =
   match !active with
   | None -> false
   | Some p ->
@@ -170,18 +185,30 @@ let fire pt =
     else
       Mutex.protect fire_lock (fun () ->
           p.p_draws <- p.p_draws + 1;
-          let hit = Random.State.float p.p_streams.(i) 1.0 < p.p_rate in
+          let stream =
+            match key with
+            | None -> p.p_streams.(i)
+            | Some k -> (
+              match Hashtbl.find_opt p.p_keyed (i, k) with
+              | Some s -> s
+              | None ->
+                let s = Random.State.make [| 0x50f7; p.p_seed; i; k |] in
+                Hashtbl.replace p.p_keyed (i, k) s;
+                s)
+          in
+          let hit = Random.State.float stream 1.0 < p.p_rate in
           if hit then p.p_fired.(i) <- p.p_fired.(i) + 1;
           hit)
 
 let fires = fire
 
-let maybe_raise pt = if fire pt then raise (Injected_fault (point_name pt))
+let maybe_raise ?key pt = if fire ?key pt then raise (Injected_fault (point_name pt))
 
 (* Far beyond any per-query or per-run deadline in use. *)
 let clock_jump_seconds = 86400.0
 
-let maybe_clock_jump () = if fire Clock_jump then Smt.Mono.advance clock_jump_seconds
+let maybe_clock_jump ?key () =
+  if fire ?key Clock_jump then Smt.Mono.advance clock_jump_seconds
 
 (* A hung task: sleep until the watchdog cancels us, then surface the
    cancellation.  Drawn only when a supervision token is installed — an
@@ -192,11 +219,11 @@ let maybe_clock_jump () = if fire Clock_jump then Smt.Mono.advance clock_jump_se
    clock may cut it short after a clock-jump fault, which is harmless. *)
 let hang_safety_cap_s = 30.0
 
-let maybe_hang () =
+let maybe_hang ?key () =
   match Smt.Cancel.current () with
   | None -> ()
   | Some tok ->
-    if fire Hang then begin
+    if fire ?key Hang then begin
       let t0 = Smt.Mono.now () in
       while
         (not (Smt.Cancel.is_cancelled tok))
@@ -240,15 +267,17 @@ let maybe_rename_crash () =
 (* Deliver solver faults and clock jumps to every query [f] issues that
    reaches the SAT core.  The hook is installed only for the dynamic
    extent of [f] — the crosscheck pair scope — never during path
-   exploration (see the soundness contract above). *)
-let with_solver_faults f =
+   exploration (see the soundness contract above).  [~key] routes all
+   three draws through keyed streams; the crosscheck keys each scope by
+   its pair index so the fault pattern is worker-count-invariant. *)
+let with_solver_faults ?key f =
   match !active with
   | None -> f ()
   | Some _ ->
     Smt.Solver.set_query_hook (fun () ->
-        maybe_hang ();
-        maybe_clock_jump ();
-        maybe_raise Solver_fault);
+        maybe_hang ?key ();
+        maybe_clock_jump ?key ();
+        maybe_raise ?key Solver_fault);
     Fun.protect ~finally:(fun () -> Smt.Solver.set_query_hook (fun () -> ())) f
 
 (* An injected fault recorded as an agent crash path would be observable

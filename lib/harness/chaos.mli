@@ -80,9 +80,10 @@ val install : plan -> unit
     domain before any crosscheck worker domains spawn (the CLI installs it
     at startup): workers read the active plan through the happens-before
     edge of their spawn.  Draws from concurrent workers are serialized
-    internally; under [-j N > 1] the per-seed fault schedule remains valid
-    per point but which pair a fault lands on depends on scheduling —
-    only the degrade-to-undecided invariant is stable. *)
+    internally.  Unkeyed draws under [-j N > 1] interleave by scheduling,
+    so only the degrade-to-undecided invariant is stable for them; keyed
+    draws (see {!maybe_raise}) are scheduling-invariant, which is how the
+    crosscheck keeps a chaos report byte-identical at every [-j]. *)
 
 val deactivate : unit -> unit
 val current : unit -> plan option
@@ -95,14 +96,20 @@ val fired : plan -> point -> int
 
 val total_fired : plan -> int
 
-val maybe_raise : point -> unit
+val maybe_raise : ?key:int -> point -> unit
 (** Draw at [point]; raise {!Injected_fault} if the fault fires.  A no-op
-    when no plan is active. *)
+    when no plan is active.  With [~key] the draw comes from a stream
+    seeded by [(seed, point, key)] instead of the point's global stream:
+    whether it fires depends only on how many draws {e that key} has
+    made, not on the interleaving of other keys' draws — which makes a
+    keyed fault pattern invariant under worker count and scheduling.
+    Keyed streams persist for the plan's lifetime, so retries of the
+    same key continue its stream. *)
 
-val maybe_clock_jump : unit -> unit
+val maybe_clock_jump : ?key:int -> unit -> unit
 (** Draw at [Clock_jump]; on fire, {!Smt.Mono.advance} the clock a day. *)
 
-val maybe_hang : unit -> unit
+val maybe_hang : ?key:int -> unit -> unit
 (** Draw at [Hang] — but only when the calling domain carries a
     {!Smt.Cancel} token; a no-op otherwise (no draw consumed).  On fire,
     sleep until the watchdog cancels the token (safety-capped), then raise
@@ -112,7 +119,7 @@ val maybe_truncate_file : string -> unit
 (** Draw at [Checkpoint_truncate]; on fire, truncate the file to half its
     size — simulating a write cut down mid-file. *)
 
-val fires : point -> bool
+val fires : ?key:int -> point -> bool
 (** Draw at [point] and report whether the fault fires, without raising.
     [false] when no plan is active or the point is masked (no draw
     consumed then).  For callers that must stage a fault themselves —
@@ -131,10 +138,13 @@ val maybe_rename_crash : unit -> unit
     caller's rename — the publish happened, the crash eats everything
     after it. *)
 
-val with_solver_faults : (unit -> 'a) -> 'a
+val with_solver_faults : ?key:int -> (unit -> 'a) -> 'a
 (** Run a thunk with solver faults, clock jumps and hangs delivered to
     every query reaching the SAT core (via {!Smt.Solver.set_query_hook}); the
     hook is removed on exit.  Crosscheck wraps each pair decision in
-    this; the engine's exploration phase must never be. *)
+    this, keyed by the pair's index ([~key] routes all three draws
+    through keyed streams — see {!maybe_raise}) so the chaos fault
+    pattern is identical at every [-j]; the engine's exploration phase
+    must never be wrapped. *)
 
 val pp : Format.formatter -> plan -> unit

@@ -59,11 +59,12 @@ let steal d =
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 let run ?(worker_init = fun () -> ()) ?(worker_exit = fun () -> ())
-    ?(on_result = fun _ _ -> ()) ?(fail_fast = false) ~jobs f tasks =
+    ?(on_result = fun _ _ -> ()) ?(fail_fast = false) ?(force_pool = false)
+    ~jobs f tasks =
   let n = Array.length tasks in
   if jobs < 1 then invalid_arg "Pool.run: jobs must be positive";
   if n = 0 then [||]
-  else if jobs = 1 then
+  else if jobs = 1 && not force_pool then
     (* Sequential fast path on the caller's domain: no spawn, no hooks —
        the caller's own solver context and installed state apply, and
        execution order is exactly submission order.  [-j 1] through this
@@ -199,11 +200,12 @@ let run ?(worker_init = fun () -> ()) ?(worker_exit = fun () -> ())
     Array.map (function Some o -> o | None -> assert false) results
   end
 
-let run_exn ?worker_init ?worker_exit ?on_result ~jobs f tasks =
+let run_exn ?worker_init ?worker_exit ?on_result ?force_pool ~jobs f tasks =
   let on_result =
     Option.map
       (fun g i -> function Ok r -> g i r | Error _ -> assert false)
       on_result
   in
-  run ?worker_init ?worker_exit ?on_result ~fail_fast:true ~jobs f tasks
+  run ?worker_init ?worker_exit ?on_result ?force_pool ~fail_fast:true ~jobs f
+    tasks
   |> Array.map (function Ok r -> r | Error _ -> assert false)

@@ -27,6 +27,7 @@ val run :
   ?worker_exit:(unit -> unit) ->
   ?on_result:(int -> 'b outcome -> unit) ->
   ?fail_fast:bool ->
+  ?force_pool:bool ->
   jobs:int ->
   ('a -> 'b) ->
   'a array ->
@@ -45,7 +46,11 @@ val run :
     [jobs = 1] is a guaranteed sequential fast path: no domain is
     spawned, [worker_init]/[worker_exit] do not run, tasks execute on the
     caller's domain in submission order with [on_result] inline after
-    each — exactly the pre-pool sequential behaviour.
+    each — exactly the pre-pool sequential behaviour.  [~force_pool:true]
+    disables that fast path: even at [jobs = 1] one worker domain is
+    spawned and the full coordinator/completion-queue machinery runs —
+    the benchmark uses it to measure pure pool scheduling overhead on
+    machines without enough cores for a real speedup comparison.
 
     By default ([fail_fast = false]) a task exception is captured as that
     task's [Error] outcome and every other task still runs.  With
@@ -61,6 +66,7 @@ val run_exn :
   ?worker_init:(unit -> unit) ->
   ?worker_exit:(unit -> unit) ->
   ?on_result:(int -> 'b -> unit) ->
+  ?force_pool:bool ->
   jobs:int ->
   ('a -> 'b) ->
   'a array ->

@@ -1,0 +1,77 @@
+(* Bounded cross-domain learnt-clause exchange: a lock-free ring buffer
+   of immutable literal arrays, shared by every worker solving pairs of
+   one crosscheck over adopted copies of the same blasted base.
+
+   Design constraints, in order:
+
+   - *Soundness first.*  A consumer may only ever import a clause that is
+     implied by its own instance.  The shared-base discipline guarantees
+     this structurally: adopted instances never receive per-query problem
+     clauses (queries are decided purely under assumptions), so every
+     clause a producer learns is implied by the common prefix alone and
+     is therefore safe to add to any other adopted copy — in any order,
+     at any time.
+   - *Never block a solver.*  Producers publish with one
+     [Atomic.fetch_and_add] (the write cursor) plus one [Atomic.set]
+     (the slot); consumers read with plain [Atomic.get]s.  No mutex, no
+     retry loop, no allocation beyond the clause copy itself.
+   - *Bounded, lossy, and occasionally duplicating — by contract.*  The
+     ring holds the last [capacity] exports.  A slow consumer loses
+     overwritten clauses (its cursor is clamped forward); a racing
+     overwrite can hand a consumer a clause it will see again next drain.
+     Both are harmless: a lost clause costs only re-derivation, a
+     duplicated one is an extra implied clause.  What the bound buys is a
+     hard cap on memory and on import work per restart.
+
+   Determinism note: which clauses a consumer happens to import depends
+   on cross-domain timing, so imports may steer one schedule's search
+   differently from another's.  That is why the shared-base path only
+   runs on unbudgeted queries — Sat/Unsat are semantic there, so the
+   *verdicts* (and hence report bytes) cannot depend on the exchange;
+   only the time to reach them can. *)
+
+type entry = { e_src : int; e_lits : int array }
+
+type t = {
+  capacity : int;
+  slots : entry option Atomic.t array;
+  wpos : int Atomic.t; (* total clauses ever published *)
+  nreaders : int Atomic.t; (* endpoint id allocator *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Exchange.create: capacity must be positive";
+  {
+    capacity;
+    slots = Array.init capacity (fun _ -> Atomic.make None);
+    wpos = Atomic.make 0;
+    nreaders = Atomic.make 0;
+  }
+
+let published t = Atomic.get t.wpos
+
+(* One endpoint per (domain, ring): tags its own exports so [drain] can
+   skip them, and remembers how far into the stream it has read. *)
+type endpoint = { ring : t; id : int; mutable rpos : int }
+
+let register ring = { ring; id = Atomic.fetch_and_add ring.nreaders 1; rpos = 0 }
+
+let publish ep lits =
+  (* the caller's array is private to us from here on (sat.ml builds it
+     fresh); publishing the value itself keeps the slot write one store *)
+  let i = Atomic.fetch_and_add ep.ring.wpos 1 in
+  Atomic.set ep.ring.slots.(i mod ep.ring.capacity) (Some { e_src = ep.id; e_lits = lits })
+
+(* Everything published since the last drain that (a) is still in the
+   ring and (b) did not come from this endpoint, oldest first. *)
+let drain ep =
+  let w = Atomic.get ep.ring.wpos in
+  let lo = max ep.rpos (w - ep.ring.capacity) in
+  let acc = ref [] in
+  for i = w - 1 downto lo do
+    match Atomic.get ep.ring.slots.(i mod ep.ring.capacity) with
+    | Some e when e.e_src <> ep.id -> acc := e.e_lits :: !acc
+    | Some _ | None -> ()
+  done;
+  ep.rpos <- w;
+  !acc

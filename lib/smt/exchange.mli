@@ -1,0 +1,34 @@
+(** Bounded, lock-free cross-domain learnt-clause exchange.
+
+    A fixed-capacity ring of immutable literal arrays ([Atomic]-based, no
+    locks) shared by the workers of one parallel crosscheck.  Producers
+    publish low-LBD learnt clauses; consumers drain at restart
+    boundaries.  The ring is deliberately lossy (a slow consumer misses
+    overwritten entries) and may occasionally hand a consumer a
+    duplicate under a racing overwrite — both are sound, because the
+    shared-base discipline guarantees every published clause is implied
+    by the common CNF prefix all consumers share (see [exchange.ml]).
+
+    Clause literal arrays passed to {!publish} must never be mutated
+    afterwards; [sat.ml] builds a fresh array per export. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument on a non-positive capacity. *)
+
+val published : t -> int
+(** Total clauses ever published (not bounded by capacity). *)
+
+type endpoint
+(** One per (domain, ring): tracks the domain's read position and tags
+    its exports so it never re-imports its own clauses. *)
+
+val register : t -> endpoint
+
+val publish : endpoint -> int array -> unit
+(** Lock-free; the array is owned by the ring from here on. *)
+
+val drain : endpoint -> int array list
+(** Clauses published by *other* endpoints since the last drain, oldest
+    first, minus any the ring has already overwritten. *)

@@ -74,9 +74,15 @@ type stats = {
   mutable tiny_session_fallbacks : int;
   mutable learnt_retained : int;
   mutable canonical_hits : int;
+  mutable canon_small_skips : int;
+  mutable canon_threshold_nodes : int;
   mutable rows_pruned : int;
   mutable pairs_skipped_by_pruning : int;
   mutable subsumed_groups : int;
+  mutable shared_solves : int;
+  mutable bases_adopted : int;
+  mutable clauses_exported : int;
+  mutable clauses_imported : int;
   mutable expr_nodes : int;
 }
 
@@ -99,9 +105,15 @@ let fresh_stats () = {
   tiny_session_fallbacks = 0;
   learnt_retained = 0;
   canonical_hits = 0;
+  canon_small_skips = 0;
+  canon_threshold_nodes = 0;
   rows_pruned = 0;
   pairs_skipped_by_pruning = 0;
   subsumed_groups = 0;
+  shared_solves = 0;
+  bases_adopted = 0;
+  clauses_exported = 0;
+  clauses_imported = 0;
   expr_nodes = 0;
 }
 
@@ -257,9 +269,15 @@ let reset_stats () =
   s.tiny_session_fallbacks <- 0;
   s.learnt_retained <- 0;
   s.canonical_hits <- 0;
+  s.canon_small_skips <- 0;
+  s.canon_threshold_nodes <- 0;
   s.rows_pruned <- 0;
   s.pairs_skipped_by_pruning <- 0;
   s.subsumed_groups <- 0;
+  s.shared_solves <- 0;
+  s.bases_adopted <- 0;
+  s.clauses_exported <- 0;
+  s.clauses_imported <- 0;
   s.expr_nodes <- 0
 
 (* [expr_nodes] is a gauge over a single global table, not a per-domain
@@ -288,9 +306,16 @@ let merge_stats ~into:dst (src : stats) =
   dst.tiny_session_fallbacks <- dst.tiny_session_fallbacks + src.tiny_session_fallbacks;
   dst.learnt_retained <- dst.learnt_retained + src.learnt_retained;
   dst.canonical_hits <- dst.canonical_hits + src.canonical_hits;
+  dst.canon_small_skips <- dst.canon_small_skips + src.canon_small_skips;
+  (* a gauge (the configured cutoff), not a counter: max, like expr_nodes *)
+  dst.canon_threshold_nodes <- max dst.canon_threshold_nodes src.canon_threshold_nodes;
   dst.rows_pruned <- dst.rows_pruned + src.rows_pruned;
   dst.pairs_skipped_by_pruning <- dst.pairs_skipped_by_pruning + src.pairs_skipped_by_pruning;
   dst.subsumed_groups <- dst.subsumed_groups + src.subsumed_groups;
+  dst.shared_solves <- dst.shared_solves + src.shared_solves;
+  dst.bases_adopted <- dst.bases_adopted + src.bases_adopted;
+  dst.clauses_exported <- dst.clauses_exported + src.clauses_exported;
+  dst.clauses_imported <- dst.clauses_imported + src.clauses_imported;
   dst.expr_nodes <- max dst.expr_nodes src.expr_nodes
 
 (* --- memo cache ------------------------------------------------------- *)
@@ -457,6 +482,20 @@ let run_sat ?(fire_hook = true) c budget conds =
   c.c_stats.solver_time <- c.c_stats.solver_time +. Mono.elapsed t0;
   r
 
+(* Queries below this many boolean DAG nodes skip the canonical memo
+   entirely (no fingerprint, no index registration): on a cold pipeline
+   the canonicalization machinery costs more than just solving them.
+   The default cutoff was measured on the bench workload — tiny
+   guard/equality probes sit well under it, the big pair-disagreement
+   queries well over, so the cache-hit-rate the canonical layer earns on
+   real pair queries is untouched.  Process-wide (one atomic, read by
+   every domain) so workers and caller always agree. *)
+let default_canon_threshold = 64
+
+let canon_threshold_cell = Atomic.make default_canon_threshold
+let set_canon_threshold n = Atomic.set canon_threshold_cell (max 0 n)
+let canon_threshold () = Atomic.get canon_threshold_cell
+
 (* The full frontend pipeline with a pluggable back end: [core budget conds]
    is invoked only for queries that survive constant folding, the memo
    cache and the interval filter.  [check] instantiates it with the
@@ -482,6 +521,12 @@ let check_with ?(use_interval = true) ?(use_cache = true) ?budget ~core conds =
     match if use_cache then Lru.find c.c_cache key else None with
     | Some r ->
       c.c_stats.cache_hits <- c.c_stats.cache_hits + 1;
+      (* the hit replaces a solve that would have fired the query hook
+         once; consume that draw here (the hook may raise).  Per-domain
+         caches warm differently at different [-j], so a draw skipped on
+         a hit is exactly what would make a chaos fault schedule — and
+         hence the report — depend on the worker count. *)
+      c.c_hook ();
       r
     | None ->
       (* second level: the α-invariant canonical memo.  An exact-key miss
@@ -503,8 +548,21 @@ let check_with ?(use_interval = true) ?(use_cache = true) ?budget ~core conds =
          post-solve registration; lazy so an interval-filtered query pays
          for it only if its result is registered *)
       let fp = lazy (Canon.fingerprint conds) in
+      (* queries cheaper to solve than to canonicalize bypass the memo in
+         both directions (no lookup, no registration); the exact-key LRU
+         above still serves their repeats *)
+      let canon_small =
+        use_cache && c.c_canon_on
+        && begin
+          let threshold = canon_threshold () in
+          c.c_stats.canon_threshold_nodes <- threshold;
+          List.fold_left (fun n cond -> n + Expr.bool_size cond) 0 conds < threshold
+        end
+      in
+      if canon_small then
+        c.c_stats.canon_small_skips <- c.c_stats.canon_small_skips + 1;
       let canonical_reuse () =
-        if not (use_cache && c.c_canon_on) then None
+        if canon_small || not (use_cache && c.c_canon_on) then None
         else
           match Hashtbl.find_opt c.c_fps (Lazy.force fp) with
           | None | Some { contents = [] } -> None
@@ -570,18 +628,28 @@ let check_with ?(use_interval = true) ?(use_cache = true) ?budget ~core conds =
             in
             try_candidates !lst
       in
+      (* certify mode bypasses the interval filter: its Unsat answers
+         carry no proof, and the whole point is never to publish one *)
+      if use_interval && (not c.c_certify) && Interval.check conds = Interval.Unsat
+      then begin
+        c.c_stats.interval_hits <- c.c_stats.interval_hits + 1;
+        c.c_stats.unsat_results <- c.c_stats.unsat_results + 1;
+        (* never cached (and never fp-registered): an interval refutation
+           consumes no query-hook draw, while a cache or canonical hit
+           consumes exactly one — the draw of the core solve it replaces.
+           Caching one would let the same query cost zero draws on the
+           domain that decided it fresh and one draw on a domain replaying
+           it from cache, making the fault-injection schedule — and hence
+           a chaos report — depend on per-domain cache warmth, i.e. on the
+           worker count.  Replaying the filter costs about what the hit
+           would, so the entry is not missed. *)
+        Unsat
+      end
+      else begin
       let r =
-        (* certify mode bypasses the interval filter: its Unsat answers
-           carry no proof, and the whole point is never to publish one *)
-        if use_interval && (not c.c_certify) && Interval.check conds = Interval.Unsat
-        then begin
-          c.c_stats.interval_hits <- c.c_stats.interval_hits + 1;
-          Unsat
-        end
-        else
-          match canonical_reuse () with
-          | Some r -> r
-          | None -> core budget conds
+        match canonical_reuse () with
+        | Some r -> r
+        | None -> core budget conds
       in
       (match r with
        | Sat m ->
@@ -602,9 +670,11 @@ let check_with ?(use_interval = true) ?(use_cache = true) ?budget ~core conds =
            (* make this query findable by future α-variants; the full
               canonical form stays uncomputed until a fingerprint match
               actually asks for it *)
-           if c.c_canon_on then fp_register c (Lazy.force fp) key conds
+           if c.c_canon_on && not canon_small then
+             fp_register c (Lazy.force fp) key conds
          end);
       r
+      end
 
 let check ?use_interval ?use_cache ?budget conds =
   check_with ?use_interval ?use_cache ?budget
@@ -656,6 +726,15 @@ let pp_stats fmt () =
     Format.fprintf fmt " tiny_session_fallbacks=%d" s.tiny_session_fallbacks;
   if s.canonical_hits > 0 then
     Format.fprintf fmt " canonical_hits=%d" s.canonical_hits;
+  if s.canon_small_skips > 0 then
+    Format.fprintf fmt " canon_small_skips=%d (threshold=%d nodes)"
+      s.canon_small_skips s.canon_threshold_nodes;
+  if s.bases_adopted > 0 then
+    Format.fprintf fmt " shared_solves=%d bases_adopted=%d"
+      s.shared_solves s.bases_adopted;
+  if s.clauses_exported > 0 || s.clauses_imported > 0 then
+    Format.fprintf fmt " clauses_exported=%d clauses_imported=%d"
+      s.clauses_exported s.clauses_imported;
   if s.rows_pruned > 0 || s.subsumed_groups > 0 then
     Format.fprintf fmt " rows_pruned=%d pairs_skipped=%d subsumed_groups=%d"
       s.rows_pruned s.pairs_skipped_by_pruning s.subsumed_groups

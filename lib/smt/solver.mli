@@ -94,6 +94,22 @@ val set_canon : bool -> unit
 
 val canon_enabled : unit -> bool
 
+val default_canon_threshold : int
+(** The measured node-count cutoff below which queries skip the
+    canonical memo (64 — see [solver.ml]). *)
+
+val set_canon_threshold : int -> unit
+(** Set the cutoff: queries whose summed {!Expr.bool_size} is below it
+    bypass the canonical lookup {e and} registration (counted in
+    [canon_small_skips]; the cutoff in force is recorded in the
+    [canon_threshold_nodes] gauge).  They are cheaper to solve than to
+    canonicalize; the exact-key memo cache still serves their repeats.
+    Process-wide, not per-domain, so pool workers and their caller
+    always agree; [0] disables the skip entirely (tests targeting the
+    canonical layer with tiny queries use that). *)
+
+val canon_threshold : unit -> int
+
 val set_query_hook : (unit -> unit) -> unit
 (** Install a closure run on every query that reaches the SAT core
     (between deadline anchoring and the search).  Fault injection uses
@@ -151,6 +167,13 @@ type stats = {
   mutable canonical_hits : int;
       (** queries answered (or, under certify, pre-confirmed) by the
           α-invariant canonical memo after an exact-key miss *)
+  mutable canon_small_skips : int;
+      (** queries that bypassed the canonical memo (lookup and
+          registration) because their boolean DAG was smaller than the
+          node-count cutoff — cheaper to solve than to canonicalize *)
+  mutable canon_threshold_nodes : int;
+      (** gauge: the node-count cutoff in force when small queries were
+          skipped; merged with [max], not [+] *)
   mutable rows_pruned : int;
       (** crosscheck rows skipped wholesale because the row condition is
           unsatisfiable against the other side's common constraint *)
@@ -159,6 +182,18 @@ type stats = {
   mutable subsumed_groups : int;
       (** row-prune probes avoided because the row's condition is
           subsumed by an already-pruned row's condition *)
+  mutable shared_solves : int;
+      (** queries answered by an assumption solve on an adopted copy of
+          the shared blasted base *)
+  mutable bases_adopted : int;
+      (** shared-base adoptions: one per (domain, shared base) — the
+          number of [Sat.copy]s made in place of full re-blasts *)
+  mutable clauses_exported : int;
+      (** low-LBD learnt clauses this domain published to the
+          cross-domain exchange ring *)
+  mutable clauses_imported : int;
+      (** learnt clauses this domain pulled from the exchange ring at
+          solve entries and restart boundaries *)
   mutable expr_nodes : int;
       (** gauge: total nodes in the global {!Expr} hash-cons tables at the
           last {!capture_expr_stats}; merged with [max], not [+] *)

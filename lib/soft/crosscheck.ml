@@ -408,8 +408,14 @@ let solver_pool_hooks () =
   in
   (worker_init, worker_exit)
 
+(* Bounds the cross-domain learnt-clause ring (see {!Smt.Exchange}): big
+   enough that a worker's restart-to-restart window rarely overwrites
+   unread glue clauses, small enough that a drain stays trivial. *)
+let exchange_capacity = 256
+
 let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(jobs = 1)
-    ?(incremental = true) ?(prune = true) ?supervise
+    ?(incremental = true) ?(prune = true) ?(share = true) ?(exchange = true)
+    ?(force_pool = false) ?supervise
     ?(on_found = fun (_ : inconsistency) -> ())
     ?(on_warning = default_warning) (a : Grouping.grouped) (b : Grouping.grouped) =
   if a.Grouping.gr_test <> b.Grouping.gr_test then
@@ -508,10 +514,24 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
     end
   in
   (* fault injection delivers solver faults and clock jumps only inside a
-     per-pair scope; a fault (injected or a genuine solver soundness
-     error) costs the pair its verdict, never the run or a wrong answer *)
-  let guard_pair f = try Some (Chaos.with_solver_faults f) with
+     per-pair scope, keyed by the pair's matrix index so the fault
+     pattern is the same at every [-j]; a fault (injected or a genuine
+     solver soundness error) costs the pair its verdict, never the run
+     or a wrong answer *)
+  let guard_pair ?key f = try Some (Chaos.with_solver_faults ?key f) with
     | Solver.Solver_error _ | Chaos.Injected_fault _ -> None
+  in
+  (* regroup an ascending row-major pair array into its rows, preserving
+     order: the unit both passes 1.5 and 2 schedule by *)
+  let rows_of pairs =
+    let acc = ref [] in
+    Array.iter
+      (fun (i, j) ->
+        match !acc with
+        | (i', js) :: rest when i' = i -> acc := (i', j :: js) :: rest
+        | _ -> acc := (i, [ j ]) :: !acc)
+      pairs;
+    Array.of_list (List.rev_map (fun (i, js) -> (i, List.rev js)) !acc)
   in
   (* Pass 1.5 — UNSAT-core row pruning, serial, on the caller's domain,
      and deliberately identical in incremental and scratch modes (it runs
@@ -549,16 +569,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
     && Array.length groups_b > 0
   in
   if prune_enabled then begin
-    let rows =
-      let acc = ref [] in
-      Array.iter
-        (fun (i, j) ->
-          match !acc with
-          | (i', js) :: rest when i' = i -> acc := (i', j :: js) :: rest
-          | _ -> acc := (i, [ j ]) :: !acc)
-        fresh;
-      List.rev_map (fun (i, js) -> (i, List.rev js)) !acc
-    in
+    let rows = rows_of fresh in
     let common =
       Expr.balanced_disj
         (Array.to_list (Array.map (fun (g : Grouping.group) -> g.Grouping.g_cond) groups_b))
@@ -581,7 +592,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
        row's worth of pairwise solving, so an overlapping-everywhere
        matrix must stop probing almost immediately *)
     let max_probe_misses = 2 in
-    List.iter
+    Array.iter
       (fun (i, js) ->
         let ga = groups_a.(i) in
         if !base_refuted then prune_row ~subsumed:false i js
@@ -625,6 +636,20 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
      query fall back to scratch anyway (see {!Smt.Session.check}) — both
      use the plain per-pair path. *)
   let use_incremental = incremental && split = None && not (Solver.certify_enabled ()) in
+  (* The shared-blasted-base path additionally requires an unlimited
+     budget.  A budgeted query's Unknown depends on the solver state it
+     runs against, and an adopted copy's state depends on everything its
+     domain solved before — schedule-dependent at [-j N].  Unbudgeted
+     verdicts are semantic (only Sat/Unsat can come back), so sharing —
+     and the learnt-clause exchange riding on it — can change solve
+     times but never report bytes.  Budgeted runs keep the per-row
+     session path, whose instances live and die inside one row task.
+     The shared path runs at [-j 1] too, so every jobs count takes the
+     same code path (byte-identity is a diff, not an argument). *)
+  let effective_budget =
+    match budget with Some b -> b | None -> Solver.get_default_budget ()
+  in
+  let use_shared = share && use_incremental && Solver.is_unlimited effective_budget in
   (* Pass 2 proper, parameterized by the supervision handle.  Without one
      ([sup = None]) every solve is byte-for-byte the unsupervised code
      path; with one, each pair attempt runs under a watchdog token and the
@@ -645,39 +670,98 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
           | None -> record_pair ij (F_fault, 0))
         pairs
     in
-    if use_incremental then begin
-      (* Row-major incremental solving: one pool task per row [i] of the
-         pair matrix, one {!Smt.Session} per task, so C_A(i) is blasted once
-         and its learnt clauses serve every fresh j in the row.  Rows (and
-         the js inside each) stay ascending, so at [-j 1] the sequence of
-         solves and records is exactly the per-pair loop's. *)
-      let rows =
-        let acc = ref [] in
-        Array.iter
-          (fun (i, j) ->
-            match !acc with
-            | (i', js) :: rest when i' = i -> acc := (i', j :: js) :: rest
-            | _ -> acc := (i, [ j ]) :: !acc)
-          work;
-        Array.of_list (List.rev_map (fun (i, js) -> (i, List.rev js)) !acc)
-      in
-      (* A session only pays off once its bit-blasted C_A(i) prefix is
-         reused.  What the session saves is re-blasting the base for each
-         of the remaining [n-1] pairs — proportional to
-         [(n-1) · |C_A(i)|] expression nodes.  What it costs is its setup
-         plus, for every Sat pair, the scratch confirm solve (the witness
-         must match scratch mode byte for byte), so narrow rows never
-         recoup the overhead.  Measured on the bench suite: cs_flow_mods
-         rows peak at (6−1)·286 ≈ 1.4k node-pairs and lose ~20% in
-         sessions (Sat-heavy, confirm-dominated), short_symb rows around
-         2.4k node-pairs still lose ~40%, and eth_flow_mod rows at
-         48·165 ≈ 8k node-pairs and up win 3×.  The old fixed [n < 3]
-         cutoff — and the first node-count form at 96 — both kept the
-         losing rows incremental; the measured break-even sits between
-         2.4k and 8k, so the cutoff is set at 3k. *)
-      let session_overhead_nodes = 3000 in
-      let solve_row (i, js) =
-        let ga = groups_a.(i) in
+    (* Pass 2 is row-granular in every mode: one pool task per row [i] of
+       the pair matrix — never per pair — so dispatch/steal traffic
+       scales with rows, row-internal solver locality survives
+       scheduling, and at [-j 1] the sequence of solves and records is
+       exactly the old per-pair loop's (rows and the js inside each stay
+       ascending).  Which back end a row's pairs use:
+       - shared:  assumption solves on an adopted copy of the one shared
+                  blasted base (the default unbudgeted path, see
+                  [use_shared]);
+       - session: a per-row {!Smt.Session} with C_A(i) as its base
+                  (budgeted or [~share:false] incremental runs);
+       - scratch: per-pair scratch solves ([~incremental:false] or
+                  [?split]). *)
+    let rows = rows_of work in
+    let shared =
+      if not (use_shared && Array.length rows > 0) then None
+      else begin
+        (* blast every group condition of both sides once, here on the
+           caller's domain; workers adopt copies instead of re-blasting
+           row bases.  The exchange ring only exists when there is more
+           than one domain to exchange with. *)
+        let ring =
+          if jobs > 1 && exchange then
+            Some (Exchange.create ~capacity:exchange_capacity)
+          else None
+        in
+        let cond_of (g : Grouping.group) = g.Grouping.g_cond in
+        Some
+          (Session.make_shared ?ring
+             (Array.to_list (Array.map cond_of groups_a)
+             @ Array.to_list (Array.map cond_of groups_b)))
+      end
+    in
+    (* A per-row session only pays off once its bit-blasted C_A(i) prefix
+       is reused.  What the session saves is re-blasting the base for
+       each of the remaining [n-1] pairs — proportional to
+       [(n-1) · |C_A(i)|] expression nodes.  What it costs is its setup
+       plus, for every Sat pair, the scratch confirm solve (the witness
+       must match scratch mode byte for byte), so narrow rows never
+       recoup the overhead.  Measured on the bench suite: cs_flow_mods
+       rows peak at (6−1)·286 ≈ 1.4k node-pairs and lose ~20% in
+       sessions (Sat-heavy, confirm-dominated), short_symb rows around
+       2.4k node-pairs still lose ~40%, and eth_flow_mod rows at
+       48·165 ≈ 8k node-pairs and up win 3×.  The old fixed [n < 3]
+       cutoff — and the first node-count form at 96 — both kept the
+       losing rows incremental; the measured break-even sits between
+       2.4k and 8k, so the cutoff is set at 3k.  (The shared path has no
+       per-row blast to amortize, so it needs no such cutoff.) *)
+    let session_overhead_nodes = 3000 in
+    let solve_row (i, js) =
+      let ga = groups_a.(i) in
+      match shared with
+      | Some sh ->
+        let in_shared j =
+          let gb = groups_b.(j) in
+          match
+            Session.check_shared ?budget sh [ ga.Grouping.g_cond; gb.Grouping.g_cond ]
+          with
+          | Solver.Sat witness -> Pair_sat witness
+          | Solver.Unsat -> Pair_unsat
+          | Solver.Unknown _ ->
+            (* unreachable under the unlimited budget [use_shared]
+               demands, but degrade exactly like the session path *)
+            let st = Solver.stats () in
+            st.Solver.scratch_fallbacks <- st.Solver.scratch_fallbacks + 1;
+            sat_pair ?budget ?retry ga gb
+        in
+        List.map
+          (fun j ->
+            match sup with
+            | None ->
+              let fate =
+                match guard_pair ~key:(pair_key (i, j)) (fun () -> in_shared j) with
+                | Some v -> F_ok v
+                | None -> F_fault
+              in
+              ((i, j), (fate, 0))
+            | Some sup -> (
+              let solve_attempt ~attempt =
+                Chaos.with_solver_faults ~key:(pair_key (i, j)) (fun () ->
+                    (* retries leave the adopted instance (its trail is
+                       unwound at the next solve's entry) and rerun from
+                       scratch, like the session path's retries *)
+                    if attempt = 0 then in_shared j
+                    else sat_pair ?budget ?retry ga groups_b.(j))
+              in
+              match Supervise.run_retrying sup ~key:(pair_key (i, j)) solve_attempt with
+              | `Done (v, retries) -> ((i, j), (F_ok v, retries))
+              | `Quarantine (tax, msg, retries) ->
+                ((i, j), (F_quarantine (tax, msg), retries))))
+          js
+      | None when use_incremental ->
         let tiny =
           (List.length js - 1) * Expr.bool_size ga.Grouping.g_cond
           < session_overhead_nodes
@@ -698,7 +782,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
             st.Solver.scratch_fallbacks <- st.Solver.scratch_fallbacks + 1;
             sat_pair ?budget ?retry ga gb
         in
-        match sup with
+        (match sup with
         | None ->
           let solve_one =
             if tiny then fun j -> sat_pair ?budget ?retry ga groups_b.(j)
@@ -710,7 +794,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
           List.map
             (fun j ->
               let fate =
-                match guard_pair (fun () -> solve_one j) with
+                match guard_pair ~key:(pair_key (i, j)) (fun () -> solve_one j) with
                 | Some v -> F_ok v
                 | None -> F_fault
               in
@@ -731,7 +815,7 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
             (fun j ->
               let gb = groups_b.(j) in
               let solve_attempt ~attempt =
-                Chaos.with_solver_faults (fun () ->
+                Chaos.with_solver_faults ~key:(pair_key (i, j)) (fun () ->
                     match session with
                     | Some s when attempt = 0 -> in_session s j
                     | _ ->
@@ -745,45 +829,45 @@ let check ?split ?budget ?retry ?checkpoint ?(checkpoint_every = 64) ?resume ?(j
               | `Done (v, retries) -> ((i, j), (F_ok v, retries))
               | `Quarantine (tax, msg, retries) ->
                 ((i, j), (F_quarantine (tax, msg), retries)))
-            js
-      in
-      ignore
-        (Pool.run ~worker_init ~worker_exit
-           ~on_result:(fun k -> function
-             | Ok row -> List.iter (fun (ij, fr) -> record_pair ij fr) row
-             | Error (e, _) ->
-               let i, js = rows.(k) in
-               record_task_crash (List.map (fun j -> (i, j)) js) e)
-           ~jobs solve_row rows)
-    end
-    else begin
-      let solve (i, j) =
-        match sup with
-        | None ->
-          let fate =
-            match
-              guard_pair (fun () -> sat_pair ?split ?budget ?retry groups_a.(i) groups_b.(j))
-            with
-            | Some v -> F_ok v
-            | None -> F_fault
-          in
-          (fate, 0)
-        | Some sup -> (
-          match
-            Supervise.run_retrying sup ~key:(pair_key (i, j)) (fun ~attempt:_ ->
-                Chaos.with_solver_faults (fun () ->
-                    sat_pair ?split ?budget ?retry groups_a.(i) groups_b.(j)))
-          with
-          | `Done (v, retries) -> (F_ok v, retries)
-          | `Quarantine (tax, msg, retries) -> (F_quarantine (tax, msg), retries))
-      in
-      ignore
-        (Pool.run ~worker_init ~worker_exit
-           ~on_result:(fun k -> function
-             | Ok fr -> record_pair work.(k) fr
-             | Error (e, _) -> record_task_crash [ work.(k) ] e)
-           ~jobs solve work)
-    end
+            js)
+      | None ->
+        List.map
+          (fun j ->
+            let gb = groups_b.(j) in
+            match sup with
+            | None ->
+              let fate =
+                match
+                  guard_pair ~key:(pair_key (i, j)) (fun () ->
+                      sat_pair ?split ?budget ?retry ga gb)
+                with
+                | Some v -> F_ok v
+                | None -> F_fault
+              in
+              ((i, j), (fate, 0))
+            | Some sup -> (
+              match
+                Supervise.run_retrying sup ~key:(pair_key (i, j)) (fun ~attempt:_ ->
+                    Chaos.with_solver_faults ~key:(pair_key (i, j)) (fun () ->
+                        sat_pair ?split ?budget ?retry ga gb))
+              with
+              | `Done (v, retries) -> ((i, j), (F_ok v, retries))
+              | `Quarantine (tax, msg, retries) ->
+                ((i, j), (F_quarantine (tax, msg), retries))))
+          js
+    in
+    ignore
+      (Pool.run ~worker_init ~worker_exit ~force_pool
+         ~on_result:(fun k -> function
+           | Ok row -> List.iter (fun (ij, fr) -> record_pair ij fr) row
+           | Error (e, _) ->
+             let i, js = rows.(k) in
+             record_task_crash (List.map (fun j -> (i, j)) js) e)
+         ~jobs solve_row rows);
+    (* worker domains die with their adopted copies; the caller's domain
+       (which runs the tasks itself at [-j 1]) must drop its own copy or
+       it would accumulate one per crosscheck for the process lifetime *)
+    match shared with Some sh -> Session.release sh | None -> ()
   in
   (match supervise with
    | None -> run_pass2 None

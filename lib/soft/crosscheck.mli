@@ -98,6 +98,9 @@ val check :
   ?jobs:int ->
   ?incremental:bool ->
   ?prune:bool ->
+  ?share:bool ->
+  ?exchange:bool ->
+  ?force_pool:bool ->
   ?supervise:Harness.Supervise.policy ->
   ?on_found:(inconsistency -> unit) ->
   ?on_warning:(string -> unit) ->
@@ -137,8 +140,9 @@ val check :
     persistent {!Smt.Session} — the row's common conjunct [C_A(i)] is
     bit-blasted once as hard clauses, each [C_B(j)] is guarded by a fresh
     activation literal, and learnt clauses, variable activities and saved
-    phases carry across the row.  A pool task is a whole row, so [jobs]
-    parallelism is preserved.  A query the session's budget cannot decide
+    phases carry across the row.  A pool task is a whole row — in every
+    mode — so [jobs] parallelism is preserved and dispatch cost scales
+    with rows, not pairs.  A query the session's budget cannot decide
     falls back to the scratch retry ladder (counted in
     [scratch_fallbacks]).  Reports are byte-identical to
     [~incremental:false]: session Sat witnesses are re-derived canonically
@@ -146,6 +150,30 @@ val check :
     {!Smt.Session}).  An explicit [split] or an enabled certify regime
     forces the scratch path (chunked queries share no row conjunct; an
     assumption-failure Unsat has no replayable DRUP proof).
+
+    [share] (default true): when the effective budget is unlimited (and
+    [incremental] applies), bit-blast {e every} group condition of both
+    sides once into a shared immutable CNF prefix ({!Smt.Session.make_shared});
+    each worker domain adopts a {!Smt.Sat.copy} instead of re-blasting
+    per-row bases, and every pair is decided by a pure assumption solve
+    on its adopted copy (counted in [shared_solves]/[bases_adopted]).
+    Budgeted runs ignore [share] — a budgeted Unknown could then depend
+    on cross-domain scheduling — and use per-row sessions as before.
+    Because unbudgeted verdicts are semantic, reports stay byte-identical
+    to [~share:false] and across every [jobs].  [--no-share-base] on the
+    CLI.
+
+    [exchange] (default true): with sharing active and [jobs > 1], the
+    adopted copies exchange low-LBD learnt clauses through a bounded
+    lock-free ring ({!Smt.Exchange}), imported at solve entries and
+    restart boundaries (counted in [clauses_exported]/[clauses_imported]).
+    Sound because adopted copies never gain problem clauses; affects
+    solve time only, never verdicts.  [--no-clause-exchange] on the CLI.
+
+    [force_pool] (default false): run pass 2 through the full pool
+    machinery even at [jobs = 1] (one worker domain, coordinator,
+    completion queue) instead of the guaranteed sequential fast path —
+    for measuring pool scheduling overhead on single-core machines.
 
     [prune] (default true): before solving a row pairwise, decide
     [C_A(i) ∧ common(B)] once, where [common(B)] disjoins {e all} of B's

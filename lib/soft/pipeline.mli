@@ -25,6 +25,8 @@ val compare_runs :
   ?jobs:int ->
   ?incremental:bool ->
   ?prune:bool ->
+  ?share:bool ->
+  ?exchange:bool ->
   ?supervise:Harness.Supervise.policy ->
   ?on_warning:(string -> unit) ->
   Harness.Test_spec.t ->
@@ -34,8 +36,9 @@ val compare_runs :
 (** Phase 2 only, over existing phase-1 runs.  The optional arguments
     (including [jobs], the crosscheck worker-domain count, [incremental],
     the row-major session solving toggle, [prune], the UNSAT-core row
-    pruning toggle, and [supervise], the watchdog policy) are forwarded
-    to {!Crosscheck.check}. *)
+    pruning toggle, [share]/[exchange], the shared-blasted-base and
+    learnt-clause-exchange toggles, and [supervise], the watchdog
+    policy) are forwarded to {!Crosscheck.check}. *)
 
 val compare_agents :
   ?max_paths:int ->
@@ -46,6 +49,8 @@ val compare_agents :
   ?jobs:int ->
   ?incremental:bool ->
   ?prune:bool ->
+  ?share:bool ->
+  ?exchange:bool ->
   ?supervise:Harness.Supervise.policy ->
   ?validate:bool ->
   Switches.Agent_intf.t ->
@@ -77,6 +82,8 @@ val compare_suite :
   ?jobs:int ->
   ?incremental:bool ->
   ?prune:bool ->
+  ?share:bool ->
+  ?exchange:bool ->
   ?supervise:Harness.Supervise.policy ->
   ?validate:bool ->
   Switches.Agent_intf.t ->

@@ -22,6 +22,7 @@ let with_clean_world f =
       Mono.reset_skew ();
       Solver.set_certify false;
       Solver.set_canon true;
+      Solver.set_canon_threshold Solver.default_canon_threshold;
       Solver.set_default_budget Solver.no_budget;
       Solver.clear_cache ())
     f
@@ -156,6 +157,9 @@ let test_shape_invariances () =
 let test_unsat_transfers_across_renaming () =
   with_clean_world (fun () ->
       Solver.set_certify false;
+      (* the probe queries here are deliberately tiny; disable the
+         small-query skip so they reach the canonical layer under test *)
+      Solver.set_canon_threshold 0;
       Solver.clear_cache ();
       let st = Solver.stats () in
       (* interval filter off: the conflicting constants would be refuted
@@ -189,6 +193,7 @@ let test_unsat_transfers_across_renaming () =
 let test_sat_hit_replays_witness () =
   with_clean_world (fun () ->
       Solver.set_certify false;
+      Solver.set_canon_threshold 0;
       Solver.clear_cache ();
       let st = Solver.stats () in
       let query a b =
@@ -222,6 +227,7 @@ let test_sat_hit_replays_witness () =
 let test_certify_never_trusts_canonical_hit () =
   with_clean_world (fun () ->
       Solver.set_certify true;
+      Solver.set_canon_threshold 0;
       Solver.clear_cache ();
       let st = Solver.stats () in
       let unsat_pair v = [ Expr.eq_const v 9L; Expr.eq_const v 12L ] in

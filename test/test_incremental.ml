@@ -236,7 +236,9 @@ let test_session_counters_and_merge () =
       let sessions0 = st.Solver.sessions_opened in
       let assumes0 = st.Solver.assumption_solves in
       Solver.clear_cache ();
-      ignore (Soft.Crosscheck.check ~jobs:4 ~incremental:true a b);
+      (* ~share:false: the shared-base path opens no per-row sessions, and
+         this test is about the session counters *)
+      ignore (Soft.Crosscheck.check ~jobs:4 ~incremental:true ~share:false a b);
       (* the crosscheck ran on worker domains; worker_exit folded the new
          counters back into this domain's record *)
       check_bool "sessions opened on workers merged back" true
@@ -263,9 +265,15 @@ let test_session_counters_and_merge () =
           tiny_session_fallbacks = 5;
           learnt_retained = 11;
           canonical_hits = 13;
+          canon_small_skips = 6;
+          canon_threshold_nodes = 64;
           rows_pruned = 2;
           pairs_skipped_by_pruning = 9;
           subsumed_groups = 1;
+          shared_solves = 4;
+          bases_adopted = 2;
+          clauses_exported = 8;
+          clauses_imported = 10;
           expr_nodes = 0;
         }
       in
@@ -274,6 +282,9 @@ let test_session_counters_and_merge () =
       let t1 = st.Solver.tiny_session_fallbacks in
       let c1 = st.Solver.canonical_hits and r1 = st.Solver.rows_pruned in
       let p1 = st.Solver.pairs_skipped_by_pruning and g1 = st.Solver.subsumed_groups in
+      let k1 = st.Solver.canon_small_skips in
+      let sh1 = st.Solver.shared_solves and ad1 = st.Solver.bases_adopted in
+      let ex1 = st.Solver.clauses_exported and im1 = st.Solver.clauses_imported in
       Solver.merge_stats ~into:st src;
       check_int "merge adds sessions_opened" (s1 + 3) st.Solver.sessions_opened;
       check_int "merge adds assumption_solves" (a1 + 7) st.Solver.assumption_solves;
@@ -283,7 +294,14 @@ let test_session_counters_and_merge () =
       check_int "merge adds canonical_hits" (c1 + 13) st.Solver.canonical_hits;
       check_int "merge adds rows_pruned" (r1 + 2) st.Solver.rows_pruned;
       check_int "merge adds pairs_skipped_by_pruning" (p1 + 9) st.Solver.pairs_skipped_by_pruning;
-      check_int "merge adds subsumed_groups" (g1 + 1) st.Solver.subsumed_groups)
+      check_int "merge adds subsumed_groups" (g1 + 1) st.Solver.subsumed_groups;
+      check_int "merge adds canon_small_skips" (k1 + 6) st.Solver.canon_small_skips;
+      check_bool "merge maxes canon_threshold_nodes" true
+        (st.Solver.canon_threshold_nodes >= 64);
+      check_int "merge adds shared_solves" (sh1 + 4) st.Solver.shared_solves;
+      check_int "merge adds bases_adopted" (ad1 + 2) st.Solver.bases_adopted;
+      check_int "merge adds clauses_exported" (ex1 + 8) st.Solver.clauses_exported;
+      check_int "merge adds clauses_imported" (im1 + 10) st.Solver.clauses_imported)
 
 let suite =
   [
