@@ -357,14 +357,23 @@ let chaos_points =
     Arg.conv ~docv:"POINT,POINT,..."
       ( (fun s ->
           let parts = String.split_on_char ',' s in
-          let pts = List.filter_map Harness.Chaos.point_of_name parts in
-          if List.length pts = List.length parts && pts <> [] then Ok pts
-          else
+          let available =
+            String.concat ", "
+              (List.map Harness.Chaos.point_name Harness.Chaos.all_points)
+          in
+          match
+            List.filter (fun p -> Harness.Chaos.point_of_name p = None) parts
+          with
+          | [] -> Ok (List.filter_map Harness.Chaos.point_of_name parts)
+          | unknown ->
+            (* name the offending tokens, not the whole input *)
             Error
               (`Msg
-                 (Printf.sprintf "unknown chaos point in %s (available: %s)" s
+                 (Printf.sprintf "unknown chaos point%s %s (available: %s)"
+                    (if List.length unknown = 1 then "" else "s")
                     (String.concat ", "
-                       (List.map Harness.Chaos.point_name Harness.Chaos.all_points))))),
+                       (List.map (Printf.sprintf "%S") unknown))
+                    available))),
         fun fmt pts ->
           Format.fprintf fmt "%s"
             (String.concat "," (List.map Harness.Chaos.point_name pts)) )
@@ -385,6 +394,68 @@ let apply_chaos ?points seed rate =
   match seed with
   | None -> ()
   | Some s -> Harness.Chaos.install (Harness.Chaos.plan ?only:points ~seed:s ~rate ())
+
+(* --- fault-schedule record/replay (check and compare) ------------------ *)
+
+let replay_schedule_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay-schedule" ] ~docv:"FILE"
+        ~doc:
+          "Replay an explicit fault schedule (a repro file written by \
+           $(b,--record-schedule) or $(b,soft explore --repro)): exactly the \
+           listed (point, key, draw-index) sites fire, every other draw is \
+           spared.  The schedule is the complete fault specification, so this \
+           conflicts with --chaos-seed.")
+
+let record_schedule_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record-schedule" ] ~docv:"FILE"
+        ~doc:
+          "After the run, write the faults that actually fired as an explicit \
+           schedule to $(docv) — a repro file that $(b,--replay-schedule) \
+           re-executes deterministically, at any -j.  Requires --chaos-seed \
+           (or --replay-schedule, which re-records itself).")
+
+(* Install the chaos plan for check/compare, honouring the record/replay
+   surface.  Errors are usage errors (exit 2). *)
+let setup_chaos ?points ~replay ~record seed rate =
+  let recording = record <> None in
+  match (replay, seed) with
+  | Some _, Some _ ->
+    Error
+      "--replay-schedule conflicts with --chaos-seed (the schedule is the \
+       complete fault specification)"
+  | Some file, None -> (
+    match Harness.Schedule.load file with
+    | Error e -> Error (Printf.sprintf "cannot load schedule %s: %s" file e)
+    | Ok sched -> (
+      match Harness.Chaos.scripted ?only:points ~record:recording sched with
+      | plan ->
+        Harness.Chaos.install plan;
+        Ok ()
+      | exception Invalid_argument msg -> Error msg))
+  | None, Some s ->
+    Harness.Chaos.install
+      (Harness.Chaos.plan ?only:points ~record:recording ~seed:s ~rate ());
+    Ok ()
+  | None, None ->
+    if recording then
+      Error "--record-schedule requires --chaos-seed or --replay-schedule"
+    else Ok ()
+
+(* Write the fired draws of the still-installed plan as a repro file. *)
+let save_recorded ~meta record =
+  match (record, Harness.Chaos.current ()) with
+  | Some file, Some plan ->
+    let sched = Harness.Chaos.to_schedule ~meta plan in
+    Harness.Schedule.save file sched;
+    Format.printf "recorded %d fired site(s) to %s@."
+      (Harness.Schedule.cardinal sched) file
+  | _ -> ()
 
 let chaos_report () =
   match Harness.Chaos.current () with
@@ -467,37 +538,49 @@ let check_cmd =
   in
   let run file_a file_b split budget_ms max_conflicts checkpoint resume jobs no_incremental
       no_canon no_prune no_share_base no_clause_exchange certify chaos_seed chaos_rate
-      chaos_points task_deadline_ms max_retries backoff_ms mem_ceiling_mb =
+      chaos_points replay record task_deadline_ms max_retries backoff_ms mem_ceiling_mb =
     apply_budget budget_ms max_conflicts;
     apply_canon no_canon;
     apply_certify certify;
-    apply_chaos ?points:chaos_points chaos_seed chaos_rate;
-    let supervise = make_supervise task_deadline_ms max_retries backoff_ms mem_ceiling_mb in
-    let a = Soft.Grouping.of_saved (Harness.Serialize.load file_a) in
-    let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
-    match
-      Soft.Crosscheck.check ?split ?checkpoint ?resume ~jobs
-        ~incremental:(not no_incremental) ~prune:(not no_prune)
-        ~share:(not no_share_base) ~exchange:(not no_clause_exchange) ?supervise a b
-    with
-    | outcome ->
-      Format.printf "%a@." Soft.Crosscheck.pp outcome;
-      Format.printf "root causes:@.%a@." Soft.Report.pp_summary
-        (Soft.Report.summarize outcome);
-      chaos_report ();
-      Soft.Report.exit_status outcome
-    | exception Soft.Crosscheck.Checkpoint_error msg ->
-      (* pointing --resume at the wrong runs' snapshot is an operator
-         mistake, not a finding: usage error *)
-      Format.eprintf "soft: cannot resume: %s@." msg;
+    match setup_chaos ?points:chaos_points ~replay ~record chaos_seed chaos_rate with
+    | Error msg ->
+      Format.eprintf "soft: %s@." msg;
       2
+    | Ok () -> (
+      let supervise = make_supervise task_deadline_ms max_retries backoff_ms mem_ceiling_mb in
+      let a = Soft.Grouping.of_saved (Harness.Serialize.load file_a) in
+      let b = Soft.Grouping.of_saved (Harness.Serialize.load file_b) in
+      match
+        Soft.Crosscheck.check ?split ?checkpoint ?resume ~jobs
+          ~incremental:(not no_incremental) ~prune:(not no_prune)
+          ~share:(not no_share_base) ~exchange:(not no_clause_exchange) ?supervise a b
+      with
+      | outcome ->
+        Format.printf "%a@." Soft.Crosscheck.pp outcome;
+        Format.printf "root causes:@.%a@." Soft.Report.pp_summary
+          (Soft.Report.summarize outcome);
+        chaos_report ();
+        save_recorded
+          ~meta:
+            [
+              ("cmd", "check");
+              ("runs", Filename.basename file_a ^ " " ^ Filename.basename file_b);
+            ]
+          record;
+        Soft.Report.exit_status outcome
+      | exception Soft.Crosscheck.Checkpoint_error msg ->
+        (* pointing --resume at the wrong runs' snapshot is an operator
+           mistake, not a finding: usage error *)
+        Format.eprintf "soft: cannot resume: %s@." msg;
+        2)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Phase 2: crosscheck two phase-1 runs for inconsistencies.")
     Term.(
       const run $ file_a $ file_b $ split $ budget_ms $ max_conflicts $ checkpoint $ resume
       $ jobs $ no_incremental $ no_canon $ no_prune $ no_share_base $ no_clause_exchange
-      $ certify $ chaos_seed $ chaos_rate $ chaos_points $ task_deadline_ms $ max_retries
+      $ certify $ chaos_seed $ chaos_rate $ chaos_points $ replay_schedule_arg
+      $ record_schedule_arg $ task_deadline_ms $ max_retries
       $ backoff_ms $ mem_ceiling_mb)
 
 (* --- live validation (compare --validate-live) ------------------------ *)
@@ -605,14 +688,16 @@ let compare_cmd =
   let run agent_a agent_b test cases max_paths strategy split budget_ms max_conflicts
       deadline_ms jobs no_incremental no_canon no_prune no_share_base no_clause_exchange
       certify validate validate_live sock_a sock_b chaos_seed chaos_rate chaos_points
-      task_deadline_ms max_retries backoff_ms mem_ceiling_mb =
+      replay record task_deadline_ms max_retries backoff_ms mem_ceiling_mb =
     apply_budget budget_ms max_conflicts;
     apply_canon no_canon;
     apply_certify certify;
-    apply_chaos ?points:chaos_points chaos_seed chaos_rate;
     let supervise = make_supervise task_deadline_ms max_retries backoff_ms mem_ceiling_mb in
     match
-      live_endpoints ~cmd_template:validate_live ~sock_a ~sock_b ~agent_a ~agent_b
+      match setup_chaos ?points:chaos_points ~replay ~record chaos_seed chaos_rate with
+      | Error _ as e -> e
+      | Ok () ->
+        live_endpoints ~cmd_template:validate_live ~sock_a ~sock_b ~agent_a ~agent_b
     with
     | Error msg | (exception Invalid_argument msg) ->
       Format.eprintf "soft: %s@." msg;
@@ -643,6 +728,9 @@ let compare_cmd =
             Soft.Live.merge_exit base (Soft.Live.exit_status summary)
         in
         chaos_report ();
+        save_recorded
+          ~meta:[ ("cmd", "compare"); ("workload", test.Harness.Test_spec.id) ]
+          record;
         code
       | exception Harness.Chaos.Injected_fault p ->
         Format.eprintf "soft: injected fault (%s) aborted the run@." p;
@@ -655,8 +743,188 @@ let compare_cmd =
       $ budget_ms $ max_conflicts $ deadline_ms $ jobs $ no_incremental $ no_canon
       $ no_prune $ no_share_base $ no_clause_exchange $ certify $ validate
       $ validate_live_flag $ live_socket_a $ live_socket_b
-      $ chaos_seed $ chaos_rate $ chaos_points $ task_deadline_ms $ max_retries
+      $ chaos_seed $ chaos_rate $ chaos_points $ replay_schedule_arg $ record_schedule_arg
+      $ task_deadline_ms $ max_retries
       $ backoff_ms $ mem_ceiling_mb)
+
+(* --- explore (systematic fault-schedule search) ------------------------ *)
+
+let explore_cmd =
+  let positive name =
+    Arg.conv ~docv:"N"
+      ( (fun s ->
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Ok n
+          | Some _ -> Error (`Msg (name ^ " must be positive"))
+          | None -> Error (`Msg ("expected an integer, got " ^ s))),
+        Format.pp_print_int )
+  in
+  let workload_name =
+    Arg.(
+      value
+      & opt string "cs_flow_mods"
+      & info [ "workload"; "w" ] ~docv:"NAME"
+          ~doc:
+            "Workload to explore: a test id (crosschecked between --agent-a \
+             and --agent-b, with a checkpoint leg and a fault-free recovery \
+             resume per run) or $(b,synthetic-pair), the explorer's pure-draw \
+             self-test.  Default cs_flow_mods.")
+  in
+  let agent_a =
+    Arg.(
+      value
+      & opt agent_conv Switches.Reference_switch.agent
+      & info [ "agent-a"; "a" ] ~doc:"First agent (default ref).")
+  in
+  let agent_b =
+    Arg.(
+      value
+      & opt agent_conv Switches.Modified_switch.agent
+      & info [ "agent-b"; "b" ] ~doc:"Second agent (default modified).")
+  in
+  let max_schedules =
+    Arg.(
+      value
+      & opt (positive "max-schedules") 256
+      & info [ "max-schedules" ] ~docv:"N"
+          ~doc:"Candidate-schedule budget (default 256).")
+  in
+  let faults_per_schedule =
+    Arg.(
+      value
+      & opt (positive "faults-per-schedule") 2
+      & info [ "faults-per-schedule" ] ~docv:"N"
+          ~doc:
+            "Schedule density: 1 enumerates every single-fault schedule; 2 \
+             adds a budgeted pass over all pairs; higher densities fill the \
+             remaining budget with deterministic random N-site schedules \
+             (default 2).")
+  in
+  let shrink =
+    Arg.(
+      value
+      & flag
+      & info [ "shrink" ]
+          ~doc:
+            "ddmin every violation to a locally minimal failing schedule: \
+             removing any single remaining site makes the oracles pass.")
+  in
+  let repro =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:
+            "Write the first violation's schedule (the shrunk one under \
+             --shrink) to $(docv), with an exact replay command on stdout.")
+  in
+  let schedule_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:
+            "Replay one explicit schedule against the workload's oracles \
+             instead of enumerating candidates: exit 0 if every oracle holds, \
+             1 on violation.  This is how committed repro files are \
+             re-validated.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for the random-schedule strategy (default 0).")
+  in
+  let max_wall_s =
+    Arg.(
+      value
+      & opt float 300.0
+      & info [ "max-wall-s" ] ~docv:"S"
+          ~doc:"Wall-clock bound per workload run checked by the time oracle (default 300).")
+  in
+  let save_repro ~workload_name file sched =
+    let sched =
+      Harness.Schedule.with_meta
+        [ ("workload", workload_name); ("expect", "violation") ]
+        sched
+    in
+    Harness.Schedule.save file sched;
+    Format.printf "wrote repro %s (%d site(s))@." file (Harness.Schedule.cardinal sched);
+    Format.printf "replay: soft explore --workload %s --schedule %s@." workload_name file
+  in
+  let run workload_name agent_a agent_b max_paths jobs max_schedules faults_per_schedule
+      shrink repro schedule_file seed max_wall_s budget_ms max_conflicts =
+    apply_budget budget_ms max_conflicts;
+    match
+      Soft.Oracle.workload ~max_paths ~jobs ~max_wall_s ~a:agent_a ~b:agent_b workload_name
+    with
+    | Error msg ->
+      Format.eprintf "soft: %s@." msg;
+      2
+    | Ok w -> (
+      match schedule_file with
+      | Some file -> (
+        match Harness.Schedule.load file with
+        | Error e ->
+          Format.eprintf "soft: cannot load schedule %s: %s@." file e;
+          2
+        | Ok sched -> (
+          let baseline, sites = Harness.Explore.discover w in
+          Format.printf "%s: %d draw site(s); replaying %s (%d scheduled)@."
+            workload_name (List.length sites) file (Harness.Schedule.cardinal sched);
+          match Harness.Explore.check_schedule w ~baseline sched with
+          | [] ->
+            Format.printf "schedule upholds every oracle@.";
+            0
+          | messages ->
+            List.iter (Format.printf "violation: %s@.") messages;
+            (match (shrink, repro) with
+            | false, Some file' -> save_repro ~workload_name file' sched
+            | true, _ -> (
+              match Harness.Explore.shrink w ~baseline sched with
+              | None -> ()
+              | Some (minimal, tests) ->
+                Format.printf "shrunk to %d site(s) in %d run(s)@."
+                  (Harness.Schedule.cardinal minimal) tests;
+                Option.iter
+                  (fun file' -> save_repro ~workload_name file' minimal)
+                  repro)
+            | false, None -> ());
+            1))
+      | None ->
+        let out =
+          Harness.Explore.explore ~max_schedules ~faults_per_schedule ~seed ~shrink
+            ~log:(fun m -> Format.printf "%s@." m)
+            w
+        in
+        let s = out.Harness.Explore.o_stats in
+        Format.printf
+          "%s: %d site(s), %d schedule(s) run, %d violation(s), %d shrink run(s)@."
+          workload_name s.Harness.Explore.x_sites s.x_schedules s.x_violations
+          s.x_shrink_tests;
+        (match out.Harness.Explore.o_violations with
+        | [] -> 0
+        | v :: _ ->
+          Option.iter
+            (fun file ->
+              save_repro ~workload_name file
+                (Option.value ~default:v.Harness.Explore.v_schedule
+                   v.Harness.Explore.v_minimal))
+            repro;
+          1))
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematic fault-schedule exploration: discover the workload's draw \
+          sites, run it under candidate schedules (all singles, budgeted \
+          pairs, random combinations), check the standing invariant oracles \
+          per schedule, and ddmin any violation to a minimal repro file.")
+    Term.(
+      const run $ workload_name $ agent_a $ agent_b $ max_paths $ jobs $ max_schedules
+      $ faults_per_schedule $ shrink $ repro $ schedule_file $ seed $ max_wall_s
+      $ budget_ms $ max_conflicts)
 
 (* --- service mode (serve / submit / status) --------------------------- *)
 
@@ -921,6 +1189,7 @@ let main =
       group_cmd;
       check_cmd;
       compare_cmd;
+      explore_cmd;
       serve_cmd;
       submit_cmd;
       status_cmd;

@@ -101,6 +101,8 @@ let point_of_name s =
    classifies and degrades them like the real network events they model. *)
 let transport_points = [ Torn_frame; Conn_reset; Read_stall ]
 
+type draw = { d_point : point; d_key : int option; d_index : int; d_fired : bool }
+
 type plan = {
   p_seed : int;
   p_rate : float;
@@ -122,11 +124,21 @@ type plan = {
      Streams persist for the plan's lifetime, so a retry of the same key
      (supervised re-attempts) continues the key's stream rather than
      replaying its first draw. *)
+  p_counts : (int * int option, int) Hashtbl.t;
+  (* draws made so far per (point, key): a draw's zero-based index within
+     its own stream.  The per-key count — not the global draw count — is
+     what identifies a draw as a {!Schedule.site}, so the identity is
+     invariant under worker count exactly where the keyed streams are. *)
+  p_script : (int * int option * int, unit) Hashtbl.t option;
+  (* [Some sites]: scripted mode — a draw fires iff its (point, key,
+     index) site is listed; the random streams are never consulted, so a
+     schedule replays the same faults regardless of rate or seed. *)
+  p_record : bool;
+  mutable p_trace : draw list; (* most recent first; only when p_record *)
   mutable p_draws : int;
 }
 
-let plan ?only ~seed ~rate () =
-  if rate < 0.0 || rate > 1.0 then invalid_arg "Chaos.plan: rate must be within [0, 1]";
+let make_plan ?only ?(record = false) ?script ~seed ~rate () =
   let enabled =
     match only with
     | None -> Array.make npoints true
@@ -142,8 +154,32 @@ let plan ?only ~seed ~rate () =
     p_fired = Array.make npoints 0;
     p_enabled = enabled;
     p_keyed = Hashtbl.create 64;
+    p_counts = Hashtbl.create 64;
+    p_script = script;
+    p_record = record;
+    p_trace = [];
     p_draws = 0;
   }
+
+let plan ?only ?record ~seed ~rate () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Chaos.plan: rate must be within [0, 1]";
+  make_plan ?only ?record ~seed ~rate ()
+
+let scripted ?only ?record schedule =
+  let script = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Schedule.site) ->
+      match point_of_name s.Schedule.s_point with
+      | Some pt ->
+        Hashtbl.replace script (point_index pt, s.Schedule.s_key, s.Schedule.s_index) ()
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Chaos.scripted: unknown injection point %S"
+             s.Schedule.s_point))
+    (Schedule.sites schedule);
+  make_plan ?only ?record ~script ~seed:0 ~rate:0.0 ()
+
+let is_scripted p = p.p_script <> None
 
 let seed p = p.p_seed
 let rate p = p.p_rate
@@ -185,22 +221,53 @@ let fire ?key pt =
     else
       Mutex.protect fire_lock (fun () ->
           p.p_draws <- p.p_draws + 1;
-          let stream =
-            match key with
-            | None -> p.p_streams.(i)
-            | Some k -> (
-              match Hashtbl.find_opt p.p_keyed (i, k) with
-              | Some s -> s
-              | None ->
-                let s = Random.State.make [| 0x50f7; p.p_seed; i; k |] in
-                Hashtbl.replace p.p_keyed (i, k) s;
-                s)
+          let index =
+            let n = Option.value ~default:0 (Hashtbl.find_opt p.p_counts (i, key)) in
+            Hashtbl.replace p.p_counts (i, key) (n + 1);
+            n
           in
-          let hit = Random.State.float stream 1.0 < p.p_rate in
+          let hit =
+            match p.p_script with
+            | Some script -> Hashtbl.mem script (i, key, index)
+            | None ->
+              let stream =
+                match key with
+                | None -> p.p_streams.(i)
+                | Some k -> (
+                  match Hashtbl.find_opt p.p_keyed (i, k) with
+                  | Some s -> s
+                  | None ->
+                    let s = Random.State.make [| 0x50f7; p.p_seed; i; k |] in
+                    Hashtbl.replace p.p_keyed (i, k) s;
+                    s)
+              in
+              Random.State.float stream 1.0 < p.p_rate
+          in
+          if p.p_record then
+            p.p_trace <-
+              { d_point = pt; d_key = key; d_index = index; d_fired = hit } :: p.p_trace;
           if hit then p.p_fired.(i) <- p.p_fired.(i) + 1;
           hit)
 
 let fires = fire
+
+(* --- record/replay ---------------------------------------------------- *)
+
+let trace p = Mutex.protect fire_lock (fun () -> List.rev p.p_trace)
+
+let site_of_draw d =
+  {
+    Schedule.s_point = point_name d.d_point;
+    s_key = d.d_key;
+    s_index = d.d_index;
+  }
+
+let sites p =
+  List.sort_uniq Schedule.compare_site (List.map site_of_draw (trace p))
+
+let to_schedule ?meta p =
+  Schedule.make ?meta
+    (List.filter_map (fun d -> if d.d_fired then Some (site_of_draw d) else None) (trace p))
 
 let maybe_raise ?key pt = if fire ?key pt then raise (Injected_fault (point_name pt))
 
@@ -286,12 +353,19 @@ let () =
   Symexec.Engine.register_fatal (function Injected_fault _ -> true | _ -> false)
 
 let pp fmt p =
-  Format.fprintf fmt "chaos(seed=%d rate=%g draws=%d fired=[%s])" p.p_seed p.p_rate
-    p.p_draws
-    (String.concat "; "
-       (List.filter_map
-          (fun pt ->
-            match fired p pt with
-            | 0 -> None
-            | n -> Some (Printf.sprintf "%s=%d" (point_name pt) n))
-          all_points))
+  let fired_list =
+    String.concat "; "
+      (List.filter_map
+         (fun pt ->
+           match fired p pt with
+           | 0 -> None
+           | n -> Some (Printf.sprintf "%s=%d" (point_name pt) n))
+         all_points)
+  in
+  match p.p_script with
+  | Some script ->
+    Format.fprintf fmt "chaos(scripted sites=%d draws=%d fired=[%s])"
+      (Hashtbl.length script) p.p_draws fired_list
+  | None ->
+    Format.fprintf fmt "chaos(seed=%d rate=%g draws=%d fired=[%s])" p.p_seed p.p_rate
+      p.p_draws fired_list

@@ -66,14 +66,28 @@ val transport_points : point list
 
 type plan
 
-val plan : ?only:point list -> seed:int -> rate:float -> unit -> plan
+val plan : ?only:point list -> ?record:bool -> seed:int -> rate:float -> unit -> plan
 (** A fault plan firing each point's draws independently with probability
     [rate].  [only] restricts the plan to the listed points: a masked
     point never fires and never draws, and since every point has its own
     stream, masking cannot shift another point's schedule (the service
     byte-identity tests rely on this to inject durability faults without
-    perturbing solver verdicts).
+    perturbing solver verdicts).  [record] (default false) traces every
+    draw the plan makes — fired or not — so the run converts to an
+    explicit {!Schedule.t} afterwards (see {!trace}, {!to_schedule}).
     @raise Invalid_argument if [rate] is outside [[0, 1]]. *)
+
+val scripted : ?only:point list -> ?record:bool -> Schedule.t -> plan
+(** A schedule-driven plan: a draw fires iff its (point, key, index) site
+    is listed in the schedule; the seeded random streams are never
+    consulted.  A draw's index counts within its own (point, key) stream
+    — the same per-key discipline that makes keyed Bernoulli draws
+    worker-count-invariant — so a schedule recorded from a seeded run
+    replays the identical fault pattern at any [-j].  Sites the run never
+    reaches simply never fire.
+    @raise Invalid_argument if a site names an unknown injection point. *)
+
+val is_scripted : plan -> bool
 
 val install : plan -> unit
 (** Make [plan] the process-wide active plan.  Must be called on the main
@@ -146,5 +160,32 @@ val with_solver_faults : ?key:int -> (unit -> 'a) -> 'a
     through keyed streams — see {!maybe_raise}) so the chaos fault
     pattern is identical at every [-j]; the engine's exploration phase
     must never be wrapped. *)
+
+(** {2 Record/replay}
+
+    With [~record:true] the plan logs every draw it makes, fired or not.
+    The fired subset converts to an explicit {!Schedule.t} that replays
+    the run's exact fault pattern under {!scripted}; the full trace is
+    the draw-site universe an exploration driver enumerates over
+    ({!Explore}). *)
+
+type draw = {
+  d_point : point;
+  d_key : int option;
+  d_index : int;  (** zero-based position within the (point, key) stream *)
+  d_fired : bool;
+}
+
+val trace : plan -> draw list
+(** Every draw the plan has made, in draw order.  Empty unless the plan
+    was created with [~record:true]. *)
+
+val sites : plan -> Schedule.site list
+(** The distinct draw sites of {!trace} (fired or not), sorted — the
+    site universe a systematic exploration enumerates. *)
+
+val to_schedule : ?meta:(string * string) list -> plan -> Schedule.t
+(** The fired draws of {!trace} as an explicit schedule: replaying it
+    with {!scripted} reproduces this run's fault pattern exactly. *)
 
 val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,229 @@
+(* Fault-schedule exploration (see the .mli).  The driver owns plan
+   lifecycle — install a scripted plan, run the workload, deactivate —
+   and nothing else: workloads clean up their own side effects, oracles
+   are pure functions of observations.  Every run here is deterministic,
+   so a violation found by any strategy replays from its schedule
+   alone. *)
+
+type 'a workload = {
+  w_name : string;
+  w_run : unit -> 'a;
+  w_oracle : baseline:'a -> 'a -> string list;
+}
+
+type violation = {
+  v_schedule : Schedule.t;
+  v_messages : string list;
+  v_minimal : Schedule.t option;
+  v_shrink_tests : int;
+}
+
+type stats = {
+  x_sites : int;
+  x_schedules : int;
+  x_violations : int;
+  x_shrink_tests : int;
+}
+
+type 'a outcome = {
+  o_baseline : 'a;
+  o_sites : Schedule.site list;
+  o_violations : violation list;
+  o_stats : stats;
+}
+
+let under_plan plan f =
+  Chaos.install plan;
+  Fun.protect ~finally:(fun () -> Chaos.deactivate ()) f
+
+let discover w =
+  (* a recording plan that never fires: the run is the fault-free
+     baseline, and its trace is the complete draw-site universe *)
+  let plan = Chaos.plan ~record:true ~seed:0 ~rate:0.0 () in
+  let baseline = under_plan plan w.w_run in
+  (baseline, Chaos.sites plan)
+
+let check_schedule w ~baseline schedule =
+  match under_plan (Chaos.scripted schedule) w.w_run with
+  | obs -> w.w_oracle ~baseline obs
+  | exception Chaos.Injected_fault p ->
+    [ Printf.sprintf "injected fault (%s) escaped the workload uncontained" p ]
+  | exception exn ->
+    [ Printf.sprintf "workload raised %s" (Printexc.to_string exn) ]
+
+(* --- strategies ------------------------------------------------------- *)
+
+let singles sites = List.map (fun s -> Schedule.make [ s ]) sites
+
+let pairs ?budget sites =
+  let sites = Array.of_list sites in
+  let n = Array.length sites in
+  let cap = Option.value ~default:max_int budget in
+  let out = ref [] in
+  let count = ref 0 in
+  (try
+     for i = 0 to n - 2 do
+       for j = i + 1 to n - 1 do
+         if !count >= cap then raise Exit;
+         out := Schedule.make [ sites.(i); sites.(j) ] :: !out;
+         incr count
+       done
+     done
+   with Exit -> ());
+  List.rev !out
+
+let randoms ~seed ~density ~count sites =
+  let sites = Array.of_list sites in
+  let n = Array.length sites in
+  if n = 0 || density < 1 || count < 1 then []
+  else
+    let rng = Random.State.make [| 0x5eed; seed |] in
+    List.init count (fun _ ->
+        (* draw [density] indices with replacement; Schedule.make dedups,
+           so the effective density is bounded, not exact *)
+        Schedule.make (List.init (min density n) (fun _ -> sites.(Random.State.int rng n))))
+
+(* --- ddmin ------------------------------------------------------------ *)
+
+(* Split [l] into [n] contiguous chunks, the first ones one element
+   longer when the length does not divide evenly. *)
+let chunk n l =
+  let len = List.length l in
+  let base = len / n and extra = len mod n in
+  let rec go i rest acc =
+    if i >= n then List.rev acc
+    else
+      let take = base + if i < extra then 1 else 0 in
+      let rec split k l acc' =
+        if k = 0 then (List.rev acc', l)
+        else match l with [] -> (List.rev acc', []) | x :: tl -> split (k - 1) tl (x :: acc')
+      in
+      let c, rest' = split take rest [] in
+      go (i + 1) rest' (c :: acc)
+  in
+  go 0 l [] |> List.filter (fun c -> c <> [])
+
+(* Zeller–Hildebrandt ddmin on the fired-site list.  [fails] must hold
+   for [sites]; on return, [fails] holds for the result and fails for no
+   single-site removal of it (1-minimality): the loop only terminates at
+   granularity n = |sites| after every complement — each the set minus
+   one element — passed. *)
+let ddmin ~fails sites =
+  let tests = ref 0 in
+  let fails l =
+    incr tests;
+    fails l
+  in
+  let rec go sites n =
+    let len = List.length sites in
+    if len <= 1 then sites
+    else begin
+      let chunks = chunk n sites in
+      match List.find_opt fails chunks with
+      | Some c -> go c 2
+      | None -> (
+        let complement i = List.concat (List.filteri (fun j _ -> j <> i) chunks) in
+        let rec try_complements i =
+          if i >= List.length chunks then None
+          else
+            let c = complement i in
+            if fails c then Some c else try_complements (i + 1)
+        in
+        (* at n = 2 a complement is the other chunk, already tested *)
+        match (if n = 2 then None else try_complements 0) with
+        | Some c -> go c (max (n - 1) 2)
+        | None -> if n >= len then sites else go sites (min (2 * n) len))
+    end
+  in
+  let minimal = go sites 2 in
+  (minimal, !tests)
+
+let shrink w ~baseline schedule =
+  let meta = Schedule.meta_all schedule in
+  let fails sites = check_schedule w ~baseline (Schedule.make ~meta sites) <> [] in
+  if not (fails (Schedule.sites schedule)) then None
+  else
+    let minimal, tests = ddmin ~fails (Schedule.sites schedule) in
+    (* the initial confirmation counts too *)
+    Some (Schedule.make ~meta minimal, tests + 1)
+
+(* --- the driver ------------------------------------------------------- *)
+
+let take n l =
+  let rec go n acc = function
+    | [] -> List.rev acc
+    | _ when n <= 0 -> List.rev acc
+    | x :: tl -> go (n - 1) (x :: acc) tl
+  in
+  go n [] l
+
+let explore ?(max_schedules = 256) ?(faults_per_schedule = 2) ?(seed = 0)
+    ?(shrink = true) ?(log = fun _ -> ()) w =
+  if max_schedules < 1 then invalid_arg "Explore.explore: max_schedules must be positive";
+  if faults_per_schedule < 1 then
+    invalid_arg "Explore.explore: faults_per_schedule must be positive";
+  let do_shrink = shrink in
+  let baseline, sites = discover w in
+  log (Printf.sprintf "%s: discovered %d draw site(s)" w.w_name (List.length sites));
+  let candidates =
+    let s = singles sites in
+    let budget_after_singles = max 0 (max_schedules - List.length s) in
+    let p =
+      if faults_per_schedule >= 2 then pairs ~budget:budget_after_singles sites else []
+    in
+    let r =
+      if faults_per_schedule > 2 then
+        randoms ~seed ~density:faults_per_schedule
+          ~count:(max 0 (budget_after_singles - List.length p))
+          sites
+      else []
+    in
+    take max_schedules (s @ p @ r)
+  in
+  if List.length candidates = max_schedules then
+    log
+      (Printf.sprintf "%s: candidate set capped at %d schedule(s)" w.w_name max_schedules);
+  let violations = ref [] in
+  let run = ref 0 in
+  List.iter
+    (fun schedule ->
+      incr run;
+      match check_schedule w ~baseline schedule with
+      | [] -> ()
+      | messages ->
+        log
+          (Printf.sprintf "%s: schedule %d/%d violates: %s" w.w_name !run
+             (List.length candidates) (String.concat "; " messages));
+        let minimal, shrink_tests =
+          if do_shrink then
+            match
+              let minimal, tests =
+                ddmin
+                  ~fails:(fun sites ->
+                    check_schedule w ~baseline
+                      (Schedule.make ~meta:(Schedule.meta_all schedule) sites)
+                    <> [])
+                  (Schedule.sites schedule)
+              in
+              (Schedule.make ~meta:(Schedule.meta_all schedule) minimal, tests)
+            with
+            | m, t -> (Some m, t)
+          else (None, 0)
+        in
+        violations :=
+          { v_schedule = schedule; v_messages = messages; v_minimal = minimal; v_shrink_tests = shrink_tests }
+          :: !violations)
+    candidates;
+  let violations = List.rev !violations in
+  {
+    o_baseline = baseline;
+    o_sites = sites;
+    o_violations = violations;
+    o_stats =
+      {
+        x_sites = List.length sites;
+        x_schedules = List.length candidates;
+        x_violations = List.length violations;
+        x_shrink_tests = List.fold_left (fun a v -> a + v.v_shrink_tests) 0 violations;
+      };
+  }

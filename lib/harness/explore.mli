@@ -1,0 +1,96 @@
+(** Deterministic fault-schedule exploration: run a workload under
+    candidate {!Schedule}s, check its invariant oracles per schedule, and
+    shrink any violation to a locally minimal failing schedule.
+
+    Where the seeded chaos sweeps {e sample} the fault space, this driver
+    {e enumerates} it: a recording discovery run yields the finite
+    universe of draw sites the workload can reach, and the strategies
+    below cover it systematically — every single-fault schedule, a
+    budgeted pass over pairs, and bounded-density random combinations.
+    The discipline is the deterministic-simulation-testing one: because
+    a schedule replays exactly (see {!Chaos.scripted}), every verdict
+    here — pass, violation, and the shrunk minimum — is reproducible
+    from a committed repro file. *)
+
+type 'a workload = {
+  w_name : string;
+  w_run : unit -> 'a;
+      (** run the workload under whatever chaos plan the driver installed
+          and return an observation.  Must be self-cleaning (clock skew,
+          temp files): the driver only installs/deactivates plans. *)
+  w_oracle : baseline:'a -> 'a -> string list;
+      (** invariant oracles: violation messages for this observation
+          against the fault-free baseline; [[]] means the schedule
+          passed. *)
+}
+
+type violation = {
+  v_schedule : Schedule.t;  (** the failing schedule as explored *)
+  v_messages : string list;  (** the oracle's complaints *)
+  v_minimal : Schedule.t option;  (** the ddmin result, when shrinking ran *)
+  v_shrink_tests : int;  (** workload executions the shrink spent *)
+}
+
+type stats = {
+  x_sites : int;  (** distinct draw sites discovered *)
+  x_schedules : int;  (** candidate schedules executed *)
+  x_violations : int;
+  x_shrink_tests : int;  (** total executions spent shrinking *)
+}
+
+type 'a outcome = {
+  o_baseline : 'a;
+  o_sites : Schedule.site list;
+  o_violations : violation list;
+  o_stats : stats;
+}
+
+val discover : 'a workload -> 'a * Schedule.site list
+(** Run the workload once under a recording plan that never fires,
+    returning the fault-free baseline observation and the universe of
+    draw sites the run reached. *)
+
+val check_schedule : 'a workload -> baseline:'a -> Schedule.t -> string list
+(** Run the workload under [schedule] (installed as a {!Chaos.scripted}
+    plan, deactivated afterwards) and apply the oracles.  An exception
+    escaping the workload — including an uncontained
+    {!Chaos.Injected_fault} — is itself reported as a violation. *)
+
+(** {2 Schedule strategies} — pure functions over the site universe. *)
+
+val singles : Schedule.site list -> Schedule.t list
+(** One schedule per site: exhaustive single-fault enumeration. *)
+
+val pairs : ?budget:int -> Schedule.site list -> Schedule.t list
+(** All two-site combinations in sorted order, capped at [budget]. *)
+
+val randoms :
+  seed:int -> density:int -> count:int -> Schedule.site list -> Schedule.t list
+(** [count] deterministic random schedules of at most [density] distinct
+    sites each, drawn from a stream seeded by [seed]. *)
+
+val shrink :
+  'a workload -> baseline:'a -> Schedule.t -> (Schedule.t * int) option
+(** ddmin over the failing schedule's fired sites: [Some (minimal, n)]
+    is a locally minimal failing schedule — removing {e any single}
+    remaining site makes the oracles pass (1-minimality, the classic
+    ddmin guarantee) — found in [n] workload executions.  [None] if the
+    schedule does not actually fail (nothing to shrink).  Metadata is
+    preserved on the minimized schedule. *)
+
+val explore :
+  ?max_schedules:int ->
+  ?faults_per_schedule:int ->
+  ?seed:int ->
+  ?shrink:bool ->
+  ?log:(string -> unit) ->
+  'a workload ->
+  'a outcome
+(** The full driver: discover the site universe, enumerate candidates —
+    all singles; pairs when [faults_per_schedule >= 2]; random schedules
+    of density [faults_per_schedule] filling the remaining budget when
+    [faults_per_schedule > 2] — capped at [max_schedules] (default 256),
+    run each, and ddmin every violation when [shrink] (default true).
+    [log] receives progress lines (default: silent).
+    @raise Invalid_argument if [faults_per_schedule < 1] or
+    [max_schedules < 1]. *)

@@ -1,0 +1,182 @@
+(* Oracles and workloads for fault-schedule exploration (see the .mli).
+
+   The crosscheck workload is built so that every one of its draw sites
+   is stable across runs and across worker counts: phase 1 is cached
+   outside the fault space, pair-scoped draws are keyed by pair index
+   (PR 9's discipline), and cache hits consume the same query-hook draws
+   the solve they replaced would have (PR 8's alignment) — so the site
+   universe recorded once is the universe every scripted replay sees. *)
+
+module Chaos = Harness.Chaos
+module Explore = Harness.Explore
+
+type obs = {
+  ob_stable : string;
+  ob_recovered : string;
+  ob_incs : (string * string) list;
+  ob_pairs_checked : int;
+  ob_undecided : (string * string) list;
+  ob_faults : int;
+  ob_exit : int;
+  ob_wall_s : float;
+  ob_signal : string list;
+}
+
+let inc_keys (o : Crosscheck.outcome) =
+  List.map
+    (fun (i : Crosscheck.inconsistency) ->
+      ( Openflow.Trace.result_key i.Crosscheck.i_result_a,
+        Openflow.Trace.result_key i.Crosscheck.i_result_b ))
+    o.Crosscheck.o_inconsistencies
+
+let observe ?recovered ?(wall_s = 0.0) (o : Crosscheck.outcome) =
+  let stable = Crosscheck.render_stable o in
+  {
+    ob_stable = stable;
+    ob_recovered = Option.value ~default:stable recovered;
+    ob_incs = inc_keys o;
+    ob_pairs_checked = o.Crosscheck.o_pairs_checked;
+    ob_undecided = o.Crosscheck.o_pairs_undecided;
+    ob_faults = o.Crosscheck.o_pair_faults;
+    ob_exit = Report.exit_status o;
+    ob_wall_s = wall_s;
+    ob_signal = [];
+  }
+
+let oracles ?(max_wall_s = 300.0) ~baseline obs =
+  let v = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> v := m :: !v) fmt in
+  if obs.ob_pairs_checked <> baseline.ob_pairs_checked then
+    add "pairs compared changed: %d vs baseline %d" obs.ob_pairs_checked
+      baseline.ob_pairs_checked;
+  List.iter
+    (fun (ka, kb) ->
+      if not (List.mem (ka, kb) baseline.ob_incs) then
+        add "invented inconsistency (%s, %s)" ka kb)
+    obs.ob_incs;
+  List.iter
+    (fun (ka, kb) ->
+      if (not (List.mem (ka, kb) obs.ob_incs)) && not (List.mem (ka, kb) obs.ob_undecided)
+      then add "verdict (%s, %s) lost to something other than undecided" ka kb)
+    baseline.ob_incs;
+  if obs.ob_faults > List.length obs.ob_undecided then
+    add "fault count %d exceeds undecided count %d" obs.ob_faults
+      (List.length obs.ob_undecided);
+  let expected =
+    Report.exit_of_counts
+      ~inconsistencies:(List.length obs.ob_incs)
+      ~undecided:(List.length obs.ob_undecided)
+      ~faults:obs.ob_faults
+  in
+  if obs.ob_exit <> expected then
+    add "exit taxonomy broken: reported %d, counters say %d" obs.ob_exit expected;
+  if obs.ob_recovered <> baseline.ob_stable then
+    add "kill-and-recover report diverged from the clean run's bytes";
+  if obs.ob_wall_s > max_wall_s then
+    add "wall clock %.1fs exceeded the %.1fs bound" obs.ob_wall_s max_wall_s;
+  List.rev !v
+
+(* --- the crosscheck workload ------------------------------------------ *)
+
+let quiet _ = ()
+
+let crosscheck_workload ?(max_paths = Harness.Runner.default_max_paths) ?(jobs = 1)
+    ?max_wall_s ~a ~b (spec : Harness.Test_spec.t) =
+  (* phase 1 once, outside the fault space: exploration targets the
+     crosscheck, and re-running symbolic execution per schedule would
+     dominate every budget *)
+  let ga = Grouping.of_run (Harness.Runner.execute ~max_paths a spec) in
+  let gb = Grouping.of_run (Harness.Runner.execute ~max_paths b spec) in
+  let w_run () =
+    let t0 = Unix.gettimeofday () in
+    let ckpt = Filename.temp_file "soft_explore_ckpt" ".txt" in
+    Fun.protect
+      ~finally:(fun () ->
+        if Sys.file_exists ckpt then Sys.remove ckpt;
+        Smt.Mono.reset_skew ())
+      (fun () ->
+        let o =
+          Crosscheck.check ~jobs ~checkpoint:ckpt ~checkpoint_every:4 ~on_warning:quiet
+            ga gb
+        in
+        (* recovery leg: chaos off, clock healed, resume from whatever
+           snapshot the faulted leg left behind (possibly truncated —
+           then a warned cold start).  Faulted pairs are excluded from
+           checkpoints, so a fault-free resume must land exactly on the
+           clean run's verdicts: its stable bytes are the recovery
+           oracle's subject. *)
+        let plan = Chaos.current () in
+        Chaos.deactivate ();
+        Smt.Mono.reset_skew ();
+        let r =
+          Fun.protect
+            ~finally:(fun () -> Option.iter Chaos.install plan)
+            (fun () -> Crosscheck.check ~jobs ~resume:ckpt ~on_warning:quiet ga gb)
+        in
+        observe o ~recovered:(Crosscheck.render_stable r)
+          ~wall_s:(Unix.gettimeofday () -. t0))
+  in
+  {
+    Explore.w_name = spec.Harness.Test_spec.id;
+    w_run;
+    w_oracle = (fun ~baseline obs -> oracles ?max_wall_s ~baseline obs);
+  }
+
+(* --- the synthetic pure-draw workload --------------------------------- *)
+
+let synthetic_keys = 12
+let synthetic_poison = (3, 7)
+
+let synthetic_pair_workload () =
+  let w_run () =
+    let fired = ref [] in
+    for k = 0 to synthetic_keys - 1 do
+      (* two draws per key: indices 0 and 1 of each keyed stream *)
+      for i = 0 to 1 do
+        if Chaos.fires ~key:k Chaos.Solver_fault then
+          fired := Printf.sprintf "k%d/%d" k i :: !fired
+      done
+    done;
+    {
+      ob_stable = "";
+      ob_recovered = "";
+      ob_incs = [];
+      ob_pairs_checked = 0;
+      ob_undecided = [];
+      ob_faults = 0;
+      ob_exit = 0;
+      ob_wall_s = 0.0;
+      ob_signal = List.rev !fired;
+    }
+  in
+  let w_oracle ~baseline:_ obs =
+    let a, b = synthetic_poison in
+    if
+      List.mem (Printf.sprintf "k%d/0" a) obs.ob_signal
+      && List.mem (Printf.sprintf "k%d/0" b) obs.ob_signal
+    then
+      [
+        Printf.sprintf "synthetic invariant: sites k%d/0 and k%d/0 both fired" a b;
+      ]
+    else []
+  in
+  { Explore.w_name = "synthetic-pair"; w_run; w_oracle }
+
+(* --- the registry ----------------------------------------------------- *)
+
+let synthetic_name = "synthetic-pair"
+
+let workloads () =
+  List.map (fun (t : Harness.Test_spec.t) -> t.Harness.Test_spec.id)
+    (Harness.Test_spec.all ())
+  @ [ synthetic_name ]
+
+let workload ?max_paths ?jobs ?max_wall_s ~a ~b name =
+  if name = synthetic_name then Ok (synthetic_pair_workload ())
+  else
+    match Harness.Test_spec.by_id name with
+    | Some spec -> Ok (crosscheck_workload ?max_paths ?jobs ?max_wall_s ~a ~b spec)
+    | None ->
+      Error
+        (Printf.sprintf "unknown workload %s (available: %s)" name
+           (String.concat ", " (workloads ())))

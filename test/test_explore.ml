@@ -1,0 +1,297 @@
+(* Fault-schedule exploration: the schedule text format, scripted plan
+   exactness, record→replay equivalence (pure draws and full crosschecks
+   at several worker counts), systematic exploration of the crosscheck
+   workload, ddmin shrinking to a provably 1-minimal schedule, and the
+   committed repro corpus replaying its historical outcomes. *)
+
+open Smt
+module Chaos = Harness.Chaos
+module Schedule = Harness.Schedule
+module Explore = Harness.Explore
+module Runner = Harness.Runner
+module Test_spec = Harness.Test_spec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_clean_world f =
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.deactivate ();
+      Mono.reset_skew ();
+      Solver.clear_cache ())
+    f
+
+let site p k i = { Schedule.s_point = p; s_key = k; s_index = i }
+
+(* --- the schedule text format ------------------------------------------ *)
+
+let test_schedule_format () =
+  let t =
+    Schedule.make
+      ~meta:[ ("workload", "x"); ("note", "spaces and\nnewlines \xff") ]
+      [
+        site "torn-write" None 2;
+        site "solver-fault" (Some 3) 0;
+        site "solver-fault" (Some 3) 0 (* duplicate *);
+        site "solver-fault" None 1;
+      ]
+  in
+  check_int "duplicates collapse" 3 (Schedule.cardinal t);
+  (match Schedule.sites t with
+  | [ a; b; c ] ->
+    check_string "global stream sorts before keyed" "solver-fault/-/1"
+      (Format.asprintf "%a" Schedule.pp_site a);
+    check_string "keyed site next" "solver-fault/3/0"
+      (Format.asprintf "%a" Schedule.pp_site b);
+    check_string "points sort last" "torn-write/-/2"
+      (Format.asprintf "%a" Schedule.pp_site c)
+  | _ -> Alcotest.fail "wrong cardinality");
+  let text = Schedule.to_string t in
+  (match Schedule.of_string text with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok t' ->
+    check_bool "sites survive" true (Schedule.sites t' = Schedule.sites t);
+    check_bool "meta survives (bytes included)" true
+      (Schedule.meta_all t' = Schedule.meta_all t);
+    check_string "serialization is byte-stable" text (Schedule.to_string t'));
+  (* any edit breaks the checksum: flip one site-index digit *)
+  let mangled = String.map (fun c -> if c = '2' then '3' else c) text in
+  (match Schedule.of_string mangled with
+  | Ok _ -> Alcotest.fail "accepted a mangled schedule"
+  | Error e -> check_bool "mangling is a checksum error" true
+      (String.length e > 0));
+  (* a truncated file loses its sum trailer *)
+  (match Schedule.of_string (String.sub text 0 (String.length text / 2)) with
+  | Ok _ -> Alcotest.fail "accepted a truncated schedule"
+  | Error _ -> ());
+  (* save/load through a file *)
+  let file = Filename.temp_file "soft_schedule" ".schedule" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      Schedule.save file t;
+      match Schedule.load file with
+      | Ok t' -> check_string "file roundtrip" text (Schedule.to_string t')
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+(* --- scripted plans ---------------------------------------------------- *)
+
+let test_scripted_exactness () =
+  with_clean_world (fun () ->
+      let sched =
+        Schedule.make [ site "solver-fault" (Some 2) 1; site "agent-step" None 0 ]
+      in
+      let plan = Chaos.scripted ~record:true sched in
+      Chaos.install plan;
+      let fired = ref [] in
+      for k = 0 to 3 do
+        for i = 0 to 1 do
+          if Chaos.fires ~key:k Chaos.Solver_fault then fired := (k, i) :: !fired
+        done
+      done;
+      let agent0 = Chaos.fires Chaos.Agent_step in
+      let agent1 = Chaos.fires Chaos.Agent_step in
+      Chaos.deactivate ();
+      check_bool "exactly the scheduled keyed draw fired" true ([ (2, 1) ] = List.rev !fired);
+      check_bool "unkeyed draw 0 scheduled: fires" true agent0;
+      check_bool "unkeyed draw 1 unscheduled: spared" false agent1;
+      check_int "total fired" 2 (Chaos.total_fired plan);
+      check_int "every draw recorded" 10 (List.length (Chaos.trace plan));
+      check_bool "fired draws convert back to the schedule" true
+        (Schedule.sites (Chaos.to_schedule plan) = Schedule.sites sched);
+      (* unknown point names are rejected at plan construction *)
+      match Chaos.scripted (Schedule.make [ site "no-such-point" None 0 ]) with
+      | _ -> Alcotest.fail "accepted an unknown injection point"
+      | exception Invalid_argument _ -> ())
+
+let draw_pattern () =
+  List.concat
+    [
+      List.concat_map
+        (fun i -> [ Chaos.fires ~key:(i mod 3) Chaos.Solver_fault ])
+        (List.init 9 Fun.id);
+      List.init 4 (fun _ -> Chaos.fires Chaos.Checkpoint_truncate);
+      List.init 5 (fun i -> Chaos.fires ~key:i Chaos.Clock_jump);
+    ]
+
+let test_record_replay_draws () =
+  with_clean_world (fun () ->
+      let plan = Chaos.plan ~record:true ~seed:42 ~rate:0.5 () in
+      Chaos.install plan;
+      let fired = draw_pattern () in
+      Chaos.deactivate ();
+      check_bool "the seeded run fired something" true (List.mem true fired);
+      check_bool "and spared something" true (List.mem false fired);
+      let sched = Chaos.to_schedule plan in
+      let replay = Chaos.scripted ~record:true sched in
+      Chaos.install replay;
+      let fired' = draw_pattern () in
+      Chaos.deactivate ();
+      check_bool "scripted replay reproduces the exact fire pattern" true (fired = fired');
+      check_bool "and converts back to the same schedule" true
+        (Schedule.sites (Chaos.to_schedule replay) = Schedule.sites sched))
+
+(* --- record → replay on a real crosscheck, across worker counts -------- *)
+
+let grouped_pair ~max_paths spec =
+  let run_a = Runner.execute ~max_paths Switches.Reference_switch.agent spec in
+  let run_b = Runner.execute ~max_paths Switches.Modified_switch.agent spec in
+  (Soft.Grouping.of_run run_a, Soft.Grouping.of_run run_b)
+
+let test_record_replay_crosscheck () =
+  with_clean_world (fun () ->
+      let a, b = grouped_pair ~max_paths:60 (Test_spec.packet_out ()) in
+      (* find a seed whose sweep actually fires: a failing sweep in the
+         acceptance sense is one that degraded something *)
+      let rec seeded_sweep seed =
+        if seed > 32 then Alcotest.fail "no seed fired in 32 tries"
+        else begin
+          Solver.clear_cache ();
+          Mono.reset_skew ();
+          let plan = Chaos.plan ~record:true ~seed ~rate:0.3 () in
+          Chaos.install plan;
+          let o = Soft.Crosscheck.check a b in
+          Chaos.deactivate ();
+          if Chaos.total_fired plan > 0 then (o, plan) else seeded_sweep (seed + 1)
+        end
+      in
+      let o, plan = seeded_sweep 1 in
+      let stable = Soft.Crosscheck.render_stable o in
+      let sched = Chaos.to_schedule ~meta:[ ("workload", "packet_out") ] plan in
+      check_bool "the sweep converts to a nonempty schedule" true
+        (Schedule.cardinal sched > 0);
+      check_bool "the sweep degraded pairs to undecided" true
+        (Soft.Crosscheck.undecided_count o > 0);
+      (* the explicit schedule replays byte-identically at -j1 and -j4 *)
+      List.iter
+        (fun jobs ->
+          Mono.reset_skew ();
+          Chaos.install (Chaos.scripted sched);
+          let o' = Soft.Crosscheck.check ~jobs a b in
+          Chaos.deactivate ();
+          check_string
+            (Printf.sprintf "scripted replay at -j%d is byte-identical" jobs)
+            stable
+            (Soft.Crosscheck.render_stable o'))
+        [ 1; 4 ])
+
+(* --- exploring the crosscheck workload --------------------------------- *)
+
+let crosscheck_workload ?(max_paths = 40) () =
+  Soft.Oracle.crosscheck_workload ~max_paths ~max_wall_s:600.0
+    ~a:Switches.Reference_switch.agent ~b:Switches.Modified_switch.agent
+    (Test_spec.packet_out ())
+
+let test_explore_crosscheck_holds () =
+  with_clean_world (fun () ->
+      let w = crosscheck_workload () in
+      let out = Explore.explore ~max_schedules:10 ~faults_per_schedule:2 w in
+      check_bool "the crosscheck run draws sites" true (out.Explore.o_stats.x_sites > 0);
+      check_int "budget respected" 10 out.Explore.o_stats.x_schedules;
+      check_int "every schedule upholds the invariants" 0
+        out.Explore.o_stats.x_violations)
+
+(* --- an injected violation shrinks to the 1-minimal schedule ----------- *)
+
+let poison_sites =
+  [ site "solver-fault" (Some 3) 0; site "solver-fault" (Some 7) 0 ]
+
+let test_synthetic_violation_found_and_shrunk () =
+  with_clean_world (fun () ->
+      let w = Soft.Oracle.synthetic_pair_workload () in
+      let out = Explore.explore ~max_schedules:400 ~faults_per_schedule:2 w in
+      check_int "24 draw sites discovered" 24 out.Explore.o_stats.x_sites;
+      check_int "exactly the poison pair violates" 1 out.Explore.o_stats.x_violations;
+      (match out.Explore.o_violations with
+      | [ v ] -> (
+        match v.Explore.v_minimal with
+        | Some m ->
+          check_bool "the shrunk schedule is the poison pair" true
+            (Schedule.sites m = poison_sites)
+        | None -> Alcotest.fail "violation was not shrunk")
+      | _ -> Alcotest.fail "expected one violation");
+      (* ddmin from a fat failing schedule: every site armed *)
+      let baseline, sites = Explore.discover w in
+      let fat = Schedule.make sites in
+      match Explore.shrink w ~baseline fat with
+      | None -> Alcotest.fail "the fat schedule should fail"
+      | Some (minimal, tests) ->
+        check_bool "shrinks to exactly the poison pair" true
+          (Schedule.sites minimal = poison_sites);
+        check_bool "shrinking spent a sane number of runs" true (tests > 0 && tests < 200);
+        (* local minimality, verified directly: removing any single
+           remaining site makes the oracles pass *)
+        List.iter
+          (fun s ->
+            let rest =
+              List.filter
+                (fun s' -> Schedule.compare_site s s' <> 0)
+                (Schedule.sites minimal)
+            in
+            check_int
+              (Format.asprintf "removing %a makes it pass" Schedule.pp_site s)
+              0
+              (List.length (Explore.check_schedule w ~baseline (Schedule.make rest))))
+          (Schedule.sites minimal))
+
+(* --- the committed repro corpus ---------------------------------------- *)
+
+(* dune runtest runs in _build/default/test (where the glob_files dep
+   lands); dune exec from the workspace root *)
+let corpus_dir =
+  if Sys.file_exists "repros" then "repros" else Filename.concat "test" "repros"
+
+let test_repro_corpus () =
+  with_clean_world (fun () ->
+      let files =
+        Sys.readdir corpus_dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".schedule")
+        |> List.sort compare
+      in
+      check_bool "the corpus is nonempty" true (files <> []);
+      List.iter
+        (fun f ->
+          match Schedule.load (Filename.concat corpus_dir f) with
+          | Error e -> Alcotest.failf "%s: %s" f e
+          | Ok sched ->
+            let meta k =
+              match Schedule.meta sched k with
+              | Some v -> v
+              | None -> Alcotest.failf "%s: missing meta %s" f k
+            in
+            let expect = meta "expect" in
+            let w =
+              match
+                Soft.Oracle.workload ~max_paths:40 ~max_wall_s:600.0
+                  ~a:Switches.Reference_switch.agent
+                  ~b:Switches.Modified_switch.agent (meta "workload")
+              with
+              | Ok w -> w
+              | Error e -> Alcotest.failf "%s: %s" f e
+            in
+            let baseline, _ = Explore.discover w in
+            let violations = Explore.check_schedule w ~baseline sched in
+            check_bool
+              (Printf.sprintf "%s replays its historical outcome (%s)" f expect)
+              (expect = "violation")
+              (violations <> []))
+        files)
+
+let suite =
+  [
+    Alcotest.test_case "schedule text format" `Quick test_schedule_format;
+    Alcotest.test_case "scripted plans fire exactly the schedule" `Quick
+      test_scripted_exactness;
+    Alcotest.test_case "record/replay pure draw equivalence" `Quick
+      test_record_replay_draws;
+    Alcotest.test_case "recorded sweep replays byte-identically at -j1/-j4" `Slow
+      test_record_replay_crosscheck;
+    Alcotest.test_case "crosscheck exploration upholds the oracles" `Slow
+      test_explore_crosscheck_holds;
+    Alcotest.test_case "injected violation shrinks to 1-minimal" `Quick
+      test_synthetic_violation_found_and_shrunk;
+    Alcotest.test_case "repro corpus replays historical outcomes" `Slow
+      test_repro_corpus;
+  ]

@@ -35,4 +35,5 @@ let () =
       ("supervise", Test_supervise.suite);
       ("live", Test_live.suite);
       ("service", Test_service.suite);
+      ("explore", Test_explore.suite);
     ]

@@ -81,6 +81,64 @@ let test_journal_torn_tail () =
       Alcotest.(check (list string)) "append after tear recovery" [ "r0"; "r1"; "r3" ]
         (Journal.replay path))
 
+(* Two deterministic cuts at the nastiest parser boundaries.  First: a
+   record line cut exactly at the end of its checksum — "r <32 hex>" plus
+   the line terminator but no payload separator — which lands precisely on
+   decode_line's length/separator boundary (index 34).  Second: the same
+   cut without the terminator, the shape a real crash leaves. *)
+let test_journal_checksum_boundary_cut () =
+  in_tmpdir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let j = Journal.create ~fsync:false path in
+      List.iter (Journal.append j) [ "keep0"; "keep1"; "casualty" ];
+      Journal.close j;
+      let content = read_file path in
+      let line_start = String.rindex (String.sub content 0 (String.length content - 1)) '\n' + 1 in
+      (* "r " + 32 checksum hex chars = 34 bytes of the final line *)
+      let boundary = line_start + 34 in
+      List.iter
+        (fun (label, cut) ->
+          write_file path cut;
+          Alcotest.(check (list string))
+            (label ^ ": prefix intact, boundary-cut record discarded")
+            [ "keep0"; "keep1" ] (Journal.replay path);
+          (* recovery truncates the debris back to the record boundary *)
+          let j = Journal.create ~fsync:false path in
+          Journal.append j "resumed";
+          Journal.close j;
+          Alcotest.(check (list string))
+            (label ^ ": appends resume at a record boundary")
+            [ "keep0"; "keep1"; "resumed" ]
+            (Journal.replay path))
+        [
+          ("terminated", String.sub content 0 boundary ^ "\n");
+          ("torn", String.sub content 0 boundary);
+        ])
+
+(* A zero-length payload is a legal record — "r <md5 of empty> " with
+   nothing after the separator.  Intact, it must replay as "";  with its
+   terminator cut off, it is a torn tail and must be discarded even
+   though its checksum would verify, because an unterminated line can
+   never be trusted as complete. *)
+let test_journal_zero_length_trailing_record () =
+  in_tmpdir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let j = Journal.create ~fsync:false path in
+      List.iter (Journal.append j) [ "real"; "" ];
+      Journal.close j;
+      Alcotest.(check (list string))
+        "intact zero-length record replays" [ "real"; "" ] (Journal.replay path);
+      let content = read_file path in
+      write_file path (String.sub content 0 (String.length content - 1));
+      Alcotest.(check (list string))
+        "unterminated zero-length record is a torn tail" [ "real" ]
+        (Journal.replay path);
+      let j = Journal.create ~fsync:false path in
+      Journal.append j "after";
+      Journal.close j;
+      Alcotest.(check (list string))
+        "recovery heals the tail" [ "real"; "after" ] (Journal.replay path))
+
 (* Replay of any byte-prefix of the log is a prefix of the full replay:
    no cut point — however unaligned — can reorder, invent or corrupt
    records.  This is the invariant that makes "recover from whatever is
@@ -483,6 +541,10 @@ let suite =
   [
     Alcotest.test_case "journal round trip" `Quick test_journal_roundtrip;
     Alcotest.test_case "journal torn tail" `Quick test_journal_torn_tail;
+    Alcotest.test_case "journal checksum-boundary cut" `Quick
+      test_journal_checksum_boundary_cut;
+    Alcotest.test_case "journal zero-length trailing record" `Quick
+      test_journal_zero_length_trailing_record;
     Alcotest.test_case "journal replay-prefix property" `Quick test_journal_prefix_property;
     Alcotest.test_case "journal chaos sweep" `Quick test_journal_chaos_sweep;
     Alcotest.test_case "journal rewrite" `Quick test_journal_rewrite;
